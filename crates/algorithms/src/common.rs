@@ -1,0 +1,162 @@
+//! Conversions between graphs and the record representations the dataflow
+//! algorithms consume.
+
+use dataflow::prelude::Record;
+use graphdata::Graph;
+use std::sync::Arc;
+
+/// The graph's edges as `(vid1, vid2)` records — the neighbourhood table `N`
+/// of the Connected Components dataflows.  For undirected graphs the CSR
+/// already contains both directions.
+pub fn edge_records(graph: &Graph) -> Arc<Vec<Record>> {
+    Arc::new(graph.edges().map(|(s, t)| Record::pair(i64::from(s), i64::from(t))).collect())
+}
+
+/// The graph's edges as `(vid1, vid2, out_degree(vid1))` records, used by the
+/// adaptive PageRank expansion which needs the degree to split pushed mass.
+pub fn edge_records_with_degree(graph: &Graph) -> Arc<Vec<Record>> {
+    Arc::new(
+        graph
+            .edges()
+            .map(|(s, t)| {
+                Record::new(vec![
+                    i64::from(s).into(),
+                    i64::from(t).into(),
+                    (graph.degree(s) as i64).into(),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The initial Connected Components solution: every vertex is its own
+/// component, `(vid, cid = vid)`.
+pub fn initial_components(graph: &Graph) -> Vec<Record> {
+    graph.vertices().map(|v| Record::pair(i64::from(v), i64::from(v))).collect()
+}
+
+/// The initial Connected Components working set: for every edge `(a, b)` the
+/// candidate pair `(b, cid(a) = a)`, exactly as in Section 2.2.
+pub fn initial_component_candidates(graph: &Graph) -> Vec<Record> {
+    graph.edges().map(|(s, t)| Record::pair(i64::from(t), i64::from(s))).collect()
+}
+
+/// The sparse transition matrix of PageRank as `(tid, pid, probability)`
+/// records: an entry per edge `pid -> tid` with probability
+/// `1 / out_degree(pid)`, plus a zero entry `(v, v, 0.0)` per vertex so that
+/// every page appears in the aggregation even if it has no in-links.
+pub fn transition_matrix(graph: &Graph) -> Arc<Vec<Record>> {
+    let mut records = Vec::with_capacity(graph.num_edges() + graph.num_vertices());
+    for v in graph.vertices() {
+        let degree = graph.degree(v);
+        if degree > 0 {
+            let p = 1.0 / degree as f64;
+            for &t in graph.neighbors(v) {
+                records.push(Record::triple(i64::from(t), i64::from(v), p));
+            }
+        }
+        records.push(Record::triple(i64::from(v), i64::from(v), 0.0));
+    }
+    Arc::new(records)
+}
+
+/// The uniform initial rank vector `(pid, 1/n)`.
+pub fn initial_ranks(graph: &Graph) -> Vec<Record> {
+    let n = graph.num_vertices() as f64;
+    graph.vertices().map(|v| Record::long_double(i64::from(v), 1.0 / n)).collect()
+}
+
+/// Turns `(vid, value)` records into a dense vector indexed by vertex id.
+pub fn records_to_vec(records: &[Record], num_vertices: usize) -> Vec<i64> {
+    let mut out = vec![0i64; num_vertices];
+    for r in records {
+        out[r.long(0) as usize] = r.long(1);
+    }
+    out
+}
+
+/// Turns `(vid, rank)` records into a dense `f64` vector indexed by vertex id.
+pub fn records_to_f64_vec(records: &[Record], num_vertices: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; num_vertices];
+    for r in records {
+        out[r.long(0) as usize] = r.double(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdata::figure1_graph;
+
+    #[test]
+    fn edge_records_cover_both_directions() {
+        let g = figure1_graph();
+        let edges = edge_records(&g);
+        assert_eq!(edges.len(), g.num_edges());
+        assert!(edges.contains(&Record::pair(1, 2)));
+        assert!(edges.contains(&Record::pair(2, 1)));
+    }
+
+    #[test]
+    fn initial_components_assign_vid_as_cid() {
+        let g = figure1_graph();
+        let init = initial_components(&g);
+        assert_eq!(init.len(), g.num_vertices());
+        assert!(init.iter().all(|r| r.long(0) == r.long(1)));
+    }
+
+    #[test]
+    fn initial_candidates_follow_the_edges() {
+        let g = figure1_graph();
+        let w = initial_component_candidates(&g);
+        assert_eq!(w.len(), g.num_edges());
+        assert!(w.contains(&Record::pair(2, 1)));
+        assert!(w.contains(&Record::pair(1, 2)));
+    }
+
+    #[test]
+    fn transition_matrix_rows_sum_to_one_per_source() {
+        let g = figure1_graph();
+        let matrix = transition_matrix(&g);
+        for v in g.vertices() {
+            let sum: f64 = matrix
+                .iter()
+                .filter(|r| r.long(1) == i64::from(v))
+                .map(|r| r.double(2))
+                .sum();
+            if g.degree(v) > 0 {
+                assert!((sum - 1.0).abs() < 1e-12, "vertex {v} sums to {sum}");
+            } else {
+                assert_eq!(sum, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn transition_matrix_includes_zero_entries_for_all_vertices() {
+        let g = figure1_graph();
+        let matrix = transition_matrix(&g);
+        for v in g.vertices() {
+            assert!(matrix.iter().any(|r| r.long(0) == i64::from(v)));
+        }
+    }
+
+    #[test]
+    fn dense_vector_conversions() {
+        let records = vec![Record::pair(0, 5), Record::pair(2, 7)];
+        assert_eq!(records_to_vec(&records, 3), vec![5, 0, 7]);
+        let ranks = vec![Record::long_double(1, 0.5)];
+        assert_eq!(records_to_f64_vec(&ranks, 2), vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn edge_records_with_degree_carry_the_source_degree() {
+        let g = figure1_graph();
+        let edges = edge_records_with_degree(&g);
+        for r in edges.iter() {
+            let s = r.long(0) as u32;
+            assert_eq!(r.long(2), g.degree(s) as i64);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Sequential reference implementations ("oracles").
+//!
+//! Every distributed algorithm in this crate is tested against a
+//! straightforward single-threaded implementation of the same computation.
+
+use graphdata::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Sequential PageRank by power iteration with the given damping factor.
+///
+/// This follows the paper's batch formulation `p = A × p` (plus the usual
+/// teleport term): mass of dangling vertices is *not* redistributed, exactly
+/// like the iterative-dataflow implementation, so the two can be compared
+/// bit-for-bit up to floating-point associativity.
+pub fn pagerank(graph: &Graph, iterations: usize, damping: f64) -> Vec<f64> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut ranks = vec![1.0 / n as f64; n];
+    for _ in 0..iterations {
+        let mut next = vec![(1.0 - damping) / n as f64; n];
+        for v in graph.vertices() {
+            let degree = graph.degree(v);
+            if degree == 0 {
+                continue;
+            }
+            let share = damping * ranks[v as usize] / degree as f64;
+            for &t in graph.neighbors(v) {
+                next[t as usize] += share;
+            }
+        }
+        ranks = next;
+    }
+    ranks
+}
+
+/// Sequential weakly connected components; re-exported from the graph crate's
+/// union-find oracle for convenience.
+pub fn connected_components(graph: &Graph) -> Vec<VertexId> {
+    graph.components_oracle()
+}
+
+/// Sequential single-source shortest paths over unit edge weights (BFS).
+/// Unreachable vertices get `i64::MAX`.
+pub fn sssp(graph: &Graph, source: VertexId) -> Vec<i64> {
+    let mut dist = vec![i64::MAX; graph.num_vertices()];
+    if (source as usize) >= graph.num_vertices() {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &t in graph.neighbors(v) {
+            if dist[t as usize] == i64::MAX {
+                dist[t as usize] = d + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdata::{chain, figure1_graph, ring, star};
+
+    #[test]
+    fn pagerank_conserves_mass_without_dangling_vertices() {
+        // A ring has no dangling vertices, so the rank mass stays exactly 1.
+        let g = ring(64);
+        let ranks = pagerank(&g, 30, 0.85);
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "rank mass must be conserved, got {sum}");
+        assert!(ranks.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn pagerank_on_power_law_graph_stays_bounded_and_positive() {
+        let g = graphdata::rmat(256, 2048, graphdata::RmatParams::default(), 11).symmetrize();
+        let ranks = pagerank(&g, 30, 0.85);
+        let sum: f64 = ranks.iter().sum();
+        // Isolated vertices lose their mass to the teleport-less sink, so the
+        // sum is at most 1 but stays well above zero.
+        assert!(sum <= 1.0 + 1e-9);
+        assert!(sum > 0.2);
+        assert!(ranks.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn pagerank_on_a_ring_is_uniform() {
+        let g = ring(10);
+        let ranks = pagerank(&g, 50, 0.85);
+        for &r in &ranks {
+            assert!((r - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_hub_receives_the_most_rank() {
+        let g = star(20);
+        let ranks = pagerank(&g, 50, 0.85);
+        let hub = ranks[0];
+        assert!(ranks.iter().skip(1).all(|&r| r < hub));
+    }
+
+    #[test]
+    fn sssp_distances_on_a_chain() {
+        let g = chain(6);
+        assert_eq!(sssp(&g, 0), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(sssp(&g, 3), vec![3, 2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn sssp_marks_unreachable_vertices() {
+        let g = Graph::undirected_from_edges(4, &[(0, 1)]);
+        let d = sssp(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], i64::MAX);
+        assert_eq!(d[3], i64::MAX);
+    }
+
+    #[test]
+    fn connected_components_delegates_to_the_union_find() {
+        let g = figure1_graph();
+        assert_eq!(connected_components(&g), g.components_oracle());
+    }
+}

@@ -1,0 +1,134 @@
+//! Single-source shortest paths as an incremental iteration.
+//!
+//! SSSP is one of the algorithms the paper names as having sparse
+//! computational dependencies (Section 1): relaxing one vertex's distance
+//! only affects its neighbours.  The workset iteration mirrors the Connected
+//! Components template: solution records `(vid, distance)`, workset records
+//! `(vid, candidate distance)`, and an expansion that sends `distance + 1`
+//! (unit edge weights) to the updated vertex's neighbours.
+
+use crate::common::edge_records;
+use dataflow::prelude::*;
+use graphdata::{Graph, VertexId};
+use spinning_core::prelude::*;
+use std::sync::Arc;
+
+/// Distance assigned to vertices that are unreachable from the source.
+pub const UNREACHABLE: i64 = i64::MAX;
+
+/// The outcome of an SSSP run.
+#[derive(Debug)]
+pub struct SsspResult {
+    /// Distance from the source per vertex ([`UNREACHABLE`] if disconnected).
+    pub distances: Vec<i64>,
+    /// Number of supersteps executed.
+    pub supersteps: usize,
+    /// Per-superstep statistics.
+    pub stats: IterationRunStats,
+}
+
+/// Builds the SSSP workset iteration for a graph with unit edge weights.
+fn build_iteration(graph: &Graph) -> WorksetIteration {
+    let update = Arc::new(UpdateClosure(
+        |key: &Key, current: Option<&Record>, candidates: &[Record]| {
+            let best = candidates.iter().map(|r| r.long(1)).min().expect("non-empty candidates");
+            match current {
+                Some(c) if c.long(1) <= best => None,
+                _ => Some(Record::pair(key.values()[0].as_long(), best)),
+            }
+        },
+    ));
+    let expand = Arc::new(ExpandClosure(|delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
+        let next_distance = delta.long(1) + 1;
+        for e in edges {
+            out.push(Record::pair(e.long(1), next_distance));
+        }
+    }));
+    WorksetIteration::builder(vec![0], vec![0], update, expand)
+        .constant_input(edge_records(graph), vec![0], vec![0])
+        .comparator(Arc::new(|a: &Record, b: &Record| b.long(1).cmp(&a.long(1))))
+        .build()
+}
+
+/// Runs single-source shortest paths from `source` using the given execution
+/// mode.
+pub fn sssp(
+    graph: &Graph,
+    source: VertexId,
+    parallelism: usize,
+    mode: ExecutionMode,
+) -> Result<SsspResult> {
+    let iteration = build_iteration(graph);
+    // S0: the source is at distance 0, everything else unreachable.
+    let initial_solution: Vec<Record> = graph
+        .vertices()
+        .map(|v| {
+            let distance = if v == source { 0 } else { UNREACHABLE };
+            Record::pair(i64::from(v), distance)
+        })
+        .collect();
+    // W0: distance-1 candidates for the source's neighbours.
+    let initial_workset: Vec<Record> = graph
+        .neighbors(source)
+        .iter()
+        .map(|&t| Record::pair(i64::from(t), 1))
+        .collect();
+    let config = WorksetConfig::new(parallelism).with_mode(mode);
+    let result = iteration.run(initial_solution, initial_workset, &config)?;
+
+    let mut distances = vec![UNREACHABLE; graph.num_vertices()];
+    for record in &result.solution {
+        distances[record.long(0) as usize] = record.long(1);
+    }
+    Ok(SsspResult { distances, supersteps: result.supersteps, stats: result.stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracles;
+    use graphdata::{chain, rmat, RmatParams};
+
+    #[test]
+    fn matches_the_bfs_oracle_on_a_chain() {
+        let graph = chain(64);
+        let result = sssp(&graph, 0, 2, ExecutionMode::BatchIncremental).unwrap();
+        assert_eq!(result.distances, oracles::sssp(&graph, 0));
+        // The number of supersteps tracks the eccentricity of the source.
+        assert!(result.supersteps >= 63);
+    }
+
+    #[test]
+    fn matches_the_oracle_on_power_law_graphs_in_all_modes() {
+        let graph = rmat(300, 1500, RmatParams::default(), 31).symmetrize();
+        let expected = oracles::sssp(&graph, 5);
+        for mode in [
+            ExecutionMode::BatchIncremental,
+            ExecutionMode::Microstep,
+            ExecutionMode::AsynchronousMicrostep,
+        ] {
+            let result = sssp(&graph, 5, 4, mode).unwrap();
+            assert_eq!(result.distances, expected, "mode {mode:?} disagrees with the oracle");
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_keep_the_sentinel_distance() {
+        let graph = Graph::undirected_from_edges(5, &[(0, 1), (1, 2)]);
+        let result = sssp(&graph, 0, 2, ExecutionMode::Microstep).unwrap();
+        assert_eq!(result.distances[3], UNREACHABLE);
+        assert_eq!(result.distances[4], UNREACHABLE);
+        assert_eq!(result.distances[..3], [0, 1, 2]);
+    }
+
+    #[test]
+    fn workset_only_contains_the_frontier() {
+        let graph = chain(100);
+        let result = sssp(&graph, 0, 1, ExecutionMode::BatchIncremental).unwrap();
+        // On a chain the frontier is a single vertex, so every superstep
+        // inspects exactly one or two candidates — never the whole graph.
+        for s in &result.stats.per_iteration {
+            assert!(s.elements_inspected <= 2);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # baselines — the comparison systems of the paper's evaluation
+//!
+//! Section 6 of the paper compares Stratosphere's iterations against two
+//! other systems.  Since neither Spark (2012-era) nor Giraph can be embedded
+//! here, both are re-implemented as small Rust engines that preserve the
+//! *execution model* the comparison is about:
+//!
+//! * [`sparklike`] — a Spark-style RDD engine: immutable partitioned
+//!   datasets, driver-side loops, a full shuffle per `join`/`reduce_by_key`,
+//!   and a complete new partial solution materialised in every iteration.
+//!   Includes Pegasus-style PageRank, bulk Connected Components, and the
+//!   "simulated incremental" Connected Components of Figure 11.
+//! * [`pregellike`] — a Giraph/Pregel-style vertex-centric BSP engine with
+//!   message combiners and vote-to-halt, including the Connected Components
+//!   and PageRank vertex programs used in the paper's experiments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod pregellike;
+pub mod sparklike;
+
+pub use crate::pregellike::{
+    cc_pregel, pagerank_pregel, ConnectedComponentsProgram, PageRankProgram, PregelConfig,
+    PregelResult, SuperstepStats, VertexContext, VertexProgram,
+};
+pub use crate::sparklike::{
+    cc_spark_bulk, cc_spark_simulated_incremental, pagerank_spark, Rdd, SparkContext, SparkStats,
+};

@@ -1,0 +1,380 @@
+//! Bulk iterations (Section 4).
+//!
+//! A bulk iteration is the complex operator `(G, I, O, T)`: a step dataflow
+//! `G` that consumes the previous partial solution through the source `I`,
+//! produces the next partial solution at the sink `O`, and is repeated until
+//! the termination criterion `T` fires (or a fixed number of iterations `n`
+//! has run).
+//!
+//! The runtime uses the *feedback-channel* execution strategy of Section 4.2:
+//! the same physical plan is reused for every iteration; the partial solution
+//! produced at `O` is materialised (the feedback dam) and becomes `I`'s data
+//! in the next iteration.  Loop-invariant inputs on the constant data path are
+//! shipped once and then served from the executor's intermediate cache, as
+//! decided by the optimizer (Section 4.3).
+
+use crate::stats::{IterationRunStats, IterationStats};
+use dataflow::prelude::{
+    DataflowError, ExecutionResult, Executor, IntermediateCache, OperatorId, Plan, Record, Result,
+};
+use optimizer::{Annotations, IterationSpec, Optimizer};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// When to stop iterating.
+#[derive(Clone)]
+pub enum TerminationCriterion {
+    /// Run exactly `n` iterations — the `(G, I, O, n)` form.
+    FixedIterations(usize),
+    /// Stop after the iteration in which the named sink (the termination
+    /// criterion dataflow `T`) produces no records, or after `max_iterations`.
+    EmptySink {
+        /// Name of the sink produced by `T`.
+        sink: String,
+        /// Upper bound on the number of iterations.
+        max_iterations: usize,
+    },
+    /// Stop when a user-supplied convergence check on the previous and next
+    /// partial solutions returns `true`, or after `max_iterations`.
+    Converged {
+        /// Returns `true` when `previous` and `next` are considered equal
+        /// (the fixpoint has been reached).
+        check: Arc<dyn Fn(&[Record], &[Record]) -> bool + Send + Sync>,
+        /// Upper bound on the number of iterations.
+        max_iterations: usize,
+    },
+}
+
+impl std::fmt::Debug for TerminationCriterion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TerminationCriterion::FixedIterations(n) => write!(f, "FixedIterations({n})"),
+            TerminationCriterion::EmptySink { sink, max_iterations } => {
+                write!(f, "EmptySink(sink={sink}, max={max_iterations})")
+            }
+            TerminationCriterion::Converged { max_iterations, .. } => {
+                write!(f, "Converged(max={max_iterations})")
+            }
+        }
+    }
+}
+
+impl TerminationCriterion {
+    fn max_iterations(&self) -> usize {
+        match self {
+            TerminationCriterion::FixedIterations(n) => *n,
+            TerminationCriterion::EmptySink { max_iterations, .. }
+            | TerminationCriterion::Converged { max_iterations, .. } => *max_iterations,
+        }
+    }
+}
+
+/// Configuration of a bulk iteration run.
+#[derive(Debug, Clone)]
+pub struct BulkConfig {
+    /// Degree of parallelism of the step dataflow.
+    pub parallelism: usize,
+    /// If `true` (the default), the step plan is optimized with the
+    /// iteration-aware cost-based optimizer; otherwise the naive rule-based
+    /// physical plan is used.
+    pub use_optimizer: bool,
+    /// Field-copy annotations passed to the optimizer.
+    pub annotations: Annotations,
+    /// Expected number of iterations used to weight the dynamic data path.
+    /// Defaults to the termination criterion's maximum.
+    pub expected_iterations: Option<f64>,
+}
+
+impl BulkConfig {
+    /// Default configuration for the given parallelism.
+    pub fn new(parallelism: usize) -> Self {
+        BulkConfig {
+            parallelism,
+            use_optimizer: true,
+            annotations: Annotations::new(),
+            expected_iterations: None,
+        }
+    }
+
+    /// Sets the optimizer annotations.
+    pub fn with_annotations(mut self, annotations: Annotations) -> Self {
+        self.annotations = annotations;
+        self
+    }
+
+    /// Disables the cost-based optimizer (useful for plan comparisons).
+    pub fn without_optimizer(mut self) -> Self {
+        self.use_optimizer = false;
+        self
+    }
+}
+
+/// The result of running a bulk iteration.
+#[derive(Debug)]
+pub struct BulkIterationResult {
+    /// The final partial solution (the contents of `O` after the last
+    /// iteration).
+    pub solution: Vec<Record>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Per-iteration statistics.
+    pub stats: IterationRunStats,
+}
+
+/// The bulk iteration operator `(G, I, O, T)`.
+#[derive(Debug, Clone)]
+pub struct BulkIteration {
+    plan: Plan,
+    input: OperatorId,
+    output_sink: String,
+    termination: TerminationCriterion,
+}
+
+impl BulkIteration {
+    /// Creates a bulk iteration from the step dataflow `plan` (`G`), the
+    /// source operator that carries the partial solution into the step
+    /// function (`I`), the name of the sink producing the next partial
+    /// solution (`O`), and the termination criterion (`T` / `n`).
+    pub fn new(
+        plan: Plan,
+        input: OperatorId,
+        output_sink: impl Into<String>,
+        termination: TerminationCriterion,
+    ) -> Self {
+        BulkIteration { plan, input, output_sink: output_sink.into(), termination }
+    }
+
+    /// The step dataflow.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Runs the iteration starting from the initial partial solution.
+    pub fn run(&self, initial: Vec<Record>, config: &BulkConfig) -> Result<BulkIterationResult> {
+        let start = Instant::now();
+        let output_op = self
+            .plan
+            .sink_by_name(&self.output_sink)
+            .ok_or_else(|| DataflowError::UnknownSink(self.output_sink.clone()))?;
+        let max_iterations = self.termination.max_iterations();
+        if max_iterations == 0 {
+            return Ok(BulkIterationResult {
+                solution: initial,
+                iterations: 0,
+                stats: IterationRunStats { per_iteration: vec![], total_elapsed: start.elapsed() },
+            });
+        }
+
+        // Plan the step dataflow once; the same physical plan is reused for
+        // every iteration (feedback-channel execution).
+        let mut physical = if config.use_optimizer {
+            let spec = IterationSpec {
+                dynamic_sources: vec![self.input],
+                feedback: vec![(output_op, self.input)],
+                expected_iterations: config
+                    .expected_iterations
+                    .unwrap_or(max_iterations as f64),
+            };
+            Optimizer::new(config.parallelism)
+                .optimize_iterative(&self.plan, &config.annotations, &spec)?
+                .physical
+        } else {
+            dataflow::physical::default_physical_plan(&self.plan, config.parallelism)?
+        };
+
+        let executor = Executor::new();
+        let mut cache = IntermediateCache::new();
+        let mut current = Arc::new(initial);
+        let mut run_stats = IterationRunStats::default();
+
+        for iteration in 1..=max_iterations {
+            let iter_start = Instant::now();
+            physical.plan.replace_source_data(self.input, Arc::clone(&current))?;
+            let result: ExecutionResult = executor.execute_with_cache(&physical, &mut cache)?;
+            let next = result.sink(&self.output_sink)?;
+
+            let mut stats = IterationStats::for_iteration(iteration);
+            stats.workset_size = current.len();
+            stats.elements_inspected = current.len();
+            stats.elements_changed = next.len();
+            stats.messages_sent = result.stats.shipped_records + result.stats.local_records;
+            stats.messages_shipped = result.stats.shipped_records;
+            stats.execution = Some(result.stats.clone());
+            stats.elapsed = iter_start.elapsed();
+            run_stats.per_iteration.push(stats);
+
+            let done = match &self.termination {
+                TerminationCriterion::FixedIterations(n) => iteration >= *n,
+                TerminationCriterion::EmptySink { sink, .. } => {
+                    result.sink(sink)?.is_empty()
+                }
+                TerminationCriterion::Converged { check, .. } => check(&current, &next),
+            };
+            current = Arc::new(next);
+            if done {
+                break;
+            }
+        }
+
+        run_stats.total_elapsed = start.elapsed();
+        Ok(BulkIterationResult {
+            solution: Arc::try_unwrap(current).unwrap_or_else(|arc| (*arc).clone()),
+            iterations: run_stats.per_iteration.len(),
+            stats: run_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::prelude::*;
+
+    /// A step function that increments field 1 of every record by 1.
+    fn increment_plan() -> (Plan, OperatorId) {
+        let mut plan = Plan::new();
+        let input = plan.source("partial-solution", vec![]);
+        let map = plan.map(
+            "increment",
+            input,
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                out.collect(Record::pair(r.long(0), r.long(1) + 1));
+            })),
+        );
+        plan.sink("next", map);
+        (plan, input)
+    }
+
+    #[test]
+    fn fixed_iteration_count_runs_exactly_n_times() {
+        let (plan, input) = increment_plan();
+        let iteration =
+            BulkIteration::new(plan, input, "next", TerminationCriterion::FixedIterations(5));
+        let result = iteration
+            .run(vec![Record::pair(0, 0), Record::pair(1, 10)], &BulkConfig::new(2))
+            .unwrap();
+        assert_eq!(result.iterations, 5);
+        let mut solution = result.solution;
+        solution.sort();
+        assert_eq!(solution, vec![Record::pair(0, 5), Record::pair(1, 15)]);
+        assert_eq!(result.stats.iterations(), 5);
+    }
+
+    #[test]
+    fn zero_iterations_returns_the_initial_solution() {
+        let (plan, input) = increment_plan();
+        let iteration =
+            BulkIteration::new(plan, input, "next", TerminationCriterion::FixedIterations(0));
+        let result = iteration.run(vec![Record::pair(7, 7)], &BulkConfig::new(2)).unwrap();
+        assert_eq!(result.iterations, 0);
+        assert_eq!(result.solution, vec![Record::pair(7, 7)]);
+    }
+
+    #[test]
+    fn converged_criterion_stops_at_the_fixpoint() {
+        // Step function: cap field 1 at 8 (monotone, reaches a fixpoint).
+        let mut plan = Plan::new();
+        let input = plan.source("partial-solution", vec![]);
+        let map = plan.map(
+            "cap",
+            input,
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                out.collect(Record::pair(r.long(0), (r.long(1) + 1).min(8)));
+            })),
+        );
+        plan.sink("next", map);
+        let check = Arc::new(|prev: &[Record], next: &[Record]| {
+            let mut a = prev.to_vec();
+            let mut b = next.to_vec();
+            a.sort();
+            b.sort();
+            a == b
+        });
+        let iteration = BulkIteration::new(
+            plan,
+            input,
+            "next",
+            TerminationCriterion::Converged { check, max_iterations: 100 },
+        );
+        let result = iteration.run(vec![Record::pair(0, 0)], &BulkConfig::new(2)).unwrap();
+        // Reaches 8 after 8 iterations; the 9th confirms the fixpoint.
+        assert_eq!(result.iterations, 9);
+        assert_eq!(result.solution, vec![Record::pair(0, 8)]);
+    }
+
+    #[test]
+    fn empty_sink_criterion_uses_the_termination_dataflow() {
+        // Step: increment; termination dataflow T emits a record while any
+        // value is still below 3.
+        let mut plan = Plan::new();
+        let input = plan.source("partial-solution", vec![]);
+        let map = plan.map(
+            "increment",
+            input,
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                out.collect(Record::pair(r.long(0), r.long(1) + 1));
+            })),
+        );
+        plan.sink("next", map);
+        let t = plan.map(
+            "still-running",
+            map,
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                if r.long(1) < 3 {
+                    out.collect(r.clone());
+                }
+            })),
+        );
+        plan.sink("termination", t);
+        let iteration = BulkIteration::new(
+            plan,
+            input,
+            "next",
+            TerminationCriterion::EmptySink { sink: "termination".into(), max_iterations: 50 },
+        );
+        let result = iteration.run(vec![Record::pair(0, 0)], &BulkConfig::new(2)).unwrap();
+        assert_eq!(result.iterations, 3);
+        assert_eq!(result.solution, vec![Record::pair(0, 3)]);
+    }
+
+    #[test]
+    fn unknown_output_sink_is_rejected() {
+        let (plan, input) = increment_plan();
+        let iteration =
+            BulkIteration::new(plan, input, "missing", TerminationCriterion::FixedIterations(1));
+        assert!(iteration.run(vec![], &BulkConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn optimizer_and_default_plans_agree_on_the_result() {
+        let (plan, input) = increment_plan();
+        let iteration =
+            BulkIteration::new(plan, input, "next", TerminationCriterion::FixedIterations(3));
+        let initial: Vec<Record> = (0..20).map(|i| Record::pair(i, i)).collect();
+        let with_opt = iteration.run(initial.clone(), &BulkConfig::new(4)).unwrap();
+        let without_opt =
+            iteration.run(initial, &BulkConfig::new(4).without_optimizer()).unwrap();
+        let mut a = with_opt.solution;
+        let mut b = without_opt.solution;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_iteration_stats_are_recorded() {
+        let (plan, input) = increment_plan();
+        let iteration =
+            BulkIteration::new(plan, input, "next", TerminationCriterion::FixedIterations(4));
+        let result = iteration
+            .run((0..10).map(|i| Record::pair(i, 0)).collect(), &BulkConfig::new(2))
+            .unwrap();
+        assert_eq!(result.stats.per_iteration.len(), 4);
+        for (i, s) in result.stats.per_iteration.iter().enumerate() {
+            assert_eq!(s.iteration, i + 1);
+            assert_eq!(s.workset_size, 10);
+            assert_eq!(s.elements_changed, 10);
+            assert!(s.execution.is_some());
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Asynchronous microstep execution (Sections 2.2 and 5.2/5.3).
+//!
+//! When the step function of a workset iteration consists solely of
+//! record-at-a-time operators and the path from the solution set to the delta
+//! set preserves the identifying key (see [`crate::eligibility`]), the
+//! iteration can drop the superstep barrier entirely: every worker partition
+//! processes workset elements as they arrive, updates its share of the
+//! partial solution immediately, and pushes the resulting candidate updates
+//! into the queues of the target partitions.
+//!
+//! Termination is detected with an in-flight record counter in the spirit of
+//! the message-counting termination-detection algorithms for processor
+//! networks referenced by the paper: the counter is incremented for every
+//! record enqueued and decremented when its processing (including all sends
+//! it caused) has finished, so the counter reaching zero proves that no
+//! worker holds or will ever receive another record.
+
+use crate::solution_set::SolutionSet;
+use crate::stats::{IterationRunStats, IterationStats};
+use crate::workset::{WorksetConfig, WorksetIteration, WorksetResult};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dataflow::key::partition_for;
+use dataflow::prelude::{Key, Record, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a worker waits for new records before re-checking the in-flight
+/// counter.  Purely a liveness knob; correctness does not depend on it.
+const IDLE_POLL: Duration = Duration::from_micros(200);
+
+/// Per-worker counters returned when the worker shuts down.
+struct WorkerOutcome {
+    processed: usize,
+    changed: usize,
+    messages_sent: usize,
+    messages_shipped: usize,
+}
+
+/// Runs the iteration asynchronously.  Called by
+/// [`WorksetIteration::run`] when the mode is
+/// [`crate::workset::ExecutionMode::AsynchronousMicrostep`].
+pub(crate) fn run_async(
+    iteration: &WorksetIteration,
+    mut solution: SolutionSet,
+    constant_index: Vec<HashMap<Key, Vec<Record>>>,
+    initial_workset: Vec<Record>,
+    config: &WorksetConfig,
+    start: Instant,
+) -> Result<WorksetResult> {
+    let parallelism = config.parallelism;
+    let comparator = solution.comparator();
+
+    // One queue per partition; every worker can send to every queue.
+    let mut senders: Vec<Sender<Record>> = Vec::with_capacity(parallelism);
+    let mut receivers: Vec<Receiver<Record>> = Vec::with_capacity(parallelism);
+    for _ in 0..parallelism {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    // The in-flight counter: one credit per record currently enqueued or
+    // being processed.
+    let in_flight = Arc::new(AtomicI64::new(0));
+    for record in initial_workset {
+        let target = partition_for(&record, &iteration.workset_key, parallelism);
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        senders[target]
+            .send(record)
+            .expect("receiver alive while seeding the initial workset");
+    }
+
+    let mut solution_partitions = solution.take_partitions();
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(parallelism);
+        for (partition, (s_part, receiver)) in solution_partitions
+            .iter_mut()
+            .zip(receivers.into_iter())
+            .enumerate()
+        {
+            let senders = senders.clone();
+            let in_flight = Arc::clone(&in_flight);
+            let comparator = comparator.clone();
+            let constant = &constant_index[partition];
+            let handle = scope.spawn(move || {
+                let mut outcome = WorkerOutcome {
+                    processed: 0,
+                    changed: 0,
+                    messages_sent: 0,
+                    messages_shipped: 0,
+                };
+                let mut expand_buffer: Vec<Record> = Vec::new();
+                loop {
+                    match receiver.recv_timeout(IDLE_POLL) {
+                        Ok(record) => {
+                            outcome.processed += 1;
+                            let key = Key::extract(&record, &iteration.workset_key);
+                            let delta = {
+                                let current = s_part.get(&key);
+                                iteration.update.update(
+                                    &key,
+                                    current,
+                                    std::slice::from_ref(&record),
+                                )
+                            };
+                            if let Some(delta) = delta {
+                                let applied = SolutionSet::merge_detached(
+                                    s_part,
+                                    &comparator,
+                                    &iteration.solution_key,
+                                    delta.clone(),
+                                )
+                                .applied();
+                                if applied {
+                                    outcome.changed += 1;
+                                    let matches = constant
+                                        .get(&Key::extract(&delta, &iteration.delta_key))
+                                        .map(Vec::as_slice)
+                                        .unwrap_or(&[]);
+                                    expand_buffer.clear();
+                                    iteration.expand.expand(&delta, matches, &mut expand_buffer);
+                                    for new_record in expand_buffer.drain(..) {
+                                        let target = partition_for(
+                                            &new_record,
+                                            &iteration.workset_key,
+                                            parallelism,
+                                        );
+                                        outcome.messages_sent += 1;
+                                        if target != partition {
+                                            outcome.messages_shipped += 1;
+                                        }
+                                        in_flight.fetch_add(1, Ordering::SeqCst);
+                                        // Sends cannot fail: every receiver
+                                        // only exits once in_flight is zero,
+                                        // which cannot happen while this
+                                        // record's credit is still held.
+                                        senders[target]
+                                            .send(new_record)
+                                            .expect("peer worker exited with records in flight");
+                                    }
+                                }
+                            }
+                            // Release this record's credit only after all the
+                            // records it caused have been credited.
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            if in_flight.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                outcome
+            });
+            handles.push(handle);
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("asynchronous worker panicked"))
+            .collect()
+    });
+    solution.restore_partitions(solution_partitions);
+    drop(senders);
+
+    let mut stats = IterationStats::for_iteration(1);
+    for outcome in &outcomes {
+        stats.workset_size += outcome.processed;
+        stats.elements_inspected += outcome.processed;
+        stats.elements_changed += outcome.changed;
+        stats.messages_sent += outcome.messages_sent;
+        stats.messages_shipped += outcome.messages_shipped;
+    }
+    stats.elapsed = start.elapsed();
+    let run_stats = IterationRunStats {
+        per_iteration: vec![stats],
+        total_elapsed: start.elapsed(),
+    };
+    Ok(WorksetResult { solution: solution.records(), supersteps: 1, stats: run_stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workset::{ExecutionMode, ExpandClosure, UpdateClosure, WorksetIteration};
+
+    /// Asynchronous minimum propagation over a ring of `n` vertices.
+    fn ring_iteration(n: i64) -> (WorksetIteration, Vec<Record>, Vec<Record>) {
+        let update = Arc::new(UpdateClosure(
+            |key: &Key, current: Option<&Record>, candidates: &[Record]| {
+                let candidate = candidates.iter().map(|r| r.long(1)).min().unwrap();
+                match current {
+                    Some(c) if c.long(1) <= candidate => None,
+                    _ => Some(Record::pair(key.values()[0].as_long(), candidate)),
+                }
+            },
+        ));
+        let expand = Arc::new(ExpandClosure(|delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
+            for e in edges {
+                out.push(Record::pair(e.long(1), delta.long(1)));
+            }
+        }));
+        let mut edges = Vec::new();
+        for v in 0..n {
+            edges.push(Record::pair(v, (v + 1) % n));
+            edges.push(Record::pair((v + 1) % n, v));
+        }
+        let iteration = WorksetIteration::builder(vec![0], vec![0], update, expand)
+            .constant_input(Arc::new(edges), vec![0], vec![0])
+            .comparator(Arc::new(|a: &Record, b: &Record| b.long(1).cmp(&a.long(1))))
+            .build();
+        let solution: Vec<Record> = (0..n).map(|v| Record::pair(v, v + 100)).collect();
+        let workset: Vec<Record> = (0..n)
+            .flat_map(|v| {
+                vec![
+                    Record::pair((v + 1) % n, v + 100),
+                    Record::pair((v + n - 1) % n, v + 100),
+                ]
+            })
+            .collect();
+        (iteration, solution, workset)
+    }
+
+    #[test]
+    fn asynchronous_execution_reaches_the_fixpoint() {
+        let (iteration, solution, workset) = ring_iteration(64);
+        let config = WorksetConfig::new(4).with_mode(ExecutionMode::AsynchronousMicrostep);
+        let result = iteration.run(solution, workset, &config).unwrap();
+        assert_eq!(result.solution.len(), 64);
+        // The minimum initial value (100, at vertex 0) floods the whole ring.
+        assert!(result.solution.iter().all(|r| r.long(1) == 100));
+        assert_eq!(result.supersteps, 1);
+        assert!(result.stats.per_iteration[0].elements_changed >= 63);
+    }
+
+    #[test]
+    fn asynchronous_matches_superstep_execution() {
+        let (iteration, solution, workset) = ring_iteration(32);
+        let sync_result = iteration
+            .run(solution.clone(), workset.clone(), &WorksetConfig::new(3))
+            .unwrap();
+        let async_result = iteration
+            .run(
+                solution,
+                workset,
+                &WorksetConfig::new(3).with_mode(ExecutionMode::AsynchronousMicrostep),
+            )
+            .unwrap();
+        let mut a = sync_result.solution;
+        let mut b = async_result.solution;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_workset_finishes_without_work() {
+        let (iteration, solution, _workset) = ring_iteration(8);
+        let config = WorksetConfig::new(2).with_mode(ExecutionMode::AsynchronousMicrostep);
+        let result = iteration.run(solution.clone(), vec![], &config).unwrap();
+        assert_eq!(result.solution.len(), solution.len());
+        assert_eq!(result.stats.per_iteration[0].messages_sent, 0);
+    }
+
+    #[test]
+    fn single_worker_asynchronous_execution_works() {
+        let (iteration, solution, workset) = ring_iteration(16);
+        let config = WorksetConfig::new(1).with_mode(ExecutionMode::AsynchronousMicrostep);
+        let result = iteration.run(solution, workset, &config).unwrap();
+        assert!(result.solution.iter().all(|r| r.long(1) == 100));
+    }
+}

@@ -1,0 +1,334 @@
+//! The solution set: a partitioned, keyed index over the partial solution.
+//!
+//! Incremental iterations keep the partial solution `S` as persistent state
+//! across iterations (Section 5.1).  `S` is a set of records uniquely
+//! identified by a key; it is hash-partitioned on that key across the worker
+//! partitions and each partition stores its share in a primary index
+//! (a hash table here, mirroring the execution strategy of Figure 6).
+//!
+//! The delta set produced by an iteration is merged into `S` with the
+//! modified union operator `∪̇`: a delta record replaces the record with the
+//! same key.  Because the delta set is a bag, two delta records may target the
+//! same key; an optional *comparator* then decides which record survives — the
+//! record representing the successor state in the CPO is kept, exactly as
+//! described at the end of Section 5.1.
+
+use dataflow::prelude::{Key, KeyFields, Record};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Decides which of two records for the same key is "larger", i.e. closer to
+/// the supremum of the CPO.  The larger record is kept in the solution set.
+pub type RecordComparator = Arc<dyn Fn(&Record, &Record) -> Ordering + Send + Sync>;
+
+/// Outcome of merging one delta record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// The key was not present; the record was inserted.
+    Inserted,
+    /// The key was present and the delta record replaced the old record.
+    Replaced,
+    /// The key was present and the comparator kept the existing record; the
+    /// delta record was discarded.
+    Discarded,
+}
+
+impl MergeOutcome {
+    /// True if the solution set changed.
+    pub fn applied(&self) -> bool {
+        !matches!(self, MergeOutcome::Discarded)
+    }
+}
+
+/// One partition of the solution set (a primary hash index keyed by the
+/// record key).
+type PartitionIndex = std::collections::HashMap<Key, Record>;
+
+/// The partitioned solution set.
+#[derive(Clone)]
+pub struct SolutionSet {
+    partitions: Vec<PartitionIndex>,
+    key_fields: KeyFields,
+    comparator: Option<RecordComparator>,
+}
+
+impl std::fmt::Debug for SolutionSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolutionSet")
+            .field("partitions", &self.partitions.len())
+            .field("records", &self.len())
+            .field("key_fields", &self.key_fields)
+            .field("has_comparator", &self.comparator.is_some())
+            .finish()
+    }
+}
+
+impl SolutionSet {
+    /// Creates an empty solution set partitioned `parallelism` ways, keyed by
+    /// the given record fields.
+    pub fn new(key_fields: KeyFields, parallelism: usize) -> Self {
+        let parallelism = parallelism.max(1);
+        SolutionSet {
+            partitions: vec![PartitionIndex::new(); parallelism],
+            key_fields,
+            comparator: None,
+        }
+    }
+
+    /// Installs a comparator resolving conflicting delta records (the larger
+    /// record under the comparator is retained).
+    pub fn with_comparator(mut self, comparator: RecordComparator) -> Self {
+        self.comparator = Some(comparator);
+        self
+    }
+
+    /// Builds a solution set from an initial set of records (`S0`).
+    pub fn from_records(
+        records: impl IntoIterator<Item = Record>,
+        key_fields: KeyFields,
+        parallelism: usize,
+    ) -> Self {
+        let mut set = SolutionSet::new(key_fields, parallelism);
+        for record in records {
+            set.merge(record);
+        }
+        set
+    }
+
+    /// The key fields records are identified by.
+    pub fn key_fields(&self) -> &[usize] {
+        &self.key_fields
+    }
+
+    /// Number of partitions.
+    pub fn parallelism(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition index responsible for `record` (by its key fields).
+    pub fn partition_of(&self, record: &Record) -> usize {
+        dataflow::key::partition_for(record, &self.key_fields, self.partitions.len())
+    }
+
+    /// Total number of records in the solution set.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(PartitionIndex::len).sum()
+    }
+
+    /// True if the solution set holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the record stored for the key of `probe` (extracted from the
+    /// given probe fields, which may differ from the solution key positions —
+    /// e.g. workset records carry the vertex id in a different field).
+    pub fn lookup_by(&self, probe: &Record, probe_fields: &[usize]) -> Option<&Record> {
+        let key = Key::extract(probe, probe_fields);
+        self.lookup(&key)
+    }
+
+    /// Looks up the record stored under `key`.
+    pub fn lookup(&self, key: &Key) -> Option<&Record> {
+        let partition =
+            (dataflow::key::hash_values(key.values()) % self.partitions.len() as u64) as usize;
+        self.partitions[partition].get(key)
+    }
+
+    /// Merges one delta record with the `∪̇` semantics.
+    pub fn merge(&mut self, delta: Record) -> MergeOutcome {
+        let key = Key::extract(&delta, &self.key_fields);
+        let partition =
+            (dataflow::key::hash_values(key.values()) % self.partitions.len() as u64) as usize;
+        Self::merge_into(&mut self.partitions[partition], &self.comparator, key, delta)
+    }
+
+    /// Merges a whole delta set, returning how many records were applied
+    /// (inserted or replaced).
+    pub fn merge_all(&mut self, deltas: impl IntoIterator<Item = Record>) -> usize {
+        deltas.into_iter().filter(|d| self.merge(d.clone()).applied()).count()
+    }
+
+    fn merge_into(
+        partition: &mut PartitionIndex,
+        comparator: &Option<RecordComparator>,
+        key: Key,
+        delta: Record,
+    ) -> MergeOutcome {
+        match partition.get_mut(&key) {
+            None => {
+                partition.insert(key, delta);
+                MergeOutcome::Inserted
+            }
+            Some(existing) => {
+                let replace = match comparator {
+                    // Without a comparator the delta always replaces the old
+                    // record (plain ∪̇ semantics).
+                    None => true,
+                    // With a comparator the larger record (the successor
+                    // state in the CPO) survives.
+                    Some(cmp) => cmp(&delta, existing) == Ordering::Greater,
+                };
+                if replace {
+                    *existing = delta;
+                    MergeOutcome::Replaced
+                } else {
+                    MergeOutcome::Discarded
+                }
+            }
+        }
+    }
+
+    /// All records of one partition (unspecified order).
+    pub fn partition_records(&self, partition: usize) -> Vec<Record> {
+        self.partitions[partition].values().cloned().collect()
+    }
+
+    /// All records of the solution set (unspecified order).
+    pub fn records(&self) -> Vec<Record> {
+        self.partitions.iter().flat_map(|p| p.values().cloned()).collect()
+    }
+
+    /// Splits the solution set into its partitions for parallel superstep
+    /// processing; [`SolutionSet::reassemble`] puts them back together.
+    pub(crate) fn take_partitions(&mut self) -> Vec<PartitionIndex> {
+        std::mem::take(&mut self.partitions)
+    }
+
+    /// Restores partitions taken with [`SolutionSet::take_partitions`].
+    pub(crate) fn restore_partitions(&mut self, partitions: Vec<PartitionIndex>) {
+        self.partitions = partitions;
+    }
+
+    /// The comparator, if one is installed.
+    pub(crate) fn comparator(&self) -> Option<RecordComparator> {
+        self.comparator.clone()
+    }
+
+    /// Merges a delta record directly into an already-detached partition
+    /// index (used by the parallel superstep workers, which own their
+    /// partition exclusively during a superstep).
+    pub(crate) fn merge_detached(
+        partition: &mut PartitionIndex,
+        comparator: &Option<RecordComparator>,
+        key_fields: &[usize],
+        delta: Record,
+    ) -> MergeOutcome {
+        let key = Key::extract(&delta, key_fields);
+        Self::merge_into(partition, comparator, key, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid_comparator() -> RecordComparator {
+        // For Connected Components the CPO prefers *smaller* component ids,
+        // so the record with the smaller cid is the "larger" (later) state.
+        Arc::new(|a: &Record, b: &Record| b.long(1).cmp(&a.long(1)))
+    }
+
+    #[test]
+    fn insert_lookup_and_len() {
+        let mut s = SolutionSet::new(vec![0], 4);
+        assert!(s.is_empty());
+        assert_eq!(s.merge(Record::pair(1, 10)), MergeOutcome::Inserted);
+        assert_eq!(s.merge(Record::pair(2, 20)), MergeOutcome::Inserted);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.lookup(&Key::long(1)).unwrap().long(1), 10);
+        assert!(s.lookup(&Key::long(99)).is_none());
+    }
+
+    #[test]
+    fn merge_without_comparator_always_replaces() {
+        let mut s = SolutionSet::new(vec![0], 2);
+        s.merge(Record::pair(1, 10));
+        assert_eq!(s.merge(Record::pair(1, 99)), MergeOutcome::Replaced);
+        assert_eq!(s.lookup(&Key::long(1)).unwrap().long(1), 99);
+    }
+
+    #[test]
+    fn comparator_keeps_the_successor_state() {
+        let mut s = SolutionSet::new(vec![0], 2).with_comparator(cid_comparator());
+        s.merge(Record::pair(1, 10));
+        // A larger cid is an older state: discarded.
+        assert_eq!(s.merge(Record::pair(1, 50)), MergeOutcome::Discarded);
+        assert_eq!(s.lookup(&Key::long(1)).unwrap().long(1), 10);
+        // A smaller cid is a successor state: applied.
+        assert_eq!(s.merge(Record::pair(1, 3)), MergeOutcome::Replaced);
+        assert_eq!(s.lookup(&Key::long(1)).unwrap().long(1), 3);
+    }
+
+    #[test]
+    fn merge_is_idempotent_under_comparator() {
+        let mut s = SolutionSet::new(vec![0], 2).with_comparator(cid_comparator());
+        s.merge(Record::pair(7, 4));
+        let before = s.records();
+        // Replaying the same delta (equal cid) must not count as a change.
+        assert_eq!(s.merge(Record::pair(7, 4)), MergeOutcome::Discarded);
+        let mut after = s.records();
+        let mut before = before;
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn merge_all_counts_only_applied_records() {
+        let mut s = SolutionSet::new(vec![0], 2).with_comparator(cid_comparator());
+        s.merge(Record::pair(1, 5));
+        let applied = s.merge_all(vec![
+            Record::pair(1, 9), // discarded (worse)
+            Record::pair(1, 2), // applied
+            Record::pair(2, 7), // inserted
+        ]);
+        assert_eq!(applied, 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn from_records_builds_the_index() {
+        let s = SolutionSet::from_records(
+            (0..100).map(|i| Record::pair(i, i * 2)),
+            vec![0],
+            8,
+        );
+        assert_eq!(s.len(), 100);
+        for i in 0..100 {
+            assert_eq!(s.lookup(&Key::long(i)).unwrap().long(1), i * 2);
+        }
+    }
+
+    #[test]
+    fn records_round_trip_across_partitions() {
+        let s = SolutionSet::from_records((0..50).map(|i| Record::pair(i, i)), vec![0], 7);
+        let mut all = s.records();
+        all.sort();
+        assert_eq!(all.len(), 50);
+        let per_partition: usize = (0..7).map(|p| s.partition_records(p).len()).sum();
+        assert_eq!(per_partition, 50);
+        // Every record lives in the partition its key hashes to.
+        for p in 0..7 {
+            for r in s.partition_records(p) {
+                assert_eq!(s.partition_of(&r), p);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_alternate_probe_fields() {
+        let mut s = SolutionSet::new(vec![0], 4);
+        s.merge(Record::pair(5, 42));
+        // Workset record (candidate, vid) carries the vid in field 1.
+        let probe = Record::pair(99, 5);
+        assert_eq!(s.lookup_by(&probe, &[1]).unwrap().long(1), 42);
+        assert!(s.lookup_by(&probe, &[0]).is_none());
+    }
+
+    #[test]
+    fn parallelism_of_zero_is_clamped_to_one() {
+        let s = SolutionSet::new(vec![0], 0);
+        assert_eq!(s.parallelism(), 1);
+    }
+}

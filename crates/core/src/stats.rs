@@ -1,0 +1,134 @@
+//! Per-iteration statistics.
+//!
+//! The paper's evaluation plots per-iteration runtimes, the number of
+//! elements in the working set, the number of partial-solution elements
+//! inspected and changed, and the number of messages exchanged (Figures 2, 8,
+//! 10, 11, 12).  Every iteration runtime in this crate therefore records an
+//! [`IterationStats`] per iteration/superstep, which the benchmark harness
+//! prints as the corresponding data series.
+
+use dataflow::prelude::ExecutionStats;
+use std::time::Duration;
+
+/// Counters for one iteration (bulk) or one superstep (incremental).
+#[derive(Debug, Clone, Default)]
+pub struct IterationStats {
+    /// 1-based iteration / superstep number.
+    pub iteration: usize,
+    /// Wall-clock time of the iteration.
+    pub elapsed: Duration,
+    /// Size of the working set consumed in this iteration (for bulk
+    /// iterations: the size of the partial solution fed in).
+    pub workset_size: usize,
+    /// Number of partial-solution elements inspected (groups or records the
+    /// update function was invoked on).
+    pub elements_inspected: usize,
+    /// Number of partial-solution elements that were actually changed (the
+    /// size of the applied delta set).
+    pub elements_changed: usize,
+    /// Records emitted into the next working set ("messages sent").
+    pub messages_sent: usize,
+    /// Of those, how many crossed partition boundaries.
+    pub messages_shipped: usize,
+    /// Statistics of the dataflow execution backing this iteration, if the
+    /// iteration ran as a dataflow plan (bulk iterations).
+    pub execution: Option<ExecutionStats>,
+}
+
+impl IterationStats {
+    /// Creates a stats record for the given iteration number.
+    pub fn for_iteration(iteration: usize) -> Self {
+        IterationStats { iteration, ..Default::default() }
+    }
+
+    /// The iteration's wall-clock time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3
+    }
+}
+
+/// Aggregated statistics of a whole iterative job.
+#[derive(Debug, Clone, Default)]
+pub struct IterationRunStats {
+    /// Per-iteration counters, in order.
+    pub per_iteration: Vec<IterationStats>,
+    /// Total wall-clock time of the whole run (including setup such as
+    /// building indexes and the initial working set).
+    pub total_elapsed: Duration,
+}
+
+impl IterationRunStats {
+    /// Number of iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.per_iteration.len()
+    }
+
+    /// Sum of messages sent over all iterations.
+    pub fn total_messages(&self) -> usize {
+        self.per_iteration.iter().map(|s| s.messages_sent).sum()
+    }
+
+    /// Sum of changed partial-solution elements over all iterations.
+    pub fn total_changes(&self) -> usize {
+        self.per_iteration.iter().map(|s| s.elements_changed).sum()
+    }
+
+    /// Renders the per-iteration series as a text table (one row per
+    /// iteration), the format used by the figure-reproduction binaries.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>5} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "iter", "millis", "workset", "inspected", "changed", "messages"
+        ));
+        for s in &self.per_iteration {
+            out.push_str(&format!(
+                "{:>5} {:>12.2} {:>12} {:>12} {:>12} {:>12}\n",
+                s.iteration, s.millis(), s.workset_size, s.elements_inspected, s.elements_changed, s.messages_sent
+            ));
+        }
+        out.push_str(&format!(
+            "total: {:.2} ms, {} iterations, {} messages\n",
+            self.total_elapsed.as_secs_f64() * 1e3,
+            self.iterations(),
+            self.total_messages()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_over_iterations() {
+        let mut run = IterationRunStats::default();
+        for i in 1..=3 {
+            run.per_iteration.push(IterationStats {
+                iteration: i,
+                messages_sent: 10 * i,
+                elements_changed: i,
+                ..Default::default()
+            });
+        }
+        assert_eq!(run.iterations(), 3);
+        assert_eq!(run.total_messages(), 60);
+        assert_eq!(run.total_changes(), 6);
+    }
+
+    #[test]
+    fn table_contains_one_row_per_iteration() {
+        let mut run = IterationRunStats::default();
+        run.per_iteration.push(IterationStats::for_iteration(1));
+        run.per_iteration.push(IterationStats::for_iteration(2));
+        let table = run.to_table();
+        assert_eq!(table.lines().count(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn millis_reflects_duration() {
+        let s = IterationStats { elapsed: Duration::from_millis(250), ..Default::default() };
+        assert!((s.millis() - 250.0).abs() < 1e-9);
+    }
+}

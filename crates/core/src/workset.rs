@@ -1,0 +1,592 @@
+//! Incremental (workset) iterations — the paper's primary contribution
+//! (Section 5).
+//!
+//! A workset iteration is the complex operator `(Δ, S0, W0)`.  The partial
+//! solution `S` is a keyed set of records held in a partitioned index across
+//! the workers ([`SolutionSet`]); the working set `W` holds the candidate
+//! updates of the current superstep, partitioned the same way.  The step
+//! function `Δ` computes, from `Si` and `Wi`, the delta set `Di+1` (records
+//! that are merged into `S` with the `∪̇` operator) and the next working set
+//! `Wi+1`.
+//!
+//! The runtime implements `Δ` as the two-stage template of Figures 5 and 6:
+//!
+//! 1. a **solution-set join** of the working set with `S` on the identifying
+//!    key, executing the user's [`UpdateFunction`] — as an `InnerCoGroup`
+//!    (one invocation per key with all candidates, the *batch incremental*
+//!    variant) or as a `Match` (one invocation per workset record, the
+//!    *microstep* variant);
+//! 2. a **workset expansion** joining each applied delta record with the
+//!    cached, partitioned constant input `N` (e.g. the graph's adjacency
+//!    list), executing the user's [`ExpandFunction`] to emit the candidate
+//!    updates of the next superstep.
+//!
+//! Because `S`, `W` and `N` are co-partitioned on the identifying key, both
+//! stages run locally inside each partition; only the newly produced workset
+//! records may cross partition boundaries, exactly as in the execution plan
+//! of Figure 6.  Execution proceeds in supersteps separated by a barrier, or
+//! — when the step function meets the conditions of Section 5.2 — fully
+//! asynchronously ([`ExecutionMode::AsynchronousMicrostep`], implemented in
+//! [`crate::microstep`]).
+
+use crate::solution_set::{RecordComparator, SolutionSet};
+use crate::stats::{IterationRunStats, IterationStats};
+use dataflow::key::partition_for;
+use dataflow::prelude::{DataflowError, Key, KeyFields, Record, Result};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// User code of the solution-set join: decides how the workset candidates for
+/// one key change the partial solution.
+pub trait UpdateFunction: Send + Sync {
+    /// Produces the delta record for `key`, given the current solution record
+    /// (if any) and the candidate records from the working set.  Returning
+    /// `None` leaves the solution untouched and produces no expansion.
+    ///
+    /// In batch-incremental mode `candidates` contains *all* workset records
+    /// for the key in this superstep; in microstep modes it contains exactly
+    /// one record.
+    fn update(&self, key: &Key, current: Option<&Record>, candidates: &[Record]) -> Option<Record>;
+}
+
+/// Wraps a closure as an [`UpdateFunction`].
+pub struct UpdateClosure<F>(pub F);
+
+impl<F> UpdateFunction for UpdateClosure<F>
+where
+    F: Fn(&Key, Option<&Record>, &[Record]) -> Option<Record> + Send + Sync,
+{
+    fn update(&self, key: &Key, current: Option<&Record>, candidates: &[Record]) -> Option<Record> {
+        (self.0)(key, current, candidates)
+    }
+}
+
+/// User code of the workset expansion: turns an applied delta record into new
+/// workset records for the next superstep.
+pub trait ExpandFunction: Send + Sync {
+    /// Emits new workset records given the applied delta record and the
+    /// records of the constant input that share its key (e.g. the out-edges
+    /// of the updated vertex).
+    fn expand(&self, delta: &Record, constant_matches: &[Record], out: &mut Vec<Record>);
+}
+
+/// Wraps a closure as an [`ExpandFunction`].
+pub struct ExpandClosure<F>(pub F);
+
+impl<F> ExpandFunction for ExpandClosure<F>
+where
+    F: Fn(&Record, &[Record], &mut Vec<Record>) + Send + Sync,
+{
+    fn expand(&self, delta: &Record, constant_matches: &[Record], out: &mut Vec<Record>) {
+        (self.0)(delta, constant_matches, out)
+    }
+}
+
+/// How the workset iteration is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// The `InnerCoGroup` variant: candidates are grouped per key, the update
+    /// function runs once per key and superstep, and deltas become visible at
+    /// the superstep barrier.
+    BatchIncremental,
+    /// The `Match` variant: the update function runs once per workset record
+    /// and applied deltas are visible immediately within the superstep
+    /// (allowed because updates are partition-local, Section 5.3).
+    Microstep,
+    /// The `Match` variant without superstep barriers: worker partitions
+    /// exchange workset records through queues and process them as they
+    /// arrive; termination is detected with an in-flight message counter
+    /// (Section 5.3's asynchronous execution).
+    AsynchronousMicrostep,
+}
+
+/// Configuration of a workset iteration run.
+#[derive(Debug, Clone, Copy)]
+pub struct WorksetConfig {
+    /// Number of worker partitions.
+    pub parallelism: usize,
+    /// Execution mode.
+    pub mode: ExecutionMode,
+    /// Safety bound on the number of supersteps.
+    pub max_supersteps: usize,
+}
+
+impl WorksetConfig {
+    /// Batch-incremental execution with the given parallelism.
+    pub fn new(parallelism: usize) -> Self {
+        WorksetConfig {
+            parallelism,
+            mode: ExecutionMode::BatchIncremental,
+            max_supersteps: 100_000,
+        }
+    }
+
+    /// Sets the execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the superstep bound.
+    pub fn with_max_supersteps(mut self, max: usize) -> Self {
+        self.max_supersteps = max;
+        self
+    }
+}
+
+/// The result of a workset iteration.
+#[derive(Debug)]
+pub struct WorksetResult {
+    /// The partial solution after convergence (the working set became empty).
+    pub solution: Vec<Record>,
+    /// Number of supersteps executed (1 for asynchronous execution, which has
+    /// no superstep structure).
+    pub supersteps: usize,
+    /// Per-superstep statistics.
+    pub stats: IterationRunStats,
+}
+
+/// The incremental iteration operator `(Δ, S0, W0)`.
+///
+/// See the module documentation for the structure of the step function.
+#[derive(Clone)]
+pub struct WorksetIteration {
+    /// Key fields identifying records in the solution set.
+    pub(crate) solution_key: KeyFields,
+    /// Fields of a *workset* record holding the key of the solution record it
+    /// targets.
+    pub(crate) workset_key: KeyFields,
+    /// The constant ("topology") input `N`, cached partitioned and indexed.
+    pub(crate) constant_input: Arc<Vec<Record>>,
+    /// Fields of a *constant input* record forming its join key.
+    pub(crate) constant_key: KeyFields,
+    /// Fields of a *delta* record used to look up matching constant records.
+    pub(crate) delta_key: KeyFields,
+    /// The solution-set join UDF.
+    pub(crate) update: Arc<dyn UpdateFunction>,
+    /// The workset expansion UDF.
+    pub(crate) expand: Arc<dyn ExpandFunction>,
+    /// Conflict resolution for the `∪̇` merge.
+    pub(crate) comparator: Option<RecordComparator>,
+}
+
+/// Builder for [`WorksetIteration`].
+pub struct WorksetIterationBuilder {
+    iteration: WorksetIteration,
+}
+
+impl WorksetIteration {
+    /// Starts building a workset iteration whose solution records are
+    /// identified by `solution_key` and whose workset records carry that key
+    /// in `workset_key`.
+    pub fn builder(
+        solution_key: KeyFields,
+        workset_key: KeyFields,
+        update: Arc<dyn UpdateFunction>,
+        expand: Arc<dyn ExpandFunction>,
+    ) -> WorksetIterationBuilder {
+        WorksetIterationBuilder {
+            iteration: WorksetIteration {
+                solution_key,
+                workset_key,
+                constant_input: Arc::new(Vec::new()),
+                constant_key: vec![0],
+                delta_key: vec![0],
+                update,
+                expand,
+                comparator: None,
+            },
+        }
+    }
+
+    /// Runs the iteration from the initial solution `S0` and working set `W0`.
+    pub fn run(
+        &self,
+        initial_solution: Vec<Record>,
+        initial_workset: Vec<Record>,
+        config: &WorksetConfig,
+    ) -> Result<WorksetResult> {
+        if config.parallelism == 0 {
+            return Err(DataflowError::InvalidPlan("parallelism must be at least 1".into()));
+        }
+        let start = Instant::now();
+        let mut solution =
+            SolutionSet::from_records(initial_solution, self.solution_key.clone(), config.parallelism);
+        if let Some(cmp) = &self.comparator {
+            solution = solution.with_comparator(Arc::clone(cmp));
+        }
+        let constant_index = self.build_constant_index(config.parallelism);
+
+        match config.mode {
+            ExecutionMode::AsynchronousMicrostep => {
+                crate::microstep::run_async(self, solution, constant_index, initial_workset, config, start)
+            }
+            _ => self.run_supersteps(solution, constant_index, initial_workset, config, start),
+        }
+    }
+
+    /// Partitions and indexes the constant input by its join key — the cached
+    /// hash table of Figure 6.
+    pub(crate) fn build_constant_index(
+        &self,
+        parallelism: usize,
+    ) -> Vec<HashMap<Key, Vec<Record>>> {
+        let mut index: Vec<HashMap<Key, Vec<Record>>> = vec![HashMap::new(); parallelism];
+        for record in self.constant_input.iter() {
+            let partition = partition_for(record, &self.constant_key, parallelism);
+            index[partition]
+                .entry(Key::extract(record, &self.constant_key))
+                .or_default()
+                .push(record.clone());
+        }
+        index
+    }
+
+    /// Superstep-synchronised execution (both the batch-incremental and the
+    /// microstep variant).
+    fn run_supersteps(
+        &self,
+        mut solution: SolutionSet,
+        constant_index: Vec<HashMap<Key, Vec<Record>>>,
+        initial_workset: Vec<Record>,
+        config: &WorksetConfig,
+        start: Instant,
+    ) -> Result<WorksetResult> {
+        let parallelism = config.parallelism;
+        let comparator = solution.comparator();
+        let mut queues: Vec<Vec<Record>> = vec![Vec::new(); parallelism];
+        for record in initial_workset {
+            let partition = partition_for(&record, &self.workset_key, parallelism);
+            queues[partition].push(record);
+        }
+
+        let mut run_stats = IterationRunStats::default();
+        let mut superstep = 0usize;
+
+        while queues.iter().any(|q| !q.is_empty()) && superstep < config.max_supersteps {
+            superstep += 1;
+            let step_start = Instant::now();
+            let worksets = std::mem::replace(&mut queues, vec![Vec::new(); parallelism]);
+            let workset_size: usize = worksets.iter().map(Vec::len).sum();
+
+            let mut solution_partitions = solution.take_partitions();
+            let microstep = config.mode == ExecutionMode::Microstep;
+
+            // Run the step function locally in every partition.
+            let outputs: Vec<PartitionOutput> = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(parallelism);
+                for (partition, (s_part, workset)) in solution_partitions
+                    .iter_mut()
+                    .zip(worksets.into_iter())
+                    .enumerate()
+                {
+                    let constant = &constant_index[partition];
+                    let comparator = comparator.clone();
+                    let handle = scope.spawn(move || {
+                        self.run_partition_superstep(
+                            partition, s_part, workset, constant, &comparator, microstep, parallelism,
+                        )
+                    });
+                    handles.push(handle);
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("superstep worker panicked"))
+                    .collect()
+            });
+            solution.restore_partitions(solution_partitions);
+
+            // Exchange the new workset records (the superstep queue switch).
+            let mut stats = IterationStats::for_iteration(superstep);
+            stats.workset_size = workset_size;
+            for output in outputs {
+                stats.elements_inspected += output.inspected;
+                stats.elements_changed += output.changed;
+                stats.messages_sent += output.messages_sent;
+                stats.messages_shipped += output.messages_shipped;
+                for (target, records) in output.outbox.into_iter().enumerate() {
+                    queues[target].extend(records);
+                }
+            }
+            stats.elapsed = step_start.elapsed();
+            run_stats.per_iteration.push(stats);
+        }
+
+        run_stats.total_elapsed = start.elapsed();
+        Ok(WorksetResult { solution: solution.records(), supersteps: superstep, stats: run_stats })
+    }
+
+    /// Executes one superstep inside one partition.
+    #[allow(clippy::too_many_arguments)]
+    fn run_partition_superstep(
+        &self,
+        partition: usize,
+        s_part: &mut HashMap<Key, Record>,
+        workset: Vec<Record>,
+        constant: &HashMap<Key, Vec<Record>>,
+        comparator: &Option<RecordComparator>,
+        microstep: bool,
+        parallelism: usize,
+    ) -> PartitionOutput {
+        let mut output = PartitionOutput::new(parallelism);
+        let mut expand_buffer: Vec<Record> = Vec::new();
+
+        let mut apply_and_expand =
+            |delta: Record, s_part: &mut HashMap<Key, Record>, output: &mut PartitionOutput| {
+                let outcome = SolutionSet::merge_detached(
+                    s_part,
+                    comparator,
+                    &self.solution_key,
+                    delta.clone(),
+                );
+                if !outcome.applied() {
+                    return;
+                }
+                output.changed += 1;
+                let matches = constant
+                    .get(&Key::extract(&delta, &self.delta_key))
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                expand_buffer.clear();
+                self.expand.expand(&delta, matches, &mut expand_buffer);
+                for record in expand_buffer.drain(..) {
+                    let target = partition_for(&record, &self.workset_key, parallelism);
+                    output.messages_sent += 1;
+                    if target != partition {
+                        output.messages_shipped += 1;
+                    }
+                    output.outbox[target].push(record);
+                }
+            };
+
+        if microstep {
+            // Match variant: one workset record at a time, updates visible
+            // immediately.
+            for record in workset {
+                output.inspected += 1;
+                let key = Key::extract(&record, &self.workset_key);
+                let delta = {
+                    let current = s_part.get(&key);
+                    self.update.update(&key, current, std::slice::from_ref(&record))
+                };
+                if let Some(delta) = delta {
+                    apply_and_expand(delta, s_part, &mut output);
+                }
+            }
+        } else {
+            // InnerCoGroup variant: group the workset per key, one update per
+            // key, deltas applied after the whole group pass (superstep
+            // semantics — every lookup sees the previous superstep's state).
+            let mut groups: BTreeMap<Key, Vec<Record>> = BTreeMap::new();
+            for record in workset {
+                groups.entry(Key::extract(&record, &self.workset_key)).or_default().push(record);
+            }
+            let mut deltas: Vec<Record> = Vec::new();
+            for (key, candidates) in &groups {
+                output.inspected += 1;
+                if let Some(delta) = self.update.update(key, s_part.get(key), candidates) {
+                    deltas.push(delta);
+                }
+            }
+            for delta in deltas {
+                apply_and_expand(delta, s_part, &mut output);
+            }
+        }
+        output
+    }
+}
+
+/// What one partition produces during a superstep.
+pub(crate) struct PartitionOutput {
+    pub(crate) outbox: Vec<Vec<Record>>,
+    pub(crate) inspected: usize,
+    pub(crate) changed: usize,
+    pub(crate) messages_sent: usize,
+    pub(crate) messages_shipped: usize,
+}
+
+impl PartitionOutput {
+    pub(crate) fn new(parallelism: usize) -> Self {
+        PartitionOutput {
+            outbox: vec![Vec::new(); parallelism],
+            inspected: 0,
+            changed: 0,
+            messages_sent: 0,
+            messages_shipped: 0,
+        }
+    }
+}
+
+impl WorksetIterationBuilder {
+    /// Sets the constant ("topology") input and its join keys: `constant_key`
+    /// are the key fields of the constant records, `delta_key` the fields of
+    /// a delta record used to look them up.
+    pub fn constant_input(
+        mut self,
+        records: Arc<Vec<Record>>,
+        constant_key: KeyFields,
+        delta_key: KeyFields,
+    ) -> Self {
+        self.iteration.constant_input = records;
+        self.iteration.constant_key = constant_key;
+        self.iteration.delta_key = delta_key;
+        self
+    }
+
+    /// Installs a comparator resolving conflicting delta records during the
+    /// `∪̇` merge (the record closer to the supremum of the CPO wins).
+    pub fn comparator(mut self, comparator: RecordComparator) -> Self {
+        self.iteration.comparator = Some(comparator);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> WorksetIteration {
+        self.iteration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny "propagate the minimum" iteration over a 4-vertex path graph
+    /// 0 - 1 - 2 - 3: solution records are (vid, value), workset records are
+    /// (vid, candidate value), and the constant input holds the edges.
+    fn min_propagation() -> WorksetIteration {
+        let update = Arc::new(UpdateClosure(
+            |key: &Key, current: Option<&Record>, candidates: &[Record]| {
+                let best = candidates.iter().map(|r| r.long(1)).min().unwrap();
+                match current {
+                    Some(c) if c.long(1) <= best => None,
+                    _ => Some(Record::pair(key.values()[0].as_long(), best)),
+                }
+            },
+        ));
+        let expand = Arc::new(ExpandClosure(|delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
+            for e in edges {
+                out.push(Record::pair(e.long(1), delta.long(1)));
+            }
+        }));
+        let edges: Vec<Record> = vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]
+            .into_iter()
+            .map(|(a, b)| Record::pair(a, b))
+            .collect();
+        WorksetIteration::builder(vec![0], vec![0], update, expand)
+            .constant_input(Arc::new(edges), vec![0], vec![0])
+            .comparator(Arc::new(|a: &Record, b: &Record| b.long(1).cmp(&a.long(1))))
+            .build()
+    }
+
+    fn initial_state() -> (Vec<Record>, Vec<Record>) {
+        let solution: Vec<Record> = (0..4).map(|v| Record::pair(v, v + 10)).collect();
+        // Seed the workset with each vertex's own value as a candidate for its
+        // neighbours.
+        let workset = vec![
+            Record::pair(1, 10),
+            Record::pair(0, 11),
+            Record::pair(2, 11),
+            Record::pair(1, 12),
+            Record::pair(3, 12),
+            Record::pair(2, 13),
+        ];
+        (solution, workset)
+    }
+
+    fn check_converged(result: &WorksetResult) {
+        let mut solution = result.solution.clone();
+        solution.sort();
+        assert_eq!(
+            solution,
+            vec![
+                Record::pair(0, 10),
+                Record::pair(1, 10),
+                Record::pair(2, 10),
+                Record::pair(3, 10)
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_incremental_reaches_the_fixpoint() {
+        let (solution, workset) = initial_state();
+        let iteration = min_propagation();
+        let result = iteration.run(solution, workset, &WorksetConfig::new(2)).unwrap();
+        check_converged(&result);
+        assert!(result.supersteps >= 3, "minimum needs to travel across the path");
+    }
+
+    #[test]
+    fn microstep_mode_reaches_the_same_fixpoint() {
+        let (solution, workset) = initial_state();
+        let iteration = min_propagation();
+        let result = iteration
+            .run(solution, workset, &WorksetConfig::new(2).with_mode(ExecutionMode::Microstep))
+            .unwrap();
+        check_converged(&result);
+    }
+
+    #[test]
+    fn parallelism_does_not_change_the_result() {
+        let iteration = min_propagation();
+        for parallelism in [1, 2, 4, 8] {
+            let (solution, workset) = initial_state();
+            let result =
+                iteration.run(solution, workset, &WorksetConfig::new(parallelism)).unwrap();
+            check_converged(&result);
+        }
+    }
+
+    #[test]
+    fn empty_workset_terminates_immediately() {
+        let iteration = min_propagation();
+        let result = iteration
+            .run(vec![Record::pair(0, 5)], vec![], &WorksetConfig::new(2))
+            .unwrap();
+        assert_eq!(result.supersteps, 0);
+        assert_eq!(result.solution, vec![Record::pair(0, 5)]);
+    }
+
+    #[test]
+    fn workset_shrinks_as_the_iteration_converges() {
+        let (solution, workset) = initial_state();
+        let iteration = min_propagation();
+        let result = iteration.run(solution, workset, &WorksetConfig::new(1)).unwrap();
+        let sizes: Vec<usize> = result.stats.per_iteration.iter().map(|s| s.workset_size).collect();
+        assert!(sizes.last().copied().unwrap_or(0) <= sizes[0]);
+        // The last superstep changes nothing (it only confirms convergence).
+        assert_eq!(result.stats.per_iteration.last().unwrap().elements_changed, 0);
+    }
+
+    #[test]
+    fn max_supersteps_bounds_the_run() {
+        let (solution, workset) = initial_state();
+        let iteration = min_propagation();
+        let result = iteration
+            .run(solution, workset, &WorksetConfig::new(2).with_max_supersteps(1))
+            .unwrap();
+        assert_eq!(result.supersteps, 1);
+    }
+
+    #[test]
+    fn zero_parallelism_is_rejected() {
+        let iteration = min_propagation();
+        let mut config = WorksetConfig::new(1);
+        config.parallelism = 0;
+        assert!(iteration.run(vec![], vec![], &config).is_err());
+    }
+
+    #[test]
+    fn stats_track_inspections_and_changes() {
+        let (solution, workset) = initial_state();
+        let iteration = min_propagation();
+        let result = iteration.run(solution, workset, &WorksetConfig::new(1)).unwrap();
+        let total_changed: usize =
+            result.stats.per_iteration.iter().map(|s| s.elements_changed).sum();
+        // Vertices 0..=3 all improve at least once (to value 10).
+        assert!(total_changed >= 4);
+        assert!(result.stats.per_iteration[0].elements_inspected > 0);
+        assert!(result.stats.total_messages() > 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared by the dataflow engine and its clients.
+
+use std::fmt;
+
+/// Errors raised while building or executing dataflow plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowError {
+    /// The plan references an operator id that does not exist.
+    UnknownOperator(usize),
+    /// An operator was wired with the wrong number of inputs.
+    InvalidArity {
+        /// Human-readable operator name.
+        operator: String,
+        /// Number of inputs the contract expects.
+        expected: usize,
+        /// Number of inputs actually wired.
+        actual: usize,
+    },
+    /// The plan contains a cycle; dataflow plans must be DAGs (iterations are
+    /// expressed through the dedicated iteration operators, not raw cycles).
+    CyclicPlan,
+    /// A sink with the requested name does not exist in the plan.
+    UnknownSink(String),
+    /// Plan validation failed for a reason described by the message.
+    InvalidPlan(String),
+    /// A runtime worker failed; carries a description of the failure.
+    ExecutionFailed(String),
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::UnknownOperator(id) => write!(f, "unknown operator id {id}"),
+            DataflowError::InvalidArity { operator, expected, actual } => write!(
+                f,
+                "operator '{operator}' expects {expected} input(s) but was wired with {actual}"
+            ),
+            DataflowError::CyclicPlan => write!(f, "dataflow plan contains a cycle"),
+            DataflowError::UnknownSink(name) => write!(f, "no sink named '{name}' in plan"),
+            DataflowError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            DataflowError::ExecutionFailed(msg) => write!(f, "execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, DataflowError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = DataflowError::InvalidArity { operator: "join".into(), expected: 2, actual: 1 };
+        assert!(e.to_string().contains("join"));
+        assert!(e.to_string().contains("2"));
+        assert!(DataflowError::UnknownSink("out".into()).to_string().contains("out"));
+        assert!(DataflowError::CyclicPlan.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(DataflowError::CyclicPlan);
+        assert!(e.to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,797 @@
+//! The parallel executor.
+//!
+//! The executor runs a [`PhysicalPlan`] on a shared-nothing pool of worker
+//! partitions (one thread per partition during each operator's local phase).
+//! Each worker partition plays the role of one cluster node in the paper's
+//! setup; records that move between partitions during an exchange are counted
+//! as "shipped" (network) records in the [`ExecutionStats`].
+//!
+//! The executor is a *materializing* executor: every operator fully consumes
+//! its (exchanged) inputs and materialises its output before downstream
+//! operators run.  This corresponds to a plan in which every edge is a dam,
+//! which is always safe for the iteration execution strategies of Sections
+//! 4.2 and 5.3 (no operator can ever participate in two iterations
+//! simultaneously).  Pipelined/asynchronous execution is provided where it
+//! matters for the paper's claims — the microstep execution mode of the
+//! workset iteration in the `spinning-core` crate.
+
+use crate::contracts::{Collector, Udf};
+use crate::error::{DataflowError, Result};
+use crate::key::{group_ranges, partition_for, sort_by_key, Key};
+use crate::physical::{LocalStrategy, PhysicalPlan, ShipStrategy};
+use crate::plan::{Operator, OperatorId, OperatorKind};
+use crate::record::Record;
+use crate::stats::{ExecutionStats, OperatorStats};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The records held by one worker partition.
+pub type Partition = Vec<Record>;
+/// One partition per parallel instance.
+pub type Partitions = Vec<Partition>;
+
+/// Cache of post-exchange inputs, keyed by (consumer operator, input slot).
+///
+/// The iteration runtime passes the same cache to every execution of the step
+/// plan; edges on the constant data path that the optimizer marked with
+/// `cache_inputs` are shipped once and then served from here (Section 4.3).
+#[derive(Debug, Default)]
+pub struct IntermediateCache {
+    entries: HashMap<(OperatorId, usize), Arc<Partitions>>,
+}
+
+impl IntermediateCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached edges.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all cached edges.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// The result of one plan execution: the contents of every sink plus the
+/// execution statistics.
+#[derive(Debug)]
+pub struct ExecutionResult {
+    sink_outputs: HashMap<String, Arc<Partitions>>,
+    /// Counters collected while executing.
+    pub stats: ExecutionStats,
+}
+
+impl ExecutionResult {
+    /// All records delivered to the sink `name`, flattened across partitions.
+    pub fn sink(&self, name: &str) -> Result<Vec<Record>> {
+        self.sink_partitions(name)
+            .map(|parts| parts.iter().flatten().cloned().collect())
+    }
+
+    /// The per-partition records delivered to the sink `name`.
+    pub fn sink_partitions(&self, name: &str) -> Result<Arc<Partitions>> {
+        self.sink_outputs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DataflowError::UnknownSink(name.to_owned()))
+    }
+
+    /// Names of all sinks that produced output.
+    pub fn sink_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.sink_outputs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Executes physical plans.
+#[derive(Debug, Default, Clone)]
+pub struct Executor;
+
+impl Executor {
+    /// Creates an executor.
+    pub fn new() -> Self {
+        Executor
+    }
+
+    /// Executes the plan once, without any loop-invariant caching.
+    pub fn execute(&self, physical: &PhysicalPlan) -> Result<ExecutionResult> {
+        let mut cache = IntermediateCache::new();
+        self.execute_with_cache(physical, &mut cache)
+    }
+
+    /// Executes the plan, serving edges marked `cache_inputs` from (and
+    /// populating them into) `cache`.
+    pub fn execute_with_cache(
+        &self,
+        physical: &PhysicalPlan,
+        cache: &mut IntermediateCache,
+    ) -> Result<ExecutionResult> {
+        let start = Instant::now();
+        let plan = &physical.plan;
+        let order = plan.validate()?;
+        let parallelism = physical.parallelism.max(1);
+
+        let mut outputs: HashMap<OperatorId, Arc<Partitions>> = HashMap::new();
+        let mut sink_outputs: HashMap<String, Arc<Partitions>> = HashMap::new();
+        let mut stats = ExecutionStats::new();
+
+        for id in order {
+            let op = plan.operator(id);
+            let choice = physical.choice(id);
+            let op_start = Instant::now();
+
+            // 1. Sources produce their partitioned data directly.
+            if let OperatorKind::Source { data } = &op.kind {
+                let parts = split_into_partitions(data, parallelism);
+                let produced: usize = parts.iter().map(Vec::len).sum();
+                outputs.insert(id, Arc::new(parts));
+                stats.operators.push(OperatorStats {
+                    name: op.name.clone(),
+                    contract: op.kind.contract_name().to_owned(),
+                    records_in: 0,
+                    records_out: produced,
+                    elapsed: op_start.elapsed(),
+                });
+                continue;
+            }
+
+            // 2. Exchange (or fetch from cache) each input edge.
+            let mut prepared: Vec<Arc<Partitions>> = Vec::with_capacity(op.inputs.len());
+            for (slot, &input) in op.inputs.iter().enumerate() {
+                let cache_key = (id, slot);
+                if choice.cache_inputs[slot] {
+                    if let Some(cached) = cache.entries.get(&cache_key) {
+                        stats.cache_hits += 1;
+                        prepared.push(Arc::clone(cached));
+                        continue;
+                    }
+                }
+                let producer_out = outputs.get(&input).ok_or_else(|| {
+                    DataflowError::ExecutionFailed(format!(
+                        "input {} of '{}' has not produced output",
+                        input.0, op.name
+                    ))
+                })?;
+                let exchanged = exchange(
+                    producer_out,
+                    &choice.input_ships[slot],
+                    parallelism,
+                    &mut stats,
+                );
+                let exchanged = Arc::new(exchanged);
+                if choice.cache_inputs[slot] {
+                    cache.entries.insert(cache_key, Arc::clone(&exchanged));
+                }
+                prepared.push(exchanged);
+            }
+
+            // 3. Run the local phase, one thread per partition.
+            let local = choice.local;
+            let mut result_parts: Vec<Partition> = Vec::with_capacity(parallelism);
+            let mut records_in_total = 0usize;
+            if parallelism == 1 {
+                let inputs: Vec<&Partition> =
+                    prepared.iter().map(|parts| &parts[0]).collect();
+                let (records_in, out) = run_local(op, local, &inputs);
+                records_in_total += records_in;
+                result_parts.push(out);
+            } else {
+                let per_partition: Vec<(usize, Vec<Record>)> = std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(parallelism);
+                    for p in 0..parallelism {
+                        let prepared_ref = &prepared;
+                        let handle = scope.spawn(move || {
+                            let inputs: Vec<&Partition> =
+                                prepared_ref.iter().map(|parts| &parts[p]).collect();
+                            run_local(op, local, &inputs)
+                        });
+                        handles.push(handle);
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker partition panicked"))
+                        .collect()
+                });
+                for (records_in, out) in per_partition {
+                    records_in_total += records_in;
+                    result_parts.push(out);
+                }
+            }
+
+            let produced: usize = result_parts.iter().map(Vec::len).sum();
+            let result_parts = Arc::new(result_parts);
+            if let OperatorKind::Sink { name } = &op.kind {
+                sink_outputs.insert(name.clone(), Arc::clone(&result_parts));
+            }
+            outputs.insert(id, result_parts);
+            stats.operators.push(OperatorStats {
+                name: op.name.clone(),
+                contract: op.kind.contract_name().to_owned(),
+                records_in: records_in_total,
+                records_out: produced,
+                elapsed: op_start.elapsed(),
+            });
+        }
+
+        stats.elapsed = start.elapsed();
+        Ok(ExecutionResult { sink_outputs, stats })
+    }
+}
+
+/// Splits source data into contiguous chunks, one per partition.
+fn split_into_partitions(data: &Arc<Vec<Record>>, parallelism: usize) -> Partitions {
+    let mut parts: Partitions = vec![Vec::new(); parallelism];
+    if data.is_empty() {
+        return parts;
+    }
+    let chunk = data.len().div_ceil(parallelism);
+    for (i, record) in data.iter().enumerate() {
+        parts[(i / chunk).min(parallelism - 1)].push(record.clone());
+    }
+    parts
+}
+
+/// Routes the producer's partitions to the consumer's partitions according to
+/// the shipping strategy, updating the shipped/local record counters.
+fn exchange(
+    producer: &Partitions,
+    ship: &ShipStrategy,
+    parallelism: usize,
+    stats: &mut ExecutionStats,
+) -> Partitions {
+    match ship {
+        ShipStrategy::Forward => {
+            let total: usize = producer.iter().map(Vec::len).sum();
+            stats.local_records += total;
+            let mut parts = producer.clone();
+            parts.resize(parallelism, Vec::new());
+            parts.truncate(parallelism);
+            parts
+        }
+        ShipStrategy::PartitionHash(keys) | ShipStrategy::PartitionRange(keys) => {
+            let mut parts: Partitions = vec![Vec::new(); parallelism];
+            for (src_idx, partition) in producer.iter().enumerate() {
+                for record in partition {
+                    let target = partition_for(record, keys, parallelism);
+                    if target != src_idx {
+                        stats.shipped_records += 1;
+                        stats.shipped_bytes += record.estimated_bytes();
+                    } else {
+                        stats.local_records += 1;
+                    }
+                    parts[target].push(record.clone());
+                }
+            }
+            parts
+        }
+        ShipStrategy::Broadcast => {
+            let mut parts: Partitions = vec![Vec::new(); parallelism];
+            for partition in producer {
+                for record in partition {
+                    let copies = parallelism.saturating_sub(1);
+                    stats.shipped_records += copies;
+                    stats.shipped_bytes += copies * record.estimated_bytes();
+                    stats.local_records += 1;
+                    for part in parts.iter_mut() {
+                        part.push(record.clone());
+                    }
+                }
+            }
+            parts
+        }
+    }
+}
+
+/// Runs one operator's local work on one partition's inputs.
+fn run_local(op: &Operator, local: LocalStrategy, inputs: &[&Partition]) -> (usize, Vec<Record>) {
+    let records_in: usize = inputs.iter().map(|p| p.len()).sum();
+    let mut collector = Collector::new();
+    match (&op.kind, &op.udf) {
+        (OperatorKind::Map, Udf::Map(udf)) => {
+            for record in inputs[0] {
+                udf.map(record, &mut collector);
+            }
+        }
+        (OperatorKind::Reduce { key }, Udf::Reduce(udf)) => {
+            run_reduce(key, local, inputs[0], udf.as_ref(), &mut collector);
+        }
+        (OperatorKind::Match { left_key, right_key }, Udf::Match(udf)) => {
+            run_match(left_key, right_key, local, inputs[0], inputs[1], udf.as_ref(), &mut collector);
+        }
+        (OperatorKind::Cross, Udf::Cross(udf)) => {
+            for left in inputs[0] {
+                for right in inputs[1] {
+                    udf.cross(left, right, &mut collector);
+                }
+            }
+        }
+        (OperatorKind::CoGroup { left_key, right_key, inner }, Udf::CoGroup(udf)) => {
+            run_cogroup(left_key, right_key, *inner, inputs[0], inputs[1], udf.as_ref(), &mut collector);
+        }
+        (OperatorKind::Union, _) => {
+            for input in inputs {
+                collector.collect_all(input.iter().cloned());
+            }
+        }
+        (OperatorKind::Sink { .. }, _) => {
+            collector.collect_all(inputs[0].iter().cloned());
+        }
+        (OperatorKind::Source { .. }, _) => {
+            // Sources are handled by the executor before run_local is called.
+            unreachable!("sources do not run a local phase");
+        }
+        (kind, udf) => {
+            panic!(
+                "operator '{}' has contract {} but UDF {:?}",
+                op.name,
+                kind.contract_name(),
+                udf
+            );
+        }
+    }
+    (records_in, collector.into_records())
+}
+
+/// Grouping for the Reduce contract (hash- or sort-based).
+fn run_reduce(
+    key: &[usize],
+    local: LocalStrategy,
+    input: &Partition,
+    udf: &dyn crate::contracts::ReduceFunction,
+    out: &mut Collector,
+) {
+    match local {
+        LocalStrategy::SortGroup => {
+            let mut records = input.clone();
+            sort_by_key(&mut records, key);
+            for (start, end) in group_ranges(&records, key) {
+                let group = &records[start..end];
+                let k = Key::extract(&group[0], key);
+                udf.reduce(k.values(), group, out);
+            }
+        }
+        // HashGroup and any other strategy: group through an ordered map so
+        // the output order is deterministic across runs.
+        _ => {
+            let mut groups: BTreeMap<Key, Vec<Record>> = BTreeMap::new();
+            for record in input {
+                groups.entry(Key::extract(record, key)).or_default().push(record.clone());
+            }
+            for (k, group) in &groups {
+                udf.reduce(k.values(), group, out);
+            }
+        }
+    }
+}
+
+/// Equi-join for the Match contract (hash or sort-merge).
+fn run_match(
+    left_key: &[usize],
+    right_key: &[usize],
+    local: LocalStrategy,
+    left: &Partition,
+    right: &Partition,
+    udf: &dyn crate::contracts::MatchFunction,
+    out: &mut Collector,
+) {
+    match local {
+        LocalStrategy::HashJoinBuildRight => {
+            let mut table: HashMap<Key, Vec<&Record>> = HashMap::new();
+            for record in right {
+                table.entry(Key::extract(record, right_key)).or_default().push(record);
+            }
+            for l in left {
+                if let Some(matches) = table.get(&Key::extract(l, left_key)) {
+                    for r in matches {
+                        udf.join(l, r, out);
+                    }
+                }
+            }
+        }
+        LocalStrategy::SortMergeJoin => {
+            let mut l_sorted = left.clone();
+            let mut r_sorted = right.clone();
+            sort_by_key(&mut l_sorted, left_key);
+            sort_by_key(&mut r_sorted, right_key);
+            let l_ranges = group_ranges(&l_sorted, left_key);
+            let r_ranges = group_ranges(&r_sorted, right_key);
+            let (mut li, mut ri) = (0usize, 0usize);
+            while li < l_ranges.len() && ri < r_ranges.len() {
+                let lrec = &l_sorted[l_ranges[li].0];
+                let rrec = &r_sorted[r_ranges[ri].0];
+                match crate::key::compare_keys(lrec, left_key, rrec, right_key) {
+                    std::cmp::Ordering::Less => li += 1,
+                    std::cmp::Ordering::Greater => ri += 1,
+                    std::cmp::Ordering::Equal => {
+                        for l in &l_sorted[l_ranges[li].0..l_ranges[li].1] {
+                            for r in &r_sorted[r_ranges[ri].0..r_ranges[ri].1] {
+                                udf.join(l, r, out);
+                            }
+                        }
+                        li += 1;
+                        ri += 1;
+                    }
+                }
+            }
+        }
+        // Default: build on the left, probe with the right.
+        _ => {
+            let mut table: HashMap<Key, Vec<&Record>> = HashMap::new();
+            for record in left {
+                table.entry(Key::extract(record, left_key)).or_default().push(record);
+            }
+            for r in right {
+                if let Some(matches) = table.get(&Key::extract(r, right_key)) {
+                    for l in matches {
+                        udf.join(l, r, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Grouped join for the CoGroup / InnerCoGroup contracts.
+fn run_cogroup(
+    left_key: &[usize],
+    right_key: &[usize],
+    inner: bool,
+    left: &Partition,
+    right: &Partition,
+    udf: &dyn crate::contracts::CoGroupFunction,
+    out: &mut Collector,
+) {
+    let mut left_groups: BTreeMap<Key, Vec<Record>> = BTreeMap::new();
+    for record in left {
+        left_groups.entry(Key::extract(record, left_key)).or_default().push(record.clone());
+    }
+    let mut right_groups: BTreeMap<Key, Vec<Record>> = BTreeMap::new();
+    for record in right {
+        right_groups.entry(Key::extract(record, right_key)).or_default().push(record.clone());
+    }
+    let empty: Vec<Record> = Vec::new();
+    if inner {
+        for (k, lgroup) in &left_groups {
+            if let Some(rgroup) = right_groups.get(k) {
+                udf.cogroup(k.values(), lgroup, rgroup, out);
+            }
+        }
+    } else {
+        let mut keys: Vec<&Key> = left_groups.keys().chain(right_groups.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for k in keys {
+            let lgroup = left_groups.get(k).unwrap_or(&empty);
+            let rgroup = right_groups.get(k).unwrap_or(&empty);
+            udf.cogroup(k.values(), lgroup, rgroup, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contracts::{CoGroupClosure, MapClosure, MatchClosure, ReduceClosure};
+    use crate::physical::default_physical_plan;
+    use crate::plan::Plan;
+    use crate::value::Value;
+
+    fn execute(plan: &Plan, parallelism: usize) -> ExecutionResult {
+        let phys = default_physical_plan(plan, parallelism).unwrap();
+        Executor::new().execute(&phys).unwrap()
+    }
+
+    #[test]
+    fn map_doubles_values_across_partitions() {
+        let mut plan = Plan::new();
+        let data: Vec<Record> = (0..100).map(|i| Record::pair(i, i)).collect();
+        let src = plan.source("src", data);
+        let map = plan.map(
+            "double",
+            src,
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                out.collect(Record::pair(r.long(0), r.long(1) * 2));
+            })),
+        );
+        plan.sink("out", map);
+        for parallelism in [1, 3, 8] {
+            let result = execute(&plan, parallelism);
+            let mut records = result.sink("out").unwrap();
+            records.sort();
+            assert_eq!(records.len(), 100);
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(r.long(1), 2 * i as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_groups_regardless_of_parallelism() {
+        let mut plan = Plan::new();
+        let data: Vec<Record> = (0..60).map(|i| Record::pair(i % 5, 1)).collect();
+        let src = plan.source("src", data);
+        let red = plan.reduce(
+            "count",
+            src,
+            vec![0],
+            Arc::new(ReduceClosure(|key: &[Value], group: &[Record], out: &mut Collector| {
+                out.collect(Record::pair(key[0].as_long(), group.len() as i64));
+            })),
+        );
+        plan.sink("out", red);
+        for parallelism in [1, 4] {
+            let result = execute(&plan, parallelism);
+            let mut records = result.sink("out").unwrap();
+            records.sort();
+            assert_eq!(records.len(), 5);
+            for r in &records {
+                assert_eq!(r.long(1), 12);
+            }
+        }
+    }
+
+    #[test]
+    fn match_join_produces_all_matching_pairs() {
+        let mut plan = Plan::new();
+        let left = plan.source("left", vec![Record::pair(1, 10), Record::pair(2, 20), Record::pair(2, 21)]);
+        let right = plan.source("right", vec![Record::pair(2, 200), Record::pair(3, 300)]);
+        let join = plan.match_join(
+            "join",
+            left,
+            right,
+            vec![0],
+            vec![0],
+            Arc::new(MatchClosure(|l: &Record, r: &Record, out: &mut Collector| {
+                out.collect(Record::pair(l.long(1), r.long(1)));
+            })),
+        );
+        plan.sink("out", join);
+        let result = execute(&plan, 4);
+        let mut records = result.sink("out").unwrap();
+        records.sort();
+        assert_eq!(records, vec![Record::pair(20, 200), Record::pair(21, 200)]);
+    }
+
+    #[test]
+    fn inner_cogroup_drops_unmatched_keys() {
+        let mut plan = Plan::new();
+        let left = plan.source("left", vec![Record::pair(1, 10), Record::pair(2, 20)]);
+        let right = plan.source("right", vec![Record::pair(2, 200), Record::pair(2, 201)]);
+        let cg = plan.inner_cogroup(
+            "cg",
+            left,
+            right,
+            vec![0],
+            vec![0],
+            Arc::new(CoGroupClosure(|key: &[Value], l: &[Record], r: &[Record], out: &mut Collector| {
+                out.collect(Record::pair(key[0].as_long(), (l.len() + r.len()) as i64));
+            })),
+        );
+        plan.sink("out", cg);
+        let result = execute(&plan, 3);
+        let records = result.sink("out").unwrap();
+        assert_eq!(records, vec![Record::pair(2, 3)]);
+    }
+
+    #[test]
+    fn outer_cogroup_keeps_all_keys() {
+        let mut plan = Plan::new();
+        let left = plan.source("left", vec![Record::pair(1, 10)]);
+        let right = plan.source("right", vec![Record::pair(2, 200)]);
+        let cg = plan.cogroup(
+            "cg",
+            left,
+            right,
+            vec![0],
+            vec![0],
+            Arc::new(CoGroupClosure(|key: &[Value], l: &[Record], r: &[Record], out: &mut Collector| {
+                out.collect(Record::triple(key[0].as_long(), l.len() as i64, r.len() as f64));
+            })),
+        );
+        plan.sink("out", cg);
+        let result = execute(&plan, 2);
+        let mut records = result.sink("out").unwrap();
+        records.sort();
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn cross_product_with_broadcast_right() {
+        let mut plan = Plan::new();
+        let left = plan.source("left", vec![Record::pair(1, 0), Record::pair(2, 0)]);
+        let right = plan.source("right", vec![Record::pair(10, 0), Record::pair(20, 0), Record::pair(30, 0)]);
+        let cross = plan.cross(
+            "cross",
+            left,
+            right,
+            Arc::new(crate::contracts::CrossClosure(|l: &Record, r: &Record, out: &mut Collector| {
+                out.collect(Record::pair(l.long(0), r.long(0)));
+            })),
+        );
+        plan.sink("out", cross);
+        let result = execute(&plan, 2);
+        let records = result.sink("out").unwrap();
+        assert_eq!(records.len(), 6);
+    }
+
+    #[test]
+    fn union_concatenates_inputs() {
+        let mut plan = Plan::new();
+        let a = plan.source("a", vec![Record::pair(1, 1)]);
+        let b = plan.source("b", vec![Record::pair(2, 2), Record::pair(3, 3)]);
+        let u = plan.union("u", vec![a, b]);
+        plan.sink("out", u);
+        let result = execute(&plan, 2);
+        assert_eq!(result.sink("out").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unknown_sink_is_an_error() {
+        let mut plan = Plan::new();
+        let a = plan.source("a", vec![]);
+        plan.sink("out", a);
+        let result = execute(&plan, 1);
+        assert!(result.sink("nope").is_err());
+        assert_eq!(result.sink_names(), vec!["out".to_owned()]);
+    }
+
+    #[test]
+    fn stats_count_shipped_records_for_partitioning() {
+        let mut plan = Plan::new();
+        let data: Vec<Record> = (0..1000).map(|i| Record::pair(i, 1)).collect();
+        let src = plan.source("src", data);
+        let red = plan.reduce(
+            "sum",
+            src,
+            vec![0],
+            Arc::new(ReduceClosure(|key: &[Value], g: &[Record], out: &mut Collector| {
+                out.collect(Record::pair(key[0].as_long(), g.len() as i64));
+            })),
+        );
+        plan.sink("out", red);
+        let result = execute(&plan, 4);
+        // With 4 partitions roughly 3/4 of the records move; certainly > 0.
+        assert!(result.stats.shipped_records > 0);
+        assert!(result.stats.shipped_bytes >= result.stats.shipped_records * 8);
+        assert_eq!(result.stats.records_out_of("sum"), 1000);
+    }
+
+    #[test]
+    fn broadcast_counts_replicated_records() {
+        let mut plan = Plan::new();
+        let left = plan.source("left", (0..10).map(|i| Record::pair(i, 0)).collect());
+        let right = plan.source("right", (0..5).map(|i| Record::pair(i, 0)).collect());
+        let cross = plan.cross(
+            "cross",
+            left,
+            right,
+            Arc::new(crate::contracts::CrossClosure(|l: &Record, _r: &Record, out: &mut Collector| {
+                out.collect(l.clone());
+            })),
+        );
+        plan.sink("out", cross);
+        let phys = default_physical_plan(&plan, 4).unwrap();
+        let result = Executor::new().execute(&phys).unwrap();
+        // 5 broadcast records each replicated to 3 other partitions.
+        assert_eq!(result.stats.shipped_records, 15);
+        assert_eq!(result.sink("out").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn cached_edges_skip_reshipping() {
+        let mut plan = Plan::new();
+        let left = plan.source("left", (0..50).map(|i| Record::pair(i, i)).collect());
+        let right = plan.source("right", (0..50).map(|i| Record::pair(i, -i)).collect());
+        let join = plan.match_join(
+            "join",
+            left,
+            right,
+            vec![0],
+            vec![0],
+            Arc::new(MatchClosure(|l: &Record, r: &Record, out: &mut Collector| {
+                out.collect(Record::pair(l.long(1), r.long(1)));
+            })),
+        );
+        plan.sink("out", join);
+        let mut phys = default_physical_plan(&plan, 4).unwrap();
+        phys.cache_input(join, 1);
+        let mut cache = IntermediateCache::new();
+        let exec = Executor::new();
+        let first = exec.execute_with_cache(&phys, &mut cache).unwrap();
+        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(cache.len(), 1);
+        let second = exec.execute_with_cache(&phys, &mut cache).unwrap();
+        assert_eq!(second.stats.cache_hits, 1);
+        // Fewer records shipped in the second run because the right input is
+        // served from the cache.
+        assert!(second.stats.shipped_records < first.stats.shipped_records);
+        assert_eq!(first.sink("out").unwrap().len(), second.sink("out").unwrap().len());
+    }
+
+    #[test]
+    fn sort_merge_join_matches_hash_join() {
+        let mut plan = Plan::new();
+        let left_data: Vec<Record> = (0..40).map(|i| Record::pair(i % 7, i)).collect();
+        let right_data: Vec<Record> = (0..30).map(|i| Record::pair(i % 7, 100 + i)).collect();
+        let left = plan.source("left", left_data);
+        let right = plan.source("right", right_data);
+        let join = plan.match_join(
+            "join",
+            left,
+            right,
+            vec![0],
+            vec![0],
+            Arc::new(MatchClosure(|l: &Record, r: &Record, out: &mut Collector| {
+                out.collect(Record::pair(l.long(1), r.long(1)));
+            })),
+        );
+        plan.sink("out", join);
+
+        let mut hash_phys = default_physical_plan(&plan, 3).unwrap();
+        hash_phys.choices.get_mut(&join).unwrap().local = LocalStrategy::HashJoinBuildRight;
+        let mut smj_phys = default_physical_plan(&plan, 3).unwrap();
+        smj_phys.choices.get_mut(&join).unwrap().local = LocalStrategy::SortMergeJoin;
+
+        let exec = Executor::new();
+        let mut a = exec.execute(&hash_phys).unwrap().sink("out").unwrap();
+        let mut b = exec.execute(&smj_phys).unwrap().sink("out").unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn sort_group_matches_hash_group() {
+        let mut plan = Plan::new();
+        let data: Vec<Record> = (0..200).map(|i| Record::pair(i % 13, i)).collect();
+        let src = plan.source("src", data);
+        let red = plan.reduce(
+            "min",
+            src,
+            vec![0],
+            Arc::new(ReduceClosure(|key: &[Value], g: &[Record], out: &mut Collector| {
+                let min = g.iter().map(|r| r.long(1)).min().unwrap();
+                out.collect(Record::pair(key[0].as_long(), min));
+            })),
+        );
+        plan.sink("out", red);
+        let mut hash_phys = default_physical_plan(&plan, 2).unwrap();
+        hash_phys.choices.get_mut(&red).unwrap().local = LocalStrategy::HashGroup;
+        let mut sort_phys = default_physical_plan(&plan, 2).unwrap();
+        sort_phys.choices.get_mut(&red).unwrap().local = LocalStrategy::SortGroup;
+        let exec = Executor::new();
+        let mut a = exec.execute(&hash_phys).unwrap().sink("out").unwrap();
+        let mut b = exec.execute(&sort_phys).unwrap().sink("out").unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 13);
+    }
+
+    #[test]
+    fn empty_source_flows_through() {
+        let mut plan = Plan::new();
+        let src = plan.source("src", vec![]);
+        let map = plan.map(
+            "id",
+            src,
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| out.collect(r.clone()))),
+        );
+        plan.sink("out", map);
+        let result = execute(&plan, 4);
+        assert!(result.sink("out").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Key extraction, hashing and comparison over record fields.
+//!
+//! Operators declare which fields form their key (e.g. a `Match` joins two
+//! inputs on equal key field values, a `Reduce` groups by key).  The runtime
+//! uses the same key definition for hash partitioning, so that records with
+//! equal keys always end up in the same worker partition — the invariant that
+//! the incremental-iteration runtime in `spinning-core` relies on for local
+//! solution-set updates (Section 5.2 of the paper).
+
+use crate::record::Record;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The positions of the key fields inside a record.
+pub type KeyFields = Vec<usize>;
+
+/// An owned, extracted key (the values of the key fields, in declaration
+/// order).  Used as a hash-map key by the local strategies and by the
+/// solution-set index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(pub Vec<Value>);
+
+impl Key {
+    /// Extracts the key of `record` according to `fields`.
+    pub fn extract(record: &Record, fields: &[usize]) -> Key {
+        Key(fields.iter().map(|&i| record.field(i).clone()).collect())
+    }
+
+    /// A single-field integer key; the common case for graph workloads.
+    pub fn long(v: i64) -> Key {
+        Key(vec![Value::Long(v)])
+    }
+
+    /// Borrow the key values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+/// Computes a stable 64-bit hash of the key fields of `record`.
+pub fn hash_key(record: &Record, fields: &[usize]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    for &i in fields {
+        record.field(i).hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Computes the same hash as [`hash_key`] over an already-extracted key.
+/// `hash_values(Key::extract(r, f).values()) == hash_key(r, f)` for all
+/// records, which the partitioned solution-set index relies on.
+pub fn hash_values(values: &[Value]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    for value in values {
+        value.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Maps the key hash of `record` to a partition index in `0..parallelism`.
+pub fn partition_for(record: &Record, fields: &[usize], parallelism: usize) -> usize {
+    debug_assert!(parallelism > 0, "parallelism must be positive");
+    (hash_key(record, fields) % parallelism as u64) as usize
+}
+
+/// Compares two records on their respective key fields (field-by-field, in
+/// declaration order).  Used by the sort-based local strategies.
+pub fn compare_keys(a: &Record, a_fields: &[usize], b: &Record, b_fields: &[usize]) -> Ordering {
+    debug_assert_eq!(a_fields.len(), b_fields.len(), "key arity mismatch");
+    for (&ia, &ib) in a_fields.iter().zip(b_fields) {
+        let ord = a.field(ia).cmp(b.field(ib));
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// True if the key fields of `a` equal the key fields of `b`.
+pub fn keys_equal(a: &Record, a_fields: &[usize], b: &Record, b_fields: &[usize]) -> bool {
+    compare_keys(a, a_fields, b, b_fields) == Ordering::Equal
+}
+
+/// Sorts records in place by their key fields; ties are left in input order
+/// (stable sort), which keeps group contents deterministic for testing.
+pub fn sort_by_key(records: &mut [Record], fields: &[usize]) {
+    records.sort_by(|a, b| compare_keys(a, fields, b, fields));
+}
+
+/// Groups sorted records by key, returning `(start, end)` ranges of each
+/// group.  The input must already be sorted by `fields`.
+pub fn group_ranges(records: &[Record], fields: &[usize]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    while start < records.len() {
+        let mut end = start + 1;
+        while end < records.len() && keys_equal(&records[start], fields, &records[end], fields) {
+            end += 1;
+        }
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_single_and_composite_keys() {
+        let r = Record::triple(7, 3, 0.5);
+        assert_eq!(Key::extract(&r, &[0]), Key::long(7));
+        assert_eq!(Key::extract(&r, &[1, 0]), Key(vec![Value::Long(3), Value::Long(7)]));
+    }
+
+    #[test]
+    fn equal_keys_hash_identically() {
+        let a = Record::pair(5, 10);
+        let b = Record::triple(5, 99, 1.0);
+        assert_eq!(hash_key(&a, &[0]), hash_key(&b, &[0]));
+    }
+
+    #[test]
+    fn extracted_key_hash_matches_record_key_hash() {
+        for v in 0..200i64 {
+            let r = Record::triple(v, v * 3, 0.5);
+            let key = Key::extract(&r, &[0, 1]);
+            assert_eq!(hash_values(key.values()), hash_key(&r, &[0, 1]));
+        }
+    }
+
+    #[test]
+    fn partitioning_is_within_bounds_and_deterministic() {
+        for v in 0..1000i64 {
+            let r = Record::pair(v, 0);
+            let p = partition_for(&r, &[0], 7);
+            assert!(p < 7);
+            assert_eq!(p, partition_for(&r, &[0], 7));
+        }
+    }
+
+    #[test]
+    fn compare_keys_orders_by_fields_in_order() {
+        let a = Record::pair(1, 9);
+        let b = Record::pair(1, 2);
+        assert_eq!(compare_keys(&a, &[0], &b, &[0]), Ordering::Equal);
+        assert_eq!(compare_keys(&a, &[0, 1], &b, &[0, 1]), Ordering::Greater);
+        assert_eq!(compare_keys(&b, &[1], &a, &[1]), Ordering::Less);
+    }
+
+    #[test]
+    fn group_ranges_splits_sorted_runs() {
+        let mut records = vec![
+            Record::pair(2, 0),
+            Record::pair(1, 1),
+            Record::pair(1, 2),
+            Record::pair(3, 0),
+            Record::pair(2, 5),
+        ];
+        sort_by_key(&mut records, &[0]);
+        let ranges = group_ranges(&records, &[0]);
+        assert_eq!(ranges, vec![(0, 2), (2, 4), (4, 5)]);
+        assert_eq!(records[0].long(0), 1);
+        assert_eq!(records[4].long(0), 3);
+    }
+
+    #[test]
+    fn group_ranges_on_empty_input() {
+        assert!(group_ranges(&[], &[0]).is_empty());
+    }
+
+    #[test]
+    fn keys_can_join_across_different_positions() {
+        // Match joins vector (pid at field 0) with matrix (pid at field 1).
+        let vector = Record::long_double(4, 0.25);
+        let matrix = Record::triple(9, 4, 0.5);
+        assert!(keys_equal(&vector, &[0], &matrix, &[1]));
+        assert!(!keys_equal(&vector, &[0], &matrix, &[0]));
+    }
+}

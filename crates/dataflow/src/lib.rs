@@ -1,0 +1,78 @@
+//! # dataflow — a PACT-style parallel dataflow engine
+//!
+//! This crate is the batch-processing substrate that the iteration operators
+//! of the `spinning-core` crate are embedded into, closely following the
+//! Stratosphere system assumed by *Spinning Fast Iterative Data Flows*
+//! (Ewen et al., VLDB 2012), Section 3:
+//!
+//! * **Record model** — records are short sequences of [`Value`]s; operators
+//!   address key fields by position ([`record`], [`value`], [`key`]).
+//! * **Parallelization Contracts** — `Map`, `Reduce`, `Match`, `Cross`,
+//!   `CoGroup` and `InnerCoGroup` second-order functions wrapping arbitrary
+//!   user code ([`contracts`]).
+//! * **Logical plans** — DAGs of sources, operators and sinks ([`plan`]).
+//! * **Physical plans** — shipping strategies (forward, hash/range partition,
+//!   broadcast) per edge and local strategies (hash/sort joins and groupings)
+//!   per operator ([`physical`]).
+//! * **Executor** — a multi-threaded shared-nothing runtime where each worker
+//!   partition stands in for a cluster node; records crossing partitions are
+//!   counted as network traffic ([`exec`], [`stats`]).
+//!
+//! ```
+//! use dataflow::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Count edges per source vertex.
+//! let mut plan = Plan::new();
+//! let edges = plan.source("edges", vec![
+//!     Record::pair(1, 2), Record::pair(1, 3), Record::pair(2, 3),
+//! ]);
+//! let degree = plan.reduce(
+//!     "degree",
+//!     edges,
+//!     vec![0],
+//!     Arc::new(ReduceClosure(|key: &[Value], group: &[Record], out: &mut Collector| {
+//!         out.collect(Record::pair(key[0].as_long(), group.len() as i64));
+//!     })),
+//! );
+//! plan.sink("degrees", degree);
+//!
+//! let physical = default_physical_plan(&plan, 2).unwrap();
+//! let result = Executor::new().execute(&physical).unwrap();
+//! let mut out = result.sink("degrees").unwrap();
+//! out.sort();
+//! assert_eq!(out, vec![Record::pair(1, 2), Record::pair(2, 1)]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod contracts;
+pub mod error;
+pub mod exec;
+pub mod key;
+pub mod physical;
+pub mod plan;
+pub mod record;
+pub mod stats;
+pub mod value;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::contracts::{
+        CoGroupClosure, CoGroupFunction, Collector, CrossClosure, CrossFunction, MapClosure,
+        MapFunction, MatchClosure, MatchFunction, ReduceClosure, ReduceFunction, Udf,
+    };
+    pub use crate::error::{DataflowError, Result};
+    pub use crate::exec::{ExecutionResult, Executor, IntermediateCache, Partition, Partitions};
+    pub use crate::key::{Key, KeyFields};
+    pub use crate::physical::{
+        default_physical_plan, LocalStrategy, PhysicalChoice, PhysicalPlan, ShipStrategy,
+    };
+    pub use crate::plan::{Operator, OperatorId, OperatorKind, Plan};
+    pub use crate::record::Record;
+    pub use crate::stats::{ExecutionStats, OperatorStats};
+    pub use crate::value::Value;
+}
+
+pub use prelude::*;

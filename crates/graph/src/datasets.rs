@@ -1,0 +1,260 @@
+//! Dataset profiles standing in for the paper's evaluation graphs.
+//!
+//! Table 2 of the paper lists the four evaluation graphs:
+//!
+//! | data set     | vertices    | edges         | avg. degree |
+//! |--------------|-------------|---------------|-------------|
+//! | Wikipedia-EN | 16,513,969  | 219,505,928   | 13.29       |
+//! | Webbase      | 115,657,290 | 1,736,677,821 | 15.02       |
+//! | Hollywood    | 1,985,306   | 228,985,632   | 115.34      |
+//! | Twitter      | 41,652,230  | 1,468,365,182 | 35.25       |
+//!
+//! plus the FOAF subgraph of the Billion Triple Challenge crawl (1.2 M
+//! vertices, 7 M edges) used for Figure 2.  The original corpora cannot ship
+//! with this repository, so [`DatasetProfile::generate`] produces synthetic
+//! graphs with the same vertex/edge *ratio* and a matching degree character
+//! (power-law web/social shape, plus a grafted long-diameter chain for the
+//! Webbase profile), scaled down by a configurable factor so benchmarks run
+//! on one machine.
+
+use crate::generators::{chain, rmat, RmatParams};
+use crate::graph::Graph;
+
+/// The shape of a dataset profile's degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphShape {
+    /// Web-graph-like power law (Wikipedia, Webbase).
+    Web,
+    /// Denser social-network-like power law (Hollywood, Twitter).
+    Social,
+    /// Web-graph-like power law plus a long chain component, reproducing the
+    /// ~744-iteration diameter of the Webbase graph's largest component.
+    WebLongDiameter,
+}
+
+/// A named dataset profile: the paper's graph, its full-scale statistics, and
+/// a recipe to generate a shape-matched synthetic graph.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Profile name as used in the paper ("Wikipedia-EN", ...).
+    pub name: &'static str,
+    /// Vertex count of the original graph (Table 2).
+    pub paper_vertices: u64,
+    /// Edge count of the original graph (Table 2).
+    pub paper_edges: u64,
+    /// Degree-distribution shape used for the synthetic stand-in.
+    pub shape: GraphShape,
+    /// Seed of the generator, so every run sees the same graph.
+    pub seed: u64,
+}
+
+impl DatasetProfile {
+    /// The Wikipedia-EN link graph profile.
+    pub fn wikipedia() -> Self {
+        DatasetProfile {
+            name: "Wikipedia-EN",
+            paper_vertices: 16_513_969,
+            paper_edges: 219_505_928,
+            shape: GraphShape::Web,
+            seed: 0x5741_4b49,
+        }
+    }
+
+    /// The Webbase-2001 web crawl profile (long-diameter largest component).
+    pub fn webbase() -> Self {
+        DatasetProfile {
+            name: "Webbase",
+            paper_vertices: 115_657_290,
+            paper_edges: 1_736_677_821,
+            shape: GraphShape::WebLongDiameter,
+            seed: 0x5745_4242,
+        }
+    }
+
+    /// The Hollywood co-appearance graph profile (dense social graph).
+    pub fn hollywood() -> Self {
+        DatasetProfile {
+            name: "Hollywood",
+            paper_vertices: 1_985_306,
+            paper_edges: 228_985_632,
+            shape: GraphShape::Social,
+            seed: 0x484f_4c4c,
+        }
+    }
+
+    /// The Twitter follower graph profile.
+    pub fn twitter() -> Self {
+        DatasetProfile {
+            name: "Twitter",
+            paper_vertices: 41_652_230,
+            paper_edges: 1_468_365_182,
+            shape: GraphShape::Social,
+            seed: 0x5457_5454,
+        }
+    }
+
+    /// The FOAF subgraph of the Billion Triple Challenge crawl used for
+    /// Figure 2 (1.2 M vertices, 7 M edges).
+    pub fn foaf() -> Self {
+        DatasetProfile {
+            name: "FOAF",
+            paper_vertices: 1_200_000,
+            paper_edges: 7_000_000,
+            shape: GraphShape::Web,
+            seed: 0x464f_4146,
+        }
+    }
+
+    /// All profiles of Table 2, in the paper's order.
+    pub fn table2() -> Vec<DatasetProfile> {
+        vec![Self::wikipedia(), Self::webbase(), Self::hollywood(), Self::twitter()]
+    }
+
+    /// The average degree of the original graph.
+    pub fn paper_avg_degree(&self) -> f64 {
+        self.paper_edges as f64 / self.paper_vertices as f64
+    }
+
+    /// Number of vertices the synthetic stand-in has at `scale` (vertices are
+    /// divided by the scale factor, clamped to a small minimum so tests can
+    /// use large factors).
+    pub fn scaled_vertices(&self, scale: u64) -> usize {
+        ((self.paper_vertices / scale.max(1)) as usize).max(64)
+    }
+
+    /// Number of edges the synthetic stand-in targets at `scale`, preserving
+    /// the original average degree.
+    pub fn scaled_edges(&self, scale: u64) -> usize {
+        (self.scaled_vertices(scale) as f64 * self.paper_avg_degree()) as usize
+    }
+
+    /// Generates the synthetic stand-in graph at the given downscale factor
+    /// (e.g. `scale = 64` builds a graph with 1/64th of the vertices,
+    /// preserving the average degree).  The result is undirected, matching
+    /// the paper's treatment of the graphs for Connected Components.
+    pub fn generate(&self, scale: u64) -> Graph {
+        let vertices = self.scaled_vertices(scale);
+        let edges = self.scaled_edges(scale);
+        match self.shape {
+            GraphShape::Web => {
+                rmat(vertices, edges, RmatParams::default(), self.seed).symmetrize()
+            }
+            GraphShape::Social => {
+                rmat(vertices, edges, RmatParams::social(), self.seed).symmetrize()
+            }
+            GraphShape::WebLongDiameter => {
+                // Reserve a slice of the vertices for a chain whose length far
+                // exceeds the diameter of the power-law part, so Connected
+                // Components needs hundreds of supersteps to converge on the
+                // full graph, as observed for Webbase in Figure 10.
+                let chain_len = (vertices / 10).max(32);
+                let bulk = rmat(
+                    vertices - chain_len,
+                    edges.saturating_sub(2 * chain_len),
+                    RmatParams::default(),
+                    self.seed,
+                )
+                .symmetrize();
+                bulk.disjoint_union(&chain(chain_len))
+            }
+        }
+    }
+}
+
+/// Summary statistics of a generated graph, printed by the Table 2
+/// reproduction harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Average degree.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of weakly connected components.
+    pub components: usize,
+}
+
+impl GraphSummary {
+    /// Computes the summary of a graph.
+    pub fn of(graph: &Graph) -> Self {
+        GraphSummary {
+            vertices: graph.num_vertices(),
+            edges: graph.num_edges(),
+            avg_degree: graph.avg_degree(),
+            max_degree: graph.max_degree(),
+            components: graph.count_components(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_statistics_match_the_paper() {
+        let profiles = DatasetProfile::table2();
+        assert_eq!(profiles.len(), 4);
+        let wiki = &profiles[0];
+        assert!((wiki.paper_avg_degree() - 13.29).abs() < 0.01);
+        let hollywood = DatasetProfile::hollywood();
+        assert!((hollywood.paper_avg_degree() - 115.34).abs() < 0.01);
+        let twitter = DatasetProfile::twitter();
+        assert!((twitter.paper_avg_degree() - 35.25).abs() < 0.01);
+        let webbase = DatasetProfile::webbase();
+        assert!((webbase.paper_avg_degree() - 15.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn scaled_generation_preserves_the_average_degree_roughly() {
+        let profile = DatasetProfile::wikipedia();
+        let graph = profile.generate(2048);
+        let summary = GraphSummary::of(&graph);
+        assert_eq!(summary.vertices, profile.scaled_vertices(2048));
+        // Symmetrization doubles directed edges, duplicate removal trims some:
+        // the result should be within a factor of ~2.5 of the paper's degree.
+        assert!(summary.avg_degree > profile.paper_avg_degree() * 0.5);
+        assert!(summary.avg_degree < profile.paper_avg_degree() * 2.5);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetProfile::hollywood().generate(4096);
+        let b = DatasetProfile::hollywood().generate(4096);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn webbase_profile_contains_a_long_chain() {
+        let graph = DatasetProfile::webbase().generate(65536);
+        // The chain is a separate component, so there are at least two
+        // components and the graph is much "longer" than a pure R-MAT graph.
+        assert!(graph.count_components() >= 2);
+        let chain_len = graph.num_vertices() / 10;
+        assert!(chain_len >= 32);
+    }
+
+    #[test]
+    fn social_profiles_are_denser_than_web_profiles() {
+        let social = DatasetProfile::hollywood();
+        let web = DatasetProfile::wikipedia();
+        assert!(social.paper_avg_degree() > web.paper_avg_degree() * 5.0);
+    }
+
+    #[test]
+    fn foaf_profile_matches_figure_2_scale() {
+        let foaf = DatasetProfile::foaf();
+        assert_eq!(foaf.paper_vertices, 1_200_000);
+        assert_eq!(foaf.paper_edges, 7_000_000);
+    }
+
+    #[test]
+    fn minimum_size_is_enforced_for_extreme_scales() {
+        let profile = DatasetProfile::foaf();
+        assert_eq!(profile.scaled_vertices(u64::MAX), 64);
+        assert!(profile.generate(u64::MAX).num_vertices() >= 64);
+    }
+}

@@ -1,0 +1,181 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on four graphs from the University of Milan Web Data
+//! Set Repository (Wikipedia-EN, Webbase-2001, Hollywood, Twitter) and the
+//! FOAF subgraph of the Billion Triple Challenge crawl.  Those corpora are
+//! not redistributable with this repository, so the benchmark harness
+//! generates synthetic graphs with matched *shape*: recursive-matrix (R-MAT)
+//! graphs reproduce the skewed degree distributions of web and social graphs,
+//! long chains reproduce the huge-diameter component that makes Connected
+//! Components on Webbase run for 744 iterations, and Erdős–Rényi graphs serve
+//! as a uniform-degree control.
+
+use crate::graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT quadrant probabilities.  The defaults (0.57, 0.19, 0.19, 0.05) are
+/// the standard "web graph like" parameterisation.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Probability of recursing into the top-right quadrant.
+    pub b: f64,
+    /// Probability of recursing into the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of recursing into the bottom-right quadrant.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+    }
+}
+
+impl RmatParams {
+    /// Parameters producing a denser, more social-network-like graph (heavier
+    /// tail, more clustering of high-degree vertices).
+    pub fn social() -> Self {
+        RmatParams { a: 0.45, b: 0.22, c: 0.22, d: 0.11 }
+    }
+}
+
+/// Generates a directed R-MAT graph with `num_vertices` (rounded up to a
+/// power of two internally, then truncated) and approximately `num_edges`
+/// edges.
+pub fn rmat(num_vertices: usize, num_edges: usize, params: RmatParams, seed: u64) -> Graph {
+    assert!(num_vertices > 1, "graphs need at least two vertices");
+    let levels = (num_vertices as f64).log2().ceil() as u32;
+    let side = 1usize << levels;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let (mut row_lo, mut row_hi) = (0usize, side);
+        let (mut col_lo, mut col_hi) = (0usize, side);
+        while row_hi - row_lo > 1 {
+            let r: f64 = rng.gen();
+            let (down, right) = if r < params.a {
+                (false, false)
+            } else if r < params.a + params.b {
+                (false, true)
+            } else if r < params.a + params.b + params.c {
+                (true, false)
+            } else {
+                (true, true)
+            };
+            let row_mid = (row_lo + row_hi) / 2;
+            let col_mid = (col_lo + col_hi) / 2;
+            if down {
+                row_lo = row_mid;
+            } else {
+                row_hi = row_mid;
+            }
+            if right {
+                col_lo = col_mid;
+            } else {
+                col_hi = col_mid;
+            }
+        }
+        let s = row_lo % num_vertices;
+        let t = col_lo % num_vertices;
+        if s != t {
+            edges.push((s as VertexId, t as VertexId));
+        }
+    }
+    Graph::from_edges(num_vertices, &edges)
+}
+
+/// Generates an Erdős–Rényi style graph with the given expected average
+/// out-degree.
+pub fn erdos_renyi(num_vertices: usize, avg_degree: f64, seed: u64) -> Graph {
+    assert!(num_vertices > 1, "graphs need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_edges = (num_vertices as f64 * avg_degree) as usize;
+    let mut edges = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let s = rng.gen_range(0..num_vertices as VertexId);
+        let t = rng.gen_range(0..num_vertices as VertexId);
+        if s != t {
+            edges.push((s, t));
+        }
+    }
+    Graph::from_edges(num_vertices, &edges)
+}
+
+/// A simple path (chain) of `num_vertices` vertices: the maximum-diameter
+/// connected graph, used to reproduce the Webbase long-tail behaviour.
+pub fn chain(num_vertices: usize) -> Graph {
+    assert!(num_vertices > 1, "graphs need at least two vertices");
+    let edges: Vec<(VertexId, VertexId)> =
+        (0..num_vertices as VertexId - 1).map(|v| (v, v + 1)).collect();
+    Graph::undirected_from_edges(num_vertices, &edges)
+}
+
+/// A ring of `num_vertices` vertices.
+pub fn ring(num_vertices: usize) -> Graph {
+    assert!(num_vertices > 2, "rings need at least three vertices");
+    let n = num_vertices as VertexId;
+    let edges: Vec<(VertexId, VertexId)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    Graph::undirected_from_edges(num_vertices, &edges)
+}
+
+/// A star: vertex 0 connected to every other vertex.  Converges in very few
+/// iterations and exercises the high-degree hub case.
+pub fn star(num_vertices: usize) -> Graph {
+    assert!(num_vertices > 1, "graphs need at least two vertices");
+    let edges: Vec<(VertexId, VertexId)> =
+        (1..num_vertices as VertexId).map(|v| (0, v)).collect();
+    Graph::undirected_from_edges(num_vertices, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_produces_requested_size_and_is_deterministic() {
+        let g1 = rmat(1000, 8000, RmatParams::default(), 42);
+        let g2 = rmat(1000, 8000, RmatParams::default(), 42);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.num_vertices(), 1000);
+        // Duplicates are removed, so the edge count is close to but at most
+        // the requested number.
+        assert!(g1.num_edges() > 6000 && g1.num_edges() <= 8000);
+    }
+
+    #[test]
+    fn rmat_seeds_differ() {
+        let g1 = rmat(512, 4096, RmatParams::default(), 1);
+        let g2 = rmat(512, 4096, RmatParams::default(), 2);
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn rmat_has_a_skewed_degree_distribution() {
+        let g = rmat(4096, 65536, RmatParams::default(), 7);
+        // Power-law-ish: the maximum degree is far above the average.
+        assert!(g.max_degree() as f64 > 10.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn erdos_renyi_is_close_to_uniform() {
+        let g = erdos_renyi(2048, 8.0, 3);
+        assert!((g.avg_degree() - 8.0).abs() < 1.0);
+        // Uniform graphs have no extreme hubs.
+        assert!((g.max_degree() as f64) < 8.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn chain_ring_and_star_shapes() {
+        let c = chain(100);
+        assert_eq!(c.num_edges(), 2 * 99);
+        assert_eq!(c.count_components(), 1);
+        let r = ring(10);
+        assert!(r.vertices().all(|v| r.degree(v) == 2));
+        let s = star(50);
+        assert_eq!(s.degree(0), 49);
+        assert_eq!(s.count_components(), 1);
+    }
+}

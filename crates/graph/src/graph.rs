@@ -1,0 +1,249 @@
+//! Compressed-sparse-row graphs.
+//!
+//! The evaluation workloads of the paper (PageRank, Connected Components,
+//! SSSP) operate on large sparse graphs.  This module provides an immutable
+//! CSR representation built from an edge list, with optional symmetrization
+//! (the paper interprets directed web graphs as undirected for the weakly
+//! Connected Components experiments).
+
+use std::collections::HashSet;
+
+/// Vertex identifier.
+pub type VertexId = u32;
+
+/// An immutable directed graph in compressed-sparse-row form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes the out-neighbours of `v` in
+    /// `targets`.
+    offsets: Vec<usize>,
+    /// Concatenated adjacency lists.
+    targets: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Builds a graph with `num_vertices` vertices from a directed edge list.
+    /// Self-loops and duplicate edges are removed; edges referencing vertices
+    /// `>= num_vertices` are dropped.
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut cleaned: Vec<(VertexId, VertexId)> = edges
+            .iter()
+            .copied()
+            .filter(|&(s, t)| s != t && (s as usize) < num_vertices && (t as usize) < num_vertices)
+            .collect();
+        cleaned.sort_unstable();
+        cleaned.dedup();
+
+        let mut offsets = vec![0usize; num_vertices + 1];
+        for &(s, _) in &cleaned {
+            offsets[s as usize + 1] += 1;
+        }
+        for v in 0..num_vertices {
+            offsets[v + 1] += offsets[v];
+        }
+        let targets = cleaned.into_iter().map(|(_, t)| t).collect();
+        Graph { offsets, targets }
+    }
+
+    /// Builds an undirected graph: every edge `(a, b)` is inserted in both
+    /// directions.
+    pub fn undirected_from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut sym = Vec::with_capacity(edges.len() * 2);
+        for &(a, b) in edges {
+            sym.push((a, b));
+            sym.push((b, a));
+        }
+        Graph::from_edges(num_vertices, &sym)
+    }
+
+    /// Returns the symmetrized (undirected) version of this graph.
+    pub fn symmetrize(&self) -> Graph {
+        let edges: Vec<(VertexId, VertexId)> = self.edges().collect();
+        Graph::undirected_from_edges(self.num_vertices(), &edges)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (adjacency entries).
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Maximum out-degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The out-neighbours of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Iterates over all directed edges `(source, target)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// True if the graph contains the directed edge `(s, t)`.
+    pub fn has_edge(&self, s: VertexId, t: VertexId) -> bool {
+        self.neighbors(s).contains(&t)
+    }
+
+    /// Merges two graphs over a combined vertex set: the second graph's
+    /// vertex ids are shifted by `self.num_vertices()`.  Used to graft a
+    /// long-diameter chain component onto a power-law graph for the
+    /// Webbase-like dataset profile.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let shift = self.num_vertices() as VertexId;
+        let mut edges: Vec<(VertexId, VertexId)> = self.edges().collect();
+        edges.extend(other.edges().map(|(s, t)| (s + shift, t + shift)));
+        Graph::from_edges(self.num_vertices() + other.num_vertices(), &edges)
+    }
+
+    /// Number of weakly connected components, computed with a sequential
+    /// union-find; serves as the oracle the iterative algorithms are tested
+    /// against.
+    pub fn count_components(&self) -> usize {
+        let assignment = self.components_oracle();
+        let mut roots: HashSet<VertexId> = HashSet::new();
+        for &c in &assignment {
+            roots.insert(c);
+        }
+        roots.len()
+    }
+
+    /// Sequential weakly-connected-components oracle: assigns every vertex
+    /// the smallest vertex id in its component (the same convention the
+    /// iterative algorithms converge to when initialised with `cid = vid`).
+    pub fn components_oracle(&self) -> Vec<VertexId> {
+        let n = self.num_vertices();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+
+        for (s, t) in self.edges() {
+            let (a, b) = (find(&mut parent, s), find(&mut parent, t));
+            if a != b {
+                // Union by smaller id so the root is the minimum vertex id.
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                parent[hi as usize] = lo;
+            }
+        }
+        (0..n as u32).map(|v| find(&mut parent, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(VertexId, VertexId)> =
+            (0..n as VertexId - 1).map(|v| (v, v + 1)).collect();
+        Graph::undirected_from_edges(n, &edges)
+    }
+
+    #[test]
+    fn csr_construction_and_neighbours() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(3, 2));
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_are_removed() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1), (0, 1), (1, 2), (5, 1)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn undirected_graphs_are_symmetric() {
+        let g = Graph::undirected_from_edges(3, &[(0, 1), (1, 2)]);
+        for (s, t) in g.edges().collect::<Vec<_>>() {
+            assert!(g.has_edge(t, s));
+        }
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.symmetrize(), g);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = Graph::undirected_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(g.max_degree(), 4);
+        assert!((g.avg_degree() - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_oracle_on_disconnected_graph() {
+        // Two components: {0,1,2} and {3,4}.
+        let g = Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let cc = g.components_oracle();
+        assert_eq!(cc, vec![0, 0, 0, 3, 3]);
+        assert_eq!(g.count_components(), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_component() {
+        let g = Graph::undirected_from_edges(4, &[(0, 1)]);
+        assert_eq!(g.count_components(), 3);
+    }
+
+    #[test]
+    fn disjoint_union_shifts_ids() {
+        let a = path(3);
+        let b = path(2);
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.num_vertices(), 5);
+        assert_eq!(u.num_edges(), a.num_edges() + b.num_edges());
+        assert!(u.has_edge(3, 4));
+        assert!(u.has_edge(4, 3));
+        assert_eq!(u.count_components(), 2);
+    }
+
+    #[test]
+    fn path_graph_has_one_component() {
+        let g = path(100);
+        assert_eq!(g.count_components(), 1);
+        assert_eq!(g.components_oracle(), vec![0; 100]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # graphdata — graph substrate for the evaluation workloads
+//!
+//! Provides the graphs the iterative algorithms run on:
+//!
+//! * [`graph`] — an immutable CSR [`Graph`](graph::Graph) with a sequential
+//!   union-find connected-components oracle used for testing.
+//! * [`generators`] — synthetic generators (R-MAT power-law graphs, chains,
+//!   rings, stars, Erdős–Rényi) standing in for the paper's non-redistributable
+//!   corpora.
+//! * [`datasets`] — named profiles matching Table 2 of the paper
+//!   (Wikipedia-EN, Webbase, Hollywood, Twitter) plus the FOAF subgraph of
+//!   Figure 2, generated at a configurable downscale factor.
+//! * [`sample`] — the 9-vertex walkthrough graph of Figure 1.
+//! * [`io`] — plain-text edge-list reading and writing for running on real
+//!   data.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod datasets;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod sample;
+
+pub use crate::datasets::{DatasetProfile, GraphShape, GraphSummary};
+pub use crate::generators::{chain, erdos_renyi, ring, rmat, star, RmatParams};
+pub use crate::graph::{Graph, VertexId};
+pub use crate::io::{parse_edge_list, read_edge_list, write_edge_list};
+pub use crate::sample::{figure1_expected_components, figure1_graph};

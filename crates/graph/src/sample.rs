@@ -1,0 +1,56 @@
+//! The sample graph of the paper's Figure 1.
+//!
+//! Figure 1 walks through the Connected Components algorithm on a 9-vertex
+//! graph with two components ({1,2,3,4} and {5,6}) plus a triangle
+//! ({7,8,9}).  The quickstart example and several tests replay the paper's
+//! walkthrough on this graph, including the per-iteration component-id
+//! assignments `S0`, `S1`, `S2` shown in the figure.
+
+use crate::graph::{Graph, VertexId};
+
+/// Vertex ids used in Figure 1 are 1-based; this graph uses the same ids and
+/// keeps vertex 0 isolated so the ids line up with the paper.
+pub fn figure1_graph() -> Graph {
+    // Edges as drawn in Figure 1: the 4-cycle 1-2-4-3, the pair 5-6 and the
+    // triangle 7-8-9.
+    let edges: &[(VertexId, VertexId)] = &[
+        (1, 2),
+        (1, 3),
+        (2, 4),
+        (3, 4),
+        (5, 6),
+        (7, 8),
+        (7, 9),
+        (8, 9),
+    ];
+    Graph::undirected_from_edges(10, edges)
+}
+
+/// The component assignment after convergence, indexed by vertex id
+/// (vertex 0 is the unused padding vertex).
+pub fn figure1_expected_components() -> Vec<VertexId> {
+    vec![0, 1, 1, 1, 1, 5, 5, 7, 7, 7]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_graph_shape() {
+        let g = figure1_graph();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 16);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(4, 5));
+    }
+
+    #[test]
+    fn figure1_has_three_real_components_plus_padding() {
+        let g = figure1_graph();
+        // {0}, {1,2,3,4}, {5,6}, {7,8,9}
+        assert_eq!(g.count_components(), 4);
+        assert_eq!(g.components_oracle(), figure1_expected_components());
+    }
+}

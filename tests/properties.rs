@@ -1,0 +1,179 @@
+//! Property-based integration tests over the core invariants listed in
+//! DESIGN.md, using randomly generated graphs and workloads.
+
+use algorithms::{cc_async, cc_incremental, cc_microstep, oracles, sssp, ComponentsConfig};
+use dataflow::prelude::*;
+use graphdata::{Graph, VertexId};
+use proptest::prelude::*;
+use spinning_core::prelude::*;
+use std::sync::Arc;
+
+/// Strategy producing arbitrary small undirected graphs.
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (2usize..60, proptest::collection::vec((0u32..60, 0u32..60), 0..200)).prop_map(
+        |(n, edges)| {
+            let clipped: Vec<(VertexId, VertexId)> = edges
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            Graph::undirected_from_edges(n, &clipped)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fixpoint equivalence: the incremental, microstep and asynchronous
+    /// Connected Components all equal the sequential union-find oracle on
+    /// arbitrary graphs.
+    #[test]
+    fn prop_connected_components_fixpoint_equivalence(graph in arbitrary_graph()) {
+        let oracle: Vec<i64> = graph.components_oracle().into_iter().map(i64::from).collect();
+        let config = ComponentsConfig::new(3);
+        prop_assert_eq!(cc_incremental(&graph, &config).unwrap().components, oracle.clone());
+        prop_assert_eq!(cc_microstep(&graph, &config).unwrap().components, oracle.clone());
+        prop_assert_eq!(cc_async(&graph, &config).unwrap().components, oracle);
+    }
+
+    /// CPO monotonicity: across supersteps of the incremental iteration, a
+    /// vertex's component id never increases.
+    #[test]
+    fn prop_component_ids_never_increase(graph in arbitrary_graph()) {
+        // Run superstep by superstep using the max_supersteps bound and check
+        // monotonicity of the evolving assignment.
+        let config_full = ComponentsConfig::new(2);
+        let full = cc_incremental(&graph, &config_full).unwrap();
+        let mut previous: Vec<i64> = (0..graph.num_vertices() as i64).collect();
+        for bound in 1..=full.iterations {
+            let partial = cc_incremental(
+                &graph,
+                &ComponentsConfig::new(2).with_max_iterations(bound),
+            )
+            .unwrap();
+            for v in 0..graph.num_vertices() {
+                prop_assert!(partial.components[v] <= previous[v]);
+            }
+            previous = partial.components;
+        }
+    }
+
+    /// SSSP equals the BFS oracle on arbitrary graphs and sources.
+    #[test]
+    fn prop_sssp_matches_bfs(graph in arbitrary_graph(), source_raw in 0u32..60) {
+        let source = source_raw % graph.num_vertices() as u32;
+        let oracle = oracles::sssp(&graph, source);
+        let result = sssp(&graph, source, 2, ExecutionMode::BatchIncremental).unwrap();
+        prop_assert_eq!(result.distances, oracle);
+    }
+
+    /// The ∪̇ merge with a comparator is idempotent and keeps the record
+    /// closest to the supremum, regardless of delta order.
+    #[test]
+    fn prop_solution_set_merge_order_independent(
+        deltas in proptest::collection::vec((0i64..20, 0i64..100), 1..60)
+    ) {
+        let comparator: RecordComparator =
+            Arc::new(|a: &Record, b: &Record| b.long(1).cmp(&a.long(1)));
+        let mut forward = SolutionSet::new(vec![0], 3).with_comparator(Arc::clone(&comparator));
+        let mut reverse = SolutionSet::new(vec![0], 5).with_comparator(comparator);
+        for &(k, v) in &deltas {
+            forward.merge(Record::pair(k, v));
+        }
+        for &(k, v) in deltas.iter().rev() {
+            reverse.merge(Record::pair(k, v));
+        }
+        let mut a = forward.records();
+        let mut b = reverse.records();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        // And the surviving value per key is the minimum (closest to the
+        // supremum under this comparator).
+        for &(k, _) in &deltas {
+            let min = deltas.iter().filter(|(k2, _)| *k2 == k).map(|&(_, v)| v).min().unwrap();
+            prop_assert_eq!(forward.lookup(&Key::long(k)).unwrap().long(1), min);
+        }
+    }
+
+    /// Partitioned execution of a keyed aggregation produces the same result
+    /// as a single-partition run, for any parallelism.
+    #[test]
+    fn prop_partitioned_aggregation_matches_serial(
+        values in proptest::collection::vec((0i64..15, -100i64..100), 0..200),
+        parallelism in 1usize..9
+    ) {
+        let records: Vec<Record> = values.iter().map(|&(k, v)| Record::pair(k, v)).collect();
+        let mut plan = Plan::new();
+        let src = plan.source("values", records);
+        let sum = plan.reduce(
+            "sum",
+            src,
+            vec![0],
+            Arc::new(ReduceClosure(|key: &[Value], group: &[Record], out: &mut Collector| {
+                let total: i64 = group.iter().map(|r| r.long(1)).sum();
+                out.collect(Record::pair(key[0].as_long(), total));
+            })),
+        );
+        plan.sink("sums", sum);
+        let exec = Executor::new();
+        let parallel = exec
+            .execute(&default_physical_plan(&plan, parallelism).unwrap())
+            .unwrap()
+            .sink("sums")
+            .unwrap();
+        let serial = exec
+            .execute(&default_physical_plan(&plan, 1).unwrap())
+            .unwrap()
+            .sink("sums")
+            .unwrap();
+        let mut a = parallel;
+        let mut b = serial;
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// A hash-partitioned join sees every matching pair exactly once
+    /// (equivalence with a nested-loop oracle).
+    #[test]
+    fn prop_partitioned_join_is_complete(
+        left in proptest::collection::vec((0i64..10, 0i64..50), 0..60),
+        right in proptest::collection::vec((0i64..10, 0i64..50), 0..60),
+        parallelism in 1usize..6
+    ) {
+        let mut expected: Vec<(i64, i64)> = Vec::new();
+        for &(lk, lv) in &left {
+            for &(rk, rv) in &right {
+                if lk == rk {
+                    expected.push((lv, rv));
+                }
+            }
+        }
+        expected.sort_unstable();
+
+        let mut plan = Plan::new();
+        let l = plan.source("left", left.iter().map(|&(k, v)| Record::pair(k, v)).collect());
+        let r = plan.source("right", right.iter().map(|&(k, v)| Record::pair(k, v)).collect());
+        let join = plan.match_join(
+            "join",
+            l,
+            r,
+            vec![0],
+            vec![0],
+            Arc::new(MatchClosure(|a: &Record, b: &Record, out: &mut Collector| {
+                out.collect(Record::pair(a.long(1), b.long(1)));
+            })),
+        );
+        plan.sink("pairs", join);
+        let result = Executor::new()
+            .execute(&default_physical_plan(&plan, parallelism).unwrap())
+            .unwrap()
+            .sink("pairs")
+            .unwrap();
+        let mut actual: Vec<(i64, i64)> =
+            result.iter().map(|r| (r.long(0), r.long(1))).collect();
+        actual.sort_unstable();
+        prop_assert_eq!(actual, expected);
+    }
+}
