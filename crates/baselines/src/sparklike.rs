@@ -18,7 +18,7 @@
 //! still have to be copied into the next iteration's RDD).
 
 use graphdata::Graph;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -58,7 +58,7 @@ impl SparkContext {
 
     /// A snapshot of the collected statistics.
     pub fn stats(&self) -> SparkStats {
-        self.stats.lock().clone()
+        self.stats.lock().unwrap().clone()
     }
 
     /// Creates an RDD from a vector, hash-partitioning nothing (round-robin
@@ -73,15 +73,15 @@ impl SparkContext {
     }
 
     fn add_processed(&self, n: usize) {
-        self.stats.lock().records_processed += n;
+        self.stats.lock().unwrap().records_processed += n;
     }
 
     fn add_shuffled(&self, n: usize) {
-        self.stats.lock().shuffle_records += n;
+        self.stats.lock().unwrap().shuffle_records += n;
     }
 
     fn record_iteration(&self, elapsed: Duration, records: usize) {
-        let mut stats = self.stats.lock();
+        let mut stats = self.stats.lock().unwrap();
         stats.iteration_times.push(elapsed);
         stats.iteration_records.push(records);
     }

@@ -1,57 +1,41 @@
-//! Criterion bench backing Figures 9, 11 and 12: Connected Components across
-//! systems and variants on the Wikipedia and Hollywood stand-ins.
+//! Bench backing Figures 9, 11 and 12: Connected Components across systems
+//! and variants on the Wikipedia and Hollywood stand-ins.
 
 use algorithms::{cc_bulk, cc_incremental, cc_microstep, ComponentsConfig};
-use baselines::{cc_pregel, cc_spark_bulk, cc_spark_simulated_incremental, PregelConfig, SparkContext};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use baselines::{
+    cc_pregel, cc_spark_bulk, cc_spark_simulated_incremental, PregelConfig, SparkContext,
+};
+use bench::harness::{black_box, Group};
 use graphdata::DatasetProfile;
-use std::hint::black_box;
 
 const SCALE: u64 = 16_384;
 
-fn bench_cc_systems(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_11_connected_components");
+fn main() {
+    let mut group = Group::new("fig9_11_connected_components");
     group.sample_size(10);
     for profile in [DatasetProfile::wikipedia(), DatasetProfile::hollywood()] {
         let graph = profile.generate(SCALE);
         let config = ComponentsConfig::new(bench::PARALLELISM);
-        group.bench_with_input(BenchmarkId::new("spark_full", profile.name), &graph, |b, g| {
-            b.iter(|| {
-                let ctx = SparkContext::new(bench::PARALLELISM);
-                black_box(cc_spark_bulk(g, &ctx))
-            })
+        group.bench_function(&format!("spark_full/{}", profile.name), || {
+            let ctx = SparkContext::new(bench::PARALLELISM);
+            black_box(cc_spark_bulk(&graph, &ctx));
         });
-        group.bench_with_input(
-            BenchmarkId::new("spark_sim_incremental", profile.name),
-            &graph,
-            |b, g| {
-                b.iter(|| {
-                    let ctx = SparkContext::new(bench::PARALLELISM);
-                    black_box(cc_spark_simulated_incremental(g, &ctx))
-                })
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("giraph_like", profile.name), &graph, |b, g| {
-            b.iter(|| black_box(cc_pregel(g, &PregelConfig::new(bench::PARALLELISM))))
+        group.bench_function(&format!("spark_sim_incremental/{}", profile.name), || {
+            let ctx = SparkContext::new(bench::PARALLELISM);
+            black_box(cc_spark_simulated_incremental(&graph, &ctx));
         });
-        group.bench_with_input(
-            BenchmarkId::new("stratosphere_full", profile.name),
-            &graph,
-            |b, g| b.iter(|| black_box(cc_bulk(g, &config).unwrap())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("stratosphere_micro", profile.name),
-            &graph,
-            |b, g| b.iter(|| black_box(cc_microstep(g, &config).unwrap())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("stratosphere_incremental", profile.name),
-            &graph,
-            |b, g| b.iter(|| black_box(cc_incremental(g, &config).unwrap())),
-        );
+        group.bench_function(&format!("giraph_like/{}", profile.name), || {
+            black_box(cc_pregel(&graph, &PregelConfig::new(bench::PARALLELISM)));
+        });
+        group.bench_function(&format!("stratosphere_full/{}", profile.name), || {
+            black_box(cc_bulk(&graph, &config).unwrap());
+        });
+        group.bench_function(&format!("stratosphere_micro/{}", profile.name), || {
+            black_box(cc_microstep(&graph, &config).unwrap());
+        });
+        group.bench_function(&format!("stratosphere_incremental/{}", profile.name), || {
+            black_box(cc_incremental(&graph, &config).unwrap());
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_cc_systems);
-criterion_main!(benches);

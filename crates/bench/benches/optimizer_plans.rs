@@ -1,20 +1,18 @@
-//! Criterion bench backing Figure 4 and Table 2: optimizer planning latency
-//! for the PageRank step plan and dataset generation cost.
+//! Bench backing Figure 4 and Table 2: optimizer planning latency for the
+//! PageRank step plan and dataset generation cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{black_box, Group};
 use graphdata::DatasetProfile;
-use std::hint::black_box;
 
-fn bench_optimizer_and_datasets(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_table2");
+fn main() {
+    let mut group = Group::new("fig4_table2");
     group.sample_size(10);
-    group.bench_function("fig4_plan_choice_sweep", |b| b.iter(|| black_box(bench::fig4())));
-    group.bench_function("table2_dataset_generation", |b| {
-        b.iter(|| black_box(bench::table2(65_536)))
+    group.bench_function("fig4_plan_choice_sweep", || {
+        black_box(bench::fig4());
+    });
+    group.bench_function("table2_dataset_generation", || {
+        black_box(bench::table2(65_536));
     });
     let _ = DatasetProfile::table2();
     group.finish();
 }
-
-criterion_group!(benches, bench_optimizer_and_datasets);
-criterion_main!(benches);

@@ -1,60 +1,53 @@
-//! Criterion bench backing Figures 7 and 8: PageRank across systems
-//! (Spark-like, Pregel-like, Stratosphere partition plan, Stratosphere
-//! broadcast plan) on the Wikipedia stand-in.
+//! Bench backing Figures 7 and 8: PageRank across systems (Spark-like,
+//! Pregel-like, Stratosphere partition plan, Stratosphere broadcast plan) on
+//! the Wikipedia stand-in.
 
 use algorithms::{pagerank, PageRankConfig, PageRankPlan};
 use baselines::{pagerank_pregel, pagerank_spark, PregelConfig, SparkContext};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{black_box, Group};
 use graphdata::DatasetProfile;
-use std::hint::black_box;
 
 const ITERATIONS: usize = 5;
 const SCALE: u64 = 16_384;
 
-fn bench_pagerank_systems(c: &mut Criterion) {
+fn main() {
     let graph = DatasetProfile::wikipedia().generate(SCALE);
-    let mut group = c.benchmark_group("fig7_8_pagerank");
+    let mut group = Group::new("fig7_8_pagerank");
     group.sample_size(10);
 
-    group.bench_function("spark_like", |b| {
-        b.iter(|| {
-            let ctx = SparkContext::new(bench::PARALLELISM);
-            black_box(pagerank_spark(&graph, ITERATIONS, &ctx))
-        })
+    group.bench_function("spark_like", || {
+        let ctx = SparkContext::new(bench::PARALLELISM);
+        black_box(pagerank_spark(&graph, ITERATIONS, &ctx));
     });
-    group.bench_function("pregel_like", |b| {
-        b.iter(|| {
-            black_box(pagerank_pregel(&graph, ITERATIONS, 0.85, &PregelConfig::new(bench::PARALLELISM)))
-        })
+    group.bench_function("pregel_like", || {
+        black_box(pagerank_pregel(
+            &graph,
+            ITERATIONS,
+            0.85,
+            &PregelConfig::new(bench::PARALLELISM),
+        ));
     });
-    group.bench_function("stratosphere_partition", |b| {
-        b.iter(|| {
-            black_box(
-                pagerank(
-                    &graph,
-                    &PageRankConfig::new(bench::PARALLELISM)
-                        .with_iterations(ITERATIONS)
-                        .with_plan(PageRankPlan::ForcePartition),
-                )
-                .unwrap(),
+    group.bench_function("stratosphere_partition", || {
+        black_box(
+            pagerank(
+                &graph,
+                &PageRankConfig::new(bench::PARALLELISM)
+                    .with_iterations(ITERATIONS)
+                    .with_plan(PageRankPlan::ForcePartition),
             )
-        })
+            .unwrap(),
+        );
     });
-    group.bench_function("stratosphere_broadcast", |b| {
-        b.iter(|| {
-            black_box(
-                pagerank(
-                    &graph,
-                    &PageRankConfig::new(bench::PARALLELISM)
-                        .with_iterations(ITERATIONS)
-                        .with_plan(PageRankPlan::ForceBroadcast),
-                )
-                .unwrap(),
+    group.bench_function("stratosphere_broadcast", || {
+        black_box(
+            pagerank(
+                &graph,
+                &PageRankConfig::new(bench::PARALLELISM)
+                    .with_iterations(ITERATIONS)
+                    .with_plan(PageRankPlan::ForceBroadcast),
             )
-        })
+            .unwrap(),
+        );
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_pagerank_systems);
-criterion_main!(benches);

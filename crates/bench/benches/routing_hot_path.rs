@@ -1,0 +1,16 @@
+//! Micro-bench for the record-routing hot path: key extraction, hash
+//! partitioning, exchange and solution-set merging.  See the JSON-emitting
+//! `routing_report` binary for the tracked numbers (`BENCH_routing.json`).
+
+use bench::harness::Group;
+
+fn main() {
+    let mut group = Group::new("routing_hot_path");
+    group.sample_size(10);
+    for m in bench::routing::all_microbenches() {
+        group.bench_function(&m.name.clone(), || {
+            (m.run)();
+        });
+    }
+    group.finish();
+}

@@ -1,40 +1,30 @@
-//! Criterion bench backing Figures 2 and 10: the incremental Connected
-//! Components long tail on the Webbase stand-in and the effective-work decay
-//! on the FOAF stand-in.
+//! Bench backing Figures 2 and 10: the incremental Connected Components long
+//! tail on the Webbase stand-in and the effective-work decay on the FOAF
+//! stand-in.
 
 use algorithms::{cc_incremental, ComponentsConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{black_box, Group};
 use graphdata::DatasetProfile;
-use std::hint::black_box;
 
-fn bench_long_tail(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2_10_incremental_cc");
+fn main() {
+    let mut group = Group::new("fig2_10_incremental_cc");
     group.sample_size(10);
     let webbase = DatasetProfile::webbase().generate(32_768);
-    group.bench_function("webbase_full_convergence", |b| {
-        b.iter(|| {
-            black_box(cc_incremental(&webbase, &ComponentsConfig::new(bench::PARALLELISM)).unwrap())
-        })
+    group.bench_function("webbase_full_convergence", || {
+        black_box(cc_incremental(&webbase, &ComponentsConfig::new(bench::PARALLELISM)).unwrap());
     });
-    group.bench_function("webbase_first_20_supersteps", |b| {
-        b.iter(|| {
-            black_box(
-                cc_incremental(
-                    &webbase,
-                    &ComponentsConfig::new(bench::PARALLELISM).with_max_iterations(20),
-                )
-                .unwrap(),
+    group.bench_function("webbase_first_20_supersteps", || {
+        black_box(
+            cc_incremental(
+                &webbase,
+                &ComponentsConfig::new(bench::PARALLELISM).with_max_iterations(20),
             )
-        })
+            .unwrap(),
+        );
     });
     let foaf = DatasetProfile::foaf().generate(32_768);
-    group.bench_function("foaf_effective_work", |b| {
-        b.iter(|| {
-            black_box(cc_incremental(&foaf, &ComponentsConfig::new(bench::PARALLELISM)).unwrap())
-        })
+    group.bench_function("foaf_effective_work", || {
+        black_box(cc_incremental(&foaf, &ComponentsConfig::new(bench::PARALLELISM)).unwrap());
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_long_tail);
-criterion_main!(benches);

@@ -17,6 +17,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod harness;
+pub mod routing;
+
 use algorithms::{
     cc_bulk, cc_incremental, cc_microstep, pagerank, ComponentsConfig, PageRankConfig,
     PageRankPlan,

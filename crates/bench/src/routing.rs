@@ -1,0 +1,16 @@
+//! Micro-benchmarks of the record-routing hot path (key extraction, hash
+//! partitioning, exchange, solution-set merge), shared by the
+//! `routing_hot_path` bench and the JSON-emitting `routing_report` binary.
+
+/// A named closure timed by the harness.
+pub struct Microbench {
+    /// Benchmark name.
+    pub name: String,
+    /// The workload; one call is one sample.
+    pub run: Box<dyn Fn()>,
+}
+
+/// All routing micro-benchmarks.
+pub fn all_microbenches() -> Vec<Microbench> {
+    Vec::new()
+}

@@ -18,11 +18,11 @@
 use crate::solution_set::SolutionSet;
 use crate::stats::{IterationRunStats, IterationStats};
 use crate::workset::{WorksetConfig, WorksetIteration, WorksetResult};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dataflow::key::partition_for;
 use dataflow::prelude::{Key, Record, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -56,7 +56,7 @@ pub(crate) fn run_async(
     let mut senders: Vec<Sender<Record>> = Vec::with_capacity(parallelism);
     let mut receivers: Vec<Receiver<Record>> = Vec::with_capacity(parallelism);
     for _ in 0..parallelism {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }

@@ -1,7 +1,6 @@
 //! Records: the unit of data flowing along dataflow edges.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A record is a short, positionally addressed sequence of [`Value`]s.
@@ -10,7 +9,7 @@ use std::fmt;
 /// the PACT record model: the system does not interpret the payload beyond
 /// the declared key fields, which is what allows arbitrary user code inside
 /// operators while still supporting partitioning, sorting and joining.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Record {
     fields: Vec<Value>,
 }

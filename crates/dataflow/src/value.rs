@@ -7,7 +7,6 @@
 //! broadcasting) cheap, which matters because the iterative workloads of the
 //! paper ship hundreds of millions of records between worker partitions.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -19,7 +18,7 @@ use std::hash::{Hash, Hasher};
 /// and small labels).  `Double` values are totally ordered and hashable via
 /// their bit pattern so that they can participate in keys, mirroring how
 /// Stratosphere treats all fields as binary-comparable serialized data.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// The absent value.
     Null,

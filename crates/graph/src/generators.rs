@@ -11,8 +11,7 @@
 //! as a uniform-degree control.
 
 use crate::graph::{Graph, VertexId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// R-MAT quadrant probabilities.  The defaults (0.57, 0.19, 0.19, 0.05) are
 /// the standard "web graph like" parameterisation.
@@ -49,13 +48,13 @@ pub fn rmat(num_vertices: usize, num_edges: usize, params: RmatParams, seed: u64
     assert!(num_vertices > 1, "graphs need at least two vertices");
     let levels = (num_vertices as f64).log2().ceil() as u32;
     let side = 1usize << levels;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(num_edges);
     while edges.len() < num_edges {
         let (mut row_lo, mut row_hi) = (0usize, side);
         let (mut col_lo, mut col_hi) = (0usize, side);
         while row_hi - row_lo > 1 {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let (down, right) = if r < params.a {
                 (false, false)
             } else if r < params.a + params.b {
@@ -91,12 +90,12 @@ pub fn rmat(num_vertices: usize, num_edges: usize, params: RmatParams, seed: u64
 /// out-degree.
 pub fn erdos_renyi(num_vertices: usize, avg_degree: f64, seed: u64) -> Graph {
     assert!(num_vertices > 1, "graphs need at least two vertices");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let num_edges = (num_vertices as f64 * avg_degree) as usize;
     let mut edges = Vec::with_capacity(num_edges);
     while edges.len() < num_edges {
-        let s = rng.gen_range(0..num_vertices as VertexId);
-        let t = rng.gen_range(0..num_vertices as VertexId);
+        let s = rng.gen_range(num_vertices as u64) as VertexId;
+        let t = rng.gen_range(num_vertices as u64) as VertexId;
         if s != t {
             edges.push((s, t));
         }

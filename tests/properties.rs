@@ -1,78 +1,171 @@
-//! Property-based integration tests over the core invariants listed in
-//! DESIGN.md, using randomly generated graphs and workloads.
+//! Property-based integration tests over the core invariants, using randomly
+//! generated graphs and workloads.
+//!
+//! The properties are exercised with a small hand-rolled harness (a
+//! deterministic [`SmallRng`] stream of cases) instead of an external
+//! property-testing crate, so the suite runs with no dependencies.  Every
+//! case is reproducible: the case index is part of the seed, and assertion
+//! messages name the seed of the failing case.
 
 use algorithms::{cc_async, cc_incremental, cc_microstep, oracles, sssp, ComponentsConfig};
+use dataflow::key::{hash_key, hash_values, partition_for};
 use dataflow::prelude::*;
-use graphdata::{Graph, VertexId};
-use proptest::prelude::*;
+use graphdata::{Graph, SmallRng, VertexId};
 use spinning_core::prelude::*;
 use std::sync::Arc;
 
-/// Strategy producing arbitrary small undirected graphs.
-fn arbitrary_graph() -> impl Strategy<Value = Graph> {
-    (2usize..60, proptest::collection::vec((0u32..60, 0u32..60), 0..200)).prop_map(
-        |(n, edges)| {
-            let clipped: Vec<(VertexId, VertexId)> = edges
-                .into_iter()
-                .map(|(a, b)| (a % n as u32, b % n as u32))
-                .collect();
-            Graph::undirected_from_edges(n, &clipped)
-        },
-    )
+/// Number of random cases per property.
+const CASES: u64 = 24;
+
+/// A random small undirected graph derived from `seed`.
+fn arbitrary_graph(rng: &mut SmallRng) -> Graph {
+    let n = 2 + rng.gen_index(58);
+    let num_edges = rng.gen_index(200);
+    let edges: Vec<(VertexId, VertexId)> = (0..num_edges)
+        .map(|_| (rng.gen_index(n) as VertexId, rng.gen_index(n) as VertexId))
+        .collect();
+    Graph::undirected_from_edges(n, &edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A random record mixing every value type, exercising composite keys.
+fn arbitrary_record(rng: &mut SmallRng) -> Record {
+    let arity = 1 + rng.gen_index(4);
+    let mut fields = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        fields.push(match rng.gen_index(5) {
+            0 => Value::Long(rng.next_u64() as i64),
+            1 => Value::Double(rng.gen_f64() * 1e6 - 5e5),
+            2 => Value::Bool(rng.gen_index(2) == 0),
+            3 => Value::Text(format!("t{}", rng.gen_index(1000))),
+            _ => Value::Null,
+        });
+    }
+    Record::new(fields)
+}
 
-    /// Fixpoint equivalence: the incremental, microstep and asynchronous
-    /// Connected Components all equal the sequential union-find oracle on
-    /// arbitrary graphs.
-    #[test]
-    fn prop_connected_components_fixpoint_equivalence(graph in arbitrary_graph()) {
+/// Fixpoint equivalence: the incremental, microstep and asynchronous
+/// Connected Components all equal the sequential union-find oracle on
+/// arbitrary graphs.
+#[test]
+fn prop_connected_components_fixpoint_equivalence() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(1000 + seed);
+        let graph = arbitrary_graph(&mut rng);
         let oracle: Vec<i64> = graph.components_oracle().into_iter().map(i64::from).collect();
         let config = ComponentsConfig::new(3);
-        prop_assert_eq!(cc_incremental(&graph, &config).unwrap().components, oracle.clone());
-        prop_assert_eq!(cc_microstep(&graph, &config).unwrap().components, oracle.clone());
-        prop_assert_eq!(cc_async(&graph, &config).unwrap().components, oracle);
+        assert_eq!(
+            cc_incremental(&graph, &config).unwrap().components,
+            oracle,
+            "incremental CC diverged from oracle (seed {seed})"
+        );
+        assert_eq!(
+            cc_microstep(&graph, &config).unwrap().components,
+            oracle,
+            "microstep CC diverged from oracle (seed {seed})"
+        );
+        assert_eq!(
+            cc_async(&graph, &config).unwrap().components,
+            oracle,
+            "async CC diverged from oracle (seed {seed})"
+        );
     }
+}
 
-    /// CPO monotonicity: across supersteps of the incremental iteration, a
-    /// vertex's component id never increases.
-    #[test]
-    fn prop_component_ids_never_increase(graph in arbitrary_graph()) {
-        // Run superstep by superstep using the max_supersteps bound and check
-        // monotonicity of the evolving assignment.
-        let config_full = ComponentsConfig::new(2);
-        let full = cc_incremental(&graph, &config_full).unwrap();
+/// CPO monotonicity: across supersteps of the incremental iteration, a
+/// vertex's component id never increases.
+#[test]
+fn prop_component_ids_never_increase() {
+    for seed in 0..8 {
+        let mut rng = SmallRng::seed_from_u64(2000 + seed);
+        let graph = arbitrary_graph(&mut rng);
+        let full = cc_incremental(&graph, &ComponentsConfig::new(2)).unwrap();
         let mut previous: Vec<i64> = (0..graph.num_vertices() as i64).collect();
         for bound in 1..=full.iterations {
-            let partial = cc_incremental(
-                &graph,
-                &ComponentsConfig::new(2).with_max_iterations(bound),
-            )
-            .unwrap();
+            let partial =
+                cc_incremental(&graph, &ComponentsConfig::new(2).with_max_iterations(bound))
+                    .unwrap();
             for v in 0..graph.num_vertices() {
-                prop_assert!(partial.components[v] <= previous[v]);
+                assert!(
+                    partial.components[v] <= previous[v],
+                    "component id of vertex {v} increased (seed {seed}, bound {bound})"
+                );
             }
             previous = partial.components;
         }
     }
+}
 
-    /// SSSP equals the BFS oracle on arbitrary graphs and sources.
-    #[test]
-    fn prop_sssp_matches_bfs(graph in arbitrary_graph(), source_raw in 0u32..60) {
-        let source = source_raw % graph.num_vertices() as u32;
+/// SSSP equals the BFS oracle on arbitrary graphs and sources.
+#[test]
+fn prop_sssp_matches_bfs() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(3000 + seed);
+        let graph = arbitrary_graph(&mut rng);
+        let source = rng.gen_index(graph.num_vertices()) as u32;
         let oracle = oracles::sssp(&graph, source);
         let result = sssp(&graph, source, 2, ExecutionMode::BatchIncremental).unwrap();
-        prop_assert_eq!(result.distances, oracle);
+        assert_eq!(result.distances, oracle, "SSSP diverged from BFS (seed {seed})");
     }
+}
 
-    /// The ∪̇ merge with a comparator is idempotent and keeps the record
-    /// closest to the supremum, regardless of delta order.
-    #[test]
-    fn prop_solution_set_merge_order_independent(
-        deltas in proptest::collection::vec((0i64..20, 0i64..100), 1..60)
-    ) {
+/// The hash used for partition routing agrees between a record's key fields
+/// and the extracted [`Key`], for every key shape (single long, composite,
+/// text, double, null) — the invariant the partitioned solution-set index
+/// relies on.
+#[test]
+fn prop_extracted_key_hash_matches_record_hash() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(4000 + seed);
+        for _ in 0..50 {
+            let record = arbitrary_record(&mut rng);
+            // Try every single-field key and a couple of composite ones.
+            let mut field_sets: Vec<Vec<usize>> =
+                (0..record.arity()).map(|i| vec![i]).collect();
+            if record.arity() >= 2 {
+                field_sets.push(vec![0, 1]);
+                field_sets.push(vec![1, 0]);
+                field_sets.push((0..record.arity()).collect());
+            }
+            for fields in field_sets {
+                let key = Key::extract(&record, &fields);
+                assert_eq!(
+                    hash_values(key.values()),
+                    hash_key(&record, &fields),
+                    "hash mismatch for key {key:?} of {record} on {fields:?} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// Partition routing stays in bounds and is deterministic for any
+/// parallelism.
+#[test]
+fn prop_partition_routing_in_bounds() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(5000 + seed);
+        for _ in 0..100 {
+            let v = rng.next_u64() as i64;
+            let record = Record::pair(v, 7);
+            for parallelism in [1usize, 3, 8, 17] {
+                let p = partition_for(&record, &[0], parallelism);
+                assert!(p < parallelism);
+                assert_eq!(p, partition_for(&record, &[0], parallelism));
+            }
+        }
+    }
+}
+
+/// The ∪̇ merge with a comparator is idempotent and keeps the record closest
+/// to the supremum, regardless of delta order.
+#[test]
+fn prop_solution_set_merge_order_independent() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(6000 + seed);
+        let n = 1 + rng.gen_index(59);
+        let deltas: Vec<(i64, i64)> = (0..n)
+            .map(|_| (rng.gen_index(20) as i64, rng.gen_index(100) as i64))
+            .collect();
         let comparator: RecordComparator =
             Arc::new(|a: &Record, b: &Record| b.long(1).cmp(&a.long(1)));
         let mut forward = SolutionSet::new(vec![0], 3).with_comparator(Arc::clone(&comparator));
@@ -87,22 +180,29 @@ proptest! {
         let mut b = reverse.records();
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
-        // And the surviving value per key is the minimum (closest to the
-        // supremum under this comparator).
+        assert_eq!(a, b, "merge order changed the fixpoint (seed {seed})");
         for &(k, _) in &deltas {
             let min = deltas.iter().filter(|(k2, _)| *k2 == k).map(|&(_, v)| v).min().unwrap();
-            prop_assert_eq!(forward.lookup(&Key::long(k)).unwrap().long(1), min);
+            assert_eq!(
+                forward.lookup(&Key::long(k)).unwrap().long(1),
+                min,
+                "surviving value is not the minimum (seed {seed})"
+            );
         }
     }
+}
 
-    /// Partitioned execution of a keyed aggregation produces the same result
-    /// as a single-partition run, for any parallelism.
-    #[test]
-    fn prop_partitioned_aggregation_matches_serial(
-        values in proptest::collection::vec((0i64..15, -100i64..100), 0..200),
-        parallelism in 1usize..9
-    ) {
+/// Partitioned execution of a keyed aggregation produces the same result as a
+/// single-partition run, for any parallelism.
+#[test]
+fn prop_partitioned_aggregation_matches_serial() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(7000 + seed);
+        let n = rng.gen_index(200);
+        let values: Vec<(i64, i64)> = (0..n)
+            .map(|_| (rng.gen_index(15) as i64, rng.gen_index(200) as i64 - 100))
+            .collect();
+        let parallelism = 1 + rng.gen_index(8);
         let records: Vec<Record> = values.iter().map(|&(k, v)| Record::pair(k, v)).collect();
         let mut plan = Plan::new();
         let src = plan.source("values", records);
@@ -117,31 +217,36 @@ proptest! {
         );
         plan.sink("sums", sum);
         let exec = Executor::new();
-        let parallel = exec
+        let mut parallel = exec
             .execute(&default_physical_plan(&plan, parallelism).unwrap())
             .unwrap()
             .sink("sums")
             .unwrap();
-        let serial = exec
+        let mut serial = exec
             .execute(&default_physical_plan(&plan, 1).unwrap())
             .unwrap()
             .sink("sums")
             .unwrap();
-        let mut a = parallel;
-        let mut b = serial;
-        a.sort();
-        b.sort();
-        prop_assert_eq!(a, b);
+        parallel.sort();
+        serial.sort();
+        assert_eq!(parallel, serial, "parallelism {parallelism} changed sums (seed {seed})");
     }
+}
 
-    /// A hash-partitioned join sees every matching pair exactly once
-    /// (equivalence with a nested-loop oracle).
-    #[test]
-    fn prop_partitioned_join_is_complete(
-        left in proptest::collection::vec((0i64..10, 0i64..50), 0..60),
-        right in proptest::collection::vec((0i64..10, 0i64..50), 0..60),
-        parallelism in 1usize..6
-    ) {
+/// A hash-partitioned join sees every matching pair exactly once (equivalence
+/// with a nested-loop oracle).
+#[test]
+fn prop_partitioned_join_is_complete() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(8000 + seed);
+        let gen_side = |rng: &mut SmallRng| -> Vec<(i64, i64)> {
+            let n = rng.gen_index(60);
+            (0..n).map(|_| (rng.gen_index(10) as i64, rng.gen_index(50) as i64)).collect()
+        };
+        let left = gen_side(&mut rng);
+        let right = gen_side(&mut rng);
+        let parallelism = 1 + rng.gen_index(5);
+
         let mut expected: Vec<(i64, i64)> = Vec::new();
         for &(lk, lv) in &left {
             for &(rk, rv) in &right {
@@ -171,9 +276,8 @@ proptest! {
             .unwrap()
             .sink("pairs")
             .unwrap();
-        let mut actual: Vec<(i64, i64)> =
-            result.iter().map(|r| (r.long(0), r.long(1))).collect();
+        let mut actual: Vec<(i64, i64)> = result.iter().map(|r| (r.long(0), r.long(1))).collect();
         actual.sort_unstable();
-        prop_assert_eq!(actual, expected);
+        assert_eq!(actual, expected, "join incomplete (seed {seed})");
     }
 }
