@@ -101,18 +101,20 @@ pub fn adaptive_pagerank(graph: &Graph, config: &AdaptiveConfig) -> Result<Adapt
             ]))
         },
     ));
-    let expand = Arc::new(ExpandClosure(move |delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
-        if edges.is_empty() {
-            return;
-        }
-        let residual = delta.double(2);
-        // Edge records carry (source, target, out_degree(source)).
-        let degree = edges[0].long(2) as f64;
-        let share = damping * residual / degree;
-        for e in edges {
-            out.push(Record::long_double(e.long(1), share));
-        }
-    }));
+    let expand = Arc::new(ExpandClosure(
+        move |delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
+            if edges.is_empty() {
+                return;
+            }
+            let residual = delta.double(2);
+            // Edge records carry (source, target, out_degree(source)).
+            let degree = edges[0].long(2) as f64;
+            let share = damping * residual / degree;
+            for e in edges {
+                out.push(Record::long_double(e.long(1), share));
+            }
+        },
+    ));
 
     let iteration = WorksetIteration::builder(vec![0], vec![0], update, expand)
         .constant_input(edge_records_with_degree(graph), vec![0], vec![0])
@@ -120,11 +122,15 @@ pub fn adaptive_pagerank(graph: &Graph, config: &AdaptiveConfig) -> Result<Adapt
 
     // Every vertex starts with rank 0 and a pending residual of (1 - d) / n
     // (the teleport mass), which seeds the initial working set.
-    let initial_solution: Vec<Record> =
-        graph.vertices().map(|v| Record::long_double(i64::from(v), 0.0)).collect();
+    let initial_solution: Vec<Record> = graph
+        .vertices()
+        .map(|v| Record::long_double(i64::from(v), 0.0))
+        .collect();
     let seed = (1.0 - damping) / n as f64;
-    let initial_workset: Vec<Record> =
-        graph.vertices().map(|v| Record::long_double(i64::from(v), seed)).collect();
+    let initial_workset: Vec<Record> = graph
+        .vertices()
+        .map(|v| Record::long_double(i64::from(v), seed))
+        .collect();
 
     let workset_config = WorksetConfig::new(config.parallelism).with_mode(config.mode);
     let result = iteration.run(initial_solution, initial_workset, &workset_config)?;
@@ -133,7 +139,11 @@ pub fn adaptive_pagerank(graph: &Graph, config: &AdaptiveConfig) -> Result<Adapt
     for record in &result.solution {
         ranks[record.long(0) as usize] = record.double(1);
     }
-    Ok(AdaptivePageRankResult { ranks, supersteps: result.supersteps, stats: result.stats })
+    Ok(AdaptivePageRankResult {
+        ranks,
+        supersteps: result.supersteps,
+        stats: result.stats,
+    })
 }
 
 #[cfg(test)]
@@ -177,7 +187,10 @@ mod tests {
             idx.truncate(10);
             idx
         };
-        let overlap = top(&approx).iter().filter(|v| top(&exact).contains(v)).count();
+        let overlap = top(&approx)
+            .iter()
+            .filter(|v| top(&exact).contains(v))
+            .count();
         assert!(overlap >= 8, "only {overlap} of the top-10 vertices agree");
     }
 

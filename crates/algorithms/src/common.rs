@@ -9,7 +9,12 @@ use std::sync::Arc;
 /// of the Connected Components dataflows.  For undirected graphs the CSR
 /// already contains both directions.
 pub fn edge_records(graph: &Graph) -> Arc<Vec<Record>> {
-    Arc::new(graph.edges().map(|(s, t)| Record::pair(i64::from(s), i64::from(t))).collect())
+    Arc::new(
+        graph
+            .edges()
+            .map(|(s, t)| Record::pair(i64::from(s), i64::from(t)))
+            .collect(),
+    )
 }
 
 /// The graph's edges as `(vid1, vid2, out_degree(vid1))` records, used by the
@@ -32,13 +37,19 @@ pub fn edge_records_with_degree(graph: &Graph) -> Arc<Vec<Record>> {
 /// The initial Connected Components solution: every vertex is its own
 /// component, `(vid, cid = vid)`.
 pub fn initial_components(graph: &Graph) -> Vec<Record> {
-    graph.vertices().map(|v| Record::pair(i64::from(v), i64::from(v))).collect()
+    graph
+        .vertices()
+        .map(|v| Record::pair(i64::from(v), i64::from(v)))
+        .collect()
 }
 
 /// The initial Connected Components working set: for every edge `(a, b)` the
 /// candidate pair `(b, cid(a) = a)`, exactly as in Section 2.2.
 pub fn initial_component_candidates(graph: &Graph) -> Vec<Record> {
-    graph.edges().map(|(s, t)| Record::pair(i64::from(t), i64::from(s))).collect()
+    graph
+        .edges()
+        .map(|(s, t)| Record::pair(i64::from(t), i64::from(s)))
+        .collect()
 }
 
 /// The sparse transition matrix of PageRank as `(tid, pid, probability)`
@@ -63,7 +74,10 @@ pub fn transition_matrix(graph: &Graph) -> Arc<Vec<Record>> {
 /// The uniform initial rank vector `(pid, 1/n)`.
 pub fn initial_ranks(graph: &Graph) -> Vec<Record> {
     let n = graph.num_vertices() as f64;
-    graph.vertices().map(|v| Record::long_double(i64::from(v), 1.0 / n)).collect()
+    graph
+        .vertices()
+        .map(|v| Record::long_double(i64::from(v), 1.0 / n))
+        .collect()
 }
 
 /// Turns `(vid, value)` records into a dense vector indexed by vertex id.

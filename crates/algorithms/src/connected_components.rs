@@ -45,7 +45,10 @@ pub struct ComponentsConfig {
 impl ComponentsConfig {
     /// Default configuration: effectively unbounded iterations.
     pub fn new(parallelism: usize) -> Self {
-        ComponentsConfig { parallelism, max_iterations: 100_000 }
+        ComponentsConfig {
+            parallelism,
+            max_iterations: 100_000,
+        }
     }
 
     /// Bounds the number of iterations (used to reproduce the "first 20
@@ -75,9 +78,11 @@ fn build_bulk_step_plan(graph: &Graph) -> (Plan, OperatorId, Annotations) {
         neighbours,
         vec![0],
         vec![0],
-        Arc::new(MatchClosure(|s: &Record, e: &Record, out: &mut Collector| {
-            out.collect(Record::pair(e.long(1), s.long(1)));
-        })),
+        Arc::new(MatchClosure(
+            |s: &Record, e: &Record, out: &mut Collector| {
+                out.collect(Record::pair(e.long(1), s.long(1)));
+            },
+        )),
     );
     plan.set_estimated_records(candidates, edge_count);
     // Keep the vertex's own label in the running for the minimum.
@@ -86,17 +91,37 @@ fn build_bulk_step_plan(graph: &Graph) -> (Plan, OperatorId, Annotations) {
         "minimum-component",
         with_own,
         vec![0],
-        Arc::new(ReduceClosure(|key: &[Value], group: &[Record], out: &mut Collector| {
-            let min = group.iter().map(|r| r.long(1)).min().expect("group is never empty");
-            out.collect(Record::pair(key[0].as_long(), min));
-        })),
+        Arc::new(ReduceClosure(
+            |key: &[Value], group: &[Record], out: &mut Collector| {
+                let min = group
+                    .iter()
+                    .map(|r| r.long(1))
+                    .min()
+                    .expect("group is never empty");
+                out.collect(Record::pair(key[0].as_long(), min));
+            },
+        )),
     );
     plan.set_estimated_records(minimum, graph.num_vertices());
     plan.sink("next-components", minimum);
 
     let mut annotations = Annotations::new();
-    annotations.add_copy(candidates, FieldCopy { slot: 1, in_field: 1, out_field: 0 });
-    annotations.add_copy(minimum, FieldCopy { slot: 0, in_field: 0, out_field: 0 });
+    annotations.add_copy(
+        candidates,
+        FieldCopy {
+            slot: 1,
+            in_field: 1,
+            out_field: 0,
+        },
+    );
+    annotations.add_copy(
+        minimum,
+        FieldCopy {
+            slot: 0,
+            in_field: 0,
+            out_field: 0,
+        },
+    );
     (plan, solution, annotations)
 }
 
@@ -114,7 +139,10 @@ pub fn cc_bulk(graph: &Graph, config: &ComponentsConfig) -> Result<ComponentsRes
         plan,
         solution,
         "next-components",
-        TerminationCriterion::Converged { check: converged, max_iterations: config.max_iterations },
+        TerminationCriterion::Converged {
+            check: converged,
+            max_iterations: config.max_iterations,
+        },
     );
     let bulk_config = BulkConfig::new(config.parallelism).with_annotations(annotations);
     let result = iteration.run(initial_components(graph), &bulk_config)?;
@@ -132,30 +160,40 @@ fn build_workset_iteration(graph: &Graph, grouped: bool) -> WorksetIteration {
     // The update function of Figure 5: take the smallest candidate cid; emit
     // a delta only if it improves on the current component.
     let update: Arc<dyn UpdateFunction> = if grouped {
-        Arc::new(UpdateClosure(|key: &Key, current: Option<&Record>, candidates: &[Record]| {
-            let best = candidates.iter().map(|r| r.long(1)).min().expect("non-empty group");
-            match current {
-                Some(c) if c.long(1) <= best => None,
-                _ => Some(Record::pair(key.values()[0].as_long(), best)),
-            }
-        }))
+        Arc::new(UpdateClosure(
+            |key: &Key, current: Option<&Record>, candidates: &[Record]| {
+                let best = candidates
+                    .iter()
+                    .map(|r| r.long(1))
+                    .min()
+                    .expect("non-empty group");
+                match current {
+                    Some(c) if c.long(1) <= best => None,
+                    _ => Some(Record::pair(key.values()[0].as_long(), best)),
+                }
+            },
+        ))
     } else {
-        Arc::new(UpdateClosure(|key: &Key, current: Option<&Record>, candidates: &[Record]| {
-            let candidate = candidates[0].long(1);
-            match current {
-                Some(c) if c.long(1) <= candidate => None,
-                _ => Some(Record::pair(key.values()[0].as_long(), candidate)),
-            }
-        }))
+        Arc::new(UpdateClosure(
+            |key: &Key, current: Option<&Record>, candidates: &[Record]| {
+                let candidate = candidates[0].long(1);
+                match current {
+                    Some(c) if c.long(1) <= candidate => None,
+                    _ => Some(Record::pair(key.values()[0].as_long(), candidate)),
+                }
+            },
+        ))
     };
     // The expansion of Figure 5: the changed vertex's new cid becomes a
     // candidate for every neighbour.
-    let expand = Arc::new(ExpandClosure(|delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
-        let cid = delta.long(1);
-        for e in edges {
-            out.push(Record::pair(e.long(1), cid));
-        }
-    }));
+    let expand = Arc::new(ExpandClosure(
+        |delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
+            let cid = delta.long(1);
+            for e in edges {
+                out.push(Record::pair(e.long(1), cid));
+            }
+        },
+    ));
     WorksetIteration::builder(vec![0], vec![0], update, expand)
         .constant_input(edge_records(graph), vec![0], vec![0])
         // Smaller component ids are successor states in the CPO.
@@ -209,7 +247,11 @@ mod tests {
     use graphdata::{chain, figure1_graph, rmat, star, DatasetProfile, RmatParams};
 
     fn oracle(graph: &Graph) -> Vec<i64> {
-        graph.components_oracle().into_iter().map(i64::from).collect()
+        graph
+            .components_oracle()
+            .into_iter()
+            .map(i64::from)
+            .collect()
     }
 
     #[test]
@@ -227,7 +269,11 @@ mod tests {
         let graph = figure1_graph();
         for run in [cc_incremental, cc_microstep, cc_async] {
             let result = run(&graph, &ComponentsConfig::new(2)).unwrap();
-            assert_eq!(result.components, oracle(&graph), "variant disagrees with the oracle");
+            assert_eq!(
+                result.components,
+                oracle(&graph),
+                "variant disagrees with the oracle"
+            );
         }
     }
 
@@ -237,7 +283,10 @@ mod tests {
         let expected = oracle(&graph);
         let config = ComponentsConfig::new(4);
         assert_eq!(cc_bulk(&graph, &config).unwrap().components, expected);
-        assert_eq!(cc_incremental(&graph, &config).unwrap().components, expected);
+        assert_eq!(
+            cc_incremental(&graph, &config).unwrap().components,
+            expected
+        );
         assert_eq!(cc_microstep(&graph, &config).unwrap().components, expected);
         assert_eq!(cc_async(&graph, &config).unwrap().components, expected);
     }
@@ -249,7 +298,11 @@ mod tests {
         let graph = chain(200);
         let result = cc_incremental(&graph, &ComponentsConfig::new(2)).unwrap();
         assert_eq!(result.components, vec![0; 200]);
-        assert!(result.iterations >= 100, "only {} supersteps", result.iterations);
+        assert!(
+            result.iterations >= 100,
+            "only {} supersteps",
+            result.iterations
+        );
     }
 
     #[test]
@@ -264,8 +317,12 @@ mod tests {
     fn incremental_workset_shrinks_towards_convergence() {
         let graph = DatasetProfile::foaf().generate(4096);
         let result = cc_incremental(&graph, &ComponentsConfig::new(4)).unwrap();
-        let sizes: Vec<usize> =
-            result.stats.per_iteration.iter().map(|s| s.workset_size).collect();
+        let sizes: Vec<usize> = result
+            .stats
+            .per_iteration
+            .iter()
+            .map(|s| s.workset_size)
+            .collect();
         assert!(sizes.len() >= 3);
         // The working set in the last superstep is a tiny fraction of the
         // first superstep's (the Figure 2 effect).

@@ -73,7 +73,10 @@ mod tests {
         let g = ring(64);
         let ranks = pagerank(&g, 30, 0.85);
         let sum: f64 = ranks.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-9, "rank mass must be conserved, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "rank mass must be conserved, got {sum}"
+        );
         assert!(ranks.iter().all(|&r| r > 0.0));
     }
 

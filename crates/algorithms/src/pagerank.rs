@@ -47,7 +47,12 @@ impl PageRankConfig {
     /// 20 iterations at the given parallelism with the optimizer choosing the
     /// plan.
     pub fn new(parallelism: usize) -> Self {
-        PageRankConfig { iterations: 20, parallelism, damping: 0.85, plan: PageRankPlan::Optimized }
+        PageRankConfig {
+            iterations: 20,
+            parallelism,
+            damping: 0.85,
+            plan: PageRankPlan::Optimized,
+        }
     }
 
     /// Sets the number of iterations.
@@ -98,9 +103,14 @@ pub fn build_step_plan(
         matrix,
         vec![0],
         vec![1],
-        Arc::new(MatchClosure(move |p: &Record, a: &Record, out: &mut Collector| {
-            out.collect(Record::long_double(a.long(0), damping * p.double(1) * a.double(2)));
-        })),
+        Arc::new(MatchClosure(
+            move |p: &Record, a: &Record, out: &mut Collector| {
+                out.collect(Record::long_double(
+                    a.long(0),
+                    damping * p.double(1) * a.double(2),
+                ));
+            },
+        )),
     );
     plan.set_estimated_records(join, matrix_len);
 
@@ -110,17 +120,33 @@ pub fn build_step_plan(
         "sum-partial-ranks",
         join,
         vec![0],
-        Arc::new(ReduceClosure(move |key: &[Value], group: &[Record], out: &mut Collector| {
-            let sum: f64 = group.iter().map(|r| r.double(1)).sum();
-            out.collect(Record::long_double(key[0].as_long(), teleport + sum));
-        })),
+        Arc::new(ReduceClosure(
+            move |key: &[Value], group: &[Record], out: &mut Collector| {
+                let sum: f64 = group.iter().map(|r| r.double(1)).sum();
+                out.collect(Record::long_double(key[0].as_long(), teleport + sum));
+            },
+        )),
     );
     plan.set_estimated_records(reduce, graph.num_vertices());
     plan.sink("next-ranks", reduce);
 
     let mut annotations = Annotations::new();
-    annotations.add_copy(join, FieldCopy { slot: 1, in_field: 0, out_field: 0 });
-    annotations.add_copy(reduce, FieldCopy { slot: 0, in_field: 0, out_field: 0 });
+    annotations.add_copy(
+        join,
+        FieldCopy {
+            slot: 1,
+            in_field: 0,
+            out_field: 0,
+        },
+    );
+    annotations.add_copy(
+        reduce,
+        FieldCopy {
+            slot: 0,
+            in_field: 0,
+            out_field: 0,
+        },
+    );
     (plan, vector, join, reduce, annotations)
 }
 
@@ -145,7 +171,12 @@ pub fn pagerank(graph: &Graph, config: &PageRankConfig) -> Result<PageRankResult
             // Build the forced physical plan by hand and drive the feedback
             // loop directly, mirroring what BulkIteration::run does.
             let physical = forced_physical_plan(&plan, join, reduce, config.parallelism, forced)?;
-            run_with_physical(&iteration, physical, initial_ranks(graph), config.iterations)?
+            run_with_physical(
+                &iteration,
+                physical,
+                initial_ranks(graph),
+                config.iterations,
+            )?
         }
     };
 
@@ -214,23 +245,27 @@ fn run_with_physical(
     let input = iteration_input(iteration);
     for i in 1..=iterations {
         let iter_start = Instant::now();
-        physical.plan.replace_source_data(input, Arc::clone(&current))?;
+        physical
+            .plan
+            .replace_source_data(input, Arc::clone(&current))?;
         let result = executor.execute_with_cache(&physical, &mut cache)?;
-        let next = result.sink("next-ranks")?;
+        let execution_stats = result.stats.clone();
+        // The result is owned, so the next rank vector moves out un-copied.
+        let next = result.into_sink("next-ranks")?;
         let mut iter_stats = IterationStats::for_iteration(i);
         iter_stats.workset_size = current.len();
         iter_stats.elements_inspected = current.len();
         iter_stats.elements_changed = next.len();
-        iter_stats.messages_sent = result.stats.shipped_records + result.stats.local_records;
-        iter_stats.messages_shipped = result.stats.shipped_records;
-        iter_stats.execution = Some(result.stats.clone());
+        iter_stats.messages_sent = execution_stats.shipped_records + execution_stats.local_records;
+        iter_stats.messages_shipped = execution_stats.shipped_records;
+        iter_stats.execution = Some(execution_stats);
         iter_stats.elapsed = iter_start.elapsed();
         stats.per_iteration.push(iter_stats);
         current = Arc::new(next);
     }
     stats.total_elapsed = start.elapsed();
     Ok(BulkIterationResult {
-        solution: (*current).clone(),
+        solution: Arc::try_unwrap(current).unwrap_or_else(|arc| (*arc).clone()),
         iterations,
         stats,
     })
@@ -275,12 +310,16 @@ mod tests {
         let graph = rmat(150, 900, RmatParams::default(), 9).symmetrize();
         let broadcast = pagerank(
             &graph,
-            &PageRankConfig::new(4).with_iterations(8).with_plan(PageRankPlan::ForceBroadcast),
+            &PageRankConfig::new(4)
+                .with_iterations(8)
+                .with_plan(PageRankPlan::ForceBroadcast),
         )
         .unwrap();
         let partition = pagerank(
             &graph,
-            &PageRankConfig::new(4).with_iterations(8).with_plan(PageRankPlan::ForcePartition),
+            &PageRankConfig::new(4)
+                .with_iterations(8)
+                .with_plan(PageRankPlan::ForcePartition),
         )
         .unwrap();
         assert_close(&broadcast.ranks, &partition.ranks, 1e-12);
@@ -312,12 +351,16 @@ mod tests {
         let graph = rmat(300, 6000, RmatParams::default(), 21).symmetrize();
         let bc = pagerank(
             &graph,
-            &PageRankConfig::new(4).with_iterations(4).with_plan(PageRankPlan::ForceBroadcast),
+            &PageRankConfig::new(4)
+                .with_iterations(4)
+                .with_plan(PageRankPlan::ForceBroadcast),
         )
         .unwrap();
         let part = pagerank(
             &graph,
-            &PageRankConfig::new(4).with_iterations(4).with_plan(PageRankPlan::ForcePartition),
+            &PageRankConfig::new(4)
+                .with_iterations(4)
+                .with_plan(PageRankPlan::ForcePartition),
         )
         .unwrap();
         let shipped = |result: &PageRankResult| -> usize {

@@ -31,19 +31,25 @@ pub struct SsspResult {
 fn build_iteration(graph: &Graph) -> WorksetIteration {
     let update = Arc::new(UpdateClosure(
         |key: &Key, current: Option<&Record>, candidates: &[Record]| {
-            let best = candidates.iter().map(|r| r.long(1)).min().expect("non-empty candidates");
+            let best = candidates
+                .iter()
+                .map(|r| r.long(1))
+                .min()
+                .expect("non-empty candidates");
             match current {
                 Some(c) if c.long(1) <= best => None,
                 _ => Some(Record::pair(key.values()[0].as_long(), best)),
             }
         },
     ));
-    let expand = Arc::new(ExpandClosure(|delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
-        let next_distance = delta.long(1) + 1;
-        for e in edges {
-            out.push(Record::pair(e.long(1), next_distance));
-        }
-    }));
+    let expand = Arc::new(ExpandClosure(
+        |delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
+            let next_distance = delta.long(1) + 1;
+            for e in edges {
+                out.push(Record::pair(e.long(1), next_distance));
+            }
+        },
+    ));
     WorksetIteration::builder(vec![0], vec![0], update, expand)
         .constant_input(edge_records(graph), vec![0], vec![0])
         .comparator(Arc::new(|a: &Record, b: &Record| b.long(1).cmp(&a.long(1))))
@@ -80,7 +86,11 @@ pub fn sssp(
     for record in &result.solution {
         distances[record.long(0) as usize] = record.long(1);
     }
-    Ok(SsspResult { distances, supersteps: result.supersteps, stats: result.stats })
+    Ok(SsspResult {
+        distances,
+        supersteps: result.supersteps,
+        stats: result.stats,
+    })
 }
 
 #[cfg(test)]
@@ -108,7 +118,10 @@ mod tests {
             ExecutionMode::AsynchronousMicrostep,
         ] {
             let result = sssp(&graph, 5, 4, mode).unwrap();
-            assert_eq!(result.distances, expected, "mode {mode:?} disagrees with the oracle");
+            assert_eq!(
+                result.distances, expected,
+                "mode {mode:?} disagrees with the oracle"
+            );
         }
     }
 

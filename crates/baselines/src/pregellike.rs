@@ -128,7 +128,10 @@ pub struct PregelConfig {
 impl PregelConfig {
     /// Default configuration for the given parallelism.
     pub fn new(parallelism: usize) -> Self {
-        PregelConfig { parallelism: parallelism.max(1), max_supersteps: 100_000 }
+        PregelConfig {
+            parallelism: parallelism.max(1),
+            max_supersteps: 100_000,
+        }
     }
 
     /// Bounds the number of supersteps.
@@ -147,8 +150,10 @@ pub fn run<P: VertexProgram>(
 ) -> PregelResult<P::State> {
     let n = graph.num_vertices();
     let parallelism = config.parallelism;
-    let mut states: Vec<P::State> =
-        graph.vertices().map(|v| program.initial_state(v, graph)).collect();
+    let mut states: Vec<P::State> = graph
+        .vertices()
+        .map(|v| program.initial_state(v, graph))
+        .collect();
     let mut active: Vec<bool> = vec![true; n];
     // Messages addressed to each vertex for the *current* superstep.
     let mut inbox: Vec<Vec<P::Message>> = vec![Vec::new(); n];
@@ -256,7 +261,11 @@ pub fn run<P: VertexProgram>(
         });
     }
 
-    PregelResult { states, supersteps: superstep, stats }
+    PregelResult {
+        states,
+        supersteps: superstep,
+        stats,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -349,8 +358,11 @@ pub fn pagerank_pregel(
     damping: f64,
     config: &PregelConfig,
 ) -> PregelResult<f64> {
-    let program =
-        PageRankProgram { iterations, damping, num_vertices: graph.num_vertices() };
+    let program = PageRankProgram {
+        iterations,
+        damping,
+        num_vertices: graph.num_vertices(),
+    };
     run(graph, &program, config)
 }
 
@@ -383,7 +395,11 @@ mod tests {
     fn supersteps_track_the_graph_diameter() {
         let g = chain(128);
         let result = cc_pregel(&g, &PregelConfig::new(2));
-        assert!(result.supersteps >= 127, "only {} supersteps", result.supersteps);
+        assert!(
+            result.supersteps >= 127,
+            "only {} supersteps",
+            result.supersteps
+        );
         assert_eq!(result.states, vec![0; 128]);
     }
 
@@ -393,7 +409,10 @@ mod tests {
         let result = cc_pregel(&g, &PregelConfig::new(4));
         let first = result.stats.first().unwrap().active_vertices;
         let last = result.stats.last().unwrap().active_vertices;
-        assert!(last < first / 2, "activity should collapse: {first} -> {last}");
+        assert!(
+            last < first / 2,
+            "activity should collapse: {first} -> {last}"
+        );
     }
 
     #[test]

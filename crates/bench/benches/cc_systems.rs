@@ -33,9 +33,12 @@ fn main() {
         group.bench_function(&format!("stratosphere_micro/{}", profile.name), || {
             black_box(cc_microstep(&graph, &config).unwrap());
         });
-        group.bench_function(&format!("stratosphere_incremental/{}", profile.name), || {
-            black_box(cc_incremental(&graph, &config).unwrap());
-        });
+        group.bench_function(
+            &format!("stratosphere_incremental/{}", profile.name),
+            || {
+                black_box(cc_incremental(&graph, &config).unwrap());
+            },
+        );
     }
     group.finish();
 }

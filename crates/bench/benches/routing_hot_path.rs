@@ -1,16 +1,17 @@
 //! Micro-bench for the record-routing hot path: key extraction, hash
-//! partitioning, exchange and solution-set merging.  See the JSON-emitting
-//! `routing_report` binary for the tracked numbers (`BENCH_routing.json`).
+//! partitioning, exchange and solution-set merging, each measured for the
+//! legacy (pre-refactor) implementation and the current one.  See the
+//! JSON-emitting `routing_report` binary for the tracked numbers
+//! (`BENCH_routing.json`).
 
 use bench::harness::Group;
 
 fn main() {
     let mut group = Group::new("routing_hot_path");
     group.sample_size(10);
-    for m in bench::routing::all_microbenches() {
-        group.bench_function(&m.name.clone(), || {
-            (m.run)();
-        });
+    for c in bench::routing::comparisons() {
+        group.bench_function(&format!("{}/legacy", c.name), || (c.legacy)());
+        group.bench_function(&format!("{}/current", c.name), || (c.current)());
     }
     group.finish();
 }

@@ -1,0 +1,133 @@
+//! Emits `BENCH_routing.json`: the tracked perf numbers for the
+//! record-routing hot path.
+//!
+//! Runs (a) the legacy-vs-current routing micro-benchmarks from
+//! [`bench::routing`] and (b) an end-to-end incremental / microstep
+//! Connected Components run on the Webbase and Wikipedia stand-ins, and
+//! writes everything as JSON (hand-rolled — the build has no serde) to the
+//! path given as the first argument, or `BENCH_routing.json` in the current
+//! directory.
+//!
+//! Usage: `cargo run --release -p bench --bin routing_report [-- out.json]`
+
+use algorithms::{cc_incremental, cc_microstep, ComponentsConfig};
+use bench::harness::Measurement;
+use graphdata::DatasetProfile;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SAMPLES: usize = 7;
+const WARMUP: usize = 2;
+const E2E_SCALE: u64 = 16_384;
+
+fn measure<F: FnMut()>(name: &str, mut f: F) -> Measurement {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed());
+    }
+    Measurement {
+        name: name.to_owned(),
+        samples,
+    }
+}
+
+fn json_measurement(out: &mut String, m: &Measurement, indent: &str) {
+    let _ = write!(
+        out,
+        "{indent}{{\"name\": \"{}\", \"min_ms\": {:.3}, \"median_ms\": {:.3}, \"mean_ms\": {:.3}, \"samples\": {}}}",
+        m.name,
+        m.min().as_secs_f64() * 1e3,
+        m.median().as_secs_f64() * 1e3,
+        m.mean().as_secs_f64() * 1e3,
+        m.samples.len()
+    );
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_routing.json".to_owned());
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"routing_hot_path\",\n");
+    let _ = write!(
+        json,
+        "  \"routed_records_per_sample\": {},\n  \"microbenchmarks\": [\n",
+        bench::routing::ROUTED_RECORDS
+    );
+
+    let comparisons = bench::routing::comparisons();
+    for (i, c) in comparisons.iter().enumerate() {
+        eprintln!("measuring {} ...", c.name);
+        let legacy = measure("legacy", || (c.legacy)());
+        let current = measure("current", || (c.current)());
+        let speedup = legacy.median().as_secs_f64() / current.median().as_secs_f64().max(1e-12);
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"description\": \"{}\", \"speedup_median\": {:.2},",
+            c.name, c.description, speedup
+        );
+        json.push_str("     \"legacy\": ");
+        json_measurement(&mut json, &legacy, "");
+        json.push_str(",\n     \"current\": ");
+        json_measurement(&mut json, &current, "");
+        json.push('}');
+        json.push_str(if i + 1 < comparisons.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+        eprintln!(
+            "  {}: legacy {:.1?} -> current {:.1?}  ({speedup:.2}x)",
+            c.name,
+            legacy.median(),
+            current.median()
+        );
+    }
+    json.push_str("  ],\n  \"end_to_end\": [\n");
+
+    let e2e = [
+        ("webbase", DatasetProfile::webbase()),
+        ("wikipedia", DatasetProfile::wikipedia()),
+    ];
+    for (i, (name, profile)) in e2e.iter().enumerate() {
+        let graph = profile.generate(E2E_SCALE);
+        let config = ComponentsConfig::new(bench::PARALLELISM);
+        eprintln!(
+            "measuring end-to-end CC on {name} (|V|={}) ...",
+            graph.num_vertices()
+        );
+        let incremental = measure("cc_incremental", || {
+            let _ = cc_incremental(&graph, &config).unwrap();
+        });
+        let microstep = measure("cc_microstep", || {
+            let _ = cc_microstep(&graph, &config).unwrap();
+        });
+        let _ = writeln!(
+            json,
+            "    {{\"dataset\": \"{name}\", \"scale\": {E2E_SCALE}, \"vertices\": {}, \"edges\": {}, \"parallelism\": {},",
+            graph.num_vertices(),
+            graph.num_edges(),
+            bench::PARALLELISM
+        );
+        json.push_str("     \"incremental\": ");
+        json_measurement(&mut json, &incremental, "");
+        json.push_str(",\n     \"microstep\": ");
+        json_measurement(&mut json, &microstep, "");
+        json.push('}');
+        json.push_str(if i + 1 < e2e.len() { ",\n" } else { "\n" });
+        eprintln!(
+            "  {name}: incremental {:.1?}, microstep {:.1?}",
+            incremental.median(),
+            microstep.median()
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+}

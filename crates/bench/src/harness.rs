@@ -59,7 +59,12 @@ impl Group {
     /// Creates a group with the default 10 samples and 2 warm-up runs.
     pub fn new(name: &str) -> Self {
         println!("\n== bench group: {name}");
-        Group { name: name.to_owned(), sample_size: 10, warmup: 2, measurements: Vec::new() }
+        Group {
+            name: name.to_owned(),
+            sample_size: 10,
+            warmup: 2,
+            measurements: Vec::new(),
+        }
     }
 
     /// Sets the number of measured samples per benchmark.
@@ -79,7 +84,10 @@ impl Group {
             f();
             samples.push(start.elapsed());
         }
-        let m = Measurement { name: name.to_owned(), samples };
+        let m = Measurement {
+            name: name.to_owned(),
+            samples,
+        };
         println!(
             "{:<44} min {:>12.3?}  median {:>12.3?}  mean {:>12.3?}  ({} samples)",
             format!("{}/{}", self.name, m.name),

@@ -21,8 +21,7 @@ pub mod harness;
 pub mod routing;
 
 use algorithms::{
-    cc_bulk, cc_incremental, cc_microstep, pagerank, ComponentsConfig, PageRankConfig,
-    PageRankPlan,
+    cc_bulk, cc_incremental, cc_microstep, pagerank, ComponentsConfig, PageRankConfig, PageRankPlan,
 };
 use baselines::{cc_pregel, cc_spark_simulated_incremental, pagerank_pregel, pagerank_spark};
 use baselines::{cc_spark_bulk, PregelConfig, SparkContext};
@@ -35,7 +34,10 @@ pub const PARALLELISM: usize = 8;
 
 /// Reads the downscale factor from `SPINNING_SCALE` (default 2048).
 pub fn scale_factor() -> u64 {
-    std::env::var("SPINNING_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(2048)
+    std::env::var("SPINNING_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2048)
 }
 
 fn secs(d: Duration) -> f64 {
@@ -46,7 +48,9 @@ fn secs(d: Duration) -> f64 {
 /// to the generated stand-in's actual statistics.
 pub fn table2(scale: u64) -> String {
     let mut out = String::new();
-    out.push_str(&format!("Table 2: data set properties (scale factor 1/{scale})\n"));
+    out.push_str(&format!(
+        "Table 2: data set properties (scale factor 1/{scale})\n"
+    ));
     out.push_str(&format!(
         "{:<14} {:>14} {:>16} {:>10} | {:>10} {:>12} {:>10}\n",
         "dataset", "paper |V|", "paper |E|", "paper deg", "gen |V|", "gen |E|", "gen deg"
@@ -102,20 +106,29 @@ pub fn fig4() -> String {
     use optimizer::{IterationSpec, Optimizer};
 
     let mut out = String::new();
-    out.push_str("Figure 4: optimizer plan choice for the PageRank join (20 iterations, 8 workers)\n");
+    out.push_str(
+        "Figure 4: optimizer plan choice for the PageRank join (20 iterations, 8 workers)\n",
+    );
     out.push_str(&format!(
         "{:>14} {:>14} {:>26} {:>14}\n",
         "|p| (pages)", "|A| (entries)", "chosen vector shipping", "est. cost"
     ));
     let matrix_entries = 4_000_000usize;
-    for pages in [1_000usize, 10_000, 100_000, 500_000, 1_000_000, 2_000_000, 4_000_000] {
+    for pages in [
+        1_000usize, 10_000, 100_000, 500_000, 1_000_000, 2_000_000, 4_000_000,
+    ] {
         // Build a skeleton plan with the right cardinality hints; the data
         // itself is irrelevant for plan choice.
         let graph = graphdata::ring(64);
         let (mut plan, vector, join, reduce, annotations) =
             algorithms::pagerank::build_step_plan(&graph, 0.85);
         plan.set_estimated_records(vector, pages);
-        let matrix = plan.operators().iter().find(|o| o.name == "transition-matrix").unwrap().id;
+        let matrix = plan
+            .operators()
+            .iter()
+            .find(|o| o.name == "transition-matrix")
+            .unwrap()
+            .id;
         plan.set_estimated_records(matrix, matrix_entries);
         plan.set_estimated_records(join, matrix_entries);
         plan.set_estimated_records(reduce, pages);
@@ -184,14 +197,26 @@ pub fn pagerank_systems(graph: &Graph, iterations: usize) -> Vec<SystemTiming> {
         let start = Instant::now();
         let result = pagerank(
             graph,
-            &PageRankConfig::new(PARALLELISM).with_iterations(iterations).with_plan(plan),
+            &PageRankConfig::new(PARALLELISM)
+                .with_iterations(iterations)
+                .with_plan(plan),
         )
         .expect("dataflow PageRank");
         results.push(SystemTiming {
             system: name.into(),
             total: start.elapsed(),
-            per_iteration: result.stats.per_iteration.iter().map(|s| s.elapsed).collect(),
-            messages: result.stats.per_iteration.iter().map(|s| s.messages_sent).collect(),
+            per_iteration: result
+                .stats
+                .per_iteration
+                .iter()
+                .map(|s| s.elapsed)
+                .collect(),
+            messages: result
+                .stats
+                .per_iteration
+                .iter()
+                .map(|s| s.messages_sent)
+                .collect(),
         });
     }
     results
@@ -205,8 +230,11 @@ pub fn fig7(scale: u64, iterations: usize) -> String {
         "Figure 7: total PageRank runtime, {iterations} iterations (scale 1/{scale}, seconds)\n"
     ));
     out.push_str(&format!("{:<22}", "system"));
-    let profiles =
-        [DatasetProfile::wikipedia(), DatasetProfile::webbase(), DatasetProfile::twitter()];
+    let profiles = [
+        DatasetProfile::wikipedia(),
+        DatasetProfile::webbase(),
+        DatasetProfile::twitter(),
+    ];
     for p in &profiles {
         out.push_str(&format!(" {:>14}", p.name));
     }
@@ -242,7 +270,11 @@ pub fn fig8(scale: u64, iterations: usize) -> String {
     for i in 0..iterations {
         out.push_str(&format!("{:>5}", i + 1));
         for s in &systems {
-            let ms = s.per_iteration.get(i).map(|d| d.as_secs_f64() * 1e3).unwrap_or(f64::NAN);
+            let ms = s
+                .per_iteration
+                .get(i)
+                .map(|d| d.as_secs_f64() * 1e3)
+                .unwrap_or(f64::NAN);
             out.push_str(&format!(" {:>20.2}", ms));
         }
         out.push('\n');
@@ -268,8 +300,10 @@ pub fn cc_systems(graph: &Graph, max_iterations: usize) -> Vec<SystemTiming> {
     });
 
     let start = Instant::now();
-    let pregel =
-        cc_pregel(graph, &PregelConfig::new(PARALLELISM).with_max_supersteps(max_iterations));
+    let pregel = cc_pregel(
+        graph,
+        &PregelConfig::new(PARALLELISM).with_max_supersteps(max_iterations),
+    );
     results.push(SystemTiming {
         system: "Giraph".into(),
         total: start.elapsed(),
@@ -283,7 +317,12 @@ pub fn cc_systems(graph: &Graph, max_iterations: usize) -> Vec<SystemTiming> {
         system: "Stratosphere Full".into(),
         total: start.elapsed(),
         per_iteration: bulk.stats.per_iteration.iter().map(|s| s.elapsed).collect(),
-        messages: bulk.stats.per_iteration.iter().map(|s| s.messages_sent).collect(),
+        messages: bulk
+            .stats
+            .per_iteration
+            .iter()
+            .map(|s| s.messages_sent)
+            .collect(),
     });
 
     let start = Instant::now();
@@ -291,8 +330,18 @@ pub fn cc_systems(graph: &Graph, max_iterations: usize) -> Vec<SystemTiming> {
     results.push(SystemTiming {
         system: "Stratosphere Micro".into(),
         total: start.elapsed(),
-        per_iteration: micro.stats.per_iteration.iter().map(|s| s.elapsed).collect(),
-        messages: micro.stats.per_iteration.iter().map(|s| s.messages_sent).collect(),
+        per_iteration: micro
+            .stats
+            .per_iteration
+            .iter()
+            .map(|s| s.elapsed)
+            .collect(),
+        messages: micro
+            .stats
+            .per_iteration
+            .iter()
+            .map(|s| s.messages_sent)
+            .collect(),
     });
 
     let start = Instant::now();
@@ -301,7 +350,12 @@ pub fn cc_systems(graph: &Graph, max_iterations: usize) -> Vec<SystemTiming> {
         system: "Stratosphere Incr.".into(),
         total: start.elapsed(),
         per_iteration: incr.stats.per_iteration.iter().map(|s| s.elapsed).collect(),
-        messages: incr.stats.per_iteration.iter().map(|s| s.messages_sent).collect(),
+        messages: incr
+            .stats
+            .per_iteration
+            .iter()
+            .map(|s| s.messages_sent)
+            .collect(),
     });
     results
 }
@@ -321,15 +375,22 @@ pub fn fig9(scale: u64) -> String {
     ];
     out.push_str(&format!("{:<22}", "system"));
     for (p, bound) in &profiles {
-        let label =
-            if *bound == usize::MAX { p.name.to_string() } else { format!("{} (20)", p.name) };
+        let label = if *bound == usize::MAX {
+            p.name.to_string()
+        } else {
+            format!("{} (20)", p.name)
+        };
         out.push_str(&format!(" {:>16}", label));
     }
     out.push('\n');
     let mut columns = Vec::new();
     for (profile, bound) in &profiles {
         let graph = profile.generate(scale);
-        let bound = if *bound == usize::MAX { 100_000 } else { *bound };
+        let bound = if *bound == usize::MAX {
+            100_000
+        } else {
+            *bound
+        };
         columns.push(cc_systems(&graph, bound));
     }
     for row in 0..columns[0].len() {
@@ -357,9 +418,17 @@ pub fn fig10(scale: u64) -> String {
         graph.num_edges(),
         result.iterations
     ));
-    out.push_str(&format!("{:>5} {:>16} {:>16}\n", "iter", "millis", "messages"));
+    out.push_str(&format!(
+        "{:>5} {:>16} {:>16}\n",
+        "iter", "millis", "messages"
+    ));
     for s in &result.stats.per_iteration {
-        out.push_str(&format!("{:>5} {:>16.3} {:>16}\n", s.iteration, s.millis(), s.messages_sent));
+        out.push_str(&format!(
+            "{:>5} {:>16.3} {:>16}\n",
+            s.iteration,
+            s.millis(),
+            s.messages_sent
+        ));
     }
     out
 }
@@ -393,7 +462,11 @@ pub fn fig11(scale: u64) -> String {
         out.push_str(&format!(" {:>20}", s.system));
     }
     out.push('\n');
-    let rows = systems.iter().map(|s| s.per_iteration.len()).max().unwrap_or(0);
+    let rows = systems
+        .iter()
+        .map(|s| s.per_iteration.len())
+        .max()
+        .unwrap_or(0);
     for i in 0..rows {
         out.push_str(&format!("{:>5}", i + 1));
         for s in &systems {
@@ -432,7 +505,11 @@ pub fn fig12(scale: u64) -> String {
         .max(incr.stats.per_iteration.len())
         .max(micro.stats.per_iteration.len());
     let cell_ms = |stats: &spinning_core::IterationRunStats, i: usize| {
-        stats.per_iteration.get(i).map(|s| format!("{:.2}", s.millis())).unwrap_or("-".into())
+        stats
+            .per_iteration
+            .get(i)
+            .map(|s| format!("{:.2}", s.millis()))
+            .unwrap_or("-".into())
     };
     let cell_msgs = |stats: &spinning_core::IterationRunStats, i: usize| {
         stats
@@ -489,7 +566,10 @@ mod tests {
         let graph = DatasetProfile::wikipedia().generate(TEST_SCALE);
         let systems = pagerank_systems(&graph, 3);
         let names: Vec<&str> = systems.iter().map(|s| s.system.as_str()).collect();
-        assert_eq!(names, vec!["Spark", "Giraph", "Stratosphere Part.", "Stratosphere BC"]);
+        assert_eq!(
+            names,
+            vec!["Spark", "Giraph", "Stratosphere Part.", "Stratosphere BC"]
+        );
         assert!(systems.iter().all(|s| s.per_iteration.len() >= 3));
     }
 
@@ -505,6 +585,9 @@ mod tests {
     fn fig10_converges_with_a_long_tail() {
         let text = fig10(TEST_SCALE);
         let supersteps = text.lines().count().saturating_sub(2);
-        assert!(supersteps > 10, "expected a long tail, got {supersteps} supersteps\n{text}");
+        assert!(
+            supersteps > 10,
+            "expected a long tail, got {supersteps} supersteps\n{text}"
+        );
     }
 }

@@ -21,6 +21,10 @@ use optimizer::{Annotations, IterationSpec, Optimizer};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// A user-supplied convergence check comparing the previous and next partial
+/// solutions.
+pub type ConvergenceCheck = Arc<dyn Fn(&[Record], &[Record]) -> bool + Send + Sync>;
+
 /// When to stop iterating.
 #[derive(Clone)]
 pub enum TerminationCriterion {
@@ -39,7 +43,7 @@ pub enum TerminationCriterion {
     Converged {
         /// Returns `true` when `previous` and `next` are considered equal
         /// (the fixpoint has been reached).
-        check: Arc<dyn Fn(&[Record], &[Record]) -> bool + Send + Sync>,
+        check: ConvergenceCheck,
         /// Upper bound on the number of iterations.
         max_iterations: usize,
     },
@@ -49,7 +53,10 @@ impl std::fmt::Debug for TerminationCriterion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TerminationCriterion::FixedIterations(n) => write!(f, "FixedIterations({n})"),
-            TerminationCriterion::EmptySink { sink, max_iterations } => {
+            TerminationCriterion::EmptySink {
+                sink,
+                max_iterations,
+            } => {
                 write!(f, "EmptySink(sink={sink}, max={max_iterations})")
             }
             TerminationCriterion::Converged { max_iterations, .. } => {
@@ -141,7 +148,12 @@ impl BulkIteration {
         output_sink: impl Into<String>,
         termination: TerminationCriterion,
     ) -> Self {
-        BulkIteration { plan, input, output_sink: output_sink.into(), termination }
+        BulkIteration {
+            plan,
+            input,
+            output_sink: output_sink.into(),
+            termination,
+        }
     }
 
     /// The step dataflow.
@@ -161,7 +173,10 @@ impl BulkIteration {
             return Ok(BulkIterationResult {
                 solution: initial,
                 iterations: 0,
-                stats: IterationRunStats { per_iteration: vec![], total_elapsed: start.elapsed() },
+                stats: IterationRunStats {
+                    per_iteration: vec![],
+                    total_elapsed: start.elapsed(),
+                },
             });
         }
 
@@ -171,9 +186,7 @@ impl BulkIteration {
             let spec = IterationSpec {
                 dynamic_sources: vec![self.input],
                 feedback: vec![(output_op, self.input)],
-                expected_iterations: config
-                    .expected_iterations
-                    .unwrap_or(max_iterations as f64),
+                expected_iterations: config.expected_iterations.unwrap_or(max_iterations as f64),
             };
             Optimizer::new(config.parallelism)
                 .optimize_iterative(&self.plan, &config.annotations, &spec)?
@@ -189,25 +202,33 @@ impl BulkIteration {
 
         for iteration in 1..=max_iterations {
             let iter_start = Instant::now();
-            physical.plan.replace_source_data(self.input, Arc::clone(&current))?;
+            physical
+                .plan
+                .replace_source_data(self.input, Arc::clone(&current))?;
             let result: ExecutionResult = executor.execute_with_cache(&physical, &mut cache)?;
-            let next = result.sink(&self.output_sink)?;
+
+            // Decide termination on the borrowed result, then move the next
+            // partial solution out of it without copying the records.
+            let empty_termination_sink = match &self.termination {
+                TerminationCriterion::EmptySink { sink, .. } => result.sink_is_empty(sink)?,
+                _ => false,
+            };
+            let execution_stats = result.stats.clone();
+            let next = result.into_sink(&self.output_sink)?;
 
             let mut stats = IterationStats::for_iteration(iteration);
             stats.workset_size = current.len();
             stats.elements_inspected = current.len();
             stats.elements_changed = next.len();
-            stats.messages_sent = result.stats.shipped_records + result.stats.local_records;
-            stats.messages_shipped = result.stats.shipped_records;
-            stats.execution = Some(result.stats.clone());
+            stats.messages_sent = execution_stats.shipped_records + execution_stats.local_records;
+            stats.messages_shipped = execution_stats.shipped_records;
+            stats.execution = Some(execution_stats);
             stats.elapsed = iter_start.elapsed();
             run_stats.per_iteration.push(stats);
 
             let done = match &self.termination {
                 TerminationCriterion::FixedIterations(n) => iteration >= *n,
-                TerminationCriterion::EmptySink { sink, .. } => {
-                    result.sink(sink)?.is_empty()
-                }
+                TerminationCriterion::EmptySink { .. } => empty_termination_sink,
                 TerminationCriterion::Converged { check, .. } => check(&current, &next),
             };
             current = Arc::new(next);
@@ -248,10 +269,17 @@ mod tests {
     #[test]
     fn fixed_iteration_count_runs_exactly_n_times() {
         let (plan, input) = increment_plan();
-        let iteration =
-            BulkIteration::new(plan, input, "next", TerminationCriterion::FixedIterations(5));
+        let iteration = BulkIteration::new(
+            plan,
+            input,
+            "next",
+            TerminationCriterion::FixedIterations(5),
+        );
         let result = iteration
-            .run(vec![Record::pair(0, 0), Record::pair(1, 10)], &BulkConfig::new(2))
+            .run(
+                vec![Record::pair(0, 0), Record::pair(1, 10)],
+                &BulkConfig::new(2),
+            )
             .unwrap();
         assert_eq!(result.iterations, 5);
         let mut solution = result.solution;
@@ -263,9 +291,15 @@ mod tests {
     #[test]
     fn zero_iterations_returns_the_initial_solution() {
         let (plan, input) = increment_plan();
-        let iteration =
-            BulkIteration::new(plan, input, "next", TerminationCriterion::FixedIterations(0));
-        let result = iteration.run(vec![Record::pair(7, 7)], &BulkConfig::new(2)).unwrap();
+        let iteration = BulkIteration::new(
+            plan,
+            input,
+            "next",
+            TerminationCriterion::FixedIterations(0),
+        );
+        let result = iteration
+            .run(vec![Record::pair(7, 7)], &BulkConfig::new(2))
+            .unwrap();
         assert_eq!(result.iterations, 0);
         assert_eq!(result.solution, vec![Record::pair(7, 7)]);
     }
@@ -294,9 +328,14 @@ mod tests {
             plan,
             input,
             "next",
-            TerminationCriterion::Converged { check, max_iterations: 100 },
+            TerminationCriterion::Converged {
+                check,
+                max_iterations: 100,
+            },
         );
-        let result = iteration.run(vec![Record::pair(0, 0)], &BulkConfig::new(2)).unwrap();
+        let result = iteration
+            .run(vec![Record::pair(0, 0)], &BulkConfig::new(2))
+            .unwrap();
         // Reaches 8 after 8 iterations; the 9th confirms the fixpoint.
         assert_eq!(result.iterations, 9);
         assert_eq!(result.solution, vec![Record::pair(0, 8)]);
@@ -330,9 +369,14 @@ mod tests {
             plan,
             input,
             "next",
-            TerminationCriterion::EmptySink { sink: "termination".into(), max_iterations: 50 },
+            TerminationCriterion::EmptySink {
+                sink: "termination".into(),
+                max_iterations: 50,
+            },
         );
-        let result = iteration.run(vec![Record::pair(0, 0)], &BulkConfig::new(2)).unwrap();
+        let result = iteration
+            .run(vec![Record::pair(0, 0)], &BulkConfig::new(2))
+            .unwrap();
         assert_eq!(result.iterations, 3);
         assert_eq!(result.solution, vec![Record::pair(0, 3)]);
     }
@@ -340,20 +384,29 @@ mod tests {
     #[test]
     fn unknown_output_sink_is_rejected() {
         let (plan, input) = increment_plan();
-        let iteration =
-            BulkIteration::new(plan, input, "missing", TerminationCriterion::FixedIterations(1));
+        let iteration = BulkIteration::new(
+            plan,
+            input,
+            "missing",
+            TerminationCriterion::FixedIterations(1),
+        );
         assert!(iteration.run(vec![], &BulkConfig::new(1)).is_err());
     }
 
     #[test]
     fn optimizer_and_default_plans_agree_on_the_result() {
         let (plan, input) = increment_plan();
-        let iteration =
-            BulkIteration::new(plan, input, "next", TerminationCriterion::FixedIterations(3));
+        let iteration = BulkIteration::new(
+            plan,
+            input,
+            "next",
+            TerminationCriterion::FixedIterations(3),
+        );
         let initial: Vec<Record> = (0..20).map(|i| Record::pair(i, i)).collect();
         let with_opt = iteration.run(initial.clone(), &BulkConfig::new(4)).unwrap();
-        let without_opt =
-            iteration.run(initial, &BulkConfig::new(4).without_optimizer()).unwrap();
+        let without_opt = iteration
+            .run(initial, &BulkConfig::new(4).without_optimizer())
+            .unwrap();
         let mut a = with_opt.solution;
         let mut b = without_opt.solution;
         a.sort();
@@ -364,10 +417,17 @@ mod tests {
     #[test]
     fn per_iteration_stats_are_recorded() {
         let (plan, input) = increment_plan();
-        let iteration =
-            BulkIteration::new(plan, input, "next", TerminationCriterion::FixedIterations(4));
+        let iteration = BulkIteration::new(
+            plan,
+            input,
+            "next",
+            TerminationCriterion::FixedIterations(4),
+        );
         let result = iteration
-            .run((0..10).map(|i| Record::pair(i, 0)).collect(), &BulkConfig::new(2))
+            .run(
+                (0..10).map(|i| Record::pair(i, 0)).collect(),
+                &BulkConfig::new(2),
+            )
             .unwrap();
         assert_eq!(result.stats.per_iteration.len(), 4);
         for (i, s) in result.stats.per_iteration.iter().enumerate() {

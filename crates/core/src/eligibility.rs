@@ -79,8 +79,11 @@ pub fn check_microstep_eligibility(
         }
 
         // Condition 2a: binary operators may have at most one dynamic input.
-        let dynamic_inputs =
-            op.inputs.iter().filter(|input| dynamic.contains(input)).count();
+        let dynamic_inputs = op
+            .inputs
+            .iter()
+            .filter(|input| dynamic.contains(input))
+            .count();
         if op.inputs.len() >= 2 && dynamic_inputs > 1 {
             violations.push(format!(
                 "operator '{}' has {} inputs on the dynamic data path; microsteps allow at most one",
@@ -178,11 +181,18 @@ mod tests {
                 solution,
                 vec![0],
                 vec![0],
-                Arc::new(MatchClosure(|w: &Record, _s: &Record, out: &mut Collector| {
-                    out.collect(w.clone())
-                })),
+                Arc::new(MatchClosure(
+                    |w: &Record, _s: &Record, out: &mut Collector| out.collect(w.clone()),
+                )),
             );
-            ann.add_copy(join, FieldCopy { slot: 0, in_field: 0, out_field: 0 });
+            ann.add_copy(
+                join,
+                FieldCopy {
+                    slot: 0,
+                    in_field: 0,
+                    out_field: 0,
+                },
+            );
             join
         } else {
             let cg = plan.inner_cogroup(
@@ -197,7 +207,14 @@ mod tests {
                     },
                 )),
             );
-            ann.add_copy(cg, FieldCopy { slot: 0, in_field: 0, out_field: 0 });
+            ann.add_copy(
+                cg,
+                FieldCopy {
+                    slot: 0,
+                    in_field: 0,
+                    out_field: 0,
+                },
+            );
             cg
         };
         let delta_sink = plan.sink("delta", update);
@@ -207,9 +224,11 @@ mod tests {
             neighbours,
             vec![0],
             vec![0],
-            Arc::new(MatchClosure(|d: &Record, n: &Record, out: &mut Collector| {
-                out.collect(Record::pair(n.long(1), d.long(1)))
-            })),
+            Arc::new(MatchClosure(
+                |d: &Record, n: &Record, out: &mut Collector| {
+                    out.collect(Record::pair(n.long(1), d.long(1)))
+                },
+            )),
         );
         plan.sink("next-workset", expand);
         (plan, vec![workset], delta_sink, ann)
@@ -219,7 +238,11 @@ mod tests {
     fn match_variant_is_microstep_eligible() {
         let (plan, dynamic, delta_sink, ann) = cc_delta_plan(true);
         let eligibility = check_microstep_eligibility(&plan, &dynamic, delta_sink, &[0], &ann);
-        assert!(eligibility.is_eligible(), "violations: {:?}", eligibility.violations);
+        assert!(
+            eligibility.is_eligible(),
+            "violations: {:?}",
+            eligibility.violations
+        );
     }
 
     #[test]
@@ -242,7 +265,10 @@ mod tests {
         let eligibility =
             check_microstep_eligibility(&plan, &dynamic, delta_sink, &[0], &no_annotations);
         assert!(!eligibility.is_eligible());
-        assert!(eligibility.violations.iter().any(|v| v.contains("preserve")));
+        assert!(eligibility
+            .violations
+            .iter()
+            .any(|v| v.contains("preserve")));
     }
 
     #[test]
@@ -252,27 +278,43 @@ mod tests {
         let a = plan.map(
             "a",
             workset,
-            Arc::new(MapClosure(|r: &Record, out: &mut Collector| out.collect(r.clone()))),
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                out.collect(r.clone())
+            })),
         );
         // Two dynamic consumers of the same operator: a branch.
         let b = plan.map(
             "b",
             a,
-            Arc::new(MapClosure(|r: &Record, out: &mut Collector| out.collect(r.clone()))),
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                out.collect(r.clone())
+            })),
         );
         let c = plan.map(
             "c",
             a,
-            Arc::new(MapClosure(|r: &Record, out: &mut Collector| out.collect(r.clone()))),
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                out.collect(r.clone())
+            })),
         );
         let delta = plan.sink("delta", b);
         plan.sink("next-workset", c);
         let mut ann = Annotations::new();
         for op in [a, b, c] {
-            ann.add_copy(op, FieldCopy { slot: 0, in_field: 0, out_field: 0 });
+            ann.add_copy(
+                op,
+                FieldCopy {
+                    slot: 0,
+                    in_field: 0,
+                    out_field: 0,
+                },
+            );
         }
         let eligibility = check_microstep_eligibility(&plan, &[workset], delta, &[0], &ann);
         assert!(!eligibility.is_eligible());
-        assert!(eligibility.violations.iter().any(|v| v.contains("branch") || v.contains("successors")));
+        assert!(eligibility
+            .violations
+            .iter()
+            .any(|v| v.contains("branch") || v.contains("successors")));
     }
 }

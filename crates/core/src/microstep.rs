@@ -18,9 +18,8 @@
 use crate::solution_set::SolutionSet;
 use crate::stats::{IterationRunStats, IterationStats};
 use crate::workset::{WorksetConfig, WorksetIteration, WorksetResult};
-use dataflow::key::partition_for;
+use dataflow::key::{partition_for, FxHashMap};
 use dataflow::prelude::{Key, Record, Result};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -44,7 +43,7 @@ struct WorkerOutcome {
 pub(crate) fn run_async(
     iteration: &WorksetIteration,
     mut solution: SolutionSet,
-    constant_index: Vec<HashMap<Key, Vec<Record>>>,
+    constant_index: Vec<FxHashMap<Key, Vec<Record>>>,
     initial_workset: Vec<Record>,
     config: &WorksetConfig,
     start: Instant,
@@ -75,10 +74,8 @@ pub(crate) fn run_async(
     let mut solution_partitions = solution.take_partitions();
     let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(parallelism);
-        for (partition, (s_part, receiver)) in solution_partitions
-            .iter_mut()
-            .zip(receivers.into_iter())
-            .enumerate()
+        for (partition, (s_part, receiver)) in
+            solution_partitions.iter_mut().zip(receivers).enumerate()
         {
             let senders = senders.clone();
             let in_flight = Arc::clone(&in_flight);
@@ -106,21 +103,24 @@ pub(crate) fn run_async(
                                 )
                             };
                             if let Some(delta) = delta {
+                                // The delta moves into the index; the stored
+                                // record feeds the expansion (no clone).
                                 let applied = SolutionSet::merge_detached(
                                     s_part,
                                     &comparator,
                                     &iteration.solution_key,
-                                    delta.clone(),
-                                )
-                                .applied();
-                                if applied {
+                                    delta,
+                                );
+                                if let Some(applied) = applied {
                                     outcome.changed += 1;
                                     let matches = constant
-                                        .get(&Key::extract(&delta, &iteration.delta_key))
+                                        .get(&Key::extract(applied, &iteration.delta_key))
                                         .map(Vec::as_slice)
                                         .unwrap_or(&[]);
                                     expand_buffer.clear();
-                                    iteration.expand.expand(&delta, matches, &mut expand_buffer);
+                                    iteration
+                                        .expand
+                                        .expand(applied, matches, &mut expand_buffer);
                                     for new_record in expand_buffer.drain(..) {
                                         let target = partition_for(
                                             &new_record,
@@ -179,7 +179,11 @@ pub(crate) fn run_async(
         per_iteration: vec![stats],
         total_elapsed: start.elapsed(),
     };
-    Ok(WorksetResult { solution: solution.records(), supersteps: 1, stats: run_stats })
+    Ok(WorksetResult {
+        solution: solution.records(),
+        supersteps: 1,
+        stats: run_stats,
+    })
 }
 
 #[cfg(test)]
@@ -198,11 +202,13 @@ mod tests {
                 }
             },
         ));
-        let expand = Arc::new(ExpandClosure(|delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
-            for e in edges {
-                out.push(Record::pair(e.long(1), delta.long(1)));
-            }
-        }));
+        let expand = Arc::new(ExpandClosure(
+            |delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
+                for e in edges {
+                    out.push(Record::pair(e.long(1), delta.long(1)));
+                }
+            },
+        ));
         let mut edges = Vec::new();
         for v in 0..n {
             edges.push(Record::pair(v, (v + 1) % n));

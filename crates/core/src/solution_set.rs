@@ -13,6 +13,7 @@
 //! record representing the successor state in the CPO is kept, exactly as
 //! described at the end of Section 5.1.
 
+use dataflow::key::{hash_key, hash_of_key, FxHashMap};
 use dataflow::prelude::{Key, KeyFields, Record};
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -41,8 +42,10 @@ impl MergeOutcome {
 }
 
 /// One partition of the solution set (a primary hash index keyed by the
-/// record key).
-type PartitionIndex = std::collections::HashMap<Key, Record>;
+/// record key).  Uses the same Fx hash as partition routing, so a record's
+/// partition and its slot in the partition index come from one hash
+/// computation.
+pub(crate) type PartitionIndex = FxHashMap<Key, Record>;
 
 /// The partitioned solution set.
 #[derive(Clone)]
@@ -69,7 +72,7 @@ impl SolutionSet {
     pub fn new(key_fields: KeyFields, parallelism: usize) -> Self {
         let parallelism = parallelism.max(1);
         SolutionSet {
-            partitions: vec![PartitionIndex::new(); parallelism],
+            partitions: vec![PartitionIndex::default(); parallelism],
             key_fields,
             comparator: None,
         }
@@ -130,37 +133,54 @@ impl SolutionSet {
 
     /// Looks up the record stored under `key`.
     pub fn lookup(&self, key: &Key) -> Option<&Record> {
-        let partition =
-            (dataflow::key::hash_values(key.values()) % self.partitions.len() as u64) as usize;
+        let partition = (hash_of_key(key) % self.partitions.len() as u64) as usize;
         self.partitions[partition].get(key)
     }
 
-    /// Merges one delta record with the `∪̇` semantics.
+    /// Merges one delta record with the `∪̇` semantics.  The delta is moved
+    /// in; a discarded delta is simply dropped, never copied.
     pub fn merge(&mut self, delta: Record) -> MergeOutcome {
-        let key = Key::extract(&delta, &self.key_fields);
+        // One hash over the record's key fields routes to the partition; the
+        // key itself is only materialised for the index probe.
         let partition =
-            (dataflow::key::hash_values(key.values()) % self.partitions.len() as u64) as usize;
-        Self::merge_into(&mut self.partitions[partition], &self.comparator, key, delta)
+            (hash_key(&delta, &self.key_fields) % self.partitions.len() as u64) as usize;
+        let key = Key::extract(&delta, &self.key_fields);
+        Self::merge_into(
+            &mut self.partitions[partition],
+            &self.comparator,
+            key,
+            delta,
+        )
+        .0
     }
 
-    /// Merges a whole delta set, returning how many records were applied
-    /// (inserted or replaced).
+    /// Merges a whole delta set (the `∪̇` of one superstep's delta records),
+    /// returning how many were applied (inserted or replaced).  Deltas are
+    /// consumed, so applied records move into the index and discarded ones
+    /// are dropped without ever being cloned.
     pub fn merge_all(&mut self, deltas: impl IntoIterator<Item = Record>) -> usize {
-        deltas.into_iter().filter(|d| self.merge(d.clone()).applied()).count()
+        deltas
+            .into_iter()
+            .map(|delta| self.merge(delta))
+            .filter(MergeOutcome::applied)
+            .count()
     }
 
-    fn merge_into(
-        partition: &mut PartitionIndex,
+    /// The `∪̇` merge against one partition index.  The delta record is moved
+    /// into the index when it survives; the returned reference points at the
+    /// stored record so callers can expand it without copying.  Discarded
+    /// deltas are dropped, never cloned.
+    fn merge_into<'a>(
+        partition: &'a mut PartitionIndex,
         comparator: &Option<RecordComparator>,
         key: Key,
         delta: Record,
-    ) -> MergeOutcome {
-        match partition.get_mut(&key) {
-            None => {
-                partition.insert(key, delta);
-                MergeOutcome::Inserted
-            }
-            Some(existing) => {
+    ) -> (MergeOutcome, Option<&'a Record>) {
+        use std::collections::hash_map::Entry;
+        match partition.entry(key) {
+            Entry::Vacant(slot) => (MergeOutcome::Inserted, Some(slot.insert(delta))),
+            Entry::Occupied(slot) => {
+                let existing = slot.into_mut();
                 let replace = match comparator {
                     // Without a comparator the delta always replaces the old
                     // record (plain ∪̇ semantics).
@@ -171,9 +191,9 @@ impl SolutionSet {
                 };
                 if replace {
                     *existing = delta;
-                    MergeOutcome::Replaced
+                    (MergeOutcome::Replaced, Some(existing))
                 } else {
-                    MergeOutcome::Discarded
+                    (MergeOutcome::Discarded, None)
                 }
             }
         }
@@ -186,7 +206,10 @@ impl SolutionSet {
 
     /// All records of the solution set (unspecified order).
     pub fn records(&self) -> Vec<Record> {
-        self.partitions.iter().flat_map(|p| p.values().cloned()).collect()
+        self.partitions
+            .iter()
+            .flat_map(|p| p.values().cloned())
+            .collect()
     }
 
     /// Splits the solution set into its partitions for parallel superstep
@@ -207,15 +230,17 @@ impl SolutionSet {
 
     /// Merges a delta record directly into an already-detached partition
     /// index (used by the parallel superstep workers, which own their
-    /// partition exclusively during a superstep).
-    pub(crate) fn merge_detached(
-        partition: &mut PartitionIndex,
+    /// partition exclusively during a superstep).  Returns a reference to
+    /// the stored record when the delta was applied, so the caller can feed
+    /// the workset expansion without cloning it; `None` means discarded.
+    pub(crate) fn merge_detached<'a>(
+        partition: &'a mut PartitionIndex,
         comparator: &Option<RecordComparator>,
         key_fields: &[usize],
         delta: Record,
-    ) -> MergeOutcome {
+    ) -> Option<&'a Record> {
         let key = Key::extract(&delta, key_fields);
-        Self::merge_into(partition, comparator, key, delta)
+        Self::merge_into(partition, comparator, key, delta).1
     }
 }
 
@@ -289,11 +314,7 @@ mod tests {
 
     #[test]
     fn from_records_builds_the_index() {
-        let s = SolutionSet::from_records(
-            (0..100).map(|i| Record::pair(i, i * 2)),
-            vec![0],
-            8,
-        );
+        let s = SolutionSet::from_records((0..100).map(|i| Record::pair(i, i * 2)), vec![0], 8);
         assert_eq!(s.len(), 100);
         for i in 0..100 {
             assert_eq!(s.lookup(&Key::long(i)).unwrap().long(1), i * 2);

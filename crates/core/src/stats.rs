@@ -38,7 +38,10 @@ pub struct IterationStats {
 impl IterationStats {
     /// Creates a stats record for the given iteration number.
     pub fn for_iteration(iteration: usize) -> Self {
-        IterationStats { iteration, ..Default::default() }
+        IterationStats {
+            iteration,
+            ..Default::default()
+        }
     }
 
     /// The iteration's wall-clock time in milliseconds.
@@ -84,7 +87,12 @@ impl IterationRunStats {
         for s in &self.per_iteration {
             out.push_str(&format!(
                 "{:>5} {:>12.2} {:>12} {:>12} {:>12} {:>12}\n",
-                s.iteration, s.millis(), s.workset_size, s.elements_inspected, s.elements_changed, s.messages_sent
+                s.iteration,
+                s.millis(),
+                s.workset_size,
+                s.elements_inspected,
+                s.elements_changed,
+                s.messages_sent
             ));
         }
         out.push_str(&format!(
@@ -128,7 +136,10 @@ mod tests {
 
     #[test]
     fn millis_reflects_duration() {
-        let s = IterationStats { elapsed: Duration::from_millis(250), ..Default::default() };
+        let s = IterationStats {
+            elapsed: Duration::from_millis(250),
+            ..Default::default()
+        };
         assert!((s.millis() - 250.0).abs() < 1e-9);
     }
 }

@@ -29,11 +29,10 @@
 //! asynchronously ([`ExecutionMode::AsynchronousMicrostep`], implemented in
 //! [`crate::microstep`]).
 
-use crate::solution_set::{RecordComparator, SolutionSet};
+use crate::solution_set::{PartitionIndex, RecordComparator, SolutionSet};
 use crate::stats::{IterationRunStats, IterationStats};
-use dataflow::key::partition_for;
+use dataflow::key::{group_ranges, partition_for, sort_by_key, FxHashMap};
 use dataflow::prelude::{DataflowError, Key, KeyFields, Record, Result};
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -208,20 +207,30 @@ impl WorksetIteration {
         config: &WorksetConfig,
     ) -> Result<WorksetResult> {
         if config.parallelism == 0 {
-            return Err(DataflowError::InvalidPlan("parallelism must be at least 1".into()));
+            return Err(DataflowError::InvalidPlan(
+                "parallelism must be at least 1".into(),
+            ));
         }
         let start = Instant::now();
-        let mut solution =
-            SolutionSet::from_records(initial_solution, self.solution_key.clone(), config.parallelism);
+        let mut solution = SolutionSet::from_records(
+            initial_solution,
+            self.solution_key.clone(),
+            config.parallelism,
+        );
         if let Some(cmp) = &self.comparator {
             solution = solution.with_comparator(Arc::clone(cmp));
         }
         let constant_index = self.build_constant_index(config.parallelism);
 
         match config.mode {
-            ExecutionMode::AsynchronousMicrostep => {
-                crate::microstep::run_async(self, solution, constant_index, initial_workset, config, start)
-            }
+            ExecutionMode::AsynchronousMicrostep => crate::microstep::run_async(
+                self,
+                solution,
+                constant_index,
+                initial_workset,
+                config,
+                start,
+            ),
             _ => self.run_supersteps(solution, constant_index, initial_workset, config, start),
         }
     }
@@ -231,8 +240,8 @@ impl WorksetIteration {
     pub(crate) fn build_constant_index(
         &self,
         parallelism: usize,
-    ) -> Vec<HashMap<Key, Vec<Record>>> {
-        let mut index: Vec<HashMap<Key, Vec<Record>>> = vec![HashMap::new(); parallelism];
+    ) -> Vec<FxHashMap<Key, Vec<Record>>> {
+        let mut index: Vec<FxHashMap<Key, Vec<Record>>> = vec![FxHashMap::default(); parallelism];
         for record in self.constant_input.iter() {
             let partition = partition_for(record, &self.constant_key, parallelism);
             index[partition]
@@ -248,14 +257,18 @@ impl WorksetIteration {
     fn run_supersteps(
         &self,
         mut solution: SolutionSet,
-        constant_index: Vec<HashMap<Key, Vec<Record>>>,
+        constant_index: Vec<FxHashMap<Key, Vec<Record>>>,
         initial_workset: Vec<Record>,
         config: &WorksetConfig,
         start: Instant,
     ) -> Result<WorksetResult> {
         let parallelism = config.parallelism;
         let comparator = solution.comparator();
-        let mut queues: Vec<Vec<Record>> = vec![Vec::new(); parallelism];
+        let mut queues: Vec<Vec<Record>> = Vec::with_capacity(parallelism);
+        let per_queue = initial_workset.len() / parallelism + 1;
+        for _ in 0..parallelism {
+            queues.push(Vec::with_capacity(per_queue));
+        }
         for record in initial_workset {
             let partition = partition_for(&record, &self.workset_key, parallelism);
             queues[partition].push(record);
@@ -263,11 +276,24 @@ impl WorksetIteration {
 
         let mut run_stats = IterationRunStats::default();
         let mut superstep = 0usize;
+        // Per-partition scratch buffers, reused across all supersteps instead
+        // of re-allocating expansion/delta vectors inside each one.
+        let mut scratch: Vec<StepScratch> =
+            (0..parallelism).map(|_| StepScratch::default()).collect();
+        // Queue buffers recycled from the previous superstep's drained
+        // worksets, so steady-state supersteps allocate nothing for routing.
+        let mut spare_queues: Vec<Vec<Record>> = Vec::with_capacity(parallelism);
 
         while queues.iter().any(|q| !q.is_empty()) && superstep < config.max_supersteps {
             superstep += 1;
             let step_start = Instant::now();
-            let worksets = std::mem::replace(&mut queues, vec![Vec::new(); parallelism]);
+            let mut next_queues: Vec<Vec<Record>> = Vec::with_capacity(parallelism);
+            for _ in 0..parallelism {
+                let mut q = spare_queues.pop().unwrap_or_default();
+                q.clear();
+                next_queues.push(q);
+            }
+            let worksets = std::mem::replace(&mut queues, next_queues);
             let workset_size: usize = worksets.iter().map(Vec::len).sum();
 
             let mut solution_partitions = solution.take_partitions();
@@ -276,16 +302,24 @@ impl WorksetIteration {
             // Run the step function locally in every partition.
             let outputs: Vec<PartitionOutput> = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(parallelism);
-                for (partition, (s_part, workset)) in solution_partitions
+                for (partition, ((s_part, workset), scratch)) in solution_partitions
                     .iter_mut()
-                    .zip(worksets.into_iter())
+                    .zip(worksets)
+                    .zip(scratch.iter_mut())
                     .enumerate()
                 {
                     let constant = &constant_index[partition];
                     let comparator = comparator.clone();
                     let handle = scope.spawn(move || {
                         self.run_partition_superstep(
-                            partition, s_part, workset, constant, &comparator, microstep, parallelism,
+                            partition,
+                            s_part,
+                            workset,
+                            constant,
+                            &comparator,
+                            microstep,
+                            parallelism,
+                            scratch,
                         )
                     });
                     handles.push(handle);
@@ -298,6 +332,7 @@ impl WorksetIteration {
             solution.restore_partitions(solution_partitions);
 
             // Exchange the new workset records (the superstep queue switch).
+            // Outbox buffers are moved into empty queues rather than copied.
             let mut stats = IterationStats::for_iteration(superstep);
             stats.workset_size = workset_size;
             for output in outputs {
@@ -306,15 +341,28 @@ impl WorksetIteration {
                 stats.messages_sent += output.messages_sent;
                 stats.messages_shipped += output.messages_shipped;
                 for (target, records) in output.outbox.into_iter().enumerate() {
-                    queues[target].extend(records);
+                    if !records.is_empty() && queues[target].is_empty() {
+                        let drained = std::mem::replace(&mut queues[target], records);
+                        spare_queues.push(drained);
+                    } else {
+                        queues[target].extend(records);
+                    }
                 }
+                spare_queues.push(output.drained_workset);
             }
+            // Keep at most one recycled buffer per partition; the rest would
+            // otherwise accumulate (with their capacities) for the whole run.
+            spare_queues.truncate(parallelism);
             stats.elapsed = step_start.elapsed();
             run_stats.per_iteration.push(stats);
         }
 
         run_stats.total_elapsed = start.elapsed();
-        Ok(WorksetResult { solution: solution.records(), supersteps: superstep, stats: run_stats })
+        Ok(WorksetResult {
+            solution: solution.records(),
+            supersteps: superstep,
+            stats: run_stats,
+        })
     }
 
     /// Executes one superstep inside one partition.
@@ -322,34 +370,38 @@ impl WorksetIteration {
     fn run_partition_superstep(
         &self,
         partition: usize,
-        s_part: &mut HashMap<Key, Record>,
-        workset: Vec<Record>,
-        constant: &HashMap<Key, Vec<Record>>,
+        s_part: &mut PartitionIndex,
+        mut workset: Vec<Record>,
+        constant: &FxHashMap<Key, Vec<Record>>,
         comparator: &Option<RecordComparator>,
         microstep: bool,
         parallelism: usize,
+        scratch: &mut StepScratch,
     ) -> PartitionOutput {
         let mut output = PartitionOutput::new(parallelism);
-        let mut expand_buffer: Vec<Record> = Vec::new();
+        let expand_buffer = &mut scratch.expand;
 
         let mut apply_and_expand =
-            |delta: Record, s_part: &mut HashMap<Key, Record>, output: &mut PartitionOutput| {
-                let outcome = SolutionSet::merge_detached(
+            |delta: Record, s_part: &mut PartitionIndex, output: &mut PartitionOutput| {
+                // The delta moves into the index; the returned reference to
+                // the stored record feeds the expansion, so applied deltas
+                // are never copied and discarded ones are simply dropped.
+                let applied = match SolutionSet::merge_detached(
                     s_part,
                     comparator,
                     &self.solution_key,
-                    delta.clone(),
-                );
-                if !outcome.applied() {
-                    return;
-                }
+                    delta,
+                ) {
+                    Some(applied) => applied,
+                    None => return,
+                };
                 output.changed += 1;
                 let matches = constant
-                    .get(&Key::extract(&delta, &self.delta_key))
+                    .get(&Key::extract(applied, &self.delta_key))
                     .map(Vec::as_slice)
                     .unwrap_or(&[]);
                 expand_buffer.clear();
-                self.expand.expand(&delta, matches, &mut expand_buffer);
+                self.expand.expand(applied, matches, expand_buffer);
                 for record in expand_buffer.drain(..) {
                     let target = partition_for(&record, &self.workset_key, parallelism);
                     output.messages_sent += 1;
@@ -363,43 +415,58 @@ impl WorksetIteration {
         if microstep {
             // Match variant: one workset record at a time, updates visible
             // immediately.
-            for record in workset {
+            for record in workset.drain(..) {
                 output.inspected += 1;
                 let key = Key::extract(&record, &self.workset_key);
                 let delta = {
                     let current = s_part.get(&key);
-                    self.update.update(&key, current, std::slice::from_ref(&record))
+                    self.update
+                        .update(&key, current, std::slice::from_ref(&record))
                 };
                 if let Some(delta) = delta {
                     apply_and_expand(delta, s_part, &mut output);
                 }
             }
         } else {
-            // InnerCoGroup variant: group the workset per key, one update per
-            // key, deltas applied after the whole group pass (superstep
+            // InnerCoGroup variant: sort the workset by key so each group is
+            // a contiguous run (no per-superstep map to build), one update
+            // per key, deltas applied after the whole group pass (superstep
             // semantics — every lookup sees the previous superstep's state).
-            let mut groups: BTreeMap<Key, Vec<Record>> = BTreeMap::new();
-            for record in workset {
-                groups.entry(Key::extract(&record, &self.workset_key)).or_default().push(record);
-            }
-            let mut deltas: Vec<Record> = Vec::new();
-            for (key, candidates) in &groups {
+            sort_by_key(&mut workset, &self.workset_key);
+            let deltas = &mut scratch.deltas;
+            deltas.clear();
+            for (group_start, group_end) in group_ranges(&workset, &self.workset_key) {
                 output.inspected += 1;
-                if let Some(delta) = self.update.update(key, s_part.get(key), candidates) {
+                let candidates = &workset[group_start..group_end];
+                let key = Key::extract(&candidates[0], &self.workset_key);
+                if let Some(delta) = self.update.update(&key, s_part.get(&key), candidates) {
                     deltas.push(delta);
                 }
             }
-            for delta in deltas {
+            for delta in deltas.drain(..) {
                 apply_and_expand(delta, s_part, &mut output);
             }
+            workset.clear();
         }
+        output.drained_workset = workset;
         output
     }
+}
+
+/// Per-partition buffers reused across supersteps by the workset driver.
+#[derive(Default)]
+pub(crate) struct StepScratch {
+    /// Buffer handed to the expand UDF.
+    expand: Vec<Record>,
+    /// Delta records of the current superstep (batch-incremental mode).
+    deltas: Vec<Record>,
 }
 
 /// What one partition produces during a superstep.
 pub(crate) struct PartitionOutput {
     pub(crate) outbox: Vec<Vec<Record>>,
+    /// The (now empty) workset buffer, handed back for reuse as a queue.
+    pub(crate) drained_workset: Vec<Record>,
     pub(crate) inspected: usize,
     pub(crate) changed: usize,
     pub(crate) messages_sent: usize,
@@ -410,6 +477,7 @@ impl PartitionOutput {
     pub(crate) fn new(parallelism: usize) -> Self {
         PartitionOutput {
             outbox: vec![Vec::new(); parallelism],
+            drained_workset: Vec::new(),
             inspected: 0,
             changed: 0,
             messages_sent: 0,
@@ -464,11 +532,13 @@ mod tests {
                 }
             },
         ));
-        let expand = Arc::new(ExpandClosure(|delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
-            for e in edges {
-                out.push(Record::pair(e.long(1), delta.long(1)));
-            }
-        }));
+        let expand = Arc::new(ExpandClosure(
+            |delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
+                for e in edges {
+                    out.push(Record::pair(e.long(1), delta.long(1)));
+                }
+            },
+        ));
         let edges: Vec<Record> = vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]
             .into_iter()
             .map(|(a, b)| Record::pair(a, b))
@@ -512,9 +582,14 @@ mod tests {
     fn batch_incremental_reaches_the_fixpoint() {
         let (solution, workset) = initial_state();
         let iteration = min_propagation();
-        let result = iteration.run(solution, workset, &WorksetConfig::new(2)).unwrap();
+        let result = iteration
+            .run(solution, workset, &WorksetConfig::new(2))
+            .unwrap();
         check_converged(&result);
-        assert!(result.supersteps >= 3, "minimum needs to travel across the path");
+        assert!(
+            result.supersteps >= 3,
+            "minimum needs to travel across the path"
+        );
     }
 
     #[test]
@@ -522,7 +597,11 @@ mod tests {
         let (solution, workset) = initial_state();
         let iteration = min_propagation();
         let result = iteration
-            .run(solution, workset, &WorksetConfig::new(2).with_mode(ExecutionMode::Microstep))
+            .run(
+                solution,
+                workset,
+                &WorksetConfig::new(2).with_mode(ExecutionMode::Microstep),
+            )
             .unwrap();
         check_converged(&result);
     }
@@ -532,8 +611,9 @@ mod tests {
         let iteration = min_propagation();
         for parallelism in [1, 2, 4, 8] {
             let (solution, workset) = initial_state();
-            let result =
-                iteration.run(solution, workset, &WorksetConfig::new(parallelism)).unwrap();
+            let result = iteration
+                .run(solution, workset, &WorksetConfig::new(parallelism))
+                .unwrap();
             check_converged(&result);
         }
     }
@@ -552,11 +632,21 @@ mod tests {
     fn workset_shrinks_as_the_iteration_converges() {
         let (solution, workset) = initial_state();
         let iteration = min_propagation();
-        let result = iteration.run(solution, workset, &WorksetConfig::new(1)).unwrap();
-        let sizes: Vec<usize> = result.stats.per_iteration.iter().map(|s| s.workset_size).collect();
+        let result = iteration
+            .run(solution, workset, &WorksetConfig::new(1))
+            .unwrap();
+        let sizes: Vec<usize> = result
+            .stats
+            .per_iteration
+            .iter()
+            .map(|s| s.workset_size)
+            .collect();
         assert!(sizes.last().copied().unwrap_or(0) <= sizes[0]);
         // The last superstep changes nothing (it only confirms convergence).
-        assert_eq!(result.stats.per_iteration.last().unwrap().elements_changed, 0);
+        assert_eq!(
+            result.stats.per_iteration.last().unwrap().elements_changed,
+            0
+        );
     }
 
     #[test]
@@ -564,7 +654,11 @@ mod tests {
         let (solution, workset) = initial_state();
         let iteration = min_propagation();
         let result = iteration
-            .run(solution, workset, &WorksetConfig::new(2).with_max_supersteps(1))
+            .run(
+                solution,
+                workset,
+                &WorksetConfig::new(2).with_max_supersteps(1),
+            )
             .unwrap();
         assert_eq!(result.supersteps, 1);
     }
@@ -581,9 +675,15 @@ mod tests {
     fn stats_track_inspections_and_changes() {
         let (solution, workset) = initial_state();
         let iteration = min_propagation();
-        let result = iteration.run(solution, workset, &WorksetConfig::new(1)).unwrap();
-        let total_changed: usize =
-            result.stats.per_iteration.iter().map(|s| s.elements_changed).sum();
+        let result = iteration
+            .run(solution, workset, &WorksetConfig::new(1))
+            .unwrap();
+        let total_changed: usize = result
+            .stats
+            .per_iteration
+            .iter()
+            .map(|s| s.elements_changed)
+            .sum();
         // Vertices 0..=3 all improve at least once (to value 10).
         assert!(total_changed >= 4);
         assert!(result.stats.per_iteration[0].elements_inspected > 0);

@@ -235,9 +235,11 @@ mod tests {
 
     #[test]
     fn cogroup_closure_receives_both_sides() {
-        let udf = CoGroupClosure(|_k: &[Value], l: &[Record], r: &[Record], out: &mut Collector| {
-            out.collect(Record::pair(l.len() as i64, r.len() as i64));
-        });
+        let udf = CoGroupClosure(
+            |_k: &[Value], l: &[Record], r: &[Record], out: &mut Collector| {
+                out.collect(Record::pair(l.len() as i64, r.len() as i64));
+            },
+        );
         let mut out = Collector::new();
         udf.cogroup(&[Value::Long(1)], &[Record::pair(1, 1)], &[], &mut out);
         assert_eq!(out.into_records()[0].long(1), 0);

@@ -31,7 +31,11 @@ impl fmt::Display for DataflowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataflowError::UnknownOperator(id) => write!(f, "unknown operator id {id}"),
-            DataflowError::InvalidArity { operator, expected, actual } => write!(
+            DataflowError::InvalidArity {
+                operator,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "operator '{operator}' expects {expected} input(s) but was wired with {actual}"
             ),
@@ -54,10 +58,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_descriptive() {
-        let e = DataflowError::InvalidArity { operator: "join".into(), expected: 2, actual: 1 };
+        let e = DataflowError::InvalidArity {
+            operator: "join".into(),
+            expected: 2,
+            actual: 1,
+        };
         assert!(e.to_string().contains("join"));
         assert!(e.to_string().contains("2"));
-        assert!(DataflowError::UnknownSink("out".into()).to_string().contains("out"));
+        assert!(DataflowError::UnknownSink("out".into())
+            .to_string()
+            .contains("out"));
         assert!(DataflowError::CyclicPlan.to_string().contains("cycle"));
     }
 

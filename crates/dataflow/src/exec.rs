@@ -17,12 +17,12 @@
 
 use crate::contracts::{Collector, Udf};
 use crate::error::{DataflowError, Result};
-use crate::key::{group_ranges, partition_for, sort_by_key, Key};
+use crate::key::{group_ranges, partition_for, sort_by_key, FxHashMap, Key};
 use crate::physical::{LocalStrategy, PhysicalPlan, ShipStrategy};
 use crate::plan::{Operator, OperatorId, OperatorKind};
 use crate::record::Record;
 use crate::stats::{ExecutionStats, OperatorStats};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -74,9 +74,40 @@ pub struct ExecutionResult {
 
 impl ExecutionResult {
     /// All records delivered to the sink `name`, flattened across partitions.
+    ///
+    /// Borrows the result, so the records are cloned; callers that own the
+    /// [`ExecutionResult`] and only need one sink should prefer
+    /// [`ExecutionResult::into_sink`], which moves the records out.
     pub fn sink(&self, name: &str) -> Result<Vec<Record>> {
         self.sink_partitions(name)
             .map(|parts| parts.iter().flatten().cloned().collect())
+    }
+
+    /// Consumes the result and moves the records of sink `name` out without
+    /// copying them (unless the sink's partitions are still shared, e.g.
+    /// through a clone of [`ExecutionResult::sink_partitions`]).
+    pub fn into_sink(mut self, name: &str) -> Result<Vec<Record>> {
+        let parts = self
+            .sink_outputs
+            .remove(name)
+            .ok_or_else(|| DataflowError::UnknownSink(name.to_owned()))?;
+        match Arc::try_unwrap(parts) {
+            Ok(parts) => {
+                let total = parts.iter().map(Vec::len).sum();
+                let mut records = Vec::with_capacity(total);
+                for part in parts {
+                    records.extend(part);
+                }
+                Ok(records)
+            }
+            Err(shared) => Ok(shared.iter().flatten().cloned().collect()),
+        }
+    }
+
+    /// True if the sink `name` received no records (without touching them).
+    pub fn sink_is_empty(&self, name: &str) -> Result<bool> {
+        self.sink_partitions(name)
+            .map(|parts| parts.iter().all(Vec::is_empty))
     }
 
     /// The per-partition records delivered to the sink `name`.
@@ -127,6 +158,17 @@ impl Executor {
         let mut sink_outputs: HashMap<String, Arc<Partitions>> = HashMap::new();
         let mut stats = ExecutionStats::new();
 
+        // How many input edges still need each operator's output.  Once the
+        // last consumer has taken it, the output is removed from `outputs`
+        // and — if nothing else (sink results, the cache) shares it — the
+        // exchange *moves* the records instead of cloning them.
+        let mut remaining_uses = vec![0usize; plan.len()];
+        for op in plan.operators() {
+            for input in &op.inputs {
+                remaining_uses[input.0] += 1;
+            }
+        }
+
         for id in order {
             let op = plan.operator(id);
             let choice = physical.choice(id);
@@ -151,25 +193,39 @@ impl Executor {
             let mut prepared: Vec<Arc<Partitions>> = Vec::with_capacity(op.inputs.len());
             for (slot, &input) in op.inputs.iter().enumerate() {
                 let cache_key = (id, slot);
+                // This edge consumes one use of the producer's output,
+                // whether it is served from the cache or exchanged.
+                let last_use = remaining_uses[input.0] == 1;
+                remaining_uses[input.0] = remaining_uses[input.0].saturating_sub(1);
                 if choice.cache_inputs[slot] {
                     if let Some(cached) = cache.entries.get(&cache_key) {
                         stats.cache_hits += 1;
                         prepared.push(Arc::clone(cached));
+                        if last_use {
+                            outputs.remove(&input);
+                        }
                         continue;
                     }
                 }
-                let producer_out = outputs.get(&input).ok_or_else(|| {
+                let producer_out = if last_use {
+                    outputs.remove(&input)
+                } else {
+                    outputs.get(&input).cloned()
+                }
+                .ok_or_else(|| {
                     DataflowError::ExecutionFailed(format!(
                         "input {} of '{}' has not produced output",
                         input.0, op.name
                     ))
                 })?;
-                let exchanged = exchange(
-                    producer_out,
-                    &choice.input_ships[slot],
-                    parallelism,
-                    &mut stats,
-                );
+                let ship = &choice.input_ships[slot];
+                // The producer's partitions can be consumed in place when no
+                // one else holds them (no other pending consumer, not a sink
+                // result, not cached).
+                let exchanged = match Arc::try_unwrap(producer_out) {
+                    Ok(owned) => exchange_owned(owned, ship, parallelism, &mut stats),
+                    Err(shared) => exchange(&shared, ship, parallelism, &mut stats),
+                };
                 let exchanged = Arc::new(exchanged);
                 if choice.cache_inputs[slot] {
                     cache.entries.insert(cache_key, Arc::clone(&exchanged));
@@ -182,8 +238,7 @@ impl Executor {
             let mut result_parts: Vec<Partition> = Vec::with_capacity(parallelism);
             let mut records_in_total = 0usize;
             if parallelism == 1 {
-                let inputs: Vec<&Partition> =
-                    prepared.iter().map(|parts| &parts[0]).collect();
+                let inputs: Vec<&Partition> = prepared.iter().map(|parts| &parts[0]).collect();
                 let (records_in, out) = run_local(op, local, &inputs);
                 records_in_total += records_in;
                 result_parts.push(out);
@@ -226,7 +281,10 @@ impl Executor {
         }
 
         stats.elapsed = start.elapsed();
-        Ok(ExecutionResult { sink_outputs, stats })
+        Ok(ExecutionResult {
+            sink_outputs,
+            stats,
+        })
     }
 }
 
@@ -243,8 +301,20 @@ fn split_into_partitions(data: &Arc<Vec<Record>>, parallelism: usize) -> Partiti
     parts
 }
 
+/// Target buffers for a hash exchange, each pre-sized for the expected even
+/// share of `total` records (plus headroom for skew) so the per-record push
+/// almost never reallocates.
+fn presized_targets(total: usize, parallelism: usize) -> Partitions {
+    let per_target = total / parallelism + total / (parallelism * 4).max(1) + 4;
+    (0..parallelism)
+        .map(|_| Vec::with_capacity(per_target))
+        .collect()
+}
+
 /// Routes the producer's partitions to the consumer's partitions according to
-/// the shipping strategy, updating the shipped/local record counters.
+/// the shipping strategy, updating the shipped/local record counters.  This
+/// is the clone-based variant used when the producer's output is still shared
+/// (another consumer, a sink result, or the loop-invariant cache holds it).
 fn exchange(
     producer: &Partitions,
     ship: &ShipStrategy,
@@ -257,33 +327,28 @@ fn exchange(
             stats.local_records += total;
             let mut parts = producer.clone();
             parts.resize(parallelism, Vec::new());
-            parts.truncate(parallelism);
             parts
         }
         ShipStrategy::PartitionHash(keys) | ShipStrategy::PartitionRange(keys) => {
-            let mut parts: Partitions = vec![Vec::new(); parallelism];
+            let total: usize = producer.iter().map(Vec::len).sum();
+            let mut parts = presized_targets(total, parallelism);
             for (src_idx, partition) in producer.iter().enumerate() {
                 for record in partition {
                     let target = partition_for(record, keys, parallelism);
-                    if target != src_idx {
-                        stats.shipped_records += 1;
-                        stats.shipped_bytes += record.estimated_bytes();
-                    } else {
-                        stats.local_records += 1;
-                    }
+                    count_routed(stats, record, src_idx, target);
                     parts[target].push(record.clone());
                 }
             }
             parts
         }
         ShipStrategy::Broadcast => {
-            let mut parts: Partitions = vec![Vec::new(); parallelism];
+            let total: usize = producer.iter().map(Vec::len).sum();
+            let mut parts: Partitions = (0..parallelism)
+                .map(|_| Vec::with_capacity(total))
+                .collect();
             for partition in producer {
                 for record in partition {
-                    let copies = parallelism.saturating_sub(1);
-                    stats.shipped_records += copies;
-                    stats.shipped_bytes += copies * record.estimated_bytes();
-                    stats.local_records += 1;
+                    count_broadcast(stats, record, parallelism);
                     for part in parts.iter_mut() {
                         part.push(record.clone());
                     }
@@ -292,6 +357,75 @@ fn exchange(
             parts
         }
     }
+}
+
+/// The move-based exchange: identical routing and accounting to [`exchange`],
+/// but the producer's partitions are owned, so records are *moved* to their
+/// target buffers — no per-record clone on the dynamic data path.
+fn exchange_owned(
+    mut producer: Partitions,
+    ship: &ShipStrategy,
+    parallelism: usize,
+    stats: &mut ExecutionStats,
+) -> Partitions {
+    match ship {
+        ShipStrategy::Forward => {
+            let total: usize = producer.iter().map(Vec::len).sum();
+            stats.local_records += total;
+            producer.resize(parallelism, Vec::new());
+            producer
+        }
+        ShipStrategy::PartitionHash(keys) | ShipStrategy::PartitionRange(keys) => {
+            let total: usize = producer.iter().map(Vec::len).sum();
+            let mut parts = presized_targets(total, parallelism);
+            for (src_idx, partition) in producer.into_iter().enumerate() {
+                for record in partition {
+                    let target = partition_for(&record, keys, parallelism);
+                    count_routed(stats, &record, src_idx, target);
+                    parts[target].push(record);
+                }
+            }
+            parts
+        }
+        ShipStrategy::Broadcast => {
+            let total: usize = producer.iter().map(Vec::len).sum();
+            let mut parts: Partitions = (0..parallelism)
+                .map(|_| Vec::with_capacity(total))
+                .collect();
+            for partition in producer {
+                for record in partition {
+                    count_broadcast(stats, &record, parallelism);
+                    // Clone for all targets but the last, which takes the
+                    // original.
+                    for part in parts[..parallelism - 1].iter_mut() {
+                        part.push(record.clone());
+                    }
+                    parts[parallelism - 1].push(record);
+                }
+            }
+            parts
+        }
+    }
+}
+
+/// Updates the shipped/local counters for one hash-routed record.
+#[inline]
+fn count_routed(stats: &mut ExecutionStats, record: &Record, src: usize, target: usize) {
+    if target != src {
+        stats.shipped_records += 1;
+        stats.shipped_bytes += record.estimated_bytes();
+    } else {
+        stats.local_records += 1;
+    }
+}
+
+/// Updates the shipped/local counters for one broadcast record.
+#[inline]
+fn count_broadcast(stats: &mut ExecutionStats, record: &Record, parallelism: usize) {
+    let copies = parallelism.saturating_sub(1);
+    stats.shipped_records += copies;
+    stats.shipped_bytes += copies * record.estimated_bytes();
+    stats.local_records += 1;
 }
 
 /// Runs one operator's local work on one partition's inputs.
@@ -307,8 +441,22 @@ fn run_local(op: &Operator, local: LocalStrategy, inputs: &[&Partition]) -> (usi
         (OperatorKind::Reduce { key }, Udf::Reduce(udf)) => {
             run_reduce(key, local, inputs[0], udf.as_ref(), &mut collector);
         }
-        (OperatorKind::Match { left_key, right_key }, Udf::Match(udf)) => {
-            run_match(left_key, right_key, local, inputs[0], inputs[1], udf.as_ref(), &mut collector);
+        (
+            OperatorKind::Match {
+                left_key,
+                right_key,
+            },
+            Udf::Match(udf),
+        ) => {
+            run_match(
+                left_key,
+                right_key,
+                local,
+                inputs[0],
+                inputs[1],
+                udf.as_ref(),
+                &mut collector,
+            );
         }
         (OperatorKind::Cross, Udf::Cross(udf)) => {
             for left in inputs[0] {
@@ -317,8 +465,23 @@ fn run_local(op: &Operator, local: LocalStrategy, inputs: &[&Partition]) -> (usi
                 }
             }
         }
-        (OperatorKind::CoGroup { left_key, right_key, inner }, Udf::CoGroup(udf)) => {
-            run_cogroup(left_key, right_key, *inner, inputs[0], inputs[1], udf.as_ref(), &mut collector);
+        (
+            OperatorKind::CoGroup {
+                left_key,
+                right_key,
+                inner,
+            },
+            Udf::CoGroup(udf),
+        ) => {
+            run_cogroup(
+                left_key,
+                right_key,
+                *inner,
+                inputs[0],
+                inputs[1],
+                udf.as_ref(),
+                &mut collector,
+            );
         }
         (OperatorKind::Union, _) => {
             for input in inputs {
@@ -359,18 +522,24 @@ fn run_reduce(
             for (start, end) in group_ranges(&records, key) {
                 let group = &records[start..end];
                 let k = Key::extract(&group[0], key);
-                udf.reduce(k.values(), group, out);
+                udf.reduce(&k.values(), group, out);
             }
         }
-        // HashGroup and any other strategy: group through an ordered map so
-        // the output order is deterministic across runs.
+        // HashGroup and any other strategy: build the groups in an Fx hash
+        // table, then emit them in key order so the output stays
+        // deterministic across runs.
         _ => {
-            let mut groups: BTreeMap<Key, Vec<Record>> = BTreeMap::new();
+            let mut groups: FxHashMap<Key, Vec<Record>> = FxHashMap::default();
             for record in input {
-                groups.entry(Key::extract(record, key)).or_default().push(record.clone());
+                groups
+                    .entry(Key::extract(record, key))
+                    .or_default()
+                    .push(record.clone());
             }
-            for (k, group) in &groups {
-                udf.reduce(k.values(), group, out);
+            let mut sorted: Vec<(Key, Vec<Record>)> = groups.into_iter().collect();
+            sorted.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            for (k, group) in &sorted {
+                udf.reduce(&k.values(), group, out);
             }
         }
     }
@@ -388,9 +557,12 @@ fn run_match(
 ) {
     match local {
         LocalStrategy::HashJoinBuildRight => {
-            let mut table: HashMap<Key, Vec<&Record>> = HashMap::new();
+            let mut table: FxHashMap<Key, Vec<&Record>> = FxHashMap::default();
             for record in right {
-                table.entry(Key::extract(record, right_key)).or_default().push(record);
+                table
+                    .entry(Key::extract(record, right_key))
+                    .or_default()
+                    .push(record);
             }
             for l in left {
                 if let Some(matches) = table.get(&Key::extract(l, left_key)) {
@@ -428,9 +600,12 @@ fn run_match(
         }
         // Default: build on the left, probe with the right.
         _ => {
-            let mut table: HashMap<Key, Vec<&Record>> = HashMap::new();
+            let mut table: FxHashMap<Key, Vec<&Record>> = FxHashMap::default();
             for record in left {
-                table.entry(Key::extract(record, left_key)).or_default().push(record);
+                table
+                    .entry(Key::extract(record, left_key))
+                    .or_default()
+                    .push(record);
             }
             for r in right {
                 if let Some(matches) = table.get(&Key::extract(r, right_key)) {
@@ -453,29 +628,38 @@ fn run_cogroup(
     udf: &dyn crate::contracts::CoGroupFunction,
     out: &mut Collector,
 ) {
-    let mut left_groups: BTreeMap<Key, Vec<Record>> = BTreeMap::new();
+    let mut left_groups: FxHashMap<Key, Vec<Record>> = FxHashMap::default();
     for record in left {
-        left_groups.entry(Key::extract(record, left_key)).or_default().push(record.clone());
+        left_groups
+            .entry(Key::extract(record, left_key))
+            .or_default()
+            .push(record.clone());
     }
-    let mut right_groups: BTreeMap<Key, Vec<Record>> = BTreeMap::new();
+    let mut right_groups: FxHashMap<Key, Vec<Record>> = FxHashMap::default();
     for record in right {
-        right_groups.entry(Key::extract(record, right_key)).or_default().push(record.clone());
+        right_groups
+            .entry(Key::extract(record, right_key))
+            .or_default()
+            .push(record.clone());
     }
+    // Emit groups in key order so the output stays deterministic across runs.
     let empty: Vec<Record> = Vec::new();
     if inner {
-        for (k, lgroup) in &left_groups {
+        let mut sorted: Vec<(&Key, &Vec<Record>)> = left_groups.iter().collect();
+        sorted.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        for (k, lgroup) in sorted {
             if let Some(rgroup) = right_groups.get(k) {
-                udf.cogroup(k.values(), lgroup, rgroup, out);
+                udf.cogroup(&k.values(), lgroup, rgroup, out);
             }
         }
     } else {
         let mut keys: Vec<&Key> = left_groups.keys().chain(right_groups.keys()).collect();
-        keys.sort();
+        keys.sort_unstable();
         keys.dedup();
         for k in keys {
             let lgroup = left_groups.get(k).unwrap_or(&empty);
             let rgroup = right_groups.get(k).unwrap_or(&empty);
-            udf.cogroup(k.values(), lgroup, rgroup, out);
+            udf.cogroup(&k.values(), lgroup, rgroup, out);
         }
     }
 }
@@ -526,9 +710,11 @@ mod tests {
             "count",
             src,
             vec![0],
-            Arc::new(ReduceClosure(|key: &[Value], group: &[Record], out: &mut Collector| {
-                out.collect(Record::pair(key[0].as_long(), group.len() as i64));
-            })),
+            Arc::new(ReduceClosure(
+                |key: &[Value], group: &[Record], out: &mut Collector| {
+                    out.collect(Record::pair(key[0].as_long(), group.len() as i64));
+                },
+            )),
         );
         plan.sink("out", red);
         for parallelism in [1, 4] {
@@ -545,7 +731,14 @@ mod tests {
     #[test]
     fn match_join_produces_all_matching_pairs() {
         let mut plan = Plan::new();
-        let left = plan.source("left", vec![Record::pair(1, 10), Record::pair(2, 20), Record::pair(2, 21)]);
+        let left = plan.source(
+            "left",
+            vec![
+                Record::pair(1, 10),
+                Record::pair(2, 20),
+                Record::pair(2, 21),
+            ],
+        );
         let right = plan.source("right", vec![Record::pair(2, 200), Record::pair(3, 300)]);
         let join = plan.match_join(
             "join",
@@ -553,9 +746,11 @@ mod tests {
             right,
             vec![0],
             vec![0],
-            Arc::new(MatchClosure(|l: &Record, r: &Record, out: &mut Collector| {
-                out.collect(Record::pair(l.long(1), r.long(1)));
-            })),
+            Arc::new(MatchClosure(
+                |l: &Record, r: &Record, out: &mut Collector| {
+                    out.collect(Record::pair(l.long(1), r.long(1)));
+                },
+            )),
         );
         plan.sink("out", join);
         let result = execute(&plan, 4);
@@ -575,9 +770,11 @@ mod tests {
             right,
             vec![0],
             vec![0],
-            Arc::new(CoGroupClosure(|key: &[Value], l: &[Record], r: &[Record], out: &mut Collector| {
-                out.collect(Record::pair(key[0].as_long(), (l.len() + r.len()) as i64));
-            })),
+            Arc::new(CoGroupClosure(
+                |key: &[Value], l: &[Record], r: &[Record], out: &mut Collector| {
+                    out.collect(Record::pair(key[0].as_long(), (l.len() + r.len()) as i64));
+                },
+            )),
         );
         plan.sink("out", cg);
         let result = execute(&plan, 3);
@@ -596,9 +793,15 @@ mod tests {
             right,
             vec![0],
             vec![0],
-            Arc::new(CoGroupClosure(|key: &[Value], l: &[Record], r: &[Record], out: &mut Collector| {
-                out.collect(Record::triple(key[0].as_long(), l.len() as i64, r.len() as f64));
-            })),
+            Arc::new(CoGroupClosure(
+                |key: &[Value], l: &[Record], r: &[Record], out: &mut Collector| {
+                    out.collect(Record::triple(
+                        key[0].as_long(),
+                        l.len() as i64,
+                        r.len() as f64,
+                    ));
+                },
+            )),
         );
         plan.sink("out", cg);
         let result = execute(&plan, 2);
@@ -611,14 +814,23 @@ mod tests {
     fn cross_product_with_broadcast_right() {
         let mut plan = Plan::new();
         let left = plan.source("left", vec![Record::pair(1, 0), Record::pair(2, 0)]);
-        let right = plan.source("right", vec![Record::pair(10, 0), Record::pair(20, 0), Record::pair(30, 0)]);
+        let right = plan.source(
+            "right",
+            vec![
+                Record::pair(10, 0),
+                Record::pair(20, 0),
+                Record::pair(30, 0),
+            ],
+        );
         let cross = plan.cross(
             "cross",
             left,
             right,
-            Arc::new(crate::contracts::CrossClosure(|l: &Record, r: &Record, out: &mut Collector| {
-                out.collect(Record::pair(l.long(0), r.long(0)));
-            })),
+            Arc::new(crate::contracts::CrossClosure(
+                |l: &Record, r: &Record, out: &mut Collector| {
+                    out.collect(Record::pair(l.long(0), r.long(0)));
+                },
+            )),
         );
         plan.sink("out", cross);
         let result = execute(&plan, 2);
@@ -656,9 +868,11 @@ mod tests {
             "sum",
             src,
             vec![0],
-            Arc::new(ReduceClosure(|key: &[Value], g: &[Record], out: &mut Collector| {
-                out.collect(Record::pair(key[0].as_long(), g.len() as i64));
-            })),
+            Arc::new(ReduceClosure(
+                |key: &[Value], g: &[Record], out: &mut Collector| {
+                    out.collect(Record::pair(key[0].as_long(), g.len() as i64));
+                },
+            )),
         );
         plan.sink("out", red);
         let result = execute(&plan, 4);
@@ -677,9 +891,11 @@ mod tests {
             "cross",
             left,
             right,
-            Arc::new(crate::contracts::CrossClosure(|l: &Record, _r: &Record, out: &mut Collector| {
-                out.collect(l.clone());
-            })),
+            Arc::new(crate::contracts::CrossClosure(
+                |l: &Record, _r: &Record, out: &mut Collector| {
+                    out.collect(l.clone());
+                },
+            )),
         );
         plan.sink("out", cross);
         let phys = default_physical_plan(&plan, 4).unwrap();
@@ -700,9 +916,11 @@ mod tests {
             right,
             vec![0],
             vec![0],
-            Arc::new(MatchClosure(|l: &Record, r: &Record, out: &mut Collector| {
-                out.collect(Record::pair(l.long(1), r.long(1)));
-            })),
+            Arc::new(MatchClosure(
+                |l: &Record, r: &Record, out: &mut Collector| {
+                    out.collect(Record::pair(l.long(1), r.long(1)));
+                },
+            )),
         );
         plan.sink("out", join);
         let mut phys = default_physical_plan(&plan, 4).unwrap();
@@ -717,7 +935,10 @@ mod tests {
         // Fewer records shipped in the second run because the right input is
         // served from the cache.
         assert!(second.stats.shipped_records < first.stats.shipped_records);
-        assert_eq!(first.sink("out").unwrap().len(), second.sink("out").unwrap().len());
+        assert_eq!(
+            first.sink("out").unwrap().len(),
+            second.sink("out").unwrap().len()
+        );
     }
 
     #[test]
@@ -733,9 +954,11 @@ mod tests {
             right,
             vec![0],
             vec![0],
-            Arc::new(MatchClosure(|l: &Record, r: &Record, out: &mut Collector| {
-                out.collect(Record::pair(l.long(1), r.long(1)));
-            })),
+            Arc::new(MatchClosure(
+                |l: &Record, r: &Record, out: &mut Collector| {
+                    out.collect(Record::pair(l.long(1), r.long(1)));
+                },
+            )),
         );
         plan.sink("out", join);
 
@@ -762,10 +985,12 @@ mod tests {
             "min",
             src,
             vec![0],
-            Arc::new(ReduceClosure(|key: &[Value], g: &[Record], out: &mut Collector| {
-                let min = g.iter().map(|r| r.long(1)).min().unwrap();
-                out.collect(Record::pair(key[0].as_long(), min));
-            })),
+            Arc::new(ReduceClosure(
+                |key: &[Value], g: &[Record], out: &mut Collector| {
+                    let min = g.iter().map(|r| r.long(1)).min().unwrap();
+                    out.collect(Record::pair(key[0].as_long(), min));
+                },
+            )),
         );
         plan.sink("out", red);
         let mut hash_phys = default_physical_plan(&plan, 2).unwrap();
@@ -788,7 +1013,9 @@ mod tests {
         let map = plan.map(
             "id",
             src,
-            Arc::new(MapClosure(|r: &Record, out: &mut Collector| out.collect(r.clone()))),
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                out.collect(r.clone())
+            })),
         );
         plan.sink("out", map);
         let result = execute(&plan, 4);

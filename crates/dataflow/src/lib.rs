@@ -65,7 +65,7 @@ pub mod prelude {
     };
     pub use crate::error::{DataflowError, Result};
     pub use crate::exec::{ExecutionResult, Executor, IntermediateCache, Partition, Partitions};
-    pub use crate::key::{Key, KeyFields};
+    pub use crate::key::{FxBuildHasher, FxHashMap, Key, KeyFields, KeyValues};
     pub use crate::physical::{
         default_physical_plan, LocalStrategy, PhysicalChoice, PhysicalPlan, ShipStrategy,
     };

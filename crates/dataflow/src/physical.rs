@@ -189,7 +189,11 @@ impl PhysicalPlan {
         ));
         for (slot, &input) in op.inputs.iter().enumerate() {
             out.push_str(&"  ".repeat(depth + 1));
-            let cached = if choice.cache_inputs[slot] { " CACHE" } else { "" };
+            let cached = if choice.cache_inputs[slot] {
+                " CACHE"
+            } else {
+                ""
+            };
             out.push_str(&format!("<- ship={}{}\n", choice.input_ships[slot], cached));
             self.explain_rec(input, depth + 1, out);
         }
@@ -203,7 +207,9 @@ impl PhysicalPlan {
 /// baseline the cost-based optimizer improves upon.
 pub fn default_physical_plan(plan: &Plan, parallelism: usize) -> Result<PhysicalPlan> {
     if parallelism == 0 {
-        return Err(DataflowError::InvalidPlan("parallelism must be at least 1".into()));
+        return Err(DataflowError::InvalidPlan(
+            "parallelism must be at least 1".into(),
+        ));
     }
     plan.validate()?;
     let mut choices = HashMap::new();
@@ -217,7 +223,10 @@ pub fn default_physical_plan(plan: &Plan, parallelism: usize) -> Result<Physical
                 local: LocalStrategy::HashGroup,
                 cache_inputs: vec![false],
             },
-            OperatorKind::Match { left_key, right_key } => PhysicalChoice {
+            OperatorKind::Match {
+                left_key,
+                right_key,
+            } => PhysicalChoice {
                 input_ships: vec![
                     ShipStrategy::PartitionHash(left_key.clone()),
                     ShipStrategy::PartitionHash(right_key.clone()),
@@ -225,7 +234,11 @@ pub fn default_physical_plan(plan: &Plan, parallelism: usize) -> Result<Physical
                 local: LocalStrategy::HashJoinBuildLeft,
                 cache_inputs: vec![false, false],
             },
-            OperatorKind::CoGroup { left_key, right_key, .. } => PhysicalChoice {
+            OperatorKind::CoGroup {
+                left_key,
+                right_key,
+                ..
+            } => PhysicalChoice {
                 input_ships: vec![
                     ShipStrategy::PartitionHash(left_key.clone()),
                     ShipStrategy::PartitionHash(right_key.clone()),
@@ -241,7 +254,11 @@ pub fn default_physical_plan(plan: &Plan, parallelism: usize) -> Result<Physical
         };
         choices.insert(op.id, choice);
     }
-    Ok(PhysicalPlan { plan: plan.clone(), choices, parallelism })
+    Ok(PhysicalPlan {
+        plan: plan.clone(),
+        choices,
+        parallelism,
+    })
 }
 
 #[cfg(test)]
@@ -261,17 +278,17 @@ mod tests {
             matrix,
             vec![0],
             vec![1],
-            Arc::new(MatchClosure(|l: &Record, _r: &Record, out: &mut Collector| {
-                out.collect(l.clone())
-            })),
+            Arc::new(MatchClosure(
+                |l: &Record, _r: &Record, out: &mut Collector| out.collect(l.clone()),
+            )),
         );
         let agg = plan.reduce(
             "sum",
             join,
             vec![0],
-            Arc::new(ReduceClosure(|_k: &_, g: &[Record], out: &mut Collector| {
-                out.collect(g[0].clone())
-            })),
+            Arc::new(ReduceClosure(
+                |_k: &_, g: &[Record], out: &mut Collector| out.collect(g[0].clone()),
+            )),
         );
         plan.sink("out", agg);
         plan
@@ -284,8 +301,14 @@ mod tests {
         assert_eq!(phys.parallelism, 4);
         let join_id = OperatorId(2);
         let join_choice = phys.choice(join_id);
-        assert_eq!(join_choice.input_ships[0], ShipStrategy::PartitionHash(vec![0]));
-        assert_eq!(join_choice.input_ships[1], ShipStrategy::PartitionHash(vec![1]));
+        assert_eq!(
+            join_choice.input_ships[0],
+            ShipStrategy::PartitionHash(vec![0])
+        );
+        assert_eq!(
+            join_choice.input_ships[1],
+            ShipStrategy::PartitionHash(vec![1])
+        );
         assert_eq!(join_choice.local, LocalStrategy::HashJoinBuildLeft);
         let reduce_choice = phys.choice(OperatorId(3));
         assert_eq!(reduce_choice.local, LocalStrategy::HashGroup);
@@ -304,7 +327,9 @@ mod tests {
         let m = plan.map(
             "m",
             src,
-            Arc::new(MapClosure(|r: &Record, out: &mut Collector| out.collect(r.clone()))),
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                out.collect(r.clone())
+            })),
         );
         plan.sink("out", m);
         let phys = default_physical_plan(&plan, 2).unwrap();
@@ -332,7 +357,10 @@ mod tests {
 
     #[test]
     fn ship_strategy_partition_key_accessor() {
-        assert_eq!(ShipStrategy::PartitionHash(vec![1]).partition_key(), Some(&vec![1]));
+        assert_eq!(
+            ShipStrategy::PartitionHash(vec![1]).partition_key(),
+            Some(&vec![1])
+        );
         assert_eq!(ShipStrategy::Broadcast.partition_key(), None);
         assert!(ShipStrategy::Broadcast.crosses_partitions());
     }

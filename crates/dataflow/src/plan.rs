@@ -138,10 +138,18 @@ pub struct Plan {
 impl Plan {
     /// Creates an empty plan.
     pub fn new() -> Self {
-        Plan { operators: Vec::new() }
+        Plan {
+            operators: Vec::new(),
+        }
     }
 
-    fn add(&mut self, name: &str, kind: OperatorKind, udf: Udf, inputs: Vec<OperatorId>) -> OperatorId {
+    fn add(
+        &mut self,
+        name: &str,
+        kind: OperatorKind,
+        udf: Udf,
+        inputs: Vec<OperatorId>,
+    ) -> OperatorId {
         let id = OperatorId(self.operators.len());
         self.operators.push(Operator {
             id,
@@ -181,7 +189,12 @@ impl Plan {
         key: KeyFields,
         udf: Arc<dyn ReduceFunction>,
     ) -> OperatorId {
-        self.add(name, OperatorKind::Reduce { key }, Udf::Reduce(udf), vec![input])
+        self.add(
+            name,
+            OperatorKind::Reduce { key },
+            Udf::Reduce(udf),
+            vec![input],
+        )
     }
 
     /// Adds a `Match` (equi-join) operator.
@@ -196,7 +209,10 @@ impl Plan {
     ) -> OperatorId {
         self.add(
             name,
-            OperatorKind::Match { left_key, right_key },
+            OperatorKind::Match {
+                left_key,
+                right_key,
+            },
             Udf::Match(udf),
             vec![left, right],
         )
@@ -210,7 +226,12 @@ impl Plan {
         right: OperatorId,
         udf: Arc<dyn CrossFunction>,
     ) -> OperatorId {
-        self.add(name, OperatorKind::Cross, Udf::Cross(udf), vec![left, right])
+        self.add(
+            name,
+            OperatorKind::Cross,
+            Udf::Cross(udf),
+            vec![left, right],
+        )
     }
 
     /// Adds a `CoGroup` operator (outer: groups may be empty on either side).
@@ -225,7 +246,11 @@ impl Plan {
     ) -> OperatorId {
         self.add(
             name,
-            OperatorKind::CoGroup { left_key, right_key, inner: false },
+            OperatorKind::CoGroup {
+                left_key,
+                right_key,
+                inner: false,
+            },
             Udf::CoGroup(udf),
             vec![left, right],
         )
@@ -244,7 +269,11 @@ impl Plan {
     ) -> OperatorId {
         self.add(
             name,
-            OperatorKind::CoGroup { left_key, right_key, inner: true },
+            OperatorKind::CoGroup {
+                left_key,
+                right_key,
+                inner: true,
+            },
             Udf::CoGroup(udf),
             vec![left, right],
         )
@@ -257,7 +286,14 @@ impl Plan {
 
     /// Adds a named sink consuming `input`.
     pub fn sink(&mut self, name: &str, input: OperatorId) -> OperatorId {
-        self.add(name, OperatorKind::Sink { name: name.to_owned() }, Udf::None, vec![input])
+        self.add(
+            name,
+            OperatorKind::Sink {
+                name: name.to_owned(),
+            },
+            Udf::None,
+            vec![input],
+        )
     }
 
     /// Sets the optimizer cardinality hint of an operator.
@@ -436,7 +472,9 @@ mod tests {
     use crate::contracts::{Collector, MapClosure};
 
     fn identity_map() -> Arc<dyn MapFunction> {
-        Arc::new(MapClosure(|r: &Record, out: &mut Collector| out.collect(r.clone())))
+        Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+            out.collect(r.clone())
+        }))
     }
 
     #[test]
@@ -458,7 +496,10 @@ mod tests {
         // Manually build a broken Match with one input.
         let bad = plan.add(
             "bad-join",
-            OperatorKind::Match { left_key: vec![0], right_key: vec![0] },
+            OperatorKind::Match {
+                left_key: vec![0],
+                right_key: vec![0],
+            },
             Udf::None,
             vec![src],
         );
@@ -482,7 +523,10 @@ mod tests {
         let b = plan.map("b", a, identity_map());
         // Introduce a cycle a <- b by hand.
         plan.operators[a.0].inputs = vec![b];
-        assert_eq!(plan.topological_order().unwrap_err(), DataflowError::CyclicPlan);
+        assert_eq!(
+            plan.topological_order().unwrap_err(),
+            DataflowError::CyclicPlan
+        );
     }
 
     #[test]
@@ -496,9 +540,9 @@ mod tests {
             s2,
             vec![0],
             vec![0],
-            Arc::new(crate::contracts::MatchClosure(|l: &Record, _r: &Record, out: &mut Collector| {
-                out.collect(l.clone())
-            })),
+            Arc::new(crate::contracts::MatchClosure(
+                |l: &Record, _r: &Record, out: &mut Collector| out.collect(l.clone()),
+            )),
         );
         let sink = plan.sink("out", join);
         let closure = plan.downstream_closure(s1);
@@ -543,9 +587,17 @@ mod tests {
     #[test]
     fn record_at_a_time_classification() {
         assert!(OperatorKind::Map.is_record_at_a_time());
-        assert!(OperatorKind::Match { left_key: vec![0], right_key: vec![0] }.is_record_at_a_time());
+        assert!(OperatorKind::Match {
+            left_key: vec![0],
+            right_key: vec![0]
+        }
+        .is_record_at_a_time());
         assert!(!OperatorKind::Reduce { key: vec![0] }.is_record_at_a_time());
-        assert!(!OperatorKind::CoGroup { left_key: vec![0], right_key: vec![0], inner: true }
-            .is_record_at_a_time());
+        assert!(!OperatorKind::CoGroup {
+            left_key: vec![0],
+            right_key: vec![0],
+            inner: true
+        }
+        .is_record_at_a_time());
     }
 }

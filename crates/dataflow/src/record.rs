@@ -28,18 +28,24 @@ impl Record {
     /// Convenience constructor for the ubiquitous `(long, long)` records
     /// (edges, vertex/component pairs, vertex/candidate pairs).
     pub fn pair(a: i64, b: i64) -> Self {
-        Record { fields: vec![Value::Long(a), Value::Long(b)] }
+        Record {
+            fields: vec![Value::Long(a), Value::Long(b)],
+        }
     }
 
     /// Convenience constructor for `(long, double)` records (rank vectors).
     pub fn long_double(a: i64, b: f64) -> Self {
-        Record { fields: vec![Value::Long(a), Value::Double(b)] }
+        Record {
+            fields: vec![Value::Long(a), Value::Double(b)],
+        }
     }
 
     /// Convenience constructor for `(long, long, double)` records (the sparse
     /// transition-matrix representation of PageRank).
     pub fn triple(a: i64, b: i64, c: f64) -> Self {
-        Record { fields: vec![Value::Long(a), Value::Long(b), Value::Double(c)] }
+        Record {
+            fields: vec![Value::Long(a), Value::Long(b), Value::Double(c)],
+        }
     }
 
     /// Number of fields in the record.
@@ -108,14 +114,20 @@ impl Record {
 
     /// Builds a new record keeping only the fields at `indices`, in order.
     pub fn project(&self, indices: &[usize]) -> Record {
-        Record { fields: indices.iter().map(|&i| self.fields[i].clone()).collect() }
+        Record {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
     }
 
     /// Estimated serialized size in bytes (used for shipped-bytes accounting
     /// and the optimizer's cost model).
     pub fn estimated_bytes(&self) -> usize {
         // 4 bytes of framing plus each field's payload estimate.
-        4 + self.fields.iter().map(Value::estimated_bytes).sum::<usize>()
+        4 + self
+            .fields
+            .iter()
+            .map(Value::estimated_bytes)
+            .sum::<usize>()
     }
 }
 

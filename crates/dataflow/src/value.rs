@@ -32,6 +32,11 @@ pub enum Value {
     Text(String),
 }
 
+/// The type tag of [`Value::Long`], shared with the key-hashing fast path in
+/// [`crate::key`] so the inline-long hash stays byte-identical to the generic
+/// `Value::hash` stream.
+pub(crate) const LONG_TYPE_TAG: u8 = 2;
+
 impl Value {
     /// Returns the contained integer, panicking with a descriptive message if
     /// the value has a different type.  Operator UDFs use this accessor when
@@ -85,7 +90,7 @@ impl Value {
         match self {
             Value::Null => 0,
             Value::Bool(_) => 1,
-            Value::Long(_) => 2,
+            Value::Long(_) => LONG_TYPE_TAG,
             Value::Double(_) => 3,
             Value::Text(_) => 4,
         }

@@ -107,7 +107,12 @@ impl DatasetProfile {
 
     /// All profiles of Table 2, in the paper's order.
     pub fn table2() -> Vec<DatasetProfile> {
-        vec![Self::wikipedia(), Self::webbase(), Self::hollywood(), Self::twitter()]
+        vec![
+            Self::wikipedia(),
+            Self::webbase(),
+            Self::hollywood(),
+            Self::twitter(),
+        ]
     }
 
     /// The average degree of the original graph.
@@ -136,9 +141,7 @@ impl DatasetProfile {
         let vertices = self.scaled_vertices(scale);
         let edges = self.scaled_edges(scale);
         match self.shape {
-            GraphShape::Web => {
-                rmat(vertices, edges, RmatParams::default(), self.seed).symmetrize()
-            }
+            GraphShape::Web => rmat(vertices, edges, RmatParams::default(), self.seed).symmetrize(),
             GraphShape::Social => {
                 rmat(vertices, edges, RmatParams::social(), self.seed).symmetrize()
             }

@@ -29,7 +29,12 @@ pub struct RmatParams {
 
 impl Default for RmatParams {
     fn default() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
     }
 }
 
@@ -37,7 +42,12 @@ impl RmatParams {
     /// Parameters producing a denser, more social-network-like graph (heavier
     /// tail, more clustering of high-degree vertices).
     pub fn social() -> Self {
-        RmatParams { a: 0.45, b: 0.22, c: 0.22, d: 0.11 }
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            d: 0.11,
+        }
     }
 }
 
@@ -107,8 +117,9 @@ pub fn erdos_renyi(num_vertices: usize, avg_degree: f64, seed: u64) -> Graph {
 /// connected graph, used to reproduce the Webbase long-tail behaviour.
 pub fn chain(num_vertices: usize) -> Graph {
     assert!(num_vertices > 1, "graphs need at least two vertices");
-    let edges: Vec<(VertexId, VertexId)> =
-        (0..num_vertices as VertexId - 1).map(|v| (v, v + 1)).collect();
+    let edges: Vec<(VertexId, VertexId)> = (0..num_vertices as VertexId - 1)
+        .map(|v| (v, v + 1))
+        .collect();
     Graph::undirected_from_edges(num_vertices, &edges)
 }
 
@@ -124,8 +135,7 @@ pub fn ring(num_vertices: usize) -> Graph {
 /// iterations and exercises the high-degree hub case.
 pub fn star(num_vertices: usize) -> Graph {
     assert!(num_vertices > 1, "graphs need at least two vertices");
-    let edges: Vec<(VertexId, VertexId)> =
-        (1..num_vertices as VertexId).map(|v| (0, v)).collect();
+    let edges: Vec<(VertexId, VertexId)> = (1..num_vertices as VertexId).map(|v| (0, v)).collect();
     Graph::undirected_from_edges(num_vertices, &edges)
 }
 

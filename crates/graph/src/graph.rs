@@ -88,7 +88,10 @@ impl Graph {
 
     /// Maximum out-degree over all vertices.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The out-neighbours of `v`.
@@ -173,8 +176,7 @@ mod tests {
     use super::*;
 
     fn path(n: usize) -> Graph {
-        let edges: Vec<(VertexId, VertexId)> =
-            (0..n as VertexId - 1).map(|v| (v, v + 1)).collect();
+        let edges: Vec<(VertexId, VertexId)> = (0..n as VertexId - 1).map(|v| (v, v + 1)).collect();
         Graph::undirected_from_edges(n, &edges)
     }
 

@@ -50,7 +50,12 @@ pub fn read_edge_list(path: &Path) -> std::io::Result<Graph> {
 pub fn write_edge_list(graph: &Graph, path: &Path) -> std::io::Result<()> {
     let file = std::fs::File::create(path)?;
     let mut writer = BufWriter::new(file);
-    writeln!(writer, "# vertices={} edges={}", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# vertices={} edges={}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (s, t) in graph.edges() {
         writeln!(writer, "{s} {t}")?;
     }

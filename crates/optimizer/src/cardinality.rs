@@ -80,7 +80,9 @@ mod tests {
         let map = plan.map(
             "m",
             src,
-            Arc::new(MapClosure(|r: &Record, out: &mut Collector| out.collect(r.clone()))),
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                out.collect(r.clone())
+            })),
         );
         plan.sink("out", map);
         let cards = estimate(&plan);
@@ -99,9 +101,9 @@ mod tests {
             b,
             vec![0],
             vec![0],
-            Arc::new(MatchClosure(|l: &Record, _r: &Record, out: &mut Collector| {
-                out.collect(l.clone())
-            })),
+            Arc::new(MatchClosure(
+                |l: &Record, _r: &Record, out: &mut Collector| out.collect(l.clone()),
+            )),
         );
         plan.set_estimated_records(join, 42);
         plan.sink("out", join);
@@ -120,17 +122,17 @@ mod tests {
             b,
             vec![0],
             vec![0],
-            Arc::new(MatchClosure(|l: &Record, _r: &Record, out: &mut Collector| {
-                out.collect(l.clone())
-            })),
+            Arc::new(MatchClosure(
+                |l: &Record, _r: &Record, out: &mut Collector| out.collect(l.clone()),
+            )),
         );
         let cross = plan.cross(
             "x",
             join,
             b,
-            Arc::new(CrossClosure(|l: &Record, _r: &Record, out: &mut Collector| {
-                out.collect(l.clone())
-            })),
+            Arc::new(CrossClosure(
+                |l: &Record, _r: &Record, out: &mut Collector| out.collect(l.clone()),
+            )),
         );
         plan.sink("out", cross);
         let cards = estimate(&plan);

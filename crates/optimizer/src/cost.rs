@@ -32,12 +32,18 @@ impl Cost {
 
     /// Component-wise sum.
     pub fn add(&self, other: Cost) -> Cost {
-        Cost { network: self.network + other.network, cpu: self.cpu + other.cpu }
+        Cost {
+            network: self.network + other.network,
+            cpu: self.cpu + other.cpu,
+        }
     }
 
     /// Scales both components (used for iteration weighting).
     pub fn scale(&self, factor: f64) -> Cost {
-        Cost { network: self.network * factor, cpu: self.cpu * factor }
+        Cost {
+            network: self.network * factor,
+            cpu: self.cpu * factor,
+        }
     }
 }
 
@@ -61,7 +67,12 @@ pub struct CostModel {
 impl CostModel {
     /// A cost model for the given degree of parallelism with default weights.
     pub fn new(parallelism: usize) -> Self {
-        CostModel { network_weight: 10.0, cpu_weight: 1.0, sort_penalty: 3.0, parallelism }
+        CostModel {
+            network_weight: 10.0,
+            cpu_weight: 1.0,
+            sort_penalty: 3.0,
+            parallelism,
+        }
     }
 
     /// Cost of shipping `records` input records with the given strategy.
@@ -75,7 +86,10 @@ impl CostModel {
                 } else {
                     (self.parallelism as f64 - 1.0) / self.parallelism as f64
                 };
-                Cost { network: records * fraction * self.network_weight, cpu: records * self.cpu_weight }
+                Cost {
+                    network: records * fraction * self.network_weight,
+                    cpu: records * self.cpu_weight,
+                }
             }
             ShipStrategy::Broadcast => {
                 let copies = self.parallelism.saturating_sub(1) as f64;
@@ -157,7 +171,11 @@ mod tests {
         assert!(b.network > p.network);
         let m1 = CostModel::new(1);
         assert_eq!(m1.ship_cost(&ShipStrategy::Broadcast, 100.0).network, 0.0);
-        assert_eq!(m1.ship_cost(&ShipStrategy::PartitionHash(vec![0]), 100.0).network, 0.0);
+        assert_eq!(
+            m1.ship_cost(&ShipStrategy::PartitionHash(vec![0]), 100.0)
+                .network,
+            0.0
+        );
     }
 
     #[test]
@@ -186,14 +204,26 @@ mod tests {
             m.choose_join_strategy(10.0, 1e6, true, false),
             LocalStrategy::HashJoinBuildLeft
         );
-        assert_eq!(m.choose_join_strategy(10.0, 20.0, false, false), LocalStrategy::HashJoinBuildLeft);
-        assert_eq!(m.choose_join_strategy(30.0, 20.0, false, false), LocalStrategy::HashJoinBuildRight);
+        assert_eq!(
+            m.choose_join_strategy(10.0, 20.0, false, false),
+            LocalStrategy::HashJoinBuildLeft
+        );
+        assert_eq!(
+            m.choose_join_strategy(30.0, 20.0, false, false),
+            LocalStrategy::HashJoinBuildRight
+        );
     }
 
     #[test]
     fn cost_arithmetic() {
-        let a = Cost { network: 1.0, cpu: 2.0 };
-        let b = Cost { network: 3.0, cpu: 4.0 };
+        let a = Cost {
+            network: 1.0,
+            cpu: 2.0,
+        };
+        let b = Cost {
+            network: 3.0,
+            cpu: 4.0,
+        };
         let c = a.add(b).scale(2.0);
         assert_eq!(c.network, 8.0);
         assert_eq!(c.cpu, 12.0);

@@ -121,8 +121,8 @@ pub fn enumerate_best(ctx: &PlanningContext<'_>, parallelism: usize) -> Result<E
             }
         });
     }
-    let combined = combined
-        .ok_or_else(|| DataflowError::InvalidPlan("plan has no sinks".to_owned()))?;
+    let combined =
+        combined.ok_or_else(|| DataflowError::InvalidPlan("plan has no sinks".to_owned()))?;
 
     // Assemble the physical plan; operators not reachable from any sink get
     // defaults (they produce data nobody consumes).
@@ -132,11 +132,18 @@ pub fn enumerate_best(ctx: &PlanningContext<'_>, parallelism: usize) -> Result<E
             .entry(op.id)
             .or_insert_with(|| PhysicalChoice::forward(op.inputs.len()));
     }
-    let mut physical = PhysicalPlan { plan: ctx.plan.clone(), choices, parallelism };
+    let mut physical = PhysicalPlan {
+        plan: ctx.plan.clone(),
+        choices,
+        parallelism,
+    };
     for &(consumer, slot) in &ctx.cache_edges {
         physical.cache_input(consumer, slot);
     }
-    Ok(EnumeratedPlan { physical, cost: combined.cost })
+    Ok(EnumeratedPlan {
+        physical,
+        cost: combined.cost,
+    })
 }
 
 /// Enumerates candidates for one (non-source) operator given the candidate
@@ -150,8 +157,9 @@ fn enumerate_operator(
     let slots = op.inputs.len();
     let input_candidates: Vec<&Vec<Candidate>> =
         op.inputs.iter().map(|input| &candidates[input]).collect();
-    let ship_options: Vec<Vec<ShipStrategy>> =
-        (0..slots).map(|slot| ship_options_for(ctx, op, slot)).collect();
+    let ship_options: Vec<Vec<ShipStrategy>> = (0..slots)
+        .map(|slot| ship_options_for(ctx, op, slot))
+        .collect();
 
     let mut result = Vec::new();
     // Cartesian product over input candidates and ship options per slot.
@@ -167,7 +175,10 @@ fn enumerate_operator(
                 valid_selector = false;
                 break;
             }
-            input_choice.push((&input_candidates[slot][cand_idx], &ship_options[slot][ship_idx]));
+            input_choice.push((
+                &input_candidates[slot][cand_idx],
+                &ship_options[slot][ship_idx],
+            ));
         }
         if valid_selector {
             if let Some(candidate) = build_candidate(ctx, op, &input_choice, parallelism) {
@@ -209,8 +220,15 @@ fn ship_options_for(ctx: &PlanningContext<'_>, op: &Operator, slot: usize) -> Ve
     };
     match &op.kind {
         OperatorKind::Reduce { key } => add_hash(key, &mut options),
-        OperatorKind::Match { left_key, right_key }
-        | OperatorKind::CoGroup { left_key, right_key, .. } => {
+        OperatorKind::Match {
+            left_key,
+            right_key,
+        }
+        | OperatorKind::CoGroup {
+            left_key,
+            right_key,
+            ..
+        } => {
             let key = if slot == 0 { left_key } else { right_key };
             add_hash(key, &mut options);
             // Broadcasting is only considered for the smaller join side;
@@ -312,7 +330,11 @@ fn build_candidate(
             cache_inputs: vec![false; inputs.len()],
         },
     );
-    Some(Candidate { choices, props, cost })
+    Some(Candidate {
+        choices,
+        props,
+        cost,
+    })
 }
 
 /// Checks that the post-shipping properties make the operator's parallel
@@ -323,8 +345,15 @@ fn is_valid(op: &Operator, post_ship: &[GlobalProperties], parallelism: usize) -
     }
     match &op.kind {
         OperatorKind::Reduce { key } => post_ship[0].partitioning.satisfies_hash(key),
-        OperatorKind::Match { left_key, right_key }
-        | OperatorKind::CoGroup { left_key, right_key, .. } => {
+        OperatorKind::Match {
+            left_key,
+            right_key,
+        }
+        | OperatorKind::CoGroup {
+            left_key,
+            right_key,
+            ..
+        } => {
             let co_partitioned = post_ship[0].partitioning.satisfies_hash(left_key)
                 && post_ship[1].partitioning.satisfies_hash(right_key);
             co_partitioned
@@ -463,9 +492,11 @@ mod tests {
             "sum",
             src,
             vec![0],
-            Arc::new(ReduceClosure(|k: &[Value], g: &[Record], out: &mut Collector| {
-                out.collect(Record::pair(k[0].as_long(), g.len() as i64));
-            })),
+            Arc::new(ReduceClosure(
+                |k: &[Value], g: &[Record], out: &mut Collector| {
+                    out.collect(Record::pair(k[0].as_long(), g.len() as i64));
+                },
+            )),
         );
         plan.sink("out", red);
         (plan, red)
@@ -490,7 +521,10 @@ mod tests {
         let ann = Annotations::new();
         let ctx = context(&plan, &ann, 1);
         let best = enumerate_best(&ctx, 1).unwrap();
-        assert_eq!(best.physical.choice(red).input_ships[0], ShipStrategy::Forward);
+        assert_eq!(
+            best.physical.choice(red).input_ships[0],
+            ShipStrategy::Forward
+        );
     }
 
     #[test]
@@ -509,17 +543,18 @@ mod tests {
     fn join_chooses_broadcast_for_tiny_build_side() {
         let mut plan = Plan::new();
         let tiny = plan.source("tiny", (0..4).map(|i| Record::pair(i, i)).collect());
-        let big =
-            plan.source("big", (0..10_000).map(|i| Record::pair(i % 4, i)).collect());
+        let big = plan.source("big", (0..10_000).map(|i| Record::pair(i % 4, i)).collect());
         let join = plan.match_join(
             "join",
             tiny,
             big,
             vec![0],
             vec![0],
-            Arc::new(MatchClosure(|l: &Record, r: &Record, out: &mut Collector| {
-                out.collect(Record::pair(l.long(0), r.long(1)));
-            })),
+            Arc::new(MatchClosure(
+                |l: &Record, r: &Record, out: &mut Collector| {
+                    out.collect(Record::pair(l.long(0), r.long(1)));
+                },
+            )),
         );
         plan.sink("out", join);
         let ann = Annotations::new();
@@ -539,15 +574,17 @@ mod tests {
             "x",
             a,
             b,
-            Arc::new(CrossClosure(|l: &Record, _r: &Record, out: &mut Collector| {
-                out.collect(l.clone());
-            })),
+            Arc::new(CrossClosure(
+                |l: &Record, _r: &Record, out: &mut Collector| {
+                    out.collect(l.clone());
+                },
+            )),
         );
         plan.sink("out", cross);
         let ann = Annotations::new();
         let ctx = context(&plan, &ann, 4);
         let best = enumerate_best(&ctx, 4).unwrap();
         let ships = &best.physical.choice(cross).input_ships;
-        assert!(ships.iter().any(|s| *s == ShipStrategy::Broadcast));
+        assert!(ships.contains(&ShipStrategy::Broadcast));
     }
 }

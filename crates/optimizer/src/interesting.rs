@@ -28,8 +28,15 @@ pub type EdgeInterests = HashMap<(OperatorId, usize), Vec<KeyFields>>;
 fn own_requirement(kind: &OperatorKind, slot: usize) -> Option<KeyFields> {
     match kind {
         OperatorKind::Reduce { key } if slot == 0 => Some(key.clone()),
-        OperatorKind::Match { left_key, right_key }
-        | OperatorKind::CoGroup { left_key, right_key, .. } => {
+        OperatorKind::Match {
+            left_key,
+            right_key,
+        }
+        | OperatorKind::CoGroup {
+            left_key,
+            right_key,
+            ..
+        } => {
             if slot == 0 {
                 Some(left_key.clone())
             } else {
@@ -130,7 +137,14 @@ mod tests {
 
     /// Builds the PageRank step dataflow of the paper's Figure 3/4:
     /// vector (pid, r) ⋈ matrix (tid, pid, p) → reduce on tid → sink.
-    fn pagerank_plan() -> (Plan, OperatorId, OperatorId, OperatorId, OperatorId, Annotations) {
+    fn pagerank_plan() -> (
+        Plan,
+        OperatorId,
+        OperatorId,
+        OperatorId,
+        OperatorId,
+        Annotations,
+    ) {
         let mut plan = Plan::new();
         let vector = plan.source("rank-vector", vec![Record::long_double(0, 1.0)]);
         let matrix = plan.source("matrix", vec![Record::triple(0, 0, 1.0)]);
@@ -140,24 +154,42 @@ mod tests {
             matrix,
             vec![0],
             vec![1],
-            Arc::new(MatchClosure(|_l: &Record, r: &Record, out: &mut Collector| {
-                out.collect(Record::long_double(r.long(0), 0.0))
-            })),
+            Arc::new(MatchClosure(
+                |_l: &Record, r: &Record, out: &mut Collector| {
+                    out.collect(Record::long_double(r.long(0), 0.0))
+                },
+            )),
         );
         let reduce = plan.reduce(
             "sum-ranks",
             join,
             vec![0],
-            Arc::new(ReduceClosure(|k: &[Value], _g: &[Record], out: &mut Collector| {
-                out.collect(Record::long_double(k[0].as_long(), 0.0))
-            })),
+            Arc::new(ReduceClosure(
+                |k: &[Value], _g: &[Record], out: &mut Collector| {
+                    out.collect(Record::long_double(k[0].as_long(), 0.0))
+                },
+            )),
         );
         let _sink = plan.sink("next-ranks", reduce);
         let mut ann = Annotations::new();
         // The join copies the matrix's tid (field 0 of slot 1) to output field 0.
-        ann.add_copy(join, FieldCopy { slot: 1, in_field: 0, out_field: 0 });
+        ann.add_copy(
+            join,
+            FieldCopy {
+                slot: 1,
+                in_field: 0,
+                out_field: 0,
+            },
+        );
         // The reduce keeps its grouping key in field 0.
-        ann.add_copy(reduce, FieldCopy { slot: 0, in_field: 0, out_field: 0 });
+        ann.add_copy(
+            reduce,
+            FieldCopy {
+                slot: 0,
+                in_field: 0,
+                out_field: 0,
+            },
+        );
         (plan, vector, matrix, join, reduce, ann)
     }
 
@@ -179,7 +211,10 @@ mod tests {
         let (plan, _v, _m, join, _reduce, ann) = pagerank_plan();
         let interests = interesting_keys(&plan, &ann, &[]);
         let matrix_edge = &interests[&(join, 1)];
-        assert!(matrix_edge.contains(&vec![0]), "tid partitioning should be interesting: {matrix_edge:?}");
+        assert!(
+            matrix_edge.contains(&vec![0]),
+            "tid partitioning should be interesting: {matrix_edge:?}"
+        );
     }
 
     #[test]
@@ -198,7 +233,7 @@ mod tests {
         let interests = interesting_keys(&plan, &ann, &[(sink, vector)]);
         // The join requires the rank vector partitioned on pid (field 0); via
         // the feedback O -> I this becomes interesting at the sink's input.
-        assert!(interests.get(&(sink, 0)).is_some());
+        assert!(interests.contains_key(&(sink, 0)));
         assert!(interests[&(sink, 0)].contains(&vec![0]));
     }
 }

@@ -94,7 +94,10 @@ pub struct OptimizerConfig {
 impl OptimizerConfig {
     /// Default configuration for the given parallelism.
     pub fn new(parallelism: usize) -> Self {
-        OptimizerConfig { parallelism, cost_model: CostModel::new(parallelism) }
+        OptimizerConfig {
+            parallelism,
+            cost_model: CostModel::new(parallelism),
+        }
     }
 }
 
@@ -108,7 +111,9 @@ impl Optimizer {
     /// Creates an optimizer producing plans for `parallelism` worker
     /// partitions.
     pub fn new(parallelism: usize) -> Self {
-        Optimizer { config: OptimizerConfig::new(parallelism) }
+        Optimizer {
+            config: OptimizerConfig::new(parallelism),
+        }
     }
 
     /// Creates an optimizer with an explicit configuration.
@@ -215,17 +220,33 @@ mod tests {
     fn pagerank_step(
         num_pages: usize,
         num_entries: usize,
-    ) -> (Plan, OperatorId, OperatorId, OperatorId, OperatorId, OperatorId, Annotations) {
+    ) -> (
+        Plan,
+        OperatorId,
+        OperatorId,
+        OperatorId,
+        OperatorId,
+        OperatorId,
+        Annotations,
+    ) {
         let mut plan = Plan::new();
         let vector = plan.source(
             "rank-vector",
-            (0..num_pages.min(1000) as i64).map(|i| Record::long_double(i, 1.0)).collect(),
+            (0..num_pages.min(1000) as i64)
+                .map(|i| Record::long_double(i, 1.0))
+                .collect(),
         );
         plan.set_estimated_records(vector, num_pages);
         let matrix = plan.source(
             "matrix",
             (0..num_entries.min(1000) as i64)
-                .map(|i| Record::triple(i % num_pages.min(1000) as i64, (i * 7) % num_pages.min(1000) as i64, 0.1))
+                .map(|i| {
+                    Record::triple(
+                        i % num_pages.min(1000) as i64,
+                        (i * 7) % num_pages.min(1000) as i64,
+                        0.1,
+                    )
+                })
                 .collect(),
         );
         plan.set_estimated_records(matrix, num_entries);
@@ -235,25 +256,43 @@ mod tests {
             matrix,
             vec![0],
             vec![1],
-            Arc::new(MatchClosure(|l: &Record, r: &Record, out: &mut Collector| {
-                out.collect(Record::long_double(r.long(0), l.double(1) * r.double(2)));
-            })),
+            Arc::new(MatchClosure(
+                |l: &Record, r: &Record, out: &mut Collector| {
+                    out.collect(Record::long_double(r.long(0), l.double(1) * r.double(2)));
+                },
+            )),
         );
         plan.set_estimated_records(join, num_entries);
         let reduce = plan.reduce(
             "sum-ranks",
             join,
             vec![0],
-            Arc::new(ReduceClosure(|k: &[Value], g: &[Record], out: &mut Collector| {
-                let sum: f64 = g.iter().map(|r| r.double(1)).sum();
-                out.collect(Record::long_double(k[0].as_long(), sum));
-            })),
+            Arc::new(ReduceClosure(
+                |k: &[Value], g: &[Record], out: &mut Collector| {
+                    let sum: f64 = g.iter().map(|r| r.double(1)).sum();
+                    out.collect(Record::long_double(k[0].as_long(), sum));
+                },
+            )),
         );
         plan.set_estimated_records(reduce, num_pages);
         let sink = plan.sink("next-ranks", reduce);
         let mut ann = Annotations::new();
-        ann.add_copy(join, FieldCopy { slot: 1, in_field: 0, out_field: 0 });
-        ann.add_copy(reduce, FieldCopy { slot: 0, in_field: 0, out_field: 0 });
+        ann.add_copy(
+            join,
+            FieldCopy {
+                slot: 1,
+                in_field: 0,
+                out_field: 0,
+            },
+        );
+        ann.add_copy(
+            reduce,
+            FieldCopy {
+                slot: 0,
+                in_field: 0,
+                out_field: 0,
+            },
+        );
         (plan, vector, matrix, join, reduce, sink, ann)
     }
 
@@ -266,7 +305,11 @@ mod tests {
         let spec = IterationSpec::new(vector, sink, 20.0);
         let optimized = optimizer.optimize_iterative(&plan, &ann, &spec).unwrap();
         let join_ships = &optimized.physical.choice(join).input_ships;
-        assert_eq!(join_ships[0], ShipStrategy::Broadcast, "vector should be broadcast");
+        assert_eq!(
+            join_ships[0],
+            ShipStrategy::Broadcast,
+            "vector should be broadcast"
+        );
         assert_eq!(
             join_ships[1],
             ShipStrategy::PartitionHash(vec![0]),
@@ -323,7 +366,11 @@ mod tests {
         let optimized = optimizer.optimize_iterative(&plan, &ann, &spec).unwrap();
         let default = default_physical_plan(&plan, 4).unwrap();
         let exec = Executor::new();
-        let mut a = exec.execute(&optimized.physical).unwrap().sink("next-ranks").unwrap();
+        let mut a = exec
+            .execute(&optimized.physical)
+            .unwrap()
+            .sink("next-ranks")
+            .unwrap();
         let mut b = exec.execute(&default).unwrap().sink("next-ranks").unwrap();
         a.sort();
         b.sort();
@@ -351,7 +398,12 @@ mod tests {
         let optimized = optimizer.optimize(&plan, &ann).unwrap();
         assert!(optimized.cached_edges.is_empty());
         assert!(optimized.dynamic_path.is_empty());
-        assert!(!optimized.physical.choice(join).cache_inputs.iter().any(|&c| c));
+        assert!(!optimized
+            .physical
+            .choice(join)
+            .cache_inputs
+            .iter()
+            .any(|&c| c));
     }
 
     #[test]
@@ -372,7 +424,10 @@ mod tests {
                 saw_broadcast = true;
                 // Once the vector is large enough to switch to partitioning we
                 // should not switch back to broadcast for even larger vectors.
-                assert!(last_broadcast != Some(false), "crossover should be monotone");
+                assert!(
+                    last_broadcast != Some(false),
+                    "crossover should be monotone"
+                );
             } else {
                 saw_partition = true;
             }

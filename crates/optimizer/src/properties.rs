@@ -49,17 +49,23 @@ pub struct GlobalProperties {
 impl GlobalProperties {
     /// Properties carrying no guarantees.
     pub fn any() -> Self {
-        GlobalProperties { partitioning: Partitioning::Any }
+        GlobalProperties {
+            partitioning: Partitioning::Any,
+        }
     }
 
     /// Hash-partitioned on `key`.
     pub fn hashed(key: KeyFields) -> Self {
-        GlobalProperties { partitioning: Partitioning::Hash(key) }
+        GlobalProperties {
+            partitioning: Partitioning::Hash(key),
+        }
     }
 
     /// Fully replicated.
     pub fn replicated() -> Self {
-        GlobalProperties { partitioning: Partitioning::Replicated }
+        GlobalProperties {
+            partitioning: Partitioning::Replicated,
+        }
     }
 }
 
@@ -132,7 +138,12 @@ impl Annotations {
 
     /// Maps a key expressed in the operator's *output* field space back to the
     /// field space of input `slot`, if every key field originates there.
-    pub fn map_key_backward(&self, op: OperatorId, slot: usize, key: &[usize]) -> Option<KeyFields> {
+    pub fn map_key_backward(
+        &self,
+        op: OperatorId,
+        slot: usize,
+        key: &[usize],
+    ) -> Option<KeyFields> {
         let copies = self.copies(op);
         key.iter()
             .map(|&field| {
@@ -163,8 +174,22 @@ mod tests {
     fn field_copy_forward_and_backward_mapping() {
         let op = OperatorId(3);
         let mut ann = Annotations::new();
-        ann.add_copy(op, FieldCopy { slot: 1, in_field: 0, out_field: 0 });
-        ann.add_copy(op, FieldCopy { slot: 0, in_field: 1, out_field: 1 });
+        ann.add_copy(
+            op,
+            FieldCopy {
+                slot: 1,
+                in_field: 0,
+                out_field: 0,
+            },
+        );
+        ann.add_copy(
+            op,
+            FieldCopy {
+                slot: 0,
+                in_field: 1,
+                out_field: 1,
+            },
+        );
         // tid (field 0 of input 1) survives as output field 0.
         assert_eq!(ann.map_key_forward(op, 1, &[0]), Some(vec![0]));
         // a key on input 1 field 1 is not copied.
@@ -181,8 +206,16 @@ mod tests {
         let ann = Annotations::new().with_copies(
             op,
             &[
-                FieldCopy { slot: 0, in_field: 0, out_field: 0 },
-                FieldCopy { slot: 0, in_field: 2, out_field: 1 },
+                FieldCopy {
+                    slot: 0,
+                    in_field: 0,
+                    out_field: 0,
+                },
+                FieldCopy {
+                    slot: 0,
+                    in_field: 2,
+                    out_field: 1,
+                },
             ],
         );
         assert_eq!(ann.map_key_forward(op, 0, &[0, 2]), Some(vec![0, 1]));
@@ -192,7 +225,10 @@ mod tests {
     #[test]
     fn default_properties_are_any() {
         assert_eq!(GlobalProperties::default(), GlobalProperties::any());
-        assert_eq!(GlobalProperties::hashed(vec![2]).partitioning, Partitioning::Hash(vec![2]));
+        assert_eq!(
+            GlobalProperties::hashed(vec![2]).partitioning,
+            Partitioning::Hash(vec![2])
+        );
         assert!(GlobalProperties::replicated().partitioning.is_replicated());
     }
 }

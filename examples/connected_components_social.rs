@@ -20,7 +20,11 @@ fn main() {
         graph.avg_degree(),
         graph.count_components()
     );
-    let oracle: Vec<i64> = graph.components_oracle().into_iter().map(i64::from).collect();
+    let oracle: Vec<i64> = graph
+        .components_oracle()
+        .into_iter()
+        .map(i64::from)
+        .collect();
     let config = ComponentsConfig::new(4);
 
     let start = Instant::now();
@@ -42,19 +46,40 @@ fn main() {
     let pregel = cc_pregel(&graph, &PregelConfig::new(4));
     let pregel_time = start.elapsed();
     assert_eq!(
-        pregel.states.iter().map(|&c| i64::from(c)).collect::<Vec<_>>(),
+        pregel
+            .states
+            .iter()
+            .map(|&c| i64::from(c))
+            .collect::<Vec<_>>(),
         oracle,
         "the Pregel baseline must find the same components"
     );
 
     println!("{:<36} {:>10} {:>12}", "variant", "iterations", "millis");
     for (name, iterations, time) in [
-        ("Stratosphere bulk (full recompute)", bulk.iterations, bulk_time),
-        ("Stratosphere incremental (CoGroup)", incremental.iterations, incremental_time),
-        ("Stratosphere microstep (Match)", microstep.iterations, microstep_time),
+        (
+            "Stratosphere bulk (full recompute)",
+            bulk.iterations,
+            bulk_time,
+        ),
+        (
+            "Stratosphere incremental (CoGroup)",
+            incremental.iterations,
+            incremental_time,
+        ),
+        (
+            "Stratosphere microstep (Match)",
+            microstep.iterations,
+            microstep_time,
+        ),
         ("Pregel/Giraph baseline", pregel.supersteps, pregel_time),
     ] {
-        println!("{:<36} {:>10} {:>12.1}", name, iterations, time.as_secs_f64() * 1e3);
+        println!(
+            "{:<36} {:>10} {:>12.1}",
+            name,
+            iterations,
+            time.as_secs_f64() * 1e3
+        );
     }
 
     println!("\nincremental per-superstep effective work (the Figure 2 effect):");

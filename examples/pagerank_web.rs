@@ -26,12 +26,19 @@ fn main() {
     for (label, plan) in [
         ("optimizer-selected", PageRankPlan::Optimized),
         ("broadcast plan (Fig. 4 left)", PageRankPlan::ForceBroadcast),
-        ("partition plan (Fig. 4 right)", PageRankPlan::ForcePartition),
+        (
+            "partition plan (Fig. 4 right)",
+            PageRankPlan::ForcePartition,
+        ),
     ] {
         let config = PageRankConfig::new(4).with_iterations(10).with_plan(plan);
         let result = pagerank(&graph, &config).expect("PageRank run");
-        let shipped: usize =
-            result.stats.per_iteration.iter().map(|s| s.messages_shipped).sum();
+        let shipped: usize = result
+            .stats
+            .per_iteration
+            .iter()
+            .map(|s| s.messages_shipped)
+            .sum();
         println!(
             "{label:<32} total {:>8.1} ms, {:>9} records shipped  ({})",
             result.stats.total_elapsed.as_secs_f64() * 1e3,

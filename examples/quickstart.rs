@@ -23,20 +23,41 @@ fn main() {
     );
 
     let config = ComponentsConfig::new(2);
-    let expected: Vec<i64> =
-        figure1_expected_components().into_iter().map(i64::from).collect();
+    let expected: Vec<i64> = figure1_expected_components()
+        .into_iter()
+        .map(i64::from)
+        .collect();
 
-    let variants: Vec<(&str, Box<dyn Fn() -> algorithms::ComponentsResult>)> = vec![
-        ("bulk (FIXPOINT-CC)", Box::new(|| cc_bulk(&graph, &config).unwrap())),
-        ("incremental (INCR-CC, CoGroup)", Box::new(|| cc_incremental(&graph, &config).unwrap())),
-        ("microstep (MICRO-CC, Match)", Box::new(|| cc_microstep(&graph, &config).unwrap())),
-        ("asynchronous microstep", Box::new(|| cc_async(&graph, &config).unwrap())),
+    type Variant<'a> = (&'a str, Box<dyn Fn() -> algorithms::ComponentsResult + 'a>);
+    let variants: Vec<Variant<'_>> = vec![
+        (
+            "bulk (FIXPOINT-CC)",
+            Box::new(|| cc_bulk(&graph, &config).unwrap()),
+        ),
+        (
+            "incremental (INCR-CC, CoGroup)",
+            Box::new(|| cc_incremental(&graph, &config).unwrap()),
+        ),
+        (
+            "microstep (MICRO-CC, Match)",
+            Box::new(|| cc_microstep(&graph, &config).unwrap()),
+        ),
+        (
+            "asynchronous microstep",
+            Box::new(|| cc_async(&graph, &config).unwrap()),
+        ),
     ];
 
     for (name, run) in variants {
         let result = run();
-        assert_eq!(result.components, expected, "{name} disagrees with Figure 1");
-        println!("{name}: converged in {} iterations/supersteps", result.iterations);
+        assert_eq!(
+            result.components, expected,
+            "{name} disagrees with Figure 1"
+        );
+        println!(
+            "{name}: converged in {} iterations/supersteps",
+            result.iterations
+        );
         println!("{}", result.stats.to_table());
     }
 

@@ -23,15 +23,33 @@ fn main() {
     let oracle = oracles::sssp(&graph, source);
 
     for (label, mode) in [
-        ("batch incremental (supersteps)", ExecutionMode::BatchIncremental),
+        (
+            "batch incremental (supersteps)",
+            ExecutionMode::BatchIncremental,
+        ),
         ("microstep (supersteps)", ExecutionMode::Microstep),
-        ("asynchronous microstep", ExecutionMode::AsynchronousMicrostep),
+        (
+            "asynchronous microstep",
+            ExecutionMode::AsynchronousMicrostep,
+        ),
     ] {
         let result = sssp(&graph, source, 4, mode).expect("SSSP run");
-        assert_eq!(result.distances, oracle, "{label} disagrees with the BFS oracle");
-        let reachable = result.distances.iter().filter(|&&d| d != UNREACHABLE).count();
-        let eccentricity =
-            result.distances.iter().filter(|&&d| d != UNREACHABLE).max().copied().unwrap_or(0);
+        assert_eq!(
+            result.distances, oracle,
+            "{label} disagrees with the BFS oracle"
+        );
+        let reachable = result
+            .distances
+            .iter()
+            .filter(|&&d| d != UNREACHABLE)
+            .count();
+        let eccentricity = result
+            .distances
+            .iter()
+            .filter(|&&d| d != UNREACHABLE)
+            .max()
+            .copied()
+            .unwrap_or(0);
         println!(
             "{label:<34} {:>3} supersteps, {reachable} reachable vertices, eccentricity {eccentricity}",
             result.supersteps

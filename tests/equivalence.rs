@@ -8,7 +8,9 @@ use algorithms::{
     cc_async, cc_bulk, cc_incremental, cc_microstep, oracles, pagerank, sssp, ComponentsConfig,
     PageRankConfig, PageRankPlan,
 };
-use baselines::{cc_pregel, cc_spark_bulk, pagerank_pregel, pagerank_spark, PregelConfig, SparkContext};
+use baselines::{
+    cc_pregel, cc_spark_bulk, pagerank_pregel, pagerank_spark, PregelConfig, SparkContext,
+};
 use graphdata::{chain, erdos_renyi, figure1_graph, rmat, star, DatasetProfile, Graph, RmatParams};
 use spinning_core::ExecutionMode;
 
@@ -17,8 +19,14 @@ fn test_graphs() -> Vec<(&'static str, Graph)> {
         ("figure1", figure1_graph()),
         ("chain", chain(120)),
         ("star", star(200)),
-        ("power-law", rmat(500, 3000, RmatParams::default(), 42).symmetrize()),
-        ("social", rmat(300, 4000, RmatParams::social(), 7).symmetrize()),
+        (
+            "power-law",
+            rmat(500, 3000, RmatParams::default(), 42).symmetrize(),
+        ),
+        (
+            "social",
+            rmat(300, 4000, RmatParams::social(), 7).symmetrize(),
+        ),
         ("uniform", erdos_renyi(400, 4.0, 3).symmetrize()),
         ("foaf-profile", DatasetProfile::foaf().generate(16_384)),
     ]
@@ -27,9 +35,17 @@ fn test_graphs() -> Vec<(&'static str, Graph)> {
 #[test]
 fn connected_components_all_engines_agree() {
     for (name, graph) in test_graphs() {
-        let oracle: Vec<i64> = graph.components_oracle().into_iter().map(i64::from).collect();
+        let oracle: Vec<i64> = graph
+            .components_oracle()
+            .into_iter()
+            .map(i64::from)
+            .collect();
         let config = ComponentsConfig::new(4);
-        assert_eq!(cc_bulk(&graph, &config).unwrap().components, oracle, "bulk on {name}");
+        assert_eq!(
+            cc_bulk(&graph, &config).unwrap().components,
+            oracle,
+            "bulk on {name}"
+        );
         assert_eq!(
             cc_incremental(&graph, &config).unwrap().components,
             oracle,
@@ -40,10 +56,18 @@ fn connected_components_all_engines_agree() {
             oracle,
             "microstep on {name}"
         );
-        assert_eq!(cc_async(&graph, &config).unwrap().components, oracle, "async on {name}");
+        assert_eq!(
+            cc_async(&graph, &config).unwrap().components,
+            oracle,
+            "async on {name}"
+        );
         let pregel = cc_pregel(&graph, &PregelConfig::new(4));
         assert_eq!(
-            pregel.states.iter().map(|&c| i64::from(c)).collect::<Vec<_>>(),
+            pregel
+                .states
+                .iter()
+                .map(|&c| i64::from(c))
+                .collect::<Vec<_>>(),
             oracle,
             "pregel on {name}"
         );
@@ -59,7 +83,11 @@ fn connected_components_all_engines_agree() {
 #[test]
 fn connected_components_result_is_independent_of_parallelism() {
     let graph = rmat(600, 3600, RmatParams::default(), 99).symmetrize();
-    let oracle: Vec<i64> = graph.components_oracle().into_iter().map(i64::from).collect();
+    let oracle: Vec<i64> = graph
+        .components_oracle()
+        .into_iter()
+        .map(i64::from)
+        .collect();
     for parallelism in [1, 2, 3, 8, 16] {
         let config = ComponentsConfig::new(parallelism);
         assert_eq!(cc_incremental(&graph, &config).unwrap().components, oracle);
@@ -75,16 +103,24 @@ fn pagerank_all_engines_agree() {
 
     let dataflow = pagerank(
         &graph,
-        &PageRankConfig::new(4).with_iterations(iterations).with_plan(PageRankPlan::Optimized),
+        &PageRankConfig::new(4)
+            .with_iterations(iterations)
+            .with_plan(PageRankPlan::Optimized),
     )
     .unwrap();
     let spark = pagerank_spark(&graph, iterations, &SparkContext::new(4));
     let pregel = pagerank_pregel(&graph, iterations, 0.85, &PregelConfig::new(4));
 
     for v in 0..graph.num_vertices() {
-        assert!((dataflow.ranks[v] - oracle[v]).abs() < 1e-9, "dataflow rank of {v}");
+        assert!(
+            (dataflow.ranks[v] - oracle[v]).abs() < 1e-9,
+            "dataflow rank of {v}"
+        );
         assert!((spark[v] - oracle[v]).abs() < 1e-9, "spark rank of {v}");
-        assert!((pregel.states[v] - oracle[v]).abs() < 1e-9, "pregel rank of {v}");
+        assert!(
+            (pregel.states[v] - oracle[v]).abs() < 1e-9,
+            "pregel rank of {v}"
+        );
     }
 }
 
@@ -101,6 +137,42 @@ fn sssp_modes_agree_with_the_bfs_oracle() {
     }
 }
 
+/// All three workset execution modes must agree with the bulk iteration as
+/// the oracle, across parallelism degrees — the "no behavioral change"
+/// statement for the record-routing hot path (inline keys, Fx hashing,
+/// move-based exchanges) shared by every mode.
+#[test]
+fn workset_modes_agree_with_bulk_oracle() {
+    let graphs = [
+        (
+            "power-law",
+            rmat(400, 2400, RmatParams::default(), 23).symmetrize(),
+        ),
+        ("chain", chain(150)),
+    ];
+    for (name, graph) in graphs {
+        for parallelism in [1, 3, 8] {
+            let config = ComponentsConfig::new(parallelism);
+            let bulk_oracle = cc_bulk(&graph, &config).unwrap().components;
+            assert_eq!(
+                cc_incremental(&graph, &config).unwrap().components,
+                bulk_oracle,
+                "batch-incremental vs bulk on {name} at parallelism {parallelism}"
+            );
+            assert_eq!(
+                cc_microstep(&graph, &config).unwrap().components,
+                bulk_oracle,
+                "microstep vs bulk on {name} at parallelism {parallelism}"
+            );
+            assert_eq!(
+                cc_async(&graph, &config).unwrap().components,
+                bulk_oracle,
+                "async vs bulk on {name} at parallelism {parallelism}"
+            );
+        }
+    }
+}
+
 #[test]
 fn incremental_cc_does_asymptotically_less_work_than_bulk() {
     // The quantitative heart of the paper: summed over the run, the bulk
@@ -111,10 +183,18 @@ fn incremental_cc_does_asymptotically_less_work_than_bulk() {
     let bulk = cc_bulk(&graph, &config).unwrap();
     let incremental = cc_incremental(&graph, &config).unwrap();
 
-    let bulk_inspected: usize =
-        bulk.stats.per_iteration.iter().map(|s| s.elements_inspected).sum();
-    let incr_inspected: usize =
-        incremental.stats.per_iteration.iter().map(|s| s.elements_inspected).sum();
+    let bulk_inspected: usize = bulk
+        .stats
+        .per_iteration
+        .iter()
+        .map(|s| s.elements_inspected)
+        .sum();
+    let incr_inspected: usize = incremental
+        .stats
+        .per_iteration
+        .iter()
+        .map(|s| s.elements_inspected)
+        .sum();
     assert!(
         incr_inspected < bulk_inspected,
         "incremental inspected {incr_inspected}, bulk inspected {bulk_inspected}"

@@ -51,7 +51,11 @@ fn prop_connected_components_fixpoint_equivalence() {
     for seed in 0..CASES {
         let mut rng = SmallRng::seed_from_u64(1000 + seed);
         let graph = arbitrary_graph(&mut rng);
-        let oracle: Vec<i64> = graph.components_oracle().into_iter().map(i64::from).collect();
+        let oracle: Vec<i64> = graph
+            .components_oracle()
+            .into_iter()
+            .map(i64::from)
+            .collect();
         let config = ComponentsConfig::new(3);
         assert_eq!(
             cc_incremental(&graph, &config).unwrap().components,
@@ -84,9 +88,9 @@ fn prop_component_ids_never_increase() {
             let partial =
                 cc_incremental(&graph, &ComponentsConfig::new(2).with_max_iterations(bound))
                     .unwrap();
-            for v in 0..graph.num_vertices() {
+            for (v, (new_cid, old_cid)) in partial.components.iter().zip(&previous).enumerate() {
                 assert!(
-                    partial.components[v] <= previous[v],
+                    new_cid <= old_cid,
                     "component id of vertex {v} increased (seed {seed}, bound {bound})"
                 );
             }
@@ -104,7 +108,10 @@ fn prop_sssp_matches_bfs() {
         let source = rng.gen_index(graph.num_vertices()) as u32;
         let oracle = oracles::sssp(&graph, source);
         let result = sssp(&graph, source, 2, ExecutionMode::BatchIncremental).unwrap();
-        assert_eq!(result.distances, oracle, "SSSP diverged from BFS (seed {seed})");
+        assert_eq!(
+            result.distances, oracle,
+            "SSSP diverged from BFS (seed {seed})"
+        );
     }
 }
 
@@ -119,8 +126,7 @@ fn prop_extracted_key_hash_matches_record_hash() {
         for _ in 0..50 {
             let record = arbitrary_record(&mut rng);
             // Try every single-field key and a couple of composite ones.
-            let mut field_sets: Vec<Vec<usize>> =
-                (0..record.arity()).map(|i| vec![i]).collect();
+            let mut field_sets: Vec<Vec<usize>> = (0..record.arity()).map(|i| vec![i]).collect();
             if record.arity() >= 2 {
                 field_sets.push(vec![0, 1]);
                 field_sets.push(vec![1, 0]);
@@ -129,28 +135,50 @@ fn prop_extracted_key_hash_matches_record_hash() {
             for fields in field_sets {
                 let key = Key::extract(&record, &fields);
                 assert_eq!(
-                    hash_values(key.values()),
+                    hash_values(&key.values()),
                     hash_key(&record, &fields),
                     "hash mismatch for key {key:?} of {record} on {fields:?} (seed {seed})"
+                );
+                assert_eq!(
+                    dataflow::key::hash_of_key(&key),
+                    hash_key(&record, &fields),
+                    "hash_of_key mismatch for {key:?} (seed {seed})"
                 );
             }
         }
     }
 }
 
-/// Partition routing stays in bounds and is deterministic for any
-/// parallelism.
+/// The inline-long fast path and the composite fallback of [`Key`] compare,
+/// hash and route identically: equal value sequences mean equal keys, equal
+/// hashes and the same target partition.
 #[test]
-fn prop_partition_routing_in_bounds() {
+fn prop_key_representations_agree() {
     for seed in 0..CASES {
         let mut rng = SmallRng::seed_from_u64(5000 + seed);
         for _ in 0..100 {
             let v = rng.next_u64() as i64;
+            let fast = Key::long(v);
+            let slow = Key::Composite(vec![Value::Long(v)].into_boxed_slice());
+            assert_eq!(fast, slow);
+            assert_eq!(fast.cmp(&slow), std::cmp::Ordering::Equal);
+            assert_eq!(
+                dataflow::key::hash_of_key(&fast),
+                dataflow::key::hash_of_key(&slow)
+            );
+            assert!(matches!(
+                Key::from_values(vec![Value::Long(v)]),
+                Key::Long(_)
+            ));
             let record = Record::pair(v, 7);
             for parallelism in [1usize, 3, 8, 17] {
                 let p = partition_for(&record, &[0], parallelism);
                 assert!(p < parallelism);
-                assert_eq!(p, partition_for(&record, &[0], parallelism));
+                assert_eq!(
+                    p,
+                    (dataflow::key::hash_of_key(&fast) % parallelism as u64) as usize,
+                    "partition routing diverged for v={v} (seed {seed})"
+                );
             }
         }
     }
@@ -182,7 +210,12 @@ fn prop_solution_set_merge_order_independent() {
         b.sort();
         assert_eq!(a, b, "merge order changed the fixpoint (seed {seed})");
         for &(k, _) in &deltas {
-            let min = deltas.iter().filter(|(k2, _)| *k2 == k).map(|&(_, v)| v).min().unwrap();
+            let min = deltas
+                .iter()
+                .filter(|(k2, _)| *k2 == k)
+                .map(|&(_, v)| v)
+                .min()
+                .unwrap();
             assert_eq!(
                 forward.lookup(&Key::long(k)).unwrap().long(1),
                 min,
@@ -210,26 +243,31 @@ fn prop_partitioned_aggregation_matches_serial() {
             "sum",
             src,
             vec![0],
-            Arc::new(ReduceClosure(|key: &[Value], group: &[Record], out: &mut Collector| {
-                let total: i64 = group.iter().map(|r| r.long(1)).sum();
-                out.collect(Record::pair(key[0].as_long(), total));
-            })),
+            Arc::new(ReduceClosure(
+                |key: &[Value], group: &[Record], out: &mut Collector| {
+                    let total: i64 = group.iter().map(|r| r.long(1)).sum();
+                    out.collect(Record::pair(key[0].as_long(), total));
+                },
+            )),
         );
         plan.sink("sums", sum);
         let exec = Executor::new();
         let mut parallel = exec
             .execute(&default_physical_plan(&plan, parallelism).unwrap())
             .unwrap()
-            .sink("sums")
+            .into_sink("sums")
             .unwrap();
         let mut serial = exec
             .execute(&default_physical_plan(&plan, 1).unwrap())
             .unwrap()
-            .sink("sums")
+            .into_sink("sums")
             .unwrap();
         parallel.sort();
         serial.sort();
-        assert_eq!(parallel, serial, "parallelism {parallelism} changed sums (seed {seed})");
+        assert_eq!(
+            parallel, serial,
+            "parallelism {parallelism} changed sums (seed {seed})"
+        );
     }
 }
 
@@ -241,7 +279,9 @@ fn prop_partitioned_join_is_complete() {
         let mut rng = SmallRng::seed_from_u64(8000 + seed);
         let gen_side = |rng: &mut SmallRng| -> Vec<(i64, i64)> {
             let n = rng.gen_index(60);
-            (0..n).map(|_| (rng.gen_index(10) as i64, rng.gen_index(50) as i64)).collect()
+            (0..n)
+                .map(|_| (rng.gen_index(10) as i64, rng.gen_index(50) as i64))
+                .collect()
         };
         let left = gen_side(&mut rng);
         let right = gen_side(&mut rng);
@@ -258,23 +298,31 @@ fn prop_partitioned_join_is_complete() {
         expected.sort_unstable();
 
         let mut plan = Plan::new();
-        let l = plan.source("left", left.iter().map(|&(k, v)| Record::pair(k, v)).collect());
-        let r = plan.source("right", right.iter().map(|&(k, v)| Record::pair(k, v)).collect());
+        let l = plan.source(
+            "left",
+            left.iter().map(|&(k, v)| Record::pair(k, v)).collect(),
+        );
+        let r = plan.source(
+            "right",
+            right.iter().map(|&(k, v)| Record::pair(k, v)).collect(),
+        );
         let join = plan.match_join(
             "join",
             l,
             r,
             vec![0],
             vec![0],
-            Arc::new(MatchClosure(|a: &Record, b: &Record, out: &mut Collector| {
-                out.collect(Record::pair(a.long(1), b.long(1)));
-            })),
+            Arc::new(MatchClosure(
+                |a: &Record, b: &Record, out: &mut Collector| {
+                    out.collect(Record::pair(a.long(1), b.long(1)));
+                },
+            )),
         );
         plan.sink("pairs", join);
         let result = Executor::new()
             .execute(&default_physical_plan(&plan, parallelism).unwrap())
             .unwrap()
-            .sink("pairs")
+            .into_sink("pairs")
             .unwrap();
         let mut actual: Vec<(i64, i64)> = result.iter().map(|r| (r.long(0), r.long(1))).collect();
         actual.sort_unstable();
