@@ -28,6 +28,9 @@ pub struct AdaptivePageRankResult {
     pub ranks: Vec<f64>,
     /// Number of supersteps executed.
     pub supersteps: usize,
+    /// `false` when the run was truncated by the superstep bound before the
+    /// residuals fell below the tolerance everywhere.
+    pub converged: bool,
     /// Per-superstep statistics.
     pub stats: IterationRunStats,
 }
@@ -81,6 +84,7 @@ pub fn adaptive_pagerank(graph: &Graph, config: &AdaptiveConfig) -> Result<Adapt
         return Ok(AdaptivePageRankResult {
             ranks: Vec::new(),
             supersteps: 0,
+            converged: true,
             stats: IterationRunStats::default(),
         });
     }
@@ -142,6 +146,7 @@ pub fn adaptive_pagerank(graph: &Graph, config: &AdaptiveConfig) -> Result<Adapt
     Ok(AdaptivePageRankResult {
         ranks,
         supersteps: result.supersteps,
+        converged: result.converged,
         stats: result.stats,
     })
 }

@@ -25,10 +25,15 @@ use std::sync::Arc;
 /// The outcome of a Connected Components run.
 #[derive(Debug)]
 pub struct ComponentsResult {
-    /// Component id per vertex (indexed by vertex id).
+    /// Component id per vertex (indexed by vertex id).  Only a fixpoint when
+    /// [`ComponentsResult::converged`] is `true`.
     pub components: Vec<i64>,
     /// Number of iterations (bulk) or supersteps (incremental) executed.
     pub iterations: usize,
+    /// `false` when the run was truncated by
+    /// [`ComponentsConfig::max_iterations`] before reaching the fixpoint, in
+    /// which case `components` holds a partial labelling.
+    pub converged: bool,
     /// Per-iteration statistics.
     pub stats: IterationRunStats,
 }
@@ -149,6 +154,7 @@ pub fn cc_bulk(graph: &Graph, config: &ComponentsConfig) -> Result<ComponentsRes
     Ok(ComponentsResult {
         components: records_to_vec(&result.solution, graph.num_vertices()),
         iterations: result.iterations,
+        converged: result.converged,
         stats: result.stats,
     })
 }
@@ -219,6 +225,7 @@ fn run_workset(
     Ok(ComponentsResult {
         components: records_to_vec(&result.solution, graph.num_vertices()),
         iterations: result.supersteps,
+        converged: result.converged,
         stats: result.stats,
     })
 }
@@ -353,7 +360,19 @@ mod tests {
         let result =
             cc_incremental(&graph, &ComponentsConfig::new(2).with_max_iterations(5)).unwrap();
         assert_eq!(result.iterations, 5);
-        // Not converged yet: far vertices still carry their own id.
+        // Not converged yet: far vertices still carry their own id, and the
+        // wrapper says so instead of presenting the truncation as a fixpoint.
+        assert!(!result.converged);
         assert_ne!(result.components, vec![0; 300]);
+        let full = cc_incremental(&graph, &ComponentsConfig::new(2)).unwrap();
+        assert!(full.converged);
+    }
+
+    #[test]
+    fn truncated_bulk_run_reports_non_convergence() {
+        let graph = chain(64);
+        let result = cc_bulk(&graph, &ComponentsConfig::new(2).with_max_iterations(3)).unwrap();
+        assert!(!result.converged);
+        assert_ne!(result.components, vec![0; 64]);
     }
 }

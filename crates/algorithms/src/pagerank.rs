@@ -73,6 +73,10 @@ impl PageRankConfig {
 pub struct PageRankResult {
     /// Final ranks indexed by vertex id.
     pub ranks: Vec<f64>,
+    /// Whether the run completed its termination criterion.  PageRank runs a
+    /// fixed iteration count, so this is always `true`; the field mirrors the
+    /// other algorithm results so callers can check uniformly.
+    pub converged: bool,
     /// Per-iteration statistics.
     pub stats: IterationRunStats,
     /// Human-readable description of the physical plan that was executed.
@@ -183,6 +187,7 @@ pub fn pagerank(graph: &Graph, config: &PageRankConfig) -> Result<PageRankResult
     let ranks = records_to_f64_vec(&result.solution, graph.num_vertices());
     Ok(PageRankResult {
         ranks,
+        converged: result.converged,
         stats: result.stats,
         plan_description: match config.plan {
             PageRankPlan::Optimized => "optimizer-selected plan".to_owned(),
@@ -267,6 +272,8 @@ fn run_with_physical(
     Ok(BulkIterationResult {
         solution: Arc::try_unwrap(current).unwrap_or_else(|arc| (*arc).clone()),
         iterations,
+        // Fixed-count feedback loops always complete their criterion.
+        converged: true,
         stats,
     })
 }

@@ -20,9 +20,13 @@ pub const UNREACHABLE: i64 = i64::MAX;
 #[derive(Debug)]
 pub struct SsspResult {
     /// Distance from the source per vertex ([`UNREACHABLE`] if disconnected).
+    /// Only final when [`SsspResult::converged`] is `true`.
     pub distances: Vec<i64>,
     /// Number of supersteps executed.
     pub supersteps: usize,
+    /// `false` when the superstep bound truncated the run; distances may
+    /// still shrink in that case.
+    pub converged: bool,
     /// Per-superstep statistics.
     pub stats: IterationRunStats,
 }
@@ -89,6 +93,7 @@ pub fn sssp(
     Ok(SsspResult {
         distances,
         supersteps: result.supersteps,
+        converged: result.converged,
         stats: result.stats,
     })
 }

@@ -149,7 +149,9 @@ pub fn run<P: VertexProgram>(
     config: &PregelConfig,
 ) -> PregelResult<P::State> {
     let n = graph.num_vertices();
-    let parallelism = config.parallelism;
+    // `PregelConfig::new` clamps, but the field is public — re-clamp so a
+    // hand-built config with 0 cannot reach the chunk-size division below.
+    let parallelism = config.parallelism.max(1);
     let mut states: Vec<P::State> = graph
         .vertices()
         .map(|v| program.initial_state(v, graph))
@@ -177,15 +179,22 @@ pub fn run<P: VertexProgram>(
             halted: Vec<(VertexId, bool)>,
         }
         let chunk = n.div_ceil(parallelism).max(1);
-        let outputs: Vec<WorkerOutput<P::Message>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(parallelism);
-            for (worker, (states_chunk, inbox_chunk)) in states
-                .chunks_mut(chunk)
+        // One pool task per worker chunk: supersteps are globally
+        // synchronised, so like the dataflow engine's superstep driver the
+        // BSP engine pays a deque push per worker and superstep, not a
+        // thread spawn.
+        let state_chunks: Vec<&mut [P::State]> = states.chunks_mut(chunk).collect();
+        let mut output_slots: Vec<Option<WorkerOutput<P::Message>>> =
+            (0..state_chunks.len()).map(|_| None).collect();
+        spinning_pool::global().scope(|scope| {
+            for (worker, ((states_chunk, inbox_chunk), slot)) in state_chunks
+                .into_iter()
                 .zip(current_inbox.chunks(chunk))
+                .zip(output_slots.iter_mut())
                 .enumerate()
             {
                 let active = &active;
-                let handle = scope.spawn(move || {
+                scope.spawn(move || {
                     let base = worker * chunk;
                     let mut output = WorkerOutput {
                         outgoing: Vec::new(),
@@ -210,15 +219,13 @@ pub fn run<P: VertexProgram>(
                         output.halted.push((vertex, ctx.halt));
                         output.outgoing.extend(ctx.outgoing);
                     }
-                    output
+                    *slot = Some(output);
                 });
-                handles.push(handle);
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("pregel worker panicked"))
-                .collect()
         });
+        let outputs = output_slots
+            .into_iter()
+            .map(|slot| slot.expect("pool ran every pregel worker chunk"));
 
         // Apply halt votes, combine and deliver messages.
         let mut messages_sent = 0usize;
@@ -425,6 +432,15 @@ mod tests {
         let result = cc_pregel(&g, &PregelConfig::new(2));
         assert_eq!(result.states, vec![0; 64]);
         assert!(result.stats[0].messages_sent > 0);
+    }
+
+    #[test]
+    fn hand_built_zero_parallelism_config_is_clamped() {
+        let g = figure1_graph();
+        let mut config = PregelConfig::new(2);
+        config.parallelism = 0;
+        let result = cc_pregel(&g, &config);
+        assert_eq!(result.states, g.components_oracle());
     }
 
     #[test]

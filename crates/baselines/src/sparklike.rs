@@ -130,17 +130,21 @@ impl<T: Clone + Send + Sync> Rdd<T> {
         U: Clone + Send + Sync,
         F: Fn(&[T]) -> Vec<U> + Send + Sync,
     {
-        let results: Vec<Vec<U>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .partitions
-                .iter()
-                .map(|partition| scope.spawn(|| f(partition)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("spark worker panicked"))
-                .collect()
+        // Narrow transformations run one task per partition on the shared
+        // persistent pool — the same dispatch path as the dataflow engine,
+        // keeping the systems comparison about execution strategy, not
+        // thread-spawn overhead.
+        let mut results: Vec<Option<Vec<U>>> = (0..self.partitions.len()).map(|_| None).collect();
+        spinning_pool::global().scope(|scope| {
+            for (partition, slot) in self.partitions.iter().zip(results.iter_mut()) {
+                let f = &f;
+                scope.spawn(move || *slot = Some(f(partition)));
+            }
         });
+        let results: Vec<Vec<U>> = results
+            .into_iter()
+            .map(|slot| slot.expect("pool ran every spark partition task"))
+            .collect();
         self.ctx.add_processed(self.count());
         Rdd {
             partitions: Arc::new(results),
@@ -216,30 +220,28 @@ where
         F: Fn(&V, &V) -> V + Send + Sync,
     {
         let shuffled = self.shuffle_by_key();
-        let results: Vec<Vec<(K, V)>> = std::thread::scope(|scope| {
+        let mut results: Vec<Option<Vec<(K, V)>>> = (0..shuffled.len()).map(|_| None).collect();
+        spinning_pool::global().scope(|scope| {
             let f = &f;
-            let handles: Vec<_> = shuffled
-                .iter()
-                .map(|partition| {
-                    scope.spawn(move || {
-                        let mut groups: HashMap<K, V> = HashMap::new();
-                        for (k, v) in partition {
-                            match groups.get_mut(k) {
-                                Some(acc) => *acc = f(acc, v),
-                                None => {
-                                    groups.insert(k.clone(), v.clone());
-                                }
+            for (partition, slot) in shuffled.iter().zip(results.iter_mut()) {
+                scope.spawn(move || {
+                    let mut groups: HashMap<K, V> = HashMap::new();
+                    for (k, v) in partition {
+                        match groups.get_mut(k) {
+                            Some(acc) => *acc = f(acc, v),
+                            None => {
+                                groups.insert(k.clone(), v.clone());
                             }
                         }
-                        groups.into_iter().collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("spark worker panicked"))
-                .collect()
+                    }
+                    *slot = Some(groups.into_iter().collect::<Vec<_>>());
+                });
+            }
         });
+        let results: Vec<Vec<(K, V)>> = results
+            .into_iter()
+            .map(|slot| slot.expect("pool ran every spark reduce task"))
+            .collect();
         self.ctx.add_processed(self.count());
         Rdd {
             partitions: Arc::new(results),
@@ -248,39 +250,48 @@ where
     }
 
     /// Inner equi-join with another keyed dataset (both sides are shuffled).
+    ///
+    /// Both datasets must come from contexts with the same parallelism: the
+    /// shuffle routes keys by `hash % parallelism`, so differently
+    /// partitioned sides would pair unrelated partitions (the pre-pool code
+    /// silently truncated to the shorter side and joined misrouted keys).
     pub fn join<W>(&self, other: &Rdd<(K, W)>) -> Rdd<(K, (V, W))>
     where
         W: Clone + Send + Sync,
     {
         let left = self.shuffle_by_key();
         let right = other.shuffle_by_key();
-        let results: Vec<Vec<(K, (V, W))>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = left
-                .iter()
-                .zip(right.iter())
-                .map(|(l, r)| {
-                    scope.spawn(move || {
-                        let mut table: HashMap<&K, Vec<&V>> = HashMap::new();
-                        for (k, v) in l {
-                            table.entry(k).or_default().push(v);
-                        }
-                        let mut out = Vec::new();
-                        for (k, w) in r {
-                            if let Some(vs) = table.get(k) {
-                                for v in vs {
-                                    out.push((k.clone(), ((*v).clone(), w.clone())));
-                                }
+        assert_eq!(
+            left.len(),
+            right.len(),
+            "join requires both RDDs to share the same context parallelism"
+        );
+        type JoinedPartition<K, V, W> = Vec<(K, (V, W))>;
+        let mut results: Vec<Option<JoinedPartition<K, V, W>>> =
+            (0..left.len()).map(|_| None).collect();
+        spinning_pool::global().scope(|scope| {
+            for ((l, r), slot) in left.iter().zip(right.iter()).zip(results.iter_mut()) {
+                scope.spawn(move || {
+                    let mut table: HashMap<&K, Vec<&V>> = HashMap::new();
+                    for (k, v) in l {
+                        table.entry(k).or_default().push(v);
+                    }
+                    let mut out = Vec::new();
+                    for (k, w) in r {
+                        if let Some(vs) = table.get(k) {
+                            for v in vs {
+                                out.push((k.clone(), ((*v).clone(), w.clone())));
                             }
                         }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("spark worker panicked"))
-                .collect()
+                    }
+                    *slot = Some(out);
+                });
+            }
         });
+        let results: Vec<Vec<(K, (V, W))>> = results
+            .into_iter()
+            .map(|slot| slot.expect("pool ran every spark join task"))
+            .collect();
         self.ctx.add_processed(self.count() + other.count());
         Rdd {
             partitions: Arc::new(results),
@@ -457,6 +468,14 @@ mod tests {
         let right = ctx.parallelize(vec![(2u32, 20), (3, 30)]);
         let joined = left.join(&right).collect();
         assert_eq!(joined, vec![(2, ("b", 20))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same context parallelism")]
+    fn join_across_differently_partitioned_contexts_is_rejected() {
+        let a = SparkContext::new(4).parallelize(vec![(1u32, 1)]);
+        let b = SparkContext::new(2).parallelize(vec![(1u32, 2)]);
+        let _ = a.join(&b);
     }
 
     #[test]

@@ -1,17 +1,34 @@
 //! Bench backing Figures 2 and 10: the incremental Connected Components long
 //! tail on the Webbase stand-in and the effective-work decay on the FOAF
 //! stand-in.
+//!
+//! Honors `SPINNING_SCALE` (downscale factor, default 32768) and
+//! `SPINNING_BENCH_SAMPLES` (default 10).  CI runs this bench with 1 sample
+//! as a smoke test: a worker-pool regression that deadlocks or explodes
+//! per-superstep latency fails the job instead of shipping.
 
 use algorithms::{cc_incremental, ComponentsConfig};
 use bench::harness::{black_box, Group};
 use graphdata::DatasetProfile;
 
 fn main() {
+    let scale = bench::scale_factor_or(32_768);
+    let samples = bench::bench_samples(10);
+
     let mut group = Group::new("fig2_10_incremental_cc");
-    group.sample_size(10);
-    let webbase = DatasetProfile::webbase().generate(32_768);
+    group.sample_size(samples);
+    if samples == 1 {
+        // Smoke mode genuinely runs each workload once: no warm-up, one
+        // sample.  The run only has to complete and converge, not time well.
+        group.warmup(0);
+    }
+    let webbase = DatasetProfile::webbase().generate(scale);
+    // The last measured sample is kept for the per-superstep profile below
+    // (storing it also keeps the optimizer from discarding the work).
+    let mut last_run = None;
     group.bench_function("webbase_full_convergence", || {
-        black_box(cc_incremental(&webbase, &ComponentsConfig::new(bench::PARALLELISM)).unwrap());
+        last_run =
+            Some(cc_incremental(&webbase, &ComponentsConfig::new(bench::PARALLELISM)).unwrap());
     });
     group.bench_function("webbase_first_20_supersteps", || {
         black_box(
@@ -22,9 +39,24 @@ fn main() {
             .unwrap(),
         );
     });
-    let foaf = DatasetProfile::foaf().generate(32_768);
+    let foaf = DatasetProfile::foaf().generate(scale);
     group.bench_function("foaf_effective_work", || {
         black_box(cc_incremental(&foaf, &ComponentsConfig::new(bench::PARALLELISM)).unwrap());
     });
     group.finish();
+
+    // The per-superstep latency profile of the long tail — the number the
+    // persistent worker pool is meant to move (a tiny late superstep should
+    // cost a deque push, not a round of thread spawns).
+    let result = last_run.expect("bench ran at least one sample");
+    assert!(
+        result.converged,
+        "webbase long-tail run must reach the fixpoint"
+    );
+    let profile = bench::superstep_profile(&result.stats);
+    println!(
+        "\nwebbase per-superstep latency: {} supersteps, mean {:.3} ms, \
+         tail mean {:.3} ms (last half), max {:.3} ms",
+        profile.supersteps, profile.mean_ms, profile.tail_mean_ms, profile.max_ms
+    );
 }

@@ -20,6 +20,31 @@ const SAMPLES: usize = 7;
 const WARMUP: usize = 2;
 const E2E_SCALE: u64 = 16_384;
 
+/// Historical measurements of the same end-to-end workload at earlier
+/// commits, emitted verbatim so the tracked file keeps the perf trajectory
+/// across regenerations.  All numbers were measured on the same machine and
+/// configuration as the live section (scale 16384, parallelism 8, 7
+/// samples).
+const BASELINES: &str = r#"  "pre_refactor_baseline": {
+    "commit": "1c573a9",
+    "note": "pre-refactor seed (Vec keys, SipHash, clone-based exchanges)",
+    "end_to_end": [
+      {"dataset": "webbase", "incremental_median_ms": 552.8, "microstep_median_ms": 408.3},
+      {"dataset": "wikipedia", "incremental_median_ms": 16.0, "microstep_median_ms": 12.8}
+    ]
+  },
+  "pre_pool_baseline": {
+    "commit": "ddd9186",
+    "note": "before the persistent worker pool: every superstep spawned scoped OS threads per partition",
+    "end_to_end": [
+      {"dataset": "webbase", "supersteps": 705, "superstep_mean_ms": 0.4878, "superstep_tail_mean_ms": 0.2147,
+       "incremental_median_ms": 382.9, "microstep_median_ms": 290.1},
+      {"dataset": "wikipedia", "supersteps": 4, "superstep_mean_ms": 2.1444, "superstep_tail_mean_ms": 0.2720,
+       "incremental_median_ms": 14.0, "microstep_median_ms": 9.7}
+    ]
+  },
+"#;
+
 fn measure<F: FnMut()>(name: &str, mut f: F) -> Measurement {
     for _ in 0..WARMUP {
         f();
@@ -54,6 +79,10 @@ fn main() {
         .unwrap_or_else(|| "BENCH_routing.json".to_owned());
     let mut json = String::new();
     json.push_str("{\n  \"benchmark\": \"routing_hot_path\",\n");
+    json.push_str(
+        "  \"note\": \"regenerate with: cargo run --release -p bench --bin routing_report -- BENCH_routing.json\",\n",
+    );
+    json.push_str(BASELINES);
     let _ = write!(
         json,
         "  \"routed_records_per_sample\": {},\n  \"microbenchmarks\": [\n",
@@ -101,18 +130,30 @@ fn main() {
             "measuring end-to-end CC on {name} (|V|={}) ...",
             graph.num_vertices()
         );
+        // The last measured sample doubles as the per-superstep latency
+        // profile: the long tail of tiny supersteps is where superstep
+        // dispatch overhead (thread spawn vs pool deque push) shows up.
+        let mut profiled = None;
         let incremental = measure("cc_incremental", || {
-            let _ = cc_incremental(&graph, &config).unwrap();
+            profiled = Some(cc_incremental(&graph, &config).unwrap());
         });
         let microstep = measure("cc_microstep", || {
             let _ = cc_microstep(&graph, &config).unwrap();
         });
+        let profiled = profiled.expect("measure ran at least one sample");
+        assert!(profiled.converged, "profiled {name} run must converge");
+        let profile = bench::superstep_profile(&profiled.stats);
         let _ = writeln!(
             json,
             "    {{\"dataset\": \"{name}\", \"scale\": {E2E_SCALE}, \"vertices\": {}, \"edges\": {}, \"parallelism\": {},",
             graph.num_vertices(),
             graph.num_edges(),
             bench::PARALLELISM
+        );
+        let _ = writeln!(
+            json,
+            "     \"supersteps\": {}, \"superstep_mean_ms\": {:.4}, \"superstep_tail_mean_ms\": {:.4}, \"superstep_max_ms\": {:.4},",
+            profile.supersteps, profile.mean_ms, profile.tail_mean_ms, profile.max_ms
         );
         json.push_str("     \"incremental\": ");
         json_measurement(&mut json, &incremental, "");

@@ -73,6 +73,13 @@ impl Group {
         self
     }
 
+    /// Sets the number of warm-up runs per benchmark (0 disables warm-up —
+    /// used by smoke runs that only care about completion, not timing).
+    pub fn warmup(&mut self, n: usize) -> &mut Self {
+        self.warmup = n;
+        self
+    }
+
     /// Runs `f` `sample_size` times (after warm-up) and records the timings.
     pub fn bench_function<F: FnMut()>(&mut self, name: &str, mut f: F) -> &mut Self {
         for _ in 0..self.warmup {

@@ -34,10 +34,64 @@ pub const PARALLELISM: usize = 8;
 
 /// Reads the downscale factor from `SPINNING_SCALE` (default 2048).
 pub fn scale_factor() -> u64 {
+    scale_factor_or(2048)
+}
+
+/// Reads the downscale factor from `SPINNING_SCALE` with a caller-chosen
+/// default (benches that need a different baseline scale share the same env
+/// contract).
+pub fn scale_factor_or(default: u64) -> u64 {
     std::env::var("SPINNING_SCALE")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(2048)
+        .unwrap_or(default)
+}
+
+/// Reads the per-benchmark sample count from `SPINNING_BENCH_SAMPLES`
+/// (default as given).  CI runs the long-tail bench with 1 sample as a smoke
+/// test for pool regressions that deadlock or explode latency.
+pub fn bench_samples(default: usize) -> usize {
+    std::env::var("SPINNING_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// Per-superstep latency summary of one iterative run.  The long-tail
+/// workloads (Webbase's 700+ supersteps) are dominated by the cost of tiny
+/// late supersteps, so the tail mean — not the overall mean — is the number
+/// the persistent worker pool is meant to move.
+#[derive(Debug, Clone)]
+pub struct SuperstepProfile {
+    /// Number of supersteps in the run.
+    pub supersteps: usize,
+    /// Mean wall-clock time per superstep (ms).
+    pub mean_ms: f64,
+    /// Mean wall-clock time over the last half of the supersteps (ms) — the
+    /// long tail, where worksets are tiny and dispatch overhead dominates.
+    pub tail_mean_ms: f64,
+    /// Slowest superstep (ms).
+    pub max_ms: f64,
+}
+
+/// Summarises the per-superstep latencies of an iterative run.
+pub fn superstep_profile(stats: &spinning_core::IterationRunStats) -> SuperstepProfile {
+    let times: Vec<f64> = stats.per_iteration.iter().map(|s| s.millis()).collect();
+    let n = times.len();
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    SuperstepProfile {
+        supersteps: n,
+        mean_ms: mean(&times),
+        tail_mean_ms: mean(&times[n / 2..]),
+        max_ms: times.iter().copied().fold(0.0, f64::max),
+    }
 }
 
 fn secs(d: Duration) -> f64 {

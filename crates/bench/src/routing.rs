@@ -49,6 +49,9 @@ fn legacy_partition_for(record: &Record, fields: &[usize], parallelism: usize) -
 pub const ROUTED_RECORDS: usize = 400_000;
 const PARALLELISM: usize = 8;
 
+/// Supersteps dispatched per sample in the superstep-dispatch workload.
+pub const DISPATCH_SUPERSTEPS: usize = 200;
+
 fn routing_input() -> Vec<Record> {
     (0..ROUTED_RECORDS as i64)
         .map(|i| Record::pair(i.wrapping_mul(0x9E37), i % 64))
@@ -214,6 +217,46 @@ pub fn comparisons() -> Vec<Comparison> {
     all.push(Comparison {
         name: "solution_set_merge",
         description: "merge 400k deltas (50k keys) into the partitioned solution set",
+        legacy,
+        current,
+    });
+
+    // 5. Superstep dispatch — the cost the persistent worker pool removes.
+    //    Each sample runs 200 "supersteps" of 8 near-empty partition tasks:
+    //    the legacy side spawns scoped OS threads per superstep (the
+    //    pre-pool drivers), the current side pushes tasks onto the shared
+    //    pool.  This is the dominant cost of the tiny late supersteps of
+    //    long-tail workloads like Webbase.
+    let legacy = Box::new(move || {
+        let mut acc = 0u64;
+        for step in 0..DISPATCH_SUPERSTEPS as u64 {
+            let mut slots = [0u64; PARALLELISM];
+            std::thread::scope(|scope| {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    scope.spawn(move || *slot = step + i as u64);
+                }
+            });
+            acc += slots.iter().sum::<u64>();
+        }
+        black_box(acc);
+    });
+    let current = Box::new(move || {
+        let pool = spinning_pool::global();
+        let mut acc = 0u64;
+        for step in 0..DISPATCH_SUPERSTEPS as u64 {
+            let mut slots = [0u64; PARALLELISM];
+            pool.scope(|scope| {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    scope.spawn(move || *slot = step + i as u64);
+                }
+            });
+            acc += slots.iter().sum::<u64>();
+        }
+        black_box(acc);
+    });
+    all.push(Comparison {
+        name: "superstep_dispatch",
+        description: "dispatch 200 supersteps x 8 partition tasks (scoped thread spawns vs pool)",
         legacy,
         current,
     });

@@ -124,6 +124,11 @@ pub struct BulkIterationResult {
     pub solution: Vec<Record>,
     /// Number of iterations executed.
     pub iterations: usize,
+    /// `true` when the termination criterion fired ([`TerminationCriterion::
+    /// FixedIterations`] runs are always converged); `false` when the run was
+    /// cut off by `max_iterations` before `T` fired, in which case the
+    /// solution is truncated rather than a fixpoint.
+    pub converged: bool,
     /// Per-iteration statistics.
     pub stats: IterationRunStats,
 }
@@ -163,6 +168,11 @@ impl BulkIteration {
 
     /// Runs the iteration starting from the initial partial solution.
     pub fn run(&self, initial: Vec<Record>, config: &BulkConfig) -> Result<BulkIterationResult> {
+        if config.parallelism == 0 {
+            return Err(DataflowError::InvalidPlan(
+                "parallelism must be at least 1".into(),
+            ));
+        }
         let start = Instant::now();
         let output_op = self
             .plan
@@ -173,6 +183,10 @@ impl BulkIteration {
             return Ok(BulkIterationResult {
                 solution: initial,
                 iterations: 0,
+                // Zero requested iterations is only a completed run for the
+                // fixed-count form; for the criterion-driven forms `T` never
+                // got a chance to fire.
+                converged: matches!(self.termination, TerminationCriterion::FixedIterations(_)),
                 stats: IterationRunStats {
                     per_iteration: vec![],
                     total_elapsed: start.elapsed(),
@@ -199,6 +213,7 @@ impl BulkIteration {
         let mut cache = IntermediateCache::new();
         let mut current = Arc::new(initial);
         let mut run_stats = IterationRunStats::default();
+        let mut converged = false;
 
         for iteration in 1..=max_iterations {
             let iter_start = Instant::now();
@@ -233,6 +248,7 @@ impl BulkIteration {
             };
             current = Arc::new(next);
             if done {
+                converged = true;
                 break;
             }
         }
@@ -241,6 +257,7 @@ impl BulkIteration {
         Ok(BulkIterationResult {
             solution: Arc::try_unwrap(current).unwrap_or_else(|arc| (*arc).clone()),
             iterations: run_stats.per_iteration.len(),
+            converged,
             stats: run_stats,
         })
     }
@@ -282,6 +299,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(result.iterations, 5);
+        assert!(result.converged, "fixed-count runs are always converged");
         let mut solution = result.solution;
         solution.sort();
         assert_eq!(solution, vec![Record::pair(0, 5), Record::pair(1, 15)]);
@@ -301,6 +319,7 @@ mod tests {
             .run(vec![Record::pair(7, 7)], &BulkConfig::new(2))
             .unwrap();
         assert_eq!(result.iterations, 0);
+        assert!(result.converged);
         assert_eq!(result.solution, vec![Record::pair(7, 7)]);
     }
 
@@ -338,7 +357,43 @@ mod tests {
             .unwrap();
         // Reaches 8 after 8 iterations; the 9th confirms the fixpoint.
         assert_eq!(result.iterations, 9);
+        assert!(result.converged);
         assert_eq!(result.solution, vec![Record::pair(0, 8)]);
+    }
+
+    #[test]
+    fn hitting_max_iterations_reports_non_convergence() {
+        // Same capped-increment fixpoint as above, but the bound cuts the run
+        // off after 3 iterations — far from the fixpoint at 8.
+        let mut plan = Plan::new();
+        let input = plan.source("partial-solution", vec![]);
+        let map = plan.map(
+            "cap",
+            input,
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                out.collect(Record::pair(r.long(0), (r.long(1) + 1).min(8)));
+            })),
+        );
+        plan.sink("next", map);
+        let check = Arc::new(|prev: &[Record], next: &[Record]| prev == next);
+        let iteration = BulkIteration::new(
+            plan,
+            input,
+            "next",
+            TerminationCriterion::Converged {
+                check,
+                max_iterations: 3,
+            },
+        );
+        let result = iteration
+            .run(vec![Record::pair(0, 0)], &BulkConfig::new(2))
+            .unwrap();
+        assert_eq!(result.iterations, 3);
+        assert!(
+            !result.converged,
+            "truncated run must not report a fixpoint"
+        );
+        assert_eq!(result.solution, vec![Record::pair(0, 3)]);
     }
 
     #[test]
@@ -378,7 +433,22 @@ mod tests {
             .run(vec![Record::pair(0, 0)], &BulkConfig::new(2))
             .unwrap();
         assert_eq!(result.iterations, 3);
+        assert!(result.converged);
         assert_eq!(result.solution, vec![Record::pair(0, 3)]);
+    }
+
+    #[test]
+    fn zero_parallelism_is_rejected() {
+        let (plan, input) = increment_plan();
+        let iteration = BulkIteration::new(
+            plan,
+            input,
+            "next",
+            TerminationCriterion::FixedIterations(1),
+        );
+        let mut config = BulkConfig::new(1);
+        config.parallelism = 0;
+        assert!(iteration.run(vec![Record::pair(0, 0)], &config).is_err());
     }
 
     #[test]

@@ -71,17 +71,28 @@ pub(crate) fn run_async(
             .expect("receiver alive while seeding the initial workset");
     }
 
+    // The asynchronous workers block in `recv_timeout` until the in-flight
+    // counter drains, so they must not run on the shared global pool (they
+    // would starve other scopes).  A dedicated pool sized to the partition
+    // count is created once per run and its workers live for the whole
+    // asynchronous execution — exactly the thread usage of the former
+    // per-run `std::thread::scope`, minus respawns on repeated runs of the
+    // same driver thread pattern.
+    let pool = spinning_pool::ThreadPool::new(parallelism);
     let mut solution_partitions = solution.take_partitions();
-    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(parallelism);
-        for (partition, (s_part, receiver)) in
-            solution_partitions.iter_mut().zip(receivers).enumerate()
+    let mut outcome_slots: Vec<Option<WorkerOutcome>> = (0..parallelism).map(|_| None).collect();
+    pool.scope(|scope| {
+        for (partition, ((s_part, receiver), slot)) in solution_partitions
+            .iter_mut()
+            .zip(receivers)
+            .zip(outcome_slots.iter_mut())
+            .enumerate()
         {
             let senders = senders.clone();
             let in_flight = Arc::clone(&in_flight);
             let comparator = comparator.clone();
             let constant = &constant_index[partition];
-            let handle = scope.spawn(move || {
+            scope.spawn(move || {
                 let mut outcome = WorkerOutcome {
                     processed: 0,
                     changed: 0,
@@ -154,20 +165,18 @@ pub(crate) fn run_async(
                         Err(RecvTimeoutError::Disconnected) => break,
                     }
                 }
-                outcome
+                *slot = Some(outcome);
             });
-            handles.push(handle);
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("asynchronous worker panicked"))
-            .collect()
     });
     solution.restore_partitions(solution_partitions);
     drop(senders);
 
+    let outcomes = outcome_slots
+        .into_iter()
+        .map(|slot| slot.expect("pool ran every asynchronous worker"));
     let mut stats = IterationStats::for_iteration(1);
-    for outcome in &outcomes {
+    for outcome in outcomes {
         stats.workset_size += outcome.processed;
         stats.elements_inspected += outcome.processed;
         stats.elements_changed += outcome.changed;
@@ -182,6 +191,9 @@ pub(crate) fn run_async(
     Ok(WorksetResult {
         solution: solution.records(),
         supersteps: 1,
+        // Counter-based termination only fires at the fixpoint: the in-flight
+        // count reaching zero proves no record is queued or being processed.
+        converged: true,
         stats: run_stats,
     })
 }

@@ -137,11 +137,16 @@ impl WorksetConfig {
 /// The result of a workset iteration.
 #[derive(Debug)]
 pub struct WorksetResult {
-    /// The partial solution after convergence (the working set became empty).
+    /// The partial solution after the last superstep.  Only a fixpoint when
+    /// [`WorksetResult::converged`] is `true`.
     pub solution: Vec<Record>,
     /// Number of supersteps executed (1 for asynchronous execution, which has
     /// no superstep structure).
     pub supersteps: usize,
+    /// `true` when the working set drained (the fixpoint was reached);
+    /// `false` when the run was truncated by
+    /// [`WorksetConfig::max_supersteps`] and the solution is partial.
+    pub converged: bool,
     /// Per-superstep statistics.
     pub stats: IterationRunStats,
 }
@@ -299,19 +304,25 @@ impl WorksetIteration {
             let mut solution_partitions = solution.take_partitions();
             let microstep = config.mode == ExecutionMode::Microstep;
 
-            // Run the step function locally in every partition.
-            let outputs: Vec<PartitionOutput> = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(parallelism);
-                for (partition, ((s_part, workset), scratch)) in solution_partitions
+            // Run the step function locally in every partition, one task per
+            // partition on the persistent worker pool.  On the long tail
+            // (hundreds of tiny supersteps) this dispatch — a deque push per
+            // partition — *is* the superstep cost, which is why the pool
+            // replaced the former per-superstep `std::thread::scope` spawns.
+            let mut output_slots: Vec<Option<PartitionOutput>> =
+                (0..parallelism).map(|_| None).collect();
+            spinning_pool::global().scope(|scope| {
+                for (partition, (((s_part, workset), scratch), slot)) in solution_partitions
                     .iter_mut()
                     .zip(worksets)
                     .zip(scratch.iter_mut())
+                    .zip(output_slots.iter_mut())
                     .enumerate()
                 {
                     let constant = &constant_index[partition];
                     let comparator = comparator.clone();
-                    let handle = scope.spawn(move || {
-                        self.run_partition_superstep(
+                    scope.spawn(move || {
+                        *slot = Some(self.run_partition_superstep(
                             partition,
                             s_part,
                             workset,
@@ -320,15 +331,13 @@ impl WorksetIteration {
                             microstep,
                             parallelism,
                             scratch,
-                        )
+                        ));
                     });
-                    handles.push(handle);
                 }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("superstep worker panicked"))
-                    .collect()
             });
+            let outputs = output_slots
+                .into_iter()
+                .map(|slot| slot.expect("pool ran every superstep partition"));
             solution.restore_partitions(solution_partitions);
 
             // Exchange the new workset records (the superstep queue switch).
@@ -357,10 +366,14 @@ impl WorksetIteration {
             run_stats.per_iteration.push(stats);
         }
 
+        // The loop exits either because every queue drained (the fixpoint)
+        // or because the superstep bound truncated the run.
+        let converged = queues.iter().all(Vec::is_empty);
         run_stats.total_elapsed = start.elapsed();
         Ok(WorksetResult {
             solution: solution.records(),
             supersteps: superstep,
+            converged,
             stats: run_stats,
         })
     }
@@ -586,6 +599,7 @@ mod tests {
             .run(solution, workset, &WorksetConfig::new(2))
             .unwrap();
         check_converged(&result);
+        assert!(result.converged);
         assert!(
             result.supersteps >= 3,
             "minimum needs to travel across the path"
@@ -625,6 +639,7 @@ mod tests {
             .run(vec![Record::pair(0, 5)], vec![], &WorksetConfig::new(2))
             .unwrap();
         assert_eq!(result.supersteps, 0);
+        assert!(result.converged);
         assert_eq!(result.solution, vec![Record::pair(0, 5)]);
     }
 
@@ -661,6 +676,40 @@ mod tests {
             )
             .unwrap();
         assert_eq!(result.supersteps, 1);
+        // Hitting the superstep bound must be observable: the solution is
+        // truncated, not a fixpoint.
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn truncated_run_becomes_converged_with_enough_supersteps() {
+        let iteration = min_propagation();
+        let (solution, workset) = initial_state();
+        let full = iteration
+            .run(solution, workset, &WorksetConfig::new(2))
+            .unwrap();
+        assert!(full.converged);
+        // Bounding the run below the natural superstep count truncates it
+        // (converged == false); at or above, the flag flips back to true.
+        for max in 1..full.supersteps + 2 {
+            let (solution, workset) = initial_state();
+            let result = iteration
+                .run(
+                    solution,
+                    workset,
+                    &WorksetConfig::new(2).with_max_supersteps(max),
+                )
+                .unwrap();
+            assert_eq!(
+                result.converged,
+                max >= full.supersteps,
+                "max_supersteps={max}: ran {} supersteps",
+                result.supersteps
+            );
+            if result.converged {
+                check_converged(&result);
+            }
+        }
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The parallel executor.
 //!
-//! The executor runs a [`PhysicalPlan`] on a shared-nothing pool of worker
-//! partitions (one thread per partition during each operator's local phase).
-//! Each worker partition plays the role of one cluster node in the paper's
-//! setup; records that move between partitions during an exchange are counted
-//! as "shipped" (network) records in the [`ExecutionStats`].
+//! The executor runs a [`PhysicalPlan`] on a shared-nothing set of worker
+//! partitions; each operator's local phase runs one task per partition on the
+//! process-wide persistent worker pool ([`spinning_pool::global`]), so
+//! scheduling a partition costs a deque push, not a thread spawn.  Each
+//! worker partition plays the role of one cluster node in the paper's setup;
+//! records that move between partitions during an exchange are counted as
+//! "shipped" (network) records in the [`ExecutionStats`].
 //!
 //! The executor is a *materializing* executor: every operator fully consumes
 //! its (exchanged) inputs and materialises its output before downstream
@@ -152,7 +154,15 @@ impl Executor {
         let start = Instant::now();
         let plan = &physical.plan;
         let order = plan.validate()?;
-        let parallelism = physical.parallelism.max(1);
+        // A hand-built physical plan can carry parallelism 0; reject it here
+        // instead of clamping silently (or panicking on a modulo-by-zero
+        // deep inside `partition_for`).
+        let parallelism = physical.parallelism;
+        if parallelism == 0 {
+            return Err(DataflowError::InvalidPlan(
+                "parallelism must be at least 1".into(),
+            ));
+        }
 
         let mut outputs: HashMap<OperatorId, Arc<Partitions>> = HashMap::new();
         let mut sink_outputs: HashMap<String, Arc<Partitions>> = HashMap::new();
@@ -233,7 +243,10 @@ impl Executor {
                 prepared.push(exchanged);
             }
 
-            // 3. Run the local phase, one thread per partition.
+            // 3. Run the local phase, one pool task per partition.  The
+            //    persistent worker pool is shared process-wide, so an
+            //    operator's parallel region costs a deque push per partition
+            //    instead of a round of thread spawns.
             let local = choice.local;
             let mut result_parts: Vec<Partition> = Vec::with_capacity(parallelism);
             let mut records_in_total = 0usize;
@@ -243,23 +256,20 @@ impl Executor {
                 records_in_total += records_in;
                 result_parts.push(out);
             } else {
-                let per_partition: Vec<(usize, Vec<Record>)> = std::thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(parallelism);
-                    for p in 0..parallelism {
+                let mut per_partition: Vec<Option<(usize, Vec<Record>)>> =
+                    (0..parallelism).map(|_| None).collect();
+                spinning_pool::global().scope(|scope| {
+                    for (p, slot) in per_partition.iter_mut().enumerate() {
                         let prepared_ref = &prepared;
-                        let handle = scope.spawn(move || {
+                        scope.spawn(move || {
                             let inputs: Vec<&Partition> =
                                 prepared_ref.iter().map(|parts| &parts[p]).collect();
-                            run_local(op, local, &inputs)
+                            *slot = Some(run_local(op, local, &inputs));
                         });
-                        handles.push(handle);
                     }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker partition panicked"))
-                        .collect()
                 });
-                for (records_in, out) in per_partition {
+                for slot in per_partition {
+                    let (records_in, out) = slot.expect("pool ran every partition task");
                     records_in_total += records_in;
                     result_parts.push(out);
                 }
@@ -847,6 +857,20 @@ mod tests {
         plan.sink("out", u);
         let result = execute(&plan, 2);
         assert_eq!(result.sink("out").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn zero_parallelism_plans_are_rejected() {
+        let mut plan = Plan::new();
+        let src = plan.source("src", vec![Record::pair(1, 1)]);
+        plan.sink("out", src);
+        // Construction-time validation.
+        assert!(default_physical_plan(&plan, 0).is_err());
+        // A hand-built plan with parallelism 0 is rejected by the executor
+        // instead of being clamped silently.
+        let mut phys = default_physical_plan(&plan, 2).unwrap();
+        phys.parallelism = 0;
+        assert!(Executor::new().execute(&phys).is_err());
     }
 
     #[test]

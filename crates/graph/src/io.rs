@@ -12,32 +12,93 @@ use std::path::Path;
 /// Parses an edge list: one `source target` pair per line, `#`-prefixed lines
 /// are comments.  Vertex ids must be non-negative integers; the vertex count
 /// is one more than the largest id seen.
+///
+/// Lines with trailing tokens are rejected: a *weighted* edge list would
+/// otherwise silently parse as unweighted, dropping the weights on the
+/// floor.  Use [`parse_weighted_edge_list`] for `source target weight`
+/// input.
 pub fn parse_edge_list<R: BufRead>(reader: R) -> std::io::Result<Graph> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_vertex: VertexId = 0;
-    for (line_no, line) in reader.lines().enumerate() {
+    for_each_edge_line(reader, |line_no, tokens| {
+        let [s, t] = *tokens else {
+            return Err(invalid_line(
+                line_no,
+                "expected exactly `source target` (weighted input? use parse_weighted_edge_list)",
+            ));
+        };
+        let s = parse_vertex(s, line_no)?;
+        let t = parse_vertex(t, line_no)?;
+        max_vertex = max_vertex.max(s).max(t);
+        edges.push((s, t));
+        Ok(())
+    })?;
+    Ok(Graph::from_edges(max_vertex as usize + 1, &edges))
+}
+
+/// Parses a weighted edge list: `source target weight` per line (weight
+/// optional, defaulting to 1.0), `#`-prefixed lines are comments.  Returns
+/// the graph and one weight per edge, aligned with [`Graph::edges`]'s
+/// insertion order of this parse.
+pub fn parse_weighted_edge_list<R: BufRead>(reader: R) -> std::io::Result<(Graph, Vec<f64>)> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut max_vertex: VertexId = 0;
+    for_each_edge_line(reader, |line_no, tokens| {
+        let (s, t, w) = match *tokens {
+            [s, t] => (s, t, 1.0),
+            [s, t, w] => (
+                s,
+                t,
+                w.parse::<f64>()
+                    .map_err(|_| invalid_line(line_no, "weight is not a number"))?,
+            ),
+            _ => {
+                return Err(invalid_line(
+                    line_no,
+                    "expected `source target` or `source target weight`",
+                ))
+            }
+        };
+        let s = parse_vertex(s, line_no)?;
+        let t = parse_vertex(t, line_no)?;
+        max_vertex = max_vertex.max(s).max(t);
+        edges.push((s, t));
+        weights.push(w);
+        Ok(())
+    })?;
+    Ok((Graph::from_edges(max_vertex as usize + 1, &edges), weights))
+}
+
+/// Shared line scanner: skips blanks and `#` comments, tokenizes the rest and
+/// hands `(1-based line number, tokens)` to `f`.
+fn for_each_edge_line<R: BufRead>(
+    reader: R,
+    mut f: impl FnMut(usize, &[&str]) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    for (index, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        let parse = |token: Option<&str>| -> std::io::Result<VertexId> {
-            token
-                .and_then(|t| t.parse::<VertexId>().ok())
-                .ok_or_else(|| {
-                    std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("malformed edge on line {}", line_no + 1),
-                    )
-                })
-        };
-        let s = parse(parts.next())?;
-        let t = parse(parts.next())?;
-        max_vertex = max_vertex.max(s).max(t);
-        edges.push((s, t));
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        f(index + 1, &tokens)?;
     }
-    Ok(Graph::from_edges(max_vertex as usize + 1, &edges))
+    Ok(())
+}
+
+fn parse_vertex(token: &str, line_no: usize) -> std::io::Result<VertexId> {
+    token
+        .parse::<VertexId>()
+        .map_err(|_| invalid_line(line_no, "vertex id is not a non-negative integer"))
+}
+
+fn invalid_line(line_no: usize, reason: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("malformed edge on line {line_no}: {reason}"),
+    )
 }
 
 /// Reads an edge-list file from disk.
@@ -81,6 +142,38 @@ mod tests {
         let text = "0 1\nnot an edge\n";
         let err = parse_edge_list(Cursor::new(text)).unwrap_err();
         assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected_not_ignored() {
+        // A weighted edge list must not silently parse as unweighted.
+        let text = "0 1 0.5\n1 2 0.25\n";
+        let err = parse_edge_list(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        assert!(
+            err.to_string().contains("parse_weighted_edge_list"),
+            "error should point at the weighted parser: {err}"
+        );
+        // A single-token line is just as malformed.
+        assert!(parse_edge_list(Cursor::new("0\n")).is_err());
+    }
+
+    #[test]
+    fn weighted_edge_lists_parse_with_weights() {
+        let text = "# weighted\n0 1 0.5\n1 2 2.0\n2 0\n";
+        let (g, weights) = parse_weighted_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        // The missing third weight defaults to 1.0.
+        assert_eq!(weights, vec![0.5, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_parser_rejects_garbage_weights_and_extra_tokens() {
+        let err = parse_weighted_edge_list(Cursor::new("0 1 heavy\n")).unwrap_err();
+        assert!(err.to_string().contains("not a number"), "{err}");
+        let err = parse_weighted_edge_list(Cursor::new("0 1 1.0 extra\n")).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod sample;
 pub use crate::datasets::{DatasetProfile, GraphShape, GraphSummary};
 pub use crate::generators::{chain, erdos_renyi, ring, rmat, star, RmatParams};
 pub use crate::graph::{Graph, VertexId};
-pub use crate::io::{parse_edge_list, read_edge_list, write_edge_list};
+pub use crate::io::{parse_edge_list, parse_weighted_edge_list, read_edge_list, write_edge_list};
 pub use crate::rng::SmallRng;
 pub use crate::sample::{figure1_expected_components, figure1_graph};

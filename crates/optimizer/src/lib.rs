@@ -155,6 +155,11 @@ impl Optimizer {
         annotations: &Annotations,
         spec: Option<&IterationSpec>,
     ) -> Result<OptimizedPlan> {
+        if self.config.parallelism == 0 {
+            return Err(dataflow::prelude::DataflowError::InvalidPlan(
+                "parallelism must be at least 1".into(),
+            ));
+        }
         let mut dynamic: HashSet<OperatorId> = HashSet::new();
         let mut op_weight: HashMap<OperatorId, f64> = HashMap::new();
         let mut cache_edges: HashSet<(OperatorId, usize)> = HashSet::new();

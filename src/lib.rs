@@ -15,6 +15,9 @@
 //!   PageRank as iterative dataflows.
 //! * [`baselines`] — the Spark-like and Giraph/Pregel-like comparison
 //!   engines.
+//! * [`spinning_pool`] — the persistent work-stealing worker pool every
+//!   parallel region (operator local phases, superstep partitions, baseline
+//!   engines) runs on.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! system inventory and the per-figure reproduction record.  Runnable
@@ -28,3 +31,4 @@ pub use dataflow;
 pub use graphdata;
 pub use optimizer;
 pub use spinning_core;
+pub use spinning_pool;
