@@ -1,14 +1,14 @@
 //! # algorithms — the paper's evaluation workloads as iterative dataflows
 //!
-//! * [`pagerank`] — bulk-iterative PageRank (Figure 3) with the two physical
-//!   plans of Figure 4 (broadcast vs. partition), selectable or left to the
-//!   optimizer.
+//! * [`mod@pagerank`] — bulk-iterative PageRank (Figure 3) with the two
+//!   physical plans of Figure 4 (broadcast vs. partition), selectable or left
+//!   to the optimizer.
 //! * [`connected_components`] — Connected Components in all four variants the
 //!   paper measures: bulk (FIXPOINT-CC), batch incremental (INCR-CC with an
 //!   `InnerCoGroup`), microstep (MICRO-CC with a `Match`), and asynchronous
 //!   microstep execution.
-//! * [`sssp`] — single-source shortest paths as an incremental iteration.
-//! * [`adaptive_pagerank`] — the adaptive PageRank of the related-work
+//! * [`mod@sssp`] — single-source shortest paths as an incremental iteration.
+//! * [`mod@adaptive_pagerank`] — the adaptive PageRank of the related-work
 //!   discussion, expressed as a workset iteration.
 //! * [`oracles`] — sequential reference implementations used by the tests.
 //! * [`common`] — conversions from [`graphdata::Graph`] to record form.

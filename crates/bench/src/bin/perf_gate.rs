@@ -1,0 +1,62 @@
+//! CI perf-regression gate: compares a freshly generated routing report
+//! against the frozen `microbench_baseline` section of the tracked
+//! `BENCH_routing.json`, failing (exit code 1) when any routing
+//! micro-benchmark's speedup regressed by more than 25%.
+//!
+//! Usage:
+//!   `cargo run --release -p bench --bin perf_gate [-- frozen.json [live.json]]`
+//!
+//! * `frozen.json` — the tracked report embedding `microbench_baseline`
+//!   (default `BENCH_routing.json`).
+//! * `live.json` — a report freshly written by `routing_report`
+//!   (default `BENCH_routing.live.json`).
+//!
+//! Set `SPINNING_PERF_GATE_HANDICAP=1.5` to divide every live speedup by 1.5
+//! (a synthetic 33% regression) and verify that the gate really fails.
+
+use bench::perf::{extract_section, gate, parse_speedups, GateReport, HANDICAP_ENV};
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("perf_gate: cannot read {path}: {e}"))
+}
+
+fn speedups_of(json: &str, section: &str, path: &str) -> Vec<(String, f64)> {
+    let section = extract_section(json, section)
+        .unwrap_or_else(|| panic!("perf_gate: no \"{section}\" section in {path}"));
+    let speedups = parse_speedups(section);
+    assert!(
+        !speedups.is_empty(),
+        "perf_gate: no benchmarks parsed from {path}"
+    );
+    speedups
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let frozen_path = args.next().unwrap_or_else(|| "BENCH_routing.json".into());
+    let live_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_routing.live.json".into());
+
+    let frozen = speedups_of(&read(&frozen_path), "microbench_baseline", &frozen_path);
+    let live = speedups_of(&read(&live_path), "microbenchmarks", &live_path);
+
+    let handicap: f64 = std::env::var(HANDICAP_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    if handicap != 1.0 {
+        println!("injecting a synthetic {handicap}x slowdown ({HANDICAP_ENV})");
+    }
+
+    let report: GateReport = gate(&frozen, &live, handicap);
+    println!("perf gate: live {live_path} vs frozen {frozen_path} (>25% speedup regression fails)");
+    print!("{}", report.to_table());
+
+    if report.passed() {
+        println!("perf gate: PASS");
+    } else {
+        eprintln!("perf gate: FAIL — a routing micro-benchmark regressed or went missing");
+        std::process::exit(1);
+    }
+}

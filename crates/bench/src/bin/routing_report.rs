@@ -12,6 +12,7 @@
 
 use algorithms::{cc_incremental, cc_microstep, ComponentsConfig};
 use bench::harness::Measurement;
+use bench::perf::FROZEN_BASELINES;
 use graphdata::DatasetProfile;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -19,31 +20,6 @@ use std::time::Instant;
 const SAMPLES: usize = 7;
 const WARMUP: usize = 2;
 const E2E_SCALE: u64 = 16_384;
-
-/// Historical measurements of the same end-to-end workload at earlier
-/// commits, emitted verbatim so the tracked file keeps the perf trajectory
-/// across regenerations.  All numbers were measured on the same machine and
-/// configuration as the live section (scale 16384, parallelism 8, 7
-/// samples).
-const BASELINES: &str = r#"  "pre_refactor_baseline": {
-    "commit": "1c573a9",
-    "note": "pre-refactor seed (Vec keys, SipHash, clone-based exchanges)",
-    "end_to_end": [
-      {"dataset": "webbase", "incremental_median_ms": 552.8, "microstep_median_ms": 408.3},
-      {"dataset": "wikipedia", "incremental_median_ms": 16.0, "microstep_median_ms": 12.8}
-    ]
-  },
-  "pre_pool_baseline": {
-    "commit": "ddd9186",
-    "note": "before the persistent worker pool: every superstep spawned scoped OS threads per partition",
-    "end_to_end": [
-      {"dataset": "webbase", "supersteps": 705, "superstep_mean_ms": 0.4878, "superstep_tail_mean_ms": 0.2147,
-       "incremental_median_ms": 382.9, "microstep_median_ms": 290.1},
-      {"dataset": "wikipedia", "supersteps": 4, "superstep_mean_ms": 2.1444, "superstep_tail_mean_ms": 0.2720,
-       "incremental_median_ms": 14.0, "microstep_median_ms": 9.7}
-    ]
-  },
-"#;
 
 fn measure<F: FnMut()>(name: &str, mut f: F) -> Measurement {
     for _ in 0..WARMUP {
@@ -82,7 +58,7 @@ fn main() {
     json.push_str(
         "  \"note\": \"regenerate with: cargo run --release -p bench --bin routing_report -- BENCH_routing.json\",\n",
     );
-    json.push_str(BASELINES);
+    json.push_str(FROZEN_BASELINES);
     let _ = write!(
         json,
         "  \"routed_records_per_sample\": {},\n  \"microbenchmarks\": [\n",

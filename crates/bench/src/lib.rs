@@ -18,6 +18,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod perf;
 pub mod routing;
 
 use algorithms::{

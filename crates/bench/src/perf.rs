@@ -1,0 +1,365 @@
+//! The CI perf-regression gate over the routing micro-benchmarks.
+//!
+//! `BENCH_routing.json` embeds a frozen `microbench_baseline` section: the
+//! `speedup_median` (legacy median / current median) of every routing
+//! micro-benchmark at the commit that froze it.  The gate re-measures the
+//! live micro-benchmarks (via the `routing_report` binary), extracts the live
+//! speedups, and fails when any benchmark's speedup dropped more than
+//! [`REGRESSION_THRESHOLD`] relative to the frozen value.
+//!
+//! Gating on the **speedup ratio** rather than on absolute milliseconds is
+//! deliberate: the legacy and current implementations run on the same
+//! machine in the same process, so their ratio is stable across the very
+//! different hardware of CI runners and developer laptops, while absolute
+//! medians are not.
+//!
+//! The JSON handling is a purpose-built scanner (the build has no serde, by
+//! policy): it only needs to find a named section and the
+//! `"name"`/`"speedup_median"` pairs inside it, in the format that
+//! `routing_report` itself writes.
+
+use std::fmt::Write as _;
+
+/// A live speedup below `frozen / REGRESSION_THRESHOLD` fails the gate
+/// (i.e. a >25% regression).
+pub const REGRESSION_THRESHOLD: f64 = 1.25;
+
+/// Environment variable that divides every live speedup before gating.
+/// Setting it to e.g. `1.5` simulates a 33% regression on every benchmark —
+/// used to demonstrate that the gate actually fails.
+pub const HANDICAP_ENV: &str = "SPINNING_PERF_GATE_HANDICAP";
+
+/// The frozen baseline sections of `BENCH_routing.json`: the perf-gate
+/// speedup floors plus historical end-to-end measurements at earlier
+/// commits, emitted verbatim by `routing_report` so the tracked file keeps
+/// the perf trajectory across regenerations.  This const is the **single
+/// source of truth** — the `frozen_baselines_match_the_tracked_report` test
+/// fails when the tracked file's floors diverge from it (e.g. after a
+/// hand-edit of the JSON without a matching edit here), so the gate cannot
+/// be loosened by a silent regeneration.  All end-to-end numbers were
+/// measured on the same machine and configuration as the live section
+/// (scale 16384, parallelism 8, 7 samples).
+pub const FROZEN_BASELINES: &str = r#"  "microbench_baseline": {
+    "commit": "b9c155f",
+    "note": "frozen speedup floors (legacy median / current median) per routing microbench, used by the perf_gate bin: a live speedup below floor/1.25 fails CI. Ratios are compared instead of absolute times so the gate holds across machines; benches whose legacy side is kernel-dependent (thread spawns, SipHash) are frozen at conservative floors well under their typical measurement, so the gate trips on genuine hot-path regressions (ratio collapsing towards 1x), not scheduler noise. Typical measured values at freeze time: partition 3.2-9.2x, exchange 2.4-2.7x, page_exchange 1.0-1.1x, group 7.1-8.7x, merge 2.0-2.2x, dispatch 64-150x.",
+    "benches": [
+      {"name": "partition_single_long_key", "speedup_median": 2.50},
+      {"name": "exchange_hash_partition", "speedup_median": 2.40},
+      {"name": "page_exchange", "speedup_median": 1.00},
+      {"name": "group_table_build", "speedup_median": 7.00},
+      {"name": "solution_set_merge", "speedup_median": 2.00},
+      {"name": "superstep_dispatch", "speedup_median": 40.00}
+    ]
+  },
+  "pre_refactor_baseline": {
+    "commit": "1c573a9",
+    "note": "pre-refactor seed (Vec keys, SipHash, clone-based exchanges)",
+    "end_to_end": [
+      {"dataset": "webbase", "incremental_median_ms": 552.8, "microstep_median_ms": 408.3},
+      {"dataset": "wikipedia", "incremental_median_ms": 16.0, "microstep_median_ms": 12.8}
+    ]
+  },
+  "pre_pool_baseline": {
+    "commit": "ddd9186",
+    "note": "before the persistent worker pool: every superstep spawned scoped OS threads per partition",
+    "end_to_end": [
+      {"dataset": "webbase", "supersteps": 705, "superstep_mean_ms": 0.4878, "superstep_tail_mean_ms": 0.2147,
+       "incremental_median_ms": 382.9, "microstep_median_ms": 290.1},
+      {"dataset": "wikipedia", "supersteps": 4, "superstep_mean_ms": 2.1444, "superstep_tail_mean_ms": 0.2720,
+       "incremental_median_ms": 14.0, "microstep_median_ms": 9.7}
+    ]
+  },
+  "pre_page_baseline": {
+    "commit": "b9c155f",
+    "note": "before serialized record pages: exchanges moved Vec<Record> heap objects between partitions in-process, paying no serialization where a real deployment pays the network path. With pages, microstep CC got faster (scratch-record receive path) while batch-incremental CC pays ~10% for genuine binary serialization of shipped candidates.",
+    "end_to_end": [
+      {"dataset": "webbase", "supersteps": 705, "superstep_mean_ms": 0.3373, "superstep_tail_mean_ms": 0.0733,
+       "incremental_median_ms": 273.3, "microstep_median_ms": 178.0},
+      {"dataset": "wikipedia", "supersteps": 4, "superstep_mean_ms": 1.9403, "superstep_tail_mean_ms": 0.1588,
+       "incremental_median_ms": 11.3, "microstep_median_ms": 8.0}
+    ]
+  },
+"#;
+
+/// Extracts the balanced `{...}` or `[...]` value of the first occurrence of
+/// `"key":` in `json`.  Returns `None` when the key is missing or its value
+/// is not an object/array.
+pub fn extract_section<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let start = json.find(&needle)?;
+    let after = &json[start + needle.len()..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start();
+    let open = rest.chars().next()?;
+    let close = match open {
+        '{' => '}',
+        '[' => ']',
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        if c == '"' {
+            in_string = true;
+        } else if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(&rest[..=i]);
+            }
+        }
+    }
+    None
+}
+
+/// Parses `("name", speedup_median)` pairs out of a section written by
+/// `routing_report`.  A name is only paired with a `speedup_median` that
+/// appears *before the next* `"name"` key, which skips the nested
+/// measurement objects (whose names are `legacy` / `current` and whose
+/// speedup belongs to a different entry).
+pub fn parse_speedups(section: &str) -> Vec<(String, f64)> {
+    const NAME_KEY: &str = "\"name\":";
+    const SPEEDUP_KEY: &str = "\"speedup_median\":";
+    let mut out = Vec::new();
+    let mut rest = section;
+    while let Some(pos) = rest.find(NAME_KEY) {
+        rest = &rest[pos + NAME_KEY.len()..];
+        let Some(q1) = rest.find('"') else { break };
+        let Some(q2) = rest[q1 + 1..].find('"') else {
+            break;
+        };
+        let name = &rest[q1 + 1..q1 + 1 + q2];
+        rest = &rest[q1 + 1 + q2 + 1..];
+        let next_name = rest.find(NAME_KEY);
+        if let Some(sp) = rest.find(SPEEDUP_KEY) {
+            // Only pair when the speedup belongs to this entry.
+            if next_name.map(|n| sp < n).unwrap_or(true) {
+                let number = rest[sp + SPEEDUP_KEY.len()..].trim_start();
+                let end = number
+                    .find(|c: char| {
+                        !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+                    })
+                    .unwrap_or(number.len());
+                if let Ok(value) = number[..end].parse::<f64>() {
+                    out.push((name.to_owned(), value));
+                }
+                rest = &rest[sp + SPEEDUP_KEY.len()..];
+            }
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// The verdict for one benchmark.
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Frozen baseline speedup (legacy/current median ratio).
+    pub frozen: f64,
+    /// Live speedup, after any injected handicap.
+    pub live: f64,
+    /// `false` when the live speedup regressed past the threshold.
+    pub ok: bool,
+}
+
+/// The gate verdict over all benchmarks.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// One verdict per frozen benchmark found live.
+    pub results: Vec<GateResult>,
+    /// Frozen benchmarks with no live measurement — also a failure (a
+    /// silently dropped benchmark must not pass the gate).
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    /// True when every benchmark is within the threshold and none is missing.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.results.iter().all(|r| r.ok)
+    }
+
+    /// Renders an aligned verdict table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>10} {:>8}  verdict",
+            "benchmark", "frozen", "live", "ratio"
+        );
+        for r in &self.results {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>9.2}x {:>9.2}x {:>8.2}  {}",
+                r.name,
+                r.frozen,
+                r.live,
+                r.live / r.frozen,
+                if r.ok { "ok" } else { "REGRESSED" }
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(
+                out,
+                "{name:<28} {:>10} {:>10} {:>8}  MISSING",
+                "-", "-", "-"
+            );
+        }
+        out
+    }
+}
+
+/// Compares live speedups against the frozen baseline.  `handicap` divides
+/// every live speedup before the comparison (1.0 = no injection; see
+/// [`HANDICAP_ENV`]).
+pub fn gate(frozen: &[(String, f64)], live: &[(String, f64)], handicap: f64) -> GateReport {
+    let mut report = GateReport::default();
+    for (name, frozen_speedup) in frozen {
+        match live.iter().find(|(n, _)| n == name) {
+            None => report.missing.push(name.clone()),
+            Some((_, live_speedup)) => {
+                let live_speedup = live_speedup / handicap;
+                report.results.push(GateResult {
+                    name: name.clone(),
+                    frozen: *frozen_speedup,
+                    live: live_speedup,
+                    ok: live_speedup * REGRESSION_THRESHOLD >= *frozen_speedup,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmark": "routing_hot_path",
+  "microbench_baseline": {
+    "commit": "abc1234",
+    "benches": [
+      {"name": "partition", "speedup_median": 3.20},
+      {"name": "exchange", "speedup_median": 2.40}
+    ]
+  },
+  "microbenchmarks": [
+    {"name": "partition", "description": "d", "speedup_median": 3.10,
+     "legacy": {"name": "legacy", "min_ms": 5.0, "median_ms": 5.6},
+     "current": {"name": "current", "min_ms": 1.7, "median_ms": 1.8}},
+    {"name": "exchange", "description": "d", "speedup_median": 1.00,
+     "legacy": {"name": "legacy", "min_ms": 96.0, "median_ms": 104.0},
+     "current": {"name": "current", "min_ms": 41.0, "median_ms": 104.0}}
+  ]
+}"#;
+
+    #[test]
+    fn extracts_balanced_sections() {
+        let base = extract_section(SAMPLE, "microbench_baseline").unwrap();
+        assert!(base.starts_with('{') && base.ends_with('}'));
+        assert!(base.contains("abc1234"));
+        assert!(!base.contains("microbenchmarks"));
+        let live = extract_section(SAMPLE, "microbenchmarks").unwrap();
+        assert!(live.starts_with('[') && live.ends_with(']'));
+        assert!(extract_section(SAMPLE, "no_such_key").is_none());
+    }
+
+    #[test]
+    fn parses_speedups_skipping_nested_measurement_names() {
+        let live = parse_speedups(extract_section(SAMPLE, "microbenchmarks").unwrap());
+        assert_eq!(
+            live,
+            vec![
+                ("partition".to_owned(), 3.10),
+                ("exchange".to_owned(), 1.00)
+            ]
+        );
+        let frozen = parse_speedups(extract_section(SAMPLE, "microbench_baseline").unwrap());
+        assert_eq!(
+            frozen,
+            vec![
+                ("partition".to_owned(), 3.20),
+                ("exchange".to_owned(), 2.40)
+            ]
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_past_it() {
+        let frozen = parse_speedups(extract_section(SAMPLE, "microbench_baseline").unwrap());
+        let live = parse_speedups(extract_section(SAMPLE, "microbenchmarks").unwrap());
+        let report = gate(&frozen, &live, 1.0);
+        // partition: 3.10 vs 3.20 frozen — a 3% dip, within the 25% budget.
+        assert!(report.results[0].ok);
+        // exchange: 1.00 vs 2.40 frozen — a 58% regression, fails.
+        assert!(!report.results[1].ok);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn gate_fails_on_missing_benchmarks() {
+        let frozen = vec![("gone".to_owned(), 2.0)];
+        let report = gate(&frozen, &[], 1.0);
+        assert!(!report.passed());
+        assert_eq!(report.missing, vec!["gone".to_owned()]);
+        assert!(report.to_table().contains("MISSING"));
+    }
+
+    #[test]
+    fn handicap_injection_trips_the_gate() {
+        let frozen = vec![("b".to_owned(), 3.0)];
+        let live = vec![("b".to_owned(), 3.0)];
+        assert!(gate(&frozen, &live, 1.0).passed());
+        // A 1.5x handicap simulates a 33% regression: must fail a 25% gate.
+        assert!(!gate(&frozen, &live, 1.5).passed());
+    }
+
+    #[test]
+    fn frozen_baselines_match_the_tracked_report() {
+        // The tracked BENCH_routing.json at the repository root must always
+        // contain a parseable frozen baseline — otherwise the CI gate would
+        // pass vacuously — and its floors must equal FROZEN_BASELINES (the
+        // single source of truth that regeneration emits): a hand-edit of
+        // the JSON floors without a matching edit of the const would
+        // otherwise be silently reverted by the next regeneration,
+        // loosening the gate unnoticed.
+        let json = include_str!("../../../BENCH_routing.json");
+        let tracked = parse_speedups(
+            extract_section(json, "microbench_baseline").expect("frozen baseline section"),
+        );
+        assert!(
+            tracked.len() >= 5,
+            "expected the frozen routing benchmarks, got {tracked:?}"
+        );
+        let source = parse_speedups(
+            extract_section(FROZEN_BASELINES, "microbench_baseline")
+                .expect("FROZEN_BASELINES embeds the gate floors"),
+        );
+        assert_eq!(
+            tracked, source,
+            "tracked BENCH_routing.json floors diverged from perf::FROZEN_BASELINES; \
+             edit the const and regenerate with routing_report"
+        );
+        let live = parse_speedups(extract_section(json, "microbenchmarks").unwrap());
+        assert_eq!(
+            tracked.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            live.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            "frozen baseline and live section must cover the same benchmarks"
+        );
+    }
+}

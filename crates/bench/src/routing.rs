@@ -10,6 +10,7 @@
 //! imported) so the comparison stays runnable at any commit.
 
 use dataflow::key::{partition_for, FxHashMap, Key};
+use dataflow::page::{ExchangedPartition, PageWriter};
 use dataflow::prelude::{Record, Value};
 use spinning_core::prelude::SolutionSet;
 use std::collections::hash_map::DefaultHasher;
@@ -150,6 +151,80 @@ pub fn comparisons() -> Vec<Comparison> {
     all.push(Comparison {
         name: "exchange_hash_partition",
         description: "exchange 400k records across 8 partitions (clone+SipHash vs move+Fx)",
+        legacy,
+        current,
+    });
+
+    // 2b. The paged exchange, producer to consumer: route 400k records and
+    //     scan every received record on the consumer side.  The "legacy"
+    //     side is the PR-2 state of the art (move records into pre-sized
+    //     Vec targets, then pointer-chase through them); the "current" side
+    //     is the sealed-page path (local records bypass serialization,
+    //     cross-partition records serialize into pages whose views are read
+    //     in place without materializing records).
+    let legacy = Box::new(move || {
+        let producer = partitioned_input();
+        let total: usize = producer.iter().map(Vec::len).sum();
+        let per_target = total / PARALLELISM + total / (PARALLELISM * 4) + 4;
+        let mut targets: Vec<Vec<Record>> = (0..PARALLELISM)
+            .map(|_| Vec::with_capacity(per_target))
+            .collect();
+        for partition in producer {
+            for r in partition {
+                targets[partition_for(&r, &[0], PARALLELISM)].push(r);
+            }
+        }
+        let mut acc = 0i64;
+        for target in &targets {
+            for r in target {
+                acc = acc.wrapping_add(r.long(0));
+            }
+        }
+        black_box(acc);
+    });
+    let current = Box::new(move || {
+        let producer = partitioned_input();
+        // Producer side: local records move, outbound records serialize into
+        // per-target page writers.
+        let mut locals: Vec<Vec<Record>> = Vec::with_capacity(PARALLELISM);
+        let mut routed: Vec<Vec<PageWriter>> = Vec::with_capacity(PARALLELISM);
+        for (src, partition) in producer.into_iter().enumerate() {
+            let mut writers: Vec<PageWriter> =
+                (0..PARALLELISM).map(|_| PageWriter::new()).collect();
+            let mut local = Vec::new();
+            for r in partition {
+                let target = partition_for(&r, &[0], PARALLELISM);
+                if target == src {
+                    local.push(r);
+                } else {
+                    writers[target].push(&r);
+                }
+            }
+            locals.push(local);
+            routed.push(writers);
+        }
+        // The exchange: sealed pages and local buffers move by pointer.
+        let mut received: Vec<ExchangedPartition> = locals
+            .into_iter()
+            .map(ExchangedPartition::from_records)
+            .collect();
+        for writers in routed {
+            for (target, writer) in writers.into_iter().enumerate() {
+                received[target].receive_pages(writer.finish());
+            }
+        }
+        // Consumer side: scan every record the way the executor's local
+        // phase does — paged records through one reused scratch record.
+        let mut acc = 0i64;
+        for part in &received {
+            part.for_each_ref(|r| acc = acc.wrapping_add(r.long(0)));
+        }
+        black_box(acc);
+    });
+    all.push(Comparison {
+        name: "page_exchange",
+        description:
+            "exchange 400k records across 8 partitions and scan the receive side (Vec move vs sealed pages)",
         legacy,
         current,
     });

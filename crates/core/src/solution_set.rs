@@ -14,6 +14,7 @@
 //! described at the end of Section 5.1.
 
 use dataflow::key::{hash_key, hash_of_key, FxHashMap};
+use dataflow::page::RecordPage;
 use dataflow::prelude::{Key, KeyFields, Record};
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -164,6 +165,27 @@ impl SolutionSet {
             .map(|delta| self.merge(delta))
             .filter(MergeOutcome::applied)
             .count()
+    }
+
+    /// Merges every delta record serialized in `page` with the `∪̇`
+    /// semantics, returning how many were applied.  This is the paged
+    /// counterpart of [`SolutionSet::merge_all`]: delta sets arriving from
+    /// an exchange are applied straight out of their sealed pages, without
+    /// first materializing a record vector.
+    pub fn merge_page(&mut self, page: &RecordPage) -> usize {
+        page.reader()
+            .map(|view| self.merge(view.materialize()))
+            .filter(MergeOutcome::applied)
+            .count()
+    }
+
+    /// Merges a sequence of sealed delta pages (see
+    /// [`SolutionSet::merge_page`]), returning how many records were applied.
+    pub fn merge_all_pages<'a>(
+        &mut self,
+        pages: impl IntoIterator<Item = &'a RecordPage>,
+    ) -> usize {
+        pages.into_iter().map(|page| self.merge_page(page)).sum()
     }
 
     /// The `∪̇` merge against one partition index.  The delta record is moved
@@ -345,6 +367,32 @@ mod tests {
         let probe = Record::pair(99, 5);
         assert_eq!(s.lookup_by(&probe, &[1]).unwrap().long(1), 42);
         assert!(s.lookup_by(&probe, &[0]).is_none());
+    }
+
+    #[test]
+    fn merge_pages_matches_record_merge() {
+        use dataflow::page::PageWriter;
+        let deltas: Vec<Record> = (0..200).map(|i| Record::pair(i % 40, i % 7)).collect();
+
+        let mut by_records = SolutionSet::new(vec![0], 4).with_comparator(cid_comparator());
+        let applied_records = by_records.merge_all(deltas.iter().cloned());
+
+        // Force several pages so the page boundary is crossed mid-stream.
+        let mut writer = PageWriter::with_page_bytes(128);
+        for delta in &deltas {
+            writer.push(delta);
+        }
+        let pages = writer.finish();
+        assert!(pages.len() > 1);
+        let mut by_pages = SolutionSet::new(vec![0], 4).with_comparator(cid_comparator());
+        let applied_pages = by_pages.merge_all_pages(pages.iter().map(Arc::as_ref));
+
+        assert_eq!(applied_records, applied_pages);
+        let mut a = by_records.records();
+        let mut b = by_pages.records();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 
     #[test]

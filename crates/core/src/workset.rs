@@ -32,6 +32,7 @@
 use crate::solution_set::{PartitionIndex, RecordComparator, SolutionSet};
 use crate::stats::{IterationRunStats, IterationStats};
 use dataflow::key::{group_ranges, partition_for, sort_by_key, FxHashMap};
+use dataflow::page::{PageWriter, RecordPage};
 use dataflow::prelude::{DataflowError, Key, KeyFields, Record, Result};
 use std::sync::Arc;
 use std::time::Instant;
@@ -269,14 +270,17 @@ impl WorksetIteration {
     ) -> Result<WorksetResult> {
         let parallelism = config.parallelism;
         let comparator = solution.comparator();
-        let mut queues: Vec<Vec<Record>> = Vec::with_capacity(parallelism);
+        let mut queues: Vec<WorksetQueue> = Vec::with_capacity(parallelism);
         let per_queue = initial_workset.len() / parallelism + 1;
         for _ in 0..parallelism {
-            queues.push(Vec::with_capacity(per_queue));
+            queues.push(WorksetQueue::with_capacity(per_queue));
         }
+        // The initial workset is scattered by the driver, which co-owns it
+        // with every partition: a local move, not an exchange, so it is not
+        // serialized.
         for record in initial_workset {
             let partition = partition_for(&record, &self.workset_key, parallelism);
-            queues[partition].push(record);
+            queues[partition].records.push(record);
         }
 
         let mut run_stats = IterationRunStats::default();
@@ -292,14 +296,17 @@ impl WorksetIteration {
         while queues.iter().any(|q| !q.is_empty()) && superstep < config.max_supersteps {
             superstep += 1;
             let step_start = Instant::now();
-            let mut next_queues: Vec<Vec<Record>> = Vec::with_capacity(parallelism);
+            let mut next_queues: Vec<WorksetQueue> = Vec::with_capacity(parallelism);
             for _ in 0..parallelism {
                 let mut q = spare_queues.pop().unwrap_or_default();
                 q.clear();
-                next_queues.push(q);
+                next_queues.push(WorksetQueue {
+                    records: q,
+                    pages: Vec::new(),
+                });
             }
             let worksets = std::mem::replace(&mut queues, next_queues);
-            let workset_size: usize = worksets.iter().map(Vec::len).sum();
+            let workset_size: usize = worksets.iter().map(WorksetQueue::len).sum();
 
             let mut solution_partitions = solution.take_partitions();
             let microstep = config.mode == ExecutionMode::Microstep;
@@ -341,21 +348,26 @@ impl WorksetIteration {
             solution.restore_partitions(solution_partitions);
 
             // Exchange the new workset records (the superstep queue switch).
-            // Outbox buffers are moved into empty queues rather than copied.
+            // Records that stayed in their partition are moved as heap
+            // objects; everything that crossed a partition boundary arrives
+            // as sealed pages, so the exchange moves buffer and page
+            // pointers, never individual records.
             let mut stats = IterationStats::for_iteration(superstep);
             stats.workset_size = workset_size;
-            for output in outputs {
+            for (partition, output) in outputs.enumerate() {
                 stats.elements_inspected += output.inspected;
                 stats.elements_changed += output.changed;
                 stats.messages_sent += output.messages_sent;
                 stats.messages_shipped += output.messages_shipped;
-                for (target, records) in output.outbox.into_iter().enumerate() {
-                    if !records.is_empty() && queues[target].is_empty() {
-                        let drained = std::mem::replace(&mut queues[target], records);
-                        spare_queues.push(drained);
-                    } else {
-                        queues[target].extend(records);
-                    }
+                let local = output.outbox_local;
+                if !local.is_empty() && queues[partition].records.is_empty() {
+                    let drained = std::mem::replace(&mut queues[partition].records, local);
+                    spare_queues.push(drained);
+                } else {
+                    queues[partition].records.extend(local);
+                }
+                for (target, writer) in output.outbox_remote.into_iter().enumerate() {
+                    queues[target].pages.extend(writer.finish());
                 }
                 spare_queues.push(output.drained_workset);
             }
@@ -368,7 +380,7 @@ impl WorksetIteration {
 
         // The loop exits either because every queue drained (the fixpoint)
         // or because the superstep bound truncated the run.
-        let converged = queues.iter().all(Vec::is_empty);
+        let converged = queues.iter().all(WorksetQueue::is_empty);
         run_stats.total_elapsed = start.elapsed();
         Ok(WorksetResult {
             solution: solution.records(),
@@ -384,7 +396,7 @@ impl WorksetIteration {
         &self,
         partition: usize,
         s_part: &mut PartitionIndex,
-        mut workset: Vec<Record>,
+        mut workset: WorksetQueue,
         constant: &FxHashMap<Key, Vec<Record>>,
         comparator: &Option<RecordComparator>,
         microstep: bool,
@@ -392,7 +404,12 @@ impl WorksetIteration {
         scratch: &mut StepScratch,
     ) -> PartitionOutput {
         let mut output = PartitionOutput::new(parallelism);
-        let expand_buffer = &mut scratch.expand;
+        let StepScratch {
+            expand: expand_buffer,
+            deltas,
+            page_scratch,
+            freelist,
+        } = scratch;
 
         let mut apply_and_expand =
             |delta: Record, s_part: &mut PartitionIndex, output: &mut PartitionOutput| {
@@ -418,39 +435,72 @@ impl WorksetIteration {
                 for record in expand_buffer.drain(..) {
                     let target = partition_for(&record, &self.workset_key, parallelism);
                     output.messages_sent += 1;
-                    if target != partition {
+                    if target == partition {
+                        // Stays local: moved as a heap object, like a
+                        // chained operator.
+                        output.outbox_local.push(record);
+                    } else {
+                        // Leaves the partition: serialized into the target's
+                        // open page; the exchange will move sealed pages.
                         output.messages_shipped += 1;
+                        output.outbox_remote[target].push(&record);
                     }
-                    output.outbox[target].push(record);
                 }
             };
 
         if microstep {
             // Match variant: one workset record at a time, updates visible
-            // immediately.
-            for record in workset.drain(..) {
-                output.inspected += 1;
-                let key = Key::extract(&record, &self.workset_key);
-                let delta = {
-                    let current = s_part.get(&key);
-                    self.update
-                        .update(&key, current, std::slice::from_ref(&record))
+            // immediately.  Records that stayed local are consumed in place;
+            // shipped candidates are deserialized straight out of the
+            // received pages into the update/merge path through one reused
+            // scratch record — delta application reads from pages without an
+            // intermediate workset copy or per-record allocation.
+            let mut records = std::mem::take(&mut workset.records);
+            let mut handle =
+                |record: &Record, s_part: &mut PartitionIndex, output: &mut PartitionOutput| {
+                    output.inspected += 1;
+                    let key = Key::extract(record, &self.workset_key);
+                    let delta = {
+                        let current = s_part.get(&key);
+                        self.update
+                            .update(&key, current, std::slice::from_ref(record))
+                    };
+                    if let Some(delta) = delta {
+                        apply_and_expand(delta, s_part, output);
+                    }
                 };
-                if let Some(delta) = delta {
-                    apply_and_expand(delta, s_part, &mut output);
+            for record in records.drain(..) {
+                handle(&record, s_part, &mut output);
+            }
+            for page in &workset.pages {
+                for view in page.reader() {
+                    view.read_into(page_scratch);
+                    handle(page_scratch, s_part, &mut output);
                 }
             }
+            output.drained_workset = records;
         } else {
-            // InnerCoGroup variant: sort the workset by key so each group is
-            // a contiguous run (no per-superstep map to build), one update
-            // per key, deltas applied after the whole group pass (superstep
-            // semantics — every lookup sees the previous superstep's state).
-            sort_by_key(&mut workset, &self.workset_key);
-            let deltas = &mut scratch.deltas;
+            // InnerCoGroup variant: materialize the partition's workset (the
+            // local records are already owned; paged candidates are read out
+            // of the received pages into records recycled from earlier
+            // supersteps) and sort it by key so each group is a contiguous
+            // run (no per-superstep map to build), one update per key,
+            // deltas applied after the whole group pass (superstep semantics
+            // — every lookup sees the previous superstep's state).
+            let mut records = std::mem::take(&mut workset.records);
+            records.reserve(workset.pages.iter().map(|p| p.record_count()).sum());
+            for page in &workset.pages {
+                for view in page.reader() {
+                    let mut record = freelist.pop().unwrap_or_else(Record::empty);
+                    view.read_into(&mut record);
+                    records.push(record);
+                }
+            }
+            sort_by_key(&mut records, &self.workset_key);
             deltas.clear();
-            for (group_start, group_end) in group_ranges(&workset, &self.workset_key) {
+            for (group_start, group_end) in group_ranges(&records, &self.workset_key) {
                 output.inspected += 1;
-                let candidates = &workset[group_start..group_end];
+                let candidates = &records[group_start..group_end];
                 let key = Key::extract(&candidates[0], &self.workset_key);
                 if let Some(delta) = self.update.update(&key, s_part.get(&key), candidates) {
                     deltas.push(delta);
@@ -459,25 +509,81 @@ impl WorksetIteration {
             for delta in deltas.drain(..) {
                 apply_and_expand(delta, s_part, &mut output);
             }
-            workset.clear();
+            // Consumed workset records feed the freelist (bounded) so the
+            // next superstep's page materialization reuses their buffers.
+            freelist.append(&mut records);
+            freelist.truncate(FREELIST_RECORDS);
+            output.drained_workset = records;
         }
-        output.drained_workset = workset;
         output
     }
 }
 
-/// Per-partition buffers reused across supersteps by the workset driver.
+/// One partition's incoming workset for a superstep: candidate records that
+/// never left the partition (moved as heap objects) plus the sealed pages
+/// shipped from peer partitions.
 #[derive(Default)]
+pub(crate) struct WorksetQueue {
+    pub(crate) records: Vec<Record>,
+    pub(crate) pages: Vec<Arc<RecordPage>>,
+}
+
+impl WorksetQueue {
+    fn with_capacity(records: usize) -> Self {
+        WorksetQueue {
+            records: Vec::with_capacity(records),
+            pages: Vec::new(),
+        }
+    }
+
+    /// Total candidate records queued.
+    pub(crate) fn len(&self) -> usize {
+        self.records.len() + self.pages.iter().map(|p| p.record_count()).sum::<usize>()
+    }
+
+    /// True when no candidate is queued.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.pages.iter().all(|p| p.is_empty())
+    }
+}
+
+/// Cap on the per-partition record freelist (bounds the memory retained
+/// between supersteps while still covering the tail, where worksets are
+/// tiny).
+const FREELIST_RECORDS: usize = 4096;
+
+/// Per-partition buffers reused across supersteps by the workset driver.
 pub(crate) struct StepScratch {
     /// Buffer handed to the expand UDF.
     expand: Vec<Record>,
     /// Delta records of the current superstep (batch-incremental mode).
     deltas: Vec<Record>,
+    /// Scratch record the microstep variant deserializes page views into.
+    page_scratch: Record,
+    /// Consumed records recycled into the next superstep's page
+    /// materialization (batch-incremental mode).
+    freelist: Vec<Record>,
+}
+
+impl Default for StepScratch {
+    fn default() -> Self {
+        StepScratch {
+            expand: Vec::new(),
+            deltas: Vec::new(),
+            page_scratch: Record::empty(),
+            freelist: Vec::new(),
+        }
+    }
 }
 
 /// What one partition produces during a superstep.
 pub(crate) struct PartitionOutput {
-    pub(crate) outbox: Vec<Vec<Record>>,
+    /// New workset records that stay in this partition (next superstep's
+    /// local queue; moved, never serialized).
+    pub(crate) outbox_local: Vec<Record>,
+    /// One page writer per peer partition; the superstep exchange seals and
+    /// moves the pages.
+    pub(crate) outbox_remote: Vec<PageWriter>,
     /// The (now empty) workset buffer, handed back for reuse as a queue.
     pub(crate) drained_workset: Vec<Record>,
     pub(crate) inspected: usize,
@@ -489,7 +595,8 @@ pub(crate) struct PartitionOutput {
 impl PartitionOutput {
     pub(crate) fn new(parallelism: usize) -> Self {
         PartitionOutput {
-            outbox: vec![Vec::new(); parallelism],
+            outbox_local: Vec::new(),
+            outbox_remote: (0..parallelism).map(|_| PageWriter::new()).collect(),
             drained_workset: Vec::new(),
             inspected: 0,
             changed: 0,

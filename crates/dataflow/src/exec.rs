@@ -16,14 +16,28 @@
 //! simultaneously).  Pipelined/asynchronous execution is provided where it
 //! matters for the paper's claims — the microstep execution mode of the
 //! workset iteration in the `spinning-core` crate.
+//!
+//! # Exchanges move sealed pages
+//!
+//! Repartitioning (hash/range) and broadcast exchanges follow the paged
+//! binary model of [`crate::page`]: every producer partition routes its
+//! records in parallel on the worker pool, records that stay in their
+//! partition are *moved* as heap objects (a local forward never serializes,
+//! like a chained operator in the real runtime), and records bound for a
+//! peer partition are serialized into sealed [`RecordPage`]s.  The exchange
+//! itself — the step that stands in for the network — then only moves page
+//! pointers; the receiving local phase reads records back out of the pages
+//! lazily.  Only forward shipping keeps the records-as-objects fast path.
 
 use crate::contracts::{Collector, Udf};
 use crate::error::{DataflowError, Result};
 use crate::key::{group_ranges, partition_for, sort_by_key, FxHashMap, Key};
+use crate::page::{ExchangedPartition, PageWriter, RecordPage};
 use crate::physical::{LocalStrategy, PhysicalPlan, ShipStrategy};
 use crate::plan::{Operator, OperatorId, OperatorKind};
 use crate::record::Record;
 use crate::stats::{ExecutionStats, OperatorStats};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -200,7 +214,7 @@ impl Executor {
             }
 
             // 2. Exchange (or fetch from cache) each input edge.
-            let mut prepared: Vec<Arc<Partitions>> = Vec::with_capacity(op.inputs.len());
+            let mut prepared: Vec<PreparedInput> = Vec::with_capacity(op.inputs.len());
             for (slot, &input) in op.inputs.iter().enumerate() {
                 let cache_key = (id, slot);
                 // This edge consumes one use of the producer's output,
@@ -210,7 +224,7 @@ impl Executor {
                 if choice.cache_inputs[slot] {
                     if let Some(cached) = cache.entries.get(&cache_key) {
                         stats.cache_hits += 1;
-                        prepared.push(Arc::clone(cached));
+                        prepared.push(PreparedInput::Shared(Arc::clone(cached)));
                         if last_use {
                             outputs.remove(&input);
                         }
@@ -228,19 +242,54 @@ impl Executor {
                         input.0, op.name
                     ))
                 })?;
-                let ship = &choice.input_ships[slot];
                 // The producer's partitions can be consumed in place when no
                 // one else holds them (no other pending consumer, not a sink
                 // result, not cached).
-                let exchanged = match Arc::try_unwrap(producer_out) {
-                    Ok(owned) => exchange_owned(owned, ship, parallelism, &mut stats),
-                    Err(shared) => exchange(&shared, ship, parallelism, &mut stats),
+                let producer = match Arc::try_unwrap(producer_out) {
+                    Ok(owned) => ProducerInput::Owned(owned),
+                    Err(shared) => ProducerInput::Shared(shared),
                 };
-                let exchanged = Arc::new(exchanged);
+                let ship = &choice.input_ships[slot];
                 if choice.cache_inputs[slot] {
-                    cache.entries.insert(cache_key, Arc::clone(&exchanged));
+                    // Cached (loop-invariant) edges are re-read on every
+                    // execution of the step plan, so they are materialized
+                    // once and served as shared record partitions — exchanged
+                    // as records directly, since serializing them into pages
+                    // would be an immediate serialize/deserialize roundtrip.
+                    let shared = Arc::new(cache_exchange_records(
+                        producer,
+                        ship,
+                        parallelism,
+                        &mut stats,
+                    ));
+                    cache.entries.insert(cache_key, Arc::clone(&shared));
+                    prepared.push(PreparedInput::Shared(shared));
+                } else {
+                    prepared.push(exchange(producer, ship, parallelism, &mut stats));
                 }
-                prepared.push(exchanged);
+            }
+
+            // Split the prepared inputs into one input set per partition:
+            // shared inputs hand every partition a (cheap) Arc clone, paged
+            // inputs move each partition's local records and received page
+            // pointers into that partition's task.
+            let mut partition_inputs: Vec<Vec<LocalInput>> = (0..parallelism)
+                .map(|_| Vec::with_capacity(op.inputs.len()))
+                .collect();
+            for prep in prepared {
+                match prep {
+                    PreparedInput::Shared(parts) => {
+                        for (p, inputs) in partition_inputs.iter_mut().enumerate() {
+                            inputs.push(LocalInput::Shared(Arc::clone(&parts), p));
+                        }
+                    }
+                    PreparedInput::Paged(parts) => {
+                        debug_assert_eq!(parts.len(), parallelism);
+                        for (part, inputs) in parts.into_iter().zip(partition_inputs.iter_mut()) {
+                            inputs.push(LocalInput::Paged(part));
+                        }
+                    }
+                }
             }
 
             // 3. Run the local phase, one pool task per partition.  The
@@ -251,20 +300,17 @@ impl Executor {
             let mut result_parts: Vec<Partition> = Vec::with_capacity(parallelism);
             let mut records_in_total = 0usize;
             if parallelism == 1 {
-                let inputs: Vec<&Partition> = prepared.iter().map(|parts| &parts[0]).collect();
-                let (records_in, out) = run_local(op, local, &inputs);
+                let inputs = partition_inputs.pop().expect("one partition input set");
+                let (records_in, out) = run_local(op, local, inputs);
                 records_in_total += records_in;
                 result_parts.push(out);
             } else {
                 let mut per_partition: Vec<Option<(usize, Vec<Record>)>> =
                     (0..parallelism).map(|_| None).collect();
                 spinning_pool::global().scope(|scope| {
-                    for (p, slot) in per_partition.iter_mut().enumerate() {
-                        let prepared_ref = &prepared;
+                    for (inputs, slot) in partition_inputs.drain(..).zip(per_partition.iter_mut()) {
                         scope.spawn(move || {
-                            let inputs: Vec<&Partition> =
-                                prepared_ref.iter().map(|parts| &parts[p]).collect();
-                            *slot = Some(run_local(op, local, &inputs));
+                            *slot = Some(run_local(op, local, inputs));
                         });
                     }
                 });
@@ -311,145 +357,402 @@ fn split_into_partitions(data: &Arc<Vec<Record>>, parallelism: usize) -> Partiti
     parts
 }
 
-/// Target buffers for a hash exchange, each pre-sized for the expected even
-/// share of `total` records (plus headroom for skew) so the per-record push
-/// almost never reallocates.
-fn presized_targets(total: usize, parallelism: usize) -> Partitions {
-    let per_target = total / parallelism + total / (parallelism * 4).max(1) + 4;
-    (0..parallelism)
-        .map(|_| Vec::with_capacity(per_target))
-        .collect()
+/// The producer side of one exchange: owned when this consumer is the last
+/// user of the producer's output (records may be moved or serialized in
+/// place), shared when someone else — another consumer, a sink result, the
+/// loop-invariant cache — still holds it.
+enum ProducerInput {
+    /// Exclusively owned partitions.
+    Owned(Partitions),
+    /// Partitions still shared with other holders.
+    Shared(Arc<Partitions>),
 }
 
-/// Routes the producer's partitions to the consumer's partitions according to
-/// the shipping strategy, updating the shipped/local record counters.  This
-/// is the clone-based variant used when the producer's output is still shared
-/// (another consumer, a sink result, or the loop-invariant cache holds it).
-fn exchange(
-    producer: &Partitions,
+impl ProducerInput {
+    fn partitions(&self) -> &Partitions {
+        match self {
+            ProducerInput::Owned(parts) => parts,
+            ProducerInput::Shared(parts) => parts,
+        }
+    }
+
+    /// Flattens all partitions into one record vector (moving when owned).
+    fn into_flat_records(self) -> Vec<Record> {
+        match self {
+            ProducerInput::Owned(parts) => parts.into_iter().flatten().collect(),
+            ProducerInput::Shared(parts) => parts.iter().flatten().cloned().collect(),
+        }
+    }
+}
+
+/// A post-exchange edge, as handed to the consumer's local phase.
+enum PreparedInput {
+    /// Shared record partitions: forward shipping, cache hits.
+    Shared(Arc<Partitions>),
+    /// One [`ExchangedPartition`] per consumer partition (hash/range
+    /// repartitioning and broadcast, i.e. every edge that "touches the
+    /// network").
+    Paged(Vec<ExchangedPartition>),
+}
+
+/// The record-based exchange used for loop-invariant (cached) edges.  The
+/// cache stores materialized record partitions that are re-read on every
+/// step-plan execution, so routing them through sealed pages would be an
+/// immediate serialize/deserialize roundtrip; instead records are cloned (or
+/// moved, when owned) straight into their target partitions.  Routing and
+/// shipped/local accounting mirror the paged exchange.
+fn cache_exchange_records(
+    producer: ProducerInput,
     ship: &ShipStrategy,
     parallelism: usize,
     stats: &mut ExecutionStats,
 ) -> Partitions {
     match ship {
         ShipStrategy::Forward => {
-            let total: usize = producer.iter().map(Vec::len).sum();
+            let total: usize = producer.partitions().iter().map(Vec::len).sum();
             stats.local_records += total;
-            let mut parts = producer.clone();
+            let mut parts = match producer {
+                ProducerInput::Owned(parts) => parts,
+                ProducerInput::Shared(parts) => {
+                    Arc::try_unwrap(parts).unwrap_or_else(|shared| (*shared).clone())
+                }
+            };
             parts.resize(parallelism, Vec::new());
             parts
         }
         ShipStrategy::PartitionHash(keys) | ShipStrategy::PartitionRange(keys) => {
-            let total: usize = producer.iter().map(Vec::len).sum();
-            let mut parts = presized_targets(total, parallelism);
-            for (src_idx, partition) in producer.iter().enumerate() {
-                for record in partition {
-                    let target = partition_for(record, keys, parallelism);
-                    count_routed(stats, record, src_idx, target);
-                    parts[target].push(record.clone());
-                }
-            }
-            parts
-        }
-        ShipStrategy::Broadcast => {
-            let total: usize = producer.iter().map(Vec::len).sum();
+            let total: usize = producer.partitions().iter().map(Vec::len).sum();
+            let per_target = total / parallelism + total / (parallelism * 4).max(1) + 4;
             let mut parts: Partitions = (0..parallelism)
-                .map(|_| Vec::with_capacity(total))
+                .map(|_| Vec::with_capacity(per_target))
                 .collect();
-            for partition in producer {
-                for record in partition {
-                    count_broadcast(stats, record, parallelism);
-                    for part in parts.iter_mut() {
-                        part.push(record.clone());
+            let mut route = |src: usize, record: Cow<'_, Record>| {
+                let target = partition_for(&record, keys, parallelism);
+                if target == src {
+                    stats.local_records += 1;
+                } else {
+                    stats.shipped_records += 1;
+                    stats.shipped_bytes += record.estimated_bytes();
+                }
+                parts[target].push(record.into_owned());
+            };
+            match producer {
+                ProducerInput::Owned(partitions) => {
+                    for (src, partition) in partitions.into_iter().enumerate() {
+                        for record in partition {
+                            route(src, Cow::Owned(record));
+                        }
+                    }
+                }
+                ProducerInput::Shared(partitions) => {
+                    for (src, partition) in partitions.iter().enumerate() {
+                        for record in partition {
+                            route(src, Cow::Borrowed(record));
+                        }
                     }
                 }
             }
             parts
         }
+        ShipStrategy::Broadcast => {
+            let records = producer.into_flat_records();
+            let copies = parallelism.saturating_sub(1);
+            stats.shipped_records += records.len() * copies;
+            stats.shipped_bytes +=
+                copies * records.iter().map(Record::estimated_bytes).sum::<usize>();
+            stats.local_records += records.len();
+            let mut parts: Partitions = (0..copies).map(|_| records.clone()).collect();
+            parts.push(records);
+            parts
+        }
     }
 }
 
-/// The move-based exchange: identical routing and accounting to [`exchange`],
-/// but the producer's partitions are owned, so records are *moved* to their
-/// target buffers — no per-record clone on the dynamic data path.
-fn exchange_owned(
-    mut producer: Partitions,
+/// Routes the producer's partitions to the consumer's partitions according to
+/// the shipping strategy, updating the shipped/local counters.
+fn exchange(
+    producer: ProducerInput,
     ship: &ShipStrategy,
     parallelism: usize,
     stats: &mut ExecutionStats,
-) -> Partitions {
+) -> PreparedInput {
     match ship {
         ShipStrategy::Forward => {
-            let total: usize = producer.iter().map(Vec::len).sum();
+            let total: usize = producer.partitions().iter().map(Vec::len).sum();
             stats.local_records += total;
-            producer.resize(parallelism, Vec::new());
-            producer
+            let parts = match producer {
+                ProducerInput::Owned(mut parts) => {
+                    parts.resize(parallelism, Vec::new());
+                    Arc::new(parts)
+                }
+                ProducerInput::Shared(parts) => {
+                    if parts.len() == parallelism {
+                        parts
+                    } else {
+                        let mut cloned = (*parts).clone();
+                        cloned.resize(parallelism, Vec::new());
+                        Arc::new(cloned)
+                    }
+                }
+            };
+            PreparedInput::Shared(parts)
         }
         ShipStrategy::PartitionHash(keys) | ShipStrategy::PartitionRange(keys) => {
-            let total: usize = producer.iter().map(Vec::len).sum();
-            let mut parts = presized_targets(total, parallelism);
-            for (src_idx, partition) in producer.into_iter().enumerate() {
-                for record in partition {
-                    let target = partition_for(&record, keys, parallelism);
-                    count_routed(stats, &record, src_idx, target);
-                    parts[target].push(record);
-                }
-            }
-            parts
+            PreparedInput::Paged(paged_exchange(producer, keys, parallelism, stats))
         }
         ShipStrategy::Broadcast => {
-            let total: usize = producer.iter().map(Vec::len).sum();
-            let mut parts: Partitions = (0..parallelism)
-                .map(|_| Vec::with_capacity(total))
-                .collect();
-            for partition in producer {
-                for record in partition {
-                    count_broadcast(stats, &record, parallelism);
-                    // Clone for all targets but the last, which takes the
-                    // original.
-                    for part in parts[..parallelism - 1].iter_mut() {
-                        part.push(record.clone());
-                    }
-                    parts[parallelism - 1].push(record);
-                }
-            }
-            parts
+            PreparedInput::Paged(broadcast_paged(producer, parallelism, stats))
         }
     }
 }
 
-/// Updates the shipped/local counters for one hash-routed record.
-#[inline]
-fn count_routed(stats: &mut ExecutionStats, record: &Record, src: usize, target: usize) {
-    if target != src {
-        stats.shipped_records += 1;
-        stats.shipped_bytes += record.estimated_bytes();
-    } else {
-        stats.local_records += 1;
+/// What one producer partition contributes to a paged exchange: the records
+/// that stay local, one run of sealed pages per peer target, and the routing
+/// counters.
+struct RoutedSource {
+    local: Vec<Record>,
+    pages: Vec<Vec<Arc<RecordPage>>>,
+    shipped_records: usize,
+    shipped_bytes: usize,
+}
+
+/// Routes one producer partition: records staying in `src` go to the local
+/// buffer (moved when the producer is owned, cloned when it is shared —
+/// that is the only difference the `Cow` carries); records for peer
+/// partitions are serialized into the target's page writer straight from
+/// the borrow, never cloned.
+fn route_source<'a>(
+    src: usize,
+    records: impl Iterator<Item = Cow<'a, Record>>,
+    keys: &[usize],
+    parallelism: usize,
+) -> RoutedSource {
+    let mut writers: Vec<PageWriter> = (0..parallelism).map(|_| PageWriter::new()).collect();
+    let mut local = Vec::new();
+    let (mut shipped_records, mut shipped_bytes) = (0usize, 0usize);
+    for record in records {
+        let target = partition_for(&record, keys, parallelism);
+        if target == src {
+            local.push(record.into_owned());
+        } else {
+            shipped_records += 1;
+            shipped_bytes += writers[target].push(&record);
+        }
+    }
+    RoutedSource {
+        local,
+        pages: writers.into_iter().map(PageWriter::finish).collect(),
+        shipped_records,
+        shipped_bytes,
     }
 }
 
-/// Updates the shipped/local counters for one broadcast record.
-#[inline]
-fn count_broadcast(stats: &mut ExecutionStats, record: &Record, parallelism: usize) {
-    let copies = parallelism.saturating_sub(1);
-    stats.shipped_records += copies;
-    stats.shipped_bytes += copies * record.estimated_bytes();
-    stats.local_records += 1;
+/// The paged repartitioning exchange.  Every producer partition routes its
+/// records concurrently on the worker pool (serializing outbound records into
+/// per-target pages); the gather step that stands in for the network then
+/// moves sealed page pointers and local record buffers — it never touches a
+/// record.
+fn paged_exchange(
+    producer: ProducerInput,
+    keys: &[usize],
+    parallelism: usize,
+    stats: &mut ExecutionStats,
+) -> Vec<ExchangedPartition> {
+    let sources = producer.partitions().len();
+    let mut routed: Vec<Option<RoutedSource>> = (0..sources).map(|_| None).collect();
+    if sources <= 1 {
+        match producer {
+            ProducerInput::Owned(parts) => {
+                for (src, records) in parts.into_iter().enumerate() {
+                    routed[src] = Some(route_source(
+                        src,
+                        records.into_iter().map(Cow::Owned),
+                        keys,
+                        parallelism,
+                    ));
+                }
+            }
+            ProducerInput::Shared(parts) => {
+                for (src, records) in parts.iter().enumerate() {
+                    routed[src] = Some(route_source(
+                        src,
+                        records.iter().map(Cow::Borrowed),
+                        keys,
+                        parallelism,
+                    ));
+                }
+            }
+        }
+    } else {
+        match producer {
+            ProducerInput::Owned(parts) => {
+                spinning_pool::global().scope(|scope| {
+                    for ((src, records), slot) in
+                        parts.into_iter().enumerate().zip(routed.iter_mut())
+                    {
+                        scope.spawn(move || {
+                            *slot = Some(route_source(
+                                src,
+                                records.into_iter().map(Cow::Owned),
+                                keys,
+                                parallelism,
+                            ));
+                        });
+                    }
+                });
+            }
+            ProducerInput::Shared(parts) => {
+                let parts: &Partitions = &parts;
+                spinning_pool::global().scope(|scope| {
+                    for ((src, records), slot) in parts.iter().enumerate().zip(routed.iter_mut()) {
+                        scope.spawn(move || {
+                            *slot = Some(route_source(
+                                src,
+                                records.iter().map(Cow::Borrowed),
+                                keys,
+                                parallelism,
+                            ));
+                        });
+                    }
+                });
+            }
+        }
+    }
+    let mut routed: Vec<RoutedSource> = routed
+        .into_iter()
+        .map(|slot| slot.expect("pool routed every producer partition"))
+        .collect();
+
+    // Gather: partition `t` keeps the records that never left it and receives
+    // the sealed pages every producer addressed to it.  Pure pointer moves.
+    let mut result: Vec<ExchangedPartition> = routed
+        .iter_mut()
+        .map(|source| {
+            stats.shipped_records += source.shipped_records;
+            stats.shipped_bytes += source.shipped_bytes;
+            stats.local_records += source.local.len();
+            stats.shipped_pages += source.pages.iter().map(Vec::len).sum::<usize>();
+            ExchangedPartition::from_records(std::mem::take(&mut source.local))
+        })
+        .collect();
+    result.resize_with(parallelism, ExchangedPartition::default);
+    for source in routed {
+        for (target, pages) in source.pages.into_iter().enumerate() {
+            result[target].receive_pages(pages);
+        }
+    }
+    result
+}
+
+/// The paged broadcast: all records are serialized **once**, then every
+/// consumer partition shares the same sealed pages by pointer — replication
+/// costs one Arc clone per page per target instead of one record clone per
+/// record per target.
+fn broadcast_paged(
+    producer: ProducerInput,
+    parallelism: usize,
+    stats: &mut ExecutionStats,
+) -> Vec<ExchangedPartition> {
+    if parallelism == 1 {
+        // Degenerate broadcast: everything is local, nothing to serialize.
+        let records = producer.into_flat_records();
+        stats.local_records += records.len();
+        return vec![ExchangedPartition::from_records(records)];
+    }
+    let mut writer = PageWriter::new();
+    let (mut count, mut bytes) = (0usize, 0usize);
+    for record in producer.partitions().iter().flatten() {
+        count += 1;
+        bytes += writer.push(record);
+    }
+    let pages = writer.finish();
+    let copies = parallelism - 1;
+    stats.shipped_records += count * copies;
+    stats.shipped_bytes += bytes * copies;
+    stats.local_records += count;
+    stats.shipped_pages += pages.len() * copies;
+    (0..parallelism)
+        .map(|_| ExchangedPartition::new(Vec::new(), pages.clone()))
+        .collect()
+}
+
+/// One input edge of one partition's local phase: either a view into shared
+/// record partitions or the owned local-records-plus-pages of a paged
+/// exchange.
+enum LocalInput {
+    /// Partition `1` of the shared partitions `0`.
+    Shared(Arc<Partitions>, usize),
+    /// The owned post-exchange input of this partition.
+    Paged(ExchangedPartition),
+}
+
+impl LocalInput {
+    /// Number of records in this input.
+    fn len(&self) -> usize {
+        match self {
+            LocalInput::Shared(parts, p) => parts[*p].len(),
+            LocalInput::Paged(part) => part.record_count(),
+        }
+    }
+
+    /// Visits every record by reference; page records are deserialized into
+    /// one scratch record reused across calls.
+    fn for_each_ref(&self, f: impl FnMut(&Record)) {
+        match self {
+            LocalInput::Shared(parts, p) => {
+                let mut f = f;
+                for record in &parts[*p] {
+                    f(record);
+                }
+            }
+            LocalInput::Paged(part) => part.for_each_ref(f),
+        }
+    }
+
+    /// Visits every record owned: shared inputs clone (someone else still
+    /// holds them), paged inputs move their local records and materialize
+    /// their page records.
+    fn for_each_owned(self, f: impl FnMut(Record)) {
+        match self {
+            LocalInput::Shared(parts, p) => {
+                let mut f = f;
+                for record in &parts[p] {
+                    f(record.clone());
+                }
+            }
+            LocalInput::Paged(part) => part.for_each_owned(f),
+        }
+    }
+
+    /// Materializes the whole input into owned records.
+    fn into_records(self) -> Vec<Record> {
+        match self {
+            LocalInput::Shared(parts, p) => parts[p].clone(),
+            LocalInput::Paged(part) => part.into_records(),
+        }
+    }
 }
 
 /// Runs one operator's local work on one partition's inputs.
-fn run_local(op: &Operator, local: LocalStrategy, inputs: &[&Partition]) -> (usize, Vec<Record>) {
-    let records_in: usize = inputs.iter().map(|p| p.len()).sum();
+fn run_local(op: &Operator, local: LocalStrategy, inputs: Vec<LocalInput>) -> (usize, Vec<Record>) {
+    let records_in: usize = inputs.iter().map(LocalInput::len).sum();
     let mut collector = Collector::new();
+    let mut inputs = inputs.into_iter();
+    fn next_input(inputs: &mut impl Iterator<Item = LocalInput>) -> LocalInput {
+        inputs.next().expect("plan validation checked input arity")
+    }
     match (&op.kind, &op.udf) {
         (OperatorKind::Map, Udf::Map(udf)) => {
-            for record in inputs[0] {
-                udf.map(record, &mut collector);
-            }
+            next_input(&mut inputs).for_each_ref(|record| udf.map(record, &mut collector));
         }
         (OperatorKind::Reduce { key }, Udf::Reduce(udf)) => {
-            run_reduce(key, local, inputs[0], udf.as_ref(), &mut collector);
+            run_reduce(
+                key,
+                local,
+                next_input(&mut inputs),
+                udf.as_ref(),
+                &mut collector,
+            );
         }
         (
             OperatorKind::Match {
@@ -458,22 +761,27 @@ fn run_local(op: &Operator, local: LocalStrategy, inputs: &[&Partition]) -> (usi
             },
             Udf::Match(udf),
         ) => {
+            let left = next_input(&mut inputs);
+            let right = next_input(&mut inputs);
             run_match(
                 left_key,
                 right_key,
                 local,
-                inputs[0],
-                inputs[1],
+                left,
+                right,
                 udf.as_ref(),
                 &mut collector,
             );
         }
         (OperatorKind::Cross, Udf::Cross(udf)) => {
-            for left in inputs[0] {
-                for right in inputs[1] {
-                    udf.cross(left, right, &mut collector);
+            let left = next_input(&mut inputs);
+            let right = next_input(&mut inputs);
+            let right_records = right.into_records();
+            left.for_each_ref(|l| {
+                for r in &right_records {
+                    udf.cross(l, r, &mut collector);
                 }
-            }
+            });
         }
         (
             OperatorKind::CoGroup {
@@ -483,23 +791,25 @@ fn run_local(op: &Operator, local: LocalStrategy, inputs: &[&Partition]) -> (usi
             },
             Udf::CoGroup(udf),
         ) => {
+            let left = next_input(&mut inputs);
+            let right = next_input(&mut inputs);
             run_cogroup(
                 left_key,
                 right_key,
                 *inner,
-                inputs[0],
-                inputs[1],
+                left,
+                right,
                 udf.as_ref(),
                 &mut collector,
             );
         }
         (OperatorKind::Union, _) => {
             for input in inputs {
-                collector.collect_all(input.iter().cloned());
+                input.for_each_owned(|record| collector.collect(record));
             }
         }
         (OperatorKind::Sink { .. }, _) => {
-            collector.collect_all(inputs[0].iter().cloned());
+            next_input(&mut inputs).for_each_owned(|record| collector.collect(record));
         }
         (OperatorKind::Source { .. }, _) => {
             // Sources are handled by the executor before run_local is called.
@@ -521,13 +831,13 @@ fn run_local(op: &Operator, local: LocalStrategy, inputs: &[&Partition]) -> (usi
 fn run_reduce(
     key: &[usize],
     local: LocalStrategy,
-    input: &Partition,
+    input: LocalInput,
     udf: &dyn crate::contracts::ReduceFunction,
     out: &mut Collector,
 ) {
     match local {
         LocalStrategy::SortGroup => {
-            let mut records = input.clone();
+            let mut records = input.into_records();
             sort_by_key(&mut records, key);
             for (start, end) in group_ranges(&records, key) {
                 let group = &records[start..end];
@@ -540,12 +850,12 @@ fn run_reduce(
         // deterministic across runs.
         _ => {
             let mut groups: FxHashMap<Key, Vec<Record>> = FxHashMap::default();
-            for record in input {
+            input.for_each_owned(|record| {
                 groups
-                    .entry(Key::extract(record, key))
+                    .entry(Key::extract(&record, key))
                     .or_default()
-                    .push(record.clone());
-            }
+                    .push(record);
+            });
             let mut sorted: Vec<(Key, Vec<Record>)> = groups.into_iter().collect();
             sorted.sort_unstable_by(|a, b| a.0.cmp(&b.0));
             for (k, group) in &sorted {
@@ -555,36 +865,39 @@ fn run_reduce(
     }
 }
 
-/// Equi-join for the Match contract (hash or sort-merge).
+/// Equi-join for the Match contract (hash or sort-merge).  The build side is
+/// materialized; the probe side is streamed (page records through a scratch
+/// record, never fully materialized).
 fn run_match(
     left_key: &[usize],
     right_key: &[usize],
     local: LocalStrategy,
-    left: &Partition,
-    right: &Partition,
+    left: LocalInput,
+    right: LocalInput,
     udf: &dyn crate::contracts::MatchFunction,
     out: &mut Collector,
 ) {
     match local {
         LocalStrategy::HashJoinBuildRight => {
+            let right_records = right.into_records();
             let mut table: FxHashMap<Key, Vec<&Record>> = FxHashMap::default();
-            for record in right {
+            for record in &right_records {
                 table
                     .entry(Key::extract(record, right_key))
                     .or_default()
                     .push(record);
             }
-            for l in left {
+            left.for_each_ref(|l| {
                 if let Some(matches) = table.get(&Key::extract(l, left_key)) {
                     for r in matches {
                         udf.join(l, r, out);
                     }
                 }
-            }
+            });
         }
         LocalStrategy::SortMergeJoin => {
-            let mut l_sorted = left.clone();
-            let mut r_sorted = right.clone();
+            let mut l_sorted = left.into_records();
+            let mut r_sorted = right.into_records();
             sort_by_key(&mut l_sorted, left_key);
             sort_by_key(&mut r_sorted, right_key);
             let l_ranges = group_ranges(&l_sorted, left_key);
@@ -610,20 +923,21 @@ fn run_match(
         }
         // Default: build on the left, probe with the right.
         _ => {
+            let left_records = left.into_records();
             let mut table: FxHashMap<Key, Vec<&Record>> = FxHashMap::default();
-            for record in left {
+            for record in &left_records {
                 table
                     .entry(Key::extract(record, left_key))
                     .or_default()
                     .push(record);
             }
-            for r in right {
+            right.for_each_ref(|r| {
                 if let Some(matches) = table.get(&Key::extract(r, right_key)) {
                     for l in matches {
                         udf.join(l, r, out);
                     }
                 }
-            }
+            });
         }
     }
 }
@@ -633,25 +947,25 @@ fn run_cogroup(
     left_key: &[usize],
     right_key: &[usize],
     inner: bool,
-    left: &Partition,
-    right: &Partition,
+    left: LocalInput,
+    right: LocalInput,
     udf: &dyn crate::contracts::CoGroupFunction,
     out: &mut Collector,
 ) {
     let mut left_groups: FxHashMap<Key, Vec<Record>> = FxHashMap::default();
-    for record in left {
+    left.for_each_owned(|record| {
         left_groups
-            .entry(Key::extract(record, left_key))
+            .entry(Key::extract(&record, left_key))
             .or_default()
-            .push(record.clone());
-    }
+            .push(record);
+    });
     let mut right_groups: FxHashMap<Key, Vec<Record>> = FxHashMap::default();
-    for record in right {
+    right.for_each_owned(|record| {
         right_groups
-            .entry(Key::extract(record, right_key))
+            .entry(Key::extract(&record, right_key))
             .or_default()
-            .push(record.clone());
-    }
+            .push(record);
+    });
     // Emit groups in key order so the output stays deterministic across runs.
     let empty: Vec<Record> = Vec::new();
     if inner {
@@ -1028,6 +1342,73 @@ mod tests {
         b.sort();
         assert_eq!(a, b);
         assert_eq!(a.len(), 13);
+    }
+
+    #[test]
+    fn paged_exchange_routes_like_per_record_exchange() {
+        // The sealed-page exchange must deliver exactly the records a naive
+        // per-record clone-based exchange would, to exactly the same targets.
+        let parallelism = 4;
+        let mut producer: Partitions = vec![Vec::new(); parallelism];
+        for i in 0..1000i64 {
+            producer[(i % parallelism as i64) as usize].push(Record::triple(
+                i.wrapping_mul(0x9E37),
+                i,
+                0.5,
+            ));
+        }
+        let mut expected: Vec<Vec<Record>> = vec![Vec::new(); parallelism];
+        for partition in &producer {
+            for r in partition {
+                expected[partition_for(r, &[0], parallelism)].push(r.clone());
+            }
+        }
+        for owned in [true, false] {
+            let mut stats = ExecutionStats::new();
+            let input = if owned {
+                ProducerInput::Owned(producer.clone())
+            } else {
+                ProducerInput::Shared(Arc::new(producer.clone()))
+            };
+            let exchanged = paged_exchange(input, &[0], parallelism, &mut stats);
+            assert!(
+                stats.shipped_pages > 0,
+                "cross-partition data moves as pages"
+            );
+            assert!(stats.shipped_records > 0);
+            assert_eq!(stats.shipped_records + stats.local_records, 1000);
+            for (target, part) in exchanged.into_iter().enumerate() {
+                let mut received = part.into_records();
+                received.sort();
+                let mut want = expected[target].clone();
+                want.sort();
+                assert_eq!(
+                    received, want,
+                    "partition {target} diverged (owned={owned})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_shares_sealed_pages() {
+        let producer: Partitions = vec![
+            (0..10).map(|i| Record::pair(i, i)).collect(),
+            (10..25).map(|i| Record::pair(i, i)).collect(),
+        ];
+        let mut stats = ExecutionStats::new();
+        let exchanged = broadcast_paged(ProducerInput::Owned(producer), 3, &mut stats);
+        assert_eq!(stats.shipped_records, 25 * 2);
+        assert_eq!(stats.local_records, 25);
+        assert!(stats.shipped_pages > 0);
+        for part in exchanged {
+            let mut records = part.into_records();
+            records.sort();
+            assert_eq!(
+                records,
+                (0..25).map(|i| Record::pair(i, i)).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!
 //! * **Record model** — records are short sequences of [`Value`]s; operators
 //!   address key fields by position ([`record`], [`value`], [`key`]).
+//! * **Serialized pages** — records that cross partition boundaries travel
+//!   as length-prefixed binary data in sealed page buffers, so repartitioning
+//!   moves page pointers and ships bytes, not heap objects ([`page`]).
 //! * **Parallelization Contracts** — `Map`, `Reduce`, `Match`, `Cross`,
 //!   `CoGroup` and `InnerCoGroup` second-order functions wrapping arbitrary
 //!   user code ([`contracts`]).
@@ -51,6 +54,7 @@ pub mod contracts;
 pub mod error;
 pub mod exec;
 pub mod key;
+pub mod page;
 pub mod physical;
 pub mod plan;
 pub mod record;
@@ -66,6 +70,7 @@ pub mod prelude {
     pub use crate::error::{DataflowError, Result};
     pub use crate::exec::{ExecutionResult, Executor, IntermediateCache, Partition, Partitions};
     pub use crate::key::{FxBuildHasher, FxHashMap, Key, KeyFields, KeyValues};
+    pub use crate::page::{ExchangedPartition, PageReader, PageWriter, RecordPage, RecordView};
     pub use crate::physical::{
         default_physical_plan, LocalStrategy, PhysicalChoice, PhysicalPlan, ShipStrategy,
     };

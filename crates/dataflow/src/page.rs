@@ -1,0 +1,720 @@
+//! Serialized record pages: the binary wire format of the engine.
+//!
+//! The Stratosphere runtime the paper builds on never routes heap objects
+//! between workers: records travel as length-prefixed binary data inside
+//! page-sized buffers, which is what makes repartitioning a `memcpy`, lets
+//! sort and merge operate on normalized binary keys, and allows intermediate
+//! results to spill to disk.  This module is that representation:
+//!
+//! * [`RecordPage`] — an immutable, sealed byte buffer holding a run of
+//!   length-prefixed serialized records.  Sealed pages are shared and moved
+//!   as pointers ([`std::sync::Arc`]); the bytes themselves are written once.
+//! * [`PageWriter`] — serializes [`Record`]s into pages, sealing a page when
+//!   the next record would overflow the page capacity.
+//! * [`PageReader`] / [`RecordView`] — iterate the records of a sealed page
+//!   lazily, either materializing owned [`Record`]s or reading individual
+//!   fields straight out of the page bytes without allocating.
+//! * [`ExchangedPartition`] — what one worker partition receives from an
+//!   exchange: records that never left the partition (moved as heap objects,
+//!   like a chained local forward) plus the sealed pages shipped from peer
+//!   partitions.
+//!
+//! # Wire format
+//!
+//! Every record is framed as a little-endian `u32` payload length followed by
+//! the concatenated field encodings; each field is a type tag byte followed
+//! by its payload:
+//!
+//! | tag | variant                  | payload                                    |
+//! |-----|--------------------------|--------------------------------------------|
+//! | 0   | [`Value::Null`]          | none                                       |
+//! | 1   | [`Value::Bool`]          | 1 byte (0 or 1)                            |
+//! | 2   | [`Value::Long`]          | 8 bytes, big-endian, sign bit flipped      |
+//! | 3   | [`Value::Double`]        | 8 bytes, big-endian, total-order encoded   |
+//! | 4   | [`Value::Text`]          | `u32` LE byte length + UTF-8 bytes         |
+//!
+//! The `Long` payload is a **normalized key**: flipping the sign bit and
+//! storing big-endian makes an unsigned byte-wise comparison of the 8 bytes
+//! agree with the numeric `i64` order, so a future sort/merge can compare
+//! records by `memcmp` on the key prefix without deserializing
+//! ([`RecordView::normalized_long_prefix`]).  `Double` payloads use the
+//! standard total-order trick (negative values flip all bits, positive values
+//! flip only the sign bit), matching [`f64::total_cmp`].
+//!
+//! [`Value::estimated_bytes`] and [`Record::estimated_bytes`] return the
+//! *exact* serialized width of this format; the writer uses them to decide
+//! whether a record fits into the open page before serializing it.
+
+use crate::record::Record;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Default capacity of one page in bytes (the 32 KiB buffer size used by the
+/// Stratosphere/Flink runtimes this reproduces).
+pub const DEFAULT_PAGE_BYTES: usize = 32 * 1024;
+
+/// Number of bytes of the per-record length prefix.
+pub const RECORD_FRAME_BYTES: usize = 4;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_LONG: u8 = 2;
+const TAG_DOUBLE: u8 = 3;
+const TAG_TEXT: u8 = 4;
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+/// Encodes an `i64` as its order-preserving normalized form: big-endian with
+/// the sign bit flipped, so unsigned byte-wise comparison equals numeric
+/// comparison.
+#[inline]
+pub fn normalize_long(v: i64) -> [u8; 8] {
+    ((v as u64) ^ (1 << 63)).to_be_bytes()
+}
+
+/// Inverse of [`normalize_long`].
+#[inline]
+pub fn denormalize_long(bytes: [u8; 8]) -> i64 {
+    (u64::from_be_bytes(bytes) ^ (1 << 63)) as i64
+}
+
+/// Encodes an `f64` so unsigned byte-wise comparison of the result equals
+/// [`f64::total_cmp`] ordering.
+#[inline]
+fn normalize_double(v: f64) -> [u8; 8] {
+    let bits = v.to_bits();
+    let flipped = if bits >> 63 == 1 {
+        !bits // negative: flip everything so more-negative sorts first
+    } else {
+        bits ^ (1 << 63) // positive: flip the sign bit above all negatives
+    };
+    flipped.to_be_bytes()
+}
+
+/// Inverse of [`normalize_double`].
+#[inline]
+fn denormalize_double(bytes: [u8; 8]) -> f64 {
+    let flipped = u64::from_be_bytes(bytes);
+    let bits = if flipped >> 63 == 0 {
+        !flipped
+    } else {
+        flipped ^ (1 << 63)
+    };
+    f64::from_bits(bits)
+}
+
+#[inline]
+fn serialize_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(v) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*v));
+        }
+        Value::Long(v) => {
+            out.push(TAG_LONG);
+            out.extend_from_slice(&normalize_long(*v));
+        }
+        Value::Double(v) => {
+            out.push(TAG_DOUBLE);
+            out.extend_from_slice(&normalize_double(*v));
+        }
+        Value::Text(s) => {
+            out.push(TAG_TEXT);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Serializes one record (length prefix plus field encodings) onto `out`.
+/// The number of bytes appended is exactly [`Record::estimated_bytes`].
+pub fn serialize_record(record: &Record, out: &mut Vec<u8>) {
+    let width = record.estimated_bytes();
+    out.reserve(width);
+    let payload = (width - RECORD_FRAME_BYTES) as u32;
+    out.extend_from_slice(&payload.to_le_bytes());
+    let start = out.len();
+    for value in record.fields() {
+        serialize_value(value, out);
+    }
+    debug_assert_eq!(
+        out.len() - start,
+        payload as usize,
+        "estimated_bytes must equal the serialized width"
+    );
+}
+
+#[inline]
+fn read_array<const N: usize>(bytes: &[u8], offset: &mut usize) -> [u8; N] {
+    let end = *offset + N;
+    let chunk: [u8; N] = bytes[*offset..end]
+        .try_into()
+        .expect("slice bounds checked by caller");
+    *offset = end;
+    chunk
+}
+
+/// Decodes the field at `offset`, advancing it past the field.
+fn deserialize_value(bytes: &[u8], offset: &mut usize) -> Value {
+    let tag = bytes[*offset];
+    *offset += 1;
+    match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => {
+            let v = bytes[*offset] != 0;
+            *offset += 1;
+            Value::Bool(v)
+        }
+        TAG_LONG => Value::Long(denormalize_long(read_array(bytes, offset))),
+        TAG_DOUBLE => Value::Double(denormalize_double(read_array(bytes, offset))),
+        TAG_TEXT => {
+            let len = u32::from_le_bytes(read_array(bytes, offset)) as usize;
+            let end = *offset + len;
+            let s = std::str::from_utf8(&bytes[*offset..end])
+                .expect("pages store valid UTF-8 text fields");
+            *offset = end;
+            Value::Text(s.to_owned())
+        }
+        other => panic!("corrupt page: unknown value tag {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pages
+// ---------------------------------------------------------------------------
+
+/// An immutable, sealed buffer of length-prefixed serialized records.
+///
+/// Pages are produced by a [`PageWriter`], after which their bytes never
+/// change; the exchange paths move or share them as `Arc<RecordPage>`
+/// pointers, so routing a sealed page between partitions costs a pointer
+/// copy regardless of how many records it holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordPage {
+    buf: Vec<u8>,
+    records: usize,
+}
+
+impl RecordPage {
+    /// Number of records in the page.
+    #[inline]
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// True if the page holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Number of serialized bytes (frames included).
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// A cursor over the records of the page.
+    #[inline]
+    pub fn reader(&self) -> PageReader<'_> {
+        PageReader {
+            bytes: &self.buf,
+            offset: 0,
+            remaining: self.records,
+        }
+    }
+}
+
+/// Serializes records into a sequence of sealed [`RecordPage`]s.
+///
+/// The writer keeps one open page; pushing a record that would not fit seals
+/// the open page and starts a new one.  A record wider than the page capacity
+/// gets a private oversized page, so arbitrarily large records round-trip.
+#[derive(Debug)]
+pub struct PageWriter {
+    page_bytes: usize,
+    sealed: Vec<Arc<RecordPage>>,
+    buf: Vec<u8>,
+    records: usize,
+    total_records: usize,
+    total_bytes: usize,
+}
+
+impl Default for PageWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageWriter {
+    /// A writer producing pages of [`DEFAULT_PAGE_BYTES`] capacity.
+    pub fn new() -> Self {
+        Self::with_page_bytes(DEFAULT_PAGE_BYTES)
+    }
+
+    /// A writer producing pages of the given capacity (useful in tests to
+    /// force records to straddle page boundaries).
+    pub fn with_page_bytes(page_bytes: usize) -> Self {
+        PageWriter {
+            page_bytes: page_bytes.max(RECORD_FRAME_BYTES + 1),
+            sealed: Vec::new(),
+            buf: Vec::new(),
+            records: 0,
+            total_records: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Serializes one record into the open page, sealing first if it would
+    /// overflow.  Returns the serialized width in bytes.
+    pub fn push(&mut self, record: &Record) -> usize {
+        // `estimated_bytes` is the exact serialized width of the binary
+        // format, so the fit check never needs a rollback.
+        let width = record.estimated_bytes();
+        if !self.buf.is_empty() && self.buf.len() + width > self.page_bytes {
+            self.seal();
+        }
+        serialize_record(record, &mut self.buf);
+        self.records += 1;
+        self.total_records += 1;
+        self.total_bytes += width;
+        width
+    }
+
+    /// Seals the open page (a no-op when it is empty).
+    pub fn seal(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let buf = std::mem::take(&mut self.buf);
+        let records = std::mem::replace(&mut self.records, 0);
+        self.sealed.push(Arc::new(RecordPage { buf, records }));
+    }
+
+    /// Records written so far (sealed and open pages).
+    #[inline]
+    pub fn total_records(&self) -> usize {
+        self.total_records
+    }
+
+    /// Serialized bytes written so far (sealed and open pages).
+    #[inline]
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// True if nothing has been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total_records == 0
+    }
+
+    /// Seals the open page and returns all pages.
+    pub fn finish(mut self) -> Vec<Arc<RecordPage>> {
+        self.seal();
+        self.sealed
+    }
+}
+
+/// A cursor over the records of one page, yielding lazy [`RecordView`]s.
+#[derive(Debug, Clone)]
+pub struct PageReader<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    remaining: usize,
+}
+
+impl<'a> PageReader<'a> {
+    /// Records not yet read.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl<'a> Iterator for PageReader<'a> {
+    type Item = RecordView<'a>;
+
+    fn next(&mut self) -> Option<RecordView<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let len = u32::from_le_bytes(read_array(self.bytes, &mut self.offset)) as usize;
+        let end = self.offset + len;
+        let payload = &self.bytes[self.offset..end];
+        self.offset = end;
+        Some(RecordView { payload })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PageReader<'_> {}
+
+/// A borrowed view of one serialized record inside a page.
+///
+/// Fields can be materialized ([`RecordView::materialize`] /
+/// [`RecordView::read_into`]) or read in place without allocating
+/// ([`RecordView::long`], [`RecordView::normalized_long_prefix`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RecordView<'a> {
+    payload: &'a [u8],
+}
+
+impl RecordView<'_> {
+    /// Serialized payload width in bytes (without the length prefix).
+    #[inline]
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Deserializes the record into a fresh [`Record`].
+    pub fn materialize(&self) -> Record {
+        let mut record = Record::empty();
+        self.read_into(&mut record);
+        record
+    }
+
+    /// Deserializes the record into `target`, reusing its field buffer (the
+    /// receive-side scratch-record pattern: iterating a page this way
+    /// allocates nothing for fixed-width fields once the buffer has warmed
+    /// up).
+    pub fn read_into(&self, target: &mut Record) {
+        target.clear();
+        let mut offset = 0;
+        while offset < self.payload.len() {
+            target.push(deserialize_value(self.payload, &mut offset));
+        }
+    }
+
+    /// Reads the `i64` stored in field `idx` straight from the page bytes,
+    /// panicking if the field is missing or not a `Long` (the same contract
+    /// as [`Record::long`]).
+    pub fn long(&self, idx: usize) -> i64 {
+        let mut offset = 0;
+        let mut field = 0;
+        while offset < self.payload.len() {
+            if field == idx {
+                assert_eq!(
+                    self.payload[offset], TAG_LONG,
+                    "expected Long value in page field {idx}"
+                );
+                offset += 1;
+                return denormalize_long(read_array(self.payload, &mut offset));
+            }
+            skip_value(self.payload, &mut offset);
+            field += 1;
+        }
+        panic!("page record has no field {idx}");
+    }
+
+    /// The 8-byte normalized (order-preserving) encoding of the first field
+    /// if it is a `Long` — the binary sort key of the record.  `None` when
+    /// the record is empty or its first field has another type.
+    pub fn normalized_long_prefix(&self) -> Option<[u8; 8]> {
+        if self.payload.first() != Some(&TAG_LONG) {
+            return None;
+        }
+        let mut offset = 1;
+        Some(read_array(self.payload, &mut offset))
+    }
+}
+
+/// Advances `offset` past the field starting there.
+fn skip_value(bytes: &[u8], offset: &mut usize) {
+    let tag = bytes[*offset];
+    *offset += 1;
+    *offset += match tag {
+        TAG_NULL => 0,
+        TAG_BOOL => 1,
+        TAG_LONG | TAG_DOUBLE => 8,
+        TAG_TEXT => u32::from_le_bytes(read_array(bytes, offset)) as usize,
+        other => panic!("corrupt page: unknown value tag {other}"),
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Exchanged partitions
+// ---------------------------------------------------------------------------
+
+/// The post-exchange input of one worker partition.
+///
+/// Records that were already in the right partition stay heap objects and are
+/// moved (a local forward never serializes, exactly like a chained operator
+/// in the real runtime); records from peer partitions arrive as sealed,
+/// shared pages.  Consumers either iterate everything by reference with a
+/// reusable scratch record ([`ExchangedPartition::for_each_ref`]) or take
+/// ownership ([`ExchangedPartition::into_records`] /
+/// [`ExchangedPartition::for_each_owned`]).
+#[derive(Debug, Default)]
+pub struct ExchangedPartition {
+    local: Vec<Record>,
+    pages: Vec<Arc<RecordPage>>,
+}
+
+impl ExchangedPartition {
+    /// A partition holding only local (never serialized) records.
+    pub fn from_records(local: Vec<Record>) -> Self {
+        ExchangedPartition {
+            local,
+            pages: Vec::new(),
+        }
+    }
+
+    /// A partition built from local records plus received pages.
+    pub fn new(local: Vec<Record>, pages: Vec<Arc<RecordPage>>) -> Self {
+        ExchangedPartition { local, pages }
+    }
+
+    /// Appends sealed pages received from a peer partition (pointer moves).
+    pub fn receive_pages(&mut self, pages: impl IntoIterator<Item = Arc<RecordPage>>) {
+        self.pages.extend(pages);
+    }
+
+    /// Total records (local plus paged).
+    pub fn record_count(&self) -> usize {
+        self.local.len() + self.pages.iter().map(|p| p.record_count()).sum::<usize>()
+    }
+
+    /// True if the partition received nothing.
+    pub fn is_empty(&self) -> bool {
+        self.local.is_empty() && self.pages.iter().all(|p| p.is_empty())
+    }
+
+    /// Number of sealed pages received from peers.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Calls `f` for every record: local records by reference, page records
+    /// through one scratch record that is reused across calls (no per-record
+    /// allocation for fixed-width fields).
+    pub fn for_each_ref(&self, mut f: impl FnMut(&Record)) {
+        for record in &self.local {
+            f(record);
+        }
+        let mut scratch = Record::empty();
+        for page in &self.pages {
+            for view in page.reader() {
+                view.read_into(&mut scratch);
+                f(&scratch);
+            }
+        }
+    }
+
+    /// Calls `f` with every record owned: local records are moved out, page
+    /// records are materialized.
+    pub fn for_each_owned(self, mut f: impl FnMut(Record)) {
+        for record in self.local {
+            f(record);
+        }
+        for page in &self.pages {
+            for view in page.reader() {
+                f(view.materialize());
+            }
+        }
+    }
+
+    /// Materializes the whole partition into owned records (local records
+    /// moved, page records deserialized).
+    pub fn into_records(self) -> Vec<Record> {
+        let mut records = self.local;
+        records.reserve(self.pages.iter().map(|p| p.record_count()).sum());
+        for page in &self.pages {
+            for view in page.reader() {
+                records.push(view.materialize());
+            }
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::pair(1, -1),
+            Record::new(vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Long(i64::MIN),
+                Value::Double(-0.0),
+                Value::Text("héllo 日本語 🦀".into()),
+            ]),
+            Record::empty(),
+            Record::long_double(i64::MAX, f64::NAN),
+            Record::new(vec![Value::Text(String::new())]),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_every_variant() {
+        let records = sample_records();
+        let mut writer = PageWriter::new();
+        for r in &records {
+            writer.push(r);
+        }
+        let pages = writer.finish();
+        let read: Vec<Record> = pages
+            .iter()
+            .flat_map(|p| p.reader().map(|v| v.materialize()))
+            .collect();
+        assert_eq!(read, records);
+    }
+
+    #[test]
+    fn serialized_width_equals_estimated_bytes() {
+        for r in sample_records() {
+            let mut buf = Vec::new();
+            serialize_record(&r, &mut buf);
+            assert_eq!(buf.len(), r.estimated_bytes(), "width mismatch for {r}");
+        }
+    }
+
+    #[test]
+    fn tiny_pages_straddle_boundaries() {
+        let records: Vec<Record> = (0..100).map(|i| Record::pair(i, i * 3)).collect();
+        // 40 bytes per page: one 22-byte (long, long) record fits, two do not.
+        let mut writer = PageWriter::with_page_bytes(40);
+        for r in &records {
+            writer.push(r);
+        }
+        let pages = writer.finish();
+        assert_eq!(pages.len(), 100, "each page holds exactly one record");
+        let read: Vec<Record> = pages
+            .iter()
+            .flat_map(|p| p.reader().map(|v| v.materialize()))
+            .collect();
+        assert_eq!(read, records);
+    }
+
+    #[test]
+    fn oversized_records_get_a_private_page() {
+        let big = Record::new(vec![Value::Text("x".repeat(1000))]);
+        let mut writer = PageWriter::with_page_bytes(64);
+        writer.push(&Record::pair(1, 2));
+        writer.push(&big);
+        writer.push(&Record::pair(3, 4));
+        let pages = writer.finish();
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[1].record_count(), 1);
+        assert!(pages[1].byte_len() > 64);
+        assert_eq!(pages[1].reader().next().unwrap().materialize(), big);
+    }
+
+    #[test]
+    fn normalized_long_encoding_preserves_order() {
+        let samples = [i64::MIN, -1_000_000, -1, 0, 1, 7, 1_000_000, i64::MAX];
+        for &a in &samples {
+            assert_eq!(denormalize_long(normalize_long(a)), a);
+            for &b in &samples {
+                assert_eq!(
+                    normalize_long(a).cmp(&normalize_long(b)),
+                    a.cmp(&b),
+                    "normalized order diverged for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_double_encoding_matches_total_cmp() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            2.25,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for &a in &samples {
+            assert_eq!(
+                denormalize_double(normalize_double(a)).to_bits(),
+                a.to_bits()
+            );
+            for &b in &samples {
+                assert_eq!(
+                    normalize_double(a).cmp(&normalize_double(b)),
+                    a.total_cmp(&b),
+                    "normalized order diverged for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn record_view_reads_fields_in_place() {
+        let mut writer = PageWriter::new();
+        writer.push(&Record::triple(-42, 7, 0.5));
+        let pages = writer.finish();
+        let page = &pages[0];
+        let view = page.reader().next().unwrap();
+        assert_eq!(view.long(0), -42);
+        assert_eq!(view.long(1), 7);
+        assert_eq!(
+            view.normalized_long_prefix(),
+            Some(normalize_long(-42)),
+            "first long field doubles as the normalized sort key"
+        );
+        // Byte-compare of prefixes orders records without deserializing.
+        let mut w2 = PageWriter::new();
+        w2.push(&Record::pair(5, 0));
+        let p2 = w2.finish();
+        let v2 = p2[0].reader().next().unwrap();
+        assert!(view.normalized_long_prefix() < v2.normalized_long_prefix());
+    }
+
+    #[test]
+    fn exchanged_partition_mixes_local_and_paged_records() {
+        let mut writer = PageWriter::new();
+        writer.push(&Record::pair(10, 11));
+        writer.push(&Record::pair(12, 13));
+        let part = ExchangedPartition::new(vec![Record::pair(1, 2)], writer.finish());
+        assert_eq!(part.record_count(), 3);
+        assert_eq!(part.page_count(), 1);
+        let mut seen = Vec::new();
+        part.for_each_ref(|r| seen.push(r.clone()));
+        assert_eq!(
+            seen,
+            vec![
+                Record::pair(1, 2),
+                Record::pair(10, 11),
+                Record::pair(12, 13)
+            ]
+        );
+        assert_eq!(part.into_records(), seen);
+    }
+
+    #[test]
+    fn writer_counts_records_and_bytes() {
+        let mut writer = PageWriter::new();
+        assert!(writer.is_empty());
+        let w = writer.push(&Record::pair(1, 2));
+        assert_eq!(w, Record::pair(1, 2).estimated_bytes());
+        writer.push(&Record::pair(3, 4));
+        assert_eq!(writer.total_records(), 2);
+        assert_eq!(writer.total_bytes(), 2 * w);
+        let pages = writer.finish();
+        assert_eq!(pages.len(), 1);
+        assert_eq!(pages[0].record_count(), 2);
+        assert_eq!(pages[0].byte_len(), 2 * w);
+    }
+
+    #[test]
+    fn empty_writer_produces_no_pages() {
+        assert!(PageWriter::new().finish().is_empty());
+        let mut w = PageWriter::new();
+        w.seal();
+        assert!(w.finish().is_empty());
+    }
+}

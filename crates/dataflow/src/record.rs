@@ -91,6 +91,13 @@ impl Record {
         self.fields.push(value);
     }
 
+    /// Removes all fields, keeping the allocation.  Used by the page readers
+    /// to reuse one scratch record across deserializations.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.fields.clear();
+    }
+
     /// Borrow the underlying fields.
     #[inline]
     pub fn fields(&self) -> &[Value] {
@@ -119,15 +126,17 @@ impl Record {
         }
     }
 
-    /// Estimated serialized size in bytes (used for shipped-bytes accounting
-    /// and the optimizer's cost model).
+    /// The **exact** serialized size of this record in bytes under the
+    /// binary page format of [`crate::page`]: the 4-byte length prefix plus
+    /// each field's width.  Used for shipped-bytes accounting, the
+    /// optimizer's cost model, and the page writer's fit check.
     pub fn estimated_bytes(&self) -> usize {
-        // 4 bytes of framing plus each field's payload estimate.
-        4 + self
-            .fields
-            .iter()
-            .map(Value::estimated_bytes)
-            .sum::<usize>()
+        crate::page::RECORD_FRAME_BYTES
+            + self
+                .fields
+                .iter()
+                .map(Value::estimated_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -204,7 +213,38 @@ mod tests {
     #[test]
     fn estimated_bytes_sums_fields() {
         let r = Record::pair(1, 2);
-        assert_eq!(r.estimated_bytes(), 4 + 8 + 8);
+        assert_eq!(r.estimated_bytes(), 4 + 9 + 9);
+    }
+
+    #[test]
+    fn estimated_bytes_is_the_exact_serialized_width() {
+        // The estimate doubles as the fit check of the page writer, so it
+        // must equal the serialized length for every variant, fixed-width
+        // and variable-width alike.
+        let records = [
+            Record::pair(1, -1),
+            Record::long_double(7, 0.25),
+            Record::new(vec![
+                Value::Null,
+                Value::Bool(false),
+                Value::Text("多字节 ✓".into()),
+            ]),
+            Record::empty(),
+        ];
+        for r in records {
+            let mut buf = Vec::new();
+            crate::page::serialize_record(&r, &mut buf);
+            assert_eq!(buf.len(), r.estimated_bytes(), "width mismatch for {r}");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_the_record_usable() {
+        let mut r = Record::pair(1, 2);
+        r.clear();
+        assert_eq!(r.arity(), 0);
+        r.push(Value::Long(9));
+        assert_eq!(r.long(0), 9);
     }
 
     #[test]

@@ -34,8 +34,12 @@ pub struct ExecutionStats {
     /// Records that moved to a different partition than the one that produced
     /// them (hash/range repartitioning) or were replicated (broadcast).
     pub shipped_records: usize,
-    /// Estimated bytes of the shipped records.
+    /// Serialized bytes of the shipped records (exact under the binary page
+    /// format, see [`crate::page`]).
     pub shipped_bytes: usize,
+    /// Sealed record pages moved (or, for broadcast, shared) across
+    /// partition boundaries.
+    pub shipped_pages: usize,
     /// Records that stayed within their partition (forward shipping).
     pub local_records: usize,
     /// Number of input edges served from the loop-invariant cache instead of
@@ -90,6 +94,7 @@ impl ExecutionStats {
         }
         self.shipped_records += other.shipped_records;
         self.shipped_bytes += other.shipped_bytes;
+        self.shipped_pages += other.shipped_pages;
         self.local_records += other.local_records;
         self.cache_hits += other.cache_hits;
         self.elapsed += other.elapsed;
@@ -138,6 +143,7 @@ mod tests {
             }],
             shipped_records: 10,
             shipped_bytes: 100,
+            shipped_pages: 2,
             local_records: 3,
             cache_hits: 1,
             elapsed: Duration::from_millis(7),

@@ -96,15 +96,17 @@ impl Value {
         }
     }
 
-    /// An estimate of the serialized width of this value in bytes, used by
-    /// the optimizer's cost model and by the runtime's shipped-bytes counter.
+    /// The **exact** serialized width of this value in bytes under the binary
+    /// page format of [`crate::page`] (one tag byte plus the payload; text
+    /// adds a 4-byte length).  Used by the optimizer's cost model, the
+    /// runtime's shipped-bytes counter, and the page writer's fit check.
     pub fn estimated_bytes(&self) -> usize {
         match self {
             Value::Null => 1,
-            Value::Bool(_) => 1,
-            Value::Long(_) => 8,
-            Value::Double(_) => 8,
-            Value::Text(s) => 4 + s.len(),
+            Value::Bool(_) => 2,
+            Value::Long(_) => 9,
+            Value::Double(_) => 9,
+            Value::Text(s) => 1 + 4 + s.len(),
         }
     }
 }
@@ -261,8 +263,10 @@ mod tests {
 
     #[test]
     fn estimated_bytes_reflects_payload() {
-        assert_eq!(Value::Long(1).estimated_bytes(), 8);
-        assert_eq!(Value::Text("abcd".into()).estimated_bytes(), 8);
+        assert_eq!(Value::Long(1).estimated_bytes(), 9);
+        assert_eq!(Value::Double(0.5).estimated_bytes(), 9);
+        assert_eq!(Value::Bool(true).estimated_bytes(), 2);
+        assert_eq!(Value::Text("abcd".into()).estimated_bytes(), 9);
         assert_eq!(Value::Null.estimated_bytes(), 1);
     }
 

@@ -2,7 +2,7 @@
 //!
 //! Provides the graphs the iterative algorithms run on:
 //!
-//! * [`graph`] — an immutable CSR [`Graph`](graph::Graph) with a sequential
+//! * [`graph`] — an immutable CSR [`Graph`] with a sequential
 //!   union-find connected-components oracle used for testing.
 //! * [`generators`] — synthetic generators (R-MAT power-law graphs, chains,
 //!   rings, stars, Erdős–Rényi) standing in for the paper's non-redistributable

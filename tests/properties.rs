@@ -7,8 +7,11 @@
 //! case is reproducible: the case index is part of the seed, and assertion
 //! messages name the seed of the failing case.
 
-use algorithms::{cc_async, cc_incremental, cc_microstep, oracles, sssp, ComponentsConfig};
+use algorithms::{
+    cc_async, cc_bulk, cc_incremental, cc_microstep, oracles, sssp, ComponentsConfig,
+};
 use dataflow::key::{hash_key, hash_values, partition_for};
+use dataflow::page::{serialize_record, ExchangedPartition, PageWriter};
 use dataflow::prelude::*;
 use graphdata::{Graph, SmallRng, VertexId};
 use spinning_core::prelude::*;
@@ -36,16 +39,25 @@ fn arbitrary_record(rng: &mut SmallRng) -> Record {
             0 => Value::Long(rng.next_u64() as i64),
             1 => Value::Double(rng.gen_f64() * 1e6 - 5e5),
             2 => Value::Bool(rng.gen_index(2) == 0),
-            3 => Value::Text(format!("t{}", rng.gen_index(1000))),
+            // Text mixes single- and multi-byte UTF-8 so the byte-oriented
+            // page format is exercised on non-ASCII boundaries.
+            3 => Value::Text(match rng.gen_index(3) {
+                0 => format!("t{}", rng.gen_index(1000)),
+                1 => format!("日本語·{}", rng.gen_index(100)),
+                _ => format!("🦀✓héllo{}", rng.gen_index(10)),
+            }),
             _ => Value::Null,
         });
     }
     Record::new(fields)
 }
 
-/// Fixpoint equivalence: the incremental, microstep and asynchronous
+/// Fixpoint equivalence: the bulk, incremental, microstep and asynchronous
 /// Connected Components all equal the sequential union-find oracle on
-/// arbitrary graphs.
+/// arbitrary graphs.  Bulk runs through the executor's paged exchange and
+/// the incremental variants through the workset driver's paged superstep
+/// exchange, so this property pins the page path end-to-end against the
+/// oracle.
 #[test]
 fn prop_connected_components_fixpoint_equivalence() {
     for seed in 0..CASES {
@@ -57,6 +69,11 @@ fn prop_connected_components_fixpoint_equivalence() {
             .map(i64::from)
             .collect();
         let config = ComponentsConfig::new(3);
+        assert_eq!(
+            cc_bulk(&graph, &config).unwrap().components,
+            oracle,
+            "bulk CC diverged from oracle (seed {seed})"
+        );
         assert_eq!(
             cc_incremental(&graph, &config).unwrap().components,
             oracle,
@@ -327,5 +344,110 @@ fn prop_partitioned_join_is_complete() {
         let mut actual: Vec<(i64, i64)> = result.iter().map(|r| (r.long(0), r.long(1))).collect();
         actual.sort_unstable();
         assert_eq!(actual, expected, "join incomplete (seed {seed})");
+    }
+}
+
+/// Pages round-trip arbitrary records exactly: every `Value` variant
+/// (including `Null` and multi-byte UTF-8 `Text`), any arity, and page
+/// capacities small enough that records straddle page boundaries.  The
+/// serialized width must equal `estimated_bytes` for every record, since the
+/// page writer's fit check relies on it.
+#[test]
+fn prop_page_round_trip_arbitrary_records() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(9000 + seed);
+        let n = 1 + rng.gen_index(120);
+        let records: Vec<Record> = (0..n).map(|_| arbitrary_record(&mut rng)).collect();
+        // Page capacities from pathologically tiny (every record oversized)
+        // to comfortably large.
+        let page_bytes = [16, 48, 256, 32 * 1024][rng.gen_index(4)];
+        let mut writer = PageWriter::with_page_bytes(page_bytes);
+        for record in &records {
+            let mut buf = Vec::new();
+            serialize_record(record, &mut buf);
+            assert_eq!(
+                buf.len(),
+                record.estimated_bytes(),
+                "estimate is not the serialized width for {record} (seed {seed})"
+            );
+            writer.push(record);
+        }
+        assert_eq!(writer.total_records(), records.len());
+        let pages = writer.finish();
+        let read: Vec<Record> = pages
+            .iter()
+            .flat_map(|page| page.reader().map(|view| view.materialize()))
+            .collect();
+        assert_eq!(
+            read, records,
+            "page round-trip changed records (seed {seed}, page_bytes {page_bytes})"
+        );
+    }
+}
+
+/// The sealed-page exchange delivers exactly the records the plain
+/// `Vec<Record>` exchange would, to the same partitions, for arbitrary
+/// records and parallelisms — including when pages straddle and when the
+/// receive side iterates by reference (the executor's scratch-record path).
+#[test]
+fn prop_paged_exchange_matches_vec_exchange() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(10_000 + seed);
+        let parallelism = 1 + rng.gen_index(7);
+        let n = rng.gen_index(300);
+        let records: Vec<Record> = (0..n).map(|_| arbitrary_record(&mut rng)).collect();
+        let key_fields = vec![0usize];
+
+        // Reference: the pre-page exchange — per-record routing into Vecs.
+        let mut expected: Vec<Vec<Record>> = vec![Vec::new(); parallelism];
+        for record in &records {
+            expected[partition_for(record, &key_fields, parallelism)].push(record.clone());
+        }
+
+        // Paged: producer partitions serialize outbound records, the
+        // exchange moves sealed pages, the receiver reads them back.
+        let sources: Vec<Vec<Record>> = records
+            .chunks((n / parallelism + 1).max(1))
+            .map(|chunk| chunk.to_vec())
+            .collect();
+        let mut received: Vec<ExchangedPartition> = Vec::new();
+        let mut locals: Vec<Vec<Record>> = vec![Vec::new(); parallelism];
+        let mut writers: Vec<Vec<PageWriter>> = (0..parallelism)
+            .map(|_| (0..parallelism).map(|_| PageWriter::new()).collect())
+            .collect();
+        for (src, source) in sources.into_iter().enumerate() {
+            for record in source {
+                let target = partition_for(&record, &key_fields, parallelism);
+                if target == src {
+                    locals[src].push(record);
+                } else {
+                    writers[src][target].push(&record);
+                }
+            }
+        }
+        for local in locals {
+            received.push(ExchangedPartition::from_records(local));
+        }
+        for source_writers in writers {
+            for (target, writer) in source_writers.into_iter().enumerate() {
+                received[target].receive_pages(writer.finish());
+            }
+        }
+
+        for (target, part) in received.into_iter().enumerate() {
+            let mut by_ref: Vec<Record> = Vec::new();
+            part.for_each_ref(|r| by_ref.push(r.clone()));
+            let mut owned = part.into_records();
+            assert_eq!(by_ref.len(), owned.len());
+            by_ref.sort();
+            owned.sort();
+            let mut want = expected[target].clone();
+            want.sort();
+            assert_eq!(
+                owned, want,
+                "paged exchange diverged at partition {target} (seed {seed})"
+            );
+            assert_eq!(by_ref, owned, "ref/owned iteration diverged (seed {seed})");
+        }
     }
 }
