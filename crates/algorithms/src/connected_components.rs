@@ -45,6 +45,10 @@ pub struct ComponentsConfig {
     pub parallelism: usize,
     /// Upper bound on iterations / supersteps.
     pub max_iterations: usize,
+    /// Partition routing of the workset variants (hash by default; range
+    /// routing gives every worker a contiguous vertex-id interval).  The
+    /// bulk variant plans its own exchanges and ignores this.
+    pub routing: WorksetRouting,
 }
 
 impl ComponentsConfig {
@@ -53,6 +57,7 @@ impl ComponentsConfig {
         ComponentsConfig {
             parallelism,
             max_iterations: 100_000,
+            routing: WorksetRouting::Hash,
         }
     }
 
@@ -60,6 +65,13 @@ impl ComponentsConfig {
     /// iterations of Webbase" measurement of Figure 9).
     pub fn with_max_iterations(mut self, max: usize) -> Self {
         self.max_iterations = max;
+        self
+    }
+
+    /// Routes the workset variants' superstep exchange (and the solution
+    /// set) by range splitters instead of hashing.
+    pub fn with_range_routing(mut self) -> Self {
+        self.routing = WorksetRouting::Range;
         self
     }
 }
@@ -216,7 +228,8 @@ fn run_workset(
     let iteration = build_workset_iteration(graph, grouped);
     let workset_config = WorksetConfig::new(config.parallelism)
         .with_mode(mode)
-        .with_max_supersteps(config.max_iterations);
+        .with_max_supersteps(config.max_iterations)
+        .with_routing(config.routing);
     let result = iteration.run(
         initial_components(graph),
         initial_component_candidates(graph),

@@ -61,12 +61,26 @@ fn build_iteration(graph: &Graph) -> WorksetIteration {
 }
 
 /// Runs single-source shortest paths from `source` using the given execution
-/// mode.
+/// mode and hash partition routing.
 pub fn sssp(
     graph: &Graph,
     source: VertexId,
     parallelism: usize,
     mode: ExecutionMode,
+) -> Result<SsspResult> {
+    sssp_with_routing(graph, source, parallelism, mode, WorksetRouting::Hash)
+}
+
+/// Runs single-source shortest paths with an explicit partition routing
+/// scheme — [`WorksetRouting::Range`] gives every worker a contiguous
+/// vertex-id interval (splitters sampled from the initial distance vector)
+/// while producing exactly the same distances.
+pub fn sssp_with_routing(
+    graph: &Graph,
+    source: VertexId,
+    parallelism: usize,
+    mode: ExecutionMode,
+    routing: WorksetRouting,
 ) -> Result<SsspResult> {
     let iteration = build_iteration(graph);
     // S0: the source is at distance 0, everything else unreachable.
@@ -83,7 +97,9 @@ pub fn sssp(
         .iter()
         .map(|&t| Record::pair(i64::from(t), 1))
         .collect();
-    let config = WorksetConfig::new(parallelism).with_mode(mode);
+    let config = WorksetConfig::new(parallelism)
+        .with_mode(mode)
+        .with_routing(routing);
     let result = iteration.run(initial_solution, initial_workset, &config)?;
 
     let mut distances = vec![UNREACHABLE; graph.num_vertices()];

@@ -9,9 +9,10 @@
 //! clone-based exchanges.  The legacy paths are re-implemented here (not
 //! imported) so the comparison stays runnable at any commit.
 
-use dataflow::key::{partition_for, FxHashMap, Key};
+use dataflow::key::{partition_for, sort_by_key, FxHashMap, Key};
 use dataflow::page::{ExchangedPartition, PageWriter};
 use dataflow::prelude::{Record, Value};
+use dataflow::range::{sample_keys_into, sort_by_key_normalized, RangeBounds};
 use spinning_core::prelude::SolutionSet;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -67,11 +68,67 @@ fn partitioned_input() -> Vec<Vec<Record>> {
     parts
 }
 
+/// A genuinely shuffled key sequence for the sort-centric workloads: the
+/// full-width golden-ratio multiply wraps `i64` constantly, so keys arrive
+/// in random order.  ([`routing_input`]'s `i * 0x9E37` never wraps and is
+/// therefore already sorted — a best case that would let the legacy stable
+/// sort finish in one linear merge pass.)
+fn shuffled_input() -> Vec<Record> {
+    (0..ROUTED_RECORDS as i64)
+        .map(|i| Record::pair(i.wrapping_mul(0x9E37_79B9_7F4A_7C15_u64 as i64), i % 64))
+        .collect()
+}
+
+fn shuffled_partitioned_input() -> Vec<Vec<Record>> {
+    let mut parts: Vec<Vec<Record>> = vec![Vec::new(); PARALLELISM];
+    for (i, r) in shuffled_input().into_iter().enumerate() {
+        parts[i % PARALLELISM].push(r);
+    }
+    parts
+}
+
 fn merge_input() -> Vec<Record> {
     // Half the deltas improve the stored value (applied), half do not
     // (discarded) — the mix the incremental CC merge sees.
     (0..ROUTED_RECORDS as i64)
         .map(|i| Record::pair(i % 50_000, i % 97))
+        .collect()
+}
+
+/// Routes a producer through the sealed-page exchange with the given routing
+/// function and materializes every consumer partition — the shared shape of
+/// the sorted-delivery workloads (`range_exchange` and its hash+sort
+/// legacy).
+fn paged_exchange_to_partitions(
+    producer: Vec<Vec<Record>>,
+    router: impl Fn(&Record) -> usize,
+) -> Vec<Vec<Record>> {
+    let mut locals: Vec<Vec<Record>> = (0..PARALLELISM).map(|_| Vec::new()).collect();
+    let mut routed: Vec<Vec<PageWriter>> = Vec::with_capacity(PARALLELISM);
+    for (src, partition) in producer.into_iter().enumerate() {
+        let mut writers: Vec<PageWriter> = (0..PARALLELISM).map(|_| PageWriter::new()).collect();
+        for r in partition {
+            let target = router(&r);
+            if target == src {
+                locals[src].push(r);
+            } else {
+                writers[target].push(&r);
+            }
+        }
+        routed.push(writers);
+    }
+    let mut received: Vec<ExchangedPartition> = locals
+        .into_iter()
+        .map(ExchangedPartition::from_records)
+        .collect();
+    for writers in routed {
+        for (target, writer) in writers.into_iter().enumerate() {
+            received[target].receive_pages(writer.finish());
+        }
+    }
+    received
+        .into_iter()
+        .map(ExchangedPartition::into_records)
         .collect()
 }
 
@@ -229,6 +286,70 @@ pub fn comparisons() -> Vec<Comparison> {
         current,
     });
 
+    // 2c. The sort behind sorted-output delivery: order 400k records by
+    //     their Long key.  The legacy side is the stable Value-comparison
+    //     sort every sort-based local strategy used; the current side is the
+    //     8-byte memcmp sort on normalized key prefixes (same permutation —
+    //     ties keep input order via the index tiebreak).
+    let legacy = Box::new(move || {
+        let mut records = shuffled_input();
+        sort_by_key(&mut records, &[0]);
+        black_box(records);
+    });
+    let current = Box::new(move || {
+        let mut records = shuffled_input();
+        sort_by_key_normalized(&mut records, &[0]);
+        black_box(records);
+    });
+    all.push(Comparison {
+        name: "memcmp_sort",
+        description: "sort 400k records by Long key (Value comparator vs normalized 8-byte memcmp)",
+        legacy,
+        current,
+    });
+
+    // 2d. Delivering *sorted* partitions: what a plan that needs sorted
+    //     output per partition pays.  The legacy side is the pre-range state
+    //     of the art — hash-partition through sealed pages, then sort every
+    //     consumer partition with the Value comparator.  The current side is
+    //     the true range exchange: sample splitters, route by binary search,
+    //     ship pages, memcmp-sort each partition — and unlike the hash side
+    //     it additionally delivers a *global* order across partitions.
+    let legacy = Box::new(move || {
+        let producer = shuffled_partitioned_input();
+        let mut received =
+            paged_exchange_to_partitions(producer, |r| partition_for(r, &[0], PARALLELISM));
+        let mut acc = 0i64;
+        for part in received.iter_mut() {
+            sort_by_key(part, &[0]);
+            acc = acc.wrapping_add(part.first().map(|r| r.long(0)).unwrap_or(0));
+        }
+        black_box(acc);
+    });
+    let current = Box::new(move || {
+        let producer = shuffled_partitioned_input();
+        let mut sample = Vec::new();
+        for partition in &producer {
+            sample_keys_into(&mut sample, partition, &[0]);
+        }
+        let bounds = RangeBounds::from_sample(sample, PARALLELISM);
+        let mut received =
+            paged_exchange_to_partitions(producer, |r| bounds.partition_for_record(r, &[0]));
+        let mut acc = 0i64;
+        for part in received.iter_mut() {
+            sort_by_key_normalized(part, &[0]);
+            acc = acc.wrapping_add(part.first().map(|r| r.long(0)).unwrap_or(0));
+        }
+        black_box(acc);
+    });
+    all.push(Comparison {
+        name: "range_exchange",
+        description:
+            "deliver 400k records sorted per partition (hash pages + Value sort vs sampled splitters + memcmp sort)",
+        legacy,
+        current,
+    });
+
     // 3. Key extraction into a grouping hash table.
     let data = Arc::clone(&input);
     let legacy = Box::new(move || {
@@ -358,6 +479,52 @@ mod tests {
             (c.legacy)();
             (c.current)();
         }
+    }
+
+    #[test]
+    fn sorted_delivery_workloads_agree_on_the_result() {
+        // The legacy (hash + Value sort) and current (range + memcmp sort)
+        // sorted-delivery paths must produce per-partition sorted runs over
+        // the same global multiset; the range side is additionally globally
+        // sorted across partitions.
+        let producer: Vec<Vec<Record>> = {
+            let mut parts: Vec<Vec<Record>> = vec![Vec::new(); PARALLELISM];
+            for i in 0..10_000i64 {
+                parts[(i % PARALLELISM as i64) as usize]
+                    .push(Record::pair(i.wrapping_mul(0x9E37) % 5000, i));
+            }
+            parts
+        };
+        let mut hash_parts =
+            paged_exchange_to_partitions(producer.clone(), |r| partition_for(r, &[0], PARALLELISM));
+        let mut sample = Vec::new();
+        for partition in &producer {
+            sample_keys_into(&mut sample, partition, &[0]);
+        }
+        let bounds = RangeBounds::from_sample(sample, PARALLELISM);
+        let mut range_parts =
+            paged_exchange_to_partitions(producer, |r| bounds.partition_for_record(r, &[0]));
+        for part in hash_parts.iter_mut() {
+            sort_by_key(part, &[0]);
+        }
+        for part in range_parts.iter_mut() {
+            assert!(
+                sort_by_key_normalized(part, &[0]),
+                "Long keys take the memcmp path"
+            );
+        }
+        let ranged: Vec<Record> = range_parts.into_iter().flatten().collect();
+        for window in ranged.windows(2) {
+            assert!(
+                window[0].long(0) <= window[1].long(0),
+                "range side not globally sorted"
+            );
+        }
+        let mut hashed: Vec<Record> = hash_parts.into_iter().flatten().collect();
+        let mut ranged = ranged;
+        hashed.sort();
+        ranged.sort();
+        assert_eq!(hashed, ranged);
     }
 
     #[test]

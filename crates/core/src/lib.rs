@@ -71,7 +71,7 @@ pub mod prelude {
     pub use crate::stats::{IterationRunStats, IterationStats};
     pub use crate::workset::{
         ExecutionMode, ExpandClosure, ExpandFunction, UpdateClosure, UpdateFunction, WorksetConfig,
-        WorksetIteration, WorksetIterationBuilder, WorksetResult,
+        WorksetIteration, WorksetIterationBuilder, WorksetResult, WorksetRouting,
     };
 }
 

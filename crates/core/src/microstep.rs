@@ -18,8 +18,8 @@
 use crate::solution_set::SolutionSet;
 use crate::stats::{IterationRunStats, IterationStats};
 use crate::workset::{WorksetConfig, WorksetIteration, WorksetResult};
-use dataflow::key::{partition_for, FxHashMap};
-use dataflow::prelude::{Key, Record, Result};
+use dataflow::key::FxHashMap;
+use dataflow::prelude::{Key, PartitionRouter, Record, Result};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -45,6 +45,7 @@ pub(crate) fn run_async(
     mut solution: SolutionSet,
     constant_index: Vec<FxHashMap<Key, Vec<Record>>>,
     initial_workset: Vec<Record>,
+    router: &PartitionRouter,
     config: &WorksetConfig,
     start: Instant,
 ) -> Result<WorksetResult> {
@@ -64,7 +65,7 @@ pub(crate) fn run_async(
     // being processed.
     let in_flight = Arc::new(AtomicI64::new(0));
     for record in initial_workset {
-        let target = partition_for(&record, &iteration.workset_key, parallelism);
+        let target = router.route(&record, &iteration.workset_key);
         in_flight.fetch_add(1, Ordering::SeqCst);
         senders[target]
             .send(record)
@@ -133,11 +134,8 @@ pub(crate) fn run_async(
                                         .expand
                                         .expand(applied, matches, &mut expand_buffer);
                                     for new_record in expand_buffer.drain(..) {
-                                        let target = partition_for(
-                                            &new_record,
-                                            &iteration.workset_key,
-                                            parallelism,
-                                        );
+                                        let target =
+                                            router.route(&new_record, &iteration.workset_key);
                                         outcome.messages_sent += 1;
                                         if target != partition {
                                             outcome.messages_shipped += 1;

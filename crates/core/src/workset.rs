@@ -31,9 +31,12 @@
 
 use crate::solution_set::{PartitionIndex, RecordComparator, SolutionSet};
 use crate::stats::{IterationRunStats, IterationStats};
-use dataflow::key::{group_ranges, partition_for, sort_by_key, FxHashMap};
+use dataflow::key::{group_ranges, sort_by_key, FxHashMap};
 use dataflow::page::{PageWriter, RecordPage};
-use dataflow::prelude::{DataflowError, Key, KeyFields, Record, Result};
+use dataflow::prelude::{
+    DataflowError, Key, KeyFields, PartitionRouter, RangeBounds, Record, Result,
+};
+use dataflow::range::sample_keys_into;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -101,6 +104,24 @@ pub enum ExecutionMode {
     AsynchronousMicrostep,
 }
 
+/// How the solution set, the constant input and the superstep candidate
+/// exchange partition their records across the workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorksetRouting {
+    /// Fx-hash routing (the default).
+    #[default]
+    Hash,
+    /// Range routing: one splitter histogram is sampled from the initial
+    /// solution and shared by the solution set, the constant-input index and
+    /// every superstep's candidate exchange, so each worker owns one
+    /// contiguous key interval for the whole run.  Correctness is identical
+    /// to hash routing (equal keys still collocate); what changes is the
+    /// delivered layout — the solution set can be read out range-partitioned
+    /// and per-partition sorted, the interesting property the optimizer
+    /// threads across the loop boundary.
+    Range,
+}
+
 /// Configuration of a workset iteration run.
 #[derive(Debug, Clone, Copy)]
 pub struct WorksetConfig {
@@ -110,6 +131,8 @@ pub struct WorksetConfig {
     pub mode: ExecutionMode,
     /// Safety bound on the number of supersteps.
     pub max_supersteps: usize,
+    /// Partition routing scheme for the solution set and candidate exchange.
+    pub routing: WorksetRouting,
 }
 
 impl WorksetConfig {
@@ -119,6 +142,7 @@ impl WorksetConfig {
             parallelism,
             mode: ExecutionMode::BatchIncremental,
             max_supersteps: 100_000,
+            routing: WorksetRouting::Hash,
         }
     }
 
@@ -132,6 +156,17 @@ impl WorksetConfig {
     pub fn with_max_supersteps(mut self, max: usize) -> Self {
         self.max_supersteps = max;
         self
+    }
+
+    /// Sets the partition routing scheme.
+    pub fn with_routing(mut self, routing: WorksetRouting) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Shorthand for [`WorksetRouting::Range`].
+    pub fn with_range_routing(self) -> Self {
+        self.with_routing(WorksetRouting::Range)
     }
 }
 
@@ -218,15 +253,14 @@ impl WorksetIteration {
             ));
         }
         let start = Instant::now();
-        let mut solution = SolutionSet::from_records(
-            initial_solution,
-            self.solution_key.clone(),
-            config.parallelism,
-        );
+        let router = self.build_router(config, &initial_solution, &initial_workset);
+        let mut solution = SolutionSet::new(self.solution_key.clone(), config.parallelism)
+            .with_router(router.clone());
         if let Some(cmp) = &self.comparator {
             solution = solution.with_comparator(Arc::clone(cmp));
         }
-        let constant_index = self.build_constant_index(config.parallelism);
+        solution.merge_all(initial_solution);
+        let constant_index = self.build_constant_index_routed(&router);
 
         match config.mode {
             ExecutionMode::AsynchronousMicrostep => crate::microstep::run_async(
@@ -234,22 +268,63 @@ impl WorksetIteration {
                 solution,
                 constant_index,
                 initial_workset,
+                &router,
                 config,
                 start,
             ),
-            _ => self.run_supersteps(solution, constant_index, initial_workset, config, start),
+            _ => self.run_supersteps(
+                solution,
+                constant_index,
+                initial_workset,
+                &router,
+                config,
+                start,
+            ),
         }
     }
 
-    /// Partitions and indexes the constant input by its join key — the cached
-    /// hash table of Figure 6.
-    pub(crate) fn build_constant_index(
+    /// Builds the run's partition router.  Range routing samples the initial
+    /// solution (which covers the key space — every vertex has a record) for
+    /// an equi-depth splitter histogram; an empty solution falls back to the
+    /// initial workset, and an empty sample degenerates to one effective
+    /// partition without panicking.  The one router is shared by the
+    /// solution set, the constant-input index and every superstep exchange,
+    /// which is exactly the co-partitioning invariant the partition-local
+    /// update join relies on.
+    fn build_router(
         &self,
-        parallelism: usize,
+        config: &WorksetConfig,
+        initial_solution: &[Record],
+        initial_workset: &[Record],
+    ) -> PartitionRouter {
+        match config.routing {
+            WorksetRouting::Hash => PartitionRouter::hash(config.parallelism),
+            WorksetRouting::Range => {
+                let mut sample = Vec::new();
+                if initial_solution.is_empty() {
+                    sample_keys_into(&mut sample, initial_workset, &self.workset_key);
+                } else {
+                    sample_keys_into(&mut sample, initial_solution, &self.solution_key);
+                }
+                PartitionRouter::range(
+                    Arc::new(RangeBounds::from_sample(sample, config.parallelism)),
+                    config.parallelism,
+                )
+            }
+        }
+    }
+
+    /// Partitions and indexes the constant input with the run's router — the
+    /// cached hash table of Figure 6.  Constant records live in the
+    /// partition their join partners are routed to under either scheme.
+    pub(crate) fn build_constant_index_routed(
+        &self,
+        router: &PartitionRouter,
     ) -> Vec<FxHashMap<Key, Vec<Record>>> {
-        let mut index: Vec<FxHashMap<Key, Vec<Record>>> = vec![FxHashMap::default(); parallelism];
+        let mut index: Vec<FxHashMap<Key, Vec<Record>>> =
+            vec![FxHashMap::default(); router.parallelism()];
         for record in self.constant_input.iter() {
-            let partition = partition_for(record, &self.constant_key, parallelism);
+            let partition = router.route(record, &self.constant_key);
             index[partition]
                 .entry(Key::extract(record, &self.constant_key))
                 .or_default()
@@ -265,6 +340,7 @@ impl WorksetIteration {
         mut solution: SolutionSet,
         constant_index: Vec<FxHashMap<Key, Vec<Record>>>,
         initial_workset: Vec<Record>,
+        router: &PartitionRouter,
         config: &WorksetConfig,
         start: Instant,
     ) -> Result<WorksetResult> {
@@ -279,7 +355,7 @@ impl WorksetIteration {
         // with every partition: a local move, not an exchange, so it is not
         // serialized.
         for record in initial_workset {
-            let partition = partition_for(&record, &self.workset_key, parallelism);
+            let partition = router.route(&record, &self.workset_key);
             queues[partition].records.push(record);
         }
 
@@ -336,7 +412,7 @@ impl WorksetIteration {
                             constant,
                             &comparator,
                             microstep,
-                            parallelism,
+                            router,
                             scratch,
                         ));
                     });
@@ -400,10 +476,10 @@ impl WorksetIteration {
         constant: &FxHashMap<Key, Vec<Record>>,
         comparator: &Option<RecordComparator>,
         microstep: bool,
-        parallelism: usize,
+        router: &PartitionRouter,
         scratch: &mut StepScratch,
     ) -> PartitionOutput {
-        let mut output = PartitionOutput::new(parallelism);
+        let mut output = PartitionOutput::new(router.parallelism());
         let StepScratch {
             expand: expand_buffer,
             deltas,
@@ -433,7 +509,7 @@ impl WorksetIteration {
                 expand_buffer.clear();
                 self.expand.expand(applied, matches, expand_buffer);
                 for record in expand_buffer.drain(..) {
-                    let target = partition_for(&record, &self.workset_key, parallelism);
+                    let target = router.route(&record, &self.workset_key);
                     output.messages_sent += 1;
                     if target == partition {
                         // Stays local: moved as a heap object, like a
@@ -817,6 +893,47 @@ mod tests {
                 check_converged(&result);
             }
         }
+    }
+
+    #[test]
+    fn range_routing_reaches_the_same_fixpoint_in_every_mode() {
+        let iteration = min_propagation();
+        for mode in [
+            ExecutionMode::BatchIncremental,
+            ExecutionMode::Microstep,
+            ExecutionMode::AsynchronousMicrostep,
+        ] {
+            for parallelism in [1, 2, 4, 8] {
+                let (solution, workset) = initial_state();
+                let result = iteration
+                    .run(
+                        solution,
+                        workset,
+                        &WorksetConfig::new(parallelism)
+                            .with_mode(mode)
+                            .with_range_routing(),
+                    )
+                    .unwrap();
+                check_converged(&result);
+                assert!(result.converged, "{mode:?} at parallelism {parallelism}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_routing_with_empty_inputs_does_not_panic() {
+        let iteration = min_propagation();
+        let config = WorksetConfig::new(4).with_range_routing();
+        // Empty solution: splitters come from the workset sample.
+        let result = iteration
+            .run(vec![], vec![Record::pair(1, 5)], &config)
+            .unwrap();
+        assert!(result.converged);
+        // Both empty: the degenerate one-partition histogram terminates
+        // immediately.
+        let result = iteration.run(vec![], vec![], &config).unwrap();
+        assert_eq!(result.supersteps, 0);
+        assert!(result.converged);
     }
 
     #[test]

@@ -31,10 +31,11 @@
 
 use crate::contracts::{Collector, Udf};
 use crate::error::{DataflowError, Result};
-use crate::key::{group_ranges, partition_for, sort_by_key, FxHashMap, Key};
+use crate::key::{group_ranges, partition_for, sort_by_key, FxHashMap, Key, KeyFields};
 use crate::page::{ExchangedPartition, PageWriter, RecordPage};
-use crate::physical::{LocalStrategy, PhysicalPlan, ShipStrategy};
+use crate::physical::{LocalStrategy, PhysicalChoice, PhysicalPlan, ShipStrategy};
 use crate::plan::{Operator, OperatorId, OperatorKind};
+use crate::range::{sample_keys_into, sort_by_key_normalized, RangeBounds};
 use crate::record::Record;
 use crate::stats::{ExecutionStats, OperatorStats};
 use std::borrow::Cow;
@@ -54,7 +55,22 @@ pub type Partitions = Vec<Partition>;
 /// `cache_inputs` are shipped once and then served from here (Section 4.3).
 #[derive(Debug, Default)]
 pub struct IntermediateCache {
-    entries: HashMap<(OperatorId, usize), Arc<Partitions>>,
+    entries: HashMap<(OperatorId, usize), CachedEdge>,
+    /// Range splitters frozen per consuming operator on the first execution.
+    /// Iterative plans re-execute the step plan with the same cache, so
+    /// freezing the splitters here keeps cached (constant-path) and
+    /// re-shipped (dynamic-path) range edges of the same operator routed by
+    /// one histogram — the invariant co-partitioned merge inputs rely on.
+    range_bounds: HashMap<OperatorId, Arc<RangeBounds>>,
+}
+
+/// One cached post-exchange edge: the materialized partitions plus the key
+/// fields they are sorted by (range-partitioned cached edges stay sorted, so
+/// every re-execution can skip the sort).
+#[derive(Debug, Clone)]
+struct CachedEdge {
+    parts: Arc<Partitions>,
+    sorted_by: Option<KeyFields>,
 }
 
 impl IntermediateCache {
@@ -73,9 +89,10 @@ impl IntermediateCache {
         self.entries.is_empty()
     }
 
-    /// Drops all cached edges.
+    /// Drops all cached edges and frozen range histograms.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.range_bounds.clear();
     }
 }
 
@@ -213,7 +230,13 @@ impl Executor {
                 continue;
             }
 
-            // 2. Exchange (or fetch from cache) each input edge.
+            // 2a. All range-partitioned edges of one operator share one
+            // splitter histogram (sampled from their producers, frozen in
+            // the cache across repeated executions), so co-partitioned
+            // inputs of a merge join agree on the key space.
+            let range_bounds = prepare_range_bounds(op, choice, &outputs, cache, parallelism)?;
+
+            // 2b. Exchange (or fetch from cache) each input edge.
             let mut prepared: Vec<PreparedInput> = Vec::with_capacity(op.inputs.len());
             for (slot, &input) in op.inputs.iter().enumerate() {
                 let cache_key = (id, slot);
@@ -224,7 +247,10 @@ impl Executor {
                 if choice.cache_inputs[slot] {
                     if let Some(cached) = cache.entries.get(&cache_key) {
                         stats.cache_hits += 1;
-                        prepared.push(PreparedInput::Shared(Arc::clone(cached)));
+                        prepared.push(PreparedInput::Shared(
+                            Arc::clone(&cached.parts),
+                            cached.sorted_by.clone(),
+                        ));
                         if last_use {
                             outputs.remove(&input);
                         }
@@ -256,16 +282,30 @@ impl Executor {
                     // once and served as shared record partitions — exchanged
                     // as records directly, since serializing them into pages
                     // would be an immediate serialize/deserialize roundtrip.
-                    let shared = Arc::new(cache_exchange_records(
+                    let (parts, sorted_by) = cache_exchange_records(
                         producer,
                         ship,
                         parallelism,
+                        range_bounds.as_deref(),
+                        &mut stats,
+                    );
+                    let shared = Arc::new(parts);
+                    cache.entries.insert(
+                        cache_key,
+                        CachedEdge {
+                            parts: Arc::clone(&shared),
+                            sorted_by: sorted_by.clone(),
+                        },
+                    );
+                    prepared.push(PreparedInput::Shared(shared, sorted_by));
+                } else {
+                    prepared.push(exchange(
+                        producer,
+                        ship,
+                        parallelism,
+                        range_bounds.as_deref(),
                         &mut stats,
                     ));
-                    cache.entries.insert(cache_key, Arc::clone(&shared));
-                    prepared.push(PreparedInput::Shared(shared));
-                } else {
-                    prepared.push(exchange(producer, ship, parallelism, &mut stats));
                 }
             }
 
@@ -278,9 +318,13 @@ impl Executor {
                 .collect();
             for prep in prepared {
                 match prep {
-                    PreparedInput::Shared(parts) => {
+                    PreparedInput::Shared(parts, sorted_by) => {
                         for (p, inputs) in partition_inputs.iter_mut().enumerate() {
-                            inputs.push(LocalInput::Shared(Arc::clone(&parts), p));
+                            inputs.push(LocalInput::Shared(
+                                Arc::clone(&parts),
+                                p,
+                                sorted_by.clone(),
+                            ));
                         }
                     }
                     PreparedInput::Paged(parts) => {
@@ -387,12 +431,81 @@ impl ProducerInput {
 
 /// A post-exchange edge, as handed to the consumer's local phase.
 enum PreparedInput {
-    /// Shared record partitions: forward shipping, cache hits.
-    Shared(Arc<Partitions>),
+    /// Shared record partitions (forward shipping, cache hits) plus the key
+    /// fields they are sorted by, when the exchange that materialized them
+    /// delivered sorted partitions.
+    Shared(Arc<Partitions>, Option<KeyFields>),
     /// One [`ExchangedPartition`] per consumer partition (hash/range
     /// repartitioning and broadcast, i.e. every edge that "touches the
     /// network").
     Paged(Vec<ExchangedPartition>),
+}
+
+/// Builds (or reuses) the shared range histogram of one operator.
+///
+/// All range-partitioned input edges of the operator route through **one**
+/// [`RangeBounds`] built from a combined key sample of their producers:
+/// splitters are key *values*, so the two sides of a merge join — keyed on
+/// different field positions — still agree on which partition owns which key
+/// interval.  The bounds are frozen in the [`IntermediateCache`] so repeated
+/// executions of an iterative step plan keep routing cached constant-path
+/// edges and re-shipped dynamic-path edges consistently (the histogram is
+/// built from the first iteration's data; later skew only affects balance,
+/// never correctness).
+///
+/// Mixing hash- and range-partitioned inputs on a keyed two-input operator
+/// is rejected: the two schemes route the same key to different partitions,
+/// which would silently break the join's co-partitioning invariant.
+fn prepare_range_bounds(
+    op: &Operator,
+    choice: &PhysicalChoice,
+    outputs: &HashMap<OperatorId, Arc<Partitions>>,
+    cache: &mut IntermediateCache,
+    parallelism: usize,
+) -> Result<Option<Arc<RangeBounds>>> {
+    let mut range_edges: Vec<(usize, &KeyFields)> = Vec::new();
+    let mut incompatible_ship = None;
+    for (slot, ship) in choice.input_ships.iter().enumerate() {
+        match ship {
+            ShipStrategy::PartitionRange(keys) => range_edges.push((slot, keys)),
+            // A hash-shipped sibling routes equal keys by a different
+            // function; a forward-shipped sibling carries whatever layout
+            // the upstream operator produced — even if that layout is range
+            // partitioned, it came from a *different* histogram than the one
+            // this operator is about to sample.  Either way the join's
+            // co-partitioning invariant is silently broken, so both are
+            // rejected (broadcast siblings replicate and are always fine).
+            ShipStrategy::PartitionHash(_) => incompatible_ship = Some("hash-partitioned"),
+            ShipStrategy::Forward => incompatible_ship = Some("forwarded"),
+            ShipStrategy::Broadcast => {}
+        }
+    }
+    if range_edges.is_empty() {
+        return Ok(None);
+    }
+    if let (Some(kind), OperatorKind::Match { .. } | OperatorKind::CoGroup { .. }) =
+        (incompatible_ship, &op.kind)
+    {
+        return Err(DataflowError::InvalidPlan(format!(
+            "operator '{}' mixes range-partitioned and {kind} inputs; co-partitioned join \
+             inputs must share one range histogram (range-ship both sides or broadcast one)",
+            op.name
+        )));
+    }
+    if let Some(bounds) = cache.range_bounds.get(&op.id) {
+        return Ok(Some(Arc::clone(bounds)));
+    }
+    let mut sample: Vec<Key> = Vec::new();
+    for &(slot, keys) in &range_edges {
+        if let Some(producer) = outputs.get(&op.inputs[slot]) {
+            for partition in producer.iter() {
+                sample_keys_into(&mut sample, partition, keys);
+            }
+        }
+    }
+    let bounds = Arc::new(RangeBounds::from_sample(sample, parallelism));
+    cache.range_bounds.insert(op.id, Arc::clone(&bounds));
+    Ok(Some(bounds))
 }
 
 /// The record-based exchange used for loop-invariant (cached) edges.  The
@@ -400,13 +513,17 @@ enum PreparedInput {
 /// step-plan execution, so routing them through sealed pages would be an
 /// immediate serialize/deserialize roundtrip; instead records are cloned (or
 /// moved, when owned) straight into their target partitions.  Routing and
-/// shipped/local accounting mirror the paged exchange.
+/// shipped/local accounting mirror the paged exchange; range edges are
+/// additionally sorted once, so every re-execution reads them pre-sorted.
+/// Returns the partitions plus the key fields they are sorted by (range
+/// shipping only).
 fn cache_exchange_records(
     producer: ProducerInput,
     ship: &ShipStrategy,
     parallelism: usize,
+    bounds: Option<&RangeBounds>,
     stats: &mut ExecutionStats,
-) -> Partitions {
+) -> (Partitions, Option<KeyFields>) {
     match ship {
         ShipStrategy::Forward => {
             let total: usize = producer.partitions().iter().map(Vec::len).sum();
@@ -418,16 +535,21 @@ fn cache_exchange_records(
                 }
             };
             parts.resize(parallelism, Vec::new());
-            parts
+            (parts, None)
         }
         ShipStrategy::PartitionHash(keys) | ShipStrategy::PartitionRange(keys) => {
+            let is_range = matches!(ship, ShipStrategy::PartitionRange(_));
+            let bounds = is_range.then(|| bounds.expect("executor built range bounds"));
             let total: usize = producer.partitions().iter().map(Vec::len).sum();
             let per_target = total / parallelism + total / (parallelism * 4).max(1) + 4;
             let mut parts: Partitions = (0..parallelism)
                 .map(|_| Vec::with_capacity(per_target))
                 .collect();
             let mut route = |src: usize, record: Cow<'_, Record>| {
-                let target = partition_for(&record, keys, parallelism);
+                let target = match bounds {
+                    Some(bounds) => bounds.partition_for_record(&record, keys),
+                    None => partition_for(&record, keys, parallelism),
+                };
                 if target == src {
                     stats.local_records += 1;
                 } else {
@@ -452,7 +574,14 @@ fn cache_exchange_records(
                     }
                 }
             }
-            parts
+            if is_range {
+                for part in &mut parts {
+                    sort_by_key_normalized(part, keys);
+                }
+                (parts, Some(keys.clone()))
+            } else {
+                (parts, None)
+            }
         }
         ShipStrategy::Broadcast => {
             let records = producer.into_flat_records();
@@ -463,7 +592,7 @@ fn cache_exchange_records(
             stats.local_records += records.len();
             let mut parts: Partitions = (0..copies).map(|_| records.clone()).collect();
             parts.push(records);
-            parts
+            (parts, None)
         }
     }
 }
@@ -474,6 +603,7 @@ fn exchange(
     producer: ProducerInput,
     ship: &ShipStrategy,
     parallelism: usize,
+    bounds: Option<&RangeBounds>,
     stats: &mut ExecutionStats,
 ) -> PreparedInput {
     match ship {
@@ -495,11 +625,18 @@ fn exchange(
                     }
                 }
             };
-            PreparedInput::Shared(parts)
+            PreparedInput::Shared(parts, None)
         }
-        ShipStrategy::PartitionHash(keys) | ShipStrategy::PartitionRange(keys) => {
+        ShipStrategy::PartitionHash(keys) => {
             PreparedInput::Paged(paged_exchange(producer, keys, parallelism, stats))
         }
+        ShipStrategy::PartitionRange(keys) => PreparedInput::Paged(range_exchange(
+            producer,
+            keys,
+            bounds.expect("executor built range bounds"),
+            parallelism,
+            stats,
+        )),
         ShipStrategy::Broadcast => {
             PreparedInput::Paged(broadcast_paged(producer, parallelism, stats))
         }
@@ -520,18 +657,20 @@ struct RoutedSource {
 /// buffer (moved when the producer is owned, cloned when it is shared —
 /// that is the only difference the `Cow` carries); records for peer
 /// partitions are serialized into the target's page writer straight from
-/// the borrow, never cloned.
+/// the borrow, never cloned.  The routing decision itself is the `router`
+/// closure — hash for [`paged_exchange`], splitter search for
+/// [`range_exchange`].
 fn route_source<'a>(
     src: usize,
     records: impl Iterator<Item = Cow<'a, Record>>,
-    keys: &[usize],
+    router: &(impl Fn(&Record) -> usize + Sync),
     parallelism: usize,
 ) -> RoutedSource {
     let mut writers: Vec<PageWriter> = (0..parallelism).map(|_| PageWriter::new()).collect();
     let mut local = Vec::new();
     let (mut shipped_records, mut shipped_bytes) = (0usize, 0usize);
     for record in records {
-        let target = partition_for(&record, keys, parallelism);
+        let target = router(&record);
         if target == src {
             local.push(record.into_owned());
         } else {
@@ -547,14 +686,14 @@ fn route_source<'a>(
     }
 }
 
-/// The paged repartitioning exchange.  Every producer partition routes its
-/// records concurrently on the worker pool (serializing outbound records into
-/// per-target pages); the gather step that stands in for the network then
-/// moves sealed page pointers and local record buffers — it never touches a
-/// record.
-fn paged_exchange(
+/// The paged repartitioning skeleton shared by the hash and range exchanges.
+/// Every producer partition routes its records concurrently on the worker
+/// pool (serializing outbound records into per-target pages); the gather
+/// step that stands in for the network then moves sealed page pointers and
+/// local record buffers — it never touches a record.
+fn route_paged(
     producer: ProducerInput,
-    keys: &[usize],
+    router: &(impl Fn(&Record) -> usize + Sync),
     parallelism: usize,
     stats: &mut ExecutionStats,
 ) -> Vec<ExchangedPartition> {
@@ -567,7 +706,7 @@ fn paged_exchange(
                     routed[src] = Some(route_source(
                         src,
                         records.into_iter().map(Cow::Owned),
-                        keys,
+                        router,
                         parallelism,
                     ));
                 }
@@ -577,7 +716,7 @@ fn paged_exchange(
                     routed[src] = Some(route_source(
                         src,
                         records.iter().map(Cow::Borrowed),
-                        keys,
+                        router,
                         parallelism,
                     ));
                 }
@@ -594,7 +733,7 @@ fn paged_exchange(
                             *slot = Some(route_source(
                                 src,
                                 records.into_iter().map(Cow::Owned),
-                                keys,
+                                router,
                                 parallelism,
                             ));
                         });
@@ -609,7 +748,7 @@ fn paged_exchange(
                             *slot = Some(route_source(
                                 src,
                                 records.iter().map(Cow::Borrowed),
-                                keys,
+                                router,
                                 parallelism,
                             ));
                         });
@@ -642,6 +781,68 @@ fn paged_exchange(
         }
     }
     result
+}
+
+/// The hash repartitioning exchange (see [`route_paged`]).
+fn paged_exchange(
+    producer: ProducerInput,
+    keys: &[usize],
+    parallelism: usize,
+    stats: &mut ExecutionStats,
+) -> Vec<ExchangedPartition> {
+    route_paged(
+        producer,
+        &|record: &Record| partition_for(record, keys, parallelism),
+        parallelism,
+        stats,
+    )
+}
+
+/// The range repartitioning exchange: routes by binary search over the
+/// shared splitter histogram (see [`prepare_range_bounds`]) and then sorts
+/// every consumer partition on the key — the memcmp prefix sort for `Long`
+/// keys, the `Value`-comparison sort otherwise — so the concatenation of the
+/// delivered partitions is **globally sorted**.  The per-partition sorts run
+/// concurrently on the worker pool; the delivered partitions advertise their
+/// order ([`ExchangedPartition::sorted_by`]), which lets sort-based local
+/// strategies skip their own sort.
+fn range_exchange(
+    producer: ProducerInput,
+    keys: &[usize],
+    bounds: &RangeBounds,
+    parallelism: usize,
+    stats: &mut ExecutionStats,
+) -> Vec<ExchangedPartition> {
+    let routed = route_paged(
+        producer,
+        &|record: &Record| bounds.partition_for_record(record, keys),
+        parallelism,
+        stats,
+    );
+    let mut sorted: Vec<Option<ExchangedPartition>> = routed.into_iter().map(Some).collect();
+    let sort_one = |part: ExchangedPartition| {
+        let mut records = part.into_records();
+        sort_by_key_normalized(&mut records, keys);
+        ExchangedPartition::from_sorted_records(records, keys.to_vec())
+    };
+    if parallelism <= 1 {
+        for slot in sorted.iter_mut() {
+            *slot = Some(sort_one(slot.take().expect("partition present")));
+        }
+    } else {
+        spinning_pool::global().scope(|scope| {
+            for slot in sorted.iter_mut() {
+                let sort_one = &sort_one;
+                scope.spawn(move || {
+                    *slot = Some(sort_one(slot.take().expect("partition present")));
+                });
+            }
+        });
+    }
+    sorted
+        .into_iter()
+        .map(|slot| slot.expect("pool sorted every partition"))
+        .collect()
 }
 
 /// The paged broadcast: all records are serialized **once**, then every
@@ -680,8 +881,9 @@ fn broadcast_paged(
 /// record partitions or the owned local-records-plus-pages of a paged
 /// exchange.
 enum LocalInput {
-    /// Partition `1` of the shared partitions `0`.
-    Shared(Arc<Partitions>, usize),
+    /// Partition `1` of the shared partitions `0`, plus the key fields the
+    /// partition is sorted by (range-exchanged cached edges).
+    Shared(Arc<Partitions>, usize, Option<KeyFields>),
     /// The owned post-exchange input of this partition.
     Paged(ExchangedPartition),
 }
@@ -690,8 +892,18 @@ impl LocalInput {
     /// Number of records in this input.
     fn len(&self) -> usize {
         match self {
-            LocalInput::Shared(parts, p) => parts[*p].len(),
+            LocalInput::Shared(parts, p, _) => parts[*p].len(),
             LocalInput::Paged(part) => part.record_count(),
+        }
+    }
+
+    /// The key fields this input is already sorted by (delivered by a range
+    /// exchange), if any.  Sort-based local strategies with a matching key
+    /// skip their sort.
+    fn sorted_by(&self) -> Option<&[usize]> {
+        match self {
+            LocalInput::Shared(_, _, sorted) => sorted.as_deref(),
+            LocalInput::Paged(part) => part.sorted_by(),
         }
     }
 
@@ -699,7 +911,7 @@ impl LocalInput {
     /// one scratch record reused across calls.
     fn for_each_ref(&self, f: impl FnMut(&Record)) {
         match self {
-            LocalInput::Shared(parts, p) => {
+            LocalInput::Shared(parts, p, _) => {
                 let mut f = f;
                 for record in &parts[*p] {
                     f(record);
@@ -714,7 +926,7 @@ impl LocalInput {
     /// their page records.
     fn for_each_owned(self, f: impl FnMut(Record)) {
         match self {
-            LocalInput::Shared(parts, p) => {
+            LocalInput::Shared(parts, p, _) => {
                 let mut f = f;
                 for record in &parts[p] {
                     f(record.clone());
@@ -724,10 +936,11 @@ impl LocalInput {
         }
     }
 
-    /// Materializes the whole input into owned records.
+    /// Materializes the whole input into owned records (preserving the
+    /// delivered order).
     fn into_records(self) -> Vec<Record> {
         match self {
-            LocalInput::Shared(parts, p) => parts[p].clone(),
+            LocalInput::Shared(parts, p, _) => parts[p].clone(),
             LocalInput::Paged(part) => part.into_records(),
         }
     }
@@ -837,8 +1050,13 @@ fn run_reduce(
 ) {
     match local {
         LocalStrategy::SortGroup => {
+            // A range exchange already delivered this partition sorted on
+            // the grouping key: the sort the plan no longer performs.
+            let presorted = input.sorted_by() == Some(key);
             let mut records = input.into_records();
-            sort_by_key(&mut records, key);
+            if !presorted {
+                sort_by_key(&mut records, key);
+            }
             for (start, end) in group_ranges(&records, key) {
                 let group = &records[start..end];
                 let k = Key::extract(&group[0], key);
@@ -896,10 +1114,18 @@ fn run_match(
             });
         }
         LocalStrategy::SortMergeJoin => {
+            // Range-exchanged sides arrive sorted on their join key; only
+            // sides without the delivered order pay the sort.
+            let l_presorted = left.sorted_by() == Some(left_key);
+            let r_presorted = right.sorted_by() == Some(right_key);
             let mut l_sorted = left.into_records();
             let mut r_sorted = right.into_records();
-            sort_by_key(&mut l_sorted, left_key);
-            sort_by_key(&mut r_sorted, right_key);
+            if !l_presorted {
+                sort_by_key(&mut l_sorted, left_key);
+            }
+            if !r_presorted {
+                sort_by_key(&mut r_sorted, right_key);
+            }
             let l_ranges = group_ranges(&l_sorted, left_key);
             let r_ranges = group_ranges(&r_sorted, right_key);
             let (mut li, mut ri) = (0usize, 0usize);
@@ -1409,6 +1635,172 @@ mod tests {
                 (0..25).map(|i| Record::pair(i, i)).collect::<Vec<_>>()
             );
         }
+    }
+
+    /// Builds a keyed-sum plan and returns `(plan, reduce id)`.
+    fn keyed_sum_plan(records: Vec<Record>) -> (Plan, OperatorId) {
+        let mut plan = Plan::new();
+        let src = plan.source("src", records);
+        let red = plan.reduce(
+            "sum",
+            src,
+            vec![0],
+            Arc::new(ReduceClosure(
+                |key: &[Value], g: &[Record], out: &mut Collector| {
+                    let total: i64 = g.iter().map(|r| r.long(1)).sum();
+                    out.collect(Record::pair(key[0].as_long(), total));
+                },
+            )),
+        );
+        plan.sink("out", red);
+        (plan, red)
+    }
+
+    #[test]
+    fn range_exchange_delivers_globally_sorted_partitions() {
+        // Route a skewed keyed dataset with the range exchange and check the
+        // concatenation of the consumer partitions in partition order is
+        // globally sorted — the property hash partitioning cannot deliver.
+        let parallelism = 4;
+        let mut producer: Partitions = vec![Vec::new(); parallelism];
+        for i in 0..2000i64 {
+            let key = (i * i) % 997 - 400; // skewed, with duplicates
+            producer[(i % parallelism as i64) as usize].push(Record::pair(key, i));
+        }
+        let mut sample = Vec::new();
+        for part in &producer {
+            sample_keys_into(&mut sample, part, &[0]);
+        }
+        let bounds = RangeBounds::from_sample(sample, parallelism);
+        let mut stats = ExecutionStats::new();
+        let exchanged = range_exchange(
+            ProducerInput::Owned(producer.clone()),
+            &[0],
+            &bounds,
+            parallelism,
+            &mut stats,
+        );
+        assert_eq!(stats.shipped_records + stats.local_records, 2000);
+        let mut concatenated: Vec<Record> = Vec::new();
+        for part in exchanged {
+            assert_eq!(part.sorted_by(), Some(&[0usize][..]));
+            concatenated.extend(part.into_records());
+        }
+        let mut expected: Vec<Record> = producer.into_iter().flatten().collect();
+        sort_by_key(&mut expected, &[0]);
+        assert_eq!(concatenated.len(), expected.len());
+        for window in concatenated.windows(2) {
+            assert!(
+                window[0].long(0) <= window[1].long(0),
+                "not globally sorted"
+            );
+        }
+        concatenated.sort();
+        expected.sort();
+        assert_eq!(
+            concatenated, expected,
+            "range exchange changed the multiset"
+        );
+    }
+
+    #[test]
+    fn range_partitioned_reduce_matches_hash_partitioned_reduce() {
+        let records: Vec<Record> = (0..500).map(|i| Record::pair(i % 37 - 18, 1)).collect();
+        let (plan, red) = keyed_sum_plan(records);
+        let hash_phys = default_physical_plan(&plan, 4).unwrap();
+        let mut range_phys = default_physical_plan(&plan, 4).unwrap();
+        {
+            let choice = range_phys.choices.get_mut(&red).unwrap();
+            choice.input_ships[0] = ShipStrategy::PartitionRange(vec![0]);
+            choice.local = LocalStrategy::SortGroup;
+        }
+        let exec = Executor::new();
+        let mut a = exec.execute(&hash_phys).unwrap().into_sink("out").unwrap();
+        let range_result = exec.execute(&range_phys).unwrap();
+        assert!(range_result.stats.shipped_records > 0);
+        let mut b = range_result.into_sink("out").unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 37);
+    }
+
+    #[test]
+    fn mixed_hash_and_range_join_inputs_are_rejected() {
+        let mut plan = Plan::new();
+        let left = plan.source("left", vec![Record::pair(1, 1)]);
+        let right = plan.source("right", vec![Record::pair(1, 2)]);
+        let join = plan.match_join(
+            "join",
+            left,
+            right,
+            vec![0],
+            vec![0],
+            Arc::new(MatchClosure(
+                |l: &Record, _r: &Record, out: &mut Collector| out.collect(l.clone()),
+            )),
+        );
+        plan.sink("out", join);
+        let mut phys = default_physical_plan(&plan, 2).unwrap();
+        phys.choices.get_mut(&join).unwrap().input_ships[1] = ShipStrategy::PartitionRange(vec![0]);
+        let err = Executor::new().execute(&phys).unwrap_err();
+        assert!(
+            err.to_string().contains("range histogram"),
+            "unexpected error: {err}"
+        );
+        // A forwarded sibling is equally rejected: whatever layout the
+        // upstream operator delivered, it cannot share this operator's
+        // freshly sampled histogram.
+        let mut phys = default_physical_plan(&plan, 2).unwrap();
+        let choice = phys.choices.get_mut(&join).unwrap();
+        choice.input_ships[0] = ShipStrategy::Forward;
+        choice.input_ships[1] = ShipStrategy::PartitionRange(vec![0]);
+        let err = Executor::new().execute(&phys).unwrap_err();
+        assert!(
+            err.to_string().contains("forwarded"),
+            "unexpected error: {err}"
+        );
+        // Range on both sides shares one histogram and executes fine.
+        let mut phys = default_physical_plan(&plan, 2).unwrap();
+        let choice = phys.choices.get_mut(&join).unwrap();
+        choice.input_ships[0] = ShipStrategy::PartitionRange(vec![0]);
+        choice.input_ships[1] = ShipStrategy::PartitionRange(vec![0]);
+        let result = Executor::new().execute(&phys).unwrap();
+        assert_eq!(result.sink("out").unwrap(), vec![Record::pair(1, 1)]);
+    }
+
+    #[test]
+    fn cached_range_edges_stay_sorted_and_freeze_their_histogram() {
+        let records: Vec<Record> = (0..300).map(|i| Record::pair((i * 7) % 50, i)).collect();
+        let (plan, red) = keyed_sum_plan(records);
+        let mut phys = default_physical_plan(&plan, 3).unwrap();
+        {
+            let choice = phys.choices.get_mut(&red).unwrap();
+            choice.input_ships[0] = ShipStrategy::PartitionRange(vec![0]);
+            choice.local = LocalStrategy::SortGroup;
+        }
+        phys.cache_input(red, 0);
+        let mut cache = IntermediateCache::new();
+        let exec = Executor::new();
+        let first = exec.execute_with_cache(&phys, &mut cache).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.range_bounds.len(), 1, "histogram frozen in the cache");
+        let cached = cache.entries.values().next().unwrap();
+        assert_eq!(cached.sorted_by.as_deref(), Some(&[0usize][..]));
+        for part in cached.parts.iter() {
+            for window in part.windows(2) {
+                assert!(window[0].long(0) <= window[1].long(0));
+            }
+        }
+        let second = exec.execute_with_cache(&phys, &mut cache).unwrap();
+        assert_eq!(second.stats.cache_hits, 1);
+        let mut a = first.into_sink("out").unwrap();
+        let mut b = second.into_sink("out").unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        cache.clear();
+        assert!(cache.range_bounds.is_empty());
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod key;
 pub mod page;
 pub mod physical;
 pub mod plan;
+pub mod range;
 pub mod record;
 pub mod stats;
 pub mod value;
@@ -72,9 +73,11 @@ pub mod prelude {
     pub use crate::key::{FxBuildHasher, FxHashMap, Key, KeyFields, KeyValues};
     pub use crate::page::{ExchangedPartition, PageReader, PageWriter, RecordPage, RecordView};
     pub use crate::physical::{
-        default_physical_plan, LocalStrategy, PhysicalChoice, PhysicalPlan, ShipStrategy,
+        default_physical_plan, GlobalOrder, LocalStrategy, PhysicalChoice, PhysicalPlan,
+        ShipStrategy,
     };
     pub use crate::plan::{Operator, OperatorId, OperatorKind, Plan};
+    pub use crate::range::{sort_by_key_normalized, PartitionRouter, RangeBounds};
     pub use crate::record::Record;
     pub use crate::stats::{ExecutionStats, OperatorStats};
     pub use crate::value::Value;

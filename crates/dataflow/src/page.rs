@@ -456,6 +456,10 @@ fn skip_value(bytes: &[u8], offset: &mut usize) {
 pub struct ExchangedPartition {
     local: Vec<Record>,
     pages: Vec<Arc<RecordPage>>,
+    /// Key fields the materialized records are sorted by, when the exchange
+    /// delivered this partition sorted (range exchanges).  Only set on
+    /// fully-materialized partitions; receiving pages clears it.
+    sorted_by: Option<crate::key::KeyFields>,
 }
 
 impl ExchangedPartition {
@@ -464,17 +468,45 @@ impl ExchangedPartition {
         ExchangedPartition {
             local,
             pages: Vec::new(),
+            sorted_by: None,
+        }
+    }
+
+    /// A partition of fully-materialized records already sorted by `key`
+    /// (what a range exchange delivers): consumers with a matching sort
+    /// requirement skip their local sort.
+    pub fn from_sorted_records(local: Vec<Record>, key: crate::key::KeyFields) -> Self {
+        ExchangedPartition {
+            local,
+            pages: Vec::new(),
+            sorted_by: Some(key),
         }
     }
 
     /// A partition built from local records plus received pages.
     pub fn new(local: Vec<Record>, pages: Vec<Arc<RecordPage>>) -> Self {
-        ExchangedPartition { local, pages }
+        ExchangedPartition {
+            local,
+            pages,
+            sorted_by: None,
+        }
+    }
+
+    /// The key fields this partition is sorted by, if the exchange delivered
+    /// it sorted.
+    pub fn sorted_by(&self) -> Option<&[usize]> {
+        self.sorted_by.as_deref()
     }
 
     /// Appends sealed pages received from a peer partition (pointer moves).
+    /// Pages arrive in peer order, so any previously recorded sort order no
+    /// longer holds and is cleared.
     pub fn receive_pages(&mut self, pages: impl IntoIterator<Item = Arc<RecordPage>>) {
+        let before = self.pages.len();
         self.pages.extend(pages);
+        if self.pages.len() > before {
+            self.sorted_by = None;
+        }
     }
 
     /// Total records (local plus paged).
@@ -693,6 +725,23 @@ mod tests {
             ]
         );
         assert_eq!(part.into_records(), seen);
+    }
+
+    #[test]
+    fn sorted_partitions_advertise_and_invalidate_their_order() {
+        let records = vec![Record::pair(1, 0), Record::pair(2, 0)];
+        let mut part = ExchangedPartition::from_sorted_records(records, vec![0]);
+        assert_eq!(part.sorted_by(), Some(&[0usize][..]));
+        // Receiving nothing keeps the order; receiving a page clears it.
+        part.receive_pages(Vec::new());
+        assert_eq!(part.sorted_by(), Some(&[0usize][..]));
+        let mut writer = PageWriter::new();
+        writer.push(&Record::pair(0, 0));
+        part.receive_pages(writer.finish());
+        assert_eq!(part.sorted_by(), None);
+        assert!(ExchangedPartition::from_records(vec![])
+            .sorted_by()
+            .is_none());
     }
 
     #[test]

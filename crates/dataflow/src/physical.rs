@@ -25,12 +25,52 @@ pub enum ShipStrategy {
     /// Records are hash-partitioned on the given key fields; records with the
     /// same key end up at the same consumer instance.
     PartitionHash(KeyFields),
-    /// Records are range-partitioned on the given key fields.  The executor
-    /// implements this as a sorted-hash emulation (equal keys still collocate)
-    /// — it exists so the optimizer can reason about sorted outputs.
+    /// Records are range-partitioned on the given key fields: the executor
+    /// samples the producers for an equi-depth splitter histogram, routes by
+    /// binary search over the splitters, and delivers every consumer
+    /// partition **sorted** on the key — so globally, partition *i* holds
+    /// smaller keys than partition *i + 1* (see [`crate::range`]).
     PartitionRange(KeyFields),
     /// Every record is replicated to every consumer instance.
     Broadcast,
+}
+
+/// A global order delivered by an exchange: the concatenation of the
+/// consumer partitions in partition order is sorted on `fields`.
+///
+/// This is the physical property the paper's optimizer reuses across the
+/// loop boundary (Section 4.3): a range-partitioned, locally sorted
+/// intermediate result satisfies downstream sort requirements (merge join,
+/// sort-grouping) without a re-sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalOrder {
+    /// Key fields the data is ordered by, in comparison order.
+    pub fields: KeyFields,
+    /// `true` for ascending order (the only order the range exchange
+    /// currently produces; kept explicit so descending ranges can be added
+    /// without changing the property model).
+    pub ascending: bool,
+}
+
+impl GlobalOrder {
+    /// An ascending order on `fields`.
+    pub fn ascending(fields: KeyFields) -> Self {
+        GlobalOrder {
+            fields,
+            ascending: true,
+        }
+    }
+}
+
+impl fmt::Display for GlobalOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} {}",
+            self.fields,
+            if self.ascending { "asc" } else { "desc" }
+        )
+    }
 }
 
 impl ShipStrategy {
@@ -44,6 +84,15 @@ impl ShipStrategy {
     pub fn partition_key(&self) -> Option<&KeyFields> {
         match self {
             ShipStrategy::PartitionHash(k) | ShipStrategy::PartitionRange(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// The global order this strategy delivers at the receiver, if any: only
+    /// range partitioning produces sorted partitions.
+    pub fn delivered_order(&self) -> Option<GlobalOrder> {
+        match self {
+            ShipStrategy::PartitionRange(k) => Some(GlobalOrder::ascending(k.clone())),
             _ => None,
         }
     }
@@ -363,6 +412,20 @@ mod tests {
         );
         assert_eq!(ShipStrategy::Broadcast.partition_key(), None);
         assert!(ShipStrategy::Broadcast.crosses_partitions());
+    }
+
+    #[test]
+    fn only_range_partitioning_delivers_an_order() {
+        assert_eq!(
+            ShipStrategy::PartitionRange(vec![0]).delivered_order(),
+            Some(GlobalOrder::ascending(vec![0]))
+        );
+        assert_eq!(ShipStrategy::PartitionHash(vec![0]).delivered_order(), None);
+        assert_eq!(ShipStrategy::Forward.delivered_order(), None);
+        assert_eq!(ShipStrategy::Broadcast.delivered_order(), None);
+        let order = GlobalOrder::ascending(vec![0, 2]);
+        assert!(order.ascending);
+        assert_eq!(format!("{order}"), "[0, 2] asc");
     }
 
     #[test]

@@ -10,9 +10,10 @@
 use algorithms::{
     cc_async, cc_bulk, cc_incremental, cc_microstep, oracles, sssp, ComponentsConfig,
 };
-use dataflow::key::{hash_key, hash_values, partition_for};
-use dataflow::page::{serialize_record, ExchangedPartition, PageWriter};
+use dataflow::key::{hash_key, hash_values, partition_for, sort_by_key, Key};
+use dataflow::page::{normalize_long, serialize_record, ExchangedPartition, PageWriter};
 use dataflow::prelude::*;
+use dataflow::range::{sample_keys_into, sort_by_key_normalized};
 use graphdata::{Graph, SmallRng, VertexId};
 use spinning_core::prelude::*;
 use std::sync::Arc;
@@ -382,6 +383,154 @@ fn prop_page_round_trip_arbitrary_records() {
             read, records,
             "page round-trip changed records (seed {seed}, page_bytes {page_bytes})"
         );
+    }
+}
+
+/// A skewed Long key: a few hot values, clustered mid-range values, uniform
+/// full-range values and the extremes — the distribution range splitters
+/// must absorb.
+fn skewed_long_key(rng: &mut SmallRng) -> i64 {
+    match rng.gen_index(10) {
+        // Hot keys: heavy duplication, including across splitter boundaries.
+        0..=2 => [0, 7, -3][rng.gen_index(3)],
+        // A dense cluster.
+        3..=6 => rng.gen_index(1000) as i64 - 500,
+        // Full-range uniform.
+        7 | 8 => rng.next_u64() as i64,
+        // Extremes.
+        _ => [i64::MIN, i64::MAX, i64::MIN + 1, -1][rng.gen_index(4)],
+    }
+}
+
+/// Range partitioning + per-partition memcmp sort delivers, concatenated in
+/// partition order, exactly the key order a global `sort_by_key` (the
+/// `Value`-comparison oracle) produces over the hash-exchanged multiset —
+/// for skewed Long-key datasets, every parallelism, boundary duplicates and
+/// the degenerate single-partition case.
+#[test]
+fn prop_range_exchange_equals_globally_sorted_hash_exchange() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(11_000 + seed);
+        for &parallelism in &[1usize, 2, 3, 8] {
+            let n = rng.gen_index(400);
+            let records: Vec<Record> = (0..n)
+                .map(|i| Record::pair(skewed_long_key(&mut rng), i as i64))
+                .collect();
+            // Producer partitions: round-robin chunks, as the executor sees
+            // them after a previous operator.
+            let mut producers: Vec<Vec<Record>> = vec![Vec::new(); parallelism];
+            for (i, r) in records.iter().enumerate() {
+                producers[i % parallelism].push(r.clone());
+            }
+            let mut sample = Vec::new();
+            for producer in &producers {
+                sample_keys_into(&mut sample, producer, &[0]);
+            }
+            let bounds = RangeBounds::from_sample(sample, parallelism);
+            assert!(bounds.effective_partitions() <= parallelism);
+
+            // Route by splitters, sort each partition on the memcmp path.
+            let mut parts: Vec<Vec<Record>> = vec![Vec::new(); parallelism];
+            for record in &records {
+                parts[bounds.partition_for_record(record, &[0])].push(record.clone());
+            }
+            for part in parts.iter_mut() {
+                assert!(
+                    sort_by_key_normalized(part, &[0]),
+                    "Long keys must take the memcmp path (seed {seed})"
+                );
+            }
+
+            // Oracle: the hash-exchanged output flattened back into one
+            // multiset (a hash exchange only moves records between
+            // partitions), globally sorted by the stable Value-comparison
+            // sort.
+            let mut hashed: Vec<Vec<Record>> = vec![Vec::new(); parallelism];
+            for record in &records {
+                hashed[partition_for(record, &[0], parallelism)].push(record.clone());
+            }
+            let mut oracle: Vec<Record> = hashed.into_iter().flatten().collect();
+            sort_by_key(&mut oracle, &[0]);
+
+            let concatenated: Vec<Record> = parts.into_iter().flatten().collect();
+            assert_eq!(concatenated.len(), oracle.len());
+            let keys: Vec<i64> = concatenated.iter().map(|r| r.long(0)).collect();
+            let oracle_keys: Vec<i64> = oracle.iter().map(|r| r.long(0)).collect();
+            assert_eq!(
+                keys, oracle_keys,
+                "key order diverged (seed {seed}, p {parallelism})"
+            );
+            // Same records overall (duplicates kept, none lost on splitter
+            // boundaries).
+            let mut a = concatenated;
+            let mut b = oracle;
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "multiset diverged (seed {seed}, p {parallelism})");
+        }
+    }
+}
+
+/// Histogram splitters are order-preserving: `partition_of` is monotone in
+/// the key order — and therefore in `normalized_long_prefix`, whose byte
+/// order equals the key order — including extremes, negatives, all-equal
+/// samples and the empty sample.
+#[test]
+fn prop_range_bounds_monotone_in_normalized_order() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(12_000 + seed);
+        let parallelism = 1 + rng.gen_index(8);
+        let sample_kind = rng.gen_index(4);
+        let sample: Vec<Key> = match sample_kind {
+            // Empty sample: must not panic, one effective partition.
+            0 => Vec::new(),
+            // All-equal degenerate sample.
+            1 => vec![Key::long(skewed_long_key(&mut rng)); 1 + rng.gen_index(50)],
+            // Tiny sample (fewer distinct keys than partitions).
+            2 => (0..1 + rng.gen_index(3))
+                .map(|_| Key::long(skewed_long_key(&mut rng)))
+                .collect(),
+            _ => (0..rng.gen_index(500))
+                .map(|_| Key::long(skewed_long_key(&mut rng)))
+                .collect(),
+        };
+        let empty = sample.is_empty();
+        let bounds = RangeBounds::from_sample(sample, parallelism);
+        if empty || sample_kind == 1 {
+            // Degenerate samples collapse: empty to exactly one effective
+            // partition, all-equal to at most two (everything ≤ the splitter
+            // routes to partition 0).
+            assert!(
+                bounds.effective_partitions() <= 2,
+                "degenerate sample produced {} partitions (seed {seed})",
+                bounds.effective_partitions()
+            );
+            if empty {
+                assert_eq!(bounds.effective_partitions(), 1);
+            }
+        }
+        let mut probes: Vec<i64> = (0..200).map(|_| skewed_long_key(&mut rng)).collect();
+        probes.extend([i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX]);
+        probes.sort_unstable();
+        for pair in probes.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(
+                normalize_long(a) <= normalize_long(b),
+                "normalized encoding broke the order at {a} vs {b}"
+            );
+            let (pa, pb) = (bounds.partition_of_long(a), bounds.partition_of_long(b));
+            assert!(
+                pa <= pb,
+                "routing not monotone: {a}→{pa} vs {b}→{pb} (seed {seed})"
+            );
+            assert!(pa < parallelism && pb < parallelism);
+            // Routing a record agrees with routing its key, and equal keys
+            // (a == b happens for duplicated probes) collocate.
+            assert_eq!(
+                bounds.partition_for_record(&Record::pair(a, 1), &[0]),
+                bounds.partition_of_key(&Key::long(a))
+            );
+        }
     }
 }
 
