@@ -49,6 +49,11 @@ pub struct ComponentsConfig {
     /// routing gives every worker a contiguous vertex-id interval).  The
     /// bulk variant plans its own exchanges and ignores this.
     pub routing: WorksetRouting,
+    /// Budget on the bytes the exchanges may buffer in memory before sealed
+    /// pages spill to disk — the workset variants budget their superstep
+    /// exchange, the bulk variant its dataflow exchanges and loop-invariant
+    /// cache.  Unlimited by default.
+    pub memory_budget: MemoryBudget,
 }
 
 impl ComponentsConfig {
@@ -58,6 +63,7 @@ impl ComponentsConfig {
             parallelism,
             max_iterations: 100_000,
             routing: WorksetRouting::Hash,
+            memory_budget: MemoryBudget::unlimited(),
         }
     }
 
@@ -68,10 +74,22 @@ impl ComponentsConfig {
         self
     }
 
+    /// Sets the partition routing scheme of the workset variants.
+    pub fn with_routing(mut self, routing: WorksetRouting) -> Self {
+        self.routing = routing;
+        self
+    }
+
     /// Routes the workset variants' superstep exchange (and the solution
     /// set) by range splitters instead of hashing.
-    pub fn with_range_routing(mut self) -> Self {
-        self.routing = WorksetRouting::Range;
+    pub fn with_range_routing(self) -> Self {
+        self.with_routing(WorksetRouting::Range)
+    }
+
+    /// Bounds the bytes the exchanges may buffer in memory (out-of-core
+    /// execution).
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = budget;
         self
     }
 }
@@ -161,7 +179,9 @@ pub fn cc_bulk(graph: &Graph, config: &ComponentsConfig) -> Result<ComponentsRes
             max_iterations: config.max_iterations,
         },
     );
-    let bulk_config = BulkConfig::new(config.parallelism).with_annotations(annotations);
+    let bulk_config = BulkConfig::new(config.parallelism)
+        .with_annotations(annotations)
+        .with_memory_budget(config.memory_budget);
     let result = iteration.run(initial_components(graph), &bulk_config)?;
     Ok(ComponentsResult {
         components: records_to_vec(&result.solution, graph.num_vertices()),
@@ -229,7 +249,8 @@ fn run_workset(
     let workset_config = WorksetConfig::new(config.parallelism)
         .with_mode(mode)
         .with_max_supersteps(config.max_iterations)
-        .with_routing(config.routing);
+        .with_routing(config.routing)
+        .with_memory_budget(config.memory_budget);
     let result = iteration.run(
         initial_components(graph),
         initial_component_candidates(graph),

@@ -28,4 +28,4 @@ pub use crate::connected_components::{
     cc_async, cc_bulk, cc_incremental, cc_microstep, ComponentsConfig, ComponentsResult,
 };
 pub use crate::pagerank::{pagerank, PageRankConfig, PageRankPlan, PageRankResult};
-pub use crate::sssp::{sssp, sssp_with_routing, SsspResult, UNREACHABLE};
+pub use crate::sssp::{sssp, sssp_with_config, sssp_with_routing, SsspResult, UNREACHABLE};

@@ -82,6 +82,22 @@ pub fn sssp_with_routing(
     mode: ExecutionMode,
     routing: WorksetRouting,
 ) -> Result<SsspResult> {
+    let config = WorksetConfig::new(parallelism)
+        .with_mode(mode)
+        .with_routing(routing);
+    sssp_with_config(graph, source, &config)
+}
+
+/// Runs single-source shortest paths under a fully explicit
+/// [`WorksetConfig`] — routing scheme, superstep bound and memory budget
+/// included.  A finite [`WorksetConfig::memory_budget`] spills the frontier
+/// exchange's candidate pages to disk, so the traversal runs in bounded
+/// memory on long-tail graphs.
+pub fn sssp_with_config(
+    graph: &Graph,
+    source: VertexId,
+    config: &WorksetConfig,
+) -> Result<SsspResult> {
     let iteration = build_iteration(graph);
     // S0: the source is at distance 0, everything else unreachable.
     let initial_solution: Vec<Record> = graph
@@ -97,10 +113,7 @@ pub fn sssp_with_routing(
         .iter()
         .map(|&t| Record::pair(i64::from(t), 1))
         .collect();
-    let config = WorksetConfig::new(parallelism)
-        .with_mode(mode)
-        .with_routing(routing);
-    let result = iteration.run(initial_solution, initial_workset, &config)?;
+    let result = iteration.run(initial_solution, initial_workset, config)?;
 
     let mut distances = vec![UNREACHABLE; graph.num_vertices()];
     for record in &result.solution {

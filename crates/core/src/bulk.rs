@@ -15,7 +15,8 @@
 
 use crate::stats::{IterationRunStats, IterationStats};
 use dataflow::prelude::{
-    DataflowError, ExecutionResult, Executor, IntermediateCache, OperatorId, Plan, Record, Result,
+    DataflowError, ExecConfig, ExecutionResult, Executor, IntermediateCache, MemoryBudget,
+    OperatorId, Plan, Record, Result,
 };
 use optimizer::{Annotations, IterationSpec, Optimizer};
 use std::sync::Arc;
@@ -90,6 +91,10 @@ pub struct BulkConfig {
     /// Expected number of iterations used to weight the dynamic data path.
     /// Defaults to the termination criterion's maximum.
     pub expected_iterations: Option<f64>,
+    /// Budget on the bytes the step plan's exchanges (and the loop-invariant
+    /// cache) may buffer in memory before spilling sealed pages to disk.
+    /// Unlimited by default.
+    pub memory_budget: MemoryBudget,
 }
 
 impl BulkConfig {
@@ -100,6 +105,7 @@ impl BulkConfig {
             use_optimizer: true,
             annotations: Annotations::new(),
             expected_iterations: None,
+            memory_budget: MemoryBudget::unlimited(),
         }
     }
 
@@ -112,6 +118,12 @@ impl BulkConfig {
     /// Disables the cost-based optimizer (useful for plan comparisons).
     pub fn without_optimizer(mut self) -> Self {
         self.use_optimizer = false;
+        self
+    }
+
+    /// Sets the memory budget of the per-iteration executions.
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = budget;
         self
     }
 }
@@ -209,8 +221,9 @@ impl BulkIteration {
             dataflow::physical::default_physical_plan(&self.plan, config.parallelism)?
         };
 
-        let executor = Executor::new();
-        let mut cache = IntermediateCache::new();
+        let executor =
+            Executor::with_config(ExecConfig::new().with_memory_budget(config.memory_budget));
+        let mut cache = IntermediateCache::new().with_memory_budget(config.memory_budget);
         let mut current = Arc::new(initial);
         let mut run_stats = IterationRunStats::default();
         let mut converged = false;
@@ -237,6 +250,8 @@ impl BulkIteration {
             stats.elements_changed = next.len();
             stats.messages_sent = execution_stats.shipped_records + execution_stats.local_records;
             stats.messages_shipped = execution_stats.shipped_records;
+            stats.spilled_bytes = execution_stats.spilled_bytes;
+            stats.spilled_runs = execution_stats.spilled_runs;
             stats.execution = Some(execution_stats);
             stats.elapsed = iter_start.elapsed();
             run_stats.per_iteration.push(stats);

@@ -15,7 +15,7 @@
 
 use dataflow::key::FxHashMap;
 use dataflow::page::RecordPage;
-use dataflow::prelude::{Key, KeyFields, PartitionRouter, Record};
+use dataflow::prelude::{Key, KeyFields, PartitionRouter, Record, Result, SpilledRun};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -218,6 +218,35 @@ impl SolutionSet {
         pages: impl IntoIterator<Item = &'a RecordPage>,
     ) -> usize {
         pages.into_iter().map(|page| self.merge_page(page)).sum()
+    }
+
+    /// Merges every delta record of a spilled run with the `∪̇` semantics,
+    /// streaming the run off disk through one scratch record — the
+    /// out-of-core counterpart of [`SolutionSet::merge_page`] for delta sets
+    /// that exceeded the exchange's memory budget.  Returns how many records
+    /// were applied.
+    pub fn merge_run(&mut self, run: &SpilledRun) -> Result<usize> {
+        let mut cursor = run.cursor()?;
+        let mut applied = 0usize;
+        while let Some(record) = cursor.next_record()? {
+            if self.merge(record).applied() {
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Merges a sequence of spilled delta runs (see
+    /// [`SolutionSet::merge_run`]), returning how many records were applied.
+    pub fn merge_all_runs<'a>(
+        &mut self,
+        runs: impl IntoIterator<Item = &'a SpilledRun>,
+    ) -> Result<usize> {
+        let mut applied = 0usize;
+        for run in runs {
+            applied += self.merge_run(run)?;
+        }
+        Ok(applied)
     }
 
     /// The `∪̇` merge against one partition index.  The delta record is moved
@@ -425,6 +454,42 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_spilled_runs_matches_record_merge() {
+        use dataflow::page::PageWriter;
+        use dataflow::spill::write_run_in;
+        let deltas: Vec<Record> = (0..300).map(|i| Record::pair(i % 60, i % 11)).collect();
+
+        let mut by_records = SolutionSet::new(vec![0], 3).with_comparator(cid_comparator());
+        let applied_records = by_records.merge_all(deltas.iter().cloned());
+
+        let dir = std::env::temp_dir().join(format!(
+            "spinning-spill-test-solution-{}",
+            std::process::id()
+        ));
+        let mut writer = PageWriter::with_page_bytes(128);
+        for delta in &deltas[..150] {
+            writer.push(delta);
+        }
+        let first = write_run_in(&dir, &writer.finish(), None).unwrap();
+        let mut writer = PageWriter::with_page_bytes(128);
+        for delta in &deltas[150..] {
+            writer.push(delta);
+        }
+        let second = write_run_in(&dir, &writer.finish(), None).unwrap();
+
+        let mut by_runs = SolutionSet::new(vec![0], 3).with_comparator(cid_comparator());
+        let applied_runs = by_runs.merge_all_runs([&first, &second]).unwrap();
+        assert_eq!(applied_records, applied_runs);
+        let mut a = by_records.records();
+        let mut b = by_runs.records();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        drop((first, second));
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

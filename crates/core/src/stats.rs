@@ -30,6 +30,11 @@ pub struct IterationStats {
     pub messages_sent: usize,
     /// Of those, how many crossed partition boundaries.
     pub messages_shipped: usize,
+    /// Serialized bytes the superstep exchange (or the backing dataflow
+    /// execution) moved to disk as spilled runs under a memory budget.
+    pub spilled_bytes: usize,
+    /// Number of spilled runs written.
+    pub spilled_runs: usize,
     /// Statistics of the dataflow execution backing this iteration, if the
     /// iteration ran as a dataflow plan (bulk iterations).
     pub execution: Option<ExecutionStats>,
@@ -74,6 +79,17 @@ impl IterationRunStats {
     /// Sum of changed partial-solution elements over all iterations.
     pub fn total_changes(&self) -> usize {
         self.per_iteration.iter().map(|s| s.elements_changed).sum()
+    }
+
+    /// Sum of spilled bytes over all iterations — nonzero proves the run
+    /// actually exercised the out-of-core path.
+    pub fn total_spilled_bytes(&self) -> usize {
+        self.per_iteration.iter().map(|s| s.spilled_bytes).sum()
+    }
+
+    /// Sum of spilled runs over all iterations.
+    pub fn total_spilled_runs(&self) -> usize {
+        self.per_iteration.iter().map(|s| s.spilled_runs).sum()
     }
 
     /// Renders the per-iteration series as a text table (one row per

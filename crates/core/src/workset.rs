@@ -32,9 +32,10 @@
 use crate::solution_set::{PartitionIndex, RecordComparator, SolutionSet};
 use crate::stats::{IterationRunStats, IterationStats};
 use dataflow::key::{group_ranges, sort_by_key, FxHashMap};
-use dataflow::page::{PageWriter, RecordPage};
+use dataflow::page::RecordPage;
 use dataflow::prelude::{
-    DataflowError, Key, KeyFields, PartitionRouter, RangeBounds, Record, Result,
+    DataflowError, Key, KeyFields, MemoryBudget, PartitionRouter, RangeBounds, Record, Result,
+    RunMerger, SpillManager, SpilledRun, SpillingWriter,
 };
 use dataflow::range::sample_keys_into;
 use std::sync::Arc;
@@ -133,6 +134,14 @@ pub struct WorksetConfig {
     pub max_supersteps: usize,
     /// Partition routing scheme for the solution set and candidate exchange.
     pub routing: WorksetRouting,
+    /// Budget on the serialized candidate bytes the superstep exchange may
+    /// buffer in memory: exceeding it spills sealed candidate pages to disk
+    /// as runs sorted on the workset key, and the next superstep consumes
+    /// them streaming (microstep) or through a k-way merge (batch).
+    /// Unlimited by default.  The asynchronous mode exchanges records
+    /// through queues and ignores the budget — bounding it is the
+    /// credit-based backpressure follow-on.
+    pub memory_budget: MemoryBudget,
 }
 
 impl WorksetConfig {
@@ -143,6 +152,7 @@ impl WorksetConfig {
             mode: ExecutionMode::BatchIncremental,
             max_supersteps: 100_000,
             routing: WorksetRouting::Hash,
+            memory_budget: MemoryBudget::unlimited(),
         }
     }
 
@@ -167,6 +177,12 @@ impl WorksetConfig {
     /// Shorthand for [`WorksetRouting::Range`].
     pub fn with_range_routing(self) -> Self {
         self.with_routing(WorksetRouting::Range)
+    }
+
+    /// Sets the superstep exchange's memory budget.
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = budget;
+        self
     }
 }
 
@@ -346,6 +362,18 @@ impl WorksetIteration {
     ) -> Result<WorksetResult> {
         let parallelism = config.parallelism;
         let comparator = solution.comparator();
+        // The spill policy of every superstep exchange: the run's budget is
+        // split over the parallelism² outbox writers.  Batch-incremental
+        // flushes sort candidate runs on the workset key so the consumer can
+        // merge-group them without materializing the workset; the microstep
+        // consumer streams runs in arrival order, so its flushes skip the
+        // sort entirely.
+        let sort_on_flush =
+            (config.mode != ExecutionMode::Microstep).then(|| self.workset_key.clone());
+        let spill = SpillManager::new(
+            config.memory_budget.share(parallelism * parallelism),
+            sort_on_flush,
+        );
         let mut queues: Vec<WorksetQueue> = Vec::with_capacity(parallelism);
         let per_queue = initial_workset.len() / parallelism + 1;
         for _ in 0..parallelism {
@@ -379,6 +407,7 @@ impl WorksetIteration {
                 next_queues.push(WorksetQueue {
                     records: q,
                     pages: Vec::new(),
+                    runs: Vec::new(),
                 });
             }
             let worksets = std::mem::replace(&mut queues, next_queues);
@@ -404,6 +433,7 @@ impl WorksetIteration {
                 {
                     let constant = &constant_index[partition];
                     let comparator = comparator.clone();
+                    let spill = &spill;
                     scope.spawn(move || {
                         *slot = Some(self.run_partition_superstep(
                             partition,
@@ -413,6 +443,7 @@ impl WorksetIteration {
                             &comparator,
                             microstep,
                             router,
+                            spill,
                             scratch,
                         ));
                     });
@@ -426,8 +457,9 @@ impl WorksetIteration {
             // Exchange the new workset records (the superstep queue switch).
             // Records that stayed in their partition are moved as heap
             // objects; everything that crossed a partition boundary arrives
-            // as sealed pages, so the exchange moves buffer and page
-            // pointers, never individual records.
+            // as sealed pages — or, past the memory budget, as spilled-run
+            // handles whose bytes stay on disk — so the exchange moves
+            // buffer, page and handle pointers, never individual records.
             let mut stats = IterationStats::for_iteration(superstep);
             stats.workset_size = workset_size;
             for (partition, output) in outputs.enumerate() {
@@ -443,7 +475,11 @@ impl WorksetIteration {
                     queues[partition].records.extend(local);
                 }
                 for (target, writer) in output.outbox_remote.into_iter().enumerate() {
-                    queues[target].pages.extend(writer.finish());
+                    let spilled = writer.finish()?;
+                    stats.spilled_bytes += spilled.stats.spilled_bytes;
+                    stats.spilled_runs += spilled.stats.spilled_runs;
+                    queues[target].pages.extend(spilled.pages);
+                    queues[target].runs.extend(spilled.runs);
                 }
                 spare_queues.push(output.drained_workset);
             }
@@ -477,9 +513,10 @@ impl WorksetIteration {
         comparator: &Option<RecordComparator>,
         microstep: bool,
         router: &PartitionRouter,
+        spill: &SpillManager,
         scratch: &mut StepScratch,
     ) -> PartitionOutput {
-        let mut output = PartitionOutput::new(router.parallelism());
+        let mut output = PartitionOutput::new(router.parallelism(), spill);
         let StepScratch {
             expand: expand_buffer,
             deltas,
@@ -554,6 +591,17 @@ impl WorksetIteration {
                     handle(page_scratch, s_part, &mut output);
                 }
             }
+            // Spilled candidates stream straight off disk through the same
+            // scratch record — the queue never materializes them.
+            for run in &workset.runs {
+                let mut cursor = run.cursor().expect("failed to open spilled workset run");
+                while cursor
+                    .next_into(page_scratch)
+                    .expect("failed to read spilled workset run")
+                {
+                    handle(page_scratch, s_part, &mut output);
+                }
+            }
             output.drained_workset = records;
         } else {
             // InnerCoGroup variant: materialize the partition's workset (the
@@ -574,13 +622,43 @@ impl WorksetIteration {
             }
             sort_by_key(&mut records, &self.workset_key);
             deltas.clear();
-            for (group_start, group_end) in group_ranges(&records, &self.workset_key) {
-                output.inspected += 1;
-                let candidates = &records[group_start..group_end];
-                let key = Key::extract(&candidates[0], &self.workset_key);
-                if let Some(delta) = self.update.update(&key, s_part.get(&key), candidates) {
-                    deltas.push(delta);
+            if workset.runs.is_empty() {
+                for (group_start, group_end) in group_ranges(&records, &self.workset_key) {
+                    output.inspected += 1;
+                    let candidates = &records[group_start..group_end];
+                    let key = Key::extract(&candidates[0], &self.workset_key);
+                    if let Some(delta) = self.update.update(&key, s_part.get(&key), candidates) {
+                        deltas.push(delta);
+                    }
                 }
+            } else {
+                // Out-of-core grouping: the spilled candidate runs are
+                // sorted on the workset key, so merging them with the sorted
+                // in-memory residue yields each key's candidates contiguously
+                // — one group is buffered at a time, the spilled part of the
+                // workset never materializes.  Deltas still apply after the
+                // whole pass (superstep semantics are unchanged).
+                let merger = RunMerger::over_runs(
+                    &workset.runs,
+                    std::mem::take(&mut records),
+                    self.workset_key.clone(),
+                )
+                .expect("failed to open spilled workset runs");
+                let inspected = &mut output.inspected;
+                merger
+                    .for_each_group(|key, candidates| {
+                        *inspected += 1;
+                        if let Some(delta) = self.update.update(key, s_part.get(key), candidates) {
+                            deltas.push(delta);
+                        }
+                        // Consumed candidates recycle into the freelist —
+                        // capped here, per group, so the pass over a
+                        // larger-than-memory spilled workset never
+                        // accumulates every record buffer it streamed.
+                        freelist.append(candidates);
+                        freelist.truncate(FREELIST_RECORDS);
+                    })
+                    .expect("failed to read spilled workset runs");
             }
             for delta in deltas.drain(..) {
                 apply_and_expand(delta, s_part, &mut output);
@@ -596,12 +674,14 @@ impl WorksetIteration {
 }
 
 /// One partition's incoming workset for a superstep: candidate records that
-/// never left the partition (moved as heap objects) plus the sealed pages
-/// shipped from peer partitions.
+/// never left the partition (moved as heap objects), the sealed pages
+/// shipped from peer partitions, and any candidate runs that spilled to disk
+/// under the memory budget.
 #[derive(Default)]
 pub(crate) struct WorksetQueue {
     pub(crate) records: Vec<Record>,
     pub(crate) pages: Vec<Arc<RecordPage>>,
+    pub(crate) runs: Vec<SpilledRun>,
 }
 
 impl WorksetQueue {
@@ -609,17 +689,22 @@ impl WorksetQueue {
         WorksetQueue {
             records: Vec::with_capacity(records),
             pages: Vec::new(),
+            runs: Vec::new(),
         }
     }
 
     /// Total candidate records queued.
     pub(crate) fn len(&self) -> usize {
-        self.records.len() + self.pages.iter().map(|p| p.record_count()).sum::<usize>()
+        self.records.len()
+            + self.pages.iter().map(|p| p.record_count()).sum::<usize>()
+            + self.runs.iter().map(|r| r.record_count()).sum::<usize>()
     }
 
     /// True when no candidate is queued.
     pub(crate) fn is_empty(&self) -> bool {
-        self.records.is_empty() && self.pages.iter().all(|p| p.is_empty())
+        self.records.is_empty()
+            && self.pages.iter().all(|p| p.is_empty())
+            && self.runs.iter().all(|r| r.record_count() == 0)
     }
 }
 
@@ -657,9 +742,9 @@ pub(crate) struct PartitionOutput {
     /// New workset records that stay in this partition (next superstep's
     /// local queue; moved, never serialized).
     pub(crate) outbox_local: Vec<Record>,
-    /// One page writer per peer partition; the superstep exchange seals and
-    /// moves the pages.
-    pub(crate) outbox_remote: Vec<PageWriter>,
+    /// One budgeted page writer per peer partition; the superstep exchange
+    /// seals and moves the in-memory pages and the spilled-run handles.
+    pub(crate) outbox_remote: Vec<SpillingWriter>,
     /// The (now empty) workset buffer, handed back for reuse as a queue.
     pub(crate) drained_workset: Vec<Record>,
     pub(crate) inspected: usize,
@@ -669,10 +754,10 @@ pub(crate) struct PartitionOutput {
 }
 
 impl PartitionOutput {
-    pub(crate) fn new(parallelism: usize) -> Self {
+    pub(crate) fn new(parallelism: usize, spill: &SpillManager) -> Self {
         PartitionOutput {
             outbox_local: Vec::new(),
-            outbox_remote: (0..parallelism).map(|_| PageWriter::new()).collect(),
+            outbox_remote: (0..parallelism).map(|_| spill.writer()).collect(),
             drained_workset: Vec::new(),
             inspected: 0,
             changed: 0,

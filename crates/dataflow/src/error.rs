@@ -25,6 +25,8 @@ pub enum DataflowError {
     InvalidPlan(String),
     /// A runtime worker failed; carries a description of the failure.
     ExecutionFailed(String),
+    /// Writing a spilled run to disk failed (disk full, permissions, ...).
+    SpillIo(String),
 }
 
 impl fmt::Display for DataflowError {
@@ -43,11 +45,18 @@ impl fmt::Display for DataflowError {
             DataflowError::UnknownSink(name) => write!(f, "no sink named '{name}' in plan"),
             DataflowError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             DataflowError::ExecutionFailed(msg) => write!(f, "execution failed: {msg}"),
+            DataflowError::SpillIo(msg) => write!(f, "spill I/O failed: {msg}"),
         }
     }
 }
 
 impl std::error::Error for DataflowError {}
+
+impl From<std::io::Error> for DataflowError {
+    fn from(error: std::io::Error) -> DataflowError {
+        DataflowError::SpillIo(error.to_string())
+    }
+}
 
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, DataflowError>;

@@ -37,6 +37,7 @@ use crate::physical::{LocalStrategy, PhysicalChoice, PhysicalPlan, ShipStrategy}
 use crate::plan::{Operator, OperatorId, OperatorKind};
 use crate::range::{sample_keys_into, sort_by_key_normalized, RangeBounds};
 use crate::record::Record;
+use crate::spill::{write_run_in, MemoryBudget, RunMerger, SpillManager, SpillStats, SpilledRun};
 use crate::stats::{ExecutionStats, OperatorStats};
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -48,11 +49,37 @@ pub type Partition = Vec<Record>;
 /// One partition per parallel instance.
 pub type Partitions = Vec<Partition>;
 
+/// Runtime configuration of the [`Executor`].
+#[derive(Debug, Clone, Default)]
+pub struct ExecConfig {
+    /// Budget on the serialized bytes an exchange may buffer in memory:
+    /// exceeding it moves sealed pages to disk as sorted runs (see
+    /// [`crate::spill`]).  Unlimited by default — nothing ever spills.
+    pub memory_budget: MemoryBudget,
+}
+
+impl ExecConfig {
+    /// The default configuration (no memory budget).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the exchange memory budget.
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = budget;
+        self
+    }
+}
+
 /// Cache of post-exchange inputs, keyed by (consumer operator, input slot).
 ///
 /// The iteration runtime passes the same cache to every execution of the step
 /// plan; edges on the constant data path that the optimizer marked with
 /// `cache_inputs` are shipped once and then served from here (Section 4.3).
+/// Under a memory budget ([`IntermediateCache::with_memory_budget`]) edges
+/// too large for memory are spilled to disk as runs — sorted range edges
+/// verbatim, since their partitions are already sorted page runs — and every
+/// re-execution streams them back from disk.
 #[derive(Debug, Default)]
 pub struct IntermediateCache {
     entries: HashMap<(OperatorId, usize), CachedEdge>,
@@ -62,21 +89,51 @@ pub struct IntermediateCache {
     /// re-shipped (dynamic-path) range edges of the same operator routed by
     /// one histogram — the invariant co-partitioned merge inputs rely on.
     range_bounds: HashMap<OperatorId, Arc<RangeBounds>>,
+    /// Budget on the bytes a cached edge may hold in memory.
+    memory_budget: MemoryBudget,
 }
 
-/// One cached post-exchange edge: the materialized partitions plus the key
-/// fields they are sorted by (range-partitioned cached edges stay sorted, so
-/// every re-execution can skip the sort).
+/// One cached post-exchange edge: the materialized partitions (or, for
+/// budget-spilled edges, one run per partition on disk) plus the key fields
+/// they are sorted by (range-partitioned cached edges stay sorted, so every
+/// re-execution can skip the sort).
 #[derive(Debug, Clone)]
 struct CachedEdge {
     parts: Arc<Partitions>,
+    /// Per-partition spilled runs when the edge exceeded the cache budget;
+    /// the in-memory `parts` are empty in that case.
+    runs: Option<Arc<Vec<Vec<SpilledRun>>>>,
     sorted_by: Option<KeyFields>,
+}
+
+impl CachedEdge {
+    /// Builds the per-execution input this cached edge serves: shared record
+    /// partitions when in memory, per-partition run handles when spilled
+    /// (cloning a run handle shares the file on disk).
+    fn serve(&self) -> PreparedInput {
+        match &self.runs {
+            None => PreparedInput::Shared(Arc::clone(&self.parts), self.sorted_by.clone()),
+            Some(runs) => PreparedInput::Paged(
+                runs.iter()
+                    .map(|partition| {
+                        ExchangedPartition::from_spilled(partition.clone(), self.sorted_by.clone())
+                    })
+                    .collect(),
+            ),
+        }
+    }
 }
 
 impl IntermediateCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the byte budget above which cached edges spill to disk.
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = budget;
+        self
     }
 
     /// Number of cached edges.
@@ -161,12 +218,27 @@ impl ExecutionResult {
 
 /// Executes physical plans.
 #[derive(Debug, Default, Clone)]
-pub struct Executor;
+pub struct Executor {
+    config: ExecConfig,
+}
 
 impl Executor {
-    /// Creates an executor.
+    /// Creates an executor with the default configuration (no memory
+    /// budget).
     pub fn new() -> Self {
-        Executor
+        Executor::default()
+    }
+
+    /// Creates an executor with an explicit configuration —
+    /// `Executor::with_config(ExecConfig::new().with_memory_budget(...))` is
+    /// the out-of-core entry point.
+    pub fn with_config(config: ExecConfig) -> Self {
+        Executor { config }
+    }
+
+    /// The executor's configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
     }
 
     /// Executes the plan once, without any loop-invariant caching.
@@ -247,10 +319,7 @@ impl Executor {
                 if choice.cache_inputs[slot] {
                     if let Some(cached) = cache.entries.get(&cache_key) {
                         stats.cache_hits += 1;
-                        prepared.push(PreparedInput::Shared(
-                            Arc::clone(&cached.parts),
-                            cached.sorted_by.clone(),
-                        ));
+                        prepared.push(cached.serve());
                         if last_use {
                             outputs.remove(&input);
                         }
@@ -282,6 +351,8 @@ impl Executor {
                     // once and served as shared record partitions — exchanged
                     // as records directly, since serializing them into pages
                     // would be an immediate serialize/deserialize roundtrip.
+                    // An edge exceeding the cache budget is spilled to disk
+                    // instead and streamed back on every execution.
                     let (parts, sorted_by) = cache_exchange_records(
                         producer,
                         ship,
@@ -289,23 +360,19 @@ impl Executor {
                         range_bounds.as_deref(),
                         &mut stats,
                     );
-                    let shared = Arc::new(parts);
-                    cache.entries.insert(
-                        cache_key,
-                        CachedEdge {
-                            parts: Arc::clone(&shared),
-                            sorted_by: sorted_by.clone(),
-                        },
-                    );
-                    prepared.push(PreparedInput::Shared(shared, sorted_by));
+                    let edge =
+                        build_cached_edge(parts, sorted_by, cache.memory_budget, &mut stats)?;
+                    prepared.push(edge.serve());
+                    cache.entries.insert(cache_key, edge);
                 } else {
                     prepared.push(exchange(
                         producer,
                         ship,
                         parallelism,
                         range_bounds.as_deref(),
+                        &self.config,
                         &mut stats,
-                    ));
+                    )?);
                 }
             }
 
@@ -597,15 +664,65 @@ fn cache_exchange_records(
     }
 }
 
+/// Materializes one cached edge, spilling it to disk when it exceeds the
+/// cache's memory budget.  Spilled range edges are already sorted per
+/// partition, so their pages are written **verbatim** as one sorted run per
+/// partition — the sort was paid once, the disk keeps it.
+fn build_cached_edge(
+    parts: Partitions,
+    sorted_by: Option<KeyFields>,
+    budget: MemoryBudget,
+    stats: &mut ExecutionStats,
+) -> Result<CachedEdge> {
+    let total_bytes: usize = parts
+        .iter()
+        .flatten()
+        .map(Record::estimated_bytes)
+        .sum::<usize>();
+    if budget.allows(total_bytes) {
+        return Ok(CachedEdge {
+            parts: Arc::new(parts),
+            runs: None,
+            sorted_by,
+        });
+    }
+    let dir = crate::spill::default_spill_dir();
+    let mut runs: Vec<Vec<SpilledRun>> = Vec::with_capacity(parts.len());
+    for partition in parts {
+        if partition.is_empty() {
+            runs.push(Vec::new());
+            continue;
+        }
+        let mut writer = PageWriter::new();
+        for record in &partition {
+            writer.push(record);
+        }
+        let run = write_run_in(&dir, &writer.finish(), sorted_by.clone())?;
+        stats.spilled_bytes += run.byte_len();
+        stats.spilled_runs += 1;
+        runs.push(vec![run]);
+    }
+    Ok(CachedEdge {
+        parts: Arc::new(Partitions::new()),
+        runs: Some(Arc::new(runs)),
+        sorted_by,
+    })
+}
+
 /// Routes the producer's partitions to the consumer's partitions according to
-/// the shipping strategy, updating the shipped/local counters.
+/// the shipping strategy, updating the shipped/local counters.  Hash and
+/// range exchanges run under the executor's memory budget: sealed pages
+/// beyond it spill to disk as sorted runs (broadcast replicates shared pages
+/// and never spills; forward moves records locally and has nothing to
+/// serialize).
 fn exchange(
     producer: ProducerInput,
     ship: &ShipStrategy,
     parallelism: usize,
     bounds: Option<&RangeBounds>,
+    config: &ExecConfig,
     stats: &mut ExecutionStats,
-) -> PreparedInput {
+) -> Result<PreparedInput> {
     match ship {
         ShipStrategy::Forward => {
             let total: usize = producer.partitions().iter().map(Vec::len).sum();
@@ -625,48 +742,86 @@ fn exchange(
                     }
                 }
             };
-            PreparedInput::Shared(parts, None)
+            Ok(PreparedInput::Shared(parts, None))
         }
         ShipStrategy::PartitionHash(keys) => {
-            PreparedInput::Paged(paged_exchange(producer, keys, parallelism, stats))
+            let spill =
+                exchange_spill_manager(config, keys, producer.partitions().len(), parallelism);
+            Ok(PreparedInput::Paged(paged_exchange(
+                producer,
+                keys,
+                parallelism,
+                &spill,
+                stats,
+            )?))
         }
-        ShipStrategy::PartitionRange(keys) => PreparedInput::Paged(range_exchange(
+        ShipStrategy::PartitionRange(keys) => {
+            let spill =
+                exchange_spill_manager(config, keys, producer.partitions().len(), parallelism);
+            Ok(PreparedInput::Paged(range_exchange(
+                producer,
+                keys,
+                bounds.expect("executor built range bounds"),
+                parallelism,
+                &spill,
+                stats,
+            )?))
+        }
+        ShipStrategy::Broadcast => Ok(PreparedInput::Paged(broadcast_paged(
             producer,
-            keys,
-            bounds.expect("executor built range bounds"),
             parallelism,
             stats,
-        )),
-        ShipStrategy::Broadcast => {
-            PreparedInput::Paged(broadcast_paged(producer, parallelism, stats))
-        }
+        ))),
     }
 }
 
+/// The spill policy of one repartitioning exchange: the executor's budget is
+/// split evenly over the exchange's producer×target page writers, and every
+/// flushed run is sorted on the exchange key — range partitions are sorted
+/// runs by definition, and hash partitions gain the normalized-key order
+/// that lets sort-based consumers merge instead of re-sorting.
+fn exchange_spill_manager(
+    config: &ExecConfig,
+    keys: &[usize],
+    sources: usize,
+    parallelism: usize,
+) -> SpillManager {
+    SpillManager::new(
+        config.memory_budget.share(sources.max(1) * parallelism),
+        Some(keys.to_vec()),
+    )
+}
+
 /// What one producer partition contributes to a paged exchange: the records
-/// that stay local, one run of sealed pages per peer target, and the routing
-/// counters.
+/// that stay local, one run of sealed pages (plus any spilled runs) per peer
+/// target, and the routing counters.
 struct RoutedSource {
     local: Vec<Record>,
     pages: Vec<Vec<Arc<RecordPage>>>,
+    /// Runs spilled per target while routing under a memory budget.
+    runs: Vec<Vec<SpilledRun>>,
     shipped_records: usize,
     shipped_bytes: usize,
+    spill: SpillStats,
 }
 
 /// Routes one producer partition: records staying in `src` go to the local
 /// buffer (moved when the producer is owned, cloned when it is shared —
 /// that is the only difference the `Cow` carries); records for peer
-/// partitions are serialized into the target's page writer straight from
-/// the borrow, never cloned.  The routing decision itself is the `router`
-/// closure — hash for [`paged_exchange`], splitter search for
+/// partitions are serialized into the target's budgeted page writer straight
+/// from the borrow, never cloned — sealed pages beyond the writer's budget
+/// leave for disk as sorted runs.  The routing decision itself is the
+/// `router` closure — hash for [`paged_exchange`], splitter search for
 /// [`range_exchange`].
 fn route_source<'a>(
     src: usize,
     records: impl Iterator<Item = Cow<'a, Record>>,
     router: &(impl Fn(&Record) -> usize + Sync),
     parallelism: usize,
-) -> RoutedSource {
-    let mut writers: Vec<PageWriter> = (0..parallelism).map(|_| PageWriter::new()).collect();
+    spill: &SpillManager,
+) -> std::io::Result<RoutedSource> {
+    let mut writers: Vec<crate::spill::SpillingWriter> =
+        (0..parallelism).map(|_| spill.writer()).collect();
     let mut local = Vec::new();
     let (mut shipped_records, mut shipped_bytes) = (0usize, 0usize);
     for record in records {
@@ -678,12 +833,23 @@ fn route_source<'a>(
             shipped_bytes += writers[target].push(&record);
         }
     }
-    RoutedSource {
+    let mut pages = Vec::with_capacity(parallelism);
+    let mut runs = Vec::with_capacity(parallelism);
+    let mut spill_stats = SpillStats::default();
+    for writer in writers {
+        let out = writer.finish()?;
+        spill_stats.merge(&out.stats);
+        pages.push(out.pages);
+        runs.push(out.runs);
+    }
+    Ok(RoutedSource {
         local,
-        pages: writers.into_iter().map(PageWriter::finish).collect(),
+        pages,
+        runs,
         shipped_records,
         shipped_bytes,
-    }
+        spill: spill_stats,
+    })
 }
 
 /// The paged repartitioning skeleton shared by the hash and range exchanges.
@@ -695,10 +861,12 @@ fn route_paged(
     producer: ProducerInput,
     router: &(impl Fn(&Record) -> usize + Sync),
     parallelism: usize,
+    spill: &SpillManager,
     stats: &mut ExecutionStats,
-) -> Vec<ExchangedPartition> {
+) -> Result<Vec<ExchangedPartition>> {
     let sources = producer.partitions().len();
-    let mut routed: Vec<Option<RoutedSource>> = (0..sources).map(|_| None).collect();
+    let mut routed: Vec<Option<std::io::Result<RoutedSource>>> =
+        (0..sources).map(|_| None).collect();
     if sources <= 1 {
         match producer {
             ProducerInput::Owned(parts) => {
@@ -708,6 +876,7 @@ fn route_paged(
                         records.into_iter().map(Cow::Owned),
                         router,
                         parallelism,
+                        spill,
                     ));
                 }
             }
@@ -718,6 +887,7 @@ fn route_paged(
                         records.iter().map(Cow::Borrowed),
                         router,
                         parallelism,
+                        spill,
                     ));
                 }
             }
@@ -735,6 +905,7 @@ fn route_paged(
                                 records.into_iter().map(Cow::Owned),
                                 router,
                                 parallelism,
+                                spill,
                             ));
                         });
                     }
@@ -750,6 +921,7 @@ fn route_paged(
                                 records.iter().map(Cow::Borrowed),
                                 router,
                                 parallelism,
+                                spill,
                             ));
                         });
                     }
@@ -759,11 +931,15 @@ fn route_paged(
     }
     let mut routed: Vec<RoutedSource> = routed
         .into_iter()
-        .map(|slot| slot.expect("pool routed every producer partition"))
-        .collect();
+        .map(|slot| {
+            slot.expect("pool routed every producer partition")
+                .map_err(DataflowError::from)
+        })
+        .collect::<Result<_>>()?;
 
     // Gather: partition `t` keeps the records that never left it and receives
-    // the sealed pages every producer addressed to it.  Pure pointer moves.
+    // the sealed pages (and spilled-run handles) every producer addressed to
+    // it.  Pure pointer moves — spilled bytes stay on disk.
     let mut result: Vec<ExchangedPartition> = routed
         .iter_mut()
         .map(|source| {
@@ -771,6 +947,8 @@ fn route_paged(
             stats.shipped_bytes += source.shipped_bytes;
             stats.local_records += source.local.len();
             stats.shipped_pages += source.pages.iter().map(Vec::len).sum::<usize>();
+            stats.spilled_bytes += source.spill.spilled_bytes;
+            stats.spilled_runs += source.spill.spilled_runs;
             ExchangedPartition::from_records(std::mem::take(&mut source.local))
         })
         .collect();
@@ -779,8 +957,11 @@ fn route_paged(
         for (target, pages) in source.pages.into_iter().enumerate() {
             result[target].receive_pages(pages);
         }
+        for (target, runs) in source.runs.into_iter().enumerate() {
+            result[target].receive_runs(runs);
+        }
     }
-    result
+    Ok(result)
 }
 
 /// The hash repartitioning exchange (see [`route_paged`]).
@@ -788,12 +969,14 @@ fn paged_exchange(
     producer: ProducerInput,
     keys: &[usize],
     parallelism: usize,
+    spill: &SpillManager,
     stats: &mut ExecutionStats,
-) -> Vec<ExchangedPartition> {
+) -> Result<Vec<ExchangedPartition>> {
     route_paged(
         producer,
         &|record: &Record| partition_for(record, keys, parallelism),
         parallelism,
+        spill,
         stats,
     )
 }
@@ -811,19 +994,29 @@ fn range_exchange(
     keys: &[usize],
     bounds: &RangeBounds,
     parallelism: usize,
+    spill: &SpillManager,
     stats: &mut ExecutionStats,
-) -> Vec<ExchangedPartition> {
+) -> Result<Vec<ExchangedPartition>> {
     let routed = route_paged(
         producer,
         &|record: &Record| bounds.partition_for_record(record, keys),
         parallelism,
+        spill,
         stats,
-    );
+    )?;
     let mut sorted: Vec<Option<ExchangedPartition>> = routed.into_iter().map(Some).collect();
+    // Sort what is in memory; anything that spilled during routing is
+    // already a sorted run on disk (sorted on flush), so the delivered
+    // partition is the *merge* of the sorted pieces — the sort never touches
+    // the spilled bytes again.
     let sort_one = |part: ExchangedPartition| {
-        let mut records = part.into_records();
+        let (mut records, runs) = part.into_mem_and_runs();
         sort_by_key_normalized(&mut records, keys);
-        ExchangedPartition::from_sorted_records(records, keys.to_vec())
+        if runs.is_empty() {
+            ExchangedPartition::from_sorted_records(records, keys.to_vec())
+        } else {
+            ExchangedPartition::from_sorted_spilled(records, runs, keys.to_vec())
+        }
     };
     if parallelism <= 1 {
         for slot in sorted.iter_mut() {
@@ -839,10 +1032,10 @@ fn range_exchange(
             }
         });
     }
-    sorted
+    Ok(sorted
         .into_iter()
         .map(|slot| slot.expect("pool sorted every partition"))
-        .collect()
+        .collect())
 }
 
 /// The paged broadcast: all records are serialized **once**, then every
@@ -1040,6 +1233,36 @@ fn run_local(op: &Operator, local: LocalStrategy, inputs: Vec<LocalInput>) -> (u
     (records_in, collector.into_records())
 }
 
+/// Materializes one input sorted by `key`: pre-sorted deliveries pass
+/// through (sorted spilled partitions merge linearly inside
+/// [`LocalInput::into_records`]), unsorted inputs whose spilled runs are
+/// individually sorted on `key` merge those runs with the sorted in-memory
+/// residue, and everything else pays the sort.
+fn into_sorted_records(input: LocalInput, key: &[usize]) -> Vec<Record> {
+    let presorted = input.sorted_by() == Some(key);
+    match input {
+        LocalInput::Paged(part)
+            if !presorted && part.spilled_run_count() > 0 && part.spilled_runs_sorted_by(key) =>
+        {
+            let (mut residue, runs) = part.into_mem_and_runs();
+            sort_by_key_normalized(&mut residue, key);
+            let mut records = Vec::new();
+            RunMerger::over_runs(&runs, residue, key.to_vec())
+                .expect("failed to open spilled runs for merging")
+                .collect_into(&mut records)
+                .expect("failed to read spilled runs while merging");
+            records
+        }
+        other => {
+            let mut records = other.into_records();
+            if !presorted {
+                sort_by_key(&mut records, key);
+            }
+            records
+        }
+    }
+}
+
 /// Grouping for the Reduce contract (hash- or sort-based).
 fn run_reduce(
     key: &[usize],
@@ -1053,6 +1276,30 @@ fn run_reduce(
             // A range exchange already delivered this partition sorted on
             // the grouping key: the sort the plan no longer performs.
             let presorted = input.sorted_by() == Some(key);
+            // Out-of-core path: whenever every spilled run is sorted on the
+            // grouping key (range deliveries always; hash deliveries via
+            // their sort-on-flush), only the in-memory residue is sorted and
+            // the groups stream off the k-way merge — one key group in
+            // memory at a time, the spilled part never rematerializes.
+            let input = match input {
+                LocalInput::Paged(part)
+                    if part.spilled_run_count() > 0 && part.spilled_runs_sorted_by(key) =>
+                {
+                    let merger = if presorted {
+                        part.into_merger()
+                    } else {
+                        let (mut residue, runs) = part.into_mem_and_runs();
+                        sort_by_key_normalized(&mut residue, key);
+                        RunMerger::over_runs(&runs, residue, key.to_vec())
+                            .expect("failed to open spilled runs for grouping")
+                    };
+                    merger
+                        .for_each_group(|k, group| udf.reduce(&k.values(), group, out))
+                        .expect("failed to read spilled runs while grouping");
+                    return;
+                }
+                other => other,
+            };
             let mut records = input.into_records();
             if !presorted {
                 sort_by_key(&mut records, key);
@@ -1115,17 +1362,10 @@ fn run_match(
         }
         LocalStrategy::SortMergeJoin => {
             // Range-exchanged sides arrive sorted on their join key; only
-            // sides without the delivered order pay the sort.
-            let l_presorted = left.sorted_by() == Some(left_key);
-            let r_presorted = right.sorted_by() == Some(right_key);
-            let mut l_sorted = left.into_records();
-            let mut r_sorted = right.into_records();
-            if !l_presorted {
-                sort_by_key(&mut l_sorted, left_key);
-            }
-            if !r_presorted {
-                sort_by_key(&mut r_sorted, right_key);
-            }
+            // sides without the delivered order pay a sort, and sides whose
+            // spilled runs carry the key order materialize by linear merge.
+            let l_sorted = into_sorted_records(left, left_key);
+            let r_sorted = into_sorted_records(right, right_key);
             let l_ranges = group_ranges(&l_sorted, left_key);
             let r_ranges = group_ranges(&r_sorted, right_key);
             let (mut li, mut ri) = (0usize, 0usize);
@@ -1596,11 +1836,13 @@ mod tests {
             } else {
                 ProducerInput::Shared(Arc::new(producer.clone()))
             };
-            let exchanged = paged_exchange(input, &[0], parallelism, &mut stats);
+            let spill = SpillManager::new(MemoryBudget::unlimited(), Some(vec![0]));
+            let exchanged = paged_exchange(input, &[0], parallelism, &spill, &mut stats).unwrap();
             assert!(
                 stats.shipped_pages > 0,
                 "cross-partition data moves as pages"
             );
+            assert_eq!(stats.spilled_runs, 0, "unbudgeted exchanges never spill");
             assert!(stats.shipped_records > 0);
             assert_eq!(stats.shipped_records + stats.local_records, 1000);
             for (target, part) in exchanged.into_iter().enumerate() {
@@ -1673,13 +1915,16 @@ mod tests {
         }
         let bounds = RangeBounds::from_sample(sample, parallelism);
         let mut stats = ExecutionStats::new();
+        let spill = SpillManager::new(MemoryBudget::unlimited(), Some(vec![0]));
         let exchanged = range_exchange(
             ProducerInput::Owned(producer.clone()),
             &[0],
             &bounds,
             parallelism,
+            &spill,
             &mut stats,
-        );
+        )
+        .unwrap();
         assert_eq!(stats.shipped_records + stats.local_records, 2000);
         let mut concatenated: Vec<Record> = Vec::new();
         for part in exchanged {
@@ -1801,6 +2046,135 @@ mod tests {
         assert_eq!(a, b);
         cache.clear();
         assert!(cache.range_bounds.is_empty());
+    }
+
+    #[test]
+    fn budgeted_range_exchange_delivers_merged_global_order() {
+        // Budget 0: every routed record spills; the delivered partitions are
+        // merges of sorted runs plus the sorted local residue and must still
+        // concatenate into the same global key order as the in-memory path.
+        let parallelism = 4;
+        let mut producer: Partitions = vec![Vec::new(); parallelism];
+        for i in 0..1500i64 {
+            producer[(i % parallelism as i64) as usize].push(Record::pair((i * i) % 311 - 100, i));
+        }
+        let mut sample = Vec::new();
+        for part in &producer {
+            sample_keys_into(&mut sample, part, &[0]);
+        }
+        let bounds = RangeBounds::from_sample(sample, parallelism);
+        let mut stats = ExecutionStats::new();
+        let spill = SpillManager::new(MemoryBudget::bytes(0), Some(vec![0]));
+        let exchanged = range_exchange(
+            ProducerInput::Owned(producer.clone()),
+            &[0],
+            &bounds,
+            parallelism,
+            &spill,
+            &mut stats,
+        )
+        .unwrap();
+        assert!(stats.spilled_runs > 0, "budget 0 must spill");
+        assert!(stats.spilled_bytes > 0);
+        let mut concatenated: Vec<Record> = Vec::new();
+        for part in exchanged {
+            assert_eq!(part.sorted_by(), Some(&[0usize][..]));
+            concatenated.extend(part.into_records());
+        }
+        for window in concatenated.windows(2) {
+            assert!(
+                window[0].long(0) <= window[1].long(0),
+                "not globally sorted"
+            );
+        }
+        let mut expected: Vec<Record> = producer.into_iter().flatten().collect();
+        concatenated.sort();
+        expected.sort();
+        assert_eq!(concatenated, expected, "spilling changed the multiset");
+    }
+
+    #[test]
+    fn budgeted_execution_matches_unbudgeted_execution() {
+        // The whole plan under a zero budget: hash-shipped HashGroup, hash-
+        // shipped SortGroup (merging sorted spilled runs) and range-shipped
+        // SortGroup (streaming group over the merge) must all equal the
+        // in-memory run.
+        let records: Vec<Record> = (0..3000).map(|i| Record::pair(i % 97 - 40, 1)).collect();
+        let (plan, red) = keyed_sum_plan(records);
+        let unbudgeted = Executor::new()
+            .execute(&default_physical_plan(&plan, 4).unwrap())
+            .unwrap();
+        assert_eq!(unbudgeted.stats.spilled_bytes, 0);
+        let mut expected = unbudgeted.into_sink("out").unwrap();
+        expected.sort();
+        for (ship_range, local) in [
+            (false, LocalStrategy::HashGroup),
+            (false, LocalStrategy::SortGroup),
+            (true, LocalStrategy::SortGroup),
+        ] {
+            let mut phys = default_physical_plan(&plan, 4).unwrap();
+            {
+                let choice = phys.choices.get_mut(&red).unwrap();
+                if ship_range {
+                    choice.input_ships[0] = ShipStrategy::PartitionRange(vec![0]);
+                }
+                choice.local = local;
+            }
+            let executor =
+                Executor::with_config(ExecConfig::new().with_memory_budget(MemoryBudget::bytes(0)));
+            let result = executor.execute(&phys).unwrap();
+            assert!(
+                result.stats.spilled_bytes > 0,
+                "zero budget must spill (range={ship_range}, {local:?})"
+            );
+            assert!(result.stats.spilled_runs > 0);
+            let mut got = result.into_sink("out").unwrap();
+            got.sort();
+            assert_eq!(
+                got, expected,
+                "budgeted run diverged (range={ship_range}, {local:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_cached_edges_spill_and_serve_from_disk() {
+        let records: Vec<Record> = (0..400).map(|i| Record::pair((i * 7) % 50, i)).collect();
+        let (plan, red) = keyed_sum_plan(records);
+        let mut phys = default_physical_plan(&plan, 3).unwrap();
+        {
+            let choice = phys.choices.get_mut(&red).unwrap();
+            choice.input_ships[0] = ShipStrategy::PartitionRange(vec![0]);
+            choice.local = LocalStrategy::SortGroup;
+        }
+        phys.cache_input(red, 0);
+        let mut cache = IntermediateCache::new().with_memory_budget(MemoryBudget::bytes(64));
+        let exec = Executor::new();
+        let first = exec.execute_with_cache(&phys, &mut cache).unwrap();
+        assert!(
+            first.stats.spilled_bytes > 0,
+            "the cached edge exceeds 64 bytes and must spill"
+        );
+        let cached = cache.entries.values().next().unwrap();
+        assert!(cached.runs.is_some(), "edge lives on disk");
+        assert!(cached.parts.iter().all(Vec::is_empty));
+        assert_eq!(cached.sorted_by.as_deref(), Some(&[0usize][..]));
+        // Every re-execution streams the spilled runs back and agrees with
+        // an uncached, unbudgeted run.
+        let second = exec.execute_with_cache(&phys, &mut cache).unwrap();
+        assert_eq!(second.stats.cache_hits, 1);
+        let mut a = first.into_sink("out").unwrap();
+        let mut b = second.into_sink("out").unwrap();
+        let mut c = Executor::new()
+            .execute(&default_physical_plan(&plan, 3).unwrap())
+            .unwrap()
+            .into_sink("out")
+            .unwrap();
+        a.sort();
+        b.sort();
+        c.sort();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]

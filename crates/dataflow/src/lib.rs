@@ -10,6 +10,10 @@
 //! * **Serialized pages** — records that cross partition boundaries travel
 //!   as length-prefixed binary data in sealed page buffers, so repartitioning
 //!   moves page pointers and ships bytes, not heap objects ([`page`]).
+//! * **Spilling** — under a memory budget, exchanges move sealed pages to
+//!   disk as sorted runs and sort-based strategies consume them through a
+//!   streaming k-way merge, so iterations keep working when the exchanged
+//!   state exceeds memory ([`spill`]).
 //! * **Parallelization Contracts** — `Map`, `Reduce`, `Match`, `Cross`,
 //!   `CoGroup` and `InnerCoGroup` second-order functions wrapping arbitrary
 //!   user code ([`contracts`]).
@@ -59,6 +63,7 @@ pub mod physical;
 pub mod plan;
 pub mod range;
 pub mod record;
+pub mod spill;
 pub mod stats;
 pub mod value;
 
@@ -69,7 +74,9 @@ pub mod prelude {
         MapFunction, MatchClosure, MatchFunction, ReduceClosure, ReduceFunction, Udf,
     };
     pub use crate::error::{DataflowError, Result};
-    pub use crate::exec::{ExecutionResult, Executor, IntermediateCache, Partition, Partitions};
+    pub use crate::exec::{
+        ExecConfig, ExecutionResult, Executor, IntermediateCache, Partition, Partitions,
+    };
     pub use crate::key::{FxBuildHasher, FxHashMap, Key, KeyFields, KeyValues};
     pub use crate::page::{ExchangedPartition, PageReader, PageWriter, RecordPage, RecordView};
     pub use crate::physical::{
@@ -79,6 +86,10 @@ pub mod prelude {
     pub use crate::plan::{Operator, OperatorId, OperatorKind, Plan};
     pub use crate::range::{sort_by_key_normalized, PartitionRouter, RangeBounds};
     pub use crate::record::Record;
+    pub use crate::spill::{
+        MemoryBudget, MergeSource, RunCursor, RunMerger, SpillManager, SpillStats, SpilledRun,
+        SpillingWriter,
+    };
     pub use crate::stats::{ExecutionStats, OperatorStats};
     pub use crate::value::Value;
 }

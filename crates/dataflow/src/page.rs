@@ -46,6 +46,7 @@
 //! whether a record fits into the open page before serializing it.
 
 use crate::record::Record;
+use crate::spill::{RunMerger, SpilledRun};
 use crate::value::Value;
 use std::sync::Arc;
 
@@ -182,6 +183,19 @@ fn deserialize_value(bytes: &[u8], offset: &mut usize) -> Value {
     }
 }
 
+/// Reads one length-framed record starting at `offset` into `target`,
+/// advancing the offset past it — the in-crate primitive behind
+/// [`crate::spill::RunCursor`], which revives page bytes from disk without
+/// constructing a [`RecordPage`].
+pub(crate) fn read_framed_record(bytes: &[u8], offset: &mut usize, target: &mut Record) {
+    let len = u32::from_le_bytes(read_array(bytes, offset)) as usize;
+    let end = *offset + len;
+    target.clear();
+    while *offset < end {
+        target.push(deserialize_value(bytes, offset));
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Pages
 // ---------------------------------------------------------------------------
@@ -217,6 +231,13 @@ impl RecordPage {
         self.buf.len()
     }
 
+    /// The raw serialized bytes of the page (the run file format on disk is
+    /// exactly these bytes behind a small frame header).
+    #[inline]
+    pub(crate) fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// A cursor over the records of the page.
     #[inline]
     pub fn reader(&self) -> PageReader<'_> {
@@ -233,10 +254,25 @@ impl RecordPage {
 /// The writer keeps one open page; pushing a record that would not fit seals
 /// the open page and starts a new one.  A record wider than the page capacity
 /// gets a private oversized page, so arbitrarily large records round-trip.
+///
+/// # Capacity invariant
+///
+/// Every sealed page holds at most `page_bytes` bytes, with exactly one
+/// exception: a record wider than the capacity seals **alone** into a
+/// private page, immediately — it never shares a page, so the records around
+/// it frame exactly as if it had fit.  [`PageWriter::seal`] asserts this
+/// invariant instead of letting an over-full mixed page slip through
+/// silently (which would break the fixed-buffer assumption of anything
+/// staging pages, e.g. the spill path reviving them through one reused
+/// buffer).
 #[derive(Debug)]
 pub struct PageWriter {
     page_bytes: usize,
     sealed: Vec<Arc<RecordPage>>,
+    /// Serialized bytes across the sealed (not yet taken) pages — what a
+    /// memory budget meters; the open page is the working buffer and is
+    /// never counted.
+    sealed_bytes: usize,
     buf: Vec<u8>,
     records: usize,
     total_records: usize,
@@ -261,6 +297,7 @@ impl PageWriter {
         PageWriter {
             page_bytes: page_bytes.max(RECORD_FRAME_BYTES + 1),
             sealed: Vec::new(),
+            sealed_bytes: 0,
             buf: Vec::new(),
             records: 0,
             total_records: 0,
@@ -281,6 +318,13 @@ impl PageWriter {
         self.records += 1;
         self.total_records += 1;
         self.total_bytes += width;
+        if width > self.page_bytes {
+            // An oversized record seals alone, immediately: its private page
+            // is the one allowed breach of the capacity invariant, and
+            // sealing it here guarantees no later record shares (and
+            // corrupts the offsets of) the over-full buffer.
+            self.seal();
+        }
         width
     }
 
@@ -289,9 +333,32 @@ impl PageWriter {
         if self.buf.is_empty() {
             return;
         }
+        debug_assert!(
+            self.buf.len() <= self.page_bytes || self.records == 1,
+            "capacity invariant violated: a {}-byte page with {} records exceeds \
+             the {}-byte capacity (only single oversized records may)",
+            self.buf.len(),
+            self.records,
+            self.page_bytes
+        );
         let buf = std::mem::take(&mut self.buf);
         let records = std::mem::replace(&mut self.records, 0);
+        self.sealed_bytes += buf.len();
         self.sealed.push(Arc::new(RecordPage { buf, records }));
+    }
+
+    /// Serialized bytes across the sealed pages still held by the writer
+    /// (the quantity a [`crate::spill::MemoryBudget`] meters).
+    #[inline]
+    pub fn sealed_bytes(&self) -> usize {
+        self.sealed_bytes
+    }
+
+    /// Takes the sealed pages out of the writer (the open page stays),
+    /// resetting the sealed-byte gauge — the spill path moves these to disk.
+    pub fn take_sealed(&mut self) -> Vec<Arc<RecordPage>> {
+        self.sealed_bytes = 0;
+        std::mem::take(&mut self.sealed)
     }
 
     /// Records written so far (sealed and open pages).
@@ -448,17 +515,30 @@ fn skip_value(bytes: &[u8], offset: &mut usize) {
 /// Records that were already in the right partition stay heap objects and are
 /// moved (a local forward never serializes, exactly like a chained operator
 /// in the real runtime); records from peer partitions arrive as sealed,
-/// shared pages.  Consumers either iterate everything by reference with a
-/// reusable scratch record ([`ExchangedPartition::for_each_ref`]) or take
-/// ownership ([`ExchangedPartition::into_records`] /
+/// shared pages — or, when the exchange ran under a memory budget, as
+/// [`SpilledRun`]s on disk.  Consumers either iterate everything by reference
+/// with a reusable scratch record ([`ExchangedPartition::for_each_ref`]) or
+/// take ownership ([`ExchangedPartition::into_records`] /
 /// [`ExchangedPartition::for_each_owned`]).
+///
+/// # Sorted spilled partitions
+///
+/// A sorted partition ([`ExchangedPartition::sorted_by`] set) that holds
+/// spilled runs keeps two invariants: the materialized records are sorted,
+/// every run is individually sorted by the same key, and no raw pages are
+/// present.  The owning accessors then yield the **merged** global order (a
+/// linear k-way merge, never a re-sort); [`ExchangedPartition::for_each_ref`]
+/// streams the pieces without merging, so its visit order across pieces is
+/// unspecified — order-sensitive consumers take ownership.
 #[derive(Debug, Default)]
 pub struct ExchangedPartition {
     local: Vec<Record>,
     pages: Vec<Arc<RecordPage>>,
-    /// Key fields the materialized records are sorted by, when the exchange
-    /// delivered this partition sorted (range exchanges).  Only set on
-    /// fully-materialized partitions; receiving pages clears it.
+    /// Runs spilled to disk by the exchange, in spill order (earlier records
+    /// first).
+    runs: Vec<SpilledRun>,
+    /// Key fields the partition is sorted by, when the exchange delivered it
+    /// sorted (range exchanges).  Receiving pages or runs clears it.
     sorted_by: Option<crate::key::KeyFields>,
 }
 
@@ -467,8 +547,7 @@ impl ExchangedPartition {
     pub fn from_records(local: Vec<Record>) -> Self {
         ExchangedPartition {
             local,
-            pages: Vec::new(),
-            sorted_by: None,
+            ..ExchangedPartition::default()
         }
     }
 
@@ -478,8 +557,8 @@ impl ExchangedPartition {
     pub fn from_sorted_records(local: Vec<Record>, key: crate::key::KeyFields) -> Self {
         ExchangedPartition {
             local,
-            pages: Vec::new(),
             sorted_by: Some(key),
+            ..ExchangedPartition::default()
         }
     }
 
@@ -488,7 +567,38 @@ impl ExchangedPartition {
         ExchangedPartition {
             local,
             pages,
-            sorted_by: None,
+            ..ExchangedPartition::default()
+        }
+    }
+
+    /// A partition served entirely from spilled runs (a budget-spilled cached
+    /// edge).  When `sorted_by` is set, every run must be sorted by that key.
+    pub fn from_spilled(runs: Vec<SpilledRun>, sorted_by: Option<crate::key::KeyFields>) -> Self {
+        if let Some(key) = &sorted_by {
+            debug_assert!(runs.iter().all(|r| r.sorted_by() == Some(&key[..])));
+        }
+        ExchangedPartition {
+            runs,
+            sorted_by,
+            ..ExchangedPartition::default()
+        }
+    }
+
+    /// A sorted partition whose overflow lives on disk: `local` is sorted by
+    /// `key`, each run is individually sorted by `key`, and the owning
+    /// accessors merge them into the global order (what a budgeted range
+    /// exchange delivers).
+    pub fn from_sorted_spilled(
+        local: Vec<Record>,
+        runs: Vec<SpilledRun>,
+        key: crate::key::KeyFields,
+    ) -> Self {
+        debug_assert!(runs.iter().all(|r| r.sorted_by() == Some(&key[..])));
+        ExchangedPartition {
+            local,
+            runs,
+            sorted_by: Some(key),
+            ..ExchangedPartition::default()
         }
     }
 
@@ -509,14 +619,29 @@ impl ExchangedPartition {
         }
     }
 
-    /// Total records (local plus paged).
+    /// Appends spilled runs received from a peer partition (handle moves —
+    /// the bytes stay on disk).  Like received pages, received runs void any
+    /// previously recorded partition-wide order.
+    pub fn receive_runs(&mut self, runs: impl IntoIterator<Item = SpilledRun>) {
+        let before = self.runs.len();
+        self.runs.extend(runs);
+        if self.runs.len() > before {
+            self.sorted_by = None;
+        }
+    }
+
+    /// Total records (local, paged and spilled).
     pub fn record_count(&self) -> usize {
-        self.local.len() + self.pages.iter().map(|p| p.record_count()).sum::<usize>()
+        self.local.len()
+            + self.pages.iter().map(|p| p.record_count()).sum::<usize>()
+            + self.runs.iter().map(|r| r.record_count()).sum::<usize>()
     }
 
     /// True if the partition received nothing.
     pub fn is_empty(&self) -> bool {
-        self.local.is_empty() && self.pages.iter().all(|p| p.is_empty())
+        self.local.is_empty()
+            && self.pages.iter().all(|p| p.is_empty())
+            && self.runs.iter().all(|r| r.record_count() == 0)
     }
 
     /// Number of sealed pages received from peers.
@@ -524,9 +649,50 @@ impl ExchangedPartition {
         self.pages.len()
     }
 
-    /// Calls `f` for every record: local records by reference, page records
-    /// through one scratch record that is reused across calls (no per-record
-    /// allocation for fixed-width fields).
+    /// Number of spilled runs backing this partition.
+    pub fn spilled_run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when every spilled run is individually sorted by `key` — even if
+    /// the partition as a whole is not (a hash exchange delivers unordered
+    /// partitions whose runs were still sorted on flush).  Sort-based
+    /// consumers use this to merge the runs with a sorted in-memory residue
+    /// instead of rematerializing and re-sorting everything.
+    pub fn spilled_runs_sorted_by(&self, key: &[usize]) -> bool {
+        self.runs.iter().all(|run| run.sorted_by() == Some(key))
+    }
+
+    /// True when the owning accessors must merge sorted pieces.
+    fn is_sorted_merge(&self) -> bool {
+        self.sorted_by.is_some() && !self.runs.is_empty()
+    }
+
+    /// The streaming k-way merge over this sorted partition's pieces (the
+    /// spilled runs plus the in-memory sorted records), yielding the global
+    /// key order one record at a time.
+    ///
+    /// # Panics
+    /// If the partition is not sorted, or holds raw pages (sorted spilled
+    /// partitions never do, by construction).
+    pub fn into_merger(self) -> RunMerger {
+        let key = self
+            .sorted_by
+            .clone()
+            .expect("into_merger requires a sorted partition");
+        assert!(
+            self.pages.is_empty(),
+            "sorted spilled partitions never hold raw pages"
+        );
+        RunMerger::over_runs(&self.runs, self.local, key)
+            .expect("failed to open spilled runs for merging")
+    }
+
+    /// Calls `f` for every record: local records by reference, page and run
+    /// records through one scratch record that is reused across calls (no
+    /// per-record allocation for fixed-width fields).  The visit order
+    /// across the pieces is unspecified; order-sensitive consumers use the
+    /// owning accessors, which merge sorted spilled partitions.
     pub fn for_each_ref(&self, mut f: impl FnMut(&Record)) {
         for record in &self.local {
             f(record);
@@ -538,11 +704,28 @@ impl ExchangedPartition {
                 f(&scratch);
             }
         }
+        for run in &self.runs {
+            let mut cursor = run.cursor().expect("failed to open spilled run");
+            while cursor
+                .next_into(&mut scratch)
+                .expect("failed to read spilled run")
+            {
+                f(&scratch);
+            }
+        }
     }
 
     /// Calls `f` with every record owned: local records are moved out, page
-    /// records are materialized.
+    /// and run records are materialized.  Sorted spilled partitions are
+    /// visited in merged (global key) order.
     pub fn for_each_owned(self, mut f: impl FnMut(Record)) {
+        if self.is_sorted_merge() {
+            let mut merger = self.into_merger();
+            while let Some(record) = merger.next_record().expect("failed to read spilled run") {
+                f(record);
+            }
+            return;
+        }
         for record in self.local {
             f(record);
         }
@@ -551,11 +734,29 @@ impl ExchangedPartition {
                 f(view.materialize());
             }
         }
+        for run in &self.runs {
+            let mut cursor = run.cursor().expect("failed to open spilled run");
+            while let Some(record) = cursor.next_record().expect("failed to read spilled run") {
+                f(record);
+            }
+        }
     }
 
     /// Materializes the whole partition into owned records (local records
-    /// moved, page records deserialized).
+    /// moved, page and run records deserialized).  Sorted spilled partitions
+    /// materialize in merged order — a linear merge of the sorted pieces,
+    /// never an in-memory re-sort.
     pub fn into_records(self) -> Vec<Record> {
+        let mut records = Vec::with_capacity(self.record_count());
+        self.for_each_owned(|record| records.push(record));
+        records
+    }
+
+    /// Splits the partition into its in-memory records (local moved, pages
+    /// materialized, in arrival order) and its spilled runs — the shape the
+    /// range exchange sorts: memory gets the memcmp sort, runs are already
+    /// sorted on disk.
+    pub fn into_mem_and_runs(self) -> (Vec<Record>, Vec<SpilledRun>) {
         let mut records = self.local;
         records.reserve(self.pages.iter().map(|p| p.record_count()).sum());
         for page in &self.pages {
@@ -563,7 +764,7 @@ impl ExchangedPartition {
                 records.push(view.materialize());
             }
         }
-        records
+        (records, self.runs)
     }
 }
 
@@ -640,6 +841,61 @@ mod tests {
         assert_eq!(pages[1].record_count(), 1);
         assert!(pages[1].byte_len() > 64);
         assert_eq!(pages[1].reader().next().unwrap().materialize(), big);
+    }
+
+    #[test]
+    fn oversized_record_never_corrupts_following_offsets() {
+        // The capacity invariant: an oversized record seals alone into its
+        // private page the moment it is written, so the small records around
+        // it frame on clean page boundaries and every reader offset stays
+        // exact.  (Before the invariant was asserted, an over-full open page
+        // could in principle have accepted more records silently.)
+        for page_bytes in [32usize, 64, 200] {
+            let mut records = vec![Record::pair(1, 2)];
+            records.push(Record::new(vec![Value::Text("y".repeat(3 * page_bytes))]));
+            records.extend((0..50).map(|i| Record::pair(i, -i)));
+            records.push(Record::new(vec![Value::Text("z".repeat(2 * page_bytes))]));
+            records.extend((50..80).map(|i| Record::pair(i, -i)));
+            let mut writer = PageWriter::with_page_bytes(page_bytes);
+            for r in &records {
+                writer.push(r);
+            }
+            let pages = writer.finish();
+            for page in &pages {
+                assert!(
+                    page.byte_len() <= page_bytes || page.record_count() == 1,
+                    "an over-capacity page must be a private oversized page \
+                     ({} bytes, {} records, capacity {page_bytes})",
+                    page.byte_len(),
+                    page.record_count()
+                );
+            }
+            let read: Vec<Record> = pages
+                .iter()
+                .flat_map(|p| p.reader().map(|v| v.materialize()))
+                .collect();
+            assert_eq!(read, records, "offsets corrupted at capacity {page_bytes}");
+        }
+    }
+
+    #[test]
+    fn take_sealed_resets_the_budget_gauge() {
+        let mut writer = PageWriter::with_page_bytes(40);
+        for i in 0..10 {
+            writer.push(&Record::pair(i, i));
+        }
+        assert!(writer.sealed_bytes() > 0, "tiny pages sealed under writing");
+        let sealed = writer.take_sealed();
+        assert!(!sealed.is_empty());
+        assert_eq!(writer.sealed_bytes(), 0);
+        // The open page survives the take and seals at finish.
+        let rest = writer.finish();
+        let total: usize = sealed
+            .iter()
+            .chain(rest.iter())
+            .map(|p| p.record_count())
+            .sum();
+        assert_eq!(total, 10);
     }
 
     #[test]

@@ -1,0 +1,951 @@
+//! Spilling sealed pages to disk: the out-of-core half of the engine.
+//!
+//! The Stratosphere runtime the paper builds on is an *out-of-core* dataflow
+//! engine: iterations keep working when the exchanged state no longer fits in
+//! memory, because exchange buffers spill to disk and sort/merge operators
+//! consume the spilled data as sorted runs.  The sealed binary pages of
+//! [`crate::page`] make this a byte-level operation — a run on disk is just a
+//! sequence of framed pages — and the normalized-key sort of [`crate::range`]
+//! makes every run cheap to order.  This module is that half:
+//!
+//! * [`MemoryBudget`] — how many serialized bytes an exchange may buffer in
+//!   memory before sealed pages leave for disk.  `unlimited()` (the default)
+//!   never spills; `bytes(0)` spills everything.
+//! * [`SpillManager`] — the per-exchange policy object (budget, spill
+//!   directory, sort-on-flush key) handing out [`SpillingWriter`]s.
+//! * [`SpillingWriter`] — a [`PageWriter`] that, whenever its sealed pages
+//!   exceed the budget, flushes them into a [`SpilledRun`] on disk.  With a
+//!   sort key configured the flushed records are ordered with the
+//!   normalized-key memcmp sort first, so every run on disk is a *sorted*
+//!   run; pages that are already sorted (a delivered range partition, a
+//!   sorted cached edge) are written verbatim via [`write_run_in`].
+//! * [`SpilledRun`] / [`RunCursor`] — a handle to one run file (deleted when
+//!   the last handle drops, so passing test runs leak no files) and a
+//!   streaming reader that revives records through one page-sized scratch
+//!   buffer, never materializing the run.
+//! * [`RunMerger`] — a k-way loser-tree merge over sorted runs (and sorted
+//!   in-memory record sequences), yielding the globally sorted stream one
+//!   record at a time.  [`RunMerger::for_each_group`] layers streaming
+//!   grouping on top: only one key group is ever in memory.
+//!
+//! # Run file format
+//!
+//! A run is a sequence of framed pages: a little-endian `u32` byte length and
+//! a `u32` record count, followed by the page bytes exactly as they sat in
+//! memory (the wire format of [`crate::page`]).  Reading a run back is one
+//! sequential pass; no index or footer is needed because the
+//! [`SpilledRun`] handle carries the page count.
+//!
+//! # Error handling
+//!
+//! Writing (the spill decision) returns `io::Result` so budget-driven spills
+//! surface disk-full and permission errors to the caller.  Reading back a run
+//! that this process just wrote panics on I/O errors — a torn run file is
+//! unrecoverable mid-exchange, exactly like a lost network connection in the
+//! real runtime.
+
+use crate::key::{Key, KeyFields};
+use crate::page::{PageWriter, RecordPage};
+use crate::range::sort_by_key_normalized;
+use crate::record::Record;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Environment variable naming the directory spilled runs are written to.
+/// Unset (or empty), runs go to a process-private directory under the system
+/// temp dir.  CI points this at a known location and asserts it is empty
+/// after the test run — spilled runs must never leak files.
+pub const SPILL_DIR_ENV: &str = "SPINNING_SPILL_DIR";
+
+/// Environment variable carrying a byte budget for test suites and smoke
+/// jobs; parsed by [`MemoryBudget::from_env`].
+pub const MEMORY_BUDGET_ENV: &str = "SPINNING_MEMORY_BUDGET";
+
+// ---------------------------------------------------------------------------
+// Budget
+// ---------------------------------------------------------------------------
+
+/// A byte budget on buffered (sealed but unshipped) exchange pages.
+///
+/// The default is unlimited — nothing ever spills.  A finite budget makes a
+/// [`SpillingWriter`] move sealed pages to disk whenever their bytes exceed
+/// the limit; `bytes(0)` therefore spills every sealed page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryBudget(Option<usize>);
+
+impl MemoryBudget {
+    /// No budget: exchanges buffer everything in memory (the default).
+    pub const fn unlimited() -> MemoryBudget {
+        MemoryBudget(None)
+    }
+
+    /// A finite budget of `limit` bytes.  Zero means "spill everything".
+    pub const fn bytes(limit: usize) -> MemoryBudget {
+        MemoryBudget(Some(limit))
+    }
+
+    /// Reads a budget from [`MEMORY_BUDGET_ENV`].  `None` when the variable
+    /// is unset; a set-but-unparseable value panics instead of being
+    /// silently ignored — a typo in a CI budget must not make the smoke job
+    /// quietly test a different budget than it configured.
+    pub fn from_env() -> Option<MemoryBudget> {
+        let raw = std::env::var(MEMORY_BUDGET_ENV).ok()?;
+        match raw.trim().parse() {
+            Ok(limit) => Some(MemoryBudget::bytes(limit)),
+            Err(_) => panic!(
+                "{MEMORY_BUDGET_ENV} must be a plain byte count, got {raw:?} \
+                 (suffixes like 'k' or 'MB' are not supported)"
+            ),
+        }
+    }
+
+    /// True when no limit is configured.
+    pub fn is_unlimited(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// The configured limit in bytes, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.0
+    }
+
+    /// True when `buffered_bytes` still fits the budget.
+    #[inline]
+    pub fn allows(&self, buffered_bytes: usize) -> bool {
+        match self.0 {
+            None => true,
+            Some(limit) => buffered_bytes <= limit,
+        }
+    }
+
+    /// Splits the budget evenly over `ways` concurrent buffers (an exchange
+    /// holds one page writer per producer×target pair, which together must
+    /// stay under the exchange's budget).
+    pub fn share(&self, ways: usize) -> MemoryBudget {
+        MemoryBudget(self.0.map(|limit| limit / ways.max(1)))
+    }
+}
+
+/// Counters describing what a writer (or a whole exchange) spilled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Serialized bytes written to disk as runs.
+    pub spilled_bytes: usize,
+    /// Number of runs created.
+    pub spilled_runs: usize,
+    /// Records contained in those runs.
+    pub spilled_records: usize,
+}
+
+impl SpillStats {
+    /// Accumulates another writer's counters into this one.
+    pub fn merge(&mut self, other: &SpillStats) {
+        self.spilled_bytes += other.spilled_bytes;
+        self.spilled_runs += other.spilled_runs;
+        self.spilled_records += other.spilled_records;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runs on disk
+// ---------------------------------------------------------------------------
+
+/// The owned run file; removed from disk when the last handle drops.
+#[derive(Debug)]
+struct RunFile {
+    path: PathBuf,
+}
+
+impl Drop for RunFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Distinguishes run files across writers; the process id in the file name
+/// distinguishes them across processes sharing a spill directory.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The directory spilled runs are written to: [`SPILL_DIR_ENV`] when set,
+/// otherwise a process-private directory under the system temp dir.
+pub fn default_spill_dir() -> PathBuf {
+    match std::env::var_os(SPILL_DIR_ENV) {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => std::env::temp_dir().join(format!("spinning-spill-{}", std::process::id())),
+    }
+}
+
+/// A handle to one spilled run: a sequence of framed pages on disk, plus the
+/// key fields its records are sorted by (if any).  Handles are cheap to
+/// clone and share the underlying file; the file is deleted when the last
+/// handle drops.
+#[derive(Debug, Clone)]
+pub struct SpilledRun {
+    file: Arc<RunFile>,
+    pages: usize,
+    records: usize,
+    bytes: usize,
+    sorted_by: Option<KeyFields>,
+}
+
+impl SpilledRun {
+    /// Number of records in the run.
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// Serialized page bytes in the run (frame headers excluded).
+    pub fn byte_len(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of pages in the run.
+    pub fn page_count(&self) -> usize {
+        self.pages
+    }
+
+    /// The key fields the run's records are sorted by, if the run is sorted.
+    pub fn sorted_by(&self) -> Option<&[usize]> {
+        self.sorted_by.as_deref()
+    }
+
+    /// Path of the backing file (diagnostics only; the file disappears with
+    /// the last handle).
+    pub fn path(&self) -> &Path {
+        &self.file.path
+    }
+
+    /// Opens a streaming cursor over the run's records.
+    pub fn cursor(&self) -> io::Result<RunCursor> {
+        Ok(RunCursor {
+            reader: BufReader::new(File::open(&self.file.path)?),
+            pages_remaining: self.pages,
+            page: Vec::new(),
+            offset: 0,
+            records_in_page: 0,
+            _file: Arc::clone(&self.file),
+        })
+    }
+}
+
+/// Writes sealed pages to `dir` as one run, verbatim (no re-sort; pass
+/// `sorted_by` when the pages are already ordered, e.g. a delivered range
+/// partition).  Empty pages are skipped.
+pub fn write_run_in(
+    dir: &Path,
+    pages: &[Arc<RecordPage>],
+    sorted_by: Option<KeyFields>,
+) -> io::Result<SpilledRun> {
+    fs::create_dir_all(dir)?;
+    let id = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("run-{}-{id}.spill", std::process::id()));
+    let file = File::create(&path)?;
+    // Constructed before writing so a failed write still deletes the file.
+    let run_file = Arc::new(RunFile { path });
+    let mut writer = BufWriter::new(file);
+    let (mut page_count, mut records, mut bytes) = (0usize, 0usize, 0usize);
+    for page in pages {
+        if page.is_empty() {
+            continue;
+        }
+        writer.write_all(&(page.byte_len() as u32).to_le_bytes())?;
+        writer.write_all(&(page.record_count() as u32).to_le_bytes())?;
+        writer.write_all(page.bytes())?;
+        page_count += 1;
+        records += page.record_count();
+        bytes += page.byte_len();
+    }
+    writer.flush()?;
+    Ok(SpilledRun {
+        file: run_file,
+        pages: page_count,
+        records,
+        bytes,
+        sorted_by,
+    })
+}
+
+/// Serializes already-sorted records into fresh pages and writes them as a
+/// sorted run.
+pub fn write_sorted_records_in(
+    dir: &Path,
+    records: &[Record],
+    keys: &[usize],
+) -> io::Result<SpilledRun> {
+    let mut writer = PageWriter::new();
+    for record in records {
+        writer.push(record);
+    }
+    write_run_in(dir, &writer.finish(), Some(keys.to_vec()))
+}
+
+/// Materializes the records of `pages`, sorts them with the normalized-key
+/// memcmp sort, and writes the result as one sorted run — the flush path of
+/// hash-partitioned spills, whose pages arrive in routing order.
+pub fn write_sorted_run_in(
+    dir: &Path,
+    pages: &[Arc<RecordPage>],
+    keys: &[usize],
+) -> io::Result<SpilledRun> {
+    let mut records: Vec<Record> = Vec::with_capacity(pages.iter().map(|p| p.record_count()).sum());
+    for page in pages {
+        for view in page.reader() {
+            records.push(view.materialize());
+        }
+    }
+    sort_by_key_normalized(&mut records, keys);
+    write_sorted_records_in(dir, &records, keys)
+}
+
+/// A streaming reader over one run: pages are revived one at a time into a
+/// single reused scratch buffer, records are deserialized into the caller's
+/// scratch record — iterating a run of any size holds one page in memory.
+#[derive(Debug)]
+pub struct RunCursor {
+    reader: BufReader<File>,
+    pages_remaining: usize,
+    /// The current page's bytes; one buffer reused for every page.
+    page: Vec<u8>,
+    offset: usize,
+    records_in_page: usize,
+    /// Keeps the run file alive (and on disk) while the cursor reads it.
+    _file: Arc<RunFile>,
+}
+
+impl RunCursor {
+    /// Reads the next record into `target`, returning `false` at the end of
+    /// the run.
+    pub fn next_into(&mut self, target: &mut Record) -> io::Result<bool> {
+        while self.records_in_page == 0 {
+            if self.pages_remaining == 0 {
+                return Ok(false);
+            }
+            self.pages_remaining -= 1;
+            let mut header = [0u8; 8];
+            self.reader.read_exact(&mut header)?;
+            let byte_len =
+                u32::from_le_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+            let records =
+                u32::from_le_bytes(header[4..].try_into().expect("4-byte slice")) as usize;
+            self.page.resize(byte_len, 0);
+            self.reader.read_exact(&mut self.page)?;
+            self.offset = 0;
+            self.records_in_page = records;
+        }
+        self.records_in_page -= 1;
+        crate::page::read_framed_record(&self.page, &mut self.offset, target);
+        Ok(true)
+    }
+
+    /// Reads the next record as a fresh owned [`Record`].
+    pub fn next_record(&mut self) -> io::Result<Option<Record>> {
+        let mut record = Record::empty();
+        Ok(self.next_into(&mut record)?.then_some(record))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The budgeted writer
+// ---------------------------------------------------------------------------
+
+/// Per-exchange spill policy: the (per-writer) byte budget, the directory
+/// runs are written to, and the key to sort flushed records by.  Cloning is
+/// cheap; one manager is shared by all writers of an exchange.
+#[derive(Debug, Clone)]
+pub struct SpillManager {
+    inner: Arc<ManagerInner>,
+}
+
+#[derive(Debug)]
+struct ManagerInner {
+    budget: MemoryBudget,
+    dir: PathBuf,
+    sort_on_flush: Option<KeyFields>,
+    page_bytes: usize,
+}
+
+impl SpillManager {
+    /// A manager spilling to [`default_spill_dir`] under `budget` (applied
+    /// per writer; see [`MemoryBudget::share`]).  With `sort_on_flush` set,
+    /// flushed records are ordered by those key fields first, so every run
+    /// on disk is sorted.
+    pub fn new(budget: MemoryBudget, sort_on_flush: Option<KeyFields>) -> SpillManager {
+        SpillManager::in_dir(default_spill_dir(), budget, sort_on_flush)
+    }
+
+    /// A manager spilling into an explicit directory (tests).
+    pub fn in_dir(
+        dir: PathBuf,
+        budget: MemoryBudget,
+        sort_on_flush: Option<KeyFields>,
+    ) -> SpillManager {
+        SpillManager {
+            inner: Arc::new(ManagerInner {
+                budget,
+                dir,
+                sort_on_flush,
+                page_bytes: crate::page::DEFAULT_PAGE_BYTES,
+            }),
+        }
+    }
+
+    /// Overrides the page capacity of the handed-out writers (tests force
+    /// tiny pages so budgets trip on small datasets).
+    pub fn with_page_bytes(self, page_bytes: usize) -> SpillManager {
+        SpillManager {
+            inner: Arc::new(ManagerInner {
+                budget: self.inner.budget,
+                dir: self.inner.dir.clone(),
+                sort_on_flush: self.inner.sort_on_flush.clone(),
+                page_bytes,
+            }),
+        }
+    }
+
+    /// The per-writer budget.
+    pub fn budget(&self) -> MemoryBudget {
+        self.inner.budget
+    }
+
+    /// Hands out one budgeted page writer.
+    pub fn writer(&self) -> SpillingWriter {
+        SpillingWriter {
+            manager: self.clone(),
+            writer: PageWriter::with_page_bytes(self.inner.page_bytes),
+            runs: Vec::new(),
+            stats: SpillStats::default(),
+            error: None,
+        }
+    }
+}
+
+/// What a [`SpillingWriter`] produced: the pages that stayed in memory
+/// (within budget), the runs that went to disk, and the spill counters.
+#[derive(Debug)]
+pub struct SpillOutput {
+    /// Sealed pages still in memory.
+    pub pages: Vec<Arc<RecordPage>>,
+    /// Runs flushed to disk, in flush order (earlier records first).
+    pub runs: Vec<SpilledRun>,
+    /// What was spilled.
+    pub stats: SpillStats,
+}
+
+/// A [`PageWriter`] under a byte budget: whenever the sealed (finished but
+/// unshipped) pages exceed the budget, they are flushed to disk as one run.
+/// Open-page bytes never count against the budget — the open page is the
+/// working buffer, exactly one page of memory.
+///
+/// I/O errors during a mid-stream flush are held and re-raised by
+/// [`SpillingWriter::finish`], so the routing hot loop never unwinds.
+#[derive(Debug)]
+pub struct SpillingWriter {
+    manager: SpillManager,
+    writer: PageWriter,
+    runs: Vec<SpilledRun>,
+    stats: SpillStats,
+    error: Option<io::Error>,
+}
+
+impl SpillingWriter {
+    /// Serializes one record, spilling sealed pages if the budget is
+    /// exceeded.  Returns the record's serialized width (like
+    /// [`PageWriter::push`]).
+    pub fn push(&mut self, record: &Record) -> usize {
+        let width = self.writer.push(record);
+        if self.error.is_none() && !self.manager.inner.budget.allows(self.writer.sealed_bytes()) {
+            if let Err(error) = self.flush_sealed() {
+                self.error = Some(error);
+            }
+        }
+        width
+    }
+
+    /// True when nothing has been written or spilled.
+    pub fn is_empty(&self) -> bool {
+        self.writer.is_empty() && self.runs.is_empty()
+    }
+
+    /// Moves the sealed pages to disk as one run (sorted first when the
+    /// manager carries a sort key).
+    fn flush_sealed(&mut self) -> io::Result<()> {
+        let pages = self.writer.take_sealed();
+        if pages.iter().all(|p| p.is_empty()) {
+            return Ok(());
+        }
+        let inner = &self.manager.inner;
+        let run = match &inner.sort_on_flush {
+            Some(keys) => write_sorted_run_in(&inner.dir, &pages, keys)?,
+            None => write_run_in(&inner.dir, &pages, None)?,
+        };
+        self.stats.spilled_bytes += run.byte_len();
+        self.stats.spilled_records += run.record_count();
+        self.stats.spilled_runs += 1;
+        self.runs.push(run);
+        Ok(())
+    }
+
+    /// Seals the open page, applies the budget one final time (so a zero
+    /// budget spills *everything*, even a single under-full page), and
+    /// returns the in-memory pages, the spilled runs and the counters.
+    pub fn finish(mut self) -> io::Result<SpillOutput> {
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
+        self.writer.seal();
+        if !self.manager.inner.budget.allows(self.writer.sealed_bytes()) {
+            self.flush_sealed()?;
+        }
+        let SpillingWriter {
+            writer,
+            runs,
+            stats,
+            ..
+        } = self;
+        Ok(SpillOutput {
+            pages: writer.finish(),
+            runs,
+            stats,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The k-way merge
+// ---------------------------------------------------------------------------
+
+/// One input of a [`RunMerger`]: a sorted run streamed from disk or a sorted
+/// in-memory record sequence (e.g. the residue of a partition that never
+/// spilled).
+pub enum MergeSource {
+    /// A sorted spilled run.
+    Spilled(RunCursor),
+    /// An already-sorted owned record sequence.
+    Records(std::vec::IntoIter<Record>),
+}
+
+impl MergeSource {
+    fn next(&mut self) -> io::Result<Option<Record>> {
+        match self {
+            MergeSource::Spilled(cursor) => cursor.next_record(),
+            MergeSource::Records(iter) => Ok(iter.next()),
+        }
+    }
+}
+
+impl std::fmt::Debug for MergeSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeSource::Spilled(_) => f.write_str("MergeSource::Spilled"),
+            MergeSource::Records(iter) => write!(f, "MergeSource::Records({})", iter.len()),
+        }
+    }
+}
+
+/// The current front of one merge source.
+#[derive(Debug)]
+struct MergeHead {
+    key: Key,
+    record: Record,
+}
+
+/// A streaming k-way merge over sorted sources, implemented as a loser tree:
+/// each pull costs ⌈log₂ k⌉ key comparisons (a replay along one leaf-to-root
+/// path) instead of the k−1 of a naive scan.  Ties are won by the source
+/// with the smaller index, so merging the ordered chunks of one input stream
+/// reproduces exactly the stable single-vector sort of that stream.
+#[derive(Debug)]
+pub struct RunMerger {
+    key_fields: KeyFields,
+    sources: Vec<MergeSource>,
+    heads: Vec<Option<MergeHead>>,
+    /// `tree[0]` is the overall winner; `tree[1..k]` hold, per internal
+    /// match, the source that lost it.  Leaves are implicit: source `i`
+    /// corresponds to node `k + i`.
+    tree: Vec<usize>,
+}
+
+impl RunMerger {
+    /// Builds the merger, pulling the first record of every source.  Each
+    /// source must be sorted by `key_fields`; empty sources are fine.
+    pub fn new(mut sources: Vec<MergeSource>, key_fields: KeyFields) -> io::Result<RunMerger> {
+        let mut heads = Vec::with_capacity(sources.len());
+        for source in &mut sources {
+            heads.push(Self::pull(source, &key_fields)?);
+        }
+        let mut merger = RunMerger {
+            key_fields,
+            tree: vec![0; sources.len()],
+            sources,
+            heads,
+        };
+        if !merger.sources.is_empty() {
+            let winner = merger.build_node(1);
+            merger.tree[0] = winner;
+        }
+        Ok(merger)
+    }
+
+    /// A merger over spilled runs plus an optional pre-sorted in-memory
+    /// tail.  The runs come first in tie order; pass the memory-resident
+    /// records last, matching the order the exchange produced them in.
+    pub fn over_runs(
+        runs: &[SpilledRun],
+        tail: Vec<Record>,
+        key_fields: KeyFields,
+    ) -> io::Result<RunMerger> {
+        let mut sources: Vec<MergeSource> = Vec::with_capacity(runs.len() + 1);
+        for run in runs {
+            sources.push(MergeSource::Spilled(run.cursor()?));
+        }
+        if !tail.is_empty() {
+            sources.push(MergeSource::Records(tail.into_iter()));
+        }
+        RunMerger::new(sources, key_fields)
+    }
+
+    fn pull(source: &mut MergeSource, key_fields: &[usize]) -> io::Result<Option<MergeHead>> {
+        Ok(source.next()?.map(|record| MergeHead {
+            key: Key::extract(&record, key_fields),
+            record,
+        }))
+    }
+
+    /// True when source `a`'s head must be emitted before source `b`'s.
+    /// Exhausted sources always lose; equal keys go to the smaller index.
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (&self.heads[a], &self.heads[b]) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(ha), Some(hb)) => match ha.key.cmp(&hb.key) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a < b,
+            },
+        }
+    }
+
+    /// Plays the initial tournament below `node`, recording losers and
+    /// returning the winner.  Nodes `>= k` are the implicit leaves.
+    fn build_node(&mut self, node: usize) -> usize {
+        let k = self.sources.len();
+        if node >= k {
+            return node - k;
+        }
+        let left = self.build_node(2 * node);
+        let right = self.build_node(2 * node + 1);
+        let (winner, loser) = if self.beats(left, right) {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        self.tree[node] = loser;
+        winner
+    }
+
+    /// Replays the path from source `leaf`'s leaf to the root after its head
+    /// changed.
+    fn replay(&mut self, leaf: usize) {
+        let k = self.sources.len();
+        let mut winner = leaf;
+        let mut node = (k + leaf) / 2;
+        while node >= 1 {
+            let loser = self.tree[node];
+            if self.beats(loser, winner) {
+                self.tree[node] = winner;
+                winner = loser;
+            }
+            node /= 2;
+        }
+        self.tree[0] = winner;
+    }
+
+    /// The next record with its extracted key, in global key order.
+    pub fn next_entry(&mut self) -> io::Result<Option<(Key, Record)>> {
+        if self.sources.is_empty() {
+            return Ok(None);
+        }
+        let winner = self.tree[0];
+        let Some(head) = self.heads[winner].take() else {
+            return Ok(None);
+        };
+        self.heads[winner] = Self::pull(&mut self.sources[winner], &self.key_fields)?;
+        self.replay(winner);
+        Ok(Some((head.key, head.record)))
+    }
+
+    /// The next record in global key order.
+    pub fn next_record(&mut self) -> io::Result<Option<Record>> {
+        Ok(self.next_entry()?.map(|(_, record)| record))
+    }
+
+    /// Drains the merge into a vector (a linear pass — the sorted pieces are
+    /// merged, never re-sorted).
+    pub fn collect_into(mut self, out: &mut Vec<Record>) -> io::Result<()> {
+        while let Some(record) = self.next_record()? {
+            out.push(record);
+        }
+        Ok(())
+    }
+
+    /// Streams key groups off the merged sequence: `f` runs once per
+    /// distinct key with all of the key's records, and only one group is in
+    /// memory at a time — the out-of-core grouping behind sort-based
+    /// strategies.  `f` may drain the group buffer to recycle records; it is
+    /// cleared between groups either way.
+    pub fn for_each_group(mut self, mut f: impl FnMut(&Key, &mut Vec<Record>)) -> io::Result<()> {
+        let mut group: Vec<Record> = Vec::new();
+        let mut group_key: Option<Key> = None;
+        while let Some((key, record)) = self.next_entry()? {
+            if group_key.as_ref() != Some(&key) {
+                if let Some(finished) = group_key.take() {
+                    f(&finished, &mut group);
+                    group.clear();
+                }
+                group_key = Some(key);
+            }
+            group.push(record);
+        }
+        if let Some(finished) = group_key {
+            f(&finished, &mut group);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::sort_by_key;
+
+    /// A unique spill directory per test, under the system temp dir.
+    fn test_dir(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("spinning-spill-test-{}-{name}", std::process::id()))
+    }
+
+    fn pages_of(records: &[Record]) -> Vec<Arc<RecordPage>> {
+        let mut writer = PageWriter::with_page_bytes(64);
+        for record in records {
+            writer.push(record);
+        }
+        writer.finish()
+    }
+
+    #[test]
+    fn budget_allows_and_shares() {
+        assert!(MemoryBudget::unlimited().allows(usize::MAX));
+        assert!(MemoryBudget::unlimited().is_unlimited());
+        let b = MemoryBudget::bytes(100);
+        assert!(b.allows(100));
+        assert!(!b.allows(101));
+        assert_eq!(b.share(4), MemoryBudget::bytes(25));
+        assert_eq!(b.share(0), MemoryBudget::bytes(100));
+        assert!(MemoryBudget::bytes(0).allows(0));
+        assert!(!MemoryBudget::bytes(0).allows(1));
+        assert!(MemoryBudget::unlimited().share(7).is_unlimited());
+    }
+
+    #[test]
+    fn run_round_trips_records_and_deletes_its_file_on_drop() {
+        let dir = test_dir("roundtrip");
+        let records: Vec<Record> = (0..100).map(|i| Record::pair(i, i * 3)).collect();
+        let run = write_run_in(&dir, &pages_of(&records), None).unwrap();
+        assert_eq!(run.record_count(), 100);
+        assert!(run.byte_len() > 0);
+        assert!(run.page_count() > 1, "64-byte pages force several pages");
+        assert!(run.sorted_by().is_none());
+        let path = run.path().to_owned();
+        assert!(path.exists());
+
+        let mut cursor = run.cursor().unwrap();
+        let mut read = Vec::new();
+        let mut scratch = Record::empty();
+        while cursor.next_into(&mut scratch).unwrap() {
+            read.push(scratch.clone());
+        }
+        assert_eq!(read, records);
+
+        // The cursor keeps the file alive past the handle; the last drop
+        // removes it.
+        drop(run);
+        assert!(path.exists(), "open cursor must keep the run on disk");
+        drop(cursor);
+        assert!(!path.exists(), "dropping the last handle deletes the run");
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn sorted_flush_orders_the_run() {
+        let dir = test_dir("sorted");
+        let records: Vec<Record> = (0..200)
+            .map(|i| Record::pair((i * 37) % 50 - 20, i))
+            .collect();
+        let run = write_sorted_run_in(&dir, &pages_of(&records), &[0]).unwrap();
+        assert_eq!(run.sorted_by(), Some(&[0usize][..]));
+        let mut read = Vec::new();
+        let mut cursor = run.cursor().unwrap();
+        while let Some(record) = cursor.next_record().unwrap() {
+            read.push(record);
+        }
+        let mut oracle = records;
+        sort_by_key(&mut oracle, &[0]);
+        assert_eq!(read, oracle, "flush sort must equal the stable Value sort");
+        drop(cursor);
+        drop(run);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn zero_budget_spills_everything_and_unlimited_spills_nothing() {
+        let dir = test_dir("budget");
+        let records: Vec<Record> = (0..50).map(|i| Record::pair(i % 7, i)).collect();
+
+        let spilling = SpillManager::in_dir(dir.clone(), MemoryBudget::bytes(0), None);
+        let mut writer = spilling.writer();
+        for record in &records {
+            writer.push(record);
+        }
+        let out = writer.finish().unwrap();
+        assert!(out.pages.is_empty(), "budget 0 leaves nothing in memory");
+        assert!(!out.runs.is_empty());
+        assert_eq!(out.stats.spilled_records, records.len());
+        assert!(out.stats.spilled_bytes > 0);
+        assert_eq!(out.stats.spilled_runs, out.runs.len());
+
+        let unlimited = SpillManager::in_dir(dir.clone(), MemoryBudget::unlimited(), None);
+        let mut writer = unlimited.writer();
+        assert!(writer.is_empty());
+        for record in &records {
+            writer.push(record);
+        }
+        assert!(!writer.is_empty());
+        let out = writer.finish().unwrap();
+        assert!(out.runs.is_empty(), "unlimited budget never touches disk");
+        assert_eq!(out.stats, SpillStats::default());
+        assert_eq!(
+            out.pages.iter().map(|p| p.record_count()).sum::<usize>(),
+            records.len()
+        );
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn budgeted_writer_preserves_the_multiset_across_pages_and_runs() {
+        let dir = test_dir("multiset");
+        let records: Vec<Record> = (0..300).map(|i| Record::pair(i % 13, i)).collect();
+        let manager = SpillManager::in_dir(dir.clone(), MemoryBudget::bytes(512), Some(vec![0]))
+            .with_page_bytes(256);
+        let mut writer = manager.writer();
+        for record in &records {
+            writer.push(record);
+        }
+        let out = writer.finish().unwrap();
+        assert!(out.runs.len() > 1, "512-byte budget forces several runs");
+        let mut read: Vec<Record> = out
+            .pages
+            .iter()
+            .flat_map(|p| p.reader().map(|v| v.materialize()))
+            .collect();
+        for run in &out.runs {
+            assert_eq!(run.sorted_by(), Some(&[0usize][..]));
+            let mut cursor = run.cursor().unwrap();
+            let mut previous: Option<i64> = None;
+            while let Some(record) = cursor.next_record().unwrap() {
+                if let Some(p) = previous {
+                    assert!(p <= record.long(0), "run not sorted");
+                }
+                previous = Some(record.long(0));
+                read.push(record);
+            }
+        }
+        let mut expected = records;
+        read.sort();
+        expected.sort();
+        assert_eq!(read, expected);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn loser_tree_merge_equals_the_stable_sort_oracle() {
+        let dir = test_dir("merge");
+        for k in [1usize, 2, 3, 8, 17] {
+            let input: Vec<Record> = (0..230)
+                .map(|i| Record::pair((i * 31) % 11 - 5, i))
+                .collect();
+            // Contiguous chunks in input order; chunk i becomes source i, so
+            // the index tiebreak reproduces the stable sort exactly.
+            let chunk = input.len() / k + 1;
+            let mut sources = Vec::new();
+            for piece in input.chunks(chunk) {
+                let mut sorted = piece.to_vec();
+                sort_by_key(&mut sorted, &[0]);
+                sources.push(MergeSource::Spilled(
+                    write_sorted_records_in(&dir, &sorted, &[0])
+                        .unwrap()
+                        .cursor()
+                        .unwrap(),
+                ));
+            }
+            // Pad with empty sources up to k (they must simply never win).
+            while sources.len() < k {
+                sources.push(MergeSource::Records(Vec::new().into_iter()));
+            }
+            let mut merged = Vec::new();
+            RunMerger::new(sources, vec![0])
+                .unwrap()
+                .collect_into(&mut merged)
+                .unwrap();
+            let mut oracle = input;
+            sort_by_key(&mut oracle, &[0]);
+            assert_eq!(merged, oracle, "k={k}");
+        }
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn merge_groups_stream_one_key_at_a_time() {
+        let dir = test_dir("groups");
+        let mut a: Vec<Record> = (0..40).map(|i| Record::pair(i % 5, 1)).collect();
+        let mut b: Vec<Record> = (0..60).map(|i| Record::pair(i % 5, 10)).collect();
+        sort_by_key(&mut a, &[0]);
+        sort_by_key(&mut b, &[0]);
+        let run = write_sorted_records_in(&dir, &a, &[0]).unwrap();
+        let merger = RunMerger::over_runs(std::slice::from_ref(&run), b, vec![0]).unwrap();
+        let mut seen = Vec::new();
+        merger
+            .for_each_group(|key, group| {
+                let sum: i64 = group.iter().map(|r| r.long(1)).sum();
+                seen.push((key.values()[0].as_long(), group.len(), sum));
+            })
+            .unwrap();
+        assert_eq!(
+            seen,
+            (0..5).map(|k| (k, 8 + 12, 8 + 120)).collect::<Vec<_>>(),
+            "each key groups its records from both sources exactly once"
+        );
+        drop(run);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn empty_merger_and_empty_runs_are_harmless() {
+        let mut merger = RunMerger::new(Vec::new(), vec![0]).unwrap();
+        assert!(merger.next_record().unwrap().is_none());
+        let merger = RunMerger::over_runs(&[], Vec::new(), vec![0]).unwrap();
+        let mut out = Vec::new();
+        merger.collect_into(&mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn budget_env_parsing() {
+        // Only exercises the parser indirectly: from_env is None when the
+        // variable is unset in the test environment.
+        if std::env::var(MEMORY_BUDGET_ENV).is_err() {
+            assert!(MemoryBudget::from_env().is_none());
+        }
+    }
+}

@@ -40,6 +40,11 @@ pub struct ExecutionStats {
     /// Sealed record pages moved (or, for broadcast, shared) across
     /// partition boundaries.
     pub shipped_pages: usize,
+    /// Serialized bytes the exchanges moved to disk as spilled runs because
+    /// a memory budget was exceeded (see [`crate::spill`]).
+    pub spilled_bytes: usize,
+    /// Number of spilled runs the exchanges wrote.
+    pub spilled_runs: usize,
     /// Records that stayed within their partition (forward shipping).
     pub local_records: usize,
     /// Number of input edges served from the loop-invariant cache instead of
@@ -95,6 +100,8 @@ impl ExecutionStats {
         self.shipped_records += other.shipped_records;
         self.shipped_bytes += other.shipped_bytes;
         self.shipped_pages += other.shipped_pages;
+        self.spilled_bytes += other.spilled_bytes;
+        self.spilled_runs += other.spilled_runs;
         self.local_records += other.local_records;
         self.cache_hits += other.cache_hits;
         self.elapsed += other.elapsed;
@@ -117,9 +124,12 @@ impl ExecutionStats {
             ));
         }
         out.push_str(&format!(
-            "shipped={} records ({} bytes), local={}, cache_hits={}, elapsed={:.2} ms\n",
+            "shipped={} records ({} bytes), spilled={} bytes in {} runs, local={}, \
+             cache_hits={}, elapsed={:.2} ms\n",
             self.shipped_records,
             self.shipped_bytes,
+            self.spilled_bytes,
+            self.spilled_runs,
             self.local_records,
             self.cache_hits,
             self.elapsed.as_secs_f64() * 1e3
@@ -144,6 +154,8 @@ mod tests {
             shipped_records: 10,
             shipped_bytes: 100,
             shipped_pages: 2,
+            spilled_bytes: 40,
+            spilled_runs: 1,
             local_records: 3,
             cache_hits: 1,
             elapsed: Duration::from_millis(7),
@@ -157,6 +169,8 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.records_out_of("scale"), 10);
         assert_eq!(a.shipped_records, 20);
+        assert_eq!(a.spilled_bytes, 80);
+        assert_eq!(a.spilled_runs, 2);
         assert_eq!(a.cache_hits, 2);
         assert_eq!(a.operators.len(), 1);
     }

@@ -14,6 +14,7 @@ use dataflow::key::{hash_key, hash_values, partition_for, sort_by_key, Key};
 use dataflow::page::{normalize_long, serialize_record, ExchangedPartition, PageWriter};
 use dataflow::prelude::*;
 use dataflow::range::{sample_keys_into, sort_by_key_normalized};
+use dataflow::spill::write_sorted_records_in;
 use graphdata::{Graph, SmallRng, VertexId};
 use spinning_core::prelude::*;
 use std::sync::Arc;
@@ -531,6 +532,187 @@ fn prop_range_bounds_monotone_in_normalized_order() {
                 bounds.partition_of_key(&Key::long(a))
             );
         }
+    }
+}
+
+/// Spill-run round-trip: records written through a budgeted spilling writer
+/// — whatever mix of in-memory pages and on-disk runs the random budget
+/// produces — read back as exactly the input multiset; and when the writer
+/// sorts on flush, merging the runs with the sorted residue reproduces the
+/// stable single-vector sort order, global order preserved.
+#[test]
+fn prop_spill_run_round_trip() {
+    let dir = std::env::temp_dir().join(format!("spinning-spill-prop-{}", std::process::id()));
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(13_000 + seed);
+
+        // Part 1: arbitrary records (any arity/types), unsorted spill —
+        // pure byte-level round-trip through pages on disk.
+        let n = rng.gen_index(150);
+        let records: Vec<Record> = (0..n).map(|_| arbitrary_record(&mut rng)).collect();
+        let budget = [0usize, 64, 512, 4096][rng.gen_index(4)];
+        let manager = SpillManager::in_dir(dir.clone(), MemoryBudget::bytes(budget), None)
+            .with_page_bytes([48, 256][rng.gen_index(2)]);
+        let mut writer = manager.writer();
+        for record in &records {
+            writer.push(record);
+        }
+        let out = writer.finish().unwrap();
+        let mut read: Vec<Record> = out
+            .pages
+            .iter()
+            .flat_map(|p| p.reader().map(|v| v.materialize()))
+            .collect();
+        for run in &out.runs {
+            let mut cursor = run.cursor().unwrap();
+            while let Some(record) = cursor.next_record().unwrap() {
+                read.push(record);
+            }
+        }
+        let mut expected = records.clone();
+        read.sort();
+        expected.sort();
+        assert_eq!(read, expected, "unsorted spill lost records (seed {seed})");
+
+        // Part 2: skewed Long keys, sort-on-flush — the merged stream must
+        // equal the stable memcmp sort of the whole input.
+        let n = rng.gen_index(300);
+        let keyed: Vec<Record> = (0..n)
+            .map(|i| Record::pair(skewed_long_key(&mut rng), i as i64))
+            .collect();
+        let manager = SpillManager::in_dir(
+            dir.clone(),
+            MemoryBudget::bytes([0usize, 128, 1024][rng.gen_index(3)]),
+            Some(vec![0]),
+        )
+        .with_page_bytes(128);
+        let mut writer = manager.writer();
+        for record in &keyed {
+            writer.push(record);
+        }
+        let out = writer.finish().unwrap();
+        // The in-memory residue arrived after everything that spilled, so it
+        // sorts on its own and merges as the last source.
+        let mut residue: Vec<Record> = out
+            .pages
+            .iter()
+            .flat_map(|p| p.reader().map(|v| v.materialize()))
+            .collect();
+        assert!(sort_by_key_normalized(&mut residue, &[0]));
+        let mut merged = Vec::new();
+        RunMerger::over_runs(&out.runs, residue, vec![0])
+            .unwrap()
+            .collect_into(&mut merged)
+            .unwrap();
+        let mut oracle = keyed.clone();
+        sort_by_key_normalized(&mut oracle, &[0]);
+        let merged_keys: Vec<i64> = merged.iter().map(|r| r.long(0)).collect();
+        let oracle_keys: Vec<i64> = oracle.iter().map(|r| r.long(0)).collect();
+        assert_eq!(merged_keys, oracle_keys, "global order lost (seed {seed})");
+        merged.sort();
+        oracle.sort();
+        assert_eq!(
+            merged, oracle,
+            "sorted spill changed the multiset (seed {seed})"
+        );
+    }
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// The k-way loser-tree merge equals the single-vector memcmp sort oracle
+/// for every k in {1, 2, 3, 8, 17}, including empty runs and heavy duplicate
+/// keys — exact record sequence, not just multiset, because contiguous
+/// input chunks plus the source-index tiebreak reproduce the stable sort.
+#[test]
+fn prop_run_merger_matches_single_vector_sort() {
+    let dir = std::env::temp_dir().join(format!("spinning-merge-prop-{}", std::process::id()));
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(14_000 + seed);
+        for &k in &[1usize, 2, 3, 8, 17] {
+            let n = rng.gen_index(250);
+            let input: Vec<Record> = (0..n)
+                .map(|i| Record::pair(skewed_long_key(&mut rng) % 17, i as i64))
+                .collect();
+            // Random chunk boundaries (possibly empty chunks) in input order.
+            let mut boundaries: Vec<usize> = (0..k - 1).map(|_| rng.gen_index(n + 1)).collect();
+            boundaries.sort_unstable();
+            boundaries.insert(0, 0);
+            boundaries.push(n);
+            let mut sources = Vec::with_capacity(k);
+            for w in boundaries.windows(2) {
+                let mut chunk = input[w[0]..w[1]].to_vec();
+                sort_by_key_normalized(&mut chunk, &[0]);
+                // Alternate spilled and in-memory sources; both must merge
+                // identically (empty chunks become empty runs/sources).
+                if rng.gen_index(2) == 0 {
+                    let run = write_sorted_records_in(&dir, &chunk, &[0]).unwrap();
+                    sources.push(MergeSource::Spilled(run.cursor().unwrap()));
+                } else {
+                    sources.push(MergeSource::Records(chunk.into_iter()));
+                }
+            }
+            let mut merged = Vec::new();
+            RunMerger::new(sources, vec![0])
+                .unwrap()
+                .collect_into(&mut merged)
+                .unwrap();
+            let mut oracle = input;
+            sort_by_key_normalized(&mut oracle, &[0]);
+            assert_eq!(merged, oracle, "merge diverged (seed {seed}, k {k})");
+        }
+    }
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// Exchange-with-budget equals exchange-without-budget: the same plan run
+/// under random byte budgets (including "spill everything") produces the
+/// same sink contents, for hash- and range-shipped keyed aggregations at
+/// random parallelisms.
+#[test]
+fn prop_budgeted_execution_matches_unbudgeted() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(15_000 + seed);
+        let n = rng.gen_index(400);
+        let parallelism = 2 + rng.gen_index(5);
+        let records: Vec<Record> = (0..n)
+            .map(|i| Record::pair(skewed_long_key(&mut rng) % 29, i as i64))
+            .collect();
+        let mut plan = Plan::new();
+        let src = plan.source("values", records);
+        let sum = plan.reduce(
+            "sum",
+            src,
+            vec![0],
+            Arc::new(ReduceClosure(
+                |key: &[Value], group: &[Record], out: &mut Collector| {
+                    let total: i64 = group.iter().map(|r| r.long(1)).sum();
+                    out.collect(Record::triple(key[0].as_long(), total, group.len() as f64));
+                },
+            )),
+        );
+        plan.sink("sums", sum);
+        let mut phys = default_physical_plan(&plan, parallelism).unwrap();
+        if rng.gen_index(2) == 0 {
+            let choice = phys.choices.get_mut(&sum).unwrap();
+            choice.input_ships[0] = ShipStrategy::PartitionRange(vec![0]);
+            choice.local = LocalStrategy::SortGroup;
+        }
+        let mut unbudgeted = Executor::new()
+            .execute(&phys)
+            .unwrap()
+            .into_sink("sums")
+            .unwrap();
+        let budget = MemoryBudget::bytes([0usize, 1, 64, 700, 5000][rng.gen_index(5)]);
+        let result = Executor::with_config(ExecConfig::new().with_memory_budget(budget))
+            .execute(&phys)
+            .unwrap();
+        let mut budgeted = result.into_sink("sums").unwrap();
+        unbudgeted.sort();
+        budgeted.sort();
+        assert_eq!(
+            budgeted, unbudgeted,
+            "budget {budget:?} changed the sums (seed {seed}, p {parallelism})"
+        );
     }
 }
 

@@ -1,0 +1,170 @@
+//! Out-of-core execution equivalence: forcing the exchanges to spill sealed
+//! pages to disk must not change a single result.
+//!
+//! Every test runs a workload twice — once in memory and once under a byte
+//! budget small enough to force multi-run spills (including the `bytes(0)`
+//! "spill everything" extreme) — and pins the spilled run byte-for-byte to
+//! the in-memory run and to the sequential oracles, across execution modes
+//! (batch incremental, microstep, bulk) and both routing schemes (hash and
+//! range).  `spilled_bytes`/`spilled_runs` counters prove the out-of-core
+//! path actually ran; the in-memory runs prove an unlimited budget never
+//! touches disk.
+//!
+//! The CI low-memory smoke job re-runs this suite with
+//! `SPINNING_MEMORY_BUDGET` overriding the forced budget and asserts the
+//! spill directory is empty afterwards (runs are deleted when their last
+//! handle drops).
+
+use algorithms::{
+    cc_bulk, cc_incremental, cc_microstep, oracles, sssp_with_config, ComponentsConfig,
+};
+use dataflow::prelude::MemoryBudget;
+use graphdata::{DatasetProfile, Graph};
+use spinning_core::prelude::{ExecutionMode, WorksetConfig, WorksetRouting};
+
+/// The budget every spill-forced run uses: tiny by default so even small
+/// exchanges overflow it, overridable through `SPINNING_MEMORY_BUDGET` (the
+/// CI smoke job sets it explicitly).
+fn forced_budget() -> MemoryBudget {
+    MemoryBudget::from_env().unwrap_or(MemoryBudget::bytes(1024))
+}
+
+/// A small Webbase-style long-tail graph (the profile's `scale` is a
+/// downscale divisor): ~1.8k vertices with a ~180-vertex chain, so the
+/// workset iteration runs ~180 supersteps and the spill path is exercised on
+/// the long tail, not just the bulky first steps.
+fn webbase() -> Graph {
+    DatasetProfile::webbase().generate(65_536)
+}
+
+fn cc_oracle(graph: &Graph) -> Vec<i64> {
+    graph
+        .components_oracle()
+        .into_iter()
+        .map(i64::from)
+        .collect()
+}
+
+#[test]
+fn spilled_incremental_cc_is_byte_identical_to_in_memory() {
+    let graph = webbase();
+    let oracle = cc_oracle(&graph);
+    for routing in [WorksetRouting::Hash, WorksetRouting::Range] {
+        let base = ComponentsConfig::new(4).with_routing(routing);
+        let in_memory = cc_incremental(&graph, &base).unwrap();
+        assert_eq!(in_memory.components, oracle);
+        assert_eq!(
+            in_memory.stats.total_spilled_bytes(),
+            0,
+            "unlimited budget must never spill ({routing:?})"
+        );
+        let spilled = cc_incremental(&graph, &base.with_memory_budget(forced_budget())).unwrap();
+        assert!(
+            spilled.stats.total_spilled_bytes() > 0,
+            "the forced budget must actually spill ({routing:?})"
+        );
+        assert_eq!(
+            spilled.components, in_memory.components,
+            "spilling changed the fixpoint ({routing:?})"
+        );
+        assert_eq!(
+            spilled.iterations, in_memory.iterations,
+            "spilling is invisible to the superstep structure ({routing:?})"
+        );
+        assert!(spilled.converged);
+    }
+}
+
+#[test]
+fn spilled_microstep_cc_matches_oracle_in_both_routings() {
+    // Microstep visibility makes the within-superstep processing order part
+    // of the trajectory, and spilled candidates are consumed in sorted-run
+    // order — so the pin is against the fixpoint (and the in-memory final
+    // state), which order cannot change.
+    let graph = webbase();
+    let oracle = cc_oracle(&graph);
+    for routing in [WorksetRouting::Hash, WorksetRouting::Range] {
+        let config = ComponentsConfig::new(4)
+            .with_routing(routing)
+            .with_memory_budget(forced_budget());
+        let result = cc_microstep(&graph, &config).unwrap();
+        assert!(result.stats.total_spilled_bytes() > 0, "{routing:?}");
+        assert_eq!(result.components, oracle, "{routing:?}");
+        assert!(result.converged);
+    }
+}
+
+#[test]
+fn budget_zero_spills_everything_and_forces_multiple_runs_per_partition() {
+    let graph = webbase();
+    let oracle = cc_oracle(&graph);
+    let parallelism = 4;
+    let config = ComponentsConfig::new(parallelism).with_memory_budget(MemoryBudget::bytes(0));
+    let result = cc_incremental(&graph, &config).unwrap();
+    assert_eq!(result.components, oracle);
+    assert!(result.converged);
+    // Budget 0 flushes every outbox every superstep: over the run each
+    // partition receives far more than 4 runs (the acceptance bar for a
+    // genuine multi-run out-of-core merge).
+    assert!(
+        result.stats.total_spilled_runs() >= 4 * parallelism,
+        "only {} runs spilled",
+        result.stats.total_spilled_runs()
+    );
+    assert!(result.stats.total_spilled_bytes() > 0);
+}
+
+#[test]
+fn spilled_bulk_cc_matches_oracle_and_spills_through_the_executor() {
+    // The bulk variant runs through the dataflow executor: its hash/range
+    // exchanges and the loop-invariant cache (the neighbour table) spill
+    // under the same budget.
+    let graph = DatasetProfile::webbase().generate(262_144);
+    let oracle = cc_oracle(&graph);
+    let in_memory = cc_bulk(&graph, &ComponentsConfig::new(3)).unwrap();
+    assert_eq!(in_memory.components, oracle);
+    assert_eq!(in_memory.stats.total_spilled_bytes(), 0);
+    let config = ComponentsConfig::new(3).with_memory_budget(forced_budget());
+    let spilled = cc_bulk(&graph, &config).unwrap();
+    assert!(
+        spilled.stats.total_spilled_bytes() > 0,
+        "executor exchanges must spill under the budget"
+    );
+    assert!(spilled.stats.total_spilled_runs() > 0);
+    assert_eq!(spilled.components, oracle);
+    assert_eq!(spilled.iterations, in_memory.iterations);
+    assert!(spilled.converged);
+}
+
+#[test]
+fn spilled_sssp_matches_oracle_in_every_mode_and_routing() {
+    let graph = webbase();
+    let source = 0;
+    let oracle = oracles::sssp(&graph, source);
+    for routing in [WorksetRouting::Hash, WorksetRouting::Range] {
+        for mode in [
+            ExecutionMode::BatchIncremental,
+            ExecutionMode::Microstep,
+            // The asynchronous mode exchanges records through queues and
+            // ignores the budget (bounding those queues is the credit-based
+            // backpressure follow-on); it must still run correctly with a
+            // budget configured.
+            ExecutionMode::AsynchronousMicrostep,
+        ] {
+            let config = WorksetConfig::new(3)
+                .with_mode(mode)
+                .with_routing(routing)
+                .with_memory_budget(forced_budget());
+            let result = sssp_with_config(&graph, source, &config).unwrap();
+            assert_eq!(result.distances, oracle, "{mode:?} / {routing:?}");
+            assert!(result.converged);
+            if mode != ExecutionMode::AsynchronousMicrostep {
+                assert!(
+                    result.stats.total_spilled_bytes() > 0,
+                    "superstep modes must spill under the forced budget \
+                     ({mode:?} / {routing:?})"
+                );
+            }
+        }
+    }
+}
