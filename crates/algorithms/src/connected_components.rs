@@ -39,7 +39,7 @@ pub struct ComponentsResult {
 }
 
 /// Configuration shared by all Connected Components variants.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ComponentsConfig {
     /// Degree of parallelism.
     pub parallelism: usize,
@@ -54,6 +54,12 @@ pub struct ComponentsConfig {
     /// exchange, the bulk variant its dataflow exchanges and loop-invariant
     /// cache.  Unlimited by default.
     pub memory_budget: MemoryBudget,
+    /// Checkpointing and recovery policy, passed through to the workset
+    /// driver (superstep boundaries) or the bulk driver (iteration
+    /// boundaries).  The asynchronous variant ignores it.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Deterministic fault injector, passed through to the underlying run.
+    pub fault: FaultInjector,
 }
 
 impl ComponentsConfig {
@@ -64,6 +70,8 @@ impl ComponentsConfig {
             max_iterations: 100_000,
             routing: WorksetRouting::Hash,
             memory_budget: MemoryBudget::unlimited(),
+            checkpoint: None,
+            fault: FaultInjector::from_env(),
         }
     }
 
@@ -90,6 +98,24 @@ impl ComponentsConfig {
     /// execution).
     pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
         self.memory_budget = budget;
+        self
+    }
+
+    /// Enables checkpointing every `interval` supersteps (workset variants)
+    /// or iterations (bulk variant) under `dir`, with recovery on failure.
+    pub fn with_checkpoint(self, interval: usize, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.with_checkpoint_policy(CheckpointPolicy::new(interval, dir))
+    }
+
+    /// Enables checkpointing with an explicit policy.
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Installs a fault injector (replacing the environment-configured one).
+    pub fn with_fault(mut self, fault: FaultInjector) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -179,9 +205,13 @@ pub fn cc_bulk(graph: &Graph, config: &ComponentsConfig) -> Result<ComponentsRes
             max_iterations: config.max_iterations,
         },
     );
-    let bulk_config = BulkConfig::new(config.parallelism)
+    let mut bulk_config = BulkConfig::new(config.parallelism)
         .with_annotations(annotations)
-        .with_memory_budget(config.memory_budget);
+        .with_memory_budget(config.memory_budget)
+        .with_fault(config.fault.clone());
+    if let Some(policy) = &config.checkpoint {
+        bulk_config = bulk_config.with_checkpoint_policy(policy.clone());
+    }
     let result = iteration.run(initial_components(graph), &bulk_config)?;
     Ok(ComponentsResult {
         components: records_to_vec(&result.solution, graph.num_vertices()),
@@ -246,11 +276,15 @@ fn run_workset(
     grouped: bool,
 ) -> Result<ComponentsResult> {
     let iteration = build_workset_iteration(graph, grouped);
-    let workset_config = WorksetConfig::new(config.parallelism)
+    let mut workset_config = WorksetConfig::new(config.parallelism)
         .with_mode(mode)
         .with_max_supersteps(config.max_iterations)
         .with_routing(config.routing)
-        .with_memory_budget(config.memory_budget);
+        .with_memory_budget(config.memory_budget)
+        .with_fault(config.fault.clone());
+    if let Some(policy) = &config.checkpoint {
+        workset_config = workset_config.with_checkpoint_policy(policy.clone());
+    }
     let result = iteration.run(
         initial_components(graph),
         initial_component_candidates(graph),

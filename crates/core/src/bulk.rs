@@ -13,12 +13,16 @@
 //! shipped once and then served from the executor's intermediate cache, as
 //! decided by the optimizer (Section 4.3).
 
+use crate::checkpoint::{CheckpointPolicy, CheckpointStore};
 use crate::stats::{IterationRunStats, IterationStats};
+use crate::workset::PendingRecoveryStats;
+use dataflow::fault::FaultInjector;
 use dataflow::prelude::{
     DataflowError, ExecConfig, ExecutionResult, Executor, IntermediateCache, MemoryBudget,
     OperatorId, Plan, Record, Result,
 };
 use optimizer::{Annotations, IterationSpec, Optimizer};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -95,6 +99,14 @@ pub struct BulkConfig {
     /// cache) may buffer in memory before spilling sealed pages to disk.
     /// Unlimited by default.
     pub memory_budget: MemoryBudget,
+    /// Iteration-boundary checkpointing and recovery policy.  `None` (the
+    /// default) disables checkpointing: a failed iteration surfaces as a
+    /// typed [`DataflowError`] immediately.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Deterministic fault injector threaded through the step executions'
+    /// spill and pool-dispatch sites.  Defaults to the
+    /// environment-configured injector ([`FaultInjector::from_env`]).
+    pub fault: FaultInjector,
 }
 
 impl BulkConfig {
@@ -106,6 +118,8 @@ impl BulkConfig {
             annotations: Annotations::new(),
             expected_iterations: None,
             memory_budget: MemoryBudget::unlimited(),
+            checkpoint: None,
+            fault: FaultInjector::from_env(),
         }
     }
 
@@ -124,6 +138,26 @@ impl BulkConfig {
     /// Sets the memory budget of the per-iteration executions.
     pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
         self.memory_budget = budget;
+        self
+    }
+
+    /// Enables iteration-boundary checkpointing: every `interval` iterations
+    /// the partial solution is snapshotted under `dir`, and a failed
+    /// iteration restores the newest valid checkpoint and retries instead of
+    /// failing the run.
+    pub fn with_checkpoint(self, interval: usize, dir: impl Into<PathBuf>) -> Self {
+        self.with_checkpoint_policy(CheckpointPolicy::new(interval, dir))
+    }
+
+    /// Enables checkpointing with an explicit policy.
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Installs a fault injector (replacing the environment-configured one).
+    pub fn with_fault(mut self, fault: FaultInjector) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -221,19 +255,84 @@ impl BulkIteration {
             dataflow::physical::default_physical_plan(&self.plan, config.parallelism)?
         };
 
-        let executor =
-            Executor::with_config(ExecConfig::new().with_memory_budget(config.memory_budget));
+        let executor = Executor::with_config(
+            ExecConfig::new()
+                .with_memory_budget(config.memory_budget)
+                .with_fault(config.fault.clone()),
+        );
         let mut cache = IntermediateCache::new().with_memory_budget(config.memory_budget);
         let mut current = Arc::new(initial);
         let mut run_stats = IterationRunStats::default();
         let mut converged = false;
 
-        for iteration in 1..=max_iterations {
+        // Bulk checkpoints snapshot the one materialized state the feedback
+        // channel carries — the partial solution — as a single partition with
+        // an empty workset.
+        let store = config
+            .checkpoint
+            .as_ref()
+            .map(|policy| CheckpointStore::new(&policy.dir, 1, config.fault.clone()));
+        let mut pending = PendingRecoveryStats::default();
+        if let Some(store) = &store {
+            if let Ok(bytes) = store.write(0, &[(*current).clone()], &[Vec::new()]) {
+                pending.checkpoints_written += 1;
+                pending.checkpoint_bytes += bytes as usize;
+            }
+        }
+        let mut iteration = 0usize;
+        let mut retries_used = 0usize;
+
+        while iteration < max_iterations && !converged {
+            let attempt = iteration + 1;
             let iter_start = Instant::now();
-            physical
+            let attempt_result = physical
                 .plan
-                .replace_source_data(self.input, Arc::clone(&current))?;
-            let result: ExecutionResult = executor.execute_with_cache(&physical, &mut cache)?;
+                .replace_source_data(self.input, Arc::clone(&current))
+                .and_then(|()| executor.execute_with_cache(&physical, &mut cache));
+            let result: ExecutionResult = match attempt_result {
+                Ok(result) => result,
+                Err(error) => {
+                    // The executor reports pool panics without iteration
+                    // context; stamp the iteration number on before
+                    // surfacing or retrying.
+                    let error = match error {
+                        DataflowError::WorkerPanic {
+                            operator, message, ..
+                        } => DataflowError::WorkerPanic {
+                            operator,
+                            superstep: attempt,
+                            message,
+                        },
+                        other => other,
+                    };
+                    let (Some(store), Some(policy)) = (&store, &config.checkpoint) else {
+                        return Err(error);
+                    };
+                    retries_used += 1;
+                    pending.retries += 1;
+                    if retries_used > policy.max_retries {
+                        return Err(DataflowError::RecoveryExhausted {
+                            superstep: attempt,
+                            retries: policy.max_retries,
+                            last: Box::new(error),
+                        });
+                    }
+                    std::thread::sleep(policy.backoff_for(retries_used));
+                    let Some(restored) = store.restore_latest(iteration) else {
+                        return Err(error);
+                    };
+                    current = Arc::new(restored.solution.into_iter().flatten().collect());
+                    run_stats.per_iteration.truncate(restored.superstep);
+                    iteration = restored.superstep;
+                    // The intermediate cache may hold state from the failed
+                    // execution; rebuild it so loop-invariant inputs re-ship.
+                    cache = IntermediateCache::new().with_memory_budget(config.memory_budget);
+                    pending.recoveries += 1;
+                    continue;
+                }
+            };
+            iteration = attempt;
+            retries_used = 0;
 
             // Decide termination on the borrowed result, then move the next
             // partial solution out of it without copying the records.
@@ -254,7 +353,6 @@ impl BulkIteration {
             stats.spilled_runs = execution_stats.spilled_runs;
             stats.execution = Some(execution_stats);
             stats.elapsed = iter_start.elapsed();
-            run_stats.per_iteration.push(stats);
 
             let done = match &self.termination {
                 TerminationCriterion::FixedIterations(n) => iteration >= *n,
@@ -264,8 +362,25 @@ impl BulkIteration {
             current = Arc::new(next);
             if done {
                 converged = true;
-                break;
             }
+            if let (Some(store), Some(policy)) = (&store, &config.checkpoint) {
+                if !converged && iteration.is_multiple_of(policy.interval) {
+                    if let Ok(bytes) = store.write(iteration, &[(*current).clone()], &[Vec::new()])
+                    {
+                        pending.checkpoints_written += 1;
+                        pending.checkpoint_bytes += bytes as usize;
+                        store.prune(2);
+                    }
+                }
+            }
+            pending.fold_into(&mut stats);
+            run_stats.per_iteration.push(stats);
+        }
+        if let Some(last) = run_stats.per_iteration.last_mut() {
+            pending.fold_into(last);
+        }
+        if let Some(store) = &store {
+            store.clear();
         }
 
         run_stats.total_elapsed = start.elapsed();

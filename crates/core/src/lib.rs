@@ -57,6 +57,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bulk;
+pub mod checkpoint;
 pub mod eligibility;
 pub mod microstep;
 pub mod solution_set;
@@ -66,6 +67,7 @@ pub mod workset;
 /// Commonly used types for building iterative dataflow programs.
 pub mod prelude {
     pub use crate::bulk::{BulkConfig, BulkIteration, BulkIterationResult, TerminationCriterion};
+    pub use crate::checkpoint::{CheckpointPolicy, CheckpointStore, RestoredCheckpoint};
     pub use crate::eligibility::{check_microstep_eligibility, Eligibility};
     pub use crate::solution_set::{MergeOutcome, RecordComparator, SolutionSet};
     pub use crate::stats::{IterationRunStats, IterationStats};

@@ -14,12 +14,22 @@
 //! record enqueued and decremented when its processing (including all sends
 //! it caused) has finished, so the counter reaching zero proves that no
 //! worker holds or will ever receive another record.
+//!
+//! # Fault tolerance
+//!
+//! Asynchronous execution has no superstep boundaries, so it ignores
+//! [`WorksetConfig::checkpoint`] and performs no fault injection of its own.
+//! The one guarantee it does make: a worker that panics (e.g. in a user
+//! update/expand function) releases its in-flight credit on unwind, letting
+//! the sibling workers drain and terminate, and the run surfaces the panic
+//! as a typed [`DataflowError::WorkerPanic`] instead of aborting the
+//! process.
 
 use crate::solution_set::SolutionSet;
 use crate::stats::{IterationRunStats, IterationStats};
 use crate::workset::{WorksetConfig, WorksetIteration, WorksetResult};
 use dataflow::key::FxHashMap;
-use dataflow::prelude::{Key, PartitionRouter, Record, Result};
+use dataflow::prelude::{DataflowError, Key, PartitionRouter, Record, Result};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -28,6 +38,17 @@ use std::time::{Duration, Instant};
 /// How long a worker waits for new records before re-checking the in-flight
 /// counter.  Purely a liveness knob; correctness does not depend on it.
 const IDLE_POLL: Duration = Duration::from_micros(200);
+
+/// Releases one in-flight credit on drop, so a record's credit is returned
+/// even when the user's update/expand function panics mid-processing —
+/// otherwise the sibling workers would wait forever for the counter to drain.
+struct CreditGuard<'a>(&'a AtomicI64);
+
+impl Drop for CreditGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// Per-worker counters returned when the worker shuts down.
 struct WorkerOutcome {
@@ -82,7 +103,7 @@ pub(crate) fn run_async(
     let pool = spinning_pool::ThreadPool::new(parallelism);
     let mut solution_partitions = solution.take_partitions();
     let mut outcome_slots: Vec<Option<WorkerOutcome>> = (0..parallelism).map(|_| None).collect();
-    pool.scope(|scope| {
+    let scope_result = pool.try_scope(|scope| {
         for (partition, ((s_part, receiver), slot)) in solution_partitions
             .iter_mut()
             .zip(receivers)
@@ -93,7 +114,7 @@ pub(crate) fn run_async(
             let in_flight = Arc::clone(&in_flight);
             let comparator = comparator.clone();
             let constant = &constant_index[partition];
-            scope.spawn(move || {
+            scope.spawn_labeled("async-microstep", move || {
                 let mut outcome = WorkerOutcome {
                     processed: 0,
                     changed: 0,
@@ -104,6 +125,7 @@ pub(crate) fn run_async(
                 loop {
                     match receiver.recv_timeout(IDLE_POLL) {
                         Ok(record) => {
+                            let _credit = CreditGuard(&in_flight);
                             outcome.processed += 1;
                             let key = Key::extract(&record, &iteration.workset_key);
                             let delta = {
@@ -151,9 +173,10 @@ pub(crate) fn run_async(
                                     }
                                 }
                             }
-                            // Release this record's credit only after all the
-                            // records it caused have been credited.
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                            // `_credit` drops here, releasing this record's
+                            // credit only after all the records it caused
+                            // have been credited — and also on unwind, so a
+                            // panicking worker cannot wedge its siblings.
                         }
                         Err(RecvTimeoutError::Timeout) => {
                             if in_flight.load(Ordering::SeqCst) == 0 {
@@ -169,6 +192,13 @@ pub(crate) fn run_async(
     });
     solution.restore_partitions(solution_partitions);
     drop(senders);
+    if let Err(panic) = scope_result {
+        return Err(DataflowError::WorkerPanic {
+            operator: "async-microstep".into(),
+            superstep: 1,
+            message: panic.message(),
+        });
+    }
 
     let outcomes = outcome_slots
         .into_iter()

@@ -35,6 +35,16 @@ pub struct IterationStats {
     pub spilled_bytes: usize,
     /// Number of spilled runs written.
     pub spilled_runs: usize,
+    /// Superstep checkpoints persisted while producing this iteration.
+    pub checkpoints_written: usize,
+    /// Bytes those checkpoints wrote to disk (data files plus manifests).
+    pub checkpoint_bytes: usize,
+    /// Completed recoveries (checkpoint restores after a failure) performed
+    /// before this iteration succeeded.
+    pub recoveries: usize,
+    /// Failed attempts at this iteration that were retried (each retry that
+    /// led to a recovery counts once).
+    pub retries: usize,
     /// Statistics of the dataflow execution backing this iteration, if the
     /// iteration ran as a dataflow plan (bulk iterations).
     pub execution: Option<ExecutionStats>,
@@ -90,6 +100,30 @@ impl IterationRunStats {
     /// Sum of spilled runs over all iterations.
     pub fn total_spilled_runs(&self) -> usize {
         self.per_iteration.iter().map(|s| s.spilled_runs).sum()
+    }
+
+    /// Sum of completed recoveries over all iterations — nonzero proves the
+    /// run actually survived injected (or real) failures.
+    pub fn total_recoveries(&self) -> usize {
+        self.per_iteration.iter().map(|s| s.recoveries).sum()
+    }
+
+    /// Sum of retried attempts over all iterations.
+    pub fn total_retries(&self) -> usize {
+        self.per_iteration.iter().map(|s| s.retries).sum()
+    }
+
+    /// Sum of checkpoints written over all iterations.
+    pub fn total_checkpoints_written(&self) -> usize {
+        self.per_iteration
+            .iter()
+            .map(|s| s.checkpoints_written)
+            .sum()
+    }
+
+    /// Sum of checkpoint bytes over all iterations.
+    pub fn total_checkpoint_bytes(&self) -> usize {
+        self.per_iteration.iter().map(|s| s.checkpoint_bytes).sum()
     }
 
     /// Renders the per-iteration series as a text table (one row per

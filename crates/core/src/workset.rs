@@ -29,8 +29,10 @@
 //! asynchronously ([`ExecutionMode::AsynchronousMicrostep`], implemented in
 //! [`crate::microstep`]).
 
+use crate::checkpoint::{CheckpointPolicy, CheckpointStore};
 use crate::solution_set::{PartitionIndex, RecordComparator, SolutionSet};
 use crate::stats::{IterationRunStats, IterationStats};
+use dataflow::fault::{FaultInjector, FaultSite};
 use dataflow::key::{group_ranges, sort_by_key, FxHashMap};
 use dataflow::page::RecordPage;
 use dataflow::prelude::{
@@ -38,6 +40,7 @@ use dataflow::prelude::{
     RunMerger, SpillManager, SpilledRun, SpillingWriter,
 };
 use dataflow::range::sample_keys_into;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -124,7 +127,7 @@ pub enum WorksetRouting {
 }
 
 /// Configuration of a workset iteration run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WorksetConfig {
     /// Number of worker partitions.
     pub parallelism: usize,
@@ -142,6 +145,16 @@ pub struct WorksetConfig {
     /// through queues and ignores the budget — bounding it is the
     /// credit-based backpressure follow-on.
     pub memory_budget: MemoryBudget,
+    /// Superstep checkpointing and recovery policy.  `None` (the default)
+    /// disables checkpointing: a failed superstep surfaces as a typed
+    /// [`DataflowError`] immediately.  The asynchronous mode has no superstep
+    /// boundaries and ignores the policy.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Deterministic fault injector threaded through the run's spill,
+    /// checkpoint and pool-dispatch sites.  Defaults to the
+    /// environment-configured injector ([`FaultInjector::from_env`]), which
+    /// is disabled unless `SPINNING_FAULT_RATE` is set.
+    pub fault: FaultInjector,
 }
 
 impl WorksetConfig {
@@ -153,6 +166,8 @@ impl WorksetConfig {
             max_supersteps: 100_000,
             routing: WorksetRouting::Hash,
             memory_budget: MemoryBudget::unlimited(),
+            checkpoint: None,
+            fault: FaultInjector::from_env(),
         }
     }
 
@@ -182,6 +197,27 @@ impl WorksetConfig {
     /// Sets the superstep exchange's memory budget.
     pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
         self.memory_budget = budget;
+        self
+    }
+
+    /// Enables superstep checkpointing: every `interval` supersteps the
+    /// solution set and the pending workset queues are snapshotted under
+    /// `dir`, and a failed superstep restores the newest valid checkpoint
+    /// and retries instead of failing the run.
+    pub fn with_checkpoint(self, interval: usize, dir: impl Into<PathBuf>) -> Self {
+        self.with_checkpoint_policy(CheckpointPolicy::new(interval, dir))
+    }
+
+    /// Enables superstep checkpointing with an explicit policy (interval,
+    /// directory, retry budget, backoff base).
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Installs a fault injector (replacing the environment-configured one).
+    pub fn with_fault(mut self, fault: FaultInjector) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -373,7 +409,8 @@ impl WorksetIteration {
         let spill = SpillManager::new(
             config.memory_budget.share(parallelism * parallelism),
             sort_on_flush,
-        );
+        )
+        .with_fault(config.fault.clone());
         let mut queues: Vec<WorksetQueue> = Vec::with_capacity(parallelism);
         let per_queue = initial_workset.len() / parallelism + 1;
         for _ in 0..parallelism {
@@ -397,97 +434,111 @@ impl WorksetIteration {
         // worksets, so steady-state supersteps allocate nothing for routing.
         let mut spare_queues: Vec<Vec<Record>> = Vec::with_capacity(parallelism);
 
+        let store = config
+            .checkpoint
+            .as_ref()
+            .map(|policy| CheckpointStore::new(&policy.dir, parallelism, config.fault.clone()));
+        let mut pending = PendingRecoveryStats::default();
+        // Checkpoint the initial consistent cut (superstep 0) so a failure in
+        // the very first superstep has something to restore.
+        if let Some(store) = &store {
+            if let Ok(bytes) = write_superstep_checkpoint(store, 0, &solution, &queues) {
+                pending.checkpoints_written += 1;
+                pending.checkpoint_bytes += bytes as usize;
+            }
+        }
+        // Consecutive failed attempts at the current superstep (reset on
+        // every success); bounded by the policy's retry budget.
+        let mut retries_used = 0usize;
+
         while queues.iter().any(|q| !q.is_empty()) && superstep < config.max_supersteps {
-            superstep += 1;
-            let step_start = Instant::now();
-            let mut next_queues: Vec<WorksetQueue> = Vec::with_capacity(parallelism);
-            for _ in 0..parallelism {
-                let mut q = spare_queues.pop().unwrap_or_default();
-                q.clear();
-                next_queues.push(WorksetQueue {
-                    records: q,
-                    pages: Vec::new(),
-                    runs: Vec::new(),
-                });
+            let attempt = superstep + 1;
+            match self.superstep_once(
+                attempt,
+                &mut solution,
+                &mut queues,
+                &mut spare_queues,
+                &mut scratch,
+                &constant_index,
+                &comparator,
+                router,
+                &spill,
+                config,
+            ) {
+                Ok(mut stats) => {
+                    superstep = attempt;
+                    retries_used = 0;
+                    if let (Some(store), Some(policy)) = (&store, &config.checkpoint) {
+                        if superstep.is_multiple_of(policy.interval) {
+                            // A failed checkpoint is not fatal: it only
+                            // widens the window the next recovery replays.
+                            if let Ok(bytes) =
+                                write_superstep_checkpoint(store, superstep, &solution, &queues)
+                            {
+                                pending.checkpoints_written += 1;
+                                pending.checkpoint_bytes += bytes as usize;
+                                store.prune(2);
+                            }
+                        }
+                    }
+                    pending.fold_into(&mut stats);
+                    run_stats.per_iteration.push(stats);
+                }
+                Err(error) => {
+                    // Without a checkpoint policy the failure is final and
+                    // surfaces as the typed error it already is.
+                    let (Some(store), Some(policy)) = (&store, &config.checkpoint) else {
+                        return Err(error);
+                    };
+                    retries_used += 1;
+                    pending.retries += 1;
+                    if retries_used > policy.max_retries {
+                        return Err(DataflowError::RecoveryExhausted {
+                            superstep: attempt,
+                            retries: policy.max_retries,
+                            last: Box::new(error),
+                        });
+                    }
+                    std::thread::sleep(policy.backoff_for(retries_used));
+                    // Roll back to the newest checkpoint at or before the
+                    // last completed superstep; corrupt or partial
+                    // checkpoints are skipped inside `restore_latest`.
+                    let Some(restored) = store.restore_latest(superstep) else {
+                        return Err(error);
+                    };
+                    let mut rebuilt = SolutionSet::new(self.solution_key.clone(), parallelism)
+                        .with_router(router.clone());
+                    if let Some(cmp) = &self.comparator {
+                        rebuilt = rebuilt.with_comparator(Arc::clone(cmp));
+                    }
+                    rebuilt.merge_all(restored.solution.into_iter().flatten());
+                    solution = rebuilt;
+                    // Snapshotted queues were already partition-routed when
+                    // they were taken, so they reload as plain local records.
+                    queues = restored
+                        .workset
+                        .into_iter()
+                        .map(|records| WorksetQueue {
+                            records,
+                            pages: Vec::new(),
+                            runs: Vec::new(),
+                        })
+                        .collect();
+                    run_stats.per_iteration.truncate(restored.superstep);
+                    superstep = restored.superstep;
+                    pending.recoveries += 1;
+                }
             }
-            let worksets = std::mem::replace(&mut queues, next_queues);
-            let workset_size: usize = worksets.iter().map(WorksetQueue::len).sum();
-
-            let mut solution_partitions = solution.take_partitions();
-            let microstep = config.mode == ExecutionMode::Microstep;
-
-            // Run the step function locally in every partition, one task per
-            // partition on the persistent worker pool.  On the long tail
-            // (hundreds of tiny supersteps) this dispatch — a deque push per
-            // partition — *is* the superstep cost, which is why the pool
-            // replaced the former per-superstep `std::thread::scope` spawns.
-            let mut output_slots: Vec<Option<PartitionOutput>> =
-                (0..parallelism).map(|_| None).collect();
-            spinning_pool::global().scope(|scope| {
-                for (partition, (((s_part, workset), scratch), slot)) in solution_partitions
-                    .iter_mut()
-                    .zip(worksets)
-                    .zip(scratch.iter_mut())
-                    .zip(output_slots.iter_mut())
-                    .enumerate()
-                {
-                    let constant = &constant_index[partition];
-                    let comparator = comparator.clone();
-                    let spill = &spill;
-                    scope.spawn(move || {
-                        *slot = Some(self.run_partition_superstep(
-                            partition,
-                            s_part,
-                            workset,
-                            constant,
-                            &comparator,
-                            microstep,
-                            router,
-                            spill,
-                            scratch,
-                        ));
-                    });
-                }
-            });
-            let outputs = output_slots
-                .into_iter()
-                .map(|slot| slot.expect("pool ran every superstep partition"));
-            solution.restore_partitions(solution_partitions);
-
-            // Exchange the new workset records (the superstep queue switch).
-            // Records that stayed in their partition are moved as heap
-            // objects; everything that crossed a partition boundary arrives
-            // as sealed pages — or, past the memory budget, as spilled-run
-            // handles whose bytes stay on disk — so the exchange moves
-            // buffer, page and handle pointers, never individual records.
-            let mut stats = IterationStats::for_iteration(superstep);
-            stats.workset_size = workset_size;
-            for (partition, output) in outputs.enumerate() {
-                stats.elements_inspected += output.inspected;
-                stats.elements_changed += output.changed;
-                stats.messages_sent += output.messages_sent;
-                stats.messages_shipped += output.messages_shipped;
-                let local = output.outbox_local;
-                if !local.is_empty() && queues[partition].records.is_empty() {
-                    let drained = std::mem::replace(&mut queues[partition].records, local);
-                    spare_queues.push(drained);
-                } else {
-                    queues[partition].records.extend(local);
-                }
-                for (target, writer) in output.outbox_remote.into_iter().enumerate() {
-                    let spilled = writer.finish()?;
-                    stats.spilled_bytes += spilled.stats.spilled_bytes;
-                    stats.spilled_runs += spilled.stats.spilled_runs;
-                    queues[target].pages.extend(spilled.pages);
-                    queues[target].runs.extend(spilled.runs);
-                }
-                spare_queues.push(output.drained_workset);
-            }
-            // Keep at most one recycled buffer per partition; the rest would
-            // otherwise accumulate (with their capacities) for the whole run.
-            spare_queues.truncate(parallelism);
-            stats.elapsed = step_start.elapsed();
-            run_stats.per_iteration.push(stats);
+        }
+        // Flush counters of trailing checkpoints/recoveries that no later
+        // superstep absorbed (e.g. the superstep-0 checkpoint of a run whose
+        // workset was empty).
+        if let Some(last) = run_stats.per_iteration.last_mut() {
+            pending.fold_into(last);
+        }
+        // The run is over; its checkpoints are dead weight on disk.
+        if let Some(store) = &store {
+            store.clear();
         }
 
         // The loop exits either because every queue drained (the fixpoint)
@@ -500,6 +551,130 @@ impl WorksetIteration {
             converged,
             stats: run_stats,
         })
+    }
+
+    /// Runs one superstep across all partitions: consumes the queued
+    /// worksets, applies deltas to the solution set, and exchanges the next
+    /// superstep's candidates back into `queues`.  On failure the solution
+    /// partitions are restored (the pool waits for every sibling task), but
+    /// the queue contents of the failed superstep are consumed — the caller
+    /// recovers by restoring a checkpoint or surfacing the error.
+    #[allow(clippy::too_many_arguments)]
+    fn superstep_once(
+        &self,
+        superstep: usize,
+        solution: &mut SolutionSet,
+        queues: &mut Vec<WorksetQueue>,
+        spare_queues: &mut Vec<Vec<Record>>,
+        scratch: &mut [StepScratch],
+        constant_index: &[FxHashMap<Key, Vec<Record>>],
+        comparator: &Option<RecordComparator>,
+        router: &PartitionRouter,
+        spill: &SpillManager,
+        config: &WorksetConfig,
+    ) -> Result<IterationStats> {
+        let parallelism = config.parallelism;
+        let step_start = Instant::now();
+        let mut next_queues: Vec<WorksetQueue> = Vec::with_capacity(parallelism);
+        for _ in 0..parallelism {
+            let mut q = spare_queues.pop().unwrap_or_default();
+            q.clear();
+            next_queues.push(WorksetQueue {
+                records: q,
+                pages: Vec::new(),
+                runs: Vec::new(),
+            });
+        }
+        let worksets = std::mem::replace(queues, next_queues);
+        let workset_size: usize = worksets.iter().map(WorksetQueue::len).sum();
+
+        let mut solution_partitions = solution.take_partitions();
+        let microstep = config.mode == ExecutionMode::Microstep;
+
+        // Run the step function locally in every partition, one task per
+        // partition on the persistent worker pool.  On the long tail
+        // (hundreds of tiny supersteps) this dispatch — a deque push per
+        // partition — *is* the superstep cost, which is why the pool
+        // replaced the former per-superstep `std::thread::scope` spawns.
+        let fault = &config.fault;
+        let mut output_slots: Vec<Option<Result<PartitionOutput>>> =
+            (0..parallelism).map(|_| None).collect();
+        let scope_result = spinning_pool::global().try_scope(|scope| {
+            for (partition, (((s_part, workset), scratch), slot)) in solution_partitions
+                .iter_mut()
+                .zip(worksets)
+                .zip(scratch.iter_mut())
+                .zip(output_slots.iter_mut())
+                .enumerate()
+            {
+                let constant = &constant_index[partition];
+                let comparator = comparator.clone();
+                scope.spawn_labeled("workset-superstep", move || {
+                    fault.panic_check(FaultSite::WorkerPanic, "workset-superstep");
+                    *slot = Some(self.run_partition_superstep(
+                        partition,
+                        s_part,
+                        workset,
+                        constant,
+                        &comparator,
+                        microstep,
+                        router,
+                        spill,
+                        scratch,
+                    ));
+                });
+            }
+        });
+        // The pool waits for every task before `try_scope` returns, so the
+        // partitions can always be handed back — even when a sibling task
+        // panicked or failed.
+        solution.restore_partitions(solution_partitions);
+        if let Err(panic) = scope_result {
+            return Err(DataflowError::WorkerPanic {
+                operator: "workset-superstep".into(),
+                superstep,
+                message: panic.message(),
+            });
+        }
+        let outputs = output_slots
+            .into_iter()
+            .map(|slot| slot.expect("pool ran every superstep partition"))
+            .collect::<Result<Vec<PartitionOutput>>>()?;
+
+        // Exchange the new workset records (the superstep queue switch).
+        // Records that stayed in their partition are moved as heap
+        // objects; everything that crossed a partition boundary arrives
+        // as sealed pages — or, past the memory budget, as spilled-run
+        // handles whose bytes stay on disk — so the exchange moves
+        // buffer, page and handle pointers, never individual records.
+        let mut stats = IterationStats::for_iteration(superstep);
+        stats.workset_size = workset_size;
+        for (partition, output) in outputs.into_iter().enumerate() {
+            stats.elements_inspected += output.inspected;
+            stats.elements_changed += output.changed;
+            stats.messages_sent += output.messages_sent;
+            stats.messages_shipped += output.messages_shipped;
+            let local = output.outbox_local;
+            if !local.is_empty() && queues[partition].records.is_empty() {
+                let drained = std::mem::replace(&mut queues[partition].records, local);
+                spare_queues.push(drained);
+            } else {
+                queues[partition].records.extend(local);
+            }
+            for (target, writer) in output.outbox_remote.into_iter().enumerate() {
+                let spilled = writer.finish()?;
+                stats.spilled_bytes += spilled.stats.spilled_bytes;
+                stats.spilled_runs += spilled.stats.spilled_runs;
+                queues[target].pages.extend(spilled.pages);
+                queues[target].runs.extend(spilled.runs);
+            }
+            spare_queues.push(output.drained_workset);
+        }
+        // Keep at most one recycled buffer per partition; the rest would
+        // otherwise accumulate (with their capacities) for the whole run.
+        spare_queues.truncate(parallelism);
+        stats.elapsed = step_start.elapsed();
+        Ok(stats)
     }
 
     /// Executes one superstep inside one partition.
@@ -515,7 +690,7 @@ impl WorksetIteration {
         router: &PartitionRouter,
         spill: &SpillManager,
         scratch: &mut StepScratch,
-    ) -> PartitionOutput {
+    ) -> Result<PartitionOutput> {
         let mut output = PartitionOutput::new(router.parallelism(), spill);
         let StepScratch {
             expand: expand_buffer,
@@ -594,11 +769,9 @@ impl WorksetIteration {
             // Spilled candidates stream straight off disk through the same
             // scratch record — the queue never materializes them.
             for run in &workset.runs {
-                let mut cursor = run.cursor().expect("failed to open spilled workset run");
-                while cursor
-                    .next_into(page_scratch)
-                    .expect("failed to read spilled workset run")
-                {
+                spill.fault().io_check(FaultSite::SpillRead)?;
+                let mut cursor = run.cursor()?;
+                while cursor.next_into(page_scratch)? {
                     handle(page_scratch, s_part, &mut output);
                 }
             }
@@ -638,27 +811,25 @@ impl WorksetIteration {
                 // — one group is buffered at a time, the spilled part of the
                 // workset never materializes.  Deltas still apply after the
                 // whole pass (superstep semantics are unchanged).
+                spill.fault().io_check(FaultSite::SpillRead)?;
                 let merger = RunMerger::over_runs(
                     &workset.runs,
                     std::mem::take(&mut records),
                     self.workset_key.clone(),
-                )
-                .expect("failed to open spilled workset runs");
+                )?;
                 let inspected = &mut output.inspected;
-                merger
-                    .for_each_group(|key, candidates| {
-                        *inspected += 1;
-                        if let Some(delta) = self.update.update(key, s_part.get(key), candidates) {
-                            deltas.push(delta);
-                        }
-                        // Consumed candidates recycle into the freelist —
-                        // capped here, per group, so the pass over a
-                        // larger-than-memory spilled workset never
-                        // accumulates every record buffer it streamed.
-                        freelist.append(candidates);
-                        freelist.truncate(FREELIST_RECORDS);
-                    })
-                    .expect("failed to read spilled workset runs");
+                merger.for_each_group(|key, candidates| {
+                    *inspected += 1;
+                    if let Some(delta) = self.update.update(key, s_part.get(key), candidates) {
+                        deltas.push(delta);
+                    }
+                    // Consumed candidates recycle into the freelist —
+                    // capped here, per group, so the pass over a
+                    // larger-than-memory spilled workset never
+                    // accumulates every record buffer it streamed.
+                    freelist.append(candidates);
+                    freelist.truncate(FREELIST_RECORDS);
+                })?;
             }
             for delta in deltas.drain(..) {
                 apply_and_expand(delta, s_part, &mut output);
@@ -669,8 +840,70 @@ impl WorksetIteration {
             freelist.truncate(FREELIST_RECORDS);
             output.drained_workset = records;
         }
-        output
+        Ok(output)
     }
+}
+
+/// Checkpoint/recovery counters accumulated between successful supersteps and
+/// folded into the next pushed [`IterationStats`] row.
+#[derive(Default)]
+pub(crate) struct PendingRecoveryStats {
+    pub(crate) checkpoints_written: usize,
+    pub(crate) checkpoint_bytes: usize,
+    pub(crate) recoveries: usize,
+    pub(crate) retries: usize,
+}
+
+impl PendingRecoveryStats {
+    /// Moves the accumulated counters into `stats` and resets them.
+    pub(crate) fn fold_into(&mut self, stats: &mut IterationStats) {
+        stats.checkpoints_written += self.checkpoints_written;
+        stats.checkpoint_bytes += self.checkpoint_bytes;
+        stats.recoveries += self.recoveries;
+        stats.retries += self.retries;
+        *self = PendingRecoveryStats::default();
+    }
+}
+
+/// Materializes one partition's pending workset queue into plain records for
+/// a checkpoint snapshot: local records are cloned, sealed pages and spilled
+/// runs are read back.  The live queue is left untouched.
+fn snapshot_queue(queue: &WorksetQueue) -> std::io::Result<Vec<Record>> {
+    let mut records = queue.records.clone();
+    records.reserve(queue.pages.iter().map(|p| p.record_count()).sum());
+    for page in &queue.pages {
+        for view in page.reader() {
+            let mut record = Record::empty();
+            view.read_into(&mut record);
+            records.push(record);
+        }
+    }
+    let mut scratch = Record::empty();
+    for run in &queue.runs {
+        let mut cursor = run.cursor()?;
+        while cursor.next_into(&mut scratch)? {
+            records.push(scratch.clone());
+        }
+    }
+    Ok(records)
+}
+
+/// Snapshots the solution set and the pending workset queues as the given
+/// superstep's checkpoint, returning the bytes written.
+fn write_superstep_checkpoint(
+    store: &CheckpointStore,
+    superstep: usize,
+    solution: &SolutionSet,
+    queues: &[WorksetQueue],
+) -> std::io::Result<u64> {
+    let solution_parts: Vec<Vec<Record>> = (0..queues.len())
+        .map(|p| solution.partition_records(p))
+        .collect();
+    let workset_parts = queues
+        .iter()
+        .map(snapshot_queue)
+        .collect::<std::io::Result<Vec<_>>>()?;
+    store.write(superstep, &solution_parts, &workset_parts)
 }
 
 /// One partition's incoming workset for a superstep: candidate records that

@@ -27,6 +27,35 @@ pub enum DataflowError {
     ExecutionFailed(String),
     /// Writing a spilled run to disk failed (disk full, permissions, ...).
     SpillIo(String),
+    /// A spilled run or checkpoint file failed validation on read-back: the
+    /// file is torn, truncated, or its per-page checksum does not match.
+    SpillCorrupt {
+        /// Path of the corrupt file.
+        path: String,
+        /// Byte offset of the frame that failed validation.
+        frame_offset: u64,
+    },
+    /// A pool worker task panicked; the scope caught the payload instead of
+    /// unwinding the process.
+    WorkerPanic {
+        /// The operator (or driver stage) whose task panicked.
+        operator: String,
+        /// The superstep / iteration during which the panic happened
+        /// (0 for non-iterative execution).
+        superstep: usize,
+        /// The panic message, when the payload was a string.
+        message: String,
+    },
+    /// Recovery retried up to its bound and every attempt failed; carries the
+    /// last underlying error.
+    RecoveryExhausted {
+        /// The superstep that kept failing.
+        superstep: usize,
+        /// How many recovery attempts were made.
+        retries: usize,
+        /// The error from the final attempt.
+        last: Box<DataflowError>,
+    },
 }
 
 impl fmt::Display for DataflowError {
@@ -46,6 +75,26 @@ impl fmt::Display for DataflowError {
             DataflowError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             DataflowError::ExecutionFailed(msg) => write!(f, "execution failed: {msg}"),
             DataflowError::SpillIo(msg) => write!(f, "spill I/O failed: {msg}"),
+            DataflowError::SpillCorrupt { path, frame_offset } => write!(
+                f,
+                "corrupt spill data in {path} at frame offset {frame_offset}"
+            ),
+            DataflowError::WorkerPanic {
+                operator,
+                superstep,
+                message,
+            } => write!(
+                f,
+                "worker task panicked in '{operator}' (superstep {superstep}): {message}"
+            ),
+            DataflowError::RecoveryExhausted {
+                superstep,
+                retries,
+                last,
+            } => write!(
+                f,
+                "recovery exhausted after {retries} retries at superstep {superstep}; last error: {last}"
+            ),
         }
     }
 }
@@ -54,6 +103,18 @@ impl std::error::Error for DataflowError {}
 
 impl From<std::io::Error> for DataflowError {
     fn from(error: std::io::Error) -> DataflowError {
+        // Corruption detected by the spill layer travels through io::Result
+        // signatures as a typed payload; surface it as its own variant so
+        // callers can distinguish "disk broke" from "data lied".
+        if let Some(corrupt) = error
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<crate::spill::CorruptRun>())
+        {
+            return DataflowError::SpillCorrupt {
+                path: corrupt.path.display().to_string(),
+                frame_offset: corrupt.frame_offset,
+            };
+        }
         DataflowError::SpillIo(error.to_string())
     }
 }

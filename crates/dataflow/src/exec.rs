@@ -31,6 +31,7 @@
 
 use crate::contracts::{Collector, Udf};
 use crate::error::{DataflowError, Result};
+use crate::fault::{FaultInjector, FaultSite};
 use crate::key::{group_ranges, partition_for, sort_by_key, FxHashMap, Key, KeyFields};
 use crate::page::{ExchangedPartition, PageWriter, RecordPage};
 use crate::physical::{LocalStrategy, PhysicalChoice, PhysicalPlan, ShipStrategy};
@@ -56,6 +57,9 @@ pub struct ExecConfig {
     /// exceeding it moves sealed pages to disk as sorted runs (see
     /// [`crate::spill`]).  Unlimited by default — nothing ever spills.
     pub memory_budget: MemoryBudget,
+    /// Fault injector consulted at spill flushes and worker dispatch sites
+    /// (see [`crate::fault`]).  Disabled by default.
+    pub fault: FaultInjector,
 }
 
 impl ExecConfig {
@@ -67,6 +71,12 @@ impl ExecConfig {
     /// Sets the exchange memory budget.
     pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
         self.memory_budget = budget;
+        self
+    }
+
+    /// Sets the fault injector.
+    pub fn with_fault(mut self, fault: FaultInjector) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -418,13 +428,23 @@ impl Executor {
             } else {
                 let mut per_partition: Vec<Option<(usize, Vec<Record>)>> =
                     (0..parallelism).map(|_| None).collect();
-                spinning_pool::global().scope(|scope| {
-                    for (inputs, slot) in partition_inputs.drain(..).zip(per_partition.iter_mut()) {
-                        scope.spawn(move || {
-                            *slot = Some(run_local(op, local, inputs));
-                        });
-                    }
-                });
+                let fault = &self.config.fault;
+                spinning_pool::global()
+                    .try_scope(|scope| {
+                        for (inputs, slot) in
+                            partition_inputs.drain(..).zip(per_partition.iter_mut())
+                        {
+                            scope.spawn_labeled("operator-local", move || {
+                                fault.panic_check(FaultSite::WorkerPanic, "operator-local");
+                                *slot = Some(run_local(op, local, inputs));
+                            });
+                        }
+                    })
+                    .map_err(|panic| DataflowError::WorkerPanic {
+                        operator: op.name.clone(),
+                        superstep: 0,
+                        message: panic.message(),
+                    })?;
                 for slot in per_partition {
                     let (records_in, out) = slot.expect("pool ran every partition task");
                     records_in_total += records_in;
@@ -790,6 +810,7 @@ fn exchange_spill_manager(
         config.memory_budget.share(sources.max(1) * parallelism),
         Some(keys.to_vec()),
     )
+    .with_fault(config.fault.clone())
 }
 
 /// What one producer partition contributes to a paged exchange: the records
@@ -893,39 +914,56 @@ fn route_paged(
             }
         }
     } else {
+        let route_panic = |panic: spinning_pool::ScopePanic| DataflowError::WorkerPanic {
+            operator: "exchange-route".to_string(),
+            superstep: 0,
+            message: panic.message(),
+        };
         match producer {
             ProducerInput::Owned(parts) => {
-                spinning_pool::global().scope(|scope| {
-                    for ((src, records), slot) in
-                        parts.into_iter().enumerate().zip(routed.iter_mut())
-                    {
-                        scope.spawn(move || {
-                            *slot = Some(route_source(
-                                src,
-                                records.into_iter().map(Cow::Owned),
-                                router,
-                                parallelism,
-                                spill,
-                            ));
-                        });
-                    }
-                });
+                spinning_pool::global()
+                    .try_scope(|scope| {
+                        for ((src, records), slot) in
+                            parts.into_iter().enumerate().zip(routed.iter_mut())
+                        {
+                            scope.spawn_labeled("exchange-route", move || {
+                                spill
+                                    .fault()
+                                    .panic_check(FaultSite::WorkerPanic, "exchange-route");
+                                *slot = Some(route_source(
+                                    src,
+                                    records.into_iter().map(Cow::Owned),
+                                    router,
+                                    parallelism,
+                                    spill,
+                                ));
+                            });
+                        }
+                    })
+                    .map_err(route_panic)?;
             }
             ProducerInput::Shared(parts) => {
                 let parts: &Partitions = &parts;
-                spinning_pool::global().scope(|scope| {
-                    for ((src, records), slot) in parts.iter().enumerate().zip(routed.iter_mut()) {
-                        scope.spawn(move || {
-                            *slot = Some(route_source(
-                                src,
-                                records.iter().map(Cow::Borrowed),
-                                router,
-                                parallelism,
-                                spill,
-                            ));
-                        });
-                    }
-                });
+                spinning_pool::global()
+                    .try_scope(|scope| {
+                        for ((src, records), slot) in
+                            parts.iter().enumerate().zip(routed.iter_mut())
+                        {
+                            scope.spawn_labeled("exchange-route", move || {
+                                spill
+                                    .fault()
+                                    .panic_check(FaultSite::WorkerPanic, "exchange-route");
+                                *slot = Some(route_source(
+                                    src,
+                                    records.iter().map(Cow::Borrowed),
+                                    router,
+                                    parallelism,
+                                    spill,
+                                ));
+                            });
+                        }
+                    })
+                    .map_err(route_panic)?;
             }
         }
     }
@@ -1023,14 +1061,20 @@ fn range_exchange(
             *slot = Some(sort_one(slot.take().expect("partition present")));
         }
     } else {
-        spinning_pool::global().scope(|scope| {
-            for slot in sorted.iter_mut() {
-                let sort_one = &sort_one;
-                scope.spawn(move || {
-                    *slot = Some(sort_one(slot.take().expect("partition present")));
-                });
-            }
-        });
+        spinning_pool::global()
+            .try_scope(|scope| {
+                for slot in sorted.iter_mut() {
+                    let sort_one = &sort_one;
+                    scope.spawn_labeled("range-sort", move || {
+                        *slot = Some(sort_one(slot.take().expect("partition present")));
+                    });
+                }
+            })
+            .map_err(|panic| DataflowError::WorkerPanic {
+                operator: "range-sort".to_string(),
+                superstep: 0,
+                message: panic.message(),
+            })?;
     }
     Ok(sorted
         .into_iter()

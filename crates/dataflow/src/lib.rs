@@ -57,6 +57,7 @@
 pub mod contracts;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod key;
 pub mod page;
 pub mod physical;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::exec::{
         ExecConfig, ExecutionResult, Executor, IntermediateCache, Partition, Partitions,
     };
+    pub use crate::fault::{FaultInjector, FaultSite, FAULT_RATE_ENV, FAULT_SEED_ENV};
     pub use crate::key::{FxBuildHasher, FxHashMap, Key, KeyFields, KeyValues};
     pub use crate::page::{ExchangedPartition, PageReader, PageWriter, RecordPage, RecordView};
     pub use crate::physical::{
@@ -87,8 +89,8 @@ pub mod prelude {
     pub use crate::range::{sort_by_key_normalized, PartitionRouter, RangeBounds};
     pub use crate::record::Record;
     pub use crate::spill::{
-        MemoryBudget, MergeSource, RunCursor, RunMerger, SpillManager, SpillStats, SpilledRun,
-        SpillingWriter,
+        gc_stale_files, read_records_from, write_records_to, MemoryBudget, MergeSource, RunCursor,
+        RunMerger, SpillManager, SpillStats, SpilledRun, SpillingWriter,
     };
     pub use crate::stats::{ExecutionStats, OperatorStats};
     pub use crate::value::Value;

@@ -28,31 +28,43 @@
 //!   record at a time.  [`RunMerger::for_each_group`] layers streaming
 //!   grouping on top: only one key group is ever in memory.
 //!
-//! # Run file format
+//! # Run file format (version 2)
 //!
-//! A run is a sequence of framed pages: a little-endian `u32` byte length and
-//! a `u32` record count, followed by the page bytes exactly as they sat in
-//! memory (the wire format of [`crate::page`]).  Reading a run back is one
-//! sequential pass; no index or footer is needed because the
-//! [`SpilledRun`] handle carries the page count.
+//! A run file opens with an 8-byte header — the magic `b"SPRN"` and a
+//! little-endian `u32` format version — followed by a sequence of framed
+//! pages: a little-endian `u32` byte length, a `u32` record count, and a
+//! `u32` CRC-32 (IEEE) of the page bytes, then the page bytes exactly as
+//! they sat in memory (the wire format of [`crate::page`]).  Reading a run
+//! back is one sequential pass; no index or footer is needed because the
+//! [`SpilledRun`] handle carries the page count.  Version-1 files (no magic,
+//! no checksums) are rejected at open, not misread.
 //!
 //! # Error handling
 //!
 //! Writing (the spill decision) returns `io::Result` so budget-driven spills
-//! surface disk-full and permission errors to the caller.  Reading back a run
-//! that this process just wrote panics on I/O errors — a torn run file is
-//! unrecoverable mid-exchange, exactly like a lost network connection in the
-//! real runtime.
+//! surface disk-full and permission errors to the caller.  Reading back is
+//! *validated*: a bad magic, a torn frame, or a page whose CRC does not
+//! match surfaces as an [`io::Error`] carrying a typed corruption payload,
+//! which [`crate::error::DataflowError`]'s `From<io::Error>` turns into
+//! `DataflowError::SpillCorrupt { path, frame_offset }` — callers decide
+//! whether to recover (restore a checkpoint) or to fail the job, instead of
+//! the process unwinding.  The same framed format, written through
+//! [`write_records_to`] / [`read_records_from`], backs superstep
+//! checkpoints, where the CRC is what makes a torn checkpoint *detectable*
+//! rather than trusted.
 
+use crate::fault::{FaultInjector, FaultSite};
 use crate::key::{Key, KeyFields};
 use crate::page::{PageWriter, RecordPage};
 use crate::range::sort_by_key_normalized;
 use crate::record::Record;
+use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
+use std::time::Duration;
 
 /// Environment variable naming the directory spilled runs are written to.
 /// Unset (or empty), runs go to a process-private directory under the system
@@ -150,6 +162,192 @@ impl SpillStats {
 }
 
 // ---------------------------------------------------------------------------
+// The run file format
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening every run/checkpoint data file.
+const RUN_MAGIC: [u8; 4] = *b"SPRN";
+
+/// Current run file format version (v2 added per-page CRC-32).
+const RUN_FORMAT_VERSION: u32 = 2;
+
+/// Bytes of a frame header: page byte length, record count, page CRC-32.
+const FRAME_HEADER_BYTES: usize = 12;
+
+/// Sanity bound on a single page frame; a length beyond this in a header is
+/// garbage (torn or foreign file), not a page to allocate.
+const MAX_FRAME_BYTES: usize = 1 << 28;
+
+/// CRC-32 (IEEE, reflected — the zlib/PNG polynomial) lookup table, built at
+/// compile time so the dependency-free implementation still runs one table
+/// step per byte.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Typed payload of a corruption error: travels inside an [`io::Error`]
+/// through the `io::Result` plumbing and is downcast by
+/// `DataflowError::from(io::Error)` into `SpillCorrupt`.
+#[derive(Debug)]
+pub(crate) struct CorruptRun {
+    pub(crate) path: PathBuf,
+    pub(crate) frame_offset: u64,
+    pub(crate) detail: String,
+}
+
+impl fmt::Display for CorruptRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "corrupt run file {} at frame offset {}: {}",
+            self.path.display(),
+            self.frame_offset,
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for CorruptRun {}
+
+fn corrupt(path: &Path, frame_offset: u64, detail: impl Into<String>) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        CorruptRun {
+            path: path.to_owned(),
+            frame_offset,
+            detail: detail.into(),
+        },
+    )
+}
+
+/// Writes the 8-byte file header (magic + version).
+fn write_file_header(writer: &mut impl Write) -> io::Result<()> {
+    writer.write_all(&RUN_MAGIC)?;
+    writer.write_all(&RUN_FORMAT_VERSION.to_le_bytes())
+}
+
+/// Reads and validates the 8-byte file header.
+fn read_file_header(reader: &mut impl Read, path: &Path) -> io::Result<()> {
+    let mut header = [0u8; 8];
+    reader
+        .read_exact(&mut header)
+        .map_err(|_| corrupt(path, 0, "file too short for the run header"))?;
+    if header[..4] != RUN_MAGIC {
+        return Err(corrupt(
+            path,
+            0,
+            "bad magic (not a run file, or a pre-checksum v1 run)",
+        ));
+    }
+    let version = u32::from_le_bytes(header[4..].try_into().expect("4-byte slice"));
+    if version != RUN_FORMAT_VERSION {
+        return Err(corrupt(
+            path,
+            0,
+            format!("unsupported run format version {version}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Writes one page frame (header + bytes), returning the frame's total size.
+fn write_frame(writer: &mut impl Write, page: &RecordPage) -> io::Result<usize> {
+    writer.write_all(&(page.byte_len() as u32).to_le_bytes())?;
+    writer.write_all(&(page.record_count() as u32).to_le_bytes())?;
+    writer.write_all(&crc32(page.bytes()).to_le_bytes())?;
+    writer.write_all(page.bytes())?;
+    Ok(FRAME_HEADER_BYTES + page.byte_len())
+}
+
+/// Reads the next frame into `page`, validating the CRC.  Returns the record
+/// count, or `None` at a clean end-of-file (the frame boundary).  A partial
+/// frame, an implausible length, or a checksum mismatch is a corruption
+/// error; `frame_offset` is advanced past the frame on success.
+fn read_frame(
+    reader: &mut impl Read,
+    path: &Path,
+    frame_offset: &mut u64,
+    page: &mut Vec<u8>,
+) -> io::Result<Option<usize>> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    match reader.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            // Distinguish "no more frames" from "torn mid-header": read_exact
+            // leaves the contents unspecified on failure, so re-probe.
+            return Err(corrupt(path, *frame_offset, "torn frame header"));
+        }
+        Err(e) => return Err(e),
+    }
+    let byte_len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+    let records = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice")) as usize;
+    let expected_crc = u32::from_le_bytes(header[8..].try_into().expect("4-byte slice"));
+    if byte_len > MAX_FRAME_BYTES {
+        return Err(corrupt(
+            path,
+            *frame_offset,
+            format!("implausible frame length {byte_len}"),
+        ));
+    }
+    page.resize(byte_len, 0);
+    reader
+        .read_exact(page)
+        .map_err(|_| corrupt(path, *frame_offset, "torn page frame"))?;
+    let actual_crc = crc32(page);
+    if actual_crc != expected_crc {
+        return Err(corrupt(
+            path,
+            *frame_offset,
+            format!(
+                "page checksum mismatch (stored {expected_crc:#010x}, computed {actual_crc:#010x})"
+            ),
+        ));
+    }
+    *frame_offset += (FRAME_HEADER_BYTES + byte_len) as u64;
+    Ok(Some(records))
+}
+
+/// Like [`read_frame`] but treats end-of-file at a frame boundary as the end
+/// of the stream (for files read without a known page count).
+fn read_frame_or_eof(
+    reader: &mut BufReader<File>,
+    path: &Path,
+    frame_offset: &mut u64,
+    page: &mut Vec<u8>,
+) -> io::Result<Option<usize>> {
+    use std::io::BufRead;
+    if reader.fill_buf()?.is_empty() {
+        return Ok(None);
+    }
+    read_frame(reader, path, frame_offset, page)
+}
+
+// ---------------------------------------------------------------------------
 // Runs on disk
 // ---------------------------------------------------------------------------
 
@@ -218,15 +416,20 @@ impl SpilledRun {
         &self.file.path
     }
 
-    /// Opens a streaming cursor over the run's records.
+    /// Opens a streaming cursor over the run's records, validating the file
+    /// header eagerly (a non-run or pre-checksum file fails here, not later).
     pub fn cursor(&self) -> io::Result<RunCursor> {
+        let mut reader = BufReader::new(File::open(&self.file.path)?);
+        read_file_header(&mut reader, &self.file.path)?;
         Ok(RunCursor {
-            reader: BufReader::new(File::open(&self.file.path)?),
+            reader,
+            path: self.file.path.clone(),
+            frame_offset: 8,
             pages_remaining: self.pages,
             page: Vec::new(),
             offset: 0,
             records_in_page: 0,
-            _file: Arc::clone(&self.file),
+            _file: Some(Arc::clone(&self.file)),
         })
     }
 }
@@ -246,14 +449,13 @@ pub fn write_run_in(
     // Constructed before writing so a failed write still deletes the file.
     let run_file = Arc::new(RunFile { path });
     let mut writer = BufWriter::new(file);
+    write_file_header(&mut writer)?;
     let (mut page_count, mut records, mut bytes) = (0usize, 0usize, 0usize);
     for page in pages {
         if page.is_empty() {
             continue;
         }
-        writer.write_all(&(page.byte_len() as u32).to_le_bytes())?;
-        writer.write_all(&(page.record_count() as u32).to_le_bytes())?;
-        writer.write_all(page.bytes())?;
+        write_frame(&mut writer, page)?;
         page_count += 1;
         records += page.record_count();
         bytes += page.byte_len();
@@ -306,32 +508,36 @@ pub fn write_sorted_run_in(
 #[derive(Debug)]
 pub struct RunCursor {
     reader: BufReader<File>,
+    path: PathBuf,
+    /// Byte offset of the next frame — corruption errors point here.
+    frame_offset: u64,
     pages_remaining: usize,
     /// The current page's bytes; one buffer reused for every page.
     page: Vec<u8>,
     offset: usize,
     records_in_page: usize,
-    /// Keeps the run file alive (and on disk) while the cursor reads it.
-    _file: Arc<RunFile>,
+    /// Keeps the run file alive (and on disk) while the cursor reads it;
+    /// `None` for cursors over persistent (checkpoint) files.
+    _file: Option<Arc<RunFile>>,
 }
 
 impl RunCursor {
     /// Reads the next record into `target`, returning `false` at the end of
-    /// the run.
+    /// the run.  A torn frame or checksum mismatch surfaces as a typed
+    /// corruption error (see the module docs).
     pub fn next_into(&mut self, target: &mut Record) -> io::Result<bool> {
         while self.records_in_page == 0 {
             if self.pages_remaining == 0 {
                 return Ok(false);
             }
             self.pages_remaining -= 1;
-            let mut header = [0u8; 8];
-            self.reader.read_exact(&mut header)?;
-            let byte_len =
-                u32::from_le_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
-            let records =
-                u32::from_le_bytes(header[4..].try_into().expect("4-byte slice")) as usize;
-            self.page.resize(byte_len, 0);
-            self.reader.read_exact(&mut self.page)?;
+            let records = read_frame(
+                &mut self.reader,
+                &self.path,
+                &mut self.frame_offset,
+                &mut self.page,
+            )?
+            .expect("read_frame reports torn frames as errors");
             self.offset = 0;
             self.records_in_page = records;
         }
@@ -345,6 +551,136 @@ impl RunCursor {
         let mut record = Record::empty();
         Ok(self.next_into(&mut record)?.then_some(record))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent framed files (checkpoints)
+// ---------------------------------------------------------------------------
+
+/// Serializes `records` into framed pages at an explicit `path` (creating
+/// parent directories), fsyncs, and returns the file's size in bytes.  The
+/// file uses the same checksummed v2 format as spilled runs but is *not*
+/// deleted on drop — this is the durability primitive behind superstep
+/// checkpoints.
+pub fn write_records_to(path: &Path, records: &[Record]) -> io::Result<u64> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    write_file_header(&mut writer)?;
+    let mut page_writer = PageWriter::new();
+    let mut total = 8u64;
+    for record in records {
+        page_writer.push(record);
+        for page in page_writer.take_sealed() {
+            total += write_frame(&mut writer, &page)? as u64;
+        }
+    }
+    for page in page_writer.finish() {
+        if !page.is_empty() {
+            total += write_frame(&mut writer, &page)? as u64;
+        }
+    }
+    writer.flush()?;
+    writer
+        .into_inner()
+        .map_err(|e| e.into_error())?
+        .sync_all()?;
+    Ok(total)
+}
+
+/// Reads a framed file written by [`write_records_to`] back into records,
+/// validating the header and every page checksum.  A torn or tampered file
+/// surfaces as a typed corruption error; `expected_records` (from the
+/// checkpoint manifest) guards against a file truncated at an exact frame
+/// boundary.
+pub fn read_records_from(path: &Path, expected_records: Option<usize>) -> io::Result<Vec<Record>> {
+    let mut reader = BufReader::new(File::open(path)?);
+    read_file_header(&mut reader, path)?;
+    let mut frame_offset = 8u64;
+    let mut page = Vec::new();
+    let mut records = Vec::new();
+    while let Some(count) = read_frame_or_eof(&mut reader, path, &mut frame_offset, &mut page)? {
+        let mut offset = 0;
+        for _ in 0..count {
+            let mut record = Record::empty();
+            crate::page::read_framed_record(&page, &mut offset, &mut record);
+            records.push(record);
+        }
+    }
+    if let Some(expected) = expected_records {
+        if records.len() != expected {
+            return Err(corrupt(
+                path,
+                frame_offset,
+                format!("expected {expected} records, file holds {}", records.len()),
+            ));
+        }
+    }
+    Ok(records)
+}
+
+// ---------------------------------------------------------------------------
+// Stale-file GC
+// ---------------------------------------------------------------------------
+
+/// Sweeps `dir` for debris left by a *previous, crashed* process: run files
+/// (`run-<pid>-*.spill`) whose pid is not ours, and checkpoint directories
+/// (`ckpt-*`), both older than `max_age`.  Returns the number of entries
+/// removed.  Files of the current process are never touched (their pid is
+/// ours and live handles delete them on drop); checkpoint dirs are age-gated
+/// so an in-flight checkpoint of a concurrent run survives.  A missing `dir`
+/// is not an error.
+pub fn gc_stale_files(dir: &Path, max_age: Duration) -> io::Result<usize> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let own_prefix = format!("run-{}-", std::process::id());
+    let mut removed = 0;
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let is_stale_run =
+            name.starts_with("run-") && name.ends_with(".spill") && !name.starts_with(&own_prefix);
+        let is_checkpoint_dir = name.starts_with("ckpt-");
+        if !is_stale_run && !is_checkpoint_dir {
+            continue;
+        }
+        let age_ok = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|modified| modified.elapsed().ok())
+            .is_some_and(|age| age >= max_age);
+        if !age_ok {
+            continue;
+        }
+        let removal = if is_checkpoint_dir {
+            fs::remove_dir_all(entry.path())
+        } else {
+            fs::remove_file(entry.path())
+        };
+        if removal.is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// Age below which [`gc_stale_files`] leaves debris alone at startup: long
+/// enough that anything younger plausibly belongs to a live concurrent run.
+const GC_STARTUP_MAX_AGE: Duration = Duration::from_secs(60 * 60);
+
+/// Runs the startup sweep of [`default_spill_dir`] once per process.
+fn gc_on_startup() {
+    static GC_ONCE: Once = Once::new();
+    GC_ONCE.call_once(|| {
+        let _ = gc_stale_files(&default_spill_dir(), GC_STARTUP_MAX_AGE);
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -365,14 +701,18 @@ struct ManagerInner {
     dir: PathBuf,
     sort_on_flush: Option<KeyFields>,
     page_bytes: usize,
+    fault: FaultInjector,
 }
 
 impl SpillManager {
     /// A manager spilling to [`default_spill_dir`] under `budget` (applied
     /// per writer; see [`MemoryBudget::share`]).  With `sort_on_flush` set,
     /// flushed records are ordered by those key fields first, so every run
-    /// on disk is sorted.
+    /// on disk is sorted.  The first manager of a process also sweeps debris
+    /// a crashed predecessor left in the spill directory
+    /// (see [`gc_stale_files`]).
     pub fn new(budget: MemoryBudget, sort_on_flush: Option<KeyFields>) -> SpillManager {
+        gc_on_startup();
         SpillManager::in_dir(default_spill_dir(), budget, sort_on_flush)
     }
 
@@ -388,6 +728,7 @@ impl SpillManager {
                 dir,
                 sort_on_flush,
                 page_bytes: crate::page::DEFAULT_PAGE_BYTES,
+                fault: FaultInjector::disabled(),
             }),
         }
     }
@@ -401,6 +742,21 @@ impl SpillManager {
                 dir: self.inner.dir.clone(),
                 sort_on_flush: self.inner.sort_on_flush.clone(),
                 page_bytes,
+                fault: self.inner.fault.clone(),
+            }),
+        }
+    }
+
+    /// Attaches a fault injector consulted on every budget-driven flush
+    /// ([`FaultSite::SpillWrite`]).
+    pub fn with_fault(self, fault: FaultInjector) -> SpillManager {
+        SpillManager {
+            inner: Arc::new(ManagerInner {
+                budget: self.inner.budget,
+                dir: self.inner.dir.clone(),
+                sort_on_flush: self.inner.sort_on_flush.clone(),
+                page_bytes: self.inner.page_bytes,
+                fault,
             }),
         }
     }
@@ -408,6 +764,12 @@ impl SpillManager {
     /// The per-writer budget.
     pub fn budget(&self) -> MemoryBudget {
         self.inner.budget
+    }
+
+    /// The attached fault injector (disabled unless set via
+    /// [`SpillManager::with_fault`]).
+    pub fn fault(&self) -> &FaultInjector {
+        &self.inner.fault
     }
 
     /// Hands out one budgeted page writer.
@@ -477,6 +839,7 @@ impl SpillingWriter {
             return Ok(());
         }
         let inner = &self.manager.inner;
+        inner.fault.io_check(FaultSite::SpillWrite)?;
         let run = match &inner.sort_on_flush {
             Some(keys) => write_sorted_run_in(&inner.dir, &pages, keys)?,
             None => write_run_in(&inner.dir, &pages, None)?,
@@ -947,5 +1310,161 @@ mod tests {
         if std::env::var(MEMORY_BUDGET_ENV).is_err() {
             assert!(MemoryBudget::from_env().is_none());
         }
+    }
+
+    #[test]
+    fn crc32_matches_the_known_ieee_vector() {
+        // The canonical check value of the reflected IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    /// Asserts the error is a typed corruption error and returns the payload.
+    fn expect_corrupt(error: io::Error) -> (PathBuf, u64) {
+        let payload = error
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<CorruptRun>())
+            .unwrap_or_else(|| panic!("expected CorruptRun payload, got {error}"));
+        (payload.path.clone(), payload.frame_offset)
+    }
+
+    #[test]
+    fn bit_flip_in_a_page_is_rejected_by_the_checksum() {
+        let dir = test_dir("bitflip");
+        let records: Vec<Record> = (0..100).map(|i| Record::pair(i, i * 3)).collect();
+        let run = write_run_in(&dir, &pages_of(&records), None).unwrap();
+        // Flip one byte inside the first page's payload.
+        let mut bytes = fs::read(run.path()).unwrap();
+        let victim = 8 + FRAME_HEADER_BYTES + 3;
+        bytes[victim] ^= 0x40;
+        fs::write(run.path(), &bytes).unwrap();
+
+        let mut cursor = run.cursor().unwrap();
+        let error = loop {
+            match cursor.next_record() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("corrupt run read to completion"),
+                Err(e) => break e,
+            }
+        };
+        let (path, frame_offset) = expect_corrupt(error);
+        assert_eq!(path, run.path());
+        assert_eq!(frame_offset, 8, "the first frame is the corrupt one");
+        assert!(crate::error::DataflowError::from(corrupt(&path, 8, "x"))
+            .to_string()
+            .contains("frame offset 8"));
+        drop(cursor);
+        drop(run);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn pre_checksum_files_are_rejected_not_misread() {
+        let dir = test_dir("v1-reject");
+        let records: Vec<Record> = (0..20).map(|i| Record::pair(i, i)).collect();
+        let run = write_run_in(&dir, &pages_of(&records), None).unwrap();
+        // Rewrite the file in the old v1 framing: no magic, 8-byte headers.
+        let v2 = fs::read(run.path()).unwrap();
+        let mut v1 = Vec::new();
+        let mut offset = 8;
+        while offset < v2.len() {
+            let byte_len = u32::from_le_bytes(v2[offset..offset + 4].try_into().unwrap()) as usize;
+            v1.extend_from_slice(&v2[offset..offset + 8]); // len + record count
+            v1.extend_from_slice(&v2[offset + FRAME_HEADER_BYTES..][..byte_len]);
+            offset += FRAME_HEADER_BYTES + byte_len;
+        }
+        fs::write(run.path(), &v1).unwrap();
+        let error = run.cursor().expect_err("v1 framing must not open");
+        let (_, frame_offset) = expect_corrupt(error);
+        assert_eq!(frame_offset, 0, "rejected at the file header");
+        drop(run);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn truncated_run_is_a_torn_frame_error() {
+        let dir = test_dir("torn");
+        let records: Vec<Record> = (0..100).map(|i| Record::pair(i, i)).collect();
+        let run = write_run_in(&dir, &pages_of(&records), None).unwrap();
+        let bytes = fs::read(run.path()).unwrap();
+        fs::write(run.path(), &bytes[..bytes.len() - 5]).unwrap();
+        let mut cursor = run.cursor().unwrap();
+        let error = loop {
+            match cursor.next_record() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("torn run read to completion"),
+                Err(e) => break e,
+            }
+        };
+        expect_corrupt(error);
+        drop(cursor);
+        drop(run);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn persistent_record_files_round_trip_and_validate_counts() {
+        let dir = test_dir("persist");
+        let path = dir.join("ckpt.run");
+        let records: Vec<Record> = (0..500).map(|i| Record::pair(i, i * 7)).collect();
+        let bytes = write_records_to(&path, &records).unwrap();
+        assert_eq!(bytes, fs::metadata(&path).unwrap().len());
+        assert_eq!(
+            read_records_from(&path, Some(records.len())).unwrap(),
+            records
+        );
+        assert_eq!(read_records_from(&path, None).unwrap(), records);
+        let error = read_records_from(&path, Some(records.len() + 1)).unwrap_err();
+        expect_corrupt(error);
+        // Empty files round-trip too (a checkpointed empty workset).
+        let empty = dir.join("empty.run");
+        write_records_to(&empty, &[]).unwrap();
+        assert!(read_records_from(&empty, Some(0)).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_sweeps_foreign_runs_and_old_checkpoints_only() {
+        let dir = test_dir("gc");
+        fs::create_dir_all(&dir).unwrap();
+        let foreign = dir.join("run-99999-7.spill");
+        let own = dir.join(format!("run-{}-7.spill", std::process::id()));
+        let ckpt = dir.join("ckpt-12");
+        let unrelated = dir.join("notes.txt");
+        fs::write(&foreign, b"junk").unwrap();
+        fs::write(&own, b"junk").unwrap();
+        fs::create_dir_all(&ckpt).unwrap();
+        fs::write(ckpt.join("MANIFEST"), b"junk").unwrap();
+        fs::write(&unrelated, b"keep me").unwrap();
+
+        // A generous max_age removes nothing (everything is brand new).
+        assert_eq!(gc_stale_files(&dir, Duration::from_secs(3600)).unwrap(), 0);
+        // Age zero removes the foreign run and the checkpoint dir, never our
+        // own runs or unrelated files.
+        assert_eq!(gc_stale_files(&dir, Duration::ZERO).unwrap(), 2);
+        assert!(!foreign.exists());
+        assert!(!ckpt.exists());
+        assert!(own.exists());
+        assert!(unrelated.exists());
+        // Missing directories are fine.
+        assert_eq!(
+            gc_stale_files(&dir.join("absent"), Duration::ZERO).unwrap(),
+            0
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_spill_write_faults_surface_through_finish() {
+        let dir = test_dir("inject-write");
+        let manager = SpillManager::in_dir(dir.clone(), MemoryBudget::bytes(0), None)
+            .with_fault(FaultInjector::failing_nth(FaultSite::SpillWrite, 0));
+        let mut writer = manager.writer();
+        for i in 0..200 {
+            writer.push(&Record::pair(i, i));
+        }
+        let error = writer.finish().expect_err("injected fault must surface");
+        assert!(error.to_string().contains("injected"));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -199,13 +199,60 @@ impl Shared {
     }
 }
 
+/// A caught task panic: the payload plus the static label the task was
+/// spawned with (see [`Scope::spawn_labeled`]), so callers of
+/// [`ThreadPool::try_scope`] can report *which* kind of task failed instead
+/// of re-raising an opaque unwind.
+pub struct ScopePanic {
+    label: Option<&'static str>,
+    payload: Box<dyn Any + Send>,
+}
+
+impl ScopePanic {
+    /// The label passed at spawn, if the task was spawned with one.
+    pub fn label(&self) -> Option<&'static str> {
+        self.label
+    }
+
+    /// The panic message, when the payload was a string (the overwhelmingly
+    /// common case: `panic!("...")` or a failed `expect`).
+    pub fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
+    /// The raw panic payload.
+    pub fn into_payload(self) -> Box<dyn Any + Send> {
+        self.payload
+    }
+
+    /// Re-raises the panic on the calling thread.
+    pub fn resume(self) -> ! {
+        resume_unwind(self.payload)
+    }
+}
+
+impl std::fmt::Debug for ScopePanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopePanic")
+            .field("label", &self.label)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
 /// Book-keeping of one [`ThreadPool::scope`]: the number of unfinished tasks
 /// and the first panic payload, if any.
 struct ScopeState {
     remaining: AtomicUsize,
     done_lock: Mutex<()>,
     done: Condvar,
-    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    panic: Mutex<Option<ScopePanic>>,
 }
 
 impl ScopeState {
@@ -243,10 +290,10 @@ impl ScopeState {
 
     /// Records the first panic of the scope; later panics are dropped (they
     /// would otherwise abort the process during the unwind of the first).
-    fn store_panic(&self, payload: Box<dyn Any + Send>) {
+    fn store_panic(&self, label: Option<&'static str>, payload: Box<dyn Any + Send>) {
         let mut slot = self.panic.lock().unwrap();
         if slot.is_none() {
-            *slot = Some(payload);
+            *slot = Some(ScopePanic { label, payload });
         }
     }
 }
@@ -312,6 +359,21 @@ impl ThreadPool {
     where
         F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
     {
+        match self.try_scope(f) {
+            Ok(value) => value,
+            Err(panic) => panic.resume(),
+        }
+    }
+
+    /// Like [`ThreadPool::scope`], but a task panic is *returned* as a
+    /// [`ScopePanic`] (payload + spawn label) instead of re-raised — the hook
+    /// that lets an executor convert a worker crash into a typed error and
+    /// recover.  All tasks of the scope still run to completion first, and a
+    /// panic in the scope *body* (the caller's own code) is still re-raised.
+    pub fn try_scope<'env, F, R>(&'env self, f: F) -> Result<R, ScopePanic>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
         let state = Arc::new(ScopeState::new());
         let scope = Scope {
             pool: self,
@@ -331,12 +393,15 @@ impl ThreadPool {
             }
         }
 
-        if let Some(payload) = state.panic.lock().unwrap().take() {
-            resume_unwind(payload);
-        }
+        let task_panic = state.panic.lock().unwrap().take();
         match result {
-            Ok(value) => value,
+            // The body's own panic takes precedence: it is the caller's
+            // unwind, not a worker failure, and must not be swallowed.
             Err(payload) => resume_unwind(payload),
+            Ok(value) => match task_panic {
+                Some(panic) => Err(panic),
+                None => Ok(value),
+            },
         }
     }
 }
@@ -391,11 +456,29 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     where
         F: FnOnce() + Send + 'scope,
     {
+        self.spawn_inner(None, f)
+    }
+
+    /// Like [`Scope::spawn`] with a static label naming the kind of task; if
+    /// the task panics, the label travels with the payload in the
+    /// [`ScopePanic`] so the scope owner can report which dispatch site
+    /// failed.
+    pub fn spawn_labeled<F>(&self, label: &'static str, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.spawn_inner(Some(label), f)
+    }
+
+    fn spawn_inner<F>(&self, label: Option<&'static str>, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
         self.state.remaining.fetch_add(1, Ordering::SeqCst);
         let state = Arc::clone(self.state);
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
-                state.store_panic(payload);
+                state.store_panic(label, payload);
             }
             state.complete();
         });
@@ -612,6 +695,50 @@ mod tests {
     fn empty_scope_returns_immediately() {
         let pool = ThreadPool::new(2);
         assert_eq!(pool.scope(|_| 5), 5);
+    }
+
+    #[test]
+    fn try_scope_returns_the_panic_with_its_label() {
+        let pool = ThreadPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = pool.try_scope(|s| {
+            s.spawn_labeled("superstep-partition", || panic!("worker {} died", 3));
+            for _ in 0..8 {
+                s.spawn(|| {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        let panic = result.expect_err("try_scope must surface the task panic");
+        assert_eq!(panic.label(), Some("superstep-partition"));
+        assert_eq!(panic.message(), "worker 3 died");
+        // A task panic does not cancel the scope's other tasks.
+        assert_eq!(finished.load(Ordering::Relaxed), 8);
+        // And the pool keeps working afterwards.
+        assert!(pool.try_scope(|s| s.spawn(|| {})).is_ok());
+    }
+
+    #[test]
+    fn try_scope_without_panic_returns_the_body_result() {
+        let pool = ThreadPool::new(2);
+        let value = pool.try_scope(|s| {
+            s.spawn(|| {});
+            11
+        });
+        assert_eq!(value.unwrap(), 11);
+    }
+
+    #[test]
+    fn unlabeled_panics_have_no_label_but_keep_the_message() {
+        let pool = ThreadPool::new(1);
+        let panic = pool
+            .try_scope(|s| s.spawn(|| panic!("plain")))
+            .expect_err("panic expected");
+        assert_eq!(panic.label(), None);
+        assert_eq!(panic.message(), "plain");
+        // resume() re-raises the original payload.
+        let raised = catch_unwind(AssertUnwindSafe(|| panic.resume())).unwrap_err();
+        assert_eq!(raised.downcast_ref::<&str>(), Some(&"plain"));
     }
 
     #[test]
