@@ -10,7 +10,7 @@
 //! imported) so the comparison stays runnable at any commit.
 
 use dataflow::key::{partition_for, sort_by_key, FxHashMap, Key};
-use dataflow::page::{ExchangedPartition, PageWriter};
+use dataflow::page::{ExchangedPartition, PageWriter, PagedRecords, PrefixTable, RecordPage};
 use dataflow::prelude::{Record, Value};
 use dataflow::range::{sample_keys_into, sort_by_key_normalized, RangeBounds};
 use dataflow::spill::{write_sorted_records_in, MergeSource, RunMerger};
@@ -240,16 +240,26 @@ pub fn comparisons() -> Vec<Comparison> {
         }
         black_box(acc);
     });
+    // One sample is one superstep of the paged exchange; the pool carries the
+    // consumed pages' buffers from sample to sample, exactly like the
+    // executor's per-partition pool seeds the next superstep's outbox
+    // writers — at steady state the exchange serializes into recycled
+    // buffers instead of allocating fresh pages.
+    let pool = std::cell::RefCell::new(dataflow::page::PagePool::new());
     let current = Box::new(move || {
         let producer = partitioned_input();
         // Producer side: local records move, outbound records serialize into
-        // per-target page writers.
+        // per-target page writers (seeded with recycled page buffers).
         let mut locals: Vec<Vec<Record>> = Vec::with_capacity(PARALLELISM);
         let mut routed: Vec<Vec<PageWriter>> = Vec::with_capacity(PARALLELISM);
+        let mut pool = pool.borrow_mut();
         for (src, partition) in producer.into_iter().enumerate() {
             let mut writers: Vec<PageWriter> =
                 (0..PARALLELISM).map(|_| PageWriter::new()).collect();
-            let mut local = Vec::new();
+            for writer in &mut writers {
+                writer.add_spare_buffers(pool.take(4));
+            }
+            let mut local = Vec::with_capacity(partition.len() / PARALLELISM * 2);
             for r in partition {
                 let target = partition_for(&r, &[0], PARALLELISM);
                 if target == src {
@@ -272,17 +282,109 @@ pub fn comparisons() -> Vec<Comparison> {
             }
         }
         // Consumer side: scan every record the way the executor's local
-        // phase does — paged records through one reused scratch record.
+        // phase does — local records by reference, paged records as in-place
+        // views with the key read straight out of the page bytes (nothing is
+        // deserialized).
         let mut acc = 0i64;
         for part in &received {
-            part.for_each_ref(|r| acc = acc.wrapping_add(r.long(0)));
+            let mut local = 0i64;
+            let mut paged = 0i64;
+            part.for_each_piece(
+                |r| local = local.wrapping_add(r.long(0)),
+                |view| paged = paged.wrapping_add(view.long(0)),
+            );
+            acc = acc.wrapping_add(local).wrapping_add(paged);
+        }
+        // Consumed pages hand their buffers back for the next superstep.
+        for part in received {
+            let (_, pages, _, _) = part.into_pieces();
+            pool.recycle_all(pages);
         }
         black_box(acc);
     });
     all.push(Comparison {
         name: "page_exchange",
         description:
-            "exchange 400k records across 8 partitions and scan the receive side (Vec move vs sealed pages)",
+            "exchange 400k records across 8 partitions and scan the receive side (Vec move + pointer-chase scan vs recycled sealed pages + in-place view scan)",
+        legacy,
+        current,
+    });
+
+    // 2f. The join build+probe that page-native operators run: index 400k
+    //     shipped build records and probe them with 100k more, all arriving
+    //     as sealed pages.  The legacy side is the materializing state of
+    //     the art — deserialize every record and key it into an
+    //     `FxHashMap<Key, Vec<Record>>`.  The current side adopts the pages
+    //     by pointer and indexes 8-byte normalized key prefixes with
+    //     `(page, offset)` handles: records are never deserialized, and
+    //     probe hits read the payload field straight out of the page bytes.
+    let join_keys = 50_000i64;
+    let build_pages: Arc<Vec<Arc<RecordPage>>> = {
+        let mut writer = PageWriter::new();
+        for i in 0..ROUTED_RECORDS as i64 {
+            writer.push(&Record::pair(i % join_keys, i));
+        }
+        Arc::new(writer.finish())
+    };
+    let probe_pages: Arc<Vec<Arc<RecordPage>>> = {
+        let mut writer = PageWriter::new();
+        for i in 0..(ROUTED_RECORDS / 4) as i64 {
+            writer.push(&Record::pair(i % join_keys, -i));
+        }
+        Arc::new(writer.finish())
+    };
+    let build = Arc::clone(&build_pages);
+    let probes = Arc::clone(&probe_pages);
+    let legacy = Box::new(move || {
+        let mut table: FxHashMap<Key, Vec<Record>> = FxHashMap::default();
+        for page in build.iter() {
+            for view in page.reader() {
+                let record = view.materialize();
+                table
+                    .entry(Key::extract(&record, &[0]))
+                    .or_default()
+                    .push(record);
+            }
+        }
+        let mut acc = 0i64;
+        for page in probes.iter() {
+            for view in page.reader() {
+                let probe = view.materialize();
+                if let Some(matches) = table.get(&Key::extract(&probe, &[0])) {
+                    for m in matches {
+                        acc = acc.wrapping_add(m.long(1));
+                    }
+                }
+            }
+        }
+        black_box(acc);
+    });
+    let build = Arc::clone(&build_pages);
+    let probes = Arc::clone(&probe_pages);
+    let current = Box::new(move || {
+        let mut store = PagedRecords::new();
+        let mut table = PrefixTable::new();
+        for page in build.iter() {
+            store.adopt_page_scanned(page, |handle, view| {
+                table.insert(view.long_key_prefix(0).expect("Long build key"), handle);
+                true
+            });
+        }
+        let mut acc = 0i64;
+        for page in probes.iter() {
+            for view in page.reader() {
+                let prefix = view.long_key_prefix(0).expect("Long probe key");
+                for handle in table.probe(prefix) {
+                    acc = acc.wrapping_add(store.view(handle).long(1));
+                }
+            }
+        }
+        black_box(acc);
+    });
+    all.push(Comparison {
+        name: "page_native",
+        description:
+            "index 400k paged build records and probe with 100k (materialize into FxHashMap<Key, Vec<Record>> vs prefix-handle table over adopted pages)",
         legacy,
         current,
     });

@@ -274,9 +274,12 @@ impl BulkIteration {
             .map(|policy| CheckpointStore::new(&policy.dir, 1, config.fault.clone()));
         let mut pending = PendingRecoveryStats::default();
         if let Some(store) = &store {
-            if let Ok(bytes) = store.write(0, &[(*current).clone()], &[Vec::new()]) {
-                pending.checkpoints_written += 1;
-                pending.checkpoint_bytes += bytes as usize;
+            match store.write(0, &[(*current).clone()], &[Vec::new()]) {
+                Ok(bytes) => {
+                    pending.checkpoints_written += 1;
+                    pending.checkpoint_bytes += bytes as usize;
+                }
+                Err(_) => pending.checkpoint_write_failures += 1,
             }
         }
         let mut iteration = 0usize;
@@ -365,11 +368,15 @@ impl BulkIteration {
             }
             if let (Some(store), Some(policy)) = (&store, &config.checkpoint) {
                 if !converged && iteration.is_multiple_of(policy.interval) {
-                    if let Ok(bytes) = store.write(iteration, &[(*current).clone()], &[Vec::new()])
-                    {
-                        pending.checkpoints_written += 1;
-                        pending.checkpoint_bytes += bytes as usize;
-                        store.prune(2);
+                    // Non-fatal, but counted: a lost checkpoint widens the
+                    // window the next recovery replays.
+                    match store.write(iteration, &[(*current).clone()], &[Vec::new()]) {
+                        Ok(bytes) => {
+                            pending.checkpoints_written += 1;
+                            pending.checkpoint_bytes += bytes as usize;
+                            store.prune(2);
+                        }
+                        Err(_) => pending.checkpoint_write_failures += 1,
                     }
                 }
             }

@@ -137,24 +137,23 @@ pub(crate) fn run_async(
                                 )
                             };
                             if let Some(delta) = delta {
-                                // The delta moves into the index; the stored
-                                // record feeds the expansion (no clone).
+                                // A surviving delta serializes into the paged
+                                // index; this worker's heap copy feeds the
+                                // expansion (no clone).
                                 let applied = SolutionSet::merge_detached(
                                     s_part,
                                     &comparator,
                                     &iteration.solution_key,
-                                    delta,
+                                    &delta,
                                 );
-                                if let Some(applied) = applied {
+                                if applied {
                                     outcome.changed += 1;
                                     let matches = constant
-                                        .get(&Key::extract(applied, &iteration.delta_key))
+                                        .get(&Key::extract(&delta, &iteration.delta_key))
                                         .map(Vec::as_slice)
                                         .unwrap_or(&[]);
                                     expand_buffer.clear();
-                                    iteration
-                                        .expand
-                                        .expand(applied, matches, &mut expand_buffer);
+                                    iteration.expand.expand(&delta, matches, &mut expand_buffer);
                                     for new_record in expand_buffer.drain(..) {
                                         let target =
                                             router.route(&new_record, &iteration.workset_key);

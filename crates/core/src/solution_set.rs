@@ -12,9 +12,22 @@
 //! same key; an optional *comparator* then decides which record survives — the
 //! record representing the successor state in the CPO is kept, exactly as
 //! described at the end of Section 5.1.
+//!
+//! # Paged storage
+//!
+//! Each partition stores its records **serialized** in sealed pages (a
+//! [`PagedRecords`] store) and indexes them with a hash table from the record
+//! key to an 8-byte [`PageHandle`].  Probes and merges work on the paged
+//! representation natively; a heap [`Record`] is copied out only where user
+//! code actually needs one — a comparator call during `∪̇`, a lookup handed
+//! to an update function — and then through one per-partition scratch record,
+//! not a fresh allocation.  Replaced records leave dead bytes behind in the
+//! append-only store; once more than half the store is dead it is compacted
+//! by rewriting the live records (a pure page-to-page byte copy) and the old
+//! page buffers are recycled into the compacted store.
 
 use dataflow::key::FxHashMap;
-use dataflow::page::RecordPage;
+use dataflow::page::{PageHandle, PagePool, PagedRecords, RecordPage};
 use dataflow::prelude::{Key, KeyFields, PartitionRouter, Record, Result, SpilledRun};
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -42,11 +55,156 @@ impl MergeOutcome {
     }
 }
 
-/// One partition of the solution set (a primary hash index keyed by the
-/// record key).  Uses the same Fx hash as partition routing, so a record's
+/// Compaction is considered only once at least this many dead bytes
+/// accumulated (one page) — tiny partitions never pay for a rewrite.
+const COMPACT_MIN_DEAD_BYTES: usize = 32 * 1024;
+
+/// One partition of the solution set: a primary hash index from the record
+/// key to the [`PageHandle`] of its serialized bytes in the partition's
+/// paged store.  Uses the same Fx hash as partition routing, so a record's
 /// partition and its slot in the partition index come from one hash
 /// computation.
-pub(crate) type PartitionIndex = FxHashMap<Key, Record>;
+#[derive(Clone)]
+pub(crate) struct PartitionIndex {
+    index: FxHashMap<Key, PageHandle>,
+    store: PagedRecords,
+    /// Serialized bytes of replaced records still occupying pages; drives
+    /// compaction.
+    dead_bytes: usize,
+    /// The one record the store deserializes into for probes and comparator
+    /// calls — the copy-out at the user-function boundary.
+    scratch: Record,
+    /// Which stored record the scratch currently holds.  The dominant access
+    /// pattern is `get(key)` immediately followed by `merge` of a delta for
+    /// the same key (probe → update → `∪̇`); caching the handle makes the
+    /// merge's comparator read free when the probe already deserialized the
+    /// record.  Handles are never reused while the store stands
+    /// (append-only); compaction reassigns them and clears this.
+    scratch_handle: Option<PageHandle>,
+}
+
+impl Default for PartitionIndex {
+    fn default() -> Self {
+        PartitionIndex {
+            index: FxHashMap::default(),
+            // Not `PagedRecords::default()`, which has a zero page size.
+            store: PagedRecords::new(),
+            dead_bytes: 0,
+            scratch: Record::empty(),
+            scratch_handle: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for PartitionIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionIndex")
+            .field("records", &self.index.len())
+            .field("stored_bytes", &self.store.byte_len())
+            .field("dead_bytes", &self.dead_bytes)
+            .finish()
+    }
+}
+
+impl PartitionIndex {
+    /// Number of live records.
+    pub(crate) fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Deserializes the record stored under `key` into the partition's
+    /// scratch record and returns it.  `&mut self` because the scratch is
+    /// part of the partition — the point is that a probe costs no
+    /// allocation, not that it costs no copy.
+    pub(crate) fn get(&mut self, key: &Key) -> Option<&Record> {
+        let handle = *self.index.get(key)?;
+        if self.scratch_handle != Some(handle) {
+            self.store.view(handle).read_into(&mut self.scratch);
+            self.scratch_handle = Some(handle);
+        }
+        Some(&self.scratch)
+    }
+
+    /// The `∪̇` merge of one delta record.  A surviving delta is serialized
+    /// into the paged store; a discarded delta writes nothing.
+    pub(crate) fn merge(
+        &mut self,
+        comparator: &Option<RecordComparator>,
+        key: Key,
+        delta: &Record,
+    ) -> MergeOutcome {
+        use std::collections::hash_map::Entry;
+        let outcome = match self.index.entry(key) {
+            Entry::Vacant(slot) => {
+                slot.insert(self.store.append(delta));
+                MergeOutcome::Inserted
+            }
+            Entry::Occupied(mut slot) => {
+                let replace = match comparator {
+                    // Without a comparator the delta always replaces the old
+                    // record (plain ∪̇ semantics).
+                    None => true,
+                    // With a comparator the larger record (the successor
+                    // state in the CPO) survives; the stored record is read
+                    // out once for the comparison — or not at all when the
+                    // scratch still holds it from the preceding probe.
+                    Some(cmp) => {
+                        let handle = *slot.get();
+                        if self.scratch_handle != Some(handle) {
+                            self.store.view(handle).read_into(&mut self.scratch);
+                            self.scratch_handle = Some(handle);
+                        }
+                        cmp(delta, &self.scratch) == Ordering::Greater
+                    }
+                };
+                if replace {
+                    self.dead_bytes += self.store.view(*slot.get()).framed_len();
+                    *slot.get_mut() = self.store.append(delta);
+                    MergeOutcome::Replaced
+                } else {
+                    MergeOutcome::Discarded
+                }
+            }
+        };
+        if outcome == MergeOutcome::Replaced {
+            self.maybe_compact();
+        }
+        outcome
+    }
+
+    /// Rewrites the store without the dead bytes once they outweigh the live
+    /// ones.  A pure page-to-page copy of each live record's serialized
+    /// bytes; the old page buffers are recycled into the compacted store so
+    /// steady-state churn reuses them instead of allocating.
+    fn maybe_compact(&mut self) {
+        if self.dead_bytes < COMPACT_MIN_DEAD_BYTES || self.dead_bytes * 2 < self.store.byte_len() {
+            return;
+        }
+        let mut compacted = PagedRecords::new();
+        for handle in self.index.values_mut() {
+            *handle = compacted.append_serialized(self.store.view(*handle).payload());
+        }
+        let old = std::mem::replace(&mut self.store, compacted);
+        let mut pool = PagePool::new();
+        pool.recycle_all(old.into_pages());
+        self.store.add_spare_buffers(pool.take(usize::MAX));
+        self.dead_bytes = 0;
+        // Compaction reassigned every handle; the cached one is stale.
+        self.scratch_handle = None;
+    }
+
+    /// Copies every live record out of the paged store (unspecified order).
+    pub(crate) fn for_each_record(&self, mut f: impl FnMut(Record)) {
+        for &handle in self.index.values() {
+            f(self.store.view(handle).materialize());
+        }
+    }
+
+    #[cfg(test)]
+    fn stored_bytes(&self) -> usize {
+        self.store.byte_len()
+    }
+}
 
 /// The partitioned solution set.
 #[derive(Clone)]
@@ -79,7 +237,9 @@ impl SolutionSet {
     pub fn new(key_fields: KeyFields, parallelism: usize) -> Self {
         let parallelism = parallelism.max(1);
         SolutionSet {
-            partitions: vec![PartitionIndex::default(); parallelism],
+            partitions: (0..parallelism)
+                .map(|_| PartitionIndex::default())
+                .collect(),
             key_fields,
             comparator: None,
             router: PartitionRouter::hash(parallelism),
@@ -159,38 +319,43 @@ impl SolutionSet {
     /// Looks up the record stored for the key of `probe` (extracted from the
     /// given probe fields, which may differ from the solution key positions —
     /// e.g. workset records carry the vertex id in a different field).
-    pub fn lookup_by(&self, probe: &Record, probe_fields: &[usize]) -> Option<&Record> {
+    /// Copies the record out of its page.
+    pub fn lookup_by(&self, probe: &Record, probe_fields: &[usize]) -> Option<Record> {
         let key = Key::extract(probe, probe_fields);
         self.lookup(&key)
     }
 
-    /// Looks up the record stored under `key`.
-    pub fn lookup(&self, key: &Key) -> Option<&Record> {
+    /// Looks up the record stored under `key`, copying it out of its page —
+    /// this is the user-facing boundary where a heap [`Record`] is
+    /// materialized.  (The iteration drivers probe detached partitions
+    /// through their scratch records instead, which does not allocate.)
+    pub fn lookup(&self, key: &Key) -> Option<Record> {
         let partition = self.router.route_key(key);
-        self.partitions[partition].get(key)
+        let p = &self.partitions[partition];
+        let handle = *p.index.get(key)?;
+        Some(p.store.view(handle).materialize())
     }
 
-    /// Merges one delta record with the `∪̇` semantics.  The delta is moved
-    /// in; a discarded delta is simply dropped, never copied.
+    /// Merges one delta record with the `∪̇` semantics.  A surviving delta is
+    /// serialized into the partition's paged store; a discarded delta writes
+    /// nothing.
     pub fn merge(&mut self, delta: Record) -> MergeOutcome {
+        self.merge_ref(&delta)
+    }
+
+    /// [`SolutionSet::merge`] by reference — the caller keeps the delta (the
+    /// iteration drivers reuse it to feed the workset expansion).
+    pub(crate) fn merge_ref(&mut self, delta: &Record) -> MergeOutcome {
         // Routing goes through the record's key fields directly (one hash,
         // or one splitter search); the key itself is only materialised for
         // the index probe.
-        let partition = self.router.route(&delta, &self.key_fields);
-        let key = Key::extract(&delta, &self.key_fields);
-        Self::merge_into(
-            &mut self.partitions[partition],
-            &self.comparator,
-            key,
-            delta,
-        )
-        .0
+        let partition = self.router.route(delta, &self.key_fields);
+        let key = Key::extract(delta, &self.key_fields);
+        self.partitions[partition].merge(&self.comparator, key, delta)
     }
 
     /// Merges a whole delta set (the `∪̇` of one superstep's delta records),
-    /// returning how many were applied (inserted or replaced).  Deltas are
-    /// consumed, so applied records move into the index and discarded ones
-    /// are dropped without ever being cloned.
+    /// returning how many were applied (inserted or replaced).
     pub fn merge_all(&mut self, deltas: impl IntoIterator<Item = Record>) -> usize {
         deltas
             .into_iter()
@@ -202,13 +367,18 @@ impl SolutionSet {
     /// Merges every delta record serialized in `page` with the `∪̇`
     /// semantics, returning how many were applied.  This is the paged
     /// counterpart of [`SolutionSet::merge_all`]: delta sets arriving from
-    /// an exchange are applied straight out of their sealed pages, without
-    /// first materializing a record vector.
+    /// an exchange are applied straight out of their sealed pages through
+    /// one scratch record, never materializing a record vector.
     pub fn merge_page(&mut self, page: &RecordPage) -> usize {
-        page.reader()
-            .map(|view| self.merge(view.materialize()))
-            .filter(MergeOutcome::applied)
-            .count()
+        let mut scratch = Record::empty();
+        let mut applied = 0usize;
+        for view in page.reader() {
+            view.read_into(&mut scratch);
+            if self.merge_ref(&scratch).applied() {
+                applied += 1;
+            }
+        }
+        applied
     }
 
     /// Merges a sequence of sealed delta pages (see
@@ -227,9 +397,10 @@ impl SolutionSet {
     /// were applied.
     pub fn merge_run(&mut self, run: &SpilledRun) -> Result<usize> {
         let mut cursor = run.cursor()?;
+        let mut scratch = Record::empty();
         let mut applied = 0usize;
-        while let Some(record) = cursor.next_record()? {
-            if self.merge(record).applied() {
+        while cursor.next_into(&mut scratch)? {
+            if self.merge_ref(&scratch).applied() {
                 applied += 1;
             }
         }
@@ -249,50 +420,21 @@ impl SolutionSet {
         Ok(applied)
     }
 
-    /// The `∪̇` merge against one partition index.  The delta record is moved
-    /// into the index when it survives; the returned reference points at the
-    /// stored record so callers can expand it without copying.  Discarded
-    /// deltas are dropped, never cloned.
-    fn merge_into<'a>(
-        partition: &'a mut PartitionIndex,
-        comparator: &Option<RecordComparator>,
-        key: Key,
-        delta: Record,
-    ) -> (MergeOutcome, Option<&'a Record>) {
-        use std::collections::hash_map::Entry;
-        match partition.entry(key) {
-            Entry::Vacant(slot) => (MergeOutcome::Inserted, Some(slot.insert(delta))),
-            Entry::Occupied(slot) => {
-                let existing = slot.into_mut();
-                let replace = match comparator {
-                    // Without a comparator the delta always replaces the old
-                    // record (plain ∪̇ semantics).
-                    None => true,
-                    // With a comparator the larger record (the successor
-                    // state in the CPO) survives.
-                    Some(cmp) => cmp(&delta, existing) == Ordering::Greater,
-                };
-                if replace {
-                    *existing = delta;
-                    (MergeOutcome::Replaced, Some(existing))
-                } else {
-                    (MergeOutcome::Discarded, None)
-                }
-            }
-        }
-    }
-
-    /// All records of one partition (unspecified order).
+    /// All records of one partition (unspecified order), copied out of the
+    /// paged store.
     pub fn partition_records(&self, partition: usize) -> Vec<Record> {
-        self.partitions[partition].values().cloned().collect()
+        let mut out = Vec::with_capacity(self.partitions[partition].len());
+        self.partitions[partition].for_each_record(|r| out.push(r));
+        out
     }
 
     /// All records of the solution set (unspecified order).
     pub fn records(&self) -> Vec<Record> {
-        self.partitions
-            .iter()
-            .flat_map(|p| p.values().cloned())
-            .collect()
+        let mut out = Vec::with_capacity(self.len());
+        for partition in &self.partitions {
+            partition.for_each_record(|r| out.push(r));
+        }
+        out
     }
 
     /// Splits the solution set into its partitions for parallel superstep
@@ -313,17 +455,18 @@ impl SolutionSet {
 
     /// Merges a delta record directly into an already-detached partition
     /// index (used by the parallel superstep workers, which own their
-    /// partition exclusively during a superstep).  Returns a reference to
-    /// the stored record when the delta was applied, so the caller can feed
-    /// the workset expansion without cloning it; `None` means discarded.
-    pub(crate) fn merge_detached<'a>(
-        partition: &'a mut PartitionIndex,
+    /// partition exclusively during a superstep).  Returns `true` when the
+    /// delta was applied; the caller keeps the delta record and feeds the
+    /// workset expansion from it — the stored copy is the serialized bytes
+    /// in the partition's pages.
+    pub(crate) fn merge_detached(
+        partition: &mut PartitionIndex,
         comparator: &Option<RecordComparator>,
         key_fields: &[usize],
-        delta: Record,
-    ) -> Option<&'a Record> {
-        let key = Key::extract(&delta, key_fields);
-        Self::merge_into(partition, comparator, key, delta).1
+        delta: &Record,
+    ) -> bool {
+        let key = Key::extract(delta, key_fields);
+        partition.merge(comparator, key, delta).applied()
     }
 }
 
@@ -428,6 +571,49 @@ mod tests {
         let probe = Record::pair(99, 5);
         assert_eq!(s.lookup_by(&probe, &[1]).unwrap().long(1), 42);
         assert!(s.lookup_by(&probe, &[0]).is_none());
+    }
+
+    #[test]
+    fn detached_partition_probe_uses_the_scratch_record() {
+        let mut s = SolutionSet::new(vec![0], 1);
+        s.merge(Record::pair(3, 30));
+        s.merge(Record::pair(4, 40));
+        let mut partitions = s.take_partitions();
+        let p = &mut partitions[0];
+        assert_eq!(p.get(&Key::long(3)).unwrap().long(1), 30);
+        assert_eq!(p.get(&Key::long(4)).unwrap().long(1), 40);
+        assert!(p.get(&Key::long(5)).is_none());
+        // Applied deltas write through; the caller keeps the heap record.
+        let delta = Record::pair(3, 99);
+        assert!(SolutionSet::merge_detached(p, &None, &[0], &delta));
+        assert_eq!(p.get(&Key::long(3)).unwrap().long(1), 99);
+        s.restore_partitions(partitions);
+        assert_eq!(s.lookup(&Key::long(3)).unwrap().long(1), 99);
+    }
+
+    #[test]
+    fn replacement_churn_compacts_the_paged_store() {
+        // One partition, a few keys, many replacements: without compaction
+        // the append-only store would keep every dead version (~6 MiB here).
+        let mut s = SolutionSet::new(vec![0], 1);
+        let keys = 64i64;
+        let rounds = 4096;
+        for round in 0..rounds {
+            for k in 0..keys {
+                s.merge(Record::pair(k, round));
+            }
+        }
+        assert_eq!(s.len(), keys as usize);
+        for k in 0..keys {
+            assert_eq!(s.lookup(&Key::long(k)).unwrap().long(1), rounds - 1);
+        }
+        // The live set is ~64 records * ~23 bytes; the store must stay near
+        // the compaction bound, not hold the full replacement history.
+        let stored = s.partitions[0].stored_bytes();
+        assert!(
+            stored < 3 * COMPACT_MIN_DEAD_BYTES,
+            "store held {stored} bytes after churn — compaction did not run"
+        );
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct IterationStats {
     pub checkpoints_written: usize,
     /// Bytes those checkpoints wrote to disk (data files plus manifests).
     pub checkpoint_bytes: usize,
+    /// Checkpoint writes that failed.  Such failures are non-fatal — the run
+    /// continues on the previous checkpoint — but each one widens the window
+    /// the next recovery has to replay, so they must stay observable.
+    pub checkpoint_write_failures: usize,
     /// Completed recoveries (checkpoint restores after a failure) performed
     /// before this iteration succeeded.
     pub recoveries: usize,
@@ -124,6 +128,16 @@ impl IterationRunStats {
     /// Sum of checkpoint bytes over all iterations.
     pub fn total_checkpoint_bytes(&self) -> usize {
         self.per_iteration.iter().map(|s| s.checkpoint_bytes).sum()
+    }
+
+    /// Sum of failed checkpoint writes over all iterations — nonzero means
+    /// recovery windows were silently widened and the checkpoint storage
+    /// deserves attention.
+    pub fn total_checkpoint_write_failures(&self) -> usize {
+        self.per_iteration
+            .iter()
+            .map(|s| s.checkpoint_write_failures)
+            .sum()
     }
 
     /// Renders the per-iteration series as a text table (one row per

@@ -34,10 +34,12 @@ use crate::solution_set::{PartitionIndex, RecordComparator, SolutionSet};
 use crate::stats::{IterationRunStats, IterationStats};
 use dataflow::fault::{FaultInjector, FaultSite};
 use dataflow::key::{group_ranges, sort_by_key, FxHashMap};
-use dataflow::page::RecordPage;
+use dataflow::page::{
+    denormalize_long, normalize_long, PageHandle, PagePool, PagedRecords, RecordPage,
+};
 use dataflow::prelude::{
     DataflowError, Key, KeyFields, MemoryBudget, PartitionRouter, RangeBounds, Record, Result,
-    RunMerger, SpillManager, SpilledRun, SpillingWriter,
+    RunMerger, SpillManager, SpilledRun, SpillingWriter, Value,
 };
 use dataflow::range::sample_keys_into;
 use std::path::PathBuf;
@@ -155,6 +157,12 @@ pub struct WorksetConfig {
     /// environment-configured injector ([`FaultInjector::from_env`]), which
     /// is disabled unless `SPINNING_FAULT_RATE` is set.
     pub fault: FaultInjector,
+    /// Disables the page-native batch grouping path, forcing the superstep
+    /// join to materialize and sort heap records even where it could group
+    /// candidates straight off their sealed pages.  The two paths are
+    /// byte-identical (the equivalence tests assert it); the switch exists
+    /// for those tests and for isolating regressions.
+    pub force_materialized: bool,
 }
 
 impl WorksetConfig {
@@ -168,7 +176,15 @@ impl WorksetConfig {
             memory_budget: MemoryBudget::unlimited(),
             checkpoint: None,
             fault: FaultInjector::from_env(),
+            force_materialized: false,
         }
+    }
+
+    /// Sets whether the batch superstep join must materialize heap records
+    /// instead of grouping candidates off their sealed pages.
+    pub fn with_force_materialized(mut self, force: bool) -> Self {
+        self.force_materialized = force;
+        self
     }
 
     /// Sets the execution mode.
@@ -442,9 +458,12 @@ impl WorksetIteration {
         // Checkpoint the initial consistent cut (superstep 0) so a failure in
         // the very first superstep has something to restore.
         if let Some(store) = &store {
-            if let Ok(bytes) = write_superstep_checkpoint(store, 0, &solution, &queues) {
-                pending.checkpoints_written += 1;
-                pending.checkpoint_bytes += bytes as usize;
+            match write_superstep_checkpoint(store, 0, &solution, &queues) {
+                Ok(bytes) => {
+                    pending.checkpoints_written += 1;
+                    pending.checkpoint_bytes += bytes as usize;
+                }
+                Err(_) => pending.checkpoint_write_failures += 1,
             }
         }
         // Consecutive failed attempts at the current superstep (reset on
@@ -471,13 +490,15 @@ impl WorksetIteration {
                     if let (Some(store), Some(policy)) = (&store, &config.checkpoint) {
                         if superstep.is_multiple_of(policy.interval) {
                             // A failed checkpoint is not fatal: it only
-                            // widens the window the next recovery replays.
-                            if let Ok(bytes) =
-                                write_superstep_checkpoint(store, superstep, &solution, &queues)
-                            {
-                                pending.checkpoints_written += 1;
-                                pending.checkpoint_bytes += bytes as usize;
-                                store.prune(2);
+                            // widens the window the next recovery replays —
+                            // but it must be counted, not silently absorbed.
+                            match write_superstep_checkpoint(store, superstep, &solution, &queues) {
+                                Ok(bytes) => {
+                                    pending.checkpoints_written += 1;
+                                    pending.checkpoint_bytes += bytes as usize;
+                                    store.prune(2);
+                                }
+                                Err(_) => pending.checkpoint_write_failures += 1,
                             }
                         }
                     }
@@ -590,6 +611,7 @@ impl WorksetIteration {
 
         let mut solution_partitions = solution.take_partitions();
         let microstep = config.mode == ExecutionMode::Microstep;
+        let page_native = !config.force_materialized;
 
         // Run the step function locally in every partition, one task per
         // partition on the persistent worker pool.  On the long tail
@@ -618,6 +640,7 @@ impl WorksetIteration {
                         constant,
                         &comparator,
                         microstep,
+                        page_native,
                         router,
                         spill,
                         scratch,
@@ -687,6 +710,7 @@ impl WorksetIteration {
         constant: &FxHashMap<Key, Vec<Record>>,
         comparator: &Option<RecordComparator>,
         microstep: bool,
+        page_native: bool,
         router: &PartitionRouter,
         spill: &SpillManager,
         scratch: &mut StepScratch,
@@ -697,29 +721,33 @@ impl WorksetIteration {
             deltas,
             page_scratch,
             freelist,
+            pool,
+            pairs,
+            group,
         } = scratch;
+        // Page buffers recovered from the workset this partition consumed
+        // *last* superstep seed this superstep's outbox writers, closing the
+        // recycling loop: at steady state the exchange writes into buffers it
+        // drained one superstep earlier instead of allocating fresh pages.
+        for writer in &mut output.outbox_remote {
+            writer.add_spare_buffers(pool.take(2));
+        }
 
         let mut apply_and_expand =
             |delta: Record, s_part: &mut PartitionIndex, output: &mut PartitionOutput| {
-                // The delta moves into the index; the returned reference to
-                // the stored record feeds the expansion, so applied deltas
-                // are never copied and discarded ones are simply dropped.
-                let applied = match SolutionSet::merge_detached(
-                    s_part,
-                    comparator,
-                    &self.solution_key,
-                    delta,
-                ) {
-                    Some(applied) => applied,
-                    None => return,
-                };
+                // A surviving delta is serialized into the partition's paged
+                // index; the caller-owned heap record feeds the expansion, so
+                // nothing is cloned and discarded deltas write nothing.
+                if !SolutionSet::merge_detached(s_part, comparator, &self.solution_key, &delta) {
+                    return;
+                }
                 output.changed += 1;
                 let matches = constant
-                    .get(&Key::extract(applied, &self.delta_key))
+                    .get(&Key::extract(&delta, &self.delta_key))
                     .map(Vec::as_slice)
                     .unwrap_or(&[]);
                 expand_buffer.clear();
-                self.expand.expand(applied, matches, expand_buffer);
+                self.expand.expand(&delta, matches, expand_buffer);
                 for record in expand_buffer.drain(..) {
                     let target = router.route(&record, &self.workset_key);
                     output.messages_sent += 1;
@@ -775,6 +803,30 @@ impl WorksetIteration {
                     handle(page_scratch, s_part, &mut output);
                 }
             }
+            // The consumed pages' buffers feed the next superstep's outbox
+            // writers (see the `add_spare_buffers` call above).
+            pool.recycle_all(workset.pages.drain(..));
+            output.drained_workset = records;
+        } else if page_native
+            && self.batch_group_paged(
+                &workset,
+                s_part,
+                pool,
+                pairs,
+                group,
+                &mut apply_and_expand,
+                &mut output,
+            )
+        {
+            // Page-native InnerCoGroup: the candidates were grouped straight
+            // off their sealed pages (sorted by normalized key prefix, read
+            // into a bounded group scratch) and each update's delta was
+            // applied and expanded in place; only the deltas themselves
+            // touch heap records.  The consumed pages recycle into the pool.
+            pool.recycle_all(workset.pages.drain(..));
+            let mut records = std::mem::take(&mut workset.records);
+            freelist.append(&mut records);
+            freelist.truncate(FREELIST_RECORDS);
             output.drained_workset = records;
         } else {
             // InnerCoGroup variant: materialize the partition's workset (the
@@ -793,6 +845,7 @@ impl WorksetIteration {
                     records.push(record);
                 }
             }
+            pool.recycle_all(workset.pages.drain(..));
             sort_by_key(&mut records, &self.workset_key);
             deltas.clear();
             if workset.runs.is_empty() {
@@ -842,6 +895,113 @@ impl WorksetIteration {
         }
         Ok(output)
     }
+
+    /// The page-native InnerCoGroup build: groups the partition's candidates
+    /// by key without materializing a heap record per candidate.  Local
+    /// records are serialized into a scratch paged store, shipped pages are
+    /// adopted by pointer, and every candidate becomes one `(normalized key
+    /// prefix, page handle)` pair.  Sorting the pairs is the key sort
+    /// (normalization is order-preserving and, for a single-`Long` key, the
+    /// prefix *is* the full key; the handle tiebreak keeps the sort stable),
+    /// so each key's candidates are contiguous and are read into a reused
+    /// group scratch only for the update call.  Each update's delta is
+    /// handed to `apply` (the caller's apply-and-expand) immediately: a key
+    /// is updated at most once per pass, so no probe can observe another
+    /// key's fresh delta and the in-place application is observably
+    /// identical to the materializing path's collect-then-apply — same
+    /// groups, same candidate order, same delta and emission order — while
+    /// the `∪̇` merge right after the probe reuses the partition's scratch
+    /// record instead of re-reading the stored record.
+    ///
+    /// Returns `false` without touching `output` when the workset
+    /// disqualifies the paged path (composite or non-`Long` key, no shipped
+    /// pages to adopt, spilled runs that need the merging path); the caller
+    /// falls back to materializing.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_group_paged(
+        &self,
+        workset: &WorksetQueue,
+        s_part: &mut PartitionIndex,
+        pool: &mut PagePool,
+        pairs: &mut Vec<(u64, PageHandle)>,
+        group: &mut Vec<Record>,
+        mut apply: impl FnMut(Record, &mut PartitionIndex, &mut PartitionOutput),
+        output: &mut PartitionOutput,
+    ) -> bool {
+        let [key_field] = self.workset_key[..] else {
+            return false;
+        };
+        // Without shipped pages the paged path would serialize every local
+        // record just to sort handles — the in-place heap sort is cheaper.
+        // Spilled runs take the streaming merge-group path instead.
+        if workset.pages.is_empty() || !workset.runs.is_empty() {
+            return false;
+        }
+        pairs.clear();
+        let mut store = PagedRecords::new();
+        store.add_spare_buffers(pool.take(2));
+        let mut complete = true;
+        for record in &workset.records {
+            let Some(Value::Long(v)) = record.fields().get(key_field) else {
+                complete = false;
+                break;
+            };
+            pairs.push((u64::from_be_bytes(normalize_long(*v)), store.append(record)));
+        }
+        if complete {
+            for page in &workset.pages {
+                complete = store.adopt_page_scanned(page, |handle, view| {
+                    match view.long_key_prefix(key_field) {
+                        Some(prefix) => {
+                            pairs.push((prefix, handle));
+                            true
+                        }
+                        None => false,
+                    }
+                });
+                if !complete {
+                    break;
+                }
+            }
+        }
+        if !complete {
+            // A non-`Long` key disqualified the page path mid-ingest; no
+            // group ran yet, so the fallback re-reads the untouched workset.
+            // Locally written page buffers are still worth recovering
+            // (adopted pages fail the refcount check and are just dropped).
+            pool.recycle_all(store.into_pages());
+            return false;
+        }
+        // The pair sort *is* the candidate sort: same key order as the
+        // heap-record sort (order-preserving normalization) and same
+        // candidate order within a key (handles are insertion-ordered).
+        pairs.sort_unstable();
+        let mut start = 0;
+        while start < pairs.len() {
+            let prefix = pairs[start].0;
+            let mut end = start + 1;
+            while end < pairs.len() && pairs[end].0 == prefix {
+                end += 1;
+            }
+            let len = end - start;
+            if group.len() < len {
+                group.resize_with(len, Record::empty);
+            }
+            for (slot, &(_, handle)) in group[..len].iter_mut().zip(&pairs[start..end]) {
+                store.view(handle).read_into(slot);
+            }
+            output.inspected += 1;
+            let key = Key::long(denormalize_long(prefix.to_be_bytes()));
+            if let Some(delta) = self.update.update(&key, s_part.get(&key), &group[..len]) {
+                apply(delta, s_part, output);
+            }
+            start = end;
+        }
+        // Locally written pages recycle; adopted pages are still co-owned by
+        // the queue (the caller recycles those after draining it).
+        pool.recycle_all(store.into_pages());
+        true
+    }
 }
 
 /// Checkpoint/recovery counters accumulated between successful supersteps and
@@ -850,6 +1010,7 @@ impl WorksetIteration {
 pub(crate) struct PendingRecoveryStats {
     pub(crate) checkpoints_written: usize,
     pub(crate) checkpoint_bytes: usize,
+    pub(crate) checkpoint_write_failures: usize,
     pub(crate) recoveries: usize,
     pub(crate) retries: usize,
 }
@@ -859,6 +1020,7 @@ impl PendingRecoveryStats {
     pub(crate) fn fold_into(&mut self, stats: &mut IterationStats) {
         stats.checkpoints_written += self.checkpoints_written;
         stats.checkpoint_bytes += self.checkpoint_bytes;
+        stats.checkpoint_write_failures += self.checkpoint_write_failures;
         stats.recoveries += self.recoveries;
         stats.retries += self.retries;
         *self = PendingRecoveryStats::default();
@@ -946,6 +1108,9 @@ impl WorksetQueue {
 /// tiny).
 const FREELIST_RECORDS: usize = 4096;
 
+/// Cap on the page buffers one partition's pool retains between supersteps.
+const POOL_PAGES: usize = 64;
+
 /// Per-partition buffers reused across supersteps by the workset driver.
 pub(crate) struct StepScratch {
     /// Buffer handed to the expand UDF.
@@ -957,6 +1122,15 @@ pub(crate) struct StepScratch {
     /// Consumed records recycled into the next superstep's page
     /// materialization (batch-incremental mode).
     freelist: Vec<Record>,
+    /// Page buffers recovered from consumed workset pages, reissued to the
+    /// next superstep's outbox writers (and to the page-native grouping
+    /// store), so steady-state supersteps allocate no new pages.
+    pool: PagePool,
+    /// `(normalized key prefix, handle)` pairs of the page-native grouping.
+    pairs: Vec<(u64, PageHandle)>,
+    /// Group scratch records the page-native grouping deserializes each
+    /// key's candidates into (grows to the largest group, then stays).
+    group: Vec<Record>,
 }
 
 impl Default for StepScratch {
@@ -966,6 +1140,9 @@ impl Default for StepScratch {
             deltas: Vec::new(),
             page_scratch: Record::empty(),
             freelist: Vec::new(),
+            pool: PagePool::with_limit(POOL_PAGES),
+            pairs: Vec::new(),
+            group: Vec::new(),
         }
     }
 }
@@ -1260,6 +1437,196 @@ mod tests {
         let mut config = WorksetConfig::new(1);
         config.parallelism = 0;
         assert!(iteration.run(vec![], vec![], &config).is_err());
+    }
+
+    /// Min propagation over a denser 96-vertex graph (ring plus chords), so
+    /// keys receive several candidates per superstep and candidates cross
+    /// partitions — the shapes the page-native grouping must reproduce
+    /// exactly.
+    fn dense_min_propagation() -> (WorksetIteration, Vec<Record>, Vec<Record>) {
+        let n = 96i64;
+        let update = Arc::new(UpdateClosure(
+            |key: &Key, current: Option<&Record>, candidates: &[Record]| {
+                let best = candidates.iter().map(|r| r.long(1)).min().unwrap();
+                match current {
+                    Some(c) if c.long(1) <= best => None,
+                    _ => Some(Record::pair(key.values()[0].as_long(), best)),
+                }
+            },
+        ));
+        let expand = Arc::new(ExpandClosure(
+            |delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
+                for e in edges {
+                    out.push(Record::pair(e.long(1), delta.long(1)));
+                }
+            },
+        ));
+        let mut edges = Vec::new();
+        for v in 0..n {
+            for u in [(v + 1) % n, (v * 7 + 3) % n] {
+                edges.push(Record::pair(v, u));
+                edges.push(Record::pair(u, v));
+            }
+        }
+        let iteration = WorksetIteration::builder(vec![0], vec![0], update, expand)
+            .constant_input(Arc::new(edges), vec![0], vec![0])
+            .comparator(Arc::new(|a: &Record, b: &Record| b.long(1).cmp(&a.long(1))))
+            .build();
+        let solution: Vec<Record> = (0..n).map(|v| Record::pair(v, v + 1000)).collect();
+        let workset: Vec<Record> = (0..n)
+            .map(|v| Record::pair((v + 1) % n, v + 1000))
+            .collect();
+        (iteration, solution, workset)
+    }
+
+    /// The page-native grouping path must be indistinguishable from the
+    /// materializing path — same solution records in the same order, same
+    /// superstep structure, same counters — across execution modes, routing
+    /// schemes, parallelism and memory budgets (including the spill-forced
+    /// budget, where the paged path defers to the run-merging fallback).
+    #[test]
+    fn page_native_path_is_byte_identical_to_materializing() {
+        let (iteration, solution, workset) = dense_min_propagation();
+        for mode in [ExecutionMode::BatchIncremental, ExecutionMode::Microstep] {
+            for routing in [WorksetRouting::Hash, WorksetRouting::Range] {
+                for parallelism in [1usize, 4] {
+                    for budget in [MemoryBudget::unlimited(), MemoryBudget::bytes(0)] {
+                        let config = WorksetConfig::new(parallelism)
+                            .with_mode(mode)
+                            .with_routing(routing)
+                            .with_memory_budget(budget);
+                        let label = format!(
+                            "{mode:?}/{routing:?}/p{parallelism}/budget {:?}",
+                            budget.limit()
+                        );
+                        let paged = iteration
+                            .run(solution.clone(), workset.clone(), &config)
+                            .unwrap();
+                        let materialized = iteration
+                            .run(
+                                solution.clone(),
+                                workset.clone(),
+                                &config.clone().with_force_materialized(true),
+                            )
+                            .unwrap();
+                        // Unsorted equality: the paths must agree on the
+                        // records *and* the order the index emits them in.
+                        assert_eq!(paged.solution, materialized.solution, "{label}");
+                        assert_eq!(paged.supersteps, materialized.supersteps, "{label}");
+                        assert!(paged.converged, "{label}");
+                        for (a, b) in paged
+                            .stats
+                            .per_iteration
+                            .iter()
+                            .zip(&materialized.stats.per_iteration)
+                        {
+                            assert_eq!(a.workset_size, b.workset_size, "{label}");
+                            assert_eq!(a.elements_inspected, b.elements_inspected, "{label}");
+                            assert_eq!(a.elements_changed, b.elements_changed, "{label}");
+                            assert_eq!(a.messages_sent, b.messages_sent, "{label}");
+                            assert_eq!(a.messages_shipped, b.messages_shipped, "{label}");
+                        }
+                        // The zero budget must actually exercise the spilled
+                        // path wherever candidates ship between partitions.
+                        if budget == MemoryBudget::bytes(0) && parallelism > 1 {
+                            assert!(
+                                paged.stats.total_spilled_bytes() > 0,
+                                "{label}: expected spilled candidates"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_long_keys_fall_back_without_changing_the_result() {
+        use dataflow::prelude::Value;
+        // Text-keyed min propagation on a 3-vertex path: the page-native
+        // grouping cannot prefix-sort Text keys, so the paged and forced
+        // materializing runs must take the same fallback and agree exactly.
+        let update = Arc::new(UpdateClosure(
+            |key: &Key, current: Option<&Record>, candidates: &[Record]| {
+                let best = candidates.iter().map(|r| r.long(1)).min().unwrap();
+                match current {
+                    Some(c) if c.long(1) <= best => None,
+                    _ => Some(Record::new(vec![
+                        key.values()[0].clone(),
+                        Value::Long(best),
+                    ])),
+                }
+            },
+        ));
+        let expand = Arc::new(ExpandClosure(
+            |delta: &Record, edges: &[Record], out: &mut Vec<Record>| {
+                for e in edges {
+                    out.push(Record::new(vec![
+                        e.fields()[1].clone(),
+                        delta.fields()[1].clone(),
+                    ]));
+                }
+            },
+        ));
+        let names = ["a", "b", "c"];
+        let mut edges = Vec::new();
+        for w in [["a", "b"], ["b", "c"]] {
+            edges.push(Record::new(vec![
+                Value::Text(w[0].into()),
+                Value::Text(w[1].into()),
+            ]));
+            edges.push(Record::new(vec![
+                Value::Text(w[1].into()),
+                Value::Text(w[0].into()),
+            ]));
+        }
+        let iteration = WorksetIteration::builder(vec![0], vec![0], update, expand)
+            .constant_input(Arc::new(edges), vec![0], vec![0])
+            .comparator(Arc::new(|a: &Record, b: &Record| b.long(1).cmp(&a.long(1))))
+            .build();
+        let solution: Vec<Record> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Record::new(vec![Value::Text((*n).into()), Value::Long(10 + i as i64)]))
+            .collect();
+        let workset: Vec<Record> = vec![
+            Record::new(vec![Value::Text("b".into()), Value::Long(10)]),
+            Record::new(vec![Value::Text("c".into()), Value::Long(11)]),
+        ];
+        let config = WorksetConfig::new(2);
+        let paged = iteration
+            .run(solution.clone(), workset.clone(), &config)
+            .unwrap();
+        let materialized = iteration
+            .run(
+                solution,
+                workset,
+                &config.clone().with_force_materialized(true),
+            )
+            .unwrap();
+        assert_eq!(paged.solution, materialized.solution);
+        assert!(paged.converged);
+        assert!(paged.solution.iter().all(|r| r.long(1) == 10));
+    }
+
+    #[test]
+    fn failed_checkpoint_writes_are_counted_not_fatal() {
+        let (solution, workset) = initial_state();
+        let iteration = min_propagation();
+        let dir =
+            std::env::temp_dir().join(format!("spinning-ckpt-fail-test-{}", std::process::id()));
+        // The very first checkpoint write (the superstep-0 snapshot) fails;
+        // the run must proceed on no checkpoint, reach the fixpoint, and
+        // report the failure in its stats instead of erroring out.
+        let config = WorksetConfig::new(2)
+            .with_checkpoint(1, &dir)
+            .with_fault(FaultInjector::failing_nth(FaultSite::CheckpointWrite, 0));
+        let result = iteration.run(solution, workset, &config).unwrap();
+        check_converged(&result);
+        assert_eq!(result.stats.total_checkpoint_write_failures(), 1);
+        // Later checkpoints (the injector fires exactly once) still landed.
+        assert!(result.stats.total_checkpoints_written() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

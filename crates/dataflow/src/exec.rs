@@ -33,7 +33,10 @@ use crate::contracts::{Collector, Udf};
 use crate::error::{DataflowError, Result};
 use crate::fault::{FaultInjector, FaultSite};
 use crate::key::{group_ranges, partition_for, sort_by_key, FxHashMap, Key, KeyFields};
-use crate::page::{ExchangedPartition, PageWriter, RecordPage};
+use crate::page::{
+    denormalize_long, normalize_long, ExchangedPartition, PageHandle, PageWriter, PagedRecords,
+    PrefixTable, RecordPage,
+};
 use crate::physical::{LocalStrategy, PhysicalChoice, PhysicalPlan, ShipStrategy};
 use crate::plan::{Operator, OperatorId, OperatorKind};
 use crate::range::{sample_keys_into, sort_by_key_normalized, RangeBounds};
@@ -60,6 +63,11 @@ pub struct ExecConfig {
     /// Fault injector consulted at spill flushes and worker dispatch sites
     /// (see [`crate::fault`]).  Disabled by default.
     pub fault: FaultInjector,
+    /// Disables the page-native operator paths, forcing every join/group to
+    /// materialize its inputs into heap records first.  Off by default (the
+    /// page-native paths run whenever an input qualifies); the equivalence
+    /// suites flip it to check both paths produce byte-identical results.
+    pub force_materialized: bool,
 }
 
 impl ExecConfig {
@@ -77,6 +85,13 @@ impl ExecConfig {
     /// Sets the fault injector.
     pub fn with_fault(mut self, fault: FaultInjector) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Forces the materializing operator paths (see
+    /// [`ExecConfig::force_materialized`]).
+    pub fn with_force_materialized(mut self, force: bool) -> Self {
+        self.force_materialized = force;
         self
     }
 }
@@ -418,11 +433,12 @@ impl Executor {
             //    operator's parallel region costs a deque push per partition
             //    instead of a round of thread spawns.
             let local = choice.local;
+            let page_native = !self.config.force_materialized;
             let mut result_parts: Vec<Partition> = Vec::with_capacity(parallelism);
             let mut records_in_total = 0usize;
             if parallelism == 1 {
                 let inputs = partition_inputs.pop().expect("one partition input set");
-                let (records_in, out) = run_local(op, local, inputs);
+                let (records_in, out) = run_local(op, local, inputs, page_native);
                 records_in_total += records_in;
                 result_parts.push(out);
             } else {
@@ -436,7 +452,7 @@ impl Executor {
                         {
                             scope.spawn_labeled("operator-local", move || {
                                 fault.panic_check(FaultSite::WorkerPanic, "operator-local");
-                                *slot = Some(run_local(op, local, inputs));
+                                *slot = Some(run_local(op, local, inputs, page_native));
                             });
                         }
                     })
@@ -1183,8 +1199,17 @@ impl LocalInput {
     }
 }
 
-/// Runs one operator's local work on one partition's inputs.
-fn run_local(op: &Operator, local: LocalStrategy, inputs: Vec<LocalInput>) -> (usize, Vec<Record>) {
+/// Runs one operator's local work on one partition's inputs.  With
+/// `page_native` set (the default), joins and groups over paged inputs work
+/// on `(page, offset)` handles into the delivered pages, deserializing a
+/// record only at the user-function boundary; otherwise (or when an input
+/// does not qualify) they materialize heap records first.
+fn run_local(
+    op: &Operator,
+    local: LocalStrategy,
+    inputs: Vec<LocalInput>,
+    page_native: bool,
+) -> (usize, Vec<Record>) {
     let records_in: usize = inputs.iter().map(LocalInput::len).sum();
     let mut collector = Collector::new();
     let mut inputs = inputs.into_iter();
@@ -1202,6 +1227,7 @@ fn run_local(op: &Operator, local: LocalStrategy, inputs: Vec<LocalInput>) -> (u
                 next_input(&mut inputs),
                 udf.as_ref(),
                 &mut collector,
+                page_native,
             );
         }
         (
@@ -1221,6 +1247,7 @@ fn run_local(op: &Operator, local: LocalStrategy, inputs: Vec<LocalInput>) -> (u
                 right,
                 udf.as_ref(),
                 &mut collector,
+                page_native,
             );
         }
         (OperatorKind::Cross, Udf::Cross(udf)) => {
@@ -1307,6 +1334,375 @@ fn into_sorted_records(input: LocalInput, key: &[usize]) -> Vec<Record> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Page-native operator paths
+// ---------------------------------------------------------------------------
+//
+// Joins and groups over paged inputs build tables of `(page, offset)` handles
+// keyed on the 8-byte normalized `Long` key prefix instead of materializing
+// `Vec<Record>` first.  Because the normalized encoding is a bijection and
+// byte equality of serialized fields is exactly `Value` equality, the prefix
+// *is* the complete single-`Long` key: no collision fallback is ever needed.
+// Records are deserialized only at the user-function boundary, through
+// scratch records reused across calls.  Inputs that do not qualify (composite
+// or non-`Long` keys, shared record inputs on the build side, or sorted
+// spilled partitions whose merge order the materializing path preserves)
+// fall back, so both paths stay byte-identical.
+
+/// The normalized key prefix of a heap record's `Long` field, or `None` when
+/// the field is missing or not a `Long`.
+#[inline]
+fn long_prefix_of(record: &Record, field: usize) -> Option<u64> {
+    match record.fields().get(field)? {
+        crate::value::Value::Long(v) => Some(u64::from_be_bytes(normalize_long(*v))),
+        _ => None,
+    }
+}
+
+/// Ingests a paged partition into a handle-addressed store, reporting every
+/// record's `(prefix, handle)` in delivery order (local records, then pages,
+/// then spilled runs — the same order the materializing accessors visit).
+/// Local records are serialized once; pages are adopted by pointer; spilled
+/// runs are revived as pages (a read per page, no per-record work).  Returns
+/// `None` when any record's key field is not a `Long`, or a run cannot be
+/// read — the caller falls back to the materializing path.
+fn ingest_paged(
+    part: &ExchangedPartition,
+    key_field: usize,
+    mut on_record: impl FnMut(u64, PageHandle),
+) -> Option<PagedRecords> {
+    let mut store = PagedRecords::new();
+    for record in part.local_records() {
+        let prefix = long_prefix_of(record, key_field)?;
+        let handle = store.append(record);
+        on_record(prefix, handle);
+    }
+    let mut scan = |store: &mut PagedRecords, page: &Arc<RecordPage>| {
+        store.adopt_page_scanned(page, |handle, view| match view.long_key_prefix(key_field) {
+            Some(prefix) => {
+                on_record(prefix, handle);
+                true
+            }
+            None => false,
+        })
+    };
+    for page in part.pages() {
+        if !scan(&mut store, page) {
+            return None;
+        }
+    }
+    for run in part.runs() {
+        let Ok(pages) = run.read_pages() else {
+            return None;
+        };
+        for page in &pages {
+            if !scan(&mut store, page) {
+                return None;
+            }
+        }
+    }
+    Some(store)
+}
+
+/// True when `part` is worth ingesting: it actually delivered serialized
+/// data.  An all-local partition gains nothing from being re-serialized.
+fn has_paged_data(part: &ExchangedPartition) -> bool {
+    part.page_count() > 0 || part.spilled_run_count() > 0
+}
+
+/// True when the materializing accessors would *merge* this partition's
+/// sorted pieces (sorted delivery with spilled overflow) — an order the
+/// ingest-in-delivery-order path cannot reproduce, so it must fall back.
+fn is_sorted_merge_part(part: &ExchangedPartition) -> bool {
+    part.sorted_by().is_some() && part.spilled_run_count() > 0
+}
+
+/// Page-native hash join: builds a prefix-keyed handle table over the build
+/// side and probes it with key prefixes read in place off the probe side's
+/// pages.  Returns `false` (nothing emitted) when either side disqualifies.
+#[allow(clippy::too_many_arguments)]
+fn try_match_paged(
+    build: &LocalInput,
+    probe: &LocalInput,
+    build_key: &[usize],
+    probe_key: &[usize],
+    build_is_left: bool,
+    udf: &dyn crate::contracts::MatchFunction,
+    out: &mut Collector,
+) -> bool {
+    let (&[build_field], &[probe_field]) = (build_key, probe_key) else {
+        return false;
+    };
+    let LocalInput::Paged(build_part) = build else {
+        return false;
+    };
+    if !has_paged_data(build_part) || is_sorted_merge_part(build_part) {
+        return false;
+    }
+    let mut table = PrefixTable::new();
+    let Some(store) = ingest_paged(build_part, build_field, |prefix, handle| {
+        table.insert(prefix, handle)
+    }) else {
+        return false;
+    };
+
+    // One probe record against the whole chain of its prefix.  Matches are
+    // emitted in build insertion order, exactly like the materializing path.
+    fn probe_chain(
+        store: &PagedRecords,
+        table: &PrefixTable,
+        prefix: u64,
+        probe: &Record,
+        build_is_left: bool,
+        build_scratch: &mut Record,
+        udf: &dyn crate::contracts::MatchFunction,
+        out: &mut Collector,
+    ) {
+        for handle in table.probe(prefix) {
+            store.view(handle).read_into(build_scratch);
+            if build_is_left {
+                udf.join(build_scratch, probe, out);
+            } else {
+                udf.join(probe, build_scratch, out);
+            }
+        }
+    }
+    let mut build_scratch = Record::empty();
+    match probe {
+        LocalInput::Shared(parts, p, _) => {
+            for record in &parts[*p] {
+                if let Some(prefix) = long_prefix_of(record, probe_field) {
+                    probe_chain(
+                        &store,
+                        &table,
+                        prefix,
+                        record,
+                        build_is_left,
+                        &mut build_scratch,
+                        udf,
+                        out,
+                    );
+                }
+            }
+        }
+        LocalInput::Paged(part) => {
+            for record in part.local_records() {
+                if let Some(prefix) = long_prefix_of(record, probe_field) {
+                    probe_chain(
+                        &store,
+                        &table,
+                        prefix,
+                        record,
+                        build_is_left,
+                        &mut build_scratch,
+                        udf,
+                        out,
+                    );
+                }
+            }
+            // Page records: the key prefix is read in place; the record is
+            // deserialized (into one reused scratch) only when its chain is
+            // non-empty.  This is the zero-copy exchange→probe hot path.
+            let mut probe_scratch = Record::empty();
+            for page in part.pages() {
+                for view in page.reader() {
+                    let Some(prefix) = view.long_key_prefix(probe_field) else {
+                        continue;
+                    };
+                    if table.probe(prefix).next().is_none() {
+                        continue;
+                    }
+                    view.read_into(&mut probe_scratch);
+                    probe_chain(
+                        &store,
+                        &table,
+                        prefix,
+                        &probe_scratch,
+                        build_is_left,
+                        &mut build_scratch,
+                        udf,
+                        out,
+                    );
+                }
+            }
+            let mut scratch = Record::empty();
+            for run in part.runs() {
+                let mut cursor = run.cursor().expect("failed to open spilled run");
+                while cursor
+                    .next_into(&mut scratch)
+                    .expect("failed to read spilled run")
+                {
+                    if let Some(prefix) = long_prefix_of(&scratch, probe_field) {
+                        probe_chain(
+                            &store,
+                            &table,
+                            prefix,
+                            &scratch,
+                            build_is_left,
+                            &mut build_scratch,
+                            udf,
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Sorts a paged input by key prefix without materializing it: the returned
+/// pairs order `(prefix, handle)` with the handle (insertion position) as
+/// tiebreak, which reproduces exactly the stable record sort of the
+/// materializing path — on 16-byte items instead of heap records.
+fn sorted_pairs_paged(
+    part: &ExchangedPartition,
+    key_field: usize,
+) -> Option<(PagedRecords, Vec<(u64, PageHandle)>)> {
+    let mut pairs: Vec<(u64, PageHandle)> = Vec::with_capacity(part.record_count());
+    let store = ingest_paged(part, key_field, |prefix, handle| {
+        pairs.push((prefix, handle))
+    })?;
+    pairs.sort_unstable();
+    Some((store, pairs))
+}
+
+/// Materializes the group `pairs[start..end]` into the reusable `group`
+/// buffer (records beyond the group keep their warm capacity for the next
+/// group) and returns the group slice length.
+fn fill_group(store: &PagedRecords, pairs: &[(u64, PageHandle)], group: &mut Vec<Record>) -> usize {
+    while group.len() < pairs.len() {
+        group.push(Record::empty());
+    }
+    for (slot, &(_, handle)) in group.iter_mut().zip(pairs) {
+        store.view(handle).read_into(slot);
+    }
+    pairs.len()
+}
+
+/// Page-native grouping: sorts `(prefix, handle)` pairs and streams each key
+/// group through one reusable record buffer into the reduce function.
+/// Groups come out in key order with records in delivery order — identical
+/// to both the hash-table and the sort-based materializing strategies.
+fn try_reduce_paged(
+    key: &[usize],
+    input: &LocalInput,
+    sort_based: bool,
+    udf: &dyn crate::contracts::ReduceFunction,
+    out: &mut Collector,
+) -> bool {
+    let &[field] = key else {
+        return false;
+    };
+    let LocalInput::Paged(part) = input else {
+        return false;
+    };
+    if !has_paged_data(part) || is_sorted_merge_part(part) {
+        return false;
+    }
+    // The sort strategy merges key-sorted spilled runs out of core (one
+    // group in memory at a time); reviving those runs wholesale here would
+    // trade that memory bound away, so the merge path keeps them.
+    if sort_based && part.spilled_run_count() > 0 && part.spilled_runs_sorted_by(key) {
+        return false;
+    }
+    let Some((store, pairs)) = sorted_pairs_paged(part, field) else {
+        return false;
+    };
+    let mut group: Vec<Record> = Vec::new();
+    let mut start = 0;
+    while start < pairs.len() {
+        let prefix = pairs[start].0;
+        let mut end = start + 1;
+        while end < pairs.len() && pairs[end].0 == prefix {
+            end += 1;
+        }
+        let len = fill_group(&store, &pairs[start..end], &mut group);
+        let k = Key::Long(denormalize_long(prefix.to_be_bytes()));
+        udf.reduce(&k.values(), &group[..len], out);
+        start = end;
+    }
+    true
+}
+
+/// Page-native sort-merge join: both sides sort `(prefix, handle)` pairs and
+/// the two-pointer merge materializes only the current key group of each
+/// side.
+fn try_sort_merge_paged(
+    left_key: &[usize],
+    right_key: &[usize],
+    left: &LocalInput,
+    right: &LocalInput,
+    udf: &dyn crate::contracts::MatchFunction,
+    out: &mut Collector,
+) -> bool {
+    let (&[lfield], &[rfield]) = (left_key, right_key) else {
+        return false;
+    };
+    let (LocalInput::Paged(lpart), LocalInput::Paged(rpart)) = (left, right) else {
+        return false;
+    };
+    if !has_paged_data(lpart) && !has_paged_data(rpart) {
+        return false;
+    }
+    // Sides whose spilled runs carry the key order materialize by linear
+    // merge in the fallback — an interleaving the delivery-order ingest
+    // cannot reproduce.
+    let disqualifies = |part: &ExchangedPartition, key: &[usize]| {
+        is_sorted_merge_part(part)
+            || (part.spilled_run_count() > 0 && part.spilled_runs_sorted_by(key))
+    };
+    if disqualifies(lpart, left_key) || disqualifies(rpart, right_key) {
+        return false;
+    }
+    let Some((lstore, lpairs)) = sorted_pairs_paged(lpart, lfield) else {
+        return false;
+    };
+    let Some((rstore, rpairs)) = sorted_pairs_paged(rpart, rfield) else {
+        return false;
+    };
+    let (mut lgroup, mut rgroup) = (Vec::new(), Vec::new());
+    let (mut li, mut ri) = (0usize, 0usize);
+    while li < lpairs.len() && ri < rpairs.len() {
+        let (lp, rp) = (lpairs[li].0, rpairs[ri].0);
+        // Unsigned prefix order is the key order (normalized encoding).
+        match lp.cmp(&rp) {
+            std::cmp::Ordering::Less => {
+                li += 1;
+                while li < lpairs.len() && lpairs[li].0 == lp {
+                    li += 1;
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                ri += 1;
+                while ri < rpairs.len() && rpairs[ri].0 == rp {
+                    ri += 1;
+                }
+            }
+            std::cmp::Ordering::Equal => {
+                let mut lend = li + 1;
+                while lend < lpairs.len() && lpairs[lend].0 == lp {
+                    lend += 1;
+                }
+                let mut rend = ri + 1;
+                while rend < rpairs.len() && rpairs[rend].0 == rp {
+                    rend += 1;
+                }
+                let llen = fill_group(&lstore, &lpairs[li..lend], &mut lgroup);
+                let rlen = fill_group(&rstore, &rpairs[ri..rend], &mut rgroup);
+                for l in &lgroup[..llen] {
+                    for r in &rgroup[..rlen] {
+                        udf.join(l, r, out);
+                    }
+                }
+                li = lend;
+                ri = rend;
+            }
+        }
+    }
+    true
+}
+
 /// Grouping for the Reduce contract (hash- or sort-based).
 fn run_reduce(
     key: &[usize],
@@ -1314,7 +1710,12 @@ fn run_reduce(
     input: LocalInput,
     udf: &dyn crate::contracts::ReduceFunction,
     out: &mut Collector,
+    page_native: bool,
 ) {
+    let sort_based = matches!(local, LocalStrategy::SortGroup);
+    if page_native && try_reduce_paged(key, &input, sort_based, udf, out) {
+        return;
+    }
     match local {
         LocalStrategy::SortGroup => {
             // A range exchange already delivered this partition sorted on
@@ -1377,6 +1778,7 @@ fn run_reduce(
 /// Equi-join for the Match contract (hash or sort-merge).  The build side is
 /// materialized; the probe side is streamed (page records through a scratch
 /// record, never fully materialized).
+#[allow(clippy::too_many_arguments)]
 fn run_match(
     left_key: &[usize],
     right_key: &[usize],
@@ -1385,9 +1787,13 @@ fn run_match(
     right: LocalInput,
     udf: &dyn crate::contracts::MatchFunction,
     out: &mut Collector,
+    page_native: bool,
 ) {
     match local {
         LocalStrategy::HashJoinBuildRight => {
+            if page_native && try_match_paged(&right, &left, right_key, left_key, false, udf, out) {
+                return;
+            }
             let right_records = right.into_records();
             let mut table: FxHashMap<Key, Vec<&Record>> = FxHashMap::default();
             for record in &right_records {
@@ -1405,6 +1811,9 @@ fn run_match(
             });
         }
         LocalStrategy::SortMergeJoin => {
+            if page_native && try_sort_merge_paged(left_key, right_key, &left, &right, udf, out) {
+                return;
+            }
             // Range-exchanged sides arrive sorted on their join key; only
             // sides without the delivered order pay a sort, and sides whose
             // spilled runs carry the key order materialize by linear merge.
@@ -1433,6 +1842,9 @@ fn run_match(
         }
         // Default: build on the left, probe with the right.
         _ => {
+            if page_native && try_match_paged(&left, &right, left_key, right_key, true, udf, out) {
+                return;
+            }
             let left_records = left.into_records();
             let mut table: FxHashMap<Key, Vec<&Record>> = FxHashMap::default();
             for record in &left_records {

@@ -130,12 +130,69 @@ fn serialize_value(value: &Value, out: &mut Vec<u8>) {
     }
 }
 
+/// Serializes one field into the head of `buf`, returning its width.  The
+/// caller guarantees the field fits (see the stack fast path of
+/// [`serialize_record_with_width`]).
+#[inline]
+fn serialize_value_into(value: &Value, buf: &mut [u8]) -> usize {
+    match value {
+        Value::Null => {
+            buf[0] = TAG_NULL;
+            1
+        }
+        Value::Bool(v) => {
+            buf[0] = TAG_BOOL;
+            buf[1] = u8::from(*v);
+            2
+        }
+        Value::Long(v) => {
+            buf[0] = TAG_LONG;
+            buf[1..9].copy_from_slice(&normalize_long(*v));
+            9
+        }
+        Value::Double(v) => {
+            buf[0] = TAG_DOUBLE;
+            buf[1..9].copy_from_slice(&normalize_double(*v));
+            9
+        }
+        Value::Text(s) => {
+            buf[0] = TAG_TEXT;
+            buf[1..5].copy_from_slice(&(s.len() as u32).to_le_bytes());
+            buf[5..5 + s.len()].copy_from_slice(s.as_bytes());
+            5 + s.len()
+        }
+    }
+}
+
 /// Serializes one record (length prefix plus field encodings) onto `out`.
 /// The number of bytes appended is exactly [`Record::estimated_bytes`].
 pub fn serialize_record(record: &Record, out: &mut Vec<u8>) {
-    let width = record.estimated_bytes();
-    out.reserve(width);
+    serialize_record_with_width(record, record.estimated_bytes(), out);
+}
+
+/// [`serialize_record`] with the serialized width precomputed by the caller
+/// (the page writer already computed it for its fit check — the field widths
+/// are summed once, not twice).  Small records — the exchange-path common
+/// case — assemble frame and fields in one stack buffer and land in the page
+/// with a single copy instead of a bounds-checked append per field.
+pub(crate) fn serialize_record_with_width(record: &Record, width: usize, out: &mut Vec<u8>) {
     let payload = (width - RECORD_FRAME_BYTES) as u32;
+    const STACK: usize = 64;
+    if width <= STACK {
+        let mut buf = [0u8; STACK];
+        buf[..RECORD_FRAME_BYTES].copy_from_slice(&payload.to_le_bytes());
+        let mut off = RECORD_FRAME_BYTES;
+        for value in record.fields() {
+            off += serialize_value_into(value, &mut buf[off..]);
+        }
+        debug_assert_eq!(
+            off, width,
+            "estimated_bytes must equal the serialized width"
+        );
+        out.extend_from_slice(&buf[..off]);
+        return;
+    }
+    out.reserve(width);
     out.extend_from_slice(&payload.to_le_bytes());
     let start = out.len();
     for value in record.fields() {
@@ -247,6 +304,32 @@ impl RecordPage {
             remaining: self.records,
         }
     }
+
+    /// The view of the record whose length frame starts at `offset` — the
+    /// resolution primitive behind [`PageHandle`]s.  Offsets come from
+    /// [`PageReader::next_offset`] at scan time; anything else is corrupt.
+    #[inline]
+    pub fn view_at(&self, offset: usize) -> RecordView<'_> {
+        view_in(&self.buf, offset)
+    }
+
+    /// Wraps already-framed page bytes (the run file on disk stores exactly
+    /// this representation behind a checksummed header, so reviving a spilled
+    /// page is a read plus this constructor — no per-record work).
+    #[inline]
+    pub(crate) fn from_raw(buf: Vec<u8>, records: usize) -> RecordPage {
+        RecordPage { buf, records }
+    }
+}
+
+/// Reads the framed record starting at `offset` out of `bytes` as a view.
+#[inline]
+fn view_in(bytes: &[u8], offset: usize) -> RecordView<'_> {
+    let mut offset = offset;
+    let len = u32::from_le_bytes(read_array(bytes, &mut offset)) as usize;
+    RecordView {
+        payload: &bytes[offset..offset + len],
+    }
 }
 
 /// Serializes records into a sequence of sealed [`RecordPage`]s.
@@ -277,6 +360,11 @@ pub struct PageWriter {
     records: usize,
     total_records: usize,
     total_bytes: usize,
+    /// Recycled page buffers (capacity retained, contents cleared) handed to
+    /// the writer by a [`PagePool`]; [`PageWriter::seal`] reuses one instead
+    /// of allocating a fresh buffer, so a steady-state superstep whose
+    /// consumed pages are recycled into its outboxes allocates no new pages.
+    spare: Vec<Vec<u8>>,
 }
 
 impl Default for PageWriter {
@@ -302,6 +390,23 @@ impl PageWriter {
             records: 0,
             total_records: 0,
             total_bytes: 0,
+            spare: Vec::new(),
+        }
+    }
+
+    /// Hands the writer recycled page buffers to seal into instead of
+    /// allocating fresh ones (see [`PagePool`]).  A writer that has not
+    /// buffered anything yet claims one buffer as its open page immediately,
+    /// so even the first page writes into recycled capacity.
+    pub fn add_spare_buffers(&mut self, buffers: impl IntoIterator<Item = Vec<u8>>) {
+        self.spare.extend(buffers.into_iter().map(|mut b| {
+            b.clear();
+            b
+        }));
+        if self.buf.capacity() == 0 {
+            if let Some(buf) = self.spare.pop() {
+                self.buf = buf;
+            }
         }
     }
 
@@ -314,7 +419,7 @@ impl PageWriter {
         if !self.buf.is_empty() && self.buf.len() + width > self.page_bytes {
             self.seal();
         }
-        serialize_record(record, &mut self.buf);
+        serialize_record_with_width(record, width, &mut self.buf);
         self.records += 1;
         self.total_records += 1;
         self.total_bytes += width;
@@ -341,7 +446,8 @@ impl PageWriter {
             self.records,
             self.page_bytes
         );
-        let buf = std::mem::take(&mut self.buf);
+        let next = self.spare.pop().unwrap_or_default();
+        let buf = std::mem::replace(&mut self.buf, next);
         let records = std::mem::replace(&mut self.records, 0);
         self.sealed_bytes += buf.len();
         self.sealed.push(Arc::new(RecordPage { buf, records }));
@@ -400,6 +506,14 @@ impl<'a> PageReader<'a> {
     pub fn remaining(&self) -> usize {
         self.remaining
     }
+
+    /// Byte offset of the next record's length frame — recorded *before*
+    /// calling [`Iterator::next`], this is the record's stable address inside
+    /// the page (see [`RecordPage::view_at`] and [`PageHandle`]).
+    #[inline]
+    pub fn next_offset(&self) -> usize {
+        self.offset
+    }
 }
 
 impl<'a> Iterator for PageReader<'a> {
@@ -434,11 +548,26 @@ pub struct RecordView<'a> {
     payload: &'a [u8],
 }
 
-impl RecordView<'_> {
+impl<'a> RecordView<'a> {
     /// Serialized payload width in bytes (without the length prefix).
     #[inline]
     pub fn payload_len(&self) -> usize {
         self.payload.len()
+    }
+
+    /// The raw serialized payload (field encodings without the length
+    /// frame).  Copying this into another page reproduces the record exactly
+    /// — the page-to-page forwarding primitive that never deserializes.
+    #[inline]
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Serialized width including the length frame (what appending this view
+    /// to a [`PagedRecords`] store or page costs in bytes).
+    #[inline]
+    pub fn framed_len(&self) -> usize {
+        RECORD_FRAME_BYTES + self.payload.len()
     }
 
     /// Deserializes the record into a fresh [`Record`].
@@ -491,6 +620,47 @@ impl RecordView<'_> {
         let mut offset = 1;
         Some(read_array(self.payload, &mut offset))
     }
+
+    /// The normalized `Long` encoding of field `idx` as a `u64` whose
+    /// unsigned order equals the `i64` order — the page-native join/group
+    /// key.  Because [`normalize_long`] is a bijection and
+    /// [`Value`] equality on `Long`s is numeric, two records match on this
+    /// `u64` **iff** their key fields are equal values: for a single-`Long`
+    /// key the prefix *is* the full key, no collision fallback needed.
+    /// `None` when the field is missing or not a `Long` (callers fall back
+    /// to the materializing path).
+    pub fn long_key_prefix(&self, idx: usize) -> Option<u64> {
+        let offset = self.field_offset(idx)?;
+        if self.payload[offset] != TAG_LONG {
+            return None;
+        }
+        let mut offset = offset + 1;
+        Some(u64::from_be_bytes(read_array(self.payload, &mut offset)))
+    }
+
+    /// The serialized encoding (tag byte plus payload) of field `idx`, or
+    /// `None` when the record has fewer fields.  Byte equality of these
+    /// slices is exactly [`Value`] equality: every encoding is a bijection
+    /// on the bit patterns `Value`'s `PartialEq` compares (`Double` equality
+    /// is bitwise), so a full-key check on prefix collision is a `memcmp`.
+    pub fn field_bytes(&self, idx: usize) -> Option<&'a [u8]> {
+        let start = self.field_offset(idx)?;
+        let mut end = start;
+        skip_value(self.payload, &mut end);
+        Some(&self.payload[start..end])
+    }
+
+    /// Byte offset of field `idx` inside the payload.
+    fn field_offset(&self, idx: usize) -> Option<usize> {
+        let mut offset = 0;
+        for _ in 0..idx {
+            if offset >= self.payload.len() {
+                return None;
+            }
+            skip_value(self.payload, &mut offset);
+        }
+        (offset < self.payload.len()).then_some(offset)
+    }
 }
 
 /// Advances `offset` past the field starting there.
@@ -504,6 +674,425 @@ fn skip_value(bytes: &[u8], offset: &mut usize) {
         TAG_TEXT => u32::from_le_bytes(read_array(bytes, offset)) as usize,
         other => panic!("corrupt page: unknown value tag {other}"),
     };
+}
+
+// ---------------------------------------------------------------------------
+// Paged record stores: handles instead of heap records
+// ---------------------------------------------------------------------------
+
+/// The address of one serialized record inside a [`PagedRecords`] store: the
+/// page index and the byte offset of the record's length frame.  Handles are
+/// 8 bytes, `Copy`, and totally ordered by insertion position — sorting
+/// `(key, handle)` pairs with an unstable sort therefore reproduces a stable
+/// sort of the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageHandle {
+    page: u32,
+    offset: u32,
+}
+
+/// An append-only store of serialized records addressed by [`PageHandle`]s —
+/// the backing of page-native operators.  Sealed pages received from an
+/// exchange are **adopted** by pointer (no copy, no deserialization); records
+/// that exist only as heap objects (a partition's local residue) are
+/// serialized once on append.  Records are read back as [`RecordView`]s and
+/// materialized only at user-function boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct PagedRecords {
+    page_bytes: usize,
+    pages: Vec<Arc<RecordPage>>,
+    /// The open (still mutable) page; handles into it carry page index
+    /// `pages.len()`, which stays correct when it seals.
+    buf: Vec<u8>,
+    buf_records: usize,
+    spare: Vec<Vec<u8>>,
+    count: usize,
+    byte_len: usize,
+}
+
+impl PagedRecords {
+    /// An empty store producing [`DEFAULT_PAGE_BYTES`] pages.
+    pub fn new() -> PagedRecords {
+        PagedRecords::with_page_bytes(DEFAULT_PAGE_BYTES)
+    }
+
+    /// An empty store with an explicit page capacity (tests force record
+    /// runs to straddle page boundaries).
+    pub fn with_page_bytes(page_bytes: usize) -> PagedRecords {
+        PagedRecords {
+            page_bytes: page_bytes.max(RECORD_FRAME_BYTES + 1),
+            ..PagedRecords::default()
+        }
+    }
+
+    /// Number of records in the store.
+    #[inline]
+    pub fn record_count(&self) -> usize {
+        self.count
+    }
+
+    /// True when nothing has been adopted or appended.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Serialized bytes held (frames included).
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        self.byte_len
+    }
+
+    /// Hands the store recycled page buffers (see [`PagePool`]) so sealing
+    /// the open page reuses capacity instead of allocating.  A store that has
+    /// not buffered anything yet claims one buffer as its open page
+    /// immediately, so even the first page writes into recycled capacity.
+    pub fn add_spare_buffers(&mut self, buffers: impl IntoIterator<Item = Vec<u8>>) {
+        self.spare.extend(buffers.into_iter().map(|mut b| {
+            b.clear();
+            b
+        }));
+        if self.buf.capacity() == 0 {
+            if let Some(buf) = self.spare.pop() {
+                self.buf = buf;
+            }
+        }
+    }
+
+    /// Adopts a sealed page by pointer — the zero-copy ingest of everything
+    /// an exchange delivered serialized.  Seals the open page first so
+    /// previously returned handles keep addressing it.
+    pub fn adopt_page(&mut self, page: Arc<RecordPage>) {
+        if page.is_empty() {
+            return;
+        }
+        self.seal_open();
+        self.count += page.record_count();
+        self.byte_len += page.byte_len();
+        self.pages.push(page);
+    }
+
+    /// Adopts a sealed page and visits each of its records with the handle
+    /// it is now addressable by — the ingest loop of page-native operator
+    /// builds.  `f` returns whether to keep scanning; an aborted scan (a
+    /// record that disqualifies the page-native path, e.g. a non-`Long` key
+    /// field) still completes the adoption and returns `false`, and the
+    /// caller discards the store.
+    pub fn adopt_page_scanned(
+        &mut self,
+        page: &Arc<RecordPage>,
+        mut f: impl FnMut(PageHandle, RecordView<'_>) -> bool,
+    ) -> bool {
+        if page.is_empty() {
+            return true;
+        }
+        self.seal_open();
+        let idx = self.pages.len() as u32;
+        self.count += page.record_count();
+        self.byte_len += page.byte_len();
+        self.pages.push(Arc::clone(page));
+        let mut reader = page.reader();
+        loop {
+            let offset = reader.next_offset() as u32;
+            let Some(view) = reader.next() else {
+                return true;
+            };
+            if !f(PageHandle { page: idx, offset }, view) {
+                return false;
+            }
+        }
+    }
+
+    /// Serializes one heap record into the open page and returns its handle.
+    pub fn append(&mut self, record: &Record) -> PageHandle {
+        let width = record.estimated_bytes();
+        let handle = self.start_frame(width);
+        serialize_record_with_width(record, width, &mut self.buf);
+        self.finish_frame(width);
+        handle
+    }
+
+    /// Copies one already-serialized record (a [`RecordView`] payload,
+    /// possibly from another store or page) and returns its handle — the
+    /// page-to-page forward that never deserializes.
+    pub fn append_serialized(&mut self, payload: &[u8]) -> PageHandle {
+        let width = RECORD_FRAME_BYTES + payload.len();
+        let handle = self.start_frame(width);
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.finish_frame(width);
+        handle
+    }
+
+    /// Seals the open page (if it would overflow) and returns the handle the
+    /// next `width`-byte record will live at.
+    fn start_frame(&mut self, width: usize) -> PageHandle {
+        if !self.buf.is_empty() && self.buf.len() + width > self.page_bytes {
+            self.seal_open();
+        }
+        PageHandle {
+            page: self.pages.len() as u32,
+            offset: self.buf.len() as u32,
+        }
+    }
+
+    fn finish_frame(&mut self, width: usize) {
+        self.buf_records += 1;
+        self.count += 1;
+        self.byte_len += width;
+        if width > self.page_bytes {
+            // Same invariant as `PageWriter`: an oversized record seals
+            // alone into a private page.
+            self.seal_open();
+        }
+    }
+
+    fn seal_open(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        debug_assert!(
+            self.buf.len() <= self.page_bytes || self.buf_records == 1,
+            "capacity invariant violated in PagedRecords"
+        );
+        let next = self.spare.pop().unwrap_or_default();
+        let buf = std::mem::replace(&mut self.buf, next);
+        let records = std::mem::replace(&mut self.buf_records, 0);
+        self.pages.push(Arc::new(RecordPage { buf, records }));
+    }
+
+    /// The view of the record at `handle`.
+    #[inline]
+    pub fn view(&self, handle: PageHandle) -> RecordView<'_> {
+        let page = handle.page as usize;
+        if page == self.pages.len() {
+            view_in(&self.buf, handle.offset as usize)
+        } else {
+            self.pages[page].view_at(handle.offset as usize)
+        }
+    }
+
+    /// Visits every record in insertion order with its handle.
+    pub fn for_each_handle(&self, mut f: impl FnMut(PageHandle, RecordView<'_>)) {
+        for (idx, page) in self.pages.iter().enumerate() {
+            let mut reader = page.reader();
+            loop {
+                let offset = reader.next_offset();
+                let Some(view) = reader.next() else { break };
+                f(
+                    PageHandle {
+                        page: idx as u32,
+                        offset: offset as u32,
+                    },
+                    view,
+                );
+            }
+        }
+        let mut offset = 0;
+        for _ in 0..self.buf_records {
+            let view = view_in(&self.buf, offset);
+            f(
+                PageHandle {
+                    page: self.pages.len() as u32,
+                    offset: offset as u32,
+                },
+                view,
+            );
+            offset += view.framed_len();
+        }
+    }
+
+    /// Seals the open page and returns all pages (spilling, recycling).
+    pub fn into_pages(mut self) -> Vec<Arc<RecordPage>> {
+        self.seal_open();
+        self.pages
+    }
+}
+
+/// A hash table from an 8-byte normalized key prefix to the chain of
+/// [`PageHandle`]s inserted under it, preserving insertion order per key —
+/// the page-native join/group build structure.  Entries live in one arena
+/// vector, so inserting `n` records costs `O(log n)` amortized allocations
+/// (vector doublings), not `n`; [`PrefixTable::clear`] retains capacity so a
+/// steady-state superstep reusing a table allocates nothing.
+///
+/// For a single-`Long` key the prefix is the **complete** key (the
+/// normalized encoding is a bijection and byte equality is `Value`
+/// equality), so probes need no collision fallback; composite keys byte-
+/// compare the remaining key fields via [`RecordView::field_bytes`].
+#[derive(Debug, Default)]
+pub struct PrefixTable {
+    /// Per prefix: index of the first and last entry of its chain.
+    heads: crate::key::FxHashMap<u64, (u32, u32)>,
+    /// `(handle, next)` arena; `u32::MAX` terminates a chain.
+    entries: Vec<(PageHandle, u32)>,
+}
+
+const CHAIN_END: u32 = u32::MAX;
+
+impl PrefixTable {
+    /// An empty table.
+    pub fn new() -> PrefixTable {
+        PrefixTable::default()
+    }
+
+    /// Number of inserted records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was inserted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct prefixes.
+    #[inline]
+    pub fn distinct_keys(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Forgets all entries but keeps the allocated capacity.
+    pub fn clear(&mut self) {
+        self.heads.clear();
+        self.entries.clear();
+    }
+
+    /// Appends `handle` under `prefix`, after everything inserted under the
+    /// same prefix before it.
+    pub fn insert(&mut self, prefix: u64, handle: PageHandle) {
+        let entry = self.entries.len() as u32;
+        self.entries.push((handle, CHAIN_END));
+        match self.heads.entry(prefix) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let (_, tail) = *slot.get();
+                self.entries[tail as usize].1 = entry;
+                slot.get_mut().1 = entry;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert((entry, entry));
+            }
+        }
+    }
+
+    /// The handles inserted under `prefix`, in insertion order.
+    #[inline]
+    pub fn probe(&self, prefix: u64) -> PrefixChain<'_> {
+        PrefixChain {
+            entries: &self.entries,
+            next: self.heads.get(&prefix).map_or(CHAIN_END, |&(head, _)| head),
+        }
+    }
+
+    /// Collects the distinct prefixes into `out` (cleared first) in
+    /// ascending unsigned order — which **is** the key order, because the
+    /// normalized encoding is order-preserving.
+    pub fn sorted_prefixes(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.heads.keys().copied());
+        out.sort_unstable();
+    }
+}
+
+/// Iterator over one prefix chain (see [`PrefixTable::probe`]).
+#[derive(Debug, Clone)]
+pub struct PrefixChain<'a> {
+    entries: &'a [(PageHandle, u32)],
+    next: u32,
+}
+
+impl Iterator for PrefixChain<'_> {
+    type Item = PageHandle;
+
+    #[inline]
+    fn next(&mut self) -> Option<PageHandle> {
+        if self.next == CHAIN_END {
+            return None;
+        }
+        let (handle, next) = self.entries[self.next as usize];
+        self.next = next;
+        Some(handle)
+    }
+}
+
+/// Recycles the buffers of consumed pages into writers about to seal new
+/// ones.  A page whose `Arc` has no other holders gives up its `Vec<u8>`
+/// (capacity kept, contents cleared); feeding those buffers to the next
+/// superstep's [`PageWriter`]s via [`PageWriter::add_spare_buffers`] makes
+/// the steady state allocate no new pages — consumed exchange pages become
+/// the next exchange's output pages.
+#[derive(Debug)]
+pub struct PagePool {
+    free: Vec<Vec<u8>>,
+    limit: usize,
+}
+
+impl Default for PagePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PagePool {
+    /// A pool retaining up to 1024 buffers (32 MiB of default-size pages).
+    pub fn new() -> PagePool {
+        PagePool::with_limit(1024)
+    }
+
+    /// A pool retaining at most `limit` buffers; beyond that, recycled pages
+    /// are simply dropped.
+    pub fn with_limit(limit: usize) -> PagePool {
+        PagePool {
+            free: Vec::new(),
+            limit,
+        }
+    }
+
+    /// Buffers currently pooled.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when no buffer is pooled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Reclaims one page's buffer if this was the last pointer to it.
+    /// Returns whether the buffer was captured.
+    pub fn recycle(&mut self, page: Arc<RecordPage>) -> bool {
+        if self.free.len() >= self.limit {
+            return false;
+        }
+        match Arc::try_unwrap(page) {
+            Ok(page) => {
+                let mut buf = page.buf;
+                buf.clear();
+                self.free.push(buf);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Reclaims every uniquely-owned page of an iterator, returning how many
+    /// buffers were captured.
+    pub fn recycle_all(&mut self, pages: impl IntoIterator<Item = Arc<RecordPage>>) -> usize {
+        pages
+            .into_iter()
+            .fold(0, |n, page| n + usize::from(self.recycle(page)))
+    }
+
+    /// Takes up to `max` pooled buffers (newest first) to feed a writer.
+    pub fn take(&mut self, max: usize) -> std::vec::Drain<'_, Vec<u8>> {
+        let start = self.free.len().saturating_sub(max);
+        self.free.drain(start..)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -686,6 +1275,65 @@ impl ExchangedPartition {
         );
         RunMerger::over_runs(&self.runs, self.local, key)
             .expect("failed to open spilled runs for merging")
+    }
+
+    /// The records that never left this partition (heap objects).
+    pub fn local_records(&self) -> &[Record] {
+        &self.local
+    }
+
+    /// The sealed pages received from peer partitions.
+    pub fn pages(&self) -> &[Arc<RecordPage>] {
+        &self.pages
+    }
+
+    /// The spilled runs backing this partition.
+    pub fn runs(&self) -> &[SpilledRun] {
+        &self.runs
+    }
+
+    /// Decomposes the partition into its pieces:
+    /// `(local records, pages, runs, sorted-by)`.
+    pub fn into_pieces(
+        self,
+    ) -> (
+        Vec<Record>,
+        Vec<Arc<RecordPage>>,
+        Vec<SpilledRun>,
+        Option<crate::key::KeyFields>,
+    ) {
+        (self.local, self.pages, self.runs, self.sorted_by)
+    }
+
+    /// Visits every record in the cheapest representation it already has:
+    /// local records as `&Record`, page records as in-place [`RecordView`]s
+    /// (nothing is deserialized), spilled-run records as `&Record` through
+    /// one reused scratch.  This is the page-native receive scan — fields of
+    /// shipped records are read straight out of the page bytes.  Visit order
+    /// across the pieces is unspecified, like [`ExchangedPartition::for_each_ref`].
+    pub fn for_each_piece(
+        &self,
+        mut on_record: impl FnMut(&Record),
+        mut on_view: impl FnMut(RecordView<'_>),
+    ) {
+        for record in &self.local {
+            on_record(record);
+        }
+        for page in &self.pages {
+            for view in page.reader() {
+                on_view(view);
+            }
+        }
+        let mut scratch = Record::empty();
+        for run in &self.runs {
+            let mut cursor = run.cursor().expect("failed to open spilled run");
+            while cursor
+                .next_into(&mut scratch)
+                .expect("failed to read spilled run")
+            {
+                on_record(&scratch);
+            }
+        }
     }
 
     /// Calls `f` for every record: local records by reference, page and run
@@ -1021,5 +1669,138 @@ mod tests {
         let mut w = PageWriter::new();
         w.seal();
         assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn view_reads_arbitrary_key_fields_in_place() {
+        let mut writer = PageWriter::new();
+        writer.push(&Record::new(vec![
+            Value::Text("pad".into()),
+            Value::Long(-9),
+            Value::Double(2.5),
+        ]));
+        let pages = writer.finish();
+        let view = pages[0].reader().next().unwrap();
+        assert_eq!(
+            view.long_key_prefix(1),
+            Some(u64::from_be_bytes(normalize_long(-9))),
+            "prefix of a non-leading Long field"
+        );
+        assert_eq!(view.long_key_prefix(0), None, "Text field has no prefix");
+        assert_eq!(view.long_key_prefix(2), None, "Double is not a Long key");
+        assert_eq!(view.long_key_prefix(3), None, "missing field");
+        // field_bytes equality is Value equality.
+        let mut other = PageWriter::new();
+        other.push(&Record::new(vec![Value::Long(3), Value::Long(-9)]));
+        let p2 = other.finish();
+        let v2 = p2[0].reader().next().unwrap();
+        assert_eq!(view.field_bytes(1), v2.field_bytes(1));
+        assert_ne!(view.field_bytes(1), v2.field_bytes(0));
+    }
+
+    #[test]
+    fn paged_store_handles_survive_sealing_and_adoption() {
+        let mut store = PagedRecords::with_page_bytes(48);
+        let mut handles = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..10 {
+            let r = Record::pair(i, -i);
+            handles.push(store.append(&r));
+            expected.push(r);
+        }
+        // Adopt a sealed page mid-stream: earlier handles stay valid.
+        let mut writer = PageWriter::new();
+        writer.push(&Record::pair(100, 200));
+        for page in writer.finish() {
+            store.adopt_page(page);
+        }
+        expected.push(Record::pair(100, 200));
+        // Page-to-page copy of a serialized view.
+        let view = store.view(handles[3]);
+        let payload: Vec<u8> = view.payload().to_vec();
+        let copied = store.append_serialized(&payload);
+        expected.push(expected[3].clone());
+        handles.push(copied);
+        assert_eq!(store.record_count(), 12);
+        for (h, r) in handles
+            .iter()
+            .zip(expected.iter().take(10).chain([&expected[11]]))
+        {
+            assert_eq!(&store.view(*h).materialize(), r);
+        }
+        // for_each_handle visits insertion order and agrees with view().
+        let mut seen = Vec::new();
+        store.for_each_handle(|h, v| {
+            assert_eq!(store.view(h).payload(), v.payload());
+            seen.push(v.materialize());
+        });
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn prefix_table_preserves_insertion_order_per_key() {
+        let mut store = PagedRecords::new();
+        let mut table = PrefixTable::new();
+        for (key, val) in [(7, 0), (3, 1), (7, 2), (3, 3), (7, 4)] {
+            let h = store.append(&Record::pair(key, val));
+            let prefix = store.view(h).long_key_prefix(0).unwrap();
+            table.insert(prefix, h);
+        }
+        assert_eq!(table.len(), 5);
+        assert_eq!(table.distinct_keys(), 2);
+        let prefix7 = u64::from_be_bytes(normalize_long(7));
+        let vals: Vec<i64> = table
+            .probe(prefix7)
+            .map(|h| store.view(h).long(1))
+            .collect();
+        assert_eq!(vals, vec![0, 2, 4], "chain preserves insertion order");
+        assert_eq!(
+            table.probe(u64::from_be_bytes(normalize_long(99))).count(),
+            0
+        );
+        // Sorted prefixes come back in key order.
+        let mut prefixes = Vec::new();
+        table.sorted_prefixes(&mut prefixes);
+        let keys: Vec<i64> = prefixes
+            .iter()
+            .map(|p| denormalize_long(p.to_be_bytes()))
+            .collect();
+        assert_eq!(keys, vec![3, 7]);
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.probe(prefix7).count(), 0);
+    }
+
+    #[test]
+    fn page_pool_recycles_unique_buffers_into_writers() {
+        let mut writer = PageWriter::with_page_bytes(64);
+        for i in 0..20 {
+            writer.push(&Record::pair(i, i));
+        }
+        let pages = writer.finish();
+        let page_count = pages.len();
+        let shared = Arc::clone(&pages[0]);
+        let mut pool = PagePool::new();
+        let captured = pool.recycle_all(pages);
+        assert_eq!(
+            captured,
+            page_count - 1,
+            "the still-shared page cannot be recycled"
+        );
+        assert_eq!(pool.len(), captured);
+        drop(shared);
+        let mut next = PageWriter::with_page_bytes(64);
+        next.add_spare_buffers(pool.take(usize::MAX));
+        assert!(pool.is_empty());
+        for i in 0..20 {
+            next.push(&Record::pair(i, -i));
+        }
+        let reread: Vec<Record> = next
+            .finish()
+            .iter()
+            .flat_map(|p| p.reader().map(|v| v.materialize()))
+            .collect();
+        assert_eq!(reread.len(), 20, "recycled buffers seal clean pages");
+        assert_eq!(reread[3], Record::pair(3, -3));
     }
 }

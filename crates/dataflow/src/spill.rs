@@ -416,6 +416,26 @@ impl SpilledRun {
         &self.file.path
     }
 
+    /// Revives the run as sealed in-memory pages: the file is framed page
+    /// bytes behind a checksummed header, so this is a read plus a checksum
+    /// per page — no per-record deserialization.  Page-native operators use
+    /// it to treat a spilled input exactly like received exchange pages,
+    /// which makes the spill read path pure pointer plumbing past this call.
+    pub fn read_pages(&self) -> io::Result<Vec<Arc<RecordPage>>> {
+        let path = &self.file.path;
+        let mut reader = BufReader::new(File::open(path)?);
+        read_file_header(&mut reader, path)?;
+        let mut frame_offset = 8u64;
+        let mut pages = Vec::with_capacity(self.pages);
+        for _ in 0..self.pages {
+            let mut buf = Vec::new();
+            let records = read_frame(&mut reader, path, &mut frame_offset, &mut buf)?
+                .expect("read_frame reports torn frames as errors");
+            pages.push(Arc::new(RecordPage::from_raw(buf, records)));
+        }
+        Ok(pages)
+    }
+
     /// Opens a streaming cursor over the run's records, validating the file
     /// header eagerly (a non-run or pre-checksum file fails here, not later).
     pub fn cursor(&self) -> io::Result<RunCursor> {
@@ -829,6 +849,13 @@ impl SpillingWriter {
     /// True when nothing has been written or spilled.
     pub fn is_empty(&self) -> bool {
         self.writer.is_empty() && self.runs.is_empty()
+    }
+
+    /// Hands the inner page writer recycled page buffers (see
+    /// [`crate::page::PagePool`]): consumed pages from the previous superstep
+    /// become this writer's sealed output pages without fresh allocations.
+    pub fn add_spare_buffers(&mut self, buffers: impl IntoIterator<Item = Vec<u8>>) {
+        self.writer.add_spare_buffers(buffers);
     }
 
     /// Moves the sealed pages to disk as one run (sorted first when the
