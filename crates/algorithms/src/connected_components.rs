@@ -60,6 +60,12 @@ pub struct ComponentsConfig {
     pub checkpoint: Option<CheckpointPolicy>,
     /// Deterministic fault injector, passed through to the underlying run.
     pub fault: FaultInjector,
+    /// Transport of the workset variants' superstep exchange.  Defaults to
+    /// the in-process backend; a multi-process transport turns the run into
+    /// one SPMD cluster worker (use [`cc_workset_records`], which returns
+    /// the worker's owned partitions instead of densifying).  The bulk
+    /// variant is single-process and ignores it.
+    pub transport: TransportHandle,
 }
 
 impl ComponentsConfig {
@@ -72,6 +78,7 @@ impl ComponentsConfig {
             memory_budget: MemoryBudget::unlimited(),
             checkpoint: None,
             fault: FaultInjector::from_env(),
+            transport: TransportHandle::default(),
         }
     }
 
@@ -116,6 +123,13 @@ impl ComponentsConfig {
     /// Installs a fault injector (replacing the environment-configured one).
     pub fn with_fault(mut self, fault: FaultInjector) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Installs the transport the workset variants' superstep exchange runs
+    /// over (see [`ComponentsConfig::transport`]).
+    pub fn with_transport(mut self, transport: TransportHandle) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -269,27 +283,45 @@ fn build_workset_iteration(graph: &Graph, grouped: bool) -> WorksetIteration {
         .build()
 }
 
-fn run_workset(
+/// Runs the incremental Connected Components workset iteration and returns
+/// the raw [`WorksetResult`]: the solution as `(vid, cid)` records instead
+/// of a dense per-vertex vector.  This is the entry point for cluster
+/// workers — with a multi-process [`ComponentsConfig::transport`] each
+/// process's result holds only the solution partitions it owns, and
+/// densifying per process would plant holes; concatenating the workers'
+/// records in index order reproduces the single-process record stream.
+/// `mode` selects the batch-incremental (`InnerCoGroup`) or microstep
+/// (`Match`) update.
+pub fn cc_workset_records(
     graph: &Graph,
     config: &ComponentsConfig,
     mode: ExecutionMode,
-    grouped: bool,
-) -> Result<ComponentsResult> {
+) -> Result<WorksetResult> {
+    let grouped = mode == ExecutionMode::BatchIncremental;
     let iteration = build_workset_iteration(graph, grouped);
     let mut workset_config = WorksetConfig::new(config.parallelism)
         .with_mode(mode)
         .with_max_supersteps(config.max_iterations)
         .with_routing(config.routing)
         .with_memory_budget(config.memory_budget)
-        .with_fault(config.fault.clone());
+        .with_fault(config.fault.clone())
+        .with_transport(config.transport.clone());
     if let Some(policy) = &config.checkpoint {
         workset_config = workset_config.with_checkpoint_policy(policy.clone());
     }
-    let result = iteration.run(
+    iteration.run(
         initial_components(graph),
         initial_component_candidates(graph),
         &workset_config,
-    )?;
+    )
+}
+
+fn run_workset(
+    graph: &Graph,
+    config: &ComponentsConfig,
+    mode: ExecutionMode,
+) -> Result<ComponentsResult> {
+    let result = cc_workset_records(graph, config, mode)?;
     Ok(ComponentsResult {
         components: records_to_vec(&result.solution, graph.num_vertices()),
         iterations: result.supersteps,
@@ -301,19 +333,19 @@ fn run_workset(
 /// The batch-incremental Connected Components algorithm (INCR-CC, CoGroup
 /// variant).
 pub fn cc_incremental(graph: &Graph, config: &ComponentsConfig) -> Result<ComponentsResult> {
-    run_workset(graph, config, ExecutionMode::BatchIncremental, true)
+    run_workset(graph, config, ExecutionMode::BatchIncremental)
 }
 
 /// The microstep Connected Components algorithm (MICRO-CC, Match variant)
 /// executed with superstep synchronisation.
 pub fn cc_microstep(graph: &Graph, config: &ComponentsConfig) -> Result<ComponentsResult> {
-    run_workset(graph, config, ExecutionMode::Microstep, false)
+    run_workset(graph, config, ExecutionMode::Microstep)
 }
 
 /// The microstep Connected Components algorithm executed asynchronously,
 /// without superstep barriers.
 pub fn cc_async(graph: &Graph, config: &ComponentsConfig) -> Result<ComponentsResult> {
-    run_workset(graph, config, ExecutionMode::AsynchronousMicrostep, false)
+    run_workset(graph, config, ExecutionMode::AsynchronousMicrostep)
 }
 
 #[cfg(test)]

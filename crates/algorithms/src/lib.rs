@@ -25,7 +25,10 @@ pub mod sssp;
 
 pub use crate::adaptive_pagerank::{adaptive_pagerank, AdaptiveConfig, AdaptivePageRankResult};
 pub use crate::connected_components::{
-    cc_async, cc_bulk, cc_incremental, cc_microstep, ComponentsConfig, ComponentsResult,
+    cc_async, cc_bulk, cc_incremental, cc_microstep, cc_workset_records, ComponentsConfig,
+    ComponentsResult,
 };
 pub use crate::pagerank::{pagerank, PageRankConfig, PageRankPlan, PageRankResult};
-pub use crate::sssp::{sssp, sssp_with_config, sssp_with_routing, SsspResult, UNREACHABLE};
+pub use crate::sssp::{
+    sssp, sssp_records, sssp_with_config, sssp_with_routing, SsspResult, UNREACHABLE,
+};

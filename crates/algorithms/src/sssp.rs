@@ -98,6 +98,31 @@ pub fn sssp_with_config(
     source: VertexId,
     config: &WorksetConfig,
 ) -> Result<SsspResult> {
+    let result = sssp_records(graph, source, config)?;
+    let mut distances = vec![UNREACHABLE; graph.num_vertices()];
+    for record in &result.solution {
+        distances[record.long(0) as usize] = record.long(1);
+    }
+    Ok(SsspResult {
+        distances,
+        supersteps: result.supersteps,
+        converged: result.converged,
+        stats: result.stats,
+    })
+}
+
+/// Like [`sssp_with_config`] but returns the raw [`WorksetResult`]: the
+/// solution as `(vid, distance)` records instead of a dense distance vector.
+/// This is the entry point for cluster workers — with a multi-process
+/// [`WorksetConfig::transport`] each process's result holds only the
+/// solution partitions it owns, and densifying per process would plant
+/// holes; concatenating the workers' records in index order reproduces the
+/// single-process record stream.
+pub fn sssp_records(
+    graph: &Graph,
+    source: VertexId,
+    config: &WorksetConfig,
+) -> Result<WorksetResult> {
     let iteration = build_iteration(graph);
     // S0: the source is at distance 0, everything else unreachable.
     let initial_solution: Vec<Record> = graph
@@ -113,18 +138,7 @@ pub fn sssp_with_config(
         .iter()
         .map(|&t| Record::pair(i64::from(t), 1))
         .collect();
-    let result = iteration.run(initial_solution, initial_workset, config)?;
-
-    let mut distances = vec![UNREACHABLE; graph.num_vertices()];
-    for record in &result.solution {
-        distances[record.long(0) as usize] = record.long(1);
-    }
-    Ok(SsspResult {
-        distances,
-        supersteps: result.supersteps,
-        converged: result.converged,
-        stats: result.stats,
-    })
+    iteration.run(initial_solution, initial_workset, config)
 }
 
 #[cfg(test)]

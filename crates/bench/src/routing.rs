@@ -11,7 +11,7 @@
 
 use dataflow::key::{partition_for, sort_by_key, FxHashMap, Key};
 use dataflow::page::{ExchangedPartition, PageWriter, PagedRecords, PrefixTable, RecordPage};
-use dataflow::prelude::{Record, Value};
+use dataflow::prelude::{ChannelId, ClusterSpec, FaultInjector, Record, TransportHandle, Value};
 use dataflow::range::{sample_keys_into, sort_by_key_normalized, RangeBounds};
 use dataflow::spill::{write_sorted_records_in, MergeSource, RunMerger};
 use spinning_core::prelude::SolutionSet;
@@ -19,6 +19,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 // --- Legacy emulation of the pre-refactor routing code ----------------------
@@ -604,6 +605,95 @@ pub fn comparisons() -> Vec<Comparison> {
     all.push(Comparison {
         name: "superstep_dispatch",
         description: "dispatch 200 supersteps x 8 partition tasks (scoped thread spawns vs pool)",
+        legacy,
+        current,
+    });
+
+    // 8. The distributed exchange: one superstep's worth of candidate
+    //    shipping — serialize 400k records into sealed pages and move them
+    //    from partition 0 to partition 1 through the page-channel trait.
+    //    The "legacy" side is the in-process backend (the pages hand over as
+    //    Arc pointers); the "current" side is a real two-process loopback
+    //    TCP cluster, so the delta is exactly what crossing a process
+    //    boundary costs (frame headers, CRC-32, kernel round trips).  The
+    //    ratio sits below 1x by design; its floor pins how far the TCP path
+    //    may fall behind the in-process path.
+    let local = TransportHandle::local();
+    let local_channel = local.channel(ChannelId::new(local.allocate(), 0), 2);
+    let round = Arc::new(AtomicU64::new(1));
+    let build_pages = || {
+        let mut writer = PageWriter::new();
+        for i in 0..ROUTED_RECORDS as i64 {
+            writer.push(&Record::pair(i.wrapping_mul(0x9E37), i));
+        }
+        writer.finish()
+    };
+    let (channel, counter) = (local_channel, Arc::clone(&round));
+    let legacy = Box::new(move || {
+        let round = counter.fetch_add(1, AtomicOrdering::Relaxed);
+        channel
+            .send(round, 0, 1, build_pages())
+            .expect("local send");
+        channel.finish_round(round, 0).expect("local finish 0");
+        channel.finish_round(round, 1).expect("local finish 1");
+        let received = channel.recv(round, 1).expect("local recv");
+        let _ = channel.recv(round, 0).expect("local drain");
+        let records: usize = received
+            .iter()
+            .flat_map(|(_, pages)| pages.iter())
+            .map(|p| p.record_count())
+            .sum();
+        black_box(records);
+    });
+    // A two-process cluster inside this process: the coordinator half
+    // connects on this thread while a helper thread brings up the worker.
+    let coordinator = std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("probe listener")
+        .local_addr()
+        .expect("probe address")
+        .to_string();
+    let worker_addr = coordinator.clone();
+    let worker = std::thread::spawn(move || {
+        TransportHandle::tcp_cluster(
+            ClusterSpec::new(2, 1).expect("worker spec"),
+            &worker_addr,
+            &FaultInjector::disabled(),
+        )
+        .expect("bench worker transport")
+    });
+    let tcp_a = TransportHandle::tcp_cluster(
+        ClusterSpec::new(2, 0).expect("coordinator spec"),
+        &coordinator,
+        &FaultInjector::disabled(),
+    )
+    .expect("bench coordinator transport");
+    let tcp_b = worker.join().expect("bench worker thread");
+    let channel_a = tcp_a.channel(ChannelId::new(0, 0), 2);
+    let channel_b = tcp_b.channel(ChannelId::new(0, 0), 2);
+    let round = Arc::new(AtomicU64::new(1));
+    let counter = Arc::clone(&round);
+    let current = Box::new(move || {
+        // Keep the transports alive for the closure's lifetime.
+        let (_a, _b) = (&tcp_a, &tcp_b);
+        let round = counter.fetch_add(1, AtomicOrdering::Relaxed);
+        channel_a
+            .send(round, 0, 1, build_pages())
+            .expect("tcp send");
+        channel_a.finish_round(round, 0).expect("tcp finish 0");
+        channel_b.finish_round(round, 1).expect("tcp finish 1");
+        let received = channel_b.recv(round, 1).expect("tcp recv");
+        let _ = channel_a.recv(round, 0).expect("tcp drain");
+        let records: usize = received
+            .iter()
+            .flat_map(|(_, pages)| pages.iter())
+            .map(|p| p.record_count())
+            .sum();
+        black_box(records);
+    });
+    all.push(Comparison {
+        name: "tcp_exchange",
+        description:
+            "serialize 400k records into sealed pages and ship them partition 0 -> 1 through the page channel (in-process Arc pointer handoff vs loopback TCP with framing and CRC-32)",
         legacy,
         current,
     });

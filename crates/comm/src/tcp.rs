@@ -1,0 +1,1008 @@
+//! The TCP backend: length-framed page batches with a per-frame CRC-32
+//! (the spill-run frame discipline on a socket), a rendezvous handshake
+//! carrying cluster size / worker index / protocol version, and typed
+//! [`CommError`]s for torn streams and lost peers instead of hangs.
+//!
+//! ## Rendezvous
+//!
+//! Process 0 binds the coordinator address.  Every other process binds an
+//! ephemeral listener, dials the coordinator, and sends a `HELLO` advertising
+//! its listener port; once all processes reported in, the coordinator
+//! broadcasts the address table and the workers complete the mesh (the
+//! higher index dials the lower), so only the coordinator address must be
+//! agreed on out of band — everything else is ephemeral, which is what keeps
+//! parallel localhost clusters from colliding on ports.
+//!
+//! ## Frames
+//!
+//! Every post-handshake message is one frame: a fixed 56-byte header (magic,
+//! kind, channel group/edge, round, source, target, payload length, payload
+//! CRC-32) followed by the payload.  A bad magic, a truncated read, or a CRC
+//! mismatch marks the peer dead with [`CommError::TornStream`]; EOF and
+//! socket errors mark it dead with [`CommError::PeerLost`].  Death is
+//! per-peer: a wait fails only when data it is still missing is owed by a
+//! dead peer (TCP ordering guarantees everything a peer sent arrived before
+//! its EOF), so a worker that finishes its run and exits cleanly never takes
+//! down the cluster, while a peer lost mid-superstep surfaces as a typed
+//! error at the superstep barrier — never as a hang.
+
+use crate::{
+    crc32, timeout_from_env, ChannelId, ClusterSpec, CommError, FaultHook, Inbox, PageChannel,
+    Transport, WireCodec,
+};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Frame and handshake magic: `b"SPNC"` ("spinning comm").
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"SPNC");
+
+/// Wire protocol version carried in the handshake; peers must match exactly.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload (mirrors the spill format's cap); a
+/// larger advertised length is treated as a torn stream.
+pub const MAX_FRAME_BYTES: usize = 1 << 28;
+
+const FRAME_HEADER_BYTES: usize = 56;
+const HELLO_BYTES: usize = 24;
+
+const KIND_PAGES: u32 = 1;
+const KIND_END_ROUND: u32 = 2;
+const KIND_ALL_GATHER: u32 = 3;
+
+/// Options for [`TcpTransport::connect`].
+#[derive(Clone)]
+pub struct TcpOptions {
+    /// How long the rendezvous (bind, dial, handshake, mesh) may take.
+    pub rendezvous_timeout: Duration,
+    /// How long a blocking receive or gather may wait (defaults to the
+    /// [`crate::TIMEOUT_ENV`] setting).
+    pub recv_timeout: Duration,
+    /// Consulted once per outbound data frame; returning `true` drops the
+    /// connection at that point (seeded fault injection plugs in here).
+    pub fault_hook: Option<FaultHook>,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            rendezvous_timeout: Duration::from_secs(30),
+            recv_timeout: timeout_from_env(),
+            fault_hook: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for TcpOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpOptions")
+            .field("rendezvous_timeout", &self.rendezvous_timeout)
+            .field("recv_timeout", &self.recv_timeout)
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish()
+    }
+}
+
+/// One live peer connection: the write half (framed, mutex-serialized) —
+/// the read half lives in the peer's reader thread.
+struct Peer {
+    writer: Mutex<TcpStream>,
+}
+
+impl Peer {
+    /// Tears the connection down; both the local writer and the remote
+    /// reader observe it.
+    fn shutdown(&self) {
+        if let Ok(stream) = self.writer.lock() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+struct Shared<P> {
+    spec: ClusterSpec,
+    inbox: Arc<Inbox<P>>,
+    /// Indexed by process; `None` at this process's own slot.
+    peers: Vec<Option<Peer>>,
+    recv_timeout: Duration,
+    fault_hook: Option<FaultHook>,
+}
+
+impl<P> Shared<P> {
+    /// Simulates a dropped connection: tears down every peer socket and
+    /// marks every peer dead, so both sides observe a typed peer loss.
+    fn drop_connections(&self, detail: &str) -> CommError {
+        for peer in self.peers.iter().flatten() {
+            peer.shutdown();
+        }
+        let error = CommError::PeerLost {
+            peer: self.spec.index,
+            detail: detail.to_owned(),
+        };
+        for process in 0..self.spec.processes {
+            self.inbox.poison(process, error.clone());
+        }
+        error
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn write_frame(
+        &self,
+        process: usize,
+        kind: u32,
+        id: ChannelId,
+        round: u64,
+        from: u64,
+        to: u64,
+        payload: &[u8],
+    ) -> Result<(), CommError> {
+        if let Some(hook) = &self.fault_hook {
+            if kind != KIND_END_ROUND && hook() {
+                return Err(self.drop_connections("injected connection drop"));
+            }
+        }
+        let peer = self.peers[process].as_ref().expect("no connection to self");
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        header[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+        header[4..8].copy_from_slice(&kind.to_le_bytes());
+        header[8..16].copy_from_slice(&id.group.to_le_bytes());
+        header[16..24].copy_from_slice(&id.edge.to_le_bytes());
+        header[24..32].copy_from_slice(&round.to_le_bytes());
+        header[32..40].copy_from_slice(&from.to_le_bytes());
+        header[40..48].copy_from_slice(&to.to_le_bytes());
+        header[48..52].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[52..56].copy_from_slice(&crc32(payload).to_le_bytes());
+        let mut stream = peer.writer.lock().expect("peer writer lock");
+        if let Err(e) = stream
+            .write_all(&header)
+            .and_then(|()| stream.write_all(payload))
+        {
+            // A failed write is not the sender's failure: a peer that exited
+            // cleanly after finishing its run no longer needs this data, and
+            // a crashed peer surfaces on the next wait that misses its
+            // contribution.  Mark it dead and carry on.
+            self.inbox.poison(
+                process,
+                CommError::PeerLost {
+                    peer: process,
+                    detail: format!("write failed: {e}"),
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+/// The TCP transport: a full mesh of framed localhost/LAN connections
+/// between the cluster's processes, demultiplexed by per-peer reader
+/// threads into the shared inbox.
+pub struct TcpTransport<P> {
+    shared: Arc<Shared<P>>,
+    counter: AtomicU64,
+}
+
+impl<P> std::fmt::Debug for TcpTransport<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("cluster", &self.shared.spec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P> Drop for TcpTransport<P> {
+    fn drop(&mut self) {
+        // Unblock the peers' reader threads; their streams observe EOF.
+        for peer in self.shared.peers.iter().flatten() {
+            peer.shutdown();
+        }
+    }
+}
+
+impl<P: WireCodec + Send + Sync + 'static> TcpTransport<P> {
+    /// Establishes the cluster with default options.
+    pub fn connect(
+        spec: ClusterSpec,
+        coordinator: impl ToSocketAddrs,
+    ) -> Result<TcpTransport<P>, CommError> {
+        Self::connect_with(spec, coordinator, TcpOptions::default())
+    }
+
+    /// Establishes the cluster: process 0 binds `coordinator` and collects
+    /// every worker's `HELLO`, the others dial in, and the address table
+    /// broadcast completes the mesh.  Returns once every pairwise
+    /// connection is up and validated.
+    pub fn connect_with(
+        spec: ClusterSpec,
+        coordinator: impl ToSocketAddrs,
+        options: TcpOptions,
+    ) -> Result<TcpTransport<P>, CommError> {
+        let inbox = Inbox::new();
+        let mut peers: Vec<Option<Peer>> = (0..spec.processes).map(|_| None).collect();
+        let deadline = Instant::now() + options.rendezvous_timeout;
+        let mut streams: Vec<Option<TcpStream>> = (0..spec.processes).map(|_| None).collect();
+        if spec.processes > 1 {
+            let coordinator = coordinator
+                .to_socket_addrs()
+                .map_err(|e| CommError::Handshake(format!("bad coordinator address: {e}")))?
+                .next()
+                .ok_or_else(|| CommError::Handshake("empty coordinator address".into()))?;
+            if spec.index == 0 {
+                rendezvous_coordinator(&spec, coordinator, deadline, &mut streams)?;
+            } else {
+                rendezvous_worker(&spec, coordinator, deadline, &mut streams)?;
+            }
+        }
+        for (process, stream) in streams.into_iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            stream
+                .set_nodelay(true)
+                .map_err(|e| CommError::Handshake(format!("set_nodelay: {e}")))?;
+            // Handshake phases used short read timeouts; the data plane
+            // blocks indefinitely (the inbox wait bounds are the timeout).
+            stream
+                .set_read_timeout(None)
+                .map_err(|e| CommError::Handshake(format!("clear read timeout: {e}")))?;
+            let reader = stream
+                .try_clone()
+                .map_err(|e| CommError::Handshake(format!("clone stream: {e}")))?;
+            spawn_reader::<P>(process, reader, Arc::clone(&inbox));
+            peers[process] = Some(Peer {
+                writer: Mutex::new(stream),
+            });
+        }
+        Ok(TcpTransport {
+            shared: Arc::new(Shared {
+                spec,
+                inbox,
+                peers,
+                recv_timeout: options.recv_timeout,
+                fault_hook: options.fault_hook,
+            }),
+            counter: AtomicU64::new(0),
+        })
+    }
+}
+
+// --- Rendezvous --------------------------------------------------------------
+
+fn handshake_bytes(spec: &ClusterSpec, listen_port: u16) -> [u8; HELLO_BYTES] {
+    let mut hello = [0u8; HELLO_BYTES];
+    hello[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+    hello[4..8].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    hello[8..12].copy_from_slice(&(spec.processes as u32).to_le_bytes());
+    hello[12..16].copy_from_slice(&(spec.index as u32).to_le_bytes());
+    hello[16..20].copy_from_slice(&u32::from(listen_port).to_le_bytes());
+    let crc = crc32(&hello[0..20]);
+    hello[20..24].copy_from_slice(&crc.to_le_bytes());
+    hello
+}
+
+/// Reads and validates a peer's `HELLO`, returning `(index, listen_port)`.
+fn read_handshake(stream: &mut TcpStream, spec: &ClusterSpec) -> Result<(usize, u16), CommError> {
+    let mut hello = [0u8; HELLO_BYTES];
+    stream
+        .read_exact(&mut hello)
+        .map_err(|e| CommError::Handshake(format!("short handshake: {e}")))?;
+    let word = |i: usize| u32::from_le_bytes(hello[i..i + 4].try_into().expect("4 bytes"));
+    if word(0) != FRAME_MAGIC {
+        return Err(CommError::Handshake("bad handshake magic".into()));
+    }
+    if word(20) != crc32(&hello[0..20]) {
+        return Err(CommError::Handshake("handshake checksum mismatch".into()));
+    }
+    let (version, processes, index, port) = (word(4), word(8), word(12), word(16));
+    if version != PROTOCOL_VERSION {
+        return Err(CommError::Handshake(format!(
+            "protocol version mismatch: peer speaks v{version}, this is v{PROTOCOL_VERSION}"
+        )));
+    }
+    if processes as usize != spec.processes {
+        return Err(CommError::Handshake(format!(
+            "cluster size mismatch: peer expects {processes} processes, this cluster has {}",
+            spec.processes
+        )));
+    }
+    if index as usize >= spec.processes {
+        return Err(CommError::Handshake(format!(
+            "peer index {index} out of range"
+        )));
+    }
+    Ok((index as usize, port as u16))
+}
+
+/// Accepts one connection before `deadline` (the listener stays
+/// non-blocking so a dead peer cannot stall the rendezvous forever).
+fn accept_before(listener: &TcpListener, deadline: Instant) -> Result<TcpStream, CommError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CommError::Handshake(format!("listener: {e}")))?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| CommError::Handshake(format!("accepted stream: {e}")))?;
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .map_err(|e| CommError::Handshake(format!("accepted stream: {e}")))?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(CommError::Handshake(
+                        "rendezvous timeout waiting for peers".into(),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(CommError::Handshake(format!("accept failed: {e}"))),
+        }
+    }
+}
+
+/// Process 0: binds the coordinator address, collects every worker's
+/// `HELLO`, and broadcasts the address table.
+fn rendezvous_coordinator(
+    spec: &ClusterSpec,
+    coordinator: SocketAddr,
+    deadline: Instant,
+    streams: &mut [Option<TcpStream>],
+) -> Result<(), CommError> {
+    let listener = TcpListener::bind(coordinator)
+        .map_err(|e| CommError::Handshake(format!("bind coordinator {coordinator}: {e}")))?;
+    let mut table: Vec<Option<SocketAddr>> = vec![None; spec.processes];
+    for _ in 1..spec.processes {
+        let mut stream = accept_before(&listener, deadline)?;
+        let (index, port) = read_handshake(&mut stream, spec)?;
+        if streams[index].is_some() {
+            return Err(CommError::Handshake(format!(
+                "two peers both claim worker index {index}"
+            )));
+        }
+        let mut addr = stream
+            .peer_addr()
+            .map_err(|e| CommError::Handshake(format!("peer address: {e}")))?;
+        addr.set_port(port);
+        table[index] = Some(addr);
+        streams[index] = Some(stream);
+    }
+    // Broadcast the address table: worker i needs the listeners of workers
+    // 1..i (it dials lower indexes; higher indexes dial it).
+    let mut payload = Vec::with_capacity(spec.processes * 8);
+    for entry in table.iter().skip(1) {
+        let addr = entry.expect("all workers reported in");
+        let ip = match addr.ip() {
+            std::net::IpAddr::V4(ip) => ip.octets(),
+            std::net::IpAddr::V6(_) => {
+                return Err(CommError::Handshake(
+                    "IPv6 peers are not supported by the rendezvous table".into(),
+                ))
+            }
+        };
+        payload.extend_from_slice(&ip);
+        payload.extend_from_slice(&addr.port().to_le_bytes());
+    }
+    let crc = crc32(&payload).to_le_bytes();
+    for stream in streams.iter_mut().flatten() {
+        stream
+            .write_all(&payload)
+            .and_then(|()| stream.write_all(&crc))
+            .map_err(|e| CommError::Handshake(format!("address table broadcast: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Process `i > 0`: binds an ephemeral mesh listener, dials the
+/// coordinator, receives the address table, then dials every lower-index
+/// worker and accepts every higher-index one.
+fn rendezvous_worker(
+    spec: &ClusterSpec,
+    coordinator: SocketAddr,
+    deadline: Instant,
+    streams: &mut [Option<TcpStream>],
+) -> Result<(), CommError> {
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| CommError::Handshake(format!("bind mesh listener: {e}")))?;
+    let listen_port = listener
+        .local_addr()
+        .map_err(|e| CommError::Handshake(format!("mesh listener address: {e}")))?
+        .port();
+    // The coordinator may start after this worker: retry until the deadline.
+    let mut coordinator_stream = loop {
+        match TcpStream::connect_timeout(&coordinator, Duration::from_secs(2)) {
+            Ok(stream) => break stream,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(CommError::Handshake(format!(
+                        "cannot reach coordinator {coordinator}: {e}"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    };
+    coordinator_stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| CommError::Handshake(format!("coordinator stream: {e}")))?;
+    coordinator_stream
+        .write_all(&handshake_bytes(spec, listen_port))
+        .map_err(|e| CommError::Handshake(format!("send handshake: {e}")))?;
+    // The address table lists the mesh listeners of workers 1..processes.
+    let mut table = vec![0u8; (spec.processes - 1) * 6 + 4];
+    coordinator_stream
+        .read_exact(&mut table)
+        .map_err(|e| CommError::Handshake(format!("read address table: {e}")))?;
+    let (payload, crc) = table.split_at(table.len() - 4);
+    if u32::from_le_bytes(crc.try_into().expect("4 bytes")) != crc32(payload) {
+        return Err(CommError::Handshake(
+            "address table checksum mismatch".into(),
+        ));
+    }
+    streams[0] = Some(coordinator_stream);
+    let peer_addr = |worker: usize| {
+        let entry = &payload[(worker - 1) * 6..worker * 6];
+        let ip = std::net::Ipv4Addr::new(entry[0], entry[1], entry[2], entry[3]);
+        let port = u16::from_le_bytes(entry[4..6].try_into().expect("2 bytes"));
+        SocketAddr::from((ip, port))
+    };
+    // Dial every lower-index worker; identify with a HELLO (port unused).
+    for (worker, slot) in streams.iter_mut().enumerate().take(spec.index).skip(1) {
+        let mut stream = TcpStream::connect_timeout(&peer_addr(worker), Duration::from_secs(10))
+            .map_err(|e| CommError::Handshake(format!("dial worker {worker}: {e}")))?;
+        stream
+            .write_all(&handshake_bytes(spec, 0))
+            .map_err(|e| CommError::Handshake(format!("mesh handshake to {worker}: {e}")))?;
+        *slot = Some(stream);
+    }
+    // Accept every higher-index worker.
+    for _ in spec.index + 1..spec.processes {
+        let mut stream = accept_before(&listener, deadline)?;
+        let (index, _) = read_handshake(&mut stream, spec)?;
+        if index <= spec.index || streams[index].is_some() {
+            return Err(CommError::Handshake(format!(
+                "unexpected mesh connection from worker {index}"
+            )));
+        }
+        streams[index] = Some(stream);
+    }
+    Ok(())
+}
+
+// --- Reader threads ----------------------------------------------------------
+
+/// Reads `buf.len()` bytes; distinguishes clean EOF at a frame boundary
+/// (`Ok(false)`) from EOF mid-buffer (an error naming the torn read).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> Result<bool, String> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(format!(
+                    "stream ended after {filled} of {} bytes",
+                    buf.len()
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+    }
+    Ok(true)
+}
+
+/// One reader thread per peer: reads frames, validates them, and
+/// demultiplexes into the inbox.  Any stream defect marks the peer dead —
+/// every wait still owed data by it sees the typed error.
+fn spawn_reader<P: WireCodec + Send + Sync + 'static>(
+    peer: usize,
+    mut stream: TcpStream,
+    inbox: Arc<Inbox<P>>,
+) {
+    std::thread::Builder::new()
+        .name(format!("comm-reader-{peer}"))
+        .spawn(move || {
+            let error = reader_loop(peer, &mut stream, &inbox);
+            inbox.poison(peer, error);
+        })
+        .expect("spawn comm reader thread");
+}
+
+fn reader_loop<P: WireCodec + Send + Sync>(
+    peer: usize,
+    stream: &mut TcpStream,
+    inbox: &Inbox<P>,
+) -> CommError {
+    let torn = |detail: String| CommError::TornStream { peer, detail };
+    let lost = |detail: String| CommError::PeerLost { peer, detail };
+    loop {
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        match read_full(stream, &mut header) {
+            Ok(false) => return lost("connection closed".into()),
+            Ok(true) => {}
+            Err(detail) => {
+                // EOF inside a header is a torn frame; a socket-level error
+                // is a lost peer.
+                return if detail.starts_with("stream ended") {
+                    torn(detail)
+                } else {
+                    lost(detail)
+                };
+            }
+        }
+        let word32 = |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().expect("4 bytes"));
+        let word64 = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("8 bytes"));
+        if word32(0) != FRAME_MAGIC {
+            return torn(format!("bad frame magic {:#010x}", word32(0)));
+        }
+        let kind = word32(4);
+        let id = ChannelId::new(word64(8), word64(16));
+        let round = word64(24);
+        let from = word64(32) as usize;
+        let to = word64(40) as usize;
+        let payload_len = word32(48) as usize;
+        let expected_crc = word32(52);
+        if payload_len > MAX_FRAME_BYTES {
+            return torn(format!("frame claims {payload_len} payload bytes"));
+        }
+        let mut payload = vec![0u8; payload_len];
+        match read_full(stream, &mut payload) {
+            Ok(true) => {}
+            Ok(false) => return torn("stream ended before frame payload".into()),
+            Err(detail) => {
+                return if detail.starts_with("stream ended") {
+                    torn(detail)
+                } else {
+                    lost(detail)
+                }
+            }
+        }
+        if crc32(&payload) != expected_crc {
+            return torn(format!(
+                "frame CRC mismatch (round {round}, {payload_len} bytes)"
+            ));
+        }
+        match kind {
+            KIND_PAGES => match decode_pages::<P>(&payload) {
+                Ok(pages) => inbox.deliver(id, round, from, to, pages),
+                Err(detail) => return torn(detail),
+            },
+            KIND_END_ROUND => inbox.finish(id, round, from),
+            KIND_ALL_GATHER => match decode_gather(&payload) {
+                Ok(values) => inbox.gather_insert(id.group, round, from, values),
+                Err(detail) => return torn(detail),
+            },
+            other => return torn(format!("unknown frame kind {other}")),
+        }
+    }
+}
+
+// --- Payload codecs ----------------------------------------------------------
+
+fn encode_pages<P: WireCodec>(pages: &[Arc<P>], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+    for page in pages {
+        let len_at = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes());
+        page.encode(out);
+        let encoded = (out.len() - len_at - 4) as u32;
+        out[len_at..len_at + 4].copy_from_slice(&encoded.to_le_bytes());
+    }
+}
+
+fn decode_pages<P: WireCodec>(payload: &[u8]) -> Result<Vec<Arc<P>>, String> {
+    let take4 = |offset: usize| -> Result<u32, String> {
+        payload
+            .get(offset..offset + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .ok_or_else(|| "pages payload truncated".to_owned())
+    };
+    let count = take4(0)? as usize;
+    let mut pages = Vec::with_capacity(count);
+    let mut offset = 4usize;
+    for _ in 0..count {
+        let len = take4(offset)? as usize;
+        offset += 4;
+        let bytes = payload
+            .get(offset..offset + len)
+            .ok_or_else(|| "page truncated inside frame".to_owned())?;
+        pages.push(Arc::new(P::decode(bytes)?));
+        offset += len;
+    }
+    if offset != payload.len() {
+        return Err(format!(
+            "pages payload has {} trailing bytes",
+            payload.len() - offset
+        ));
+    }
+    Ok(pages)
+}
+
+fn encode_gather(values: &[u64], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn decode_gather(payload: &[u8]) -> Result<Vec<u64>, String> {
+    if payload.len() < 4 {
+        return Err("gather payload truncated".into());
+    }
+    let count = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
+    if payload.len() != 4 + count * 8 {
+        return Err("gather payload length mismatch".into());
+    }
+    Ok(payload[4..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect())
+}
+
+// --- The Transport implementation --------------------------------------------
+
+struct TcpChannel<P> {
+    id: ChannelId,
+    partitions: usize,
+    shared: Arc<Shared<P>>,
+}
+
+impl<P: WireCodec + Send + Sync + 'static> Transport<P> for TcpTransport<P> {
+    fn cluster(&self) -> ClusterSpec {
+        self.shared.spec
+    }
+
+    fn allocate(&self) -> u64 {
+        self.counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn channel(&self, id: ChannelId, partitions: usize) -> Arc<dyn PageChannel<P>> {
+        Arc::new(TcpChannel {
+            id,
+            partitions,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    fn all_gather(
+        &self,
+        id: ChannelId,
+        round: u64,
+        values: &[u64],
+    ) -> Result<Vec<Vec<u64>>, CommError> {
+        let shared = &self.shared;
+        let mut payload = Vec::with_capacity(4 + values.len() * 8);
+        encode_gather(values, &mut payload);
+        for process in 0..shared.spec.processes {
+            if process == shared.spec.index {
+                continue;
+            }
+            shared.write_frame(
+                process,
+                KIND_ALL_GATHER,
+                id,
+                round,
+                shared.spec.index as u64,
+                0,
+                &payload,
+            )?;
+        }
+        shared
+            .inbox
+            .gather_insert(id.group, round, shared.spec.index, values.to_vec());
+        shared
+            .inbox
+            .wait_gather(id.group, round, shared.spec.processes, shared.recv_timeout)
+    }
+}
+
+impl<P: WireCodec + Send + Sync + 'static> PageChannel<P> for TcpChannel<P> {
+    fn send(
+        &self,
+        round: u64,
+        from: usize,
+        to: usize,
+        pages: Vec<Arc<P>>,
+    ) -> Result<(), CommError> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        let shared = &self.shared;
+        let owner = shared.spec.owner(to, self.partitions);
+        if owner == shared.spec.index {
+            // Loopback: the pages move by pointer, exactly like the local
+            // backend.
+            shared.inbox.deliver(self.id, round, from, to, pages);
+            return Ok(());
+        }
+        let mut payload = Vec::new();
+        encode_pages(&pages, &mut payload);
+        shared.write_frame(
+            owner,
+            KIND_PAGES,
+            self.id,
+            round,
+            from as u64,
+            to as u64,
+            &payload,
+        )
+    }
+
+    fn finish_round(&self, round: u64, from: usize) -> Result<(), CommError> {
+        let shared = &self.shared;
+        for process in 0..shared.spec.processes {
+            if process == shared.spec.index {
+                continue;
+            }
+            shared.write_frame(
+                process,
+                KIND_END_ROUND,
+                self.id,
+                round,
+                from as u64,
+                u64::MAX,
+                &[],
+            )?;
+        }
+        shared.inbox.finish(self.id, round, from);
+        Ok(())
+    }
+
+    fn recv(&self, round: u64, to: usize) -> Result<Vec<(usize, Vec<Arc<P>>)>, CommError> {
+        let shared = &self.shared;
+        let owned = self
+            .partitions
+            .checked_div(shared.spec.processes)
+            .unwrap_or(self.partitions)
+            .max(1);
+        shared.inbox.wait_recv(
+            self.id,
+            round,
+            to,
+            self.partitions,
+            owned,
+            shared.recv_timeout,
+            |source| shared.spec.owner(source, self.partitions),
+        )
+    }
+}
+
+#[cfg(test)]
+impl<P> TcpTransport<P> {
+    /// Test-only: writes raw bytes straight onto the connection to `peer`,
+    /// bypassing the framing — how the torn-stream tests corrupt the wire.
+    pub(crate) fn inject_raw(&self, peer: usize, bytes: &[u8]) {
+        let peer = self.shared.peers[peer].as_ref().expect("peer connection");
+        let mut stream = peer.writer.lock().expect("peer writer lock");
+        stream.write_all(bytes).expect("raw injection write");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The test payload: a length-checked byte blob.
+    #[derive(Debug, PartialEq, Eq)]
+    struct Blob(Vec<u8>);
+
+    impl WireCodec for Blob {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.0);
+        }
+        fn decode(bytes: &[u8]) -> Result<Self, String> {
+            Ok(Blob(bytes.to_vec()))
+        }
+    }
+
+    fn free_coordinator_addr() -> SocketAddr {
+        // Bind-then-drop: the kernel hands out a port that stays free long
+        // enough for the pair to rendezvous on it.
+        TcpListener::bind("127.0.0.1:0")
+            .expect("probe listener")
+            .local_addr()
+            .expect("probe address")
+    }
+
+    fn pair(options: TcpOptions) -> (TcpTransport<Blob>, TcpTransport<Blob>) {
+        let addr = free_coordinator_addr();
+        let worker_options = options.clone();
+        let worker = std::thread::spawn(move || {
+            TcpTransport::<Blob>::connect_with(
+                ClusterSpec::new(2, 1).unwrap(),
+                addr,
+                worker_options,
+            )
+        });
+        let coordinator =
+            TcpTransport::<Blob>::connect_with(ClusterSpec::new(2, 0).unwrap(), addr, options)
+                .expect("coordinator connects");
+        let worker = worker
+            .join()
+            .expect("worker thread")
+            .expect("worker connects");
+        (coordinator, worker)
+    }
+
+    #[test]
+    fn pages_round_trip_across_the_wire_in_source_order() {
+        let (a, b) = pair(TcpOptions::default());
+        // 2 partitions over 2 processes: process 0 owns partition 0.
+        let ca = a.channel(ChannelId::new(0, 0), 2);
+        let cb = b.channel(ChannelId::new(0, 0), 2);
+        ca.send(1, 0, 1, vec![Arc::new(Blob(vec![1, 2, 3]))])
+            .unwrap();
+        ca.send(1, 0, 1, vec![Arc::new(Blob(vec![4]))]).unwrap();
+        ca.finish_round(1, 0).unwrap();
+        cb.send(1, 1, 0, vec![Arc::new(Blob(vec![9; 100_000]))])
+            .unwrap();
+        cb.finish_round(1, 1).unwrap();
+        let at_b = cb.recv(1, 1).unwrap();
+        assert_eq!(at_b.len(), 1);
+        assert_eq!(at_b[0].0, 0);
+        assert_eq!(*at_b[0].1[0], Blob(vec![1, 2, 3]));
+        assert_eq!(*at_b[0].1[1], Blob(vec![4]));
+        let at_a = ca.recv(1, 0).unwrap();
+        assert_eq!(at_a.len(), 1);
+        assert_eq!(at_a[0].0, 1);
+        assert_eq!(*at_a[0].1[0], Blob(vec![9; 100_000]));
+    }
+
+    #[test]
+    fn all_gather_is_a_barrier_with_everyones_values() {
+        let (a, b) = pair(TcpOptions::default());
+        let id = ChannelId::new(7, 0);
+        let from_b = std::thread::spawn(move || {
+            let g = b.all_gather(id, 1, &[10, 11]).unwrap();
+            (b, g)
+        });
+        let at_a = a.all_gather(id, 1, &[20, 21]).unwrap();
+        let (_b, at_b) = from_b.join().unwrap();
+        assert_eq!(at_a, vec![vec![20, 21], vec![10, 11]]);
+        assert_eq!(at_b, at_a);
+    }
+
+    #[test]
+    fn garbage_on_the_wire_surfaces_as_a_torn_stream() {
+        let (a, b) = pair(TcpOptions::default());
+        a.inject_raw(1, &[0xAB; 2 * FRAME_HEADER_BYTES]);
+        let cb = b.channel(ChannelId::new(0, 0), 2);
+        let err = cb.recv(1, 1).unwrap_err();
+        assert!(
+            matches!(err, CommError::TornStream { peer: 0, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn crc_mismatch_surfaces_as_a_torn_stream() {
+        let (a, b) = pair(TcpOptions::default());
+        // A well-formed header whose payload fails the checksum.
+        let mut frame = [0u8; FRAME_HEADER_BYTES + 4];
+        frame[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+        frame[4..8].copy_from_slice(&KIND_END_ROUND.to_le_bytes());
+        frame[48..52].copy_from_slice(&4u32.to_le_bytes());
+        frame[52..56].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        a.inject_raw(1, &frame);
+        let cb = b.channel(ChannelId::new(0, 0), 2);
+        let err = cb.recv(1, 1).unwrap_err();
+        assert!(
+            matches!(err, CommError::TornStream { peer: 0, ref detail } if detail.contains("CRC")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_frame_surfaces_as_a_torn_stream() {
+        let (a, b) = pair(TcpOptions::default());
+        // A header promising 64 payload bytes, then the connection dies
+        // after 3.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        frame.extend_from_slice(&KIND_PAGES.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 40]);
+        frame.extend_from_slice(&64u32.to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        frame.extend_from_slice(&[1, 2, 3]);
+        a.inject_raw(1, &frame);
+        drop(a);
+        let cb = b.channel(ChannelId::new(0, 0), 2);
+        let err = cb.recv(1, 1).unwrap_err();
+        assert!(
+            matches!(err, CommError::TornStream { peer: 0, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn peer_disconnect_mid_round_surfaces_as_peer_lost_not_a_hang() {
+        let (a, b) = pair(TcpOptions::default());
+        let cb = b.channel(ChannelId::new(0, 0), 2);
+        cb.finish_round(1, 1).unwrap();
+        drop(a); // Peer 0 goes away before finishing round 1.
+        let err = cb.recv(1, 1).unwrap_err();
+        assert!(
+            matches!(err, CommError::PeerLost { peer: 0, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn protocol_version_mismatch_fails_the_handshake() {
+        let addr = free_coordinator_addr();
+        let imposter = std::thread::spawn(move || {
+            // Dial the coordinator speaking protocol version 999.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut stream = loop {
+                match TcpStream::connect_timeout(&addr, Duration::from_secs(1)) {
+                    Ok(s) => break s,
+                    Err(_) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10))
+                    }
+                    Err(e) => panic!("imposter cannot dial: {e}"),
+                }
+            };
+            let spec = ClusterSpec::new(2, 1).unwrap();
+            let mut hello = handshake_bytes(&spec, 1);
+            hello[4..8].copy_from_slice(&999u32.to_le_bytes());
+            let crc = crc32(&hello[0..20]);
+            hello[20..24].copy_from_slice(&crc.to_le_bytes());
+            stream.write_all(&hello).expect("imposter hello");
+            stream
+        });
+        let result = TcpTransport::<Blob>::connect_with(
+            ClusterSpec::new(2, 0).unwrap(),
+            addr,
+            TcpOptions::default(),
+        );
+        let _stream = imposter.join().unwrap();
+        let err = result.expect_err("version mismatch must fail");
+        assert!(
+            matches!(err, CommError::Handshake(ref d) if d.contains("version")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_connection_drop_is_a_typed_peer_loss_on_both_sides() {
+        use std::sync::atomic::AtomicBool;
+        let armed = Arc::new(AtomicBool::new(false));
+        let hook_armed = Arc::clone(&armed);
+        let options = TcpOptions {
+            fault_hook: Some(Arc::new(move || hook_armed.load(Ordering::Relaxed))),
+            ..Default::default()
+        };
+        // Only the coordinator carries the hook.
+        let addr = free_coordinator_addr();
+        let worker = std::thread::spawn(move || {
+            TcpTransport::<Blob>::connect_with(
+                ClusterSpec::new(2, 1).unwrap(),
+                addr,
+                TcpOptions::default(),
+            )
+            .expect("worker connects")
+        });
+        let a = TcpTransport::<Blob>::connect_with(ClusterSpec::new(2, 0).unwrap(), addr, options)
+            .expect("coordinator connects");
+        let b = worker.join().unwrap();
+        armed.store(true, Ordering::Relaxed);
+        let ca = a.channel(ChannelId::new(0, 0), 2);
+        let err = ca.send(1, 0, 1, vec![Arc::new(Blob(vec![1]))]).unwrap_err();
+        assert!(
+            matches!(err, CommError::PeerLost { ref detail, .. } if detail.contains("injected")),
+            "got {err:?}"
+        );
+        // The victim's side observes the drop too — as an EOF-driven loss.
+        let cb = b.channel(ChannelId::new(0, 0), 2);
+        let err = cb.recv(1, 1).unwrap_err();
+        assert!(
+            matches!(err, CommError::PeerLost { peer: 0, .. }),
+            "got {err:?}"
+        );
+    }
+}

@@ -38,8 +38,9 @@ use dataflow::page::{
     denormalize_long, normalize_long, PageHandle, PagePool, PagedRecords, RecordPage,
 };
 use dataflow::prelude::{
-    DataflowError, Key, KeyFields, MemoryBudget, PartitionRouter, RangeBounds, Record, Result,
-    RunMerger, SpillManager, SpilledRun, SpillingWriter, Value,
+    ChannelId, ClusterSpec, DataflowError, Key, KeyFields, MemoryBudget, PartitionRouter,
+    RangeBounds, Record, Result, RunMerger, SharedPageChannel, SpillManager, SpilledRun,
+    SpillingWriter, TransportHandle, Value,
 };
 use dataflow::range::sample_keys_into;
 use std::path::PathBuf;
@@ -163,6 +164,14 @@ pub struct WorksetConfig {
     /// byte-identical (the equivalence tests assert it); the switch exists
     /// for those tests and for isolating regressions.
     pub force_materialized: bool,
+    /// The transport the superstep exchange ships its pages through.
+    /// Defaults to the in-process backend (a cluster of one).  With a
+    /// multi-process transport the run becomes one SPMD worker of a cluster:
+    /// every process must call [`WorksetIteration::run`] with the *same*
+    /// initial solution, initial workset, constant input and configuration;
+    /// each keeps only the partitions it owns and the supersteps stay in
+    /// lockstep through the channel and a per-superstep stats barrier.
+    pub transport: TransportHandle,
 }
 
 impl WorksetConfig {
@@ -177,6 +186,7 @@ impl WorksetConfig {
             checkpoint: None,
             fault: FaultInjector::from_env(),
             force_materialized: false,
+            transport: TransportHandle::default(),
         }
     }
 
@@ -234,6 +244,13 @@ impl WorksetConfig {
     /// Installs a fault injector (replacing the environment-configured one).
     pub fn with_fault(mut self, fault: FaultInjector) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Installs the transport the superstep exchange runs over (see the
+    /// [`WorksetConfig::transport`] field for the SPMD contract).
+    pub fn with_transport(mut self, transport: TransportHandle) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -309,6 +326,13 @@ impl WorksetIteration {
     }
 
     /// Runs the iteration from the initial solution `S0` and working set `W0`.
+    ///
+    /// With a multi-process [`WorksetConfig::transport`] this call is one
+    /// SPMD worker of a cluster: every process passes the same inputs and
+    /// configuration, keeps only the partitions it owns, and the returned
+    /// solution holds this process's owned partitions (concatenating the
+    /// processes' solutions in index order reproduces the single-process
+    /// result byte for byte).
     pub fn run(
         &self,
         initial_solution: Vec<Record>,
@@ -320,15 +344,44 @@ impl WorksetIteration {
                 "parallelism must be at least 1".into(),
             ));
         }
+        let cluster = config.transport.cluster();
+        if cluster.processes > 1 {
+            // Contiguous equal partition blocks are what keeps ownership a
+            // pure division; an uneven split is a configuration error.
+            cluster.partitions_per_process(config.parallelism)?;
+            if config.mode == ExecutionMode::AsynchronousMicrostep {
+                return Err(DataflowError::InvalidPlan(
+                    "asynchronous microstep execution is single-process; cluster runs \
+                     synchronize through superstep barriers"
+                        .into(),
+                ));
+            }
+            if config.checkpoint.is_some() {
+                return Err(DataflowError::InvalidPlan(
+                    "superstep checkpointing is not supported in cluster mode; a failed \
+                     superstep surfaces as a typed error instead"
+                        .into(),
+                ));
+            }
+        }
         let start = Instant::now();
+        // The router (and, for range routing, its splitter histogram) is
+        // built from the *full* inputs so every process derives the same
+        // partitioning; ownership filtering happens only afterwards.
         let router = self.build_router(config, &initial_solution, &initial_workset);
+        let mut initial_solution = initial_solution;
+        if cluster.processes > 1 {
+            initial_solution.retain(|record| {
+                cluster.owns(router.route(record, &self.solution_key), config.parallelism)
+            });
+        }
         let mut solution = SolutionSet::new(self.solution_key.clone(), config.parallelism)
             .with_router(router.clone());
         if let Some(cmp) = &self.comparator {
             solution = solution.with_comparator(Arc::clone(cmp));
         }
         solution.merge_all(initial_solution);
-        let constant_index = self.build_constant_index_routed(&router);
+        let constant_index = self.build_constant_index_routed(&router, &cluster);
 
         match config.mode {
             ExecutionMode::AsynchronousMicrostep => crate::microstep::run_async(
@@ -384,15 +437,21 @@ impl WorksetIteration {
 
     /// Partitions and indexes the constant input with the run's router — the
     /// cached hash table of Figure 6.  Constant records live in the
-    /// partition their join partners are routed to under either scheme.
+    /// partition their join partners are routed to under either scheme; in a
+    /// cluster, partitions owned by other processes stay empty (their owners
+    /// build them from the same SPMD input).
     pub(crate) fn build_constant_index_routed(
         &self,
         router: &PartitionRouter,
+        cluster: &ClusterSpec,
     ) -> Vec<FxHashMap<Key, Vec<Record>>> {
         let mut index: Vec<FxHashMap<Key, Vec<Record>>> =
             vec![FxHashMap::default(); router.parallelism()];
         for record in self.constant_input.iter() {
             let partition = router.route(record, &self.constant_key);
+            if !cluster.owns(partition, router.parallelism()) {
+                continue;
+            }
             index[partition]
                 .entry(Key::extract(record, &self.constant_key))
                 .or_default()
@@ -427,17 +486,37 @@ impl WorksetIteration {
             sort_on_flush,
         )
         .with_fault(config.fault.clone());
+        // The run's communication state: one page channel carries every
+        // superstep exchange (rounds are attempt-numbered and never reused,
+        // so a failed attempt cannot pollute a retry) and one barrier channel
+        // carries the per-superstep stats agreement.  Allocation order is
+        // part of the SPMD contract — every process allocates these first.
+        let comms = SuperstepComms {
+            cluster: config.transport.cluster(),
+            channel: config.transport.fresh_channel(parallelism),
+            stats_channel: ChannelId::new(config.transport.allocate(), 0),
+        };
+        let mut exchange_round: u64 = 0;
+
         let mut queues: Vec<WorksetQueue> = Vec::with_capacity(parallelism);
         let per_queue = initial_workset.len() / parallelism + 1;
         for _ in 0..parallelism {
             queues.push(WorksetQueue::with_capacity(per_queue));
         }
+        // Every process sees the full initial workset (the SPMD contract),
+        // so the cluster-wide pending count is known up front without a
+        // barrier — and it is what every process's loop condition starts
+        // from, keeping the supersteps in lockstep from round one.
+        let mut global_pending = initial_workset.len() as u64;
         // The initial workset is scattered by the driver, which co-owns it
         // with every partition: a local move, not an exchange, so it is not
-        // serialized.
+        // serialized.  Partitions owned by other processes are dropped here;
+        // their owners scatter the same records from their own copy.
         for record in initial_workset {
             let partition = router.route(&record, &self.workset_key);
-            queues[partition].records.push(record);
+            if comms.cluster.owns(partition, parallelism) {
+                queues[partition].records.push(record);
+            }
         }
 
         let mut run_stats = IterationRunStats::default();
@@ -470,10 +549,13 @@ impl WorksetIteration {
         // every success); bounded by the policy's retry budget.
         let mut retries_used = 0usize;
 
-        while queues.iter().any(|q| !q.is_empty()) && superstep < config.max_supersteps {
+        while global_pending > 0 && superstep < config.max_supersteps {
             let attempt = superstep + 1;
+            exchange_round += 1;
             match self.superstep_once(
                 attempt,
+                exchange_round,
+                &comms,
                 &mut solution,
                 &mut queues,
                 &mut spare_queues,
@@ -484,8 +566,9 @@ impl WorksetIteration {
                 &spill,
                 config,
             ) {
-                Ok(mut stats) => {
+                Ok((mut stats, next_pending)) => {
                     superstep = attempt;
+                    global_pending = next_pending;
                     retries_used = 0;
                     if let (Some(store), Some(policy)) = (&store, &config.checkpoint) {
                         if superstep.is_multiple_of(policy.interval) {
@@ -545,6 +628,10 @@ impl WorksetIteration {
                             runs: Vec::new(),
                         })
                         .collect();
+                    // Checkpointing is rejected in cluster mode, so this is
+                    // a single-process run and the local count *is* the
+                    // global one.
+                    global_pending = queues.iter().map(|q| q.len() as u64).sum();
                     run_stats.per_iteration.truncate(restored.superstep);
                     superstep = restored.superstep;
                     pending.recoveries += 1;
@@ -562,9 +649,9 @@ impl WorksetIteration {
             store.clear();
         }
 
-        // The loop exits either because every queue drained (the fixpoint)
-        // or because the superstep bound truncated the run.
-        let converged = queues.iter().all(WorksetQueue::is_empty);
+        // The loop exits either because every queue drained cluster-wide
+        // (the fixpoint) or because the superstep bound truncated the run.
+        let converged = global_pending == 0;
         run_stats.total_elapsed = start.elapsed();
         Ok(WorksetResult {
             solution: solution.records(),
@@ -576,14 +663,21 @@ impl WorksetIteration {
 
     /// Runs one superstep across all partitions: consumes the queued
     /// worksets, applies deltas to the solution set, and exchanges the next
-    /// superstep's candidates back into `queues`.  On failure the solution
-    /// partitions are restored (the pool waits for every sibling task), but
-    /// the queue contents of the failed superstep are consumed — the caller
-    /// recovers by restoring a checkpoint or surfacing the error.
+    /// superstep's candidates back into `queues` through the transport
+    /// channel.  Returns the superstep's (cluster-agreed) stats and the
+    /// cluster-wide count of pending candidates after the exchange.  On
+    /// failure the solution partitions are restored (the pool waits for
+    /// every sibling task), but the queue contents of the failed superstep
+    /// are consumed — the caller recovers by restoring a checkpoint or
+    /// surfacing the error.  (A failure mid-exchange abandons the round's
+    /// partial channel state; `round` is never reused, so a retry starts
+    /// clean.)
     #[allow(clippy::too_many_arguments)]
     fn superstep_once(
         &self,
         superstep: usize,
+        round: u64,
+        comms: &SuperstepComms,
         solution: &mut SolutionSet,
         queues: &mut Vec<WorksetQueue>,
         spare_queues: &mut Vec<Vec<Record>>,
@@ -593,7 +687,7 @@ impl WorksetIteration {
         router: &PartitionRouter,
         spill: &SpillManager,
         config: &WorksetConfig,
-    ) -> Result<IterationStats> {
+    ) -> Result<(IterationStats, u64)> {
         let parallelism = config.parallelism;
         let step_start = Instant::now();
         let mut next_queues: Vec<WorksetQueue> = Vec::with_capacity(parallelism);
@@ -664,12 +758,14 @@ impl WorksetIteration {
             .map(|slot| slot.expect("pool ran every superstep partition"))
             .collect::<Result<Vec<PartitionOutput>>>()?;
 
-        // Exchange the new workset records (the superstep queue switch).
-        // Records that stayed in their partition are moved as heap
-        // objects; everything that crossed a partition boundary arrives
-        // as sealed pages — or, past the memory budget, as spilled-run
-        // handles whose bytes stay on disk — so the exchange moves
-        // buffer, page and handle pointers, never individual records.
+        // Exchange the new workset records (the superstep queue switch)
+        // through the transport channel.  Records that stayed in their
+        // partition are moved as heap objects; everything that crossed a
+        // partition boundary travels as sealed pages through the channel —
+        // pointer moves on the in-process backend, framed bytes on the wire
+        // — or, past the memory budget, as spilled-run handles whose bytes
+        // stay on this node's disk (runs bound for a remote process are
+        // rematerialized into pages, since the peer can't read them).
         let mut stats = IterationStats::for_iteration(superstep);
         stats.workset_size = workset_size;
         for (partition, output) in outputs.into_iter().enumerate() {
@@ -684,20 +780,79 @@ impl WorksetIteration {
             } else {
                 queues[partition].records.extend(local);
             }
-            for (target, writer) in output.outbox_remote.into_iter().enumerate() {
-                let spilled = writer.finish()?;
-                stats.spilled_bytes += spilled.stats.spilled_bytes;
-                stats.spilled_runs += spilled.stats.spilled_runs;
-                queues[target].pages.extend(spilled.pages);
-                queues[target].runs.extend(spilled.runs);
+            if comms.cluster.owns(partition, parallelism) {
+                for (target, writer) in output.outbox_remote.into_iter().enumerate() {
+                    let spilled = writer.finish()?;
+                    stats.spilled_bytes += spilled.stats.spilled_bytes;
+                    stats.spilled_runs += spilled.stats.spilled_runs;
+                    if comms.cluster.owns(target, parallelism) {
+                        comms
+                            .channel
+                            .send(round, partition, target, spilled.pages)?;
+                        queues[target].runs.extend(spilled.runs);
+                    } else {
+                        let mut pages = spilled.pages;
+                        for run in &spilled.runs {
+                            pages.extend(run.read_pages()?);
+                        }
+                        comms.channel.send(round, partition, target, pages)?;
+                    }
+                }
+                comms.channel.finish_round(round, partition)?;
             }
+            // Source partitions owned by other processes ran as empty
+            // no-ops here; their owners ship their pages and finish their
+            // rounds.
             spare_queues.push(output.drained_workset);
+        }
+        for target in comms.cluster.owned_range(parallelism) {
+            // Blocks until every source partition — local and remote —
+            // finished the round; batches arrive ordered by source, the
+            // same source-major order the in-process exchange appends in.
+            for (_, pages) in comms.channel.recv(round, target)? {
+                queues[target].pages.extend(pages);
+            }
         }
         // Keep at most one recycled buffer per partition; the rest would
         // otherwise accumulate (with their capacities) for the whole run.
         spare_queues.truncate(parallelism);
+
+        // Agree on the superstep cluster-wide: one all-gather sums the
+        // per-process stats and pending-candidate counts, so every process
+        // records identical rows and takes the same convergence decision.
+        let local_pending: u64 = comms
+            .cluster
+            .owned_range(parallelism)
+            .map(|p| queues[p].len() as u64)
+            .sum();
+        let local = [
+            stats.workset_size as u64,
+            stats.elements_inspected as u64,
+            stats.elements_changed as u64,
+            stats.messages_sent as u64,
+            stats.messages_shipped as u64,
+            stats.spilled_bytes as u64,
+            stats.spilled_runs as u64,
+            local_pending,
+        ];
+        let mut totals = [0u64; 8];
+        for values in config
+            .transport
+            .all_gather(comms.stats_channel, round, &local)?
+        {
+            for (total, value) in totals.iter_mut().zip(&values) {
+                *total += value;
+            }
+        }
+        stats.workset_size = totals[0] as usize;
+        stats.elements_inspected = totals[1] as usize;
+        stats.elements_changed = totals[2] as usize;
+        stats.messages_sent = totals[3] as usize;
+        stats.messages_shipped = totals[4] as usize;
+        stats.spilled_bytes = totals[5] as usize;
+        stats.spilled_runs = totals[6] as usize;
         stats.elapsed = step_start.elapsed();
-        Ok(stats)
+        Ok((stats, totals[7]))
     }
 
     /// Executes one superstep inside one partition.
@@ -1094,13 +1249,6 @@ impl WorksetQueue {
             + self.pages.iter().map(|p| p.record_count()).sum::<usize>()
             + self.runs.iter().map(|r| r.record_count()).sum::<usize>()
     }
-
-    /// True when no candidate is queued.
-    pub(crate) fn is_empty(&self) -> bool {
-        self.records.is_empty()
-            && self.pages.iter().all(|p| p.is_empty())
-            && self.runs.iter().all(|r| r.record_count() == 0)
-    }
 }
 
 /// Cap on the per-partition record freelist (bounds the memory retained
@@ -1145,6 +1293,20 @@ impl Default for StepScratch {
             group: Vec::new(),
         }
     }
+}
+
+/// The run-wide communication state of the superstep loop: one page channel
+/// carries every superstep exchange and one barrier channel carries the
+/// per-superstep stats agreement.  Both are allocated before the first
+/// superstep, in the same order on every process (the transport's SPMD
+/// contract).
+struct SuperstepComms {
+    /// The cluster shape (a single-process run is a cluster of one).
+    cluster: ClusterSpec,
+    /// The channel the superstep exchange ships sealed pages through.
+    channel: SharedPageChannel,
+    /// The barrier channel of the per-superstep stats all-gather.
+    stats_channel: ChannelId,
 }
 
 /// What one partition produces during a superstep.
@@ -1646,5 +1808,199 @@ mod tests {
         assert!(total_changed >= 4);
         assert!(result.stats.per_iteration[0].elements_inspected > 0);
         assert!(result.stats.total_messages() > 0);
+    }
+
+    /// Binds an ephemeral port and frees it, yielding an address a test
+    /// cluster can use as its coordinator without colliding with parallel
+    /// tests.
+    fn free_coordinator_addr() -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        drop(listener);
+        addr.to_string()
+    }
+
+    /// Runs `min_propagation` as a 2-process TCP cluster (both processes in
+    /// this test process, connected through real sockets) and returns both
+    /// workers' results in index order.
+    fn run_tcp_cluster(
+        configure: impl Fn(WorksetConfig) -> WorksetConfig + Send + Sync,
+    ) -> Vec<WorksetResult> {
+        let coordinator = free_coordinator_addr();
+        let configure = &configure;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|index| {
+                    let coordinator = coordinator.clone();
+                    scope.spawn(move || {
+                        let spec = ClusterSpec::new(2, index).expect("spec");
+                        let transport = TransportHandle::tcp_cluster(
+                            spec,
+                            &coordinator,
+                            &FaultInjector::disabled(),
+                        )
+                        .expect("cluster connects");
+                        let (solution, workset) = initial_state();
+                        min_propagation()
+                            .run(
+                                solution,
+                                workset,
+                                &configure(WorksetConfig::new(4).with_transport(transport)),
+                            )
+                            .expect("cluster run")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread"))
+                .collect()
+        })
+    }
+
+    /// Asserts that concatenating the cluster's per-worker results in index
+    /// order reproduces the single-process oracle byte for byte — same
+    /// solution records, same superstep count, and identical per-superstep
+    /// stats rows on every worker.
+    fn assert_matches_oracle(results: &[WorksetResult], oracle: &WorksetResult) {
+        let combined: Vec<Record> = results
+            .iter()
+            .flat_map(|r| r.solution.iter().cloned())
+            .collect();
+        assert_eq!(combined, oracle.solution);
+        for result in results {
+            assert_eq!(result.supersteps, oracle.supersteps);
+            assert_eq!(result.converged, oracle.converged);
+            assert_eq!(
+                result.stats.per_iteration.len(),
+                oracle.stats.per_iteration.len()
+            );
+            for (ours, theirs) in result
+                .stats
+                .per_iteration
+                .iter()
+                .zip(&oracle.stats.per_iteration)
+            {
+                assert_eq!(ours.workset_size, theirs.workset_size);
+                assert_eq!(ours.elements_inspected, theirs.elements_inspected);
+                assert_eq!(ours.elements_changed, theirs.elements_changed);
+                assert_eq!(ours.messages_sent, theirs.messages_sent);
+                assert_eq!(ours.messages_shipped, theirs.messages_shipped);
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_cluster_matches_the_single_process_run_superstep_for_superstep() {
+        let (solution, workset) = initial_state();
+        let oracle = min_propagation()
+            .run(solution, workset, &WorksetConfig::new(4))
+            .unwrap();
+        let results = run_tcp_cluster(|config| config);
+        assert_matches_oracle(&results, &oracle);
+    }
+
+    #[test]
+    fn tcp_cluster_matches_the_oracle_in_microstep_and_range_modes() {
+        for (mode, routing) in [
+            (ExecutionMode::Microstep, WorksetRouting::Hash),
+            (ExecutionMode::BatchIncremental, WorksetRouting::Range),
+        ] {
+            let (solution, workset) = initial_state();
+            let oracle = min_propagation()
+                .run(
+                    solution,
+                    workset,
+                    &WorksetConfig::new(4).with_mode(mode).with_routing(routing),
+                )
+                .unwrap();
+            let results = run_tcp_cluster(|config| config.with_mode(mode).with_routing(routing));
+            assert_matches_oracle(&results, &oracle);
+        }
+    }
+
+    #[test]
+    fn tcp_cluster_ships_spilled_candidate_runs_to_remote_partitions() {
+        // A zero budget spills every sealed candidate page; runs bound for
+        // the remote process must be rematerialized and shipped as pages.
+        let (solution, workset) = initial_state();
+        let oracle = min_propagation()
+            .run(
+                solution,
+                workset,
+                &WorksetConfig::new(4).with_memory_budget(MemoryBudget::bytes(0)),
+            )
+            .unwrap();
+        let results = run_tcp_cluster(|config| config.with_memory_budget(MemoryBudget::bytes(0)));
+        assert_matches_oracle(&results, &oracle);
+    }
+
+    /// A transport stub that reports a multi-process cluster but is never
+    /// exercised — for validation paths that must reject before any
+    /// communication happens.
+    struct TwoProcessStub;
+
+    impl dataflow::transport::Transport<RecordPage> for TwoProcessStub {
+        fn cluster(&self) -> ClusterSpec {
+            ClusterSpec {
+                processes: 2,
+                index: 0,
+            }
+        }
+
+        fn allocate(&self) -> u64 {
+            unreachable!("validation rejects before allocating channels")
+        }
+
+        fn channel(&self, _id: ChannelId, _partitions: usize) -> SharedPageChannel {
+            unreachable!("validation rejects before opening channels")
+        }
+
+        fn all_gather(
+            &self,
+            _id: ChannelId,
+            _round: u64,
+            _values: &[u64],
+        ) -> std::result::Result<Vec<Vec<u64>>, dataflow::prelude::CommError> {
+            unreachable!("validation rejects before gathering")
+        }
+    }
+
+    #[test]
+    fn cluster_mode_rejects_unsupported_configurations() {
+        let distributed = || TransportHandle::from_transport(Arc::new(TwoProcessStub));
+        let iteration = min_propagation();
+        let (solution, workset) = initial_state();
+        // Parallelism must split evenly over the processes.
+        let err = iteration
+            .run(
+                solution.clone(),
+                workset.clone(),
+                &WorksetConfig::new(3).with_transport(distributed()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DataflowError::CommSetup(_)), "{err}");
+        // Asynchronous execution has no superstep barrier to synchronize on.
+        let err = iteration
+            .run(
+                solution.clone(),
+                workset.clone(),
+                &WorksetConfig::new(4)
+                    .with_mode(ExecutionMode::AsynchronousMicrostep)
+                    .with_transport(distributed()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DataflowError::InvalidPlan(_)), "{err}");
+        // Checkpointing is single-process.
+        let err = iteration
+            .run(
+                solution,
+                workset,
+                &WorksetConfig::new(4)
+                    .with_checkpoint(1, std::env::temp_dir().join("never-written"))
+                    .with_transport(distributed()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DataflowError::InvalidPlan(_)), "{err}");
     }
 }

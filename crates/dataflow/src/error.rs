@@ -46,6 +46,28 @@ pub enum DataflowError {
         /// The panic message, when the payload was a string.
         message: String,
     },
+    /// A transport stream delivered bytes that fail validation: bad frame
+    /// magic, a checksum mismatch, or a frame truncated mid-payload.
+    TornStream {
+        /// The peer process whose stream tore.
+        peer: usize,
+        /// What failed validation.
+        detail: String,
+    },
+    /// A peer process disconnected (or its connection died) while the
+    /// exchange still owed or expected data from it.
+    PeerLost {
+        /// The peer process that was lost.
+        peer: usize,
+        /// How the loss was observed.
+        detail: String,
+    },
+    /// A transport receive or barrier waited past its deadline — the
+    /// distributed-deadlock detector tripping instead of hanging forever.
+    CommTimeout(String),
+    /// Cluster setup failed: bad handshake, rendezvous timeout, or an
+    /// invalid cluster specification.
+    CommSetup(String),
     /// Recovery retried up to its bound and every attempt failed; carries the
     /// last underlying error.
     RecoveryExhausted {
@@ -87,6 +109,14 @@ impl fmt::Display for DataflowError {
                 f,
                 "worker task panicked in '{operator}' (superstep {superstep}): {message}"
             ),
+            DataflowError::TornStream { peer, detail } => {
+                write!(f, "torn stream from peer {peer}: {detail}")
+            }
+            DataflowError::PeerLost { peer, detail } => {
+                write!(f, "lost peer {peer}: {detail}")
+            }
+            DataflowError::CommTimeout(msg) => write!(f, "transport timed out: {msg}"),
+            DataflowError::CommSetup(msg) => write!(f, "cluster setup failed: {msg}"),
             DataflowError::RecoveryExhausted {
                 superstep,
                 retries,
@@ -116,6 +146,19 @@ impl From<std::io::Error> for DataflowError {
             };
         }
         DataflowError::SpillIo(error.to_string())
+    }
+}
+
+impl From<comm::CommError> for DataflowError {
+    fn from(error: comm::CommError) -> DataflowError {
+        match error {
+            comm::CommError::TornStream { peer, detail } => {
+                DataflowError::TornStream { peer, detail }
+            }
+            comm::CommError::PeerLost { peer, detail } => DataflowError::PeerLost { peer, detail },
+            comm::CommError::Timeout { waiting_for } => DataflowError::CommTimeout(waiting_for),
+            comm::CommError::Handshake(detail) => DataflowError::CommSetup(detail),
+        }
     }
 }
 

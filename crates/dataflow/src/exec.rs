@@ -43,6 +43,7 @@ use crate::range::{sample_keys_into, sort_by_key_normalized, RangeBounds};
 use crate::record::Record;
 use crate::spill::{write_run_in, MemoryBudget, RunMerger, SpillManager, SpillStats, SpilledRun};
 use crate::stats::{ExecutionStats, OperatorStats};
+use crate::transport::TransportHandle;
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -68,6 +69,11 @@ pub struct ExecConfig {
     /// page-native paths run whenever an input qualifies); the equivalence
     /// suites flip it to check both paths produce byte-identical results.
     pub force_materialized: bool,
+    /// The transport every repartitioning exchange ships its sealed pages
+    /// through.  Defaults to the in-process backend (pointer-moving channels
+    /// in a cluster of one); the batch executor rejects multi-process
+    /// transports — distribution enters through the iteration runtime.
+    pub transport: TransportHandle,
 }
 
 impl ExecConfig {
@@ -92,6 +98,12 @@ impl ExecConfig {
     /// [`ExecConfig::force_materialized`]).
     pub fn with_force_materialized(mut self, force: bool) -> Self {
         self.force_materialized = force;
+        self
+    }
+
+    /// Sets the exchange transport.
+    pub fn with_transport(mut self, transport: TransportHandle) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -289,6 +301,16 @@ impl Executor {
         if parallelism == 0 {
             return Err(DataflowError::InvalidPlan(
                 "parallelism must be at least 1".into(),
+            ));
+        }
+        // The batch executor is single-process: every exchange ships through
+        // the transport, but cluster execution (partition ownership, global
+        // convergence) is the iteration runtime's job.
+        if self.config.transport.is_distributed() {
+            return Err(DataflowError::CommSetup(
+                "the batch executor runs single-process; multi-process clusters \
+                 drive the iteration runtime instead"
+                    .into(),
             ));
         }
 
@@ -788,6 +810,7 @@ fn exchange(
                 keys,
                 parallelism,
                 &spill,
+                &config.transport,
                 stats,
             )?))
         }
@@ -800,6 +823,7 @@ fn exchange(
                 bounds.expect("executor built range bounds"),
                 parallelism,
                 &spill,
+                &config.transport,
                 stats,
             )?))
         }
@@ -891,14 +915,16 @@ fn route_source<'a>(
 
 /// The paged repartitioning skeleton shared by the hash and range exchanges.
 /// Every producer partition routes its records concurrently on the worker
-/// pool (serializing outbound records into per-target pages); the gather
-/// step that stands in for the network then moves sealed page pointers and
-/// local record buffers — it never touches a record.
+/// pool (serializing outbound records into per-target pages); the sealed
+/// pages then ship through the transport's page channel — pointer moves on
+/// the in-process backend, framed bytes on TCP — while local record buffers
+/// and spilled-run handles (disk is node-local) move directly.
 fn route_paged(
     producer: ProducerInput,
     router: &(impl Fn(&Record) -> usize + Sync),
     parallelism: usize,
     spill: &SpillManager,
+    transport: &TransportHandle,
     stats: &mut ExecutionStats,
 ) -> Result<Vec<ExchangedPartition>> {
     let sources = producer.partitions().len();
@@ -992,8 +1018,9 @@ fn route_paged(
         .collect::<Result<_>>()?;
 
     // Gather: partition `t` keeps the records that never left it and receives
-    // the sealed pages (and spilled-run handles) every producer addressed to
-    // it.  Pure pointer moves — spilled bytes stay on disk.
+    // the sealed pages every producer addressed to it through the page
+    // channel; spilled-run handles move directly (the run files are
+    // node-local).  On the in-process backend this is pure pointer moves.
     let mut result: Vec<ExchangedPartition> = routed
         .iter_mut()
         .map(|source| {
@@ -1007,12 +1034,24 @@ fn route_paged(
         })
         .collect();
     result.resize_with(parallelism, ExchangedPartition::default);
-    for source in routed {
+    let channel = transport.fresh_channel(parallelism);
+    for (src, source) in routed.into_iter().enumerate() {
         for (target, pages) in source.pages.into_iter().enumerate() {
-            result[target].receive_pages(pages);
+            channel.send(0, src, target, pages)?;
         }
+        channel.finish_round(0, src)?;
         for (target, runs) in source.runs.into_iter().enumerate() {
             result[target].receive_runs(runs);
+        }
+    }
+    // A producer narrower than the consumer still owes the channel one
+    // end-of-round per missing source, or the receivers would wait for it.
+    for src in sources..parallelism {
+        channel.finish_round(0, src)?;
+    }
+    for (target, slot) in result.iter_mut().enumerate() {
+        for (_, pages) in channel.recv(0, target)? {
+            slot.receive_pages(pages);
         }
     }
     Ok(result)
@@ -1024,6 +1063,7 @@ fn paged_exchange(
     keys: &[usize],
     parallelism: usize,
     spill: &SpillManager,
+    transport: &TransportHandle,
     stats: &mut ExecutionStats,
 ) -> Result<Vec<ExchangedPartition>> {
     route_paged(
@@ -1031,6 +1071,7 @@ fn paged_exchange(
         &|record: &Record| partition_for(record, keys, parallelism),
         parallelism,
         spill,
+        transport,
         stats,
     )
 }
@@ -1049,6 +1090,7 @@ fn range_exchange(
     bounds: &RangeBounds,
     parallelism: usize,
     spill: &SpillManager,
+    transport: &TransportHandle,
     stats: &mut ExecutionStats,
 ) -> Result<Vec<ExchangedPartition>> {
     let routed = route_paged(
@@ -1056,6 +1098,7 @@ fn range_exchange(
         &|record: &Record| bounds.partition_for_record(record, keys),
         parallelism,
         spill,
+        transport,
         stats,
     )?;
     let mut sorted: Vec<Option<ExchangedPartition>> = routed.into_iter().map(Some).collect();
@@ -2293,7 +2336,15 @@ mod tests {
                 ProducerInput::Shared(Arc::new(producer.clone()))
             };
             let spill = SpillManager::new(MemoryBudget::unlimited(), Some(vec![0]));
-            let exchanged = paged_exchange(input, &[0], parallelism, &spill, &mut stats).unwrap();
+            let exchanged = paged_exchange(
+                input,
+                &[0],
+                parallelism,
+                &spill,
+                &TransportHandle::default(),
+                &mut stats,
+            )
+            .unwrap();
             assert!(
                 stats.shipped_pages > 0,
                 "cross-partition data moves as pages"
@@ -2378,6 +2429,7 @@ mod tests {
             &bounds,
             parallelism,
             &spill,
+            &TransportHandle::default(),
             &mut stats,
         )
         .unwrap();
@@ -2527,6 +2579,7 @@ mod tests {
             &bounds,
             parallelism,
             &spill,
+            &TransportHandle::default(),
             &mut stats,
         )
         .unwrap();

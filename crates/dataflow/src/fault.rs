@@ -43,15 +43,19 @@ pub enum FaultSite {
     /// Dispatching a worker task on the pool (the injected failure is a task
     /// panic, not an I/O error).
     WorkerPanic,
+    /// Writing a frame to a transport connection (the injected failure is a
+    /// dropped connection — the peer observes it too).
+    ConnDrop,
 }
 
 /// All sites, in index order.
-pub const FAULT_SITES: [FaultSite; 5] = [
+pub const FAULT_SITES: [FaultSite; 6] = [
     FaultSite::SpillWrite,
     FaultSite::SpillRead,
     FaultSite::CheckpointWrite,
     FaultSite::CheckpointRead,
     FaultSite::WorkerPanic,
+    FaultSite::ConnDrop,
 ];
 
 impl FaultSite {
@@ -62,6 +66,7 @@ impl FaultSite {
             FaultSite::CheckpointWrite => 2,
             FaultSite::CheckpointRead => 3,
             FaultSite::WorkerPanic => 4,
+            FaultSite::ConnDrop => 5,
         }
     }
 
@@ -73,6 +78,7 @@ impl FaultSite {
             FaultSite::CheckpointWrite => "checkpoint_write",
             FaultSite::CheckpointRead => "checkpoint_read",
             FaultSite::WorkerPanic => "worker_panic",
+            FaultSite::ConnDrop => "conn_drop",
         }
     }
 
@@ -89,6 +95,7 @@ impl FaultSite {
             0x94d0_49bb_1331_11eb,
             0xd6e8_feb8_6659_fd93,
             0xa076_1d64_78bd_642f,
+            0xc2b2_ae3d_27d4_eb4f,
         ][self.index()]
     }
 }
@@ -113,15 +120,15 @@ fn splitmix64(mut x: u64) -> u64 {
 struct Inner {
     seed: u64,
     /// Per-site fault probability in [0, 1].
-    rates: [f64; 5],
+    rates: [f64; 6],
     /// Exact mode: fail precisely the n-th event (0-based) at one site and
     /// nothing else.  Takes precedence over the rates.
     exact: Option<(FaultSite, u64)>,
     /// Events seen per site (the event sequence number is what makes the
     /// decision deterministic, not wall-clock or thread timing).
-    seen: [AtomicU64; 5],
+    seen: [AtomicU64; 6],
     /// Faults injected per site.
-    injected: [AtomicU64; 5],
+    injected: [AtomicU64; 6],
 }
 
 /// The deterministic fault decision function.  Cloning shares the counters,
@@ -163,7 +170,7 @@ impl FaultInjector {
         FaultInjector {
             inner: Some(Arc::new(Inner {
                 seed,
-                rates: [0.0; 5],
+                rates: [0.0; 6],
                 exact: None,
                 seen: Default::default(),
                 injected: Default::default(),
@@ -177,7 +184,7 @@ impl FaultInjector {
         FaultInjector {
             inner: Some(Arc::new(Inner {
                 seed: 0,
-                rates: [0.0; 5],
+                rates: [0.0; 6],
                 exact: Some((site, n)),
                 seen: Default::default(),
                 injected: Default::default(),
@@ -190,7 +197,7 @@ impl FaultInjector {
     pub fn with_rate(self, site: FaultSite, rate: f64) -> FaultInjector {
         let (seed, mut rates, exact) = match &self.inner {
             Some(inner) => (inner.seed, inner.rates, inner.exact),
-            None => (0, [0.0; 5], None),
+            None => (0, [0.0; 6], None),
         };
         rates[site.index()] = rate.clamp(0.0, 1.0);
         FaultInjector {

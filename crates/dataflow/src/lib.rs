@@ -66,6 +66,7 @@ pub mod range;
 pub mod record;
 pub mod spill;
 pub mod stats;
+pub mod transport;
 pub mod value;
 
 /// Convenient glob-import of the commonly used types.
@@ -93,7 +94,9 @@ pub mod prelude {
         RunMerger, SpillManager, SpillStats, SpilledRun, SpillingWriter,
     };
     pub use crate::stats::{ExecutionStats, OperatorStats};
+    pub use crate::transport::{conn_drop_hook, SharedPageChannel, TransportHandle};
     pub use crate::value::Value;
+    pub use comm::{ChannelId, ClusterSpec, CommError};
 }
 
 pub use prelude::*;

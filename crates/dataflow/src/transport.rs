@@ -1,0 +1,228 @@
+//! The engine's binding to the `comm` transport layer.
+//!
+//! `comm` is payload-generic; this module pins it to the engine's sealed
+//! [`RecordPage`] — a [`comm::WireCodec`] implementation over the page's raw
+//! framed bytes (serialization is a memcpy, deserialization a validation
+//! walk) — and wraps the `Arc<dyn Transport>` in a cloneable
+//! [`TransportHandle`] the configuration objects carry.  The default handle
+//! is the in-process backend, so single-process execution pays no setup and
+//! no serialization; a cluster run swaps in [`comm::tcp::TcpTransport`]
+//! without touching operator code.
+
+use crate::error::{DataflowError, Result};
+use crate::fault::{FaultInjector, FaultSite};
+use crate::page::RecordPage;
+use comm::tcp::{TcpOptions, TcpTransport};
+use comm::{ChannelId, ClusterSpec, FaultHook, LocalTransport};
+use std::sync::Arc;
+
+pub use comm::{PageChannel, Transport};
+
+impl comm::WireCodec for RecordPage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.record_count() as u32).to_le_bytes());
+        out.extend_from_slice(self.bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> std::result::Result<RecordPage, String> {
+        let count = bytes
+            .get(0..4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .ok_or_else(|| "page missing record-count prefix".to_owned())?
+            as usize;
+        let buf = &bytes[4..];
+        // The frame CRC already vouches for transport integrity; this walk
+        // vouches for structure, so a malformed page can never plant an
+        // out-of-bounds offset inside the engine.
+        let mut offset = 0usize;
+        for _ in 0..count {
+            let len = buf
+                .get(offset..offset + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                .ok_or_else(|| "page record frame truncated".to_owned())?
+                as usize;
+            offset += 4;
+            if buf.len() - offset < len {
+                return Err("page record payload truncated".to_owned());
+            }
+            offset += len;
+        }
+        if offset != buf.len() {
+            return Err(format!("page has {} trailing bytes", buf.len() - offset));
+        }
+        Ok(RecordPage::from_raw(buf.to_vec(), count))
+    }
+}
+
+/// The channel type every exchange ships its pages through.
+pub type SharedPageChannel = Arc<dyn PageChannel<RecordPage>>;
+
+/// A cloneable handle on the process's transport, carried by the execution
+/// configs.  [`TransportHandle::default`] is the in-process backend — a
+/// single-process cluster with pointer-moving channels.
+#[derive(Clone)]
+pub struct TransportHandle {
+    inner: Arc<dyn Transport<RecordPage>>,
+}
+
+impl Default for TransportHandle {
+    fn default() -> Self {
+        TransportHandle::local()
+    }
+}
+
+impl std::fmt::Debug for TransportHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransportHandle")
+            .field("cluster", &self.cluster())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TransportHandle {
+    /// The in-process backend (a cluster of one).
+    pub fn local() -> TransportHandle {
+        TransportHandle {
+            inner: Arc::new(LocalTransport::new()),
+        }
+    }
+
+    /// Connects the TCP backend: rendezvous through `coordinator`, full mesh
+    /// between the cluster's processes.  `fault` (when enabled) injects
+    /// connection drops at its [`FaultSite::ConnDrop`] site.
+    pub fn tcp_cluster(
+        spec: ClusterSpec,
+        coordinator: &str,
+        fault: &FaultInjector,
+    ) -> Result<TransportHandle> {
+        let options = TcpOptions {
+            fault_hook: conn_drop_hook(fault),
+            ..TcpOptions::default()
+        };
+        let transport = TcpTransport::connect_with(spec, coordinator, options)?;
+        Ok(TransportHandle {
+            inner: Arc::new(transport),
+        })
+    }
+
+    /// Wraps an already-built transport.
+    pub fn from_transport(inner: Arc<dyn Transport<RecordPage>>) -> TransportHandle {
+        TransportHandle { inner }
+    }
+
+    /// The cluster this handle connects.
+    pub fn cluster(&self) -> ClusterSpec {
+        self.inner.cluster()
+    }
+
+    /// True when this process is part of a multi-process cluster.
+    pub fn is_distributed(&self) -> bool {
+        self.cluster().processes > 1
+    }
+
+    /// Allocates a channel group id (see the SPMD contract in `comm`).
+    pub fn allocate(&self) -> u64 {
+        self.inner.allocate()
+    }
+
+    /// Opens the page channel for `id` across `partitions` global partitions.
+    pub fn channel(&self, id: ChannelId, partitions: usize) -> SharedPageChannel {
+        self.inner.channel(id, partitions)
+    }
+
+    /// Opens a freshly allocated single-edge channel — the common case for
+    /// one dataflow exchange.
+    pub fn fresh_channel(&self, partitions: usize) -> SharedPageChannel {
+        self.channel(ChannelId::new(self.allocate(), 0), partitions)
+    }
+
+    /// Cluster-wide value exchange and barrier at `(id, round)`; returns
+    /// every process's `values`, indexed by process.
+    pub fn all_gather(&self, id: ChannelId, round: u64, values: &[u64]) -> Result<Vec<Vec<u64>>> {
+        self.inner
+            .all_gather(id, round, values)
+            .map_err(DataflowError::from)
+    }
+}
+
+/// Adapts the engine's seeded [`FaultInjector`] to the transport's
+/// [`FaultHook`]: each outbound frame is one event at
+/// [`FaultSite::ConnDrop`].  Returns `None` when injection is disabled so
+/// the disabled path stays free.
+pub fn conn_drop_hook(fault: &FaultInjector) -> Option<FaultHook> {
+    if !fault.is_enabled() {
+        return None;
+    }
+    let fault = fault.clone();
+    Some(Arc::new(move || {
+        fault.io_check(FaultSite::ConnDrop).is_err()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageWriter;
+    use crate::record::Record;
+    use comm::WireCodec;
+
+    fn sample_page() -> Arc<RecordPage> {
+        let mut writer = PageWriter::new();
+        for i in 0..100 {
+            writer.push(&Record::pair(i, i * 2));
+        }
+        writer.finish().into_iter().next().expect("one page")
+    }
+
+    #[test]
+    fn record_pages_round_trip_through_the_wire_codec() {
+        let page = sample_page();
+        let mut wire = Vec::new();
+        page.encode(&mut wire);
+        let back = RecordPage::decode(&wire).expect("decodes");
+        assert_eq!(back.record_count(), page.record_count());
+        assert_eq!(back.byte_len(), page.byte_len());
+        let records: Vec<Record> = back.reader().map(|v| v.materialize()).collect();
+        assert_eq!(records[3], Record::pair(3, 6));
+    }
+
+    #[test]
+    fn torn_page_bytes_fail_decode_instead_of_planting_bad_offsets() {
+        let page = sample_page();
+        let mut wire = Vec::new();
+        page.encode(&mut wire);
+        // Claim one more record than the payload holds.
+        let count = page.record_count() as u32 + 1;
+        wire[0..4].copy_from_slice(&count.to_le_bytes());
+        assert!(RecordPage::decode(&wire).is_err());
+        // Truncate the payload mid-record.
+        let mut torn = Vec::new();
+        page.encode(&mut torn);
+        torn.truncate(torn.len() - 3);
+        assert!(RecordPage::decode(&torn).is_err());
+        // Empty input.
+        assert!(RecordPage::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn default_handle_is_a_single_process_cluster() {
+        let handle = TransportHandle::default();
+        assert!(!handle.is_distributed());
+        assert_eq!(handle.cluster(), ClusterSpec::single());
+        let gathered = handle
+            .all_gather(ChannelId::new(0, 0), 0, &[1, 2, 3])
+            .unwrap();
+        assert_eq!(gathered, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn conn_drop_hook_follows_the_injector_schedule() {
+        assert!(conn_drop_hook(&FaultInjector::disabled()).is_none());
+        let fault = FaultInjector::failing_nth(FaultSite::ConnDrop, 1);
+        let hook = conn_drop_hook(&fault).expect("enabled injector adapts");
+        assert!(!hook()); // event 0
+        assert!(hook()); // event 1 fires
+        assert!(!hook()); // event 2
+        assert_eq!(fault.injected(FaultSite::ConnDrop), 1);
+    }
+}

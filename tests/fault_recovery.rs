@@ -297,3 +297,63 @@ fn env_driven_fault_smoke() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A seeded connection drop in a two-process TCP cluster must surface as a
+/// typed transport error on both sides — never a hang.  Worker 0 carries a
+/// `FaultSite::ConnDrop` injector that tears its connections down on the
+/// third outbound frame; worker 1 is fault-free and observes the loss
+/// through its sockets.
+#[test]
+fn injected_connection_drop_fails_both_cluster_workers_with_typed_errors() {
+    use algorithms::cc_workset_records;
+    use dataflow::prelude::{ClusterSpec, TransportHandle};
+    use graphdata::{rmat, RmatParams};
+
+    // Bind-then-drop: a coordinator port that stays free for the rendezvous.
+    let coordinator = std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("probe listener")
+        .local_addr()
+        .expect("probe address")
+        .to_string();
+    let graph = rmat(300, 1200, RmatParams::default(), 23).symmetrize();
+    let errors = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|index| {
+                let coordinator = coordinator.clone();
+                let graph = &graph;
+                scope.spawn(move || {
+                    let fault = if index == 0 {
+                        FaultInjector::failing_nth(FaultSite::ConnDrop, 3)
+                    } else {
+                        FaultInjector::disabled()
+                    };
+                    let spec = ClusterSpec::new(2, index).unwrap();
+                    let transport = TransportHandle::tcp_cluster(spec, &coordinator, &fault)
+                        .expect("cluster rendezvous");
+                    // Pin compute faults off so the connection drop is the
+                    // only injected failure even under the CI fault matrix.
+                    let config = ComponentsConfig::new(4)
+                        .with_fault(FaultInjector::disabled())
+                        .with_transport(transport);
+                    cc_workset_records(graph, &config, ExecutionMode::BatchIncremental)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect::<Vec<_>>()
+    });
+    for (index, result) in errors.into_iter().enumerate() {
+        let err = result.expect_err("the dropped connection must fail the run");
+        assert!(
+            matches!(
+                err,
+                DataflowError::PeerLost { .. }
+                    | DataflowError::TornStream { .. }
+                    | DataflowError::CommTimeout(_)
+            ),
+            "worker {index}: expected a typed transport error, got {err:?}"
+        );
+    }
+}
