@@ -66,6 +66,13 @@ pub struct ComponentsConfig {
     /// the worker's owned partitions instead of densifying).  The bulk
     /// variant is single-process and ignores it.
     pub transport: TransportHandle,
+    /// Per-edge credit pool of the workset variants' channels (see
+    /// `WorksetConfig::channel_credits`): the asynchronous variant bounds
+    /// each worker→worker queue to this many records, the superstep variants
+    /// spill an outbox once it holds this many sealed pages.  `None` falls
+    /// back to `SPINNING_CHANNEL_CREDITS` or the unbounded-equivalent
+    /// defaults; results are identical either way.
+    pub channel_credits: Option<usize>,
 }
 
 impl ComponentsConfig {
@@ -79,6 +86,7 @@ impl ComponentsConfig {
             checkpoint: None,
             fault: FaultInjector::from_env(),
             transport: TransportHandle::default(),
+            channel_credits: None,
         }
     }
 
@@ -130,6 +138,14 @@ impl ComponentsConfig {
     /// over (see [`ComponentsConfig::transport`]).
     pub fn with_transport(mut self, transport: TransportHandle) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Bounds the workset variants' channels to `credits` records (async) or
+    /// sealed pages (superstep outboxes) per edge — see
+    /// [`ComponentsConfig::channel_credits`].  Clamped to at least 1.
+    pub fn with_channel_credits(mut self, credits: usize) -> Self {
+        self.channel_credits = Some(credits.max(1));
         self
     }
 }
@@ -308,6 +324,9 @@ pub fn cc_workset_records(
         .with_transport(config.transport.clone());
     if let Some(policy) = &config.checkpoint {
         workset_config = workset_config.with_checkpoint_policy(policy.clone());
+    }
+    if let Some(credits) = config.channel_credits {
+        workset_config = workset_config.with_channel_credits(credits);
     }
     iteration.run(
         initial_components(graph),

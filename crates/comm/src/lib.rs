@@ -49,13 +49,83 @@ pub const TIMEOUT_ENV: &str = "SPINNING_COMM_TIMEOUT_SECS";
 /// Default blocking-wait bound in seconds (see [`TIMEOUT_ENV`]).
 pub const DEFAULT_TIMEOUT_SECS: u64 = 300;
 
-/// Reads the configured blocking-wait bound from the environment.
+/// Parses a [`TIMEOUT_ENV`] value.  `None` / empty means "unset" (use the
+/// default); a malformed or zero value is an error — zero would turn every
+/// blocking wait into an instant timeout, and silently ignoring garbage hid
+/// misconfigured clusters behind the 300s default.
+pub fn parse_timeout_secs(raw: Option<&str>) -> Result<Option<u64>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<u64>() {
+        Ok(0) => Err(format!(
+            "{TIMEOUT_ENV}={trimmed:?} must be at least 1 second"
+        )),
+        Ok(secs) => Ok(Some(secs)),
+        Err(_) => Err(format!(
+            "{TIMEOUT_ENV}={trimmed:?} is not a whole number of seconds"
+        )),
+    }
+}
+
+/// Reads the configured blocking-wait bound from the environment.  A
+/// malformed or zero value is rejected loudly (a stderr warning, falling back
+/// to the default) instead of being silently ignored.
 pub fn timeout_from_env() -> Duration {
-    let secs = std::env::var(TIMEOUT_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .unwrap_or(DEFAULT_TIMEOUT_SECS);
-    Duration::from_secs(secs.max(1))
+    let raw = std::env::var(TIMEOUT_ENV).ok();
+    let secs = match parse_timeout_secs(raw.as_deref()) {
+        Ok(secs) => secs.unwrap_or(DEFAULT_TIMEOUT_SECS),
+        Err(detail) => {
+            eprintln!("warning: {detail}; using the {DEFAULT_TIMEOUT_SECS}s default");
+            DEFAULT_TIMEOUT_SECS
+        }
+    };
+    Duration::from_secs(secs)
+}
+
+/// Environment variable configuring the per-edge credit count of the bounded
+/// channels: records in flight per sender→receiver edge in the async
+/// microstep runtime, in-memory sealed pages per outbox writer in the
+/// superstep exchange, and (clamped to at least
+/// [`tcp::MIN_ROUND_WINDOW`]) the per-peer round window of the TCP
+/// transport.  Unset means each layer's own default; memory per edge is
+/// bounded by `credits × page_size`.
+pub const CHANNEL_CREDITS_ENV: &str = "SPINNING_CHANNEL_CREDITS";
+
+/// Parses a [`CHANNEL_CREDITS_ENV`] value.  `None` / empty means "unset";
+/// malformed or zero values are errors (zero credits could never send
+/// anything).
+pub fn parse_channel_credits(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{CHANNEL_CREDITS_ENV}={trimmed:?} must be at least 1 credit"
+        )),
+        Ok(credits) => Ok(Some(credits)),
+        Err(_) => Err(format!(
+            "{CHANNEL_CREDITS_ENV}={trimmed:?} is not a whole number of credits"
+        )),
+    }
+}
+
+/// Reads the configured channel credit count from the environment, warning
+/// loudly on stderr (and treating the variable as unset) when the value is
+/// malformed or zero.
+pub fn channel_credits_from_env() -> Option<usize> {
+    let raw = std::env::var(CHANNEL_CREDITS_ENV).ok();
+    match parse_channel_credits(raw.as_deref()) {
+        Ok(credits) => credits,
+        Err(detail) => {
+            eprintln!("warning: {detail}; channel credits left at their defaults");
+            None
+        }
+    }
 }
 
 // --- Cluster shape -----------------------------------------------------------
@@ -361,6 +431,18 @@ impl<P> Inbox<P> {
         self.cv.notify_all();
     }
 
+    /// The typed error recorded for `peer`, if its connection died — lets
+    /// the TCP round-window waiters fail fast instead of waiting out their
+    /// deadline on a credit a dead peer can never grant.
+    pub(crate) fn dead_error(&self, peer: usize) -> Option<CommError> {
+        self.state
+            .lock()
+            .expect("inbox lock")
+            .dead
+            .get(&peer)
+            .cloned()
+    }
+
     /// Delivers a batch of pages into `(id, round, from, to)`.
     ///
     /// Insertions never fail on a poisoned inbox: a peer that finished its
@@ -410,8 +492,10 @@ impl<P> Inbox<P> {
     /// Blocks until all `partitions` sources finished `(id, round)`, then
     /// drains target `to`'s batches in source order.  `owned_targets` bounds
     /// the round's lifetime: once every owned target drained, the round's
-    /// state is dropped.  `owner` maps a source partition to the process
-    /// that hosts it, so a dead peer only fails waits it still owes data.
+    /// state is dropped and the returned flag is `true` — the TCP backend
+    /// uses that edge to grant its peers a fresh round credit.  `owner` maps
+    /// a source partition to the process that hosts it, so a dead peer only
+    /// fails waits it still owes data.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn wait_recv(
         &self,
@@ -422,7 +506,7 @@ impl<P> Inbox<P> {
         owned_targets: usize,
         timeout: Duration,
         owner: impl Fn(usize) -> usize,
-    ) -> Result<SourceBatches<P>, CommError> {
+    ) -> Result<(SourceBatches<P>, bool), CommError> {
         let deadline = Instant::now() + timeout;
         let mut state = self.state.lock().expect("inbox lock");
         loop {
@@ -479,10 +563,11 @@ impl<P> Inbox<P> {
             .map(|by_from| by_from.into_iter().collect())
             .unwrap_or_default();
         round_state.drained.insert(to);
-        if round_state.drained.len() >= owned_targets {
+        let round_done = round_state.drained.len() >= owned_targets;
+        if round_done {
             rounds.remove(&round);
         }
-        Ok(batches)
+        Ok((batches, round_done))
     }
 
     /// Records `values` from `process` at `(group, round)` (see
@@ -637,7 +722,7 @@ impl<P: Send + Sync + 'static> PageChannel<P> for LocalChannel<P> {
     }
 
     fn recv(&self, round: u64, to: usize) -> Result<Vec<(usize, Vec<Arc<P>>)>, CommError> {
-        self.inbox.wait_recv(
+        let (batches, _round_done) = self.inbox.wait_recv(
             self.id,
             round,
             to,
@@ -646,7 +731,8 @@ impl<P: Send + Sync + 'static> PageChannel<P> for LocalChannel<P> {
             self.timeout,
             // Single process: every partition lives here.
             |_| 0,
-        )
+        )?;
+        Ok(batches)
     }
 }
 
@@ -776,6 +862,34 @@ mod tests {
         channel.finish_round(1, 0).unwrap();
         let err = channel.recv(1, 0).unwrap_err();
         assert!(matches!(err, CommError::Timeout { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn timeout_parsing_accepts_valid_and_rejects_garbage() {
+        // Valid / unset values pass through.
+        assert_eq!(parse_timeout_secs(None), Ok(None));
+        assert_eq!(parse_timeout_secs(Some("")), Ok(None));
+        assert_eq!(parse_timeout_secs(Some("  ")), Ok(None));
+        assert_eq!(parse_timeout_secs(Some("60")), Ok(Some(60)));
+        assert_eq!(parse_timeout_secs(Some(" 7 ")), Ok(Some(7)));
+        // Malformed and zero values are rejected, not silently defaulted.
+        let err = parse_timeout_secs(Some("5 minutes")).unwrap_err();
+        assert!(err.contains(TIMEOUT_ENV), "got {err}");
+        let err = parse_timeout_secs(Some("0")).unwrap_err();
+        assert!(err.contains("at least 1"), "got {err}");
+        assert!(parse_timeout_secs(Some("-3")).is_err());
+    }
+
+    #[test]
+    fn channel_credit_parsing_accepts_valid_and_rejects_garbage() {
+        assert_eq!(parse_channel_credits(None), Ok(None));
+        assert_eq!(parse_channel_credits(Some("")), Ok(None));
+        assert_eq!(parse_channel_credits(Some("2")), Ok(Some(2)));
+        assert_eq!(parse_channel_credits(Some(" 1024 ")), Ok(Some(1024)));
+        let err = parse_channel_credits(Some("lots")).unwrap_err();
+        assert!(err.contains(CHANNEL_CREDITS_ENV), "got {err}");
+        let err = parse_channel_credits(Some("0")).unwrap_err();
+        assert!(err.contains("at least 1"), "got {err}");
     }
 
     #[test]

@@ -27,13 +27,14 @@
 //! error at the superstep barrier — never as a hang.
 
 use crate::{
-    crc32, timeout_from_env, ChannelId, ClusterSpec, CommError, FaultHook, Inbox, PageChannel,
-    Transport, WireCodec,
+    channel_credits_from_env, crc32, timeout_from_env, ChannelId, ClusterSpec, CommError,
+    FaultHook, Inbox, PageChannel, Transport, WireCodec,
 };
+use std::collections::{BTreeSet, HashMap};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Frame and handshake magic: `b"SPNC"` ("spinning comm").
@@ -52,6 +53,21 @@ const HELLO_BYTES: usize = 24;
 const KIND_PAGES: u32 = 1;
 const KIND_END_ROUND: u32 = 2;
 const KIND_ALL_GATHER: u32 = 3;
+const KIND_CREDIT: u32 = 4;
+
+/// Smallest usable per-peer round window.  Two rounds are always in play
+/// under barrier-synchronized supersteps (the round being credited back and
+/// its successor), so [`crate::CHANNEL_CREDITS_ENV`] values below this are
+/// clamped up rather than allowed to deadlock legitimate traffic.
+pub const MIN_ROUND_WINDOW: usize = 2;
+
+/// Per-peer round window when [`crate::CHANNEL_CREDITS_ENV`] is unset.
+pub const DEFAULT_ROUND_WINDOW: usize = 64;
+
+/// Extra rounds a receiver tolerates beyond its own window before declaring
+/// a peer's stream misbehaved: its credit grant for the oldest round may
+/// still be in flight while the peer legitimately opens the newest one.
+const RECV_ROUND_SLACK: usize = 2;
 
 /// Options for [`TcpTransport::connect`].
 #[derive(Clone)]
@@ -64,6 +80,12 @@ pub struct TcpOptions {
     /// Consulted once per outbound data frame; returning `true` drops the
     /// connection at that point (seeded fault injection plugs in here).
     pub fault_hook: Option<FaultHook>,
+    /// How many exchange rounds may be in flight toward one peer before a
+    /// sender blocks waiting for the receiver's credit grant (defaults to
+    /// [`crate::CHANNEL_CREDITS_ENV`] clamped to [`MIN_ROUND_WINDOW`], or
+    /// [`DEFAULT_ROUND_WINDOW`] when unset).  Bounds inbox memory: a slow
+    /// receiver throttles its senders instead of buffering unboundedly.
+    pub round_window: usize,
 }
 
 impl Default for TcpOptions {
@@ -72,6 +94,9 @@ impl Default for TcpOptions {
             rendezvous_timeout: Duration::from_secs(30),
             recv_timeout: timeout_from_env(),
             fault_hook: None,
+            round_window: channel_credits_from_env()
+                .map(|credits| credits.max(MIN_ROUND_WINDOW))
+                .unwrap_or(DEFAULT_ROUND_WINDOW),
         }
     }
 }
@@ -82,7 +107,143 @@ impl std::fmt::Debug for TcpOptions {
             .field("rendezvous_timeout", &self.rendezvous_timeout)
             .field("recv_timeout", &self.recv_timeout)
             .field("fault_hook", &self.fault_hook.is_some())
+            .field("round_window", &self.round_window)
             .finish()
+    }
+}
+
+// --- Round-window flow control -----------------------------------------------
+
+/// `(group, edge) -> peer -> undrained rounds buffered in the inbox`.
+type InboundRounds = HashMap<(u64, u64), HashMap<usize, BTreeSet<u64>>>;
+
+/// Credit-based flow control over exchange rounds, both directions:
+///
+/// * **Sending** — `admit` bounds how many rounds may be open toward one
+///   peer per channel.  A round opens with its first `PAGES`/`END_ROUND`
+///   frame and closes when the peer's `CREDIT` grant arrives (sent when the
+///   peer fully drained the round), so a slow receiver throttles its senders
+///   instead of buffering frames unboundedly.
+/// * **Receiving** — `note_received` mirrors the accounting for inbound
+///   frames and caps how far ahead a peer may run (the window plus
+///   [`RECV_ROUND_SLACK`]), so a misbehaving peer surfaces as a typed torn
+///   stream instead of unbounded inbox growth.
+struct FlowControl {
+    /// `(group, edge, peer) -> rounds opened toward that peer, not yet
+    /// credited back`.
+    sent: Mutex<HashMap<(u64, u64, usize), BTreeSet<u64>>>,
+    /// Wakes `admit` waiters on credit grants and peer death.
+    cv: Condvar,
+    received: Mutex<InboundRounds>,
+    window: usize,
+}
+
+impl FlowControl {
+    fn new(window: usize) -> FlowControl {
+        FlowControl {
+            sent: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            received: Mutex::new(HashMap::new()),
+            window: window.max(1),
+        }
+    }
+
+    /// Blocks until `round` fits in the window toward `peer` (bounded by
+    /// `timeout`).  Fails fast when the peer dies: a dead peer can never
+    /// grant the credit.
+    fn admit<P>(
+        &self,
+        inbox: &Inbox<P>,
+        id: ChannelId,
+        peer: usize,
+        round: u64,
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        let deadline = Instant::now() + timeout;
+        let mut sent = self.sent.lock().expect("flow control lock");
+        loop {
+            let rounds = sent.entry((id.group, id.edge, peer)).or_default();
+            if rounds.contains(&round) || rounds.len() < self.window {
+                rounds.insert(round);
+                return Ok(());
+            }
+            drop(sent);
+            if let Some(error) = inbox.dead_error(peer) {
+                return Err(error);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    waiting_for: format!(
+                        "round-window credit from peer {peer} \
+                         (channel ({}, {}), round {round}, window {})",
+                        id.group, id.edge, self.window
+                    ),
+                });
+            }
+            // Wait in short slices: a wake-up between the dead-peer check
+            // and re-locking is recovered on the next slice.
+            let slice = (deadline - now).min(Duration::from_millis(20));
+            let guard = self.sent.lock().expect("flow control lock");
+            let (guard, _) = self
+                .cv
+                .wait_timeout(guard, slice)
+                .expect("flow control lock");
+            sent = guard;
+        }
+    }
+
+    /// Handles a peer's credit grant: the peer fully drained `round`.
+    fn ack(&self, id: ChannelId, peer: usize, round: u64) {
+        let mut sent = self.sent.lock().expect("flow control lock");
+        if let Some(rounds) = sent.get_mut(&(id.group, id.edge, peer)) {
+            rounds.remove(&round);
+        }
+        drop(sent);
+        self.cv.notify_all();
+    }
+
+    /// Wakes every `admit` waiter (peer death paths call this so waiters
+    /// observe the poison promptly).
+    fn wake(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Records an inbound `PAGES`/`END_ROUND` frame from `peer`, enforcing
+    /// the buffered-ahead cap.
+    fn note_received(&self, id: ChannelId, peer: usize, round: u64) -> Result<(), CommError> {
+        let cap = self.window + RECV_ROUND_SLACK;
+        let mut received = self.received.lock().expect("flow control lock");
+        let rounds = received
+            .entry((id.group, id.edge))
+            .or_default()
+            .entry(peer)
+            .or_default();
+        rounds.insert(round);
+        if rounds.len() > cap {
+            return Err(CommError::TornStream {
+                peer,
+                detail: format!(
+                    "peer ran {} rounds ahead of the receive window (cap {cap}) \
+                     on channel ({}, {})",
+                    rounds.len(),
+                    id.group,
+                    id.edge
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Forgets `round` of channel `id` after the local inbox fully drained
+    /// it (the moment the credit grants go out).
+    fn clear_round(&self, id: ChannelId, round: u64) {
+        let mut received = self.received.lock().expect("flow control lock");
+        if let Some(by_peer) = received.get_mut(&(id.group, id.edge)) {
+            for rounds in by_peer.values_mut() {
+                rounds.remove(&round);
+            }
+        }
     }
 }
 
@@ -109,6 +270,7 @@ struct Shared<P> {
     peers: Vec<Option<Peer>>,
     recv_timeout: Duration,
     fault_hook: Option<FaultHook>,
+    flow: Arc<FlowControl>,
 }
 
 impl<P> Shared<P> {
@@ -125,6 +287,7 @@ impl<P> Shared<P> {
         for process in 0..self.spec.processes {
             self.inbox.poison(process, error.clone());
         }
+        self.flow.wake();
         error
     }
 
@@ -139,8 +302,19 @@ impl<P> Shared<P> {
         to: u64,
         payload: &[u8],
     ) -> Result<(), CommError> {
+        // Round-carrying data frames must fit the peer's round window; the
+        // first frame of a round opens it, the peer's drain credits it back.
+        // CREDIT and ALL_GATHER frames are exempt — grants must never block
+        // on the window they replenish, and gathers are barrier-paced.
+        if kind == KIND_PAGES || kind == KIND_END_ROUND {
+            self.flow
+                .admit(&self.inbox, id, process, round, self.recv_timeout)?;
+        }
+        // CREDIT frames are also exempt from fault injection: the seeded
+        // schedules count data frames, and grants riding the same wire must
+        // not shift those sequences.
         if let Some(hook) = &self.fault_hook {
-            if kind != KIND_END_ROUND && hook() {
+            if kind != KIND_END_ROUND && kind != KIND_CREDIT && hook() {
                 return Err(self.drop_connections("injected connection drop"));
             }
         }
@@ -171,6 +345,7 @@ impl<P> Shared<P> {
                     detail: format!("write failed: {e}"),
                 },
             );
+            self.flow.wake();
         }
         Ok(())
     }
@@ -220,6 +395,7 @@ impl<P: WireCodec + Send + Sync + 'static> TcpTransport<P> {
         options: TcpOptions,
     ) -> Result<TcpTransport<P>, CommError> {
         let inbox = Inbox::new();
+        let flow = Arc::new(FlowControl::new(options.round_window));
         let mut peers: Vec<Option<Peer>> = (0..spec.processes).map(|_| None).collect();
         let deadline = Instant::now() + options.rendezvous_timeout;
         let mut streams: Vec<Option<TcpStream>> = (0..spec.processes).map(|_| None).collect();
@@ -248,7 +424,7 @@ impl<P: WireCodec + Send + Sync + 'static> TcpTransport<P> {
             let reader = stream
                 .try_clone()
                 .map_err(|e| CommError::Handshake(format!("clone stream: {e}")))?;
-            spawn_reader::<P>(process, reader, Arc::clone(&inbox));
+            spawn_reader::<P>(process, reader, Arc::clone(&inbox), Arc::clone(&flow));
             peers[process] = Some(Peer {
                 writer: Mutex::new(stream),
             });
@@ -260,6 +436,7 @@ impl<P: WireCodec + Send + Sync + 'static> TcpTransport<P> {
                 peers,
                 recv_timeout: options.recv_timeout,
                 fault_hook: options.fault_hook,
+                flow,
             }),
             counter: AtomicU64::new(0),
         })
@@ -503,12 +680,15 @@ fn spawn_reader<P: WireCodec + Send + Sync + 'static>(
     peer: usize,
     mut stream: TcpStream,
     inbox: Arc<Inbox<P>>,
+    flow: Arc<FlowControl>,
 ) {
     std::thread::Builder::new()
         .name(format!("comm-reader-{peer}"))
         .spawn(move || {
-            let error = reader_loop(peer, &mut stream, &inbox);
+            let error = reader_loop(peer, &mut stream, &inbox, &flow);
             inbox.poison(peer, error);
+            // An admit waiter blocked on this peer's credit must re-check.
+            flow.wake();
         })
         .expect("spawn comm reader thread");
 }
@@ -517,6 +697,7 @@ fn reader_loop<P: WireCodec + Send + Sync>(
     peer: usize,
     stream: &mut TcpStream,
     inbox: &Inbox<P>,
+    flow: &FlowControl,
 ) -> CommError {
     let torn = |detail: String| CommError::TornStream { peer, detail };
     let lost = |detail: String| CommError::PeerLost { peer, detail };
@@ -568,15 +749,26 @@ fn reader_loop<P: WireCodec + Send + Sync>(
             ));
         }
         match kind {
-            KIND_PAGES => match decode_pages::<P>(&payload) {
-                Ok(pages) => inbox.deliver(id, round, from, to, pages),
-                Err(detail) => return torn(detail),
-            },
-            KIND_END_ROUND => inbox.finish(id, round, from),
+            KIND_PAGES => {
+                if let Err(error) = flow.note_received(id, peer, round) {
+                    return error;
+                }
+                match decode_pages::<P>(&payload) {
+                    Ok(pages) => inbox.deliver(id, round, from, to, pages),
+                    Err(detail) => return torn(detail),
+                }
+            }
+            KIND_END_ROUND => {
+                if let Err(error) = flow.note_received(id, peer, round) {
+                    return error;
+                }
+                inbox.finish(id, round, from)
+            }
             KIND_ALL_GATHER => match decode_gather(&payload) {
                 Ok(values) => inbox.gather_insert(id.group, round, from, values),
                 Err(detail) => return torn(detail),
             },
+            KIND_CREDIT => flow.ack(id, peer, round),
             other => return torn(format!("unknown frame kind {other}")),
         }
     }
@@ -760,7 +952,7 @@ impl<P: WireCodec + Send + Sync + 'static> PageChannel<P> for TcpChannel<P> {
             .checked_div(shared.spec.processes)
             .unwrap_or(self.partitions)
             .max(1);
-        shared.inbox.wait_recv(
+        let (batches, round_done) = shared.inbox.wait_recv(
             self.id,
             round,
             to,
@@ -768,7 +960,29 @@ impl<P: WireCodec + Send + Sync + 'static> PageChannel<P> for TcpChannel<P> {
             owned,
             shared.recv_timeout,
             |source| shared.spec.owner(source, self.partitions),
-        )
+        )?;
+        if round_done {
+            // Every owned target drained: the round's inbox state is gone,
+            // so grant each peer a fresh round credit.  Every peer sent at
+            // least its END_ROUND frames here, so every peer has this round
+            // open in its window.
+            shared.flow.clear_round(self.id, round);
+            for process in 0..shared.spec.processes {
+                if process == shared.spec.index {
+                    continue;
+                }
+                shared.write_frame(
+                    process,
+                    KIND_CREDIT,
+                    self.id,
+                    round,
+                    shared.spec.index as u64,
+                    0,
+                    &[],
+                )?;
+            }
+        }
+        Ok(batches)
     }
 }
 
@@ -810,8 +1024,15 @@ mod tests {
     }
 
     fn pair(options: TcpOptions) -> (TcpTransport<Blob>, TcpTransport<Blob>) {
-        let addr = free_coordinator_addr();
         let worker_options = options.clone();
+        pair_with(options, worker_options)
+    }
+
+    fn pair_with(
+        coordinator_options: TcpOptions,
+        worker_options: TcpOptions,
+    ) -> (TcpTransport<Blob>, TcpTransport<Blob>) {
+        let addr = free_coordinator_addr();
         let worker = std::thread::spawn(move || {
             TcpTransport::<Blob>::connect_with(
                 ClusterSpec::new(2, 1).unwrap(),
@@ -819,9 +1040,12 @@ mod tests {
                 worker_options,
             )
         });
-        let coordinator =
-            TcpTransport::<Blob>::connect_with(ClusterSpec::new(2, 0).unwrap(), addr, options)
-                .expect("coordinator connects");
+        let coordinator = TcpTransport::<Blob>::connect_with(
+            ClusterSpec::new(2, 0).unwrap(),
+            addr,
+            coordinator_options,
+        )
+        .expect("coordinator connects");
         let worker = worker
             .join()
             .expect("worker thread")
@@ -930,6 +1154,80 @@ mod tests {
             matches!(err, CommError::PeerLost { peer: 0, .. }),
             "got {err:?}"
         );
+    }
+
+    /// A well-formed END_ROUND frame as raw bytes (empty payload, CRC 0).
+    fn end_round_frame(round: u64, from: u64) -> [u8; FRAME_HEADER_BYTES] {
+        let mut frame = [0u8; FRAME_HEADER_BYTES];
+        frame[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+        frame[4..8].copy_from_slice(&KIND_END_ROUND.to_le_bytes());
+        frame[24..32].copy_from_slice(&round.to_le_bytes());
+        frame[32..40].copy_from_slice(&from.to_le_bytes());
+        frame[40..48].copy_from_slice(&u64::MAX.to_le_bytes());
+        frame[52..56].copy_from_slice(&crc32(&[]).to_le_bytes());
+        frame
+    }
+
+    #[test]
+    fn far_future_rounds_overflow_the_receive_window_as_a_typed_error() {
+        // Regression: the inbox used to buffer frames for arbitrarily
+        // far-future rounds from any peer without limit.  A peer running
+        // past the receive cap must surface as a typed error, not growth.
+        let receiver_options = TcpOptions {
+            round_window: MIN_ROUND_WINDOW,
+            ..Default::default()
+        };
+        let (a, b) = pair_with(TcpOptions::default(), receiver_options);
+        // Bypass the sender-side window with raw (but valid) frames: rounds
+        // 1..=cap fit, round cap+1 trips the cap.
+        let cap = MIN_ROUND_WINDOW + RECV_ROUND_SLACK;
+        for round in 1..=(cap as u64 + 1) {
+            a.inject_raw(1, &end_round_frame(round, 0));
+        }
+        // The overflow poisons the peer; a wait on a round the dead peer
+        // never finished surfaces the typed error.  (The injected rounds
+        // themselves completed from peer 0's side, so waiting on one of
+        // them would just wait for the local finish.)
+        let cb = b.channel(ChannelId::new(0, 0), 2);
+        let probe = cap as u64 + 2;
+        cb.finish_round(probe, 1).unwrap();
+        let err = cb.recv(probe, 1).unwrap_err();
+        assert!(
+            matches!(err, CommError::TornStream { peer: 0, ref detail }
+                if detail.contains("ahead of the receive window")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn slow_receiver_throttles_sender_until_the_drain_grants_credit() {
+        // Window of 1 round with a short admit deadline on the sender.
+        let sender_options = TcpOptions {
+            round_window: 1,
+            recv_timeout: Duration::from_millis(200),
+            ..Default::default()
+        };
+        let (a, b) = pair_with(sender_options, TcpOptions::default());
+        let ca = a.channel(ChannelId::new(0, 0), 2);
+        let cb = b.channel(ChannelId::new(0, 0), 2);
+        // Round 1 opens the window; round 2 must block and time out while
+        // the receiver has not drained round 1.
+        ca.finish_round(1, 0).unwrap();
+        let err = ca.finish_round(2, 0).unwrap_err();
+        assert!(matches!(err, CommError::Timeout { .. }), "got {err:?}");
+        // The receiver drains round 1, granting the credit back...
+        cb.finish_round(1, 1).unwrap();
+        let drained = cb.recv(1, 1).unwrap();
+        assert!(drained.is_empty());
+        // ...which unblocks round 2 (retry until the grant frame lands).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match ca.finish_round(2, 0) {
+                Ok(()) => break,
+                Err(CommError::Timeout { .. }) if Instant::now() < deadline => {}
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        }
     }
 
     #[test]

@@ -15,29 +15,53 @@
 //! it caused) has finished, so the counter reaching zero proves that no
 //! worker holds or will ever receive another record.
 //!
+//! # Backpressure
+//!
+//! The queues between workers are bounded [`dataflow::credit`] channels:
+//! every worker→worker edge holds at most `credits` records (from
+//! [`WorksetConfig::channel_credits`], the `SPINNING_CHANNEL_CREDITS`
+//! environment variable, or [`DEFAULT_ASYNC_CREDITS`]), so an adversarial
+//! expansion fan-out is bounded to `credits × edges` queued records instead
+//! of exhausting memory.  A worker blocked on a full queue keeps draining its
+//! *own* inbox while it waits — in a cycle of mutually-full queues every
+//! blocked worker is then emptying someone's full queue, so the system always
+//! makes progress; a genuine stall (e.g. a user function that never returns)
+//! surfaces as a typed [`DataflowError::CommTimeout`] after the
+//! `SPINNING_COMM_TIMEOUT_SECS` bound instead of a hang.
+//!
 //! # Fault tolerance
 //!
 //! Asynchronous execution has no superstep boundaries, so it ignores
 //! [`WorksetConfig::checkpoint`] and performs no fault injection of its own.
 //! The one guarantee it does make: a worker that panics (e.g. in a user
-//! update/expand function) releases its in-flight credit on unwind, letting
-//! the sibling workers drain and terminate, and the run surfaces the panic
-//! as a typed [`DataflowError::WorkerPanic`] instead of aborting the
-//! process.
+//! update/expand function) releases its in-flight credits on unwind — both
+//! the credit of the record being processed and those of routed expansions
+//! not yet enqueued — letting the sibling workers drain and terminate, and
+//! the run surfaces the panic as a typed [`DataflowError::WorkerPanic`]
+//! instead of aborting the process.
 
 use crate::solution_set::SolutionSet;
 use crate::stats::{IterationRunStats, IterationStats};
 use crate::workset::{WorksetConfig, WorksetIteration, WorksetResult};
+use dataflow::credit::{
+    channel_credits_from_env, credit_channel, timeout_from_env, CreditReceiver, CreditSender,
+    RecvTimeoutError, SendError, TrySendError,
+};
 use dataflow::key::FxHashMap;
 use dataflow::prelude::{DataflowError, Key, PartitionRouter, Record, Result};
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long a worker waits for new records before re-checking the in-flight
 /// counter.  Purely a liveness knob; correctness does not depend on it.
 const IDLE_POLL: Duration = Duration::from_micros(200);
+
+/// Per-edge record credits when neither [`WorksetConfig::channel_credits`]
+/// nor the environment configures them.  Generous — the default bounds
+/// pathological fan-outs without throttling healthy runs.
+pub const DEFAULT_ASYNC_CREDITS: usize = 1024;
 
 /// Releases one in-flight credit on drop, so a record's credit is returned
 /// even when the user's update/expand function panics mid-processing —
@@ -50,12 +74,52 @@ impl Drop for CreditGuard<'_> {
     }
 }
 
+/// Routed expansions that hold an in-flight credit but are not yet enqueued
+/// (their target queue had no free channel credit at expansion time).  Drop
+/// releases the held credits, so a worker that panics or aborts with unsent
+/// records cannot wedge its siblings' termination detection.
+struct PendingSends<'a> {
+    items: VecDeque<(usize, Record)>,
+    in_flight: &'a AtomicI64,
+}
+
+impl<'a> PendingSends<'a> {
+    fn new(in_flight: &'a AtomicI64) -> PendingSends<'a> {
+        PendingSends {
+            items: VecDeque::new(),
+            in_flight,
+        }
+    }
+
+    /// Takes the in-flight credit for `record` and queues it for sending.
+    fn push(&mut self, target: usize, record: Record) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.items.push_back((target, record));
+    }
+
+    /// Drops `record` (its queue is gone) and releases its in-flight credit.
+    fn abandon(&mut self, record: Record) {
+        drop(record);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Drop for PendingSends<'_> {
+    fn drop(&mut self) {
+        if !self.items.is_empty() {
+            self.in_flight
+                .fetch_sub(self.items.len() as i64, Ordering::SeqCst);
+        }
+    }
+}
+
 /// Per-worker counters returned when the worker shuts down.
 struct WorkerOutcome {
     processed: usize,
     changed: usize,
     messages_sent: usize,
     messages_shipped: usize,
+    queue_high_water: usize,
 }
 
 /// Runs the iteration asynchronously.  Called by
@@ -72,37 +136,44 @@ pub(crate) fn run_async(
 ) -> Result<WorksetResult> {
     let parallelism = config.parallelism;
     let comparator = solution.comparator();
+    let credits = config
+        .channel_credits
+        .or_else(channel_credits_from_env)
+        .unwrap_or(DEFAULT_ASYNC_CREDITS);
+    let stall_timeout = timeout_from_env();
 
-    // One queue per partition; every worker can send to every queue.
-    let mut senders: Vec<Sender<Record>> = Vec::with_capacity(parallelism);
-    let mut receivers: Vec<Receiver<Record>> = Vec::with_capacity(parallelism);
+    // One bounded queue per partition; every worker (and the seeding driver)
+    // sends through its own cloned edges, each with a full credit pool.
+    let mut senders: Vec<CreditSender<Record>> = Vec::with_capacity(parallelism);
+    let mut receivers: Vec<CreditReceiver<Record>> = Vec::with_capacity(parallelism);
     for _ in 0..parallelism {
-        let (tx, rx) = channel();
+        let (tx, rx) = credit_channel(credits, stall_timeout);
         senders.push(tx);
         receivers.push(rx);
     }
 
-    // The in-flight counter: one credit per record currently enqueued or
-    // being processed.
+    // The in-flight counter: one credit per record currently enqueued,
+    // pending, or being processed.  The bounded queues mean the initial
+    // workset must be seeded *while* the workers drain (seeding everything
+    // up front could exceed the credit pools), so a held seeding credit
+    // keeps the fixpoint unreachable until every seed is enqueued.
     let in_flight = Arc::new(AtomicI64::new(0));
-    for record in initial_workset {
-        let target = router.route(&record, &iteration.workset_key);
-        in_flight.fetch_add(1, Ordering::SeqCst);
-        senders[target]
-            .send(record)
-            .expect("receiver alive while seeding the initial workset");
-    }
+    in_flight.fetch_add(1, Ordering::SeqCst);
+    // Any worker that exits — fixpoint, stall, disconnection, or panic —
+    // flips this so every sibling exits too instead of polling forever on
+    // credits a dead worker can no longer release.
+    let aborted = Arc::new(AtomicBool::new(false));
 
     // The asynchronous workers block in `recv_timeout` until the in-flight
     // counter drains, so they must not run on the shared global pool (they
     // would starve other scopes).  A dedicated pool sized to the partition
     // count is created once per run and its workers live for the whole
-    // asynchronous execution — exactly the thread usage of the former
-    // per-run `std::thread::scope`, minus respawns on repeated runs of the
-    // same driver thread pattern.
+    // asynchronous execution.
     let pool = spinning_pool::ThreadPool::new(parallelism);
     let mut solution_partitions = solution.take_partitions();
-    let mut outcome_slots: Vec<Option<WorkerOutcome>> = (0..parallelism).map(|_| None).collect();
+    let mut outcome_slots: Vec<Option<Result<WorkerOutcome>>> =
+        (0..parallelism).map(|_| None).collect();
+    let mut seed_error: Option<DataflowError> = None;
     let scope_result = pool.try_scope(|scope| {
         for (partition, ((s_part, receiver), slot)) in solution_partitions
             .iter_mut()
@@ -110,84 +181,56 @@ pub(crate) fn run_async(
             .zip(outcome_slots.iter_mut())
             .enumerate()
         {
-            let senders = senders.clone();
+            let senders: Vec<CreditSender<Record>> = senders.to_vec();
             let in_flight = Arc::clone(&in_flight);
+            let aborted = Arc::clone(&aborted);
             let comparator = comparator.clone();
             let constant = &constant_index[partition];
             scope.spawn_labeled("async-microstep", move || {
-                let mut outcome = WorkerOutcome {
-                    processed: 0,
-                    changed: 0,
-                    messages_sent: 0,
-                    messages_shipped: 0,
-                };
-                let mut expand_buffer: Vec<Record> = Vec::new();
-                loop {
-                    match receiver.recv_timeout(IDLE_POLL) {
-                        Ok(record) => {
-                            let _credit = CreditGuard(&in_flight);
-                            outcome.processed += 1;
-                            let key = Key::extract(&record, &iteration.workset_key);
-                            let delta = {
-                                let current = s_part.get(&key);
-                                iteration.update.update(
-                                    &key,
-                                    current,
-                                    std::slice::from_ref(&record),
-                                )
-                            };
-                            if let Some(delta) = delta {
-                                // A surviving delta serializes into the paged
-                                // index; this worker's heap copy feeds the
-                                // expansion (no clone).
-                                let applied = SolutionSet::merge_detached(
-                                    s_part,
-                                    &comparator,
-                                    &iteration.solution_key,
-                                    &delta,
-                                );
-                                if applied {
-                                    outcome.changed += 1;
-                                    let matches = constant
-                                        .get(&Key::extract(&delta, &iteration.delta_key))
-                                        .map(Vec::as_slice)
-                                        .unwrap_or(&[]);
-                                    expand_buffer.clear();
-                                    iteration.expand.expand(&delta, matches, &mut expand_buffer);
-                                    for new_record in expand_buffer.drain(..) {
-                                        let target =
-                                            router.route(&new_record, &iteration.workset_key);
-                                        outcome.messages_sent += 1;
-                                        if target != partition {
-                                            outcome.messages_shipped += 1;
-                                        }
-                                        in_flight.fetch_add(1, Ordering::SeqCst);
-                                        // Sends cannot fail: every receiver
-                                        // only exits once in_flight is zero,
-                                        // which cannot happen while this
-                                        // record's credit is still held.
-                                        senders[target]
-                                            .send(new_record)
-                                            .expect("peer worker exited with records in flight");
-                                    }
-                                }
-                            }
-                            // `_credit` drops here, releasing this record's
-                            // credit only after all the records it caused
-                            // have been credited — and also on unwind, so a
-                            // panicking worker cannot wedge its siblings.
-                        }
-                        Err(RecvTimeoutError::Timeout) => {
-                            if in_flight.load(Ordering::SeqCst) == 0 {
-                                break;
-                            }
-                        }
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                }
-                *slot = Some(outcome);
+                let result = run_worker(
+                    partition,
+                    iteration,
+                    s_part,
+                    constant,
+                    &comparator,
+                    router,
+                    &receiver,
+                    &senders,
+                    &in_flight,
+                    &aborted,
+                    stall_timeout,
+                );
+                // However this worker ended, its siblings must not keep
+                // polling for credits it can no longer release.
+                aborted.store(true, Ordering::SeqCst);
+                *slot = Some(result);
             });
         }
+
+        // Seed the initial workset from the driver thread while the workers
+        // drain; the blocking send applies backpressure with the same typed
+        // timeout the workers use.
+        let seed_senders: Vec<CreditSender<Record>> = senders.to_vec();
+        for record in initial_workset {
+            let target = router.route(&record, &iteration.workset_key);
+            in_flight.fetch_add(1, Ordering::SeqCst);
+            if let Err(error) = seed_senders[target].send(record) {
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                seed_error = Some(match error {
+                    SendError::Timeout(_) => DataflowError::CommTimeout(format!(
+                        "seeding the asynchronous workset stalled: no queue credit \
+                         for partition {target} within {stall_timeout:?}"
+                    )),
+                    // A worker died; the scope/worker error explains why.
+                    SendError::Disconnected(_) => DataflowError::ExecutionFailed(
+                        "a worker exited while the initial workset was being seeded".into(),
+                    ),
+                });
+                break;
+            }
+        }
+        // Release the seeding credit: the fixpoint is now reachable.
+        in_flight.fetch_sub(1, Ordering::SeqCst);
     });
     solution.restore_partitions(solution_partitions);
     drop(senders);
@@ -199,16 +242,23 @@ pub(crate) fn run_async(
         });
     }
 
-    let outcomes = outcome_slots
-        .into_iter()
-        .map(|slot| slot.expect("pool ran every asynchronous worker"));
     let mut stats = IterationStats::for_iteration(1);
-    for outcome in outcomes {
-        stats.workset_size += outcome.processed;
-        stats.elements_inspected += outcome.processed;
-        stats.elements_changed += outcome.changed;
-        stats.messages_sent += outcome.messages_sent;
-        stats.messages_shipped += outcome.messages_shipped;
+    let mut first_error = None;
+    for slot in outcome_slots {
+        match slot.expect("pool ran every asynchronous worker") {
+            Ok(outcome) => {
+                stats.workset_size += outcome.processed;
+                stats.elements_inspected += outcome.processed;
+                stats.elements_changed += outcome.changed;
+                stats.messages_sent += outcome.messages_sent;
+                stats.messages_shipped += outcome.messages_shipped;
+                stats.queue_high_water = stats.queue_high_water.max(outcome.queue_high_water);
+            }
+            Err(error) => first_error = first_error.or(Some(error)),
+        }
+    }
+    if let Some(error) = first_error.or(seed_error) {
+        return Err(error);
     }
     stats.elapsed = start.elapsed();
     let run_stats = IterationRunStats {
@@ -223,6 +273,162 @@ pub(crate) fn run_async(
         converged: true,
         stats: run_stats,
     })
+}
+
+/// One asynchronous worker: drains its bounded queue, updates its solution
+/// partition, and routes expansions — servicing its own inbox whenever a
+/// target queue is full, so cycles of full queues drain instead of
+/// deadlocking.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    partition: usize,
+    iteration: &WorksetIteration,
+    s_part: &mut crate::solution_set::PartitionIndex,
+    constant: &FxHashMap<Key, Vec<Record>>,
+    comparator: &Option<crate::solution_set::RecordComparator>,
+    router: &PartitionRouter,
+    receiver: &CreditReceiver<Record>,
+    senders: &[CreditSender<Record>],
+    in_flight: &AtomicI64,
+    aborted: &AtomicBool,
+    stall_timeout: Duration,
+) -> Result<WorkerOutcome> {
+    let mut outcome = WorkerOutcome {
+        processed: 0,
+        changed: 0,
+        messages_sent: 0,
+        messages_shipped: 0,
+        queue_high_water: 0,
+    };
+    let mut expand_buffer: Vec<Record> = Vec::new();
+    let mut pending = PendingSends::new(in_flight);
+    // Set while every pending flush *and* the inbox make no progress; a
+    // stall outliving the comm timeout is a deadlock surfaced as an error.
+    let mut stalled_since: Option<Instant> = None;
+
+    macro_rules! process {
+        ($record:expr) => {{
+            let record: Record = $record;
+            let _credit = CreditGuard(in_flight);
+            outcome.processed += 1;
+            let key = Key::extract(&record, &iteration.workset_key);
+            let delta = {
+                let current = s_part.get(&key);
+                iteration
+                    .update
+                    .update(&key, current, std::slice::from_ref(&record))
+            };
+            if let Some(delta) = delta {
+                // A surviving delta serializes into the paged index; this
+                // worker's heap copy feeds the expansion (no clone).
+                let applied = SolutionSet::merge_detached(
+                    s_part,
+                    comparator,
+                    &iteration.solution_key,
+                    &delta,
+                );
+                if applied {
+                    outcome.changed += 1;
+                    let matches = constant
+                        .get(&Key::extract(&delta, &iteration.delta_key))
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]);
+                    expand_buffer.clear();
+                    iteration.expand.expand(&delta, matches, &mut expand_buffer);
+                    for new_record in expand_buffer.drain(..) {
+                        let target = router.route(&new_record, &iteration.workset_key);
+                        outcome.messages_sent += 1;
+                        if target != partition {
+                            outcome.messages_shipped += 1;
+                        }
+                        // The expansion takes an in-flight credit now; the
+                        // queue credit is acquired when the flush loop
+                        // enqueues it.
+                        pending.push(target, new_record);
+                    }
+                }
+            }
+            // `_credit` drops here, releasing this record's credit only
+            // after all the records it caused are accounted in-flight —
+            // and also on unwind, so a panicking worker cannot wedge its
+            // siblings.
+        }};
+    }
+
+    'run: loop {
+        // Flush pending expansions before taking new work.
+        if let Some((target, record)) = pending.items.pop_front() {
+            match senders[target].try_send(record) {
+                Ok(()) => {
+                    stalled_since = None;
+                }
+                Err(TrySendError::Full(record)) => {
+                    pending.items.push_front((target, record));
+                    // The target queue is full: service our own inbox so the
+                    // cycle keeps draining (the consumer we are waiting on
+                    // may itself be blocked sending to us).
+                    match receiver.try_recv() {
+                        Ok(record) => {
+                            process!(record);
+                            stalled_since = None;
+                        }
+                        Err(_) => {
+                            if aborted.load(Ordering::SeqCst) {
+                                break 'run;
+                            }
+                            // Nothing to service: park on the blocked edge
+                            // briefly so the consumer's next dequeue wakes
+                            // us immediately.
+                            let (target, record) =
+                                pending.items.pop_front().expect("pushed back above");
+                            match senders[target].send_deadline(record, IDLE_POLL) {
+                                Ok(()) => {
+                                    stalled_since = None;
+                                }
+                                Err(SendError::Timeout(record)) => {
+                                    pending.items.push_front((target, record));
+                                    let since = *stalled_since.get_or_insert_with(Instant::now);
+                                    if since.elapsed() >= stall_timeout {
+                                        return Err(DataflowError::CommTimeout(format!(
+                                            "asynchronous microstep worker {partition} made no \
+                                             progress for {stall_timeout:?}: no queue credit for \
+                                             partition {target} and nothing to drain"
+                                        )));
+                                    }
+                                }
+                                Err(SendError::Disconnected(record)) => {
+                                    pending.abandon(record);
+                                    break 'run;
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(TrySendError::Disconnected(record)) => {
+                    // The target worker is gone (panic or abort); drop the
+                    // record, release its credit, and shut down — the run is
+                    // surfacing an error elsewhere.
+                    pending.abandon(record);
+                    break 'run;
+                }
+            }
+            continue 'run;
+        }
+        match receiver.recv_timeout(IDLE_POLL) {
+            Ok(record) => {
+                process!(record);
+                stalled_since = None;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if in_flight.load(Ordering::SeqCst) == 0 || aborted.load(Ordering::SeqCst) {
+                    break 'run;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break 'run,
+        }
+    }
+    outcome.queue_high_water = receiver.high_water();
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -316,5 +522,48 @@ mod tests {
         let config = WorksetConfig::new(1).with_mode(ExecutionMode::AsynchronousMicrostep);
         let result = iteration.run(solution, workset, &config).unwrap();
         assert!(result.solution.iter().all(|r| r.long(1) == 100));
+    }
+
+    #[test]
+    fn tight_credit_bound_still_reaches_the_fixpoint() {
+        // One credit per edge: maximum backpressure, including on the
+        // seeding driver and on self-sends.  The fixpoint must be identical
+        // and the queue high-water mark must respect the bound.
+        let (iteration, solution, workset) = ring_iteration(48);
+        let config = WorksetConfig::new(4)
+            .with_mode(ExecutionMode::AsynchronousMicrostep)
+            .with_channel_credits(1);
+        let result = iteration.run(solution, workset, &config).unwrap();
+        assert!(result.solution.iter().all(|r| r.long(1) == 100));
+        let high_water = result.stats.per_iteration[0].queue_high_water;
+        assert!(high_water <= 1, "high water {high_water} exceeds 1 credit");
+        assert!(high_water >= 1, "a 48-ring run must enqueue something");
+    }
+
+    #[test]
+    fn bounded_channels_match_the_generous_default() {
+        let (iteration, solution, workset) = ring_iteration(32);
+        let generous = iteration
+            .run(
+                solution.clone(),
+                workset.clone(),
+                &WorksetConfig::new(3).with_mode(ExecutionMode::AsynchronousMicrostep),
+            )
+            .unwrap();
+        let tight = iteration
+            .run(
+                solution,
+                workset,
+                &WorksetConfig::new(3)
+                    .with_mode(ExecutionMode::AsynchronousMicrostep)
+                    .with_channel_credits(2),
+            )
+            .unwrap();
+        let mut a = generous.solution;
+        let mut b = tight.solution;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(tight.stats.per_iteration[0].queue_high_water <= 2);
     }
 }

@@ -49,6 +49,14 @@ pub struct IterationStats {
     /// Failed attempts at this iteration that were retried (each retry that
     /// led to a recovery counts once).
     pub retries: usize,
+    /// Queue high-water mark of the bounded exchange channels: the maximum
+    /// records any single worker→worker edge held (asynchronous microsteps)
+    /// or the maximum sealed pages any outbox writer buffered in memory
+    /// (superstep exchanges).  Never exceeds the configured channel credits
+    /// when backpressure is on — the invariant the backpressure smoke tests
+    /// assert.  In cluster runs this is the cluster-wide maximum, agreed at
+    /// the superstep barrier.
+    pub queue_high_water: usize,
     /// Statistics of the dataflow execution backing this iteration, if the
     /// iteration ran as a dataflow plan (bulk iterations).
     pub execution: Option<ExecutionStats>,
@@ -138,6 +146,16 @@ impl IterationRunStats {
             .iter()
             .map(|s| s.checkpoint_write_failures)
             .sum()
+    }
+
+    /// Maximum queue high-water mark over all iterations — compared against
+    /// the configured channel credits to prove backpressure held.
+    pub fn max_queue_high_water(&self) -> usize {
+        self.per_iteration
+            .iter()
+            .map(|s| s.queue_high_water)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Renders the per-iteration series as a text table (one row per

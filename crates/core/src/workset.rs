@@ -145,9 +145,22 @@ pub struct WorksetConfig {
     /// as runs sorted on the workset key, and the next superstep consumes
     /// them streaming (microstep) or through a k-way merge (batch).
     /// Unlimited by default.  The asynchronous mode exchanges records
-    /// through queues and ignores the budget — bounding it is the
-    /// credit-based backpressure follow-on.
+    /// through bounded credit channels and ignores the budget — its memory
+    /// is bounded by [`WorksetConfig::channel_credits`] instead.
     pub memory_budget: MemoryBudget,
+    /// Credits of the bounded exchange channels — the backpressure knob.
+    /// In asynchronous mode each worker→worker edge holds at most this many
+    /// records in flight (senders block, with the communication timeout
+    /// surfacing genuine stalls as typed errors); in superstep modes each
+    /// outbox writer flushes its sealed pages to disk once this many are
+    /// buffered, bounding exchange memory at `credits × page_size` per
+    /// writer.  `None` (the default) falls back to the
+    /// `SPINNING_CHANNEL_CREDITS` environment variable; with neither set,
+    /// asynchronous channels use a generous default and superstep outboxes
+    /// stay governed by the byte budget alone.  Results are identical either
+    /// way — backpressure changes *when* data moves, never *what* is
+    /// computed.
+    pub channel_credits: Option<usize>,
     /// Superstep checkpointing and recovery policy.  `None` (the default)
     /// disables checkpointing: a failed superstep surfaces as a typed
     /// [`DataflowError`] immediately.  The asynchronous mode has no superstep
@@ -183,6 +196,7 @@ impl WorksetConfig {
             max_supersteps: 100_000,
             routing: WorksetRouting::Hash,
             memory_budget: MemoryBudget::unlimited(),
+            channel_credits: None,
             checkpoint: None,
             fault: FaultInjector::from_env(),
             force_materialized: false,
@@ -223,6 +237,14 @@ impl WorksetConfig {
     /// Sets the superstep exchange's memory budget.
     pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
         self.memory_budget = budget;
+        self
+    }
+
+    /// Sets the exchange channel credits (see
+    /// [`WorksetConfig::channel_credits`]).  Takes precedence over the
+    /// `SPINNING_CHANNEL_CREDITS` environment variable.
+    pub fn with_channel_credits(mut self, credits: usize) -> Self {
+        self.channel_credits = Some(credits.max(1));
         self
     }
 
@@ -481,10 +503,18 @@ impl WorksetIteration {
         // sort entirely.
         let sort_on_flush =
             (config.mode != ExecutionMode::Microstep).then(|| self.workset_key.clone());
+        // Channel credits cap the sealed pages each outbox writer buffers in
+        // memory (flushing excess pages to disk as runs), bounding exchange
+        // memory at `credits × page_size` per writer independent of the byte
+        // budget.  Unset, the byte budget alone governs.
+        let channel_credits = config
+            .channel_credits
+            .or_else(dataflow::credit::channel_credits_from_env);
         let spill = SpillManager::new(
             config.memory_budget.share(parallelism * parallelism),
             sort_on_flush,
         )
+        .with_page_credits(channel_credits)
         .with_fault(config.fault.clone());
         // The run's communication state: one page channel carries every
         // superstep exchange (rounds are attempt-numbered and never reused,
@@ -542,7 +572,13 @@ impl WorksetIteration {
                     pending.checkpoints_written += 1;
                     pending.checkpoint_bytes += bytes as usize;
                 }
-                Err(_) => pending.checkpoint_write_failures += 1,
+                Err(error) => {
+                    eprintln!(
+                        "warning: checkpoint write for superstep 0 failed ({error}); \
+                         the run continues without an initial checkpoint"
+                    );
+                    pending.checkpoint_write_failures += 1;
+                }
             }
         }
         // Consecutive failed attempts at the current superstep (reset on
@@ -581,7 +617,14 @@ impl WorksetIteration {
                                     pending.checkpoint_bytes += bytes as usize;
                                     store.prune(2);
                                 }
-                                Err(_) => pending.checkpoint_write_failures += 1,
+                                Err(error) => {
+                                    eprintln!(
+                                        "warning: checkpoint write for superstep {superstep} \
+                                         failed ({error}); a recovery would replay from the \
+                                         previous checkpoint"
+                                    );
+                                    pending.checkpoint_write_failures += 1;
+                                }
                             }
                         }
                     }
@@ -785,6 +828,7 @@ impl WorksetIteration {
                     let spilled = writer.finish()?;
                     stats.spilled_bytes += spilled.stats.spilled_bytes;
                     stats.spilled_runs += spilled.stats.spilled_runs;
+                    stats.queue_high_water = stats.queue_high_water.max(spilled.pages_high_water);
                     if comms.cluster.owns(target, parallelism) {
                         comms
                             .channel
@@ -834,14 +878,21 @@ impl WorksetIteration {
             stats.spilled_bytes as u64,
             stats.spilled_runs as u64,
             local_pending,
+            stats.queue_high_water as u64,
         ];
-        let mut totals = [0u64; 8];
+        let mut totals = [0u64; 9];
         for values in config
             .transport
             .all_gather(comms.stats_channel, round, &local)?
         {
-            for (total, value) in totals.iter_mut().zip(&values) {
-                *total += value;
+            for (slot, (total, value)) in totals.iter_mut().zip(&values).enumerate() {
+                // Slot 8 is the queue high-water mark, a maximum over the
+                // processes; every other counter sums.
+                if slot == 8 {
+                    *total = (*total).max(*value);
+                } else {
+                    *total += value;
+                }
             }
         }
         stats.workset_size = totals[0] as usize;
@@ -851,6 +902,7 @@ impl WorksetIteration {
         stats.messages_shipped = totals[4] as usize;
         stats.spilled_bytes = totals[5] as usize;
         stats.spilled_runs = totals[6] as usize;
+        stats.queue_high_water = totals[8] as usize;
         stats.elapsed = step_start.elapsed();
         Ok((stats, totals[7]))
     }

@@ -55,6 +55,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod contracts;
+pub mod credit;
 pub mod error;
 pub mod exec;
 pub mod fault;
@@ -74,6 +75,10 @@ pub mod prelude {
     pub use crate::contracts::{
         CoGroupClosure, CoGroupFunction, Collector, CrossClosure, CrossFunction, MapClosure,
         MapFunction, MatchClosure, MatchFunction, ReduceClosure, ReduceFunction, Udf,
+    };
+    pub use crate::credit::{
+        credit_channel, CreditReceiver, CreditSender, RecvTimeoutError, SendError, TryRecvError,
+        TrySendError,
     };
     pub use crate::error::{DataflowError, Result};
     pub use crate::exec::{

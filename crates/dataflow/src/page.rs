@@ -460,6 +460,13 @@ impl PageWriter {
         self.sealed_bytes
     }
 
+    /// Number of sealed pages still held by the writer (the quantity a
+    /// page-credit cap meters; see `crate::spill::SpillManager`).
+    #[inline]
+    pub fn sealed_page_count(&self) -> usize {
+        self.sealed.len()
+    }
+
     /// Takes the sealed pages out of the writer (the open page stays),
     /// resetting the sealed-byte gauge — the spill path moves these to disk.
     pub fn take_sealed(&mut self) -> Vec<Arc<RecordPage>> {

@@ -721,6 +721,7 @@ struct ManagerInner {
     dir: PathBuf,
     sort_on_flush: Option<KeyFields>,
     page_bytes: usize,
+    page_credits: Option<usize>,
     fault: FaultInjector,
 }
 
@@ -748,6 +749,7 @@ impl SpillManager {
                 dir,
                 sort_on_flush,
                 page_bytes: crate::page::DEFAULT_PAGE_BYTES,
+                page_credits: None,
                 fault: FaultInjector::disabled(),
             }),
         }
@@ -762,6 +764,27 @@ impl SpillManager {
                 dir: self.inner.dir.clone(),
                 sort_on_flush: self.inner.sort_on_flush.clone(),
                 page_bytes,
+                page_credits: self.inner.page_credits,
+                fault: self.inner.fault.clone(),
+            }),
+        }
+    }
+
+    /// Caps the sealed pages a handed-out writer may buffer in memory: once
+    /// `credits` pages are sealed they are flushed to disk as a run, bounding
+    /// each writer at `credits × page_bytes` of buffered exchange data
+    /// regardless of the byte budget.  This is the superstep-exchange half of
+    /// credit-based backpressure — the barrier makes blocking producers
+    /// deadlock-prone, so bounding happens by spilling, not by stalling.
+    /// `None` (the default) leaves only the byte budget in charge.
+    pub fn with_page_credits(self, credits: Option<usize>) -> SpillManager {
+        SpillManager {
+            inner: Arc::new(ManagerInner {
+                budget: self.inner.budget,
+                dir: self.inner.dir.clone(),
+                sort_on_flush: self.inner.sort_on_flush.clone(),
+                page_bytes: self.inner.page_bytes,
+                page_credits: credits.map(|c| c.max(1)),
                 fault: self.inner.fault.clone(),
             }),
         }
@@ -776,6 +799,7 @@ impl SpillManager {
                 dir: self.inner.dir.clone(),
                 sort_on_flush: self.inner.sort_on_flush.clone(),
                 page_bytes: self.inner.page_bytes,
+                page_credits: self.inner.page_credits,
                 fault,
             }),
         }
@@ -799,6 +823,7 @@ impl SpillManager {
             writer: PageWriter::with_page_bytes(self.inner.page_bytes),
             runs: Vec::new(),
             stats: SpillStats::default(),
+            pages_high_water: 0,
             error: None,
         }
     }
@@ -814,6 +839,11 @@ pub struct SpillOutput {
     pub runs: Vec<SpilledRun>,
     /// What was spilled.
     pub stats: SpillStats,
+    /// Maximum sealed pages the writer held in memory at any point — stays
+    /// `<=` the configured page credits (see
+    /// [`SpillManager::with_page_credits`]), which is the invariant the
+    /// backpressure smoke tests assert.
+    pub pages_high_water: usize,
 }
 
 /// A [`PageWriter`] under a byte budget: whenever the sealed (finished but
@@ -829,16 +859,25 @@ pub struct SpillingWriter {
     writer: PageWriter,
     runs: Vec<SpilledRun>,
     stats: SpillStats,
+    pages_high_water: usize,
     error: Option<io::Error>,
 }
 
 impl SpillingWriter {
-    /// Serializes one record, spilling sealed pages if the budget is
-    /// exceeded.  Returns the record's serialized width (like
-    /// [`PageWriter::push`]).
+    /// Serializes one record, spilling sealed pages if the byte budget or
+    /// the page-credit cap is exceeded.  Returns the record's serialized
+    /// width (like [`PageWriter::push`]).
     pub fn push(&mut self, record: &Record) -> usize {
         let width = self.writer.push(record);
-        if self.error.is_none() && !self.manager.inner.budget.allows(self.writer.sealed_bytes()) {
+        let sealed_pages = self.writer.sealed_page_count();
+        self.pages_high_water = self.pages_high_water.max(sealed_pages);
+        let over_budget = !self.manager.inner.budget.allows(self.writer.sealed_bytes());
+        let over_credits = self
+            .manager
+            .inner
+            .page_credits
+            .is_some_and(|credits| sealed_pages >= credits);
+        if self.error.is_none() && (over_budget || over_credits) {
             if let Err(error) = self.flush_sealed() {
                 self.error = Some(error);
             }
@@ -886,6 +925,7 @@ impl SpillingWriter {
             return Err(error);
         }
         self.writer.seal();
+        self.pages_high_water = self.pages_high_water.max(self.writer.sealed_page_count());
         if !self.manager.inner.budget.allows(self.writer.sealed_bytes()) {
             self.flush_sealed()?;
         }
@@ -893,12 +933,14 @@ impl SpillingWriter {
             writer,
             runs,
             stats,
+            pages_high_water,
             ..
         } = self;
         Ok(SpillOutput {
             pages: writer.finish(),
             runs,
             stats,
+            pages_high_water,
         })
     }
 }
@@ -1255,6 +1297,55 @@ mod tests {
         read.sort();
         expected.sort();
         assert_eq!(read, expected);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn page_credits_cap_in_memory_sealed_pages() {
+        let dir = test_dir("page-credits");
+        let records: Vec<Record> = (0..400).map(|i| Record::pair(i % 13, i)).collect();
+        let manager = SpillManager::in_dir(dir.clone(), MemoryBudget::unlimited(), None)
+            .with_page_bytes(64)
+            .with_page_credits(Some(2));
+        let mut writer = manager.writer();
+        for record in &records {
+            writer.push(record);
+        }
+        let out = writer.finish().unwrap();
+        assert!(
+            out.pages_high_water <= 2,
+            "2 page credits must bound buffered sealed pages, saw {}",
+            out.pages_high_water
+        );
+        assert!(out.runs.len() > 1, "tiny pages under 2 credits force runs");
+        // The multiset is preserved across the in-memory pages and the runs.
+        let mut read: Vec<Record> = out
+            .pages
+            .iter()
+            .flat_map(|p| p.reader().map(|v| v.materialize()))
+            .collect();
+        for run in &out.runs {
+            let mut cursor = run.cursor().unwrap();
+            while let Some(record) = cursor.next_record().unwrap() {
+                read.push(record);
+            }
+        }
+        let mut expected = records;
+        read.sort();
+        expected.sort();
+        assert_eq!(read, expected);
+
+        // Without credits the same writer never touches disk.
+        let unlimited = SpillManager::in_dir(dir.clone(), MemoryBudget::unlimited(), None)
+            .with_page_bytes(64)
+            .with_page_credits(None);
+        let mut writer = unlimited.writer();
+        for record in &expected {
+            writer.push(record);
+        }
+        let out = writer.finish().unwrap();
+        assert!(out.runs.is_empty());
+        assert!(out.pages_high_water > 2, "unbounded writer buffers freely");
         let _ = fs::remove_dir(&dir);
     }
 

@@ -180,13 +180,14 @@ fn write_outputs(args: &WorkerArgs, result: &WorksetResult) -> std::io::Result<(
         for stats in &result.stats.per_iteration {
             writeln!(
                 out,
-                "superstep={} workset={} inspected={} changed={} sent={} shipped={}",
+                "superstep={} workset={} inspected={} changed={} sent={} shipped={} queue_hw={}",
                 stats.iteration,
                 stats.workset_size,
                 stats.elements_inspected,
                 stats.elements_changed,
                 stats.messages_sent,
                 stats.messages_shipped,
+                stats.queue_high_water,
             )?;
         }
         out.flush()?;
@@ -204,6 +205,23 @@ fn main() -> ExitCode {
     };
     match run(&args) {
         Ok(result) => {
+            // End-of-run stats go to stderr so solution and trace files stay
+            // clean.  `checkpoint_write_failures` in particular must be
+            // visible here: each failed write silently widens the window the
+            // next recovery replays.
+            eprintln!(
+                "spinning-worker[{}/{}]: supersteps={} converged={} messages={} \
+                 checkpoints={} checkpoint_write_failures={} recoveries={} queue_high_water={}",
+                args.index,
+                args.processes,
+                result.supersteps,
+                result.converged,
+                result.stats.total_messages(),
+                result.stats.total_checkpoints_written(),
+                result.stats.total_checkpoint_write_failures(),
+                result.stats.total_recoveries(),
+                result.stats.max_queue_high_water(),
+            );
             if let Err(error) = write_outputs(&args, &result) {
                 eprintln!("spinning-worker: writing outputs failed: {error}");
                 return ExitCode::FAILURE;

@@ -1,0 +1,145 @@
+//! Property tests for the bounded credit channel (`dataflow::credit`).
+//!
+//! Random producer/consumer interleavings over the tight credit counts the
+//! backpressure smoke jobs run with, pinning the channel's contract:
+//!
+//! * **exact multiset delivery** — every record sent arrives exactly once;
+//! * **per-source FIFO** — one sender's records arrive in send order
+//!   (cross-sender order is unspecified);
+//! * **bounded buffering** — the receiver's high-water mark never exceeds
+//!   the per-edge credit pool;
+//! * **no deadlock** — every wait in the channel is deadline-bounded (the
+//!   [`WATCHDOG`] duration), so a genuine deadlock fails the test as a typed
+//!   timeout instead of hanging the suite;
+//! * **credit release on consumer death** — a consumer that panics
+//!   mid-stream releases its queue, and blocked senders observe a typed
+//!   disconnect rather than wedging on credits nobody will ever return.
+//!
+//! Like `tests/properties.rs`, the cases come from a deterministic
+//! [`SmallRng`] stream; failing assertions name the seed.
+
+use dataflow::credit::{credit_channel, SendError, TryRecvError};
+use graphdata::SmallRng;
+use std::time::Duration;
+
+/// Upper bound on any single wait inside a case.  Reaching it means the
+/// channel deadlocked (or the machine stalled absurdly); either way the
+/// typed timeout fails the test immediately instead of hanging CI.
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+/// Random cases per credit count.
+const CASES: u64 = 8;
+
+#[test]
+fn prop_random_interleavings_deliver_the_exact_multiset_in_fifo_order() {
+    for &credits in &[1usize, 2, 8] {
+        for seed in 0..CASES {
+            let mut rng = SmallRng::seed_from_u64(7_000 + seed * 31 + credits as u64);
+            let producers = 1 + rng.gen_index(3);
+            let counts: Vec<usize> = (0..producers).map(|_| 1 + rng.gen_index(120)).collect();
+            let total: usize = counts.iter().sum();
+            let label = format!("credits {credits}, seed {seed}");
+
+            let (tx, rx) = credit_channel::<(usize, u64)>(credits, WATCHDOG);
+            let mut received: Vec<Vec<u64>> = vec![Vec::new(); producers];
+            std::thread::scope(|scope| {
+                for (src, &count) in counts.iter().enumerate() {
+                    // Each clone gets its own full credit pool (a fresh
+                    // sender→receiver edge), like one worker's outgoing edge.
+                    let tx = tx.clone();
+                    let mut prng = SmallRng::seed_from_u64(seed * 1_000 + src as u64);
+                    let label = &label;
+                    scope.spawn(move || {
+                        for seq in 0..count as u64 {
+                            if prng.gen_index(8) == 0 {
+                                std::thread::yield_now();
+                            }
+                            if let Err(e) = tx.send((src, seq)) {
+                                panic!("send failed: {e} ({label}, producer {src})");
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+
+                // The consumer mixes polling and blocking receives, with
+                // occasional naps so producers actually exhaust their
+                // credits and block — the interleavings under test.
+                let mut got = 0usize;
+                while got < total {
+                    if rng.gen_index(3) == 0 {
+                        match rx.try_recv() {
+                            Ok((src, seq)) => {
+                                received[src].push(seq);
+                                got += 1;
+                            }
+                            Err(TryRecvError::Empty) => std::thread::yield_now(),
+                            Err(TryRecvError::Disconnected) => {
+                                panic!("producers exited early ({label}: {got}/{total})")
+                            }
+                        }
+                    } else {
+                        match rx.recv_timeout(WATCHDOG) {
+                            Ok((src, seq)) => {
+                                received[src].push(seq);
+                                got += 1;
+                            }
+                            Err(e) => panic!("recv failed: {e:?} ({label}: {got}/{total})"),
+                        }
+                    }
+                    if rng.gen_index(24) == 0 {
+                        std::thread::sleep(Duration::from_micros(rng.gen_index(200) as u64));
+                    }
+                }
+            });
+
+            // Per-source FIFO *and* the exact multiset: each source's
+            // records arrived as exactly 0..count, in order.
+            for (src, &count) in counts.iter().enumerate() {
+                let expected: Vec<u64> = (0..count as u64).collect();
+                assert_eq!(
+                    received[src], expected,
+                    "source {src} lost, duplicated or reordered records ({label})"
+                );
+            }
+            assert!(
+                rx.high_water() <= credits,
+                "edge held {} records, credits {credits} ({label})",
+                rx.high_water()
+            );
+            assert!(rx.high_water() >= 1, "nothing was ever queued ({label})");
+        }
+    }
+}
+
+#[test]
+fn consumer_panic_releases_blocked_senders_with_a_typed_disconnect() {
+    for &credits in &[1usize, 2] {
+        let (tx, rx) = credit_channel::<u64>(credits, WATCHDOG);
+        let consumer = std::thread::spawn(move || {
+            // Consume one record — its credit returns at dequeue time, so
+            // the panic below cannot leak it — then die mid-stream.
+            let first = rx.recv_timeout(WATCHDOG).expect("first record arrives");
+            assert_eq!(first, 0, "per-source FIFO: the first send arrives first");
+            panic!("consumer dies mid-stream");
+        });
+        // Keep sending until the consumer's death surfaces.  A blocked
+        // sender must be woken by the receiver teardown; a Timeout here
+        // would mean the panic wedged the channel.
+        let mut sent = 0u64;
+        loop {
+            match tx.send(sent) {
+                Ok(()) => sent += 1,
+                Err(SendError::Disconnected(_)) => break,
+                Err(SendError::Timeout(_)) => {
+                    panic!("sender wedged after consumer panic (credits {credits})")
+                }
+            }
+        }
+        assert!(
+            consumer.join().is_err(),
+            "the consumer thread must have panicked"
+        );
+        assert!(sent >= 1, "at least the consumed record was sent");
+    }
+}
