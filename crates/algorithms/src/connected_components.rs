@@ -66,13 +66,20 @@ pub struct ComponentsConfig {
     /// the worker's owned partitions instead of densifying).  The bulk
     /// variant is single-process and ignores it.
     pub transport: TransportHandle,
-    /// Per-edge credit pool of the workset variants' channels (see
+    /// Per-edge credit pool of the bounded channels (see
     /// `WorksetConfig::channel_credits`): the asynchronous variant bounds
     /// each worker→worker queue to this many records, the superstep variants
-    /// spill an outbox once it holds this many sealed pages.  `None` falls
-    /// back to `SPINNING_CHANNEL_CREDITS` or the unbounded-equivalent
+    /// spill an outbox once it holds this many sealed pages, and the bulk
+    /// variant caps every fused (streaming) chain edge at this many in-flight
+    /// pages.  `None` falls back to `SPINNING_CHANNEL_CREDITS` or the layer
     /// defaults; results are identical either way.
     pub channel_credits: Option<usize>,
+    /// Disables the bulk variant's streaming operator chains, materializing
+    /// every forward edge like the pre-streaming executor did.  The escape
+    /// hatch exists so equivalence suites can pin the chained execution
+    /// byte-identical to the materializing oracle.  The workset variants
+    /// have no executor chains and ignore it.
+    pub force_materialized: bool,
 }
 
 impl ComponentsConfig {
@@ -87,6 +94,7 @@ impl ComponentsConfig {
             fault: FaultInjector::from_env(),
             transport: TransportHandle::default(),
             channel_credits: None,
+            force_materialized: false,
         }
     }
 
@@ -141,11 +149,18 @@ impl ComponentsConfig {
         self
     }
 
-    /// Bounds the workset variants' channels to `credits` records (async) or
-    /// sealed pages (superstep outboxes) per edge — see
-    /// [`ComponentsConfig::channel_credits`].  Clamped to at least 1.
+    /// Bounds the bounded channels to `credits` records (async), sealed
+    /// pages per superstep outbox, or in-flight pages per bulk chain edge —
+    /// see [`ComponentsConfig::channel_credits`].  Clamped to at least 1.
     pub fn with_channel_credits(mut self, credits: usize) -> Self {
         self.channel_credits = Some(credits.max(1));
+        self
+    }
+
+    /// Makes the bulk variant materialize every forward edge instead of
+    /// streaming fused chains — see [`ComponentsConfig::force_materialized`].
+    pub fn with_force_materialized(mut self, force: bool) -> Self {
+        self.force_materialized = force;
         self
     }
 }
@@ -238,7 +253,11 @@ pub fn cc_bulk(graph: &Graph, config: &ComponentsConfig) -> Result<ComponentsRes
     let mut bulk_config = BulkConfig::new(config.parallelism)
         .with_annotations(annotations)
         .with_memory_budget(config.memory_budget)
-        .with_fault(config.fault.clone());
+        .with_fault(config.fault.clone())
+        .with_force_materialized(config.force_materialized);
+    if let Some(credits) = config.channel_credits {
+        bulk_config = bulk_config.with_channel_credits(credits);
+    }
     if let Some(policy) = &config.checkpoint {
         bulk_config = bulk_config.with_checkpoint_policy(policy.clone());
     }

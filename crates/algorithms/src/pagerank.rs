@@ -41,6 +41,13 @@ pub struct PageRankConfig {
     pub damping: f64,
     /// Plan selection.
     pub plan: PageRankPlan,
+    /// Disables the executor's streaming operator chains, materializing every
+    /// forward edge (the equivalence-suite oracle; see `dataflow::exec`).
+    pub force_materialized: bool,
+    /// Per-edge in-flight page credits of the fused (streaming) chains.
+    /// `None` falls back to `SPINNING_CHANNEL_CREDITS` or the executor
+    /// default; results are identical either way.
+    pub channel_credits: Option<usize>,
 }
 
 impl PageRankConfig {
@@ -52,6 +59,8 @@ impl PageRankConfig {
             parallelism,
             damping: 0.85,
             plan: PageRankPlan::Optimized,
+            force_materialized: false,
+            channel_credits: None,
         }
     }
 
@@ -64,6 +73,20 @@ impl PageRankConfig {
     /// Sets the plan variant.
     pub fn with_plan(mut self, plan: PageRankPlan) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// Materializes every forward edge instead of streaming fused chains —
+    /// see [`PageRankConfig::force_materialized`].
+    pub fn with_force_materialized(mut self, force: bool) -> Self {
+        self.force_materialized = force;
+        self
+    }
+
+    /// Bounds each fused chain edge to `credits` in-flight pages — see
+    /// [`PageRankConfig::channel_credits`].  Clamped to at least 1.
+    pub fn with_channel_credits(mut self, credits: usize) -> Self {
+        self.channel_credits = Some(credits.max(1));
         self
     }
 }
@@ -166,18 +189,27 @@ pub fn pagerank(graph: &Graph, config: &PageRankConfig) -> Result<PageRankResult
 
     let result = match config.plan {
         PageRankPlan::Optimized => {
-            let bulk_config = BulkConfig::new(config.parallelism)
+            let mut bulk_config = BulkConfig::new(config.parallelism)
                 .with_annotations(annotations)
-                .clone();
+                .with_force_materialized(config.force_materialized);
+            if let Some(credits) = config.channel_credits {
+                bulk_config = bulk_config.with_channel_credits(credits);
+            }
             iteration.run(initial_ranks(graph), &bulk_config)?
         }
         forced => {
             // Build the forced physical plan by hand and drive the feedback
             // loop directly, mirroring what BulkIteration::run does.
             let physical = forced_physical_plan(&plan, join, reduce, config.parallelism, forced)?;
+            let mut exec_config =
+                ExecConfig::new().with_force_materialized(config.force_materialized);
+            if let Some(credits) = config.channel_credits {
+                exec_config = exec_config.with_channel_credits(credits);
+            }
             run_with_physical(
                 &iteration,
                 physical,
+                exec_config,
                 initial_ranks(graph),
                 config.iterations,
             )?
@@ -238,12 +270,13 @@ fn forced_physical_plan(
 fn run_with_physical(
     iteration: &BulkIteration,
     mut physical: PhysicalPlan,
+    exec_config: ExecConfig,
     initial: Vec<Record>,
     iterations: usize,
 ) -> Result<BulkIterationResult> {
     use std::time::Instant;
     let start = Instant::now();
-    let executor = Executor::new();
+    let executor = Executor::with_config(exec_config);
     let mut cache = IntermediateCache::new();
     let mut current = Arc::new(initial);
     let mut stats = IterationRunStats::default();

@@ -41,7 +41,7 @@ pub const HANDICAP_ENV: &str = "SPINNING_PERF_GATE_HANDICAP";
 /// (scale 16384, parallelism 8, 7 samples).
 pub const FROZEN_BASELINES: &str = r#"  "microbench_baseline": {
     "commit": "7e6e39d+page-native",
-    "note": "frozen speedup floors (legacy median / current median) per routing microbench, used by the perf_gate bin: a live speedup below floor/1.25 fails CI. Ratios are compared instead of absolute times so the gate holds across machines; benches whose legacy side is kernel-dependent (thread spawns, SipHash, file I/O) are frozen at conservative floors well under their typical measurement, so the gate trips on genuine hot-path regressions (ratio collapsing towards 1x), not scheduler noise. Floors re-frozen with the page-native operators PR on a markedly noisier machine than the previous freeze (the PR-6 build, re-measured the same day on the same machine, no longer reproduced several of its own frozen ratios; same-bench run-to-run swings up to 2x were observed on identical binaries), so every floor carries a wide noise margin. Typical measured values at freeze time: partition 1.9-7.2x, exchange 2.6-3.3x, page_exchange 0.5-1.1x (the paged exchange pays real serialization of shipped candidates where the Vec exchange moves heap pointers; the in-place view scan and page recycling claw most of that back, and the pages are what the spill, checkpoint and shipping paths consume directly), page_native 10.4-10.7x (the headline win of page-native operators: building and probing a join index over adopted pages vs materializing every record into a keyed hash table), memcmp_sort 1.9-2.3x, range_exchange 0.9-1.2x, spill_merge 0.68x (in-memory sort vs 8 spilled runs + loser-tree merge off disk; under 1x by design, the floor pins how far under it may fall), group 4.2-5.0x, merge 1.1-1.6x (re-frozen lower with the paged solution set: the ∪̇ merge now serializes applied deltas into sealed pages — the price that buys page-native supersteps, zero-copy checkpoints and spillable partitions; the end-to-end page-native paths recoup it), dispatch 76-191x, tcp_exchange 0.15-0.25x (one superstep of candidate shipping through the page-channel trait: the in-process backend hands pages over as Arc pointers while the TCP backend pays framing, CRC-32 and loopback kernel round trips; under 1x by design, the floor pins how far the wire path may fall behind the pointer path).",
+    "note": "frozen speedup floors (legacy median / current median) per routing microbench, used by the perf_gate bin: a live speedup below floor/1.25 fails CI. Ratios are compared instead of absolute times so the gate holds across machines; benches whose legacy side is kernel-dependent (thread spawns, SipHash, file I/O) are frozen at conservative floors well under their typical measurement, so the gate trips on genuine hot-path regressions (ratio collapsing towards 1x), not scheduler noise. Floors re-frozen with the page-native operators PR on a markedly noisier machine than the previous freeze (the PR-6 build, re-measured the same day on the same machine, no longer reproduced several of its own frozen ratios; same-bench run-to-run swings up to 2x were observed on identical binaries), so every floor carries a wide noise margin. Typical measured values at freeze time: partition 1.9-7.2x, exchange 2.6-3.3x, page_exchange 0.5-1.1x (the paged exchange pays real serialization of shipped candidates where the Vec exchange moves heap pointers; the in-place view scan and page recycling claw most of that back, and the pages are what the spill, checkpoint and shipping paths consume directly), page_native 10.4-10.7x (the headline win of page-native operators: building and probing a join index over adopted pages vs materializing every record into a keyed hash table), memcmp_sort 1.9-2.3x, range_exchange 0.9-1.2x, spill_merge 0.68x (in-memory sort vs 8 spilled runs + loser-tree merge off disk; under 1x by design, the floor pins how far under it may fall), chained_pipeline 0.85x (a source -> 16x expand -> filter -> sink pipeline at 4-way parallelism: materializing every forward edge vs one streaming chain over credit-bounded page channels; on a small in-memory workload the chain's thread handoffs roughly pay for the materialization they avoid, so the ratio sits near 1x — the floor pins against the chain path collapsing, the win is the bounded footprint), group 4.2-5.0x, merge 1.1-1.6x (re-frozen lower with the paged solution set: the ∪̇ merge now serializes applied deltas into sealed pages — the price that buys page-native supersteps, zero-copy checkpoints and spillable partitions; the end-to-end page-native paths recoup it), dispatch 76-191x, tcp_exchange 0.15-0.25x (one superstep of candidate shipping through the page-channel trait: the in-process backend hands pages over as Arc pointers while the TCP backend pays framing, CRC-32 and loopback kernel round trips; under 1x by design, the floor pins how far the wire path may fall behind the pointer path).",
     "benches": [
       {"name": "partition_single_long_key", "speedup_median": 2.00},
       {"name": "exchange_hash_partition", "speedup_median": 2.40},
@@ -50,6 +50,7 @@ pub const FROZEN_BASELINES: &str = r#"  "microbench_baseline": {
       {"name": "memcmp_sort", "speedup_median": 1.40},
       {"name": "range_exchange", "speedup_median": 0.90},
       {"name": "spill_merge", "speedup_median": 0.20},
+      {"name": "chained_pipeline", "speedup_median": 0.40},
       {"name": "group_table_build", "speedup_median": 3.50},
       {"name": "solution_set_merge", "speedup_median": 1.10},
       {"name": "superstep_dispatch", "speedup_median": 40.00},

@@ -11,7 +11,10 @@
 
 use dataflow::key::{partition_for, sort_by_key, FxHashMap, Key};
 use dataflow::page::{ExchangedPartition, PageWriter, PagedRecords, PrefixTable, RecordPage};
-use dataflow::prelude::{ChannelId, ClusterSpec, FaultInjector, Record, TransportHandle, Value};
+use dataflow::prelude::{
+    default_physical_plan, ChannelId, ClusterSpec, Collector, ExecConfig, Executor, FaultInjector,
+    MapClosure, Plan, Record, TransportHandle, Value,
+};
 use dataflow::range::{sample_keys_into, sort_by_key_normalized, RangeBounds};
 use dataflow::spill::{write_sorted_records_in, MergeSource, RunMerger};
 use spinning_core::prelude::SolutionSet;
@@ -55,6 +58,9 @@ const PARALLELISM: usize = 8;
 
 /// Supersteps dispatched per sample in the superstep-dispatch workload.
 pub const DISPATCH_SUPERSTEPS: usize = 200;
+
+/// Source records fed to the chained-pipeline workload (each expands 16x).
+pub const PIPELINE_RECORDS: usize = 4_000;
 
 fn routing_input() -> Vec<Record> {
     (0..ROUTED_RECORDS as i64)
@@ -130,7 +136,10 @@ fn paged_exchange_to_partitions(
     }
     received
         .into_iter()
-        .map(ExchangedPartition::into_records)
+        .map(|part| {
+            part.into_records()
+                .expect("in-memory partitions never fail to read")
+        })
         .collect()
 }
 
@@ -293,7 +302,8 @@ pub fn comparisons() -> Vec<Comparison> {
             part.for_each_piece(
                 |r| local = local.wrapping_add(r.long(0)),
                 |view| paged = paged.wrapping_add(view.long(0)),
-            );
+            )
+            .expect("in-memory partitions never fail to read");
             acc = acc.wrapping_add(local).wrapping_add(paged);
         }
         // Consumed pages hand their buffers back for the next superstep.
@@ -498,6 +508,64 @@ pub fn comparisons() -> Vec<Comparison> {
         name: "spill_merge",
         description:
             "order 100k records by Long key (in-memory memcmp sort vs 8 spilled sorted runs + loser-tree merge from disk)",
+        legacy,
+        current,
+    });
+
+    // 2g. A whole operator pipeline, materialized vs chained: source →
+    //     16x expansion map → filter map → sink at 4-way parallelism.  The
+    //     legacy side is the materializing executor (every forward edge
+    //     buffers the full intermediate result); the current side fuses the
+    //     three operators into one streaming chain whose stages overlap and
+    //     whose edges hold at most `credits` sealed pages.  The floor pins
+    //     the chained runtime against the materializing one — thread
+    //     hand-off costs are real, so the ratio may sit near (or below) 1x;
+    //     a collapse means the chain runtime regressed.
+    let build_pipeline = || {
+        let mut plan = Plan::new();
+        let events: Vec<Record> = (0..PIPELINE_RECORDS as i64)
+            .map(|i| Record::pair(i, i % 97))
+            .collect();
+        let source = plan.source("events", events);
+        let expand = plan.map(
+            "expand",
+            source,
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                for copy in 0..16 {
+                    out.collect(Record::pair(r.long(0) * 16 + copy, r.long(1)));
+                }
+            })),
+        );
+        let shift = plan.map(
+            "shift",
+            expand,
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                if r.long(1) != 0 {
+                    out.collect(Record::pair(r.long(0), r.long(1) + 1));
+                }
+            })),
+        );
+        plan.sink("out", shift);
+        default_physical_plan(&plan, 4).expect("pipeline plan")
+    };
+    let pipeline = build_pipeline;
+    let legacy = Box::new(move || {
+        let executor = Executor::with_config(ExecConfig::new().with_force_materialized(true));
+        let result = executor
+            .execute(&pipeline())
+            .expect("materialized pipeline");
+        black_box(result.into_sink("out").expect("materialized sink"));
+    });
+    let pipeline = build_pipeline;
+    let current = Box::new(move || {
+        let executor = Executor::new();
+        let result = executor.execute(&pipeline()).expect("chained pipeline");
+        black_box(result.into_sink("out").expect("chained sink"));
+    });
+    all.push(Comparison {
+        name: "chained_pipeline",
+        description:
+            "run a source -> 16x expand -> filter -> sink pipeline at 4-way parallelism (materialize every forward edge vs one streaming chain over credit-bounded page channels)",
         legacy,
         current,
     });

@@ -107,6 +107,14 @@ pub struct BulkConfig {
     /// spill and pool-dispatch sites.  Defaults to the
     /// environment-configured injector ([`FaultInjector::from_env`]).
     pub fault: FaultInjector,
+    /// Disables chain fusion and the page-native operator paths in the step
+    /// executions — the escape hatch pinning every streaming path against
+    /// the materializing oracle.  Off by default.
+    pub force_materialized: bool,
+    /// Per-edge credit bound of the step executions' fused chains; `None`
+    /// (the default) defers to `SPINNING_CHANNEL_CREDITS` / the executor
+    /// default.
+    pub channel_credits: Option<usize>,
 }
 
 impl BulkConfig {
@@ -120,6 +128,8 @@ impl BulkConfig {
             memory_budget: MemoryBudget::unlimited(),
             checkpoint: None,
             fault: FaultInjector::from_env(),
+            force_materialized: false,
+            channel_credits: None,
         }
     }
 
@@ -158,6 +168,20 @@ impl BulkConfig {
     /// Installs a fault injector (replacing the environment-configured one).
     pub fn with_fault(mut self, fault: FaultInjector) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Forces the materializing executor paths (see
+    /// [`BulkConfig::force_materialized`]).
+    pub fn with_force_materialized(mut self, force: bool) -> Self {
+        self.force_materialized = force;
+        self
+    }
+
+    /// Sets the per-edge credit bound of fused chains in the step
+    /// executions.
+    pub fn with_channel_credits(mut self, credits: usize) -> Self {
+        self.channel_credits = Some(credits.max(1));
         self
     }
 }
@@ -255,11 +279,14 @@ impl BulkIteration {
             dataflow::physical::default_physical_plan(&self.plan, config.parallelism)?
         };
 
-        let executor = Executor::with_config(
-            ExecConfig::new()
-                .with_memory_budget(config.memory_budget)
-                .with_fault(config.fault.clone()),
-        );
+        let mut exec_config = ExecConfig::new()
+            .with_memory_budget(config.memory_budget)
+            .with_fault(config.fault.clone())
+            .with_force_materialized(config.force_materialized);
+        if let Some(credits) = config.channel_credits {
+            exec_config = exec_config.with_channel_credits(credits);
+        }
+        let executor = Executor::with_config(exec_config);
         let mut cache = IntermediateCache::new().with_memory_budget(config.memory_budget);
         let mut current = Arc::new(initial);
         let mut run_stats = IterationRunStats::default();

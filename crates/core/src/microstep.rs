@@ -29,6 +29,13 @@
 //! surfaces as a typed [`DataflowError::CommTimeout`] after the
 //! `SPINNING_COMM_TIMEOUT_SECS` bound instead of a hang.
 //!
+//! The queues hold individual records, not spillable pages, so a configured
+//! [`WorksetConfig::memory_budget`] cannot be honoured here: asynchronous
+//! runs ignore it and say so with a one-time stderr warning instead of
+//! silently pretending to be bounded (the superstep modes honour the budget
+//! through the spilling exchange).  Use the channel credits to bound the
+//! queues' memory.
+//!
 //! # Fault tolerance
 //!
 //! Asynchronous execution has no superstep boundaries, so it ignores
@@ -45,10 +52,10 @@ use crate::stats::{IterationRunStats, IterationStats};
 use crate::workset::{WorksetConfig, WorksetIteration, WorksetResult};
 use dataflow::credit::{
     channel_credits_from_env, credit_channel, timeout_from_env, CreditReceiver, CreditSender,
-    RecvTimeoutError, SendError, TrySendError,
+    RecvTimeoutError, SendError, TrySendError, CHANNEL_CREDITS_ENV,
 };
 use dataflow::key::FxHashMap;
-use dataflow::prelude::{DataflowError, Key, PartitionRouter, Record, Result};
+use dataflow::prelude::{DataflowError, Key, MemoryBudget, PartitionRouter, Record, Result};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
@@ -113,6 +120,28 @@ impl Drop for PendingSends<'_> {
     }
 }
 
+/// The warning printed when an asynchronous run is configured with a finite
+/// memory budget it cannot honour (the record queues never spill).  A pure
+/// function so the test suite can pin the wording without capturing stderr.
+fn ignored_budget_warning(budget: &MemoryBudget) -> String {
+    let limit = budget
+        .limit()
+        .expect("only finite budgets trigger the warning");
+    format!(
+        "warning: asynchronous microstep execution ignores the configured memory budget \
+         of {limit} bytes (its record queues never spill); bound queue memory with \
+         WorksetConfig::with_channel_credits or {CHANNEL_CREDITS_ENV} instead"
+    )
+}
+
+/// Warns (once per process, the budget is typically identical across runs)
+/// that the configured memory budget does not apply to asynchronous
+/// execution.
+fn warn_ignored_budget_once(budget: &MemoryBudget) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| eprintln!("{}", ignored_budget_warning(budget)));
+}
+
 /// Per-worker counters returned when the worker shuts down.
 struct WorkerOutcome {
     processed: usize,
@@ -135,6 +164,9 @@ pub(crate) fn run_async(
     start: Instant,
 ) -> Result<WorksetResult> {
     let parallelism = config.parallelism;
+    if !config.memory_budget.is_unlimited() {
+        warn_ignored_budget_once(&config.memory_budget);
+    }
     let comparator = solution.comparator();
     let credits = config
         .channel_credits
@@ -538,6 +570,30 @@ mod tests {
         let high_water = result.stats.per_iteration[0].queue_high_water;
         assert!(high_water <= 1, "high water {high_water} exceeds 1 credit");
         assert!(high_water >= 1, "a 48-ring run must enqueue something");
+    }
+
+    #[test]
+    fn ignored_budget_warning_names_the_budget_and_the_remedy() {
+        let message = ignored_budget_warning(&MemoryBudget::bytes(4096));
+        assert!(message.starts_with("warning:"), "message: {message}");
+        assert!(message.contains("4096 bytes"), "message: {message}");
+        assert!(message.contains("ignores"), "message: {message}");
+        assert!(
+            message.contains("with_channel_credits") && message.contains(CHANNEL_CREDITS_ENV),
+            "the warning must point at the knob that does apply: {message}"
+        );
+    }
+
+    #[test]
+    fn finite_budget_still_reaches_the_fixpoint_asynchronously() {
+        // The budget is ignored (with a warning) — the run itself must be
+        // unaffected.
+        let (iteration, solution, workset) = ring_iteration(24);
+        let config = WorksetConfig::new(3)
+            .with_mode(ExecutionMode::AsynchronousMicrostep)
+            .with_memory_budget(MemoryBudget::bytes(1024));
+        let result = iteration.run(solution, workset, &config).unwrap();
+        assert!(result.solution.iter().all(|r| r.long(1) == 100));
     }
 
     #[test]

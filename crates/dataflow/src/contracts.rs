@@ -14,50 +14,105 @@ use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
 
+/// Receives records as they are emitted, instead of buffering them.
+///
+/// A [`Collector`] built with [`Collector::with_sink`] forwards every
+/// collected record here — the hook the streaming (chained) executor uses to
+/// push records downstream page by page while the user function is still
+/// running.  Emission is infallible from the UDF's point of view; a sink
+/// that fails downstream records the error internally and reports it when
+/// the runtime takes it back.
+pub trait RecordSink: Send {
+    /// Receives one emitted record.
+    fn push(&mut self, record: Record);
+    /// Recovers the concrete sink once the operator finished emitting
+    /// (trait objects cannot be downcast without an `Any` hop).
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
 /// Receives the records a user-defined function emits.
 ///
 /// A fresh collector is handed to the UDF for every invocation; everything
-/// pushed into it becomes part of the operator's output partition.
-#[derive(Debug, Default)]
+/// pushed into it becomes part of the operator's output partition — either
+/// buffered in memory (the default) or streamed straight into a
+/// [`RecordSink`] ([`Collector::with_sink`]).
+#[derive(Default)]
 pub struct Collector {
     buffer: Vec<Record>,
+    sink: Option<Box<dyn RecordSink>>,
+    collected: usize,
+}
+
+impl fmt::Debug for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collector")
+            .field("collected", &self.collected)
+            .field("buffered", &self.buffer.len())
+            .field("streaming", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl Collector {
-    /// Creates an empty collector.
+    /// Creates an empty (buffering) collector.
     pub fn new() -> Self {
-        Collector { buffer: Vec::new() }
+        Collector::default()
+    }
+
+    /// Creates a collector that streams every record into `sink` instead of
+    /// buffering it.
+    pub fn with_sink(sink: Box<dyn RecordSink>) -> Self {
+        Collector {
+            buffer: Vec::new(),
+            sink: Some(sink),
+            collected: 0,
+        }
     }
 
     /// Emits one record.
     #[inline]
     pub fn collect(&mut self, record: Record) {
-        self.buffer.push(record);
+        self.collected += 1;
+        match &mut self.sink {
+            Some(sink) => sink.push(record),
+            None => self.buffer.push(record),
+        }
     }
 
     /// Emits every record of an iterator.
     pub fn collect_all<I: IntoIterator<Item = Record>>(&mut self, records: I) {
-        self.buffer.extend(records);
+        for record in records {
+            self.collect(record);
+        }
     }
 
-    /// Number of records collected so far.
+    /// Number of records collected so far (buffered or streamed).
     pub fn len(&self) -> usize {
-        self.buffer.len()
+        self.collected
     }
 
     /// True if nothing was collected.
     pub fn is_empty(&self) -> bool {
-        self.buffer.is_empty()
+        self.collected == 0
     }
 
-    /// Consumes the collector, returning the collected records.
+    /// Consumes the collector, returning the buffered records (empty for a
+    /// streaming collector — its records already left through the sink).
     pub fn into_records(self) -> Vec<Record> {
         self.buffer
     }
 
-    /// Drains the collected records, leaving the collector reusable.
+    /// Drains the buffered records, leaving the collector reusable.
     pub fn drain(&mut self) -> Vec<Record> {
-        std::mem::take(&mut self.buffer)
+        self.collected = self.buffer.len();
+        let drained = std::mem::take(&mut self.buffer);
+        self.collected = 0;
+        drained
+    }
+
+    /// Takes the streaming sink back out (None for buffering collectors).
+    pub fn take_sink(&mut self) -> Option<Box<dyn RecordSink>> {
+        self.sink.take()
     }
 }
 

@@ -8,14 +8,21 @@
 //! records that move between partitions during an exchange are counted as
 //! "shipped" (network) records in the [`ExecutionStats`].
 //!
-//! The executor is a *materializing* executor: every operator fully consumes
-//! its (exchanged) inputs and materialises its output before downstream
-//! operators run.  This corresponds to a plan in which every edge is a dam,
-//! which is always safe for the iteration execution strategies of Sections
-//! 4.2 and 5.3 (no operator can ever participate in two iterations
-//! simultaneously).  Pipelined/asynchronous execution is provided where it
-//! matters for the paper's claims — the microstep execution mode of the
-//! workset iteration in the `spinning-core` crate.
+//! Exchanged (hash/range/broadcast) edges are dams: every such edge fully
+//! materialises before downstream operators run, which is always safe for
+//! the iteration execution strategies of Sections 4.2 and 5.3 (no operator
+//! can ever participate in two iterations simultaneously).  Forward edges,
+//! however, *stream*: a chain-fusion pass ([`streaming_input_slot`])
+//! identifies maximal pipelineable segments — forward-shipped, uncached,
+//! single-consumer edges into a slot the consumer can stream — and executes
+//! each segment as a pipeline of concurrent stages connected by
+//! credit-bounded page channels ([`crate::credit`]).  Records flow through a
+//! chain as sealed pages, handed downstream as they seal, so a fused edge
+//! holds at most `credits × page size` bytes in flight instead of the full
+//! intermediate ([`ExecConfig::with_channel_credits`]).
+//! [`ExecConfig::with_force_materialized`] is the escape hatch that disables
+//! fusion (and the page-native operator paths), pinning every streaming path
+//! byte-identical to the materializing oracle.
 //!
 //! # Exchanges move sealed pages
 //!
@@ -29,7 +36,10 @@
 //! pointers; the receiving local phase reads records back out of the pages
 //! lazily.  Only forward shipping keeps the records-as-objects fast path.
 
-use crate::contracts::{Collector, Udf};
+use crate::contracts::{Collector, RecordSink, Udf};
+use crate::credit::{
+    credit_channel, timeout_from_env, CreditReceiver, CreditSender, RecvTimeoutError, SendError,
+};
 use crate::error::{DataflowError, Result};
 use crate::fault::{FaultInjector, FaultSite};
 use crate::key::{group_ranges, partition_for, sort_by_key, FxHashMap, Key, KeyFields};
@@ -37,7 +47,9 @@ use crate::page::{
     denormalize_long, normalize_long, ExchangedPartition, PageHandle, PageWriter, PagedRecords,
     PrefixTable, RecordPage,
 };
-use crate::physical::{LocalStrategy, PhysicalChoice, PhysicalPlan, ShipStrategy};
+use crate::physical::{
+    streaming_input_slot, LocalStrategy, PhysicalChoice, PhysicalPlan, ShipStrategy,
+};
 use crate::plan::{Operator, OperatorId, OperatorKind};
 use crate::range::{sample_keys_into, sort_by_key_normalized, RangeBounds};
 use crate::record::Record;
@@ -47,12 +59,17 @@ use crate::transport::TransportHandle;
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The records held by one worker partition.
 pub type Partition = Vec<Record>;
 /// One partition per parallel instance.
 pub type Partitions = Vec<Partition>;
+/// One partition's local-phase outcome: `(records_in, output records)`.
+type LocalOutcome = Result<(usize, Vec<Record>)>;
+/// A paged input sorted by key prefix: the adopted store plus its
+/// `(prefix, handle)` pairs in sorted order.
+type SortedPaged = (PagedRecords, Vec<(u64, PageHandle)>);
 
 /// Runtime configuration of the [`Executor`].
 #[derive(Debug, Clone, Default)]
@@ -64,11 +81,19 @@ pub struct ExecConfig {
     /// Fault injector consulted at spill flushes and worker dispatch sites
     /// (see [`crate::fault`]).  Disabled by default.
     pub fault: FaultInjector,
-    /// Disables the page-native operator paths, forcing every join/group to
-    /// materialize its inputs into heap records first.  Off by default (the
-    /// page-native paths run whenever an input qualifies); the equivalence
-    /// suites flip it to check both paths produce byte-identical results.
+    /// Disables the page-native operator paths **and chain fusion**, forcing
+    /// every join/group to materialize its inputs into heap records first and
+    /// every operator boundary to dam.  Off by default (the page-native and
+    /// chained paths run whenever an edge qualifies); the equivalence suites
+    /// flip it to check the streaming paths produce byte-identical results.
     pub force_materialized: bool,
+    /// Per-edge credit bound of the chained (streaming) operator paths: a
+    /// fused pipeline edge holds at most this many sealed pages in flight, so
+    /// a chain's memory footprint is `credits × page size` per edge instead
+    /// of the full intermediate.  `None` (the default) reads
+    /// `SPINNING_CHANNEL_CREDITS` and falls back to
+    /// [`DEFAULT_CHAIN_CREDITS`].
+    pub channel_credits: Option<usize>,
     /// The transport every repartitioning exchange ships its sealed pages
     /// through.  Defaults to the in-process backend (pointer-moving channels
     /// in a cluster of one); the batch executor rejects multi-process
@@ -106,7 +131,28 @@ impl ExecConfig {
         self.transport = transport;
         self
     }
+
+    /// Sets the per-edge credit bound of chained (streaming) operator paths;
+    /// clamped to at least 1 (a chain must be able to make progress).
+    pub fn with_channel_credits(mut self, credits: usize) -> Self {
+        self.channel_credits = Some(credits.max(1));
+        self
+    }
+
+    /// The effective chained-edge credit bound: the explicit configuration,
+    /// else `SPINNING_CHANNEL_CREDITS`, else [`DEFAULT_CHAIN_CREDITS`].
+    pub fn resolved_channel_credits(&self) -> usize {
+        self.channel_credits
+            .or_else(crate::credit::channel_credits_from_env)
+            .unwrap_or(DEFAULT_CHAIN_CREDITS)
+            .max(1)
+    }
 }
+
+/// Default per-edge credit bound of a fused chain when neither the
+/// configuration nor `SPINNING_CHANNEL_CREDITS` specifies one: 4 sealed 32
+/// KiB pages ≈ 128 KiB in flight per edge.
+pub const DEFAULT_CHAIN_CREDITS: usize = 4;
 
 /// Cache of post-exchange inputs, keyed by (consumer operator, input slot).
 ///
@@ -329,8 +375,36 @@ impl Executor {
             }
         }
 
+        // The chain-fusion pass: maximal pipelineable segments over forward,
+        // uncached, single-consumer edges.  `force_materialized` is the
+        // escape hatch that pins every chained path against the materializing
+        // oracle.
+        let chain = if self.config.force_materialized {
+            ChainPlan::default()
+        } else {
+            compute_chain_segments(physical)
+        };
+
         for id in order {
             let op = plan.operator(id);
+            if let Some(&(seg, pos)) = chain.member_of.get(&id) {
+                // Non-tail members run inside their segment's pipeline; the
+                // whole segment executes when the topological walk reaches
+                // its tail (every side input's producer has run by then).
+                if pos + 1 != chain.segments[seg].len() {
+                    continue;
+                }
+                self.execute_segment(
+                    physical,
+                    &chain.segments[seg],
+                    &mut outputs,
+                    &mut sink_outputs,
+                    cache,
+                    &mut remaining_uses,
+                    &mut stats,
+                )?;
+                continue;
+            }
             let choice = physical.choice(id);
             let op_start = Instant::now();
 
@@ -357,98 +431,25 @@ impl Executor {
 
             // 2b. Exchange (or fetch from cache) each input edge.
             let mut prepared: Vec<PreparedInput> = Vec::with_capacity(op.inputs.len());
-            for (slot, &input) in op.inputs.iter().enumerate() {
-                let cache_key = (id, slot);
-                // This edge consumes one use of the producer's output,
-                // whether it is served from the cache or exchanged.
-                let last_use = remaining_uses[input.0] == 1;
-                remaining_uses[input.0] = remaining_uses[input.0].saturating_sub(1);
-                if choice.cache_inputs[slot] {
-                    if let Some(cached) = cache.entries.get(&cache_key) {
-                        stats.cache_hits += 1;
-                        prepared.push(cached.serve());
-                        if last_use {
-                            outputs.remove(&input);
-                        }
-                        continue;
-                    }
-                }
-                let producer_out = if last_use {
-                    outputs.remove(&input)
-                } else {
-                    outputs.get(&input).cloned()
-                }
-                .ok_or_else(|| {
-                    DataflowError::ExecutionFailed(format!(
-                        "input {} of '{}' has not produced output",
-                        input.0, op.name
-                    ))
-                })?;
-                // The producer's partitions can be consumed in place when no
-                // one else holds them (no other pending consumer, not a sink
-                // result, not cached).
-                let producer = match Arc::try_unwrap(producer_out) {
-                    Ok(owned) => ProducerInput::Owned(owned),
-                    Err(shared) => ProducerInput::Shared(shared),
-                };
-                let ship = &choice.input_ships[slot];
-                if choice.cache_inputs[slot] {
-                    // Cached (loop-invariant) edges are re-read on every
-                    // execution of the step plan, so they are materialized
-                    // once and served as shared record partitions — exchanged
-                    // as records directly, since serializing them into pages
-                    // would be an immediate serialize/deserialize roundtrip.
-                    // An edge exceeding the cache budget is spilled to disk
-                    // instead and streamed back on every execution.
-                    let (parts, sorted_by) = cache_exchange_records(
-                        producer,
-                        ship,
-                        parallelism,
-                        range_bounds.as_deref(),
-                        &mut stats,
-                    );
-                    let edge =
-                        build_cached_edge(parts, sorted_by, cache.memory_budget, &mut stats)?;
-                    prepared.push(edge.serve());
-                    cache.entries.insert(cache_key, edge);
-                } else {
-                    prepared.push(exchange(
-                        producer,
-                        ship,
-                        parallelism,
-                        range_bounds.as_deref(),
-                        &self.config,
-                        &mut stats,
-                    )?);
-                }
+            for slot in 0..op.inputs.len() {
+                prepared.push(self.prepare_input(
+                    op,
+                    slot,
+                    choice,
+                    range_bounds.as_deref(),
+                    parallelism,
+                    &mut outputs,
+                    cache,
+                    &mut remaining_uses,
+                    &mut stats,
+                )?);
             }
 
             // Split the prepared inputs into one input set per partition:
             // shared inputs hand every partition a (cheap) Arc clone, paged
             // inputs move each partition's local records and received page
             // pointers into that partition's task.
-            let mut partition_inputs: Vec<Vec<LocalInput>> = (0..parallelism)
-                .map(|_| Vec::with_capacity(op.inputs.len()))
-                .collect();
-            for prep in prepared {
-                match prep {
-                    PreparedInput::Shared(parts, sorted_by) => {
-                        for (p, inputs) in partition_inputs.iter_mut().enumerate() {
-                            inputs.push(LocalInput::Shared(
-                                Arc::clone(&parts),
-                                p,
-                                sorted_by.clone(),
-                            ));
-                        }
-                    }
-                    PreparedInput::Paged(parts) => {
-                        debug_assert_eq!(parts.len(), parallelism);
-                        for (part, inputs) in parts.into_iter().zip(partition_inputs.iter_mut()) {
-                            inputs.push(LocalInput::Paged(part));
-                        }
-                    }
-                }
-            }
+            let mut partition_inputs = split_by_partition(prepared, parallelism, op.inputs.len());
 
             // 3. Run the local phase, one pool task per partition.  The
             //    persistent worker pool is shared process-wide, so an
@@ -460,11 +461,19 @@ impl Executor {
             let mut records_in_total = 0usize;
             if parallelism == 1 {
                 let inputs = partition_inputs.pop().expect("one partition input set");
-                let (records_in, out) = run_local(op, local, inputs, page_native);
+                let mut collector = Collector::new();
+                let records_in = run_local(
+                    op,
+                    local,
+                    inputs,
+                    page_native,
+                    &self.config.fault,
+                    &mut collector,
+                )?;
                 records_in_total += records_in;
-                result_parts.push(out);
+                result_parts.push(collector.into_records());
             } else {
-                let mut per_partition: Vec<Option<(usize, Vec<Record>)>> =
+                let mut per_partition: Vec<Option<LocalOutcome>> =
                     (0..parallelism).map(|_| None).collect();
                 let fault = &self.config.fault;
                 spinning_pool::global()
@@ -474,7 +483,18 @@ impl Executor {
                         {
                             scope.spawn_labeled("operator-local", move || {
                                 fault.panic_check(FaultSite::WorkerPanic, "operator-local");
-                                *slot = Some(run_local(op, local, inputs, page_native));
+                                let mut collector = Collector::new();
+                                *slot = Some(
+                                    run_local(
+                                        op,
+                                        local,
+                                        inputs,
+                                        page_native,
+                                        fault,
+                                        &mut collector,
+                                    )
+                                    .map(|records_in| (records_in, collector.into_records())),
+                                );
                             });
                         }
                     })
@@ -484,7 +504,7 @@ impl Executor {
                         message: panic.message(),
                     })?;
                 for slot in per_partition {
-                    let (records_in, out) = slot.expect("pool ran every partition task");
+                    let (records_in, out) = slot.expect("pool ran every partition task")?;
                     records_in_total += records_in;
                     result_parts.push(out);
                 }
@@ -510,6 +530,284 @@ impl Executor {
             sink_outputs,
             stats,
         })
+    }
+
+    /// Exchanges (or serves from the cache) one input edge of `op`,
+    /// consuming one use of the producer's output.  Shared between the
+    /// materializing per-operator loop and the side inputs of fused chain
+    /// segments.
+    #[allow(clippy::too_many_arguments)]
+    fn prepare_input(
+        &self,
+        op: &Operator,
+        slot: usize,
+        choice: &PhysicalChoice,
+        range_bounds: Option<&RangeBounds>,
+        parallelism: usize,
+        outputs: &mut HashMap<OperatorId, Arc<Partitions>>,
+        cache: &mut IntermediateCache,
+        remaining_uses: &mut [usize],
+        stats: &mut ExecutionStats,
+    ) -> Result<PreparedInput> {
+        let input = op.inputs[slot];
+        let cache_key = (op.id, slot);
+        // This edge consumes one use of the producer's output, whether it is
+        // served from the cache or exchanged.
+        let last_use = remaining_uses[input.0] == 1;
+        remaining_uses[input.0] = remaining_uses[input.0].saturating_sub(1);
+        if choice.cache_inputs[slot] {
+            if let Some(cached) = cache.entries.get(&cache_key) {
+                stats.cache_hits += 1;
+                let served = cached.serve();
+                if last_use {
+                    outputs.remove(&input);
+                }
+                return Ok(served);
+            }
+        }
+        let producer_out = if last_use {
+            outputs.remove(&input)
+        } else {
+            outputs.get(&input).cloned()
+        }
+        .ok_or_else(|| {
+            DataflowError::ExecutionFailed(format!(
+                "input {} of '{}' has not produced output",
+                input.0, op.name
+            ))
+        })?;
+        // The producer's partitions can be consumed in place when no one else
+        // holds them (no other pending consumer, not a sink result, not
+        // cached).
+        let producer = match Arc::try_unwrap(producer_out) {
+            Ok(owned) => ProducerInput::Owned(owned),
+            Err(shared) => ProducerInput::Shared(shared),
+        };
+        let ship = &choice.input_ships[slot];
+        if choice.cache_inputs[slot] {
+            // Cached (loop-invariant) edges are re-read on every execution of
+            // the step plan, so they are materialized once and served as
+            // shared record partitions — exchanged as records directly, since
+            // serializing them into pages would be an immediate
+            // serialize/deserialize roundtrip.  An edge exceeding the cache
+            // budget is spilled to disk instead and streamed back on every
+            // execution.
+            let (parts, sorted_by) =
+                cache_exchange_records(producer, ship, parallelism, range_bounds, stats);
+            let edge = build_cached_edge(parts, sorted_by, cache.memory_budget, stats)?;
+            let served = edge.serve();
+            cache.entries.insert(cache_key, edge);
+            Ok(served)
+        } else {
+            exchange(
+                producer,
+                ship,
+                parallelism,
+                range_bounds,
+                &self.config,
+                stats,
+            )
+        }
+    }
+
+    /// Executes one fused chain segment (`members`, head to tail) as a
+    /// pipeline: every member runs one stage thread per partition, connected
+    /// along the fused edges by credit-bounded channels of sealed pages.
+    ///
+    /// Side inputs (the non-fused slots — a hash join's build side, a
+    /// cross's broadcast side) are prepared on this thread exactly like the
+    /// materializing path prepares them; the topological walk dispatches the
+    /// segment at its *tail*, by which point every side producer has run.
+    /// Dedicated `thread::scope` threads carry the stages — the shared
+    /// worker pool would deadlock, since stages block on channel credits
+    /// while holding a pool worker.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_segment(
+        &self,
+        physical: &PhysicalPlan,
+        members: &[OperatorId],
+        outputs: &mut HashMap<OperatorId, Arc<Partitions>>,
+        sink_outputs: &mut HashMap<String, Arc<Partitions>>,
+        cache: &mut IntermediateCache,
+        remaining_uses: &mut [usize],
+        stats: &mut ExecutionStats,
+    ) -> Result<()> {
+        let plan = &physical.plan;
+        let parallelism = physical.parallelism;
+        let page_native = !self.config.force_materialized;
+        let credits = self.config.resolved_channel_credits();
+        let timeout = timeout_from_env();
+        let fault = &self.config.fault;
+
+        struct Member<'p> {
+            op: &'p Operator,
+            local: LocalStrategy,
+            stream_slot: Option<usize>,
+            partition_inputs: Vec<Vec<LocalInput>>,
+        }
+        let mut prepared_members: Vec<Member<'_>> = Vec::with_capacity(members.len());
+        for (pos, &mid) in members.iter().enumerate() {
+            let op = plan.operator(mid);
+            let choice = physical.choice(mid);
+            let range_bounds = prepare_range_bounds(op, choice, outputs, cache, parallelism)?;
+            let stream_slot = (pos > 0).then(|| {
+                streaming_input_slot(&op.kind, choice.local)
+                    .expect("fused consumers have a streaming slot")
+            });
+            let mut prepared: Vec<PreparedInput> = Vec::new();
+            for slot in 0..op.inputs.len() {
+                if Some(slot) == stream_slot {
+                    // The fused edge: consumed through the chain, so its
+                    // producer (the previous member) never materializes into
+                    // `outputs`.
+                    remaining_uses[op.inputs[slot].0] = 0;
+                    continue;
+                }
+                prepared.push(self.prepare_input(
+                    op,
+                    slot,
+                    choice,
+                    range_bounds.as_deref(),
+                    parallelism,
+                    outputs,
+                    cache,
+                    remaining_uses,
+                    stats,
+                )?);
+            }
+            let arity = prepared.len();
+            prepared_members.push(Member {
+                op,
+                local: choice.local,
+                stream_slot,
+                partition_inputs: split_by_partition(prepared, parallelism, arity),
+            });
+        }
+
+        // Wire the stages: one credit channel per fused edge per partition
+        // (stage `pos` of partition `p` sends to stage `pos + 1` of the same
+        // partition — fused edges are forward edges, they never cross
+        // partitions).
+        let tail_pos = members.len() - 1;
+        let mut specs: Vec<StageSpec<'_>> = Vec::with_capacity(members.len() * parallelism);
+        let mut pending_rx: Vec<Option<CreditReceiver<Arc<RecordPage>>>> =
+            (0..parallelism).map(|_| None).collect();
+        for (pos, member) in prepared_members.into_iter().enumerate() {
+            for (p, inputs) in member.partition_inputs.into_iter().enumerate() {
+                let (tx, next_rx) = if pos < tail_pos {
+                    let (tx, rx) = credit_channel(credits, timeout);
+                    (Some(tx), Some(rx))
+                } else {
+                    (None, None)
+                };
+                let rx = std::mem::replace(&mut pending_rx[p], next_rx);
+                specs.push(StageSpec {
+                    op: member.op,
+                    local: member.local,
+                    stream_slot: member.stream_slot,
+                    inputs,
+                    tx,
+                    rx,
+                });
+            }
+        }
+
+        // Run every stage of every partition concurrently and join them all;
+        // a panicking stage surfaces as a typed worker panic.
+        let mut outcomes: Vec<Result<StageOutcome>> = Vec::with_capacity(specs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<(
+                String,
+                std::thread::ScopedJoinHandle<'_, Result<StageOutcome>>,
+            )> = specs
+                .into_iter()
+                .map(|spec| {
+                    let name = spec.op.name.clone();
+                    let handle = scope.spawn(move || run_stage(spec, page_native, fault, timeout));
+                    (name, handle)
+                })
+                .collect();
+            for (name, handle) in handles {
+                outcomes.push(handle.join().unwrap_or_else(|payload| {
+                    Err(DataflowError::WorkerPanic {
+                        operator: name,
+                        superstep: 0,
+                        message: panic_message(&*payload),
+                    })
+                }));
+            }
+        });
+
+        // A stage whose downstream died sees a channel hang-up, not the root
+        // cause — report panics first, then the first non-hang-up error in
+        // stage order, and the hang-up itself only if nothing else explains
+        // the failure.
+        let mut panic_err: Option<DataflowError> = None;
+        let mut real_err: Option<DataflowError> = None;
+        let mut hangup_err: Option<DataflowError> = None;
+        let mut results: Vec<StageOutcome> = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
+                Ok(result) => results.push(result),
+                Err(err) => match &err {
+                    DataflowError::WorkerPanic { .. } if panic_err.is_none() => {
+                        panic_err = Some(err)
+                    }
+                    DataflowError::ExecutionFailed(msg) if msg == CHAIN_DISCONNECT_MSG => {
+                        hangup_err.get_or_insert(err);
+                    }
+                    _ if real_err.is_none() => real_err = Some(err),
+                    _ => {}
+                },
+            }
+        }
+        if let Some(err) = panic_err.or(real_err).or(hangup_err) {
+            return Err(err);
+        }
+
+        // Per-member accounting: stage outcomes arrive member-major (the
+        // spawn order), `parallelism` partitions per member.
+        debug_assert_eq!(results.len(), members.len() * parallelism);
+        let mut agg: Vec<StageAgg> = vec![StageAgg::default(); members.len()];
+        let mut tail_parts: Vec<Partition> = Vec::with_capacity(parallelism);
+        for (i, outcome) in results.into_iter().enumerate() {
+            let pos = i / parallelism;
+            agg[pos].records_in += outcome.records_in;
+            agg[pos].records_out += outcome.records_out;
+            agg[pos].elapsed += outcome.elapsed;
+            agg[pos].high_water = agg[pos].high_water.max(outcome.high_water);
+            if pos == tail_pos {
+                tail_parts.push(outcome.result);
+            }
+        }
+        for (pos, &mid) in members.iter().enumerate() {
+            let op = plan.operator(mid);
+            let member_agg = &agg[pos];
+            if pos < tail_pos {
+                // Fused-edge records stay inside their partition — the same
+                // accounting a materializing forward exchange applies.
+                stats.local_records += member_agg.records_out;
+            }
+            if pos > 0 {
+                stats.peak_chain_pages = stats.peak_chain_pages.max(member_agg.high_water);
+            }
+            stats.operators.push(OperatorStats {
+                name: op.name.clone(),
+                contract: op.kind.contract_name().to_owned(),
+                records_in: member_agg.records_in,
+                records_out: member_agg.records_out,
+                elapsed: member_agg.elapsed,
+            });
+        }
+        stats.chained_operators += members.len();
+
+        let tail_id = members[tail_pos];
+        let result_parts = Arc::new(tail_parts);
+        if let OperatorKind::Sink { name } = &plan.operator(tail_id).kind {
+            sink_outputs.insert(name.clone(), Arc::clone(&result_parts));
+        }
+        outputs.insert(tail_id, result_parts);
+        Ok(())
     }
 }
 
@@ -564,6 +862,456 @@ enum PreparedInput {
     /// repartitioning and broadcast, i.e. every edge that "touches the
     /// network").
     Paged(Vec<ExchangedPartition>),
+}
+
+/// Splits prepared inputs into one input set per partition: shared inputs
+/// hand every partition a (cheap) Arc clone, paged inputs move each
+/// partition's local records and received page pointers into that
+/// partition's task.
+fn split_by_partition(
+    prepared: Vec<PreparedInput>,
+    parallelism: usize,
+    arity: usize,
+) -> Vec<Vec<LocalInput>> {
+    let mut partition_inputs: Vec<Vec<LocalInput>> = (0..parallelism)
+        .map(|_| Vec::with_capacity(arity))
+        .collect();
+    for prep in prepared {
+        match prep {
+            PreparedInput::Shared(parts, sorted_by) => {
+                for (p, inputs) in partition_inputs.iter_mut().enumerate() {
+                    inputs.push(LocalInput::Shared(Arc::clone(&parts), p, sorted_by.clone()));
+                }
+            }
+            PreparedInput::Paged(parts) => {
+                debug_assert_eq!(parts.len(), parallelism);
+                for (part, inputs) in parts.into_iter().zip(partition_inputs.iter_mut()) {
+                    inputs.push(LocalInput::Paged(part));
+                }
+            }
+        }
+    }
+    partition_inputs
+}
+
+// ---------------------------------------------------------------------------
+// Chain fusion: streaming operator segments
+// ---------------------------------------------------------------------------
+
+/// The fused segments of one physical plan: each segment is a maximal linear
+/// chain of operators whose connecting edges stream instead of materializing.
+#[derive(Debug, Default)]
+struct ChainPlan {
+    /// Member operator → (segment index, position inside the segment).
+    member_of: HashMap<OperatorId, (usize, usize)>,
+    /// Segment members in pipeline order, head first.
+    segments: Vec<Vec<OperatorId>>,
+}
+
+/// The chain-fusion pass: finds maximal pipelineable segments.
+///
+/// An edge `A → B` (into slot `s` of `B`) fuses when all of the following
+/// hold, so streaming it cannot change any observable result:
+///
+/// * `s` is `B`'s streaming slot ([`streaming_input_slot`]) — `B` can
+///   consume the edge record by record;
+/// * the edge ships `Forward` — partition `p` of `A` feeds partition `p` of
+///   `B`, so a per-partition channel preserves exactly the materialized
+///   delivery;
+/// * the edge is not cached — loop-invariant edges must still snapshot into
+///   the [`IntermediateCache`] for reuse across iterations;
+/// * `B` is `A`'s **only** consumer — other consumers need `A`'s
+///   materialized output;
+/// * `A` is not a source (sources partition data on the main thread, there
+///   is nothing to overlap) and not a sink (a sink's records *are* the
+///   plan's result and must materialize).
+///
+/// Segments of length 1 are not chains; they run on the materializing path.
+fn compute_chain_segments(physical: &PhysicalPlan) -> ChainPlan {
+    let plan = &physical.plan;
+    let mut consumer_count = vec![0usize; plan.len()];
+    for op in plan.operators() {
+        for input in &op.inputs {
+            consumer_count[input.0] += 1;
+        }
+    }
+    let mut fused_pred: Vec<Option<OperatorId>> = vec![None; plan.len()];
+    let mut fused_succ: Vec<Option<OperatorId>> = vec![None; plan.len()];
+    for op in plan.operators() {
+        let choice = physical.choice(op.id);
+        let Some(slot) = streaming_input_slot(&op.kind, choice.local) else {
+            continue;
+        };
+        if slot >= op.inputs.len() {
+            continue;
+        }
+        let producer_id = op.inputs[slot];
+        if choice.input_ships[slot] != ShipStrategy::Forward
+            || choice.cache_inputs[slot]
+            || consumer_count[producer_id.0] != 1
+        {
+            continue;
+        }
+        let producer = plan.operator(producer_id);
+        if matches!(
+            producer.kind,
+            OperatorKind::Source { .. } | OperatorKind::Sink { .. }
+        ) {
+            continue;
+        }
+        fused_pred[op.id.0] = Some(producer_id);
+        fused_succ[producer_id.0] = Some(op.id);
+    }
+    let mut chain = ChainPlan::default();
+    for op in plan.operators() {
+        // A head has a fused successor but no fused predecessor.
+        if fused_pred[op.id.0].is_some() || fused_succ[op.id.0].is_none() {
+            continue;
+        }
+        let mut members = vec![op.id];
+        let mut cursor = op.id;
+        while let Some(next) = fused_succ[cursor.0] {
+            members.push(next);
+            cursor = next;
+        }
+        let seg = chain.segments.len();
+        for (pos, &member) in members.iter().enumerate() {
+            chain.member_of.insert(member, (seg, pos));
+        }
+        chain.segments.push(members);
+    }
+    chain
+}
+
+/// Marker message of the chain-hang-up error: a stage whose downstream
+/// receiver died mid-stream.  Kept distinguishable so segment error
+/// reporting can prefer the root cause over the ripple.
+const CHAIN_DISCONNECT_MSG: &str = "chained edge receiver hung up mid-stream";
+
+/// One stage (member × partition) of a fused segment, ready to spawn.
+struct StageSpec<'p> {
+    op: &'p Operator,
+    local: LocalStrategy,
+    /// The fused input slot this stage streams from (`None` for the head,
+    /// which reads materialized inputs like any operator).
+    stream_slot: Option<usize>,
+    /// Materialized side inputs in slot order, the streamed slot absent.
+    inputs: Vec<LocalInput>,
+    /// Downstream fused edge (`None` for the tail).
+    tx: Option<CreditSender<Arc<RecordPage>>>,
+    /// Upstream fused edge (`None` for the head).
+    rx: Option<CreditReceiver<Arc<RecordPage>>>,
+}
+
+/// What one stage reports back to the segment driver.
+struct StageOutcome {
+    records_in: usize,
+    records_out: usize,
+    elapsed: Duration,
+    /// Receiver high-water mark of the upstream fused edge (0 for heads).
+    high_water: usize,
+    /// The tail's output partition (empty for non-tail stages — their
+    /// records left through the chain).
+    result: Vec<Record>,
+}
+
+/// Per-member aggregation of [`StageOutcome`]s across partitions.
+#[derive(Clone, Default)]
+struct StageAgg {
+    records_in: usize,
+    records_out: usize,
+    elapsed: Duration,
+    high_water: usize,
+}
+
+/// The producing end of one fused edge: a [`RecordSink`] that serializes
+/// emitted records into pages and hands each page downstream **as it
+/// seals**, blocking on the edge's credit pool — this is what bounds a
+/// running chain to `credits × page size` bytes per edge.
+///
+/// Emission is infallible from the UDF's view; the first send failure is
+/// recorded and every later page is dropped (the whole segment's results are
+/// discarded on any stage error, so the partial stream is never observed).
+struct ChainStream {
+    writer: PageWriter,
+    tx: CreditSender<Arc<RecordPage>>,
+    sent_records: usize,
+    error: Option<DataflowError>,
+}
+
+impl ChainStream {
+    fn new(tx: CreditSender<Arc<RecordPage>>) -> Self {
+        ChainStream {
+            writer: PageWriter::new(),
+            tx,
+            sent_records: 0,
+            error: None,
+        }
+    }
+
+    fn send_page(&mut self, page: Arc<RecordPage>) {
+        if self.error.is_some() {
+            return;
+        }
+        self.sent_records += page.record_count();
+        if let Err(err) = self.tx.send(page) {
+            self.error = Some(match err {
+                SendError::Timeout(_) => DataflowError::CommTimeout(
+                    "a chained-edge credit (downstream stage stalled)".into(),
+                ),
+                SendError::Disconnected(_) => {
+                    DataflowError::ExecutionFailed(CHAIN_DISCONNECT_MSG.into())
+                }
+            });
+        }
+    }
+
+    /// Seals and sends the trailing partial page, then reports the first
+    /// send failure (if any).  Dropping the sender signals end-of-stream to
+    /// the downstream stage.
+    fn finish(mut self) -> Result<usize> {
+        let writer = std::mem::take(&mut self.writer);
+        for page in writer.finish() {
+            self.send_page(page);
+        }
+        match self.error.take() {
+            Some(err) => Err(err),
+            None => Ok(self.sent_records),
+        }
+    }
+}
+
+impl RecordSink for ChainStream {
+    fn push(&mut self, record: Record) {
+        self.writer.push(&record);
+        if self.writer.sealed_page_count() > 0 {
+            for page in self.writer.take_sealed() {
+                self.send_page(page);
+            }
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// Renders a stage thread's panic payload (mirrors the worker pool's panic
+/// message extraction).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "chained stage panicked".to_owned()
+    }
+}
+
+/// Runs one stage of a fused segment: the head runs the ordinary local
+/// phase with its collector streaming into the chain; downstream stages
+/// consume the chain via [`run_chained`], themselves streaming onward (mid)
+/// or buffering the segment's output (tail).
+fn run_stage(
+    spec: StageSpec<'_>,
+    page_native: bool,
+    fault: &FaultInjector,
+    timeout: Duration,
+) -> Result<StageOutcome> {
+    let start = Instant::now();
+    fault.panic_check(FaultSite::WorkerPanic, "chained-operator");
+    let StageSpec {
+        op,
+        local,
+        stream_slot,
+        inputs,
+        tx,
+        rx,
+    } = spec;
+    let mut collector = match tx {
+        Some(tx) => Collector::with_sink(Box::new(ChainStream::new(tx))),
+        None => Collector::new(),
+    };
+    let (records_in, high_water) = match (stream_slot, rx) {
+        (None, None) => (
+            run_local(op, local, inputs, page_native, fault, &mut collector)?,
+            0,
+        ),
+        (Some(slot), Some(rx)) => {
+            let records_in =
+                run_chained(op, local, slot, inputs, &rx, timeout, fault, &mut collector)?;
+            (records_in, rx.high_water())
+        }
+        _ => unreachable!("only heads lack a receiver, and heads have no stream slot"),
+    };
+    let records_out = collector.len();
+    let result = match collector.take_sink() {
+        Some(sink) => {
+            let stream = sink
+                .into_any()
+                .downcast::<ChainStream>()
+                .expect("chain stages stream through ChainStream");
+            stream.finish()?;
+            Vec::new()
+        }
+        None => collector.into_records(),
+    };
+    Ok(StageOutcome {
+        records_in,
+        records_out,
+        elapsed: start.elapsed(),
+        high_water,
+        result,
+    })
+}
+
+/// Runs one downstream member of a fused chain on one partition: consumes
+/// the fused edge page by page as upstream seals them; side inputs (a hash
+/// join's build side, a cross's broadcast side) arrive materialized, exactly
+/// as the materializing path would prepare them.  Every emission path
+/// matches [`run_local`]'s record-for-record, which is what keeps chained
+/// and materialized executions byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn run_chained(
+    op: &Operator,
+    local: LocalStrategy,
+    stream_slot: usize,
+    side_inputs: Vec<LocalInput>,
+    rx: &CreditReceiver<Arc<RecordPage>>,
+    timeout: Duration,
+    fault: &FaultInjector,
+    out: &mut Collector,
+) -> Result<usize> {
+    let mut records_in: usize = side_inputs.iter().map(LocalInput::len).sum();
+    // The same executor-side spill-read fault gate as `run_local`: side
+    // inputs can arrive as spilled runs under a memory budget.
+    for input in &side_inputs {
+        if input.has_spilled_runs() {
+            fault.io_check(FaultSite::SpillRead)?;
+        }
+    }
+    let mut side_inputs = side_inputs.into_iter();
+
+    // Pulls every streamed record through `f` (deserialized into one scratch
+    // record, like the paged read paths) until upstream hangs up — sender
+    // drop is the chain's end-of-stream marker.
+    let for_each_streamed = |f: &mut dyn FnMut(&Record)| -> Result<usize> {
+        let mut scratch = Record::empty();
+        let mut count = 0usize;
+        loop {
+            match rx.recv_timeout(timeout) {
+                Ok(page) => {
+                    for view in page.reader() {
+                        view.read_into(&mut scratch);
+                        count += 1;
+                        f(&scratch);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Ok(count),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(DataflowError::CommTimeout(format!(
+                        "pages on the chained edge into '{}'",
+                        op.name
+                    )))
+                }
+            }
+        }
+    };
+
+    match (&op.kind, &op.udf) {
+        (OperatorKind::Map, Udf::Map(udf)) => {
+            records_in += for_each_streamed(&mut |record| udf.map(record, out))?;
+        }
+        (OperatorKind::Sink { .. }, _) => {
+            records_in += for_each_streamed(&mut |record| out.collect(record.clone()))?;
+        }
+        (OperatorKind::Reduce { key }, Udf::Reduce(udf)) => match local {
+            LocalStrategy::SortGroup => {
+                // The stream carries no delivered order (forward edges never
+                // do), so this pays the same sort the materializing SortGroup
+                // path pays on an unsorted forward input.
+                let mut records: Vec<Record> = Vec::new();
+                records_in += for_each_streamed(&mut |record| records.push(record.clone()))?;
+                sort_by_key(&mut records, key);
+                for (start, end) in group_ranges(&records, key) {
+                    let group = &records[start..end];
+                    let k = Key::extract(&group[0], key);
+                    udf.reduce(&k.values(), group, out);
+                }
+            }
+            _ => {
+                // HashGroup and any other strategy: fold the stream into the
+                // group table as pages arrive (the pre-aggregation shape —
+                // state is one table, never the full input), then emit in
+                // key order like the materializing path.
+                let mut groups: FxHashMap<Key, Vec<Record>> = FxHashMap::default();
+                records_in += for_each_streamed(&mut |record| {
+                    groups
+                        .entry(Key::extract(record, key))
+                        .or_default()
+                        .push(record.clone());
+                })?;
+                emit_grouped(groups, udf.as_ref(), out);
+            }
+        },
+        (
+            OperatorKind::Match {
+                left_key,
+                right_key,
+            },
+            Udf::Match(udf),
+        ) => {
+            // The build side is the materialized side input; the fused edge
+            // streams the probe side.  Stream slot 0 means probe-left
+            // (build=right), stream slot 1 probe-right (build=left) — the
+            // same build/probe assignment `run_match` makes, including the
+            // join argument positions.
+            let build = side_inputs
+                .next()
+                .expect("a chained hash join keeps its build side input");
+            let probe_left = stream_slot == 0;
+            let (build_key, probe_key) = if probe_left {
+                (right_key, left_key)
+            } else {
+                (left_key, right_key)
+            };
+            let build_records = build.into_records()?;
+            let mut table: FxHashMap<Key, Vec<&Record>> = FxHashMap::default();
+            for record in &build_records {
+                table
+                    .entry(Key::extract(record, build_key))
+                    .or_default()
+                    .push(record);
+            }
+            records_in += for_each_streamed(&mut |probe| {
+                if let Some(matches) = table.get(&Key::extract(probe, probe_key)) {
+                    for build_side in matches {
+                        if probe_left {
+                            udf.join(probe, build_side, out);
+                        } else {
+                            udf.join(build_side, probe, out);
+                        }
+                    }
+                }
+            })?;
+        }
+        (OperatorKind::Cross, Udf::Cross(udf)) => {
+            let right_records = side_inputs
+                .next()
+                .expect("a chained cross keeps its right side input")
+                .into_records()?;
+            records_in += for_each_streamed(&mut |left| {
+                for right in &right_records {
+                    udf.cross(left, right, out);
+                }
+            })?;
+        }
+        (kind, _) => unreachable!(
+            "operator contract {} cannot consume a fused edge",
+            kind.contract_name()
+        ),
+    }
+    Ok(records_in)
 }
 
 /// Builds (or reuses) the shared range histogram of one operator.
@@ -1204,14 +1952,16 @@ impl LocalInput {
     }
 
     /// Visits every record by reference; page records are deserialized into
-    /// one scratch record reused across calls.
-    fn for_each_ref(&self, f: impl FnMut(&Record)) {
+    /// one scratch record reused across calls.  Fails with the underlying
+    /// I/O error when a spilled run cannot be read.
+    fn for_each_ref(&self, f: impl FnMut(&Record)) -> std::io::Result<()> {
         match self {
             LocalInput::Shared(parts, p, _) => {
                 let mut f = f;
                 for record in &parts[*p] {
                     f(record);
                 }
+                Ok(())
             }
             LocalInput::Paged(part) => part.for_each_ref(f),
         }
@@ -1219,49 +1969,70 @@ impl LocalInput {
 
     /// Visits every record owned: shared inputs clone (someone else still
     /// holds them), paged inputs move their local records and materialize
-    /// their page records.
-    fn for_each_owned(self, f: impl FnMut(Record)) {
+    /// their page records.  Fails with the underlying I/O error when a
+    /// spilled run cannot be read.
+    fn for_each_owned(self, f: impl FnMut(Record)) -> std::io::Result<()> {
         match self {
             LocalInput::Shared(parts, p, _) => {
                 let mut f = f;
                 for record in &parts[p] {
                     f(record.clone());
                 }
+                Ok(())
             }
             LocalInput::Paged(part) => part.for_each_owned(f),
         }
     }
 
     /// Materializes the whole input into owned records (preserving the
-    /// delivered order).
-    fn into_records(self) -> Vec<Record> {
+    /// delivered order).  Fails with the underlying I/O error when a spilled
+    /// run cannot be read.
+    fn into_records(self) -> std::io::Result<Vec<Record>> {
         match self {
-            LocalInput::Shared(parts, p, _) => parts[p].clone(),
+            LocalInput::Shared(parts, p, _) => Ok(parts[p].clone()),
             LocalInput::Paged(part) => part.into_records(),
         }
     }
+
+    /// True when this input is backed by spilled runs on disk — the inputs
+    /// whose local phase performs spill reads (and therefore consults the
+    /// [`FaultSite::SpillRead`] injector before touching the disk).
+    fn has_spilled_runs(&self) -> bool {
+        matches!(self, LocalInput::Paged(part) if part.spilled_run_count() > 0)
+    }
 }
 
-/// Runs one operator's local work on one partition's inputs.  With
-/// `page_native` set (the default), joins and groups over paged inputs work
-/// on `(page, offset)` handles into the delivered pages, deserializing a
-/// record only at the user-function boundary; otherwise (or when an input
-/// does not qualify) they materialize heap records first.
+/// Runs one operator's local work on one partition's inputs, emitting into
+/// `out`.  With `page_native` set (the default), joins and groups over paged
+/// inputs work on `(page, offset)` handles into the delivered pages,
+/// deserializing a record only at the user-function boundary; otherwise (or
+/// when an input does not qualify) they materialize heap records first.
+/// Returns the number of records consumed; spill-read failures (injected or
+/// real) surface as typed errors instead of panics.
 fn run_local(
     op: &Operator,
     local: LocalStrategy,
     inputs: Vec<LocalInput>,
     page_native: bool,
-) -> (usize, Vec<Record>) {
+    fault: &FaultInjector,
+    out: &mut Collector,
+) -> Result<usize> {
     let records_in: usize = inputs.iter().map(LocalInput::len).sum();
-    let mut collector = Collector::new();
+    // The executor-side spill-read fault gate: one check per input backed by
+    // spilled runs, consumed before any local algorithm touches the disk —
+    // the same convention the workset superstep read path follows.
+    for input in &inputs {
+        if input.has_spilled_runs() {
+            fault.io_check(FaultSite::SpillRead)?;
+        }
+    }
     let mut inputs = inputs.into_iter();
     fn next_input(inputs: &mut impl Iterator<Item = LocalInput>) -> LocalInput {
         inputs.next().expect("plan validation checked input arity")
     }
     match (&op.kind, &op.udf) {
         (OperatorKind::Map, Udf::Map(udf)) => {
-            next_input(&mut inputs).for_each_ref(|record| udf.map(record, &mut collector));
+            next_input(&mut inputs).for_each_ref(|record| udf.map(record, out))?;
         }
         (OperatorKind::Reduce { key }, Udf::Reduce(udf)) => {
             run_reduce(
@@ -1269,9 +2040,9 @@ fn run_local(
                 local,
                 next_input(&mut inputs),
                 udf.as_ref(),
-                &mut collector,
+                out,
                 page_native,
-            );
+            )?;
         }
         (
             OperatorKind::Match {
@@ -1289,19 +2060,19 @@ fn run_local(
                 left,
                 right,
                 udf.as_ref(),
-                &mut collector,
+                out,
                 page_native,
-            );
+            )?;
         }
         (OperatorKind::Cross, Udf::Cross(udf)) => {
             let left = next_input(&mut inputs);
             let right = next_input(&mut inputs);
-            let right_records = right.into_records();
+            let right_records = right.into_records()?;
             left.for_each_ref(|l| {
                 for r in &right_records {
-                    udf.cross(l, r, &mut collector);
+                    udf.cross(l, r, out);
                 }
-            });
+            })?;
         }
         (
             OperatorKind::CoGroup {
@@ -1313,23 +2084,15 @@ fn run_local(
         ) => {
             let left = next_input(&mut inputs);
             let right = next_input(&mut inputs);
-            run_cogroup(
-                left_key,
-                right_key,
-                *inner,
-                left,
-                right,
-                udf.as_ref(),
-                &mut collector,
-            );
+            run_cogroup(left_key, right_key, *inner, left, right, udf.as_ref(), out)?;
         }
         (OperatorKind::Union, _) => {
             for input in inputs {
-                input.for_each_owned(|record| collector.collect(record));
+                input.for_each_owned(|record| out.collect(record))?;
             }
         }
         (OperatorKind::Sink { .. }, _) => {
-            next_input(&mut inputs).for_each_owned(|record| collector.collect(record));
+            next_input(&mut inputs).for_each_owned(|record| out.collect(record))?;
         }
         (OperatorKind::Source { .. }, _) => {
             // Sources are handled by the executor before run_local is called.
@@ -1344,7 +2107,7 @@ fn run_local(
             );
         }
     }
-    (records_in, collector.into_records())
+    Ok(records_in)
 }
 
 /// Materializes one input sorted by `key`: pre-sorted deliveries pass
@@ -1352,7 +2115,7 @@ fn run_local(
 /// [`LocalInput::into_records`]), unsorted inputs whose spilled runs are
 /// individually sorted on `key` merge those runs with the sorted in-memory
 /// residue, and everything else pays the sort.
-fn into_sorted_records(input: LocalInput, key: &[usize]) -> Vec<Record> {
+fn into_sorted_records(input: LocalInput, key: &[usize]) -> std::io::Result<Vec<Record>> {
     let presorted = input.sorted_by() == Some(key);
     match input {
         LocalInput::Paged(part)
@@ -1361,18 +2124,15 @@ fn into_sorted_records(input: LocalInput, key: &[usize]) -> Vec<Record> {
             let (mut residue, runs) = part.into_mem_and_runs();
             sort_by_key_normalized(&mut residue, key);
             let mut records = Vec::new();
-            RunMerger::over_runs(&runs, residue, key.to_vec())
-                .expect("failed to open spilled runs for merging")
-                .collect_into(&mut records)
-                .expect("failed to read spilled runs while merging");
-            records
+            RunMerger::over_runs(&runs, residue, key.to_vec())?.collect_into(&mut records)?;
+            Ok(records)
         }
         other => {
-            let mut records = other.into_records();
+            let mut records = other.into_records()?;
             if !presorted {
                 sort_by_key(&mut records, key);
             }
-            records
+            Ok(records)
         }
     }
 }
@@ -1407,16 +2167,19 @@ fn long_prefix_of(record: &Record, field: usize) -> Option<u64> {
 /// then spilled runs — the same order the materializing accessors visit).
 /// Local records are serialized once; pages are adopted by pointer; spilled
 /// runs are revived as pages (a read per page, no per-record work).  Returns
-/// `None` when any record's key field is not a `Long`, or a run cannot be
-/// read — the caller falls back to the materializing path.
+/// `Ok(None)` when any record's key field is not a `Long` — the caller falls
+/// back to the materializing path — and a typed I/O error when a run cannot
+/// be read (falling back would only hit the same error again, unpaged).
 fn ingest_paged(
     part: &ExchangedPartition,
     key_field: usize,
     mut on_record: impl FnMut(u64, PageHandle),
-) -> Option<PagedRecords> {
+) -> std::io::Result<Option<PagedRecords>> {
     let mut store = PagedRecords::new();
     for record in part.local_records() {
-        let prefix = long_prefix_of(record, key_field)?;
+        let Some(prefix) = long_prefix_of(record, key_field) else {
+            return Ok(None);
+        };
         let handle = store.append(record);
         on_record(prefix, handle);
     }
@@ -1431,20 +2194,18 @@ fn ingest_paged(
     };
     for page in part.pages() {
         if !scan(&mut store, page) {
-            return None;
+            return Ok(None);
         }
     }
     for run in part.runs() {
-        let Ok(pages) = run.read_pages() else {
-            return None;
-        };
+        let pages = run.read_pages()?;
         for page in &pages {
             if !scan(&mut store, page) {
-                return None;
+                return Ok(None);
             }
         }
     }
-    Some(store)
+    Ok(Some(store))
 }
 
 /// True when `part` is worth ingesting: it actually delivered serialized
@@ -1462,7 +2223,8 @@ fn is_sorted_merge_part(part: &ExchangedPartition) -> bool {
 
 /// Page-native hash join: builds a prefix-keyed handle table over the build
 /// side and probes it with key prefixes read in place off the probe side's
-/// pages.  Returns `false` (nothing emitted) when either side disqualifies.
+/// pages.  Returns `Ok(false)` (nothing emitted) when either side
+/// disqualifies.
 #[allow(clippy::too_many_arguments)]
 fn try_match_paged(
     build: &LocalInput,
@@ -1472,21 +2234,22 @@ fn try_match_paged(
     build_is_left: bool,
     udf: &dyn crate::contracts::MatchFunction,
     out: &mut Collector,
-) -> bool {
+) -> std::io::Result<bool> {
     let (&[build_field], &[probe_field]) = (build_key, probe_key) else {
-        return false;
+        return Ok(false);
     };
     let LocalInput::Paged(build_part) = build else {
-        return false;
+        return Ok(false);
     };
     if !has_paged_data(build_part) || is_sorted_merge_part(build_part) {
-        return false;
+        return Ok(false);
     }
     let mut table = PrefixTable::new();
     let Some(store) = ingest_paged(build_part, build_field, |prefix, handle| {
         table.insert(prefix, handle)
-    }) else {
-        return false;
+    })?
+    else {
+        return Ok(false);
     };
 
     // One probe record against the whole chain of its prefix.  Matches are
@@ -1570,11 +2333,8 @@ fn try_match_paged(
             }
             let mut scratch = Record::empty();
             for run in part.runs() {
-                let mut cursor = run.cursor().expect("failed to open spilled run");
-                while cursor
-                    .next_into(&mut scratch)
-                    .expect("failed to read spilled run")
-                {
+                let mut cursor = run.cursor()?;
+                while cursor.next_into(&mut scratch)? {
                     if let Some(prefix) = long_prefix_of(&scratch, probe_field) {
                         probe_chain(
                             &store,
@@ -1591,7 +2351,7 @@ fn try_match_paged(
             }
         }
     }
-    true
+    Ok(true)
 }
 
 /// Sorts a paged input by key prefix without materializing it: the returned
@@ -1601,13 +2361,16 @@ fn try_match_paged(
 fn sorted_pairs_paged(
     part: &ExchangedPartition,
     key_field: usize,
-) -> Option<(PagedRecords, Vec<(u64, PageHandle)>)> {
+) -> std::io::Result<Option<SortedPaged>> {
     let mut pairs: Vec<(u64, PageHandle)> = Vec::with_capacity(part.record_count());
-    let store = ingest_paged(part, key_field, |prefix, handle| {
+    let Some(store) = ingest_paged(part, key_field, |prefix, handle| {
         pairs.push((prefix, handle))
-    })?;
+    })?
+    else {
+        return Ok(None);
+    };
     pairs.sort_unstable();
-    Some((store, pairs))
+    Ok(Some((store, pairs)))
 }
 
 /// Materializes the group `pairs[start..end]` into the reusable `group`
@@ -1633,24 +2396,24 @@ fn try_reduce_paged(
     sort_based: bool,
     udf: &dyn crate::contracts::ReduceFunction,
     out: &mut Collector,
-) -> bool {
+) -> std::io::Result<bool> {
     let &[field] = key else {
-        return false;
+        return Ok(false);
     };
     let LocalInput::Paged(part) = input else {
-        return false;
+        return Ok(false);
     };
     if !has_paged_data(part) || is_sorted_merge_part(part) {
-        return false;
+        return Ok(false);
     }
     // The sort strategy merges key-sorted spilled runs out of core (one
     // group in memory at a time); reviving those runs wholesale here would
     // trade that memory bound away, so the merge path keeps them.
     if sort_based && part.spilled_run_count() > 0 && part.spilled_runs_sorted_by(key) {
-        return false;
+        return Ok(false);
     }
-    let Some((store, pairs)) = sorted_pairs_paged(part, field) else {
-        return false;
+    let Some((store, pairs)) = sorted_pairs_paged(part, field)? else {
+        return Ok(false);
     };
     let mut group: Vec<Record> = Vec::new();
     let mut start = 0;
@@ -1665,7 +2428,7 @@ fn try_reduce_paged(
         udf.reduce(&k.values(), &group[..len], out);
         start = end;
     }
-    true
+    Ok(true)
 }
 
 /// Page-native sort-merge join: both sides sort `(prefix, handle)` pairs and
@@ -1678,15 +2441,15 @@ fn try_sort_merge_paged(
     right: &LocalInput,
     udf: &dyn crate::contracts::MatchFunction,
     out: &mut Collector,
-) -> bool {
+) -> std::io::Result<bool> {
     let (&[lfield], &[rfield]) = (left_key, right_key) else {
-        return false;
+        return Ok(false);
     };
     let (LocalInput::Paged(lpart), LocalInput::Paged(rpart)) = (left, right) else {
-        return false;
+        return Ok(false);
     };
     if !has_paged_data(lpart) && !has_paged_data(rpart) {
-        return false;
+        return Ok(false);
     }
     // Sides whose spilled runs carry the key order materialize by linear
     // merge in the fallback — an interleaving the delivery-order ingest
@@ -1696,13 +2459,13 @@ fn try_sort_merge_paged(
             || (part.spilled_run_count() > 0 && part.spilled_runs_sorted_by(key))
     };
     if disqualifies(lpart, left_key) || disqualifies(rpart, right_key) {
-        return false;
+        return Ok(false);
     }
-    let Some((lstore, lpairs)) = sorted_pairs_paged(lpart, lfield) else {
-        return false;
+    let Some((lstore, lpairs)) = sorted_pairs_paged(lpart, lfield)? else {
+        return Ok(false);
     };
-    let Some((rstore, rpairs)) = sorted_pairs_paged(rpart, rfield) else {
-        return false;
+    let Some((rstore, rpairs)) = sorted_pairs_paged(rpart, rfield)? else {
+        return Ok(false);
     };
     let (mut lgroup, mut rgroup) = (Vec::new(), Vec::new());
     let (mut li, mut ri) = (0usize, 0usize);
@@ -1743,7 +2506,7 @@ fn try_sort_merge_paged(
             }
         }
     }
-    true
+    Ok(true)
 }
 
 /// Grouping for the Reduce contract (hash- or sort-based).
@@ -1754,10 +2517,10 @@ fn run_reduce(
     udf: &dyn crate::contracts::ReduceFunction,
     out: &mut Collector,
     page_native: bool,
-) {
+) -> Result<()> {
     let sort_based = matches!(local, LocalStrategy::SortGroup);
-    if page_native && try_reduce_paged(key, &input, sort_based, udf, out) {
-        return;
+    if page_native && try_reduce_paged(key, &input, sort_based, udf, out)? {
+        return Ok(());
     }
     match local {
         LocalStrategy::SortGroup => {
@@ -1774,21 +2537,18 @@ fn run_reduce(
                     if part.spilled_run_count() > 0 && part.spilled_runs_sorted_by(key) =>
                 {
                     let merger = if presorted {
-                        part.into_merger()
+                        part.into_merger()?
                     } else {
                         let (mut residue, runs) = part.into_mem_and_runs();
                         sort_by_key_normalized(&mut residue, key);
-                        RunMerger::over_runs(&runs, residue, key.to_vec())
-                            .expect("failed to open spilled runs for grouping")
+                        RunMerger::over_runs(&runs, residue, key.to_vec())?
                     };
-                    merger
-                        .for_each_group(|k, group| udf.reduce(&k.values(), group, out))
-                        .expect("failed to read spilled runs while grouping");
-                    return;
+                    merger.for_each_group(|k, group| udf.reduce(&k.values(), group, out))?;
+                    return Ok(());
                 }
                 other => other,
             };
-            let mut records = input.into_records();
+            let mut records = input.into_records()?;
             if !presorted {
                 sort_by_key(&mut records, key);
             }
@@ -1808,13 +2568,25 @@ fn run_reduce(
                     .entry(Key::extract(&record, key))
                     .or_default()
                     .push(record);
-            });
-            let mut sorted: Vec<(Key, Vec<Record>)> = groups.into_iter().collect();
-            sorted.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            for (k, group) in &sorted {
-                udf.reduce(&k.values(), group, out);
-            }
+            })?;
+            emit_grouped(groups, udf, out);
         }
+    }
+    Ok(())
+}
+
+/// Emits hash-built groups in key order (records within a group stay in
+/// delivery order) so the output is deterministic across runs — shared by the
+/// materializing and the chained Reduce paths.
+fn emit_grouped(
+    groups: FxHashMap<Key, Vec<Record>>,
+    udf: &dyn crate::contracts::ReduceFunction,
+    out: &mut Collector,
+) {
+    let mut sorted: Vec<(Key, Vec<Record>)> = groups.into_iter().collect();
+    sorted.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    for (k, group) in &sorted {
+        udf.reduce(&k.values(), group, out);
     }
 }
 
@@ -1831,13 +2603,14 @@ fn run_match(
     udf: &dyn crate::contracts::MatchFunction,
     out: &mut Collector,
     page_native: bool,
-) {
+) -> Result<()> {
     match local {
         LocalStrategy::HashJoinBuildRight => {
-            if page_native && try_match_paged(&right, &left, right_key, left_key, false, udf, out) {
-                return;
+            if page_native && try_match_paged(&right, &left, right_key, left_key, false, udf, out)?
+            {
+                return Ok(());
             }
-            let right_records = right.into_records();
+            let right_records = right.into_records()?;
             let mut table: FxHashMap<Key, Vec<&Record>> = FxHashMap::default();
             for record in &right_records {
                 table
@@ -1851,17 +2624,17 @@ fn run_match(
                         udf.join(l, r, out);
                     }
                 }
-            });
+            })?;
         }
         LocalStrategy::SortMergeJoin => {
-            if page_native && try_sort_merge_paged(left_key, right_key, &left, &right, udf, out) {
-                return;
+            if page_native && try_sort_merge_paged(left_key, right_key, &left, &right, udf, out)? {
+                return Ok(());
             }
             // Range-exchanged sides arrive sorted on their join key; only
             // sides without the delivered order pay a sort, and sides whose
             // spilled runs carry the key order materialize by linear merge.
-            let l_sorted = into_sorted_records(left, left_key);
-            let r_sorted = into_sorted_records(right, right_key);
+            let l_sorted = into_sorted_records(left, left_key)?;
+            let r_sorted = into_sorted_records(right, right_key)?;
             let l_ranges = group_ranges(&l_sorted, left_key);
             let r_ranges = group_ranges(&r_sorted, right_key);
             let (mut li, mut ri) = (0usize, 0usize);
@@ -1885,10 +2658,10 @@ fn run_match(
         }
         // Default: build on the left, probe with the right.
         _ => {
-            if page_native && try_match_paged(&left, &right, left_key, right_key, true, udf, out) {
-                return;
+            if page_native && try_match_paged(&left, &right, left_key, right_key, true, udf, out)? {
+                return Ok(());
             }
-            let left_records = left.into_records();
+            let left_records = left.into_records()?;
             let mut table: FxHashMap<Key, Vec<&Record>> = FxHashMap::default();
             for record in &left_records {
                 table
@@ -1902,9 +2675,10 @@ fn run_match(
                         udf.join(l, r, out);
                     }
                 }
-            });
+            })?;
         }
     }
+    Ok(())
 }
 
 /// Grouped join for the CoGroup / InnerCoGroup contracts.
@@ -1916,21 +2690,21 @@ fn run_cogroup(
     right: LocalInput,
     udf: &dyn crate::contracts::CoGroupFunction,
     out: &mut Collector,
-) {
+) -> Result<()> {
     let mut left_groups: FxHashMap<Key, Vec<Record>> = FxHashMap::default();
     left.for_each_owned(|record| {
         left_groups
             .entry(Key::extract(&record, left_key))
             .or_default()
             .push(record);
-    });
+    })?;
     let mut right_groups: FxHashMap<Key, Vec<Record>> = FxHashMap::default();
     right.for_each_owned(|record| {
         right_groups
             .entry(Key::extract(&record, right_key))
             .or_default()
             .push(record);
-    });
+    })?;
     // Emit groups in key order so the output stays deterministic across runs.
     let empty: Vec<Record> = Vec::new();
     if inner {
@@ -1951,6 +2725,7 @@ fn run_cogroup(
             udf.cogroup(&k.values(), lgroup, rgroup, out);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -2353,7 +3128,7 @@ mod tests {
             assert!(stats.shipped_records > 0);
             assert_eq!(stats.shipped_records + stats.local_records, 1000);
             for (target, part) in exchanged.into_iter().enumerate() {
-                let mut received = part.into_records();
+                let mut received = part.into_records().unwrap();
                 received.sort();
                 let mut want = expected[target].clone();
                 want.sort();
@@ -2377,7 +3152,7 @@ mod tests {
         assert_eq!(stats.local_records, 25);
         assert!(stats.shipped_pages > 0);
         for part in exchanged {
-            let mut records = part.into_records();
+            let mut records = part.into_records().unwrap();
             records.sort();
             assert_eq!(
                 records,
@@ -2437,7 +3212,7 @@ mod tests {
         let mut concatenated: Vec<Record> = Vec::new();
         for part in exchanged {
             assert_eq!(part.sorted_by(), Some(&[0usize][..]));
-            concatenated.extend(part.into_records());
+            concatenated.extend(part.into_records().unwrap());
         }
         let mut expected: Vec<Record> = producer.into_iter().flatten().collect();
         sort_by_key(&mut expected, &[0]);
@@ -2588,7 +3363,7 @@ mod tests {
         let mut concatenated: Vec<Record> = Vec::new();
         for part in exchanged {
             assert_eq!(part.sorted_by(), Some(&[0usize][..]));
-            concatenated.extend(part.into_records());
+            concatenated.extend(part.into_records().unwrap());
         }
         for window in concatenated.windows(2) {
             assert!(

@@ -1266,12 +1266,13 @@ impl ExchangedPartition {
 
     /// The streaming k-way merge over this sorted partition's pieces (the
     /// spilled runs plus the in-memory sorted records), yielding the global
-    /// key order one record at a time.
+    /// key order one record at a time.  Fails with the underlying I/O error
+    /// when a spilled run cannot be opened.
     ///
     /// # Panics
     /// If the partition is not sorted, or holds raw pages (sorted spilled
     /// partitions never do, by construction).
-    pub fn into_merger(self) -> RunMerger {
+    pub fn into_merger(self) -> std::io::Result<RunMerger> {
         let key = self
             .sorted_by
             .clone()
@@ -1281,7 +1282,6 @@ impl ExchangedPartition {
             "sorted spilled partitions never hold raw pages"
         );
         RunMerger::over_runs(&self.runs, self.local, key)
-            .expect("failed to open spilled runs for merging")
     }
 
     /// The records that never left this partition (heap objects).
@@ -1318,11 +1318,12 @@ impl ExchangedPartition {
     /// one reused scratch.  This is the page-native receive scan — fields of
     /// shipped records are read straight out of the page bytes.  Visit order
     /// across the pieces is unspecified, like [`ExchangedPartition::for_each_ref`].
+    /// Fails with the underlying I/O error when a spilled run cannot be read.
     pub fn for_each_piece(
         &self,
         mut on_record: impl FnMut(&Record),
         mut on_view: impl FnMut(RecordView<'_>),
-    ) {
+    ) -> std::io::Result<()> {
         for record in &self.local {
             on_record(record);
         }
@@ -1333,22 +1334,21 @@ impl ExchangedPartition {
         }
         let mut scratch = Record::empty();
         for run in &self.runs {
-            let mut cursor = run.cursor().expect("failed to open spilled run");
-            while cursor
-                .next_into(&mut scratch)
-                .expect("failed to read spilled run")
-            {
+            let mut cursor = run.cursor()?;
+            while cursor.next_into(&mut scratch)? {
                 on_record(&scratch);
             }
         }
+        Ok(())
     }
 
     /// Calls `f` for every record: local records by reference, page and run
     /// records through one scratch record that is reused across calls (no
     /// per-record allocation for fixed-width fields).  The visit order
     /// across the pieces is unspecified; order-sensitive consumers use the
-    /// owning accessors, which merge sorted spilled partitions.
-    pub fn for_each_ref(&self, mut f: impl FnMut(&Record)) {
+    /// owning accessors, which merge sorted spilled partitions.  Fails with
+    /// the underlying I/O error when a spilled run cannot be read.
+    pub fn for_each_ref(&self, mut f: impl FnMut(&Record)) -> std::io::Result<()> {
         for record in &self.local {
             f(record);
         }
@@ -1360,26 +1360,25 @@ impl ExchangedPartition {
             }
         }
         for run in &self.runs {
-            let mut cursor = run.cursor().expect("failed to open spilled run");
-            while cursor
-                .next_into(&mut scratch)
-                .expect("failed to read spilled run")
-            {
+            let mut cursor = run.cursor()?;
+            while cursor.next_into(&mut scratch)? {
                 f(&scratch);
             }
         }
+        Ok(())
     }
 
     /// Calls `f` with every record owned: local records are moved out, page
     /// and run records are materialized.  Sorted spilled partitions are
-    /// visited in merged (global key) order.
-    pub fn for_each_owned(self, mut f: impl FnMut(Record)) {
+    /// visited in merged (global key) order.  Fails with the underlying I/O
+    /// error when a spilled run cannot be read.
+    pub fn for_each_owned(self, mut f: impl FnMut(Record)) -> std::io::Result<()> {
         if self.is_sorted_merge() {
-            let mut merger = self.into_merger();
-            while let Some(record) = merger.next_record().expect("failed to read spilled run") {
+            let mut merger = self.into_merger()?;
+            while let Some(record) = merger.next_record()? {
                 f(record);
             }
-            return;
+            return Ok(());
         }
         for record in self.local {
             f(record);
@@ -1390,21 +1389,23 @@ impl ExchangedPartition {
             }
         }
         for run in &self.runs {
-            let mut cursor = run.cursor().expect("failed to open spilled run");
-            while let Some(record) = cursor.next_record().expect("failed to read spilled run") {
+            let mut cursor = run.cursor()?;
+            while let Some(record) = cursor.next_record()? {
                 f(record);
             }
         }
+        Ok(())
     }
 
     /// Materializes the whole partition into owned records (local records
     /// moved, page and run records deserialized).  Sorted spilled partitions
     /// materialize in merged order — a linear merge of the sorted pieces,
-    /// never an in-memory re-sort.
-    pub fn into_records(self) -> Vec<Record> {
+    /// never an in-memory re-sort.  Fails with the underlying I/O error when
+    /// a spilled run cannot be read.
+    pub fn into_records(self) -> std::io::Result<Vec<Record>> {
         let mut records = Vec::with_capacity(self.record_count());
-        self.for_each_owned(|record| records.push(record));
-        records
+        self.for_each_owned(|record| records.push(record))?;
+        Ok(records)
     }
 
     /// Splits the partition into its in-memory records (local moved, pages
@@ -1626,7 +1627,7 @@ mod tests {
         assert_eq!(part.record_count(), 3);
         assert_eq!(part.page_count(), 1);
         let mut seen = Vec::new();
-        part.for_each_ref(|r| seen.push(r.clone()));
+        part.for_each_ref(|r| seen.push(r.clone())).unwrap();
         assert_eq!(
             seen,
             vec![
@@ -1635,7 +1636,7 @@ mod tests {
                 Record::pair(12, 13)
             ]
         );
-        assert_eq!(part.into_records(), seen);
+        assert_eq!(part.into_records().unwrap(), seen);
     }
 
     #[test]

@@ -151,6 +151,41 @@ impl LocalStrategy {
     }
 }
 
+/// The input slot of `kind` that can be *streamed* (consumed record by
+/// record as upstream produces it) under the given local strategy, or `None`
+/// when every input must be materialized before the operator can run.
+///
+/// This is the chain-fusion rule: a forward-shipped, uncached,
+/// single-consumer edge into this slot can be fused into a pipelined chain
+/// ([`crate::exec`]), because the operator never needs to see the whole input
+/// at once *before consuming it* — it either emits per record (map, sink,
+/// cross over a materialized build side, hash-join probe) or folds the stream
+/// into its own bounded state (grouping).  Slots that the local algorithm
+/// dams — both sides of a sort-merge join, the build side of a hash join,
+/// every union/cogroup input — break the chain.
+pub fn streaming_input_slot(kind: &OperatorKind, local: LocalStrategy) -> Option<usize> {
+    match kind {
+        OperatorKind::Map | OperatorKind::Sink { .. } => Some(0),
+        // A grouping folds the stream into its group table/buffer; the edge
+        // itself still streams (the dam is the operator's own state, not a
+        // materialized input partition).
+        OperatorKind::Reduce { .. } => Some(0),
+        // Nested-loop cross materializes the (broadcast) right side and
+        // streams the left.
+        OperatorKind::Cross => Some(0),
+        // Hash joins stream their probe side; a sort-merge join sorts both
+        // sides and therefore dams both.
+        OperatorKind::Match { .. } => match local {
+            LocalStrategy::HashJoinBuildRight => Some(0),
+            LocalStrategy::SortMergeJoin => None,
+            _ => Some(1),
+        },
+        // Unions interleave inputs in slot order and cogroups dam both
+        // sides; sources have no inputs.
+        OperatorKind::Union | OperatorKind::CoGroup { .. } | OperatorKind::Source { .. } => None,
+    }
+}
+
 impl fmt::Display for LocalStrategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -50,6 +50,14 @@ pub struct ExecutionStats {
     /// Number of input edges served from the loop-invariant cache instead of
     /// being re-shipped.
     pub cache_hits: usize,
+    /// Operators that ran as members of fused (streaming) chains instead of
+    /// materializing their forward input (see `crate::exec`).
+    pub chained_operators: usize,
+    /// Maximum sealed pages any single chained edge ever had in flight — by
+    /// construction bounded by the configured channel credits, which is what
+    /// makes the chain's memory bound (`credits × page size` per edge)
+    /// observable.
+    pub peak_chain_pages: usize,
     /// Wall-clock time of the whole plan execution.
     pub elapsed: Duration,
 }
@@ -104,6 +112,10 @@ impl ExecutionStats {
         self.spilled_runs += other.spilled_runs;
         self.local_records += other.local_records;
         self.cache_hits += other.cache_hits;
+        self.chained_operators += other.chained_operators;
+        // The peak is a high-water mark, not a flow: the bound holds per
+        // execution, so merged runs keep the worst single observation.
+        self.peak_chain_pages = self.peak_chain_pages.max(other.peak_chain_pages);
         self.elapsed += other.elapsed;
     }
 
@@ -125,13 +137,15 @@ impl ExecutionStats {
         }
         out.push_str(&format!(
             "shipped={} records ({} bytes), spilled={} bytes in {} runs, local={}, \
-             cache_hits={}, elapsed={:.2} ms\n",
+             cache_hits={}, chained={} ops (peak {} pages/edge), elapsed={:.2} ms\n",
             self.shipped_records,
             self.shipped_bytes,
             self.spilled_bytes,
             self.spilled_runs,
             self.local_records,
             self.cache_hits,
+            self.chained_operators,
+            self.peak_chain_pages,
             self.elapsed.as_secs_f64() * 1e3
         ));
         out
@@ -158,6 +172,8 @@ mod tests {
             spilled_runs: 1,
             local_records: 3,
             cache_hits: 1,
+            chained_operators: 2,
+            peak_chain_pages: 3,
             elapsed: Duration::from_millis(7),
         }
     }
@@ -172,6 +188,8 @@ mod tests {
         assert_eq!(a.spilled_bytes, 80);
         assert_eq!(a.spilled_runs, 2);
         assert_eq!(a.cache_hits, 2);
+        assert_eq!(a.chained_operators, 4);
+        assert_eq!(a.peak_chain_pages, 3, "peaks keep the max, not the sum");
         assert_eq!(a.operators.len(), 1);
     }
 

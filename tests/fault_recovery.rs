@@ -83,6 +83,28 @@ fn spill_read_fault_without_checkpointing_surfaces_as_typed_error() {
 }
 
 #[test]
+fn bulk_spill_read_fault_on_executor_path_surfaces_as_typed_error() {
+    // The bulk path runs through the dataflow executor (not the workset
+    // loop), so this pins the executor's own spilled-run reads: a tiny
+    // budget forces every exchange to spill and the first read then faults.
+    // Before the executor threaded `Result` through its read paths this
+    // aborted the whole process via `.expect(...)`.
+    let graph = webbase();
+    let fault = FaultInjector::failing_nth(FaultSite::SpillRead, 0);
+    let config = ComponentsConfig::new(4)
+        .with_memory_budget(MemoryBudget::bytes(1024))
+        .with_fault(fault.clone());
+    let err = cc_bulk(&graph, &config).expect_err("injected read fault must fail the run");
+    match err {
+        DataflowError::SpillIo(message) => {
+            assert!(message.contains("injected"), "message: {message}")
+        }
+        other => panic!("expected SpillIo, got {other:?}"),
+    }
+    assert!(fault.injected_total() > 0, "the fault must actually fire");
+}
+
+#[test]
 fn cc_recovers_byte_identically_across_modes_and_routings() {
     let graph = webbase();
     let oracle = cc_oracle(&graph);

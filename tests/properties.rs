@@ -767,8 +767,8 @@ fn prop_paged_exchange_matches_vec_exchange() {
 
         for (target, part) in received.into_iter().enumerate() {
             let mut by_ref: Vec<Record> = Vec::new();
-            part.for_each_ref(|r| by_ref.push(r.clone()));
-            let mut owned = part.into_records();
+            part.for_each_ref(|r| by_ref.push(r.clone())).unwrap();
+            let mut owned = part.into_records().unwrap();
             assert_eq!(by_ref.len(), owned.len());
             by_ref.sort();
             owned.sort();

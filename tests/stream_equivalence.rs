@@ -1,0 +1,253 @@
+//! Streaming-execution equivalence: the chained (streaming) executor must be
+//! byte-identical to the materializing oracle on every algorithm, execution
+//! mode, routing scheme and memory budget — and must actually honour the
+//! configured per-edge credit bound while doing so.  This is the
+//! repository-level statement that chain fusion is a pure cost optimization:
+//! it changes *where* records wait, never *which* records arrive or in what
+//! order.
+
+use algorithms::{
+    cc_async, cc_bulk, cc_incremental, cc_microstep, oracles, pagerank, sssp_with_config,
+    ComponentsConfig, PageRankConfig, PageRankPlan,
+};
+use dataflow::prelude::*;
+use graphdata::{chain, rmat, DatasetProfile, Graph, RmatParams};
+use spinning_core::prelude::*;
+use std::sync::Arc;
+
+fn test_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("chain", chain(150)),
+        (
+            "power-law",
+            rmat(500, 3000, RmatParams::default(), 42).symmetrize(),
+        ),
+        ("foaf-profile", DatasetProfile::foaf().generate(8_192)),
+    ]
+}
+
+/// The budgets every combination runs under: unbounded, and a finite budget
+/// that forces exchanges to spill.  The CI `stream-smoke` job overrides the
+/// finite one through `SPINNING_MEMORY_BUDGET` (like the spill smoke does).
+fn budgets() -> Vec<(&'static str, MemoryBudget)> {
+    let tight = MemoryBudget::from_env().unwrap_or(MemoryBudget::bytes(1024));
+    vec![("unlimited", MemoryBudget::unlimited()), ("tight", tight)]
+}
+
+/// The chained bulk executor must reproduce the materializing oracle
+/// byte-for-byte: identical components, identical iteration count, and an
+/// identical per-superstep trace (the streaming path may not change how many
+/// records exist or move, only how long they are buffered).
+#[test]
+fn bulk_cc_chained_matches_the_materializing_oracle() {
+    for (graph_name, graph) in test_graphs() {
+        for (budget_name, budget) in budgets() {
+            let base = ComponentsConfig::new(4).with_memory_budget(budget);
+            let chained = cc_bulk(&graph, &base).unwrap();
+            let oracle = cc_bulk(&graph, &base.clone().with_force_materialized(true)).unwrap();
+
+            let label = format!("{graph_name}/{budget_name}");
+            assert_eq!(chained.components, oracle.components, "components {label}");
+            assert_eq!(chained.iterations, oracle.iterations, "iterations {label}");
+            assert_eq!(
+                trace(&chained.stats),
+                trace(&oracle.stats),
+                "superstep trace {label}"
+            );
+
+            // The comparison only means something if the streaming path ran.
+            let execution = chained.stats.per_iteration[0]
+                .execution
+                .as_ref()
+                .expect("bulk iterations record execution stats");
+            assert!(
+                execution.chained_operators >= 2,
+                "no chain fused on {label}: {execution:?}"
+            );
+            let oracle_execution = oracle.stats.per_iteration[0].execution.as_ref().unwrap();
+            assert_eq!(
+                oracle_execution.chained_operators, 0,
+                "the oracle must not chain"
+            );
+        }
+    }
+}
+
+/// The per-superstep fields the chained executor must reproduce exactly.
+fn trace(stats: &IterationRunStats) -> Vec<(usize, usize, usize, usize, usize)> {
+    stats
+        .per_iteration
+        .iter()
+        .map(|s| {
+            (
+                s.workset_size,
+                s.elements_inspected,
+                s.elements_changed,
+                s.messages_sent,
+                s.messages_shipped,
+            )
+        })
+        .collect()
+}
+
+/// PageRank across all three Figure 4 plans: the chained run's ranks must be
+/// bit-identical to the materializing oracle's — floating-point summation
+/// order is part of the byte-identity contract.
+#[test]
+fn pagerank_all_plans_chained_matches_materialized_bitwise() {
+    let graph = rmat(250, 2000, RmatParams::default(), 17).symmetrize();
+    for plan in [
+        PageRankPlan::Optimized,
+        PageRankPlan::ForceBroadcast,
+        PageRankPlan::ForcePartition,
+    ] {
+        let base = PageRankConfig::new(4).with_iterations(8).with_plan(plan);
+        let chained = pagerank(&graph, &base.clone()).unwrap();
+        let oracle = pagerank(&graph, &base.with_force_materialized(true)).unwrap();
+        assert_eq!(chained.ranks, oracle.ranks, "ranks differ under {plan:?}");
+    }
+}
+
+/// The workset modes do not run the chained executor, but they share sinks
+/// and fixpoints with the bulk variant that does: every mode × routing ×
+/// budget combination must still agree with the (now chained) bulk oracle.
+#[test]
+fn workset_modes_and_routings_agree_with_the_chained_bulk_oracle() {
+    let graph = rmat(400, 2400, RmatParams::default(), 23).symmetrize();
+    let bulk_oracle = cc_bulk(&graph, &ComponentsConfig::new(4))
+        .unwrap()
+        .components;
+    for routing in [WorksetRouting::Hash, WorksetRouting::Range] {
+        for (budget_name, budget) in budgets() {
+            let config = ComponentsConfig::new(4)
+                .with_routing(routing)
+                .with_memory_budget(budget);
+            type CcRun = fn(&Graph, &ComponentsConfig) -> Result<algorithms::ComponentsResult>;
+            for (mode_name, run) in [
+                ("incremental", cc_incremental as CcRun),
+                ("microstep", cc_microstep as CcRun),
+                ("async", cc_async as CcRun),
+            ] {
+                let result = run(&graph, &config).unwrap();
+                assert_eq!(
+                    result.components, bulk_oracle,
+                    "{mode_name} with {routing:?} routing under the {budget_name} budget"
+                );
+            }
+        }
+    }
+}
+
+/// SSSP across modes × routings × budgets against the BFS oracle — the guard
+/// that the streaming work left the workset runtimes untouched.
+#[test]
+fn sssp_modes_and_routings_match_the_bfs_oracle_under_budgets() {
+    let graph = DatasetProfile::foaf().generate(8_192);
+    let oracle = oracles::sssp(&graph, 1);
+    for mode in [
+        ExecutionMode::BatchIncremental,
+        ExecutionMode::Microstep,
+        ExecutionMode::AsynchronousMicrostep,
+    ] {
+        for routing in [WorksetRouting::Hash, WorksetRouting::Range] {
+            for (budget_name, budget) in budgets() {
+                let config = WorksetConfig::new(4)
+                    .with_mode(mode)
+                    .with_routing(routing)
+                    .with_memory_budget(budget);
+                let result = sssp_with_config(&graph, 1, &config).unwrap();
+                assert_eq!(
+                    result.distances, oracle,
+                    "{mode:?} with {routing:?} routing under the {budget_name} budget"
+                );
+            }
+        }
+    }
+}
+
+/// An expansion-heavy map→map→sink pipeline: tens of pages flow across each
+/// fused edge, yet with 2 credits per edge at most 2 are ever in flight —
+/// the `credits × page size` memory bound the chain executor promises — and
+/// the sink still matches the materializing oracle byte for byte.
+#[test]
+fn chained_pipeline_stays_within_the_configured_credit_bound() {
+    let build_plan = || {
+        let mut plan = Plan::new();
+        let events: Vec<Record> = (0..6_000).map(|i| Record::pair(i, i % 97)).collect();
+        let source = plan.source("events", events);
+        let expand = plan.map(
+            "expand",
+            source,
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                for copy in 0..16 {
+                    out.collect(Record::pair(r.long(0) * 16 + copy, r.long(1)));
+                }
+            })),
+        );
+        let shift = plan.map(
+            "shift",
+            expand,
+            Arc::new(MapClosure(|r: &Record, out: &mut Collector| {
+                if r.long(1) != 0 {
+                    out.collect(Record::pair(r.long(0), r.long(1) + 1));
+                }
+            })),
+        );
+        plan.sink("out", shift);
+        default_physical_plan(&plan, 4).unwrap()
+    };
+
+    let chained = Executor::with_config(ExecConfig::new().with_channel_credits(2))
+        .execute(&build_plan())
+        .unwrap();
+    let materialized = Executor::with_config(ExecConfig::new().with_force_materialized(true))
+        .execute(&build_plan())
+        .unwrap();
+
+    assert_eq!(
+        chained.stats.chained_operators, 3,
+        "expand→shift→sink must fuse into one chain: {:?}",
+        chained.stats
+    );
+    assert!(
+        chained.stats.peak_chain_pages >= 1,
+        "the bound is only demonstrated if pages actually flowed"
+    );
+    assert!(
+        chained.stats.peak_chain_pages <= 2,
+        "peak {} pages in flight exceeds the 2-credit bound",
+        chained.stats.peak_chain_pages
+    );
+    assert_eq!(materialized.stats.chained_operators, 0);
+
+    let streamed = chained.into_sink("out").unwrap();
+    let oracle = materialized.into_sink("out").unwrap();
+    assert!(
+        streamed.len() > 90_000,
+        "the expansion must actually expand"
+    );
+    assert_eq!(streamed, oracle, "sink contents must be byte-identical");
+}
+
+/// The credit bound also holds end-to-end through the bulk iteration driver,
+/// which is how user programs reach the chained executor.
+#[test]
+fn bulk_cc_with_two_credits_bounds_every_chain_edge() {
+    let graph = DatasetProfile::foaf().generate(8_192);
+    let config = ComponentsConfig::new(4).with_channel_credits(2);
+    let result = cc_bulk(&graph, &config).unwrap();
+    let oracle = cc_bulk(
+        &graph,
+        &ComponentsConfig::new(4).with_force_materialized(true),
+    )
+    .unwrap();
+    assert_eq!(result.components, oracle.components);
+    for (i, step) in result.stats.per_iteration.iter().enumerate() {
+        let execution = step.execution.as_ref().expect("bulk records execution");
+        assert!(
+            execution.peak_chain_pages <= 2,
+            "iteration {i} held {} pages on a chained edge",
+            execution.peak_chain_pages
+        );
+    }
+}
